@@ -1,0 +1,257 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§5). Each bench exercises the corresponding
+// experiment driver end-to-end on a reduced slice of the benchmark (two
+// datasets, small scale) so `go test -bench=.` regenerates every
+// experiment's code path in minutes; cmd/benchmark runs the same drivers
+// at full breadth. Key output metrics are attached via b.ReportMetric so
+// the shape of the result is visible in the bench log.
+package wym
+
+import (
+	"testing"
+
+	"wym/internal/eval"
+	"wym/internal/experiments"
+)
+
+// benchConfig returns a reduced run: the two smallest datasets (S-FZ easy,
+// S-BR medium) at a scale that keeps per-iteration work bounded.
+func benchConfig() experiments.RunConfig {
+	return experiments.RunConfig{
+		Scale:         0.05,
+		Datasets:      []string{"S-FZ", "S-BR"},
+		Seed:          1,
+		SampleRecords: 30,
+	}
+}
+
+func BenchmarkTable2_BenchmarkStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure4_UnitDistribution(b *testing.B) {
+	cfg := benchConfig()
+	var lastNonUnpaired float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastNonUnpaired = rows[0].NonMatchUnpaired
+	}
+	b.ReportMetric(lastNonUnpaired, "nonmatch-unpaired/record")
+}
+
+func BenchmarkTable3_Effectiveness(b *testing.B) {
+	cfg := benchConfig()
+	var wymF1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wymF1 = rows[0].Scores["WYM"]
+	}
+	b.ReportMetric(wymF1, "WYM-F1")
+}
+
+func BenchmarkFigure5_LearningCurves(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-DA"} // the small sets are excluded by design
+	cfg.Scale = 0.03
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) == 0 || len(series[0].Points) == 0 {
+			b.Fatal("empty learning curve")
+		}
+	}
+}
+
+func BenchmarkTable4_Ablations(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	var full float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = rows[0].Scores["WYM"]
+	}
+	b.ReportMetric(full, "WYM-F1")
+}
+
+func BenchmarkTable5_ClassifierPool(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows[0].Scores) != 10 {
+			b.Fatalf("classifiers = %d", len(rows[0].Scores))
+		}
+	}
+}
+
+func BenchmarkFigure6_Conciseness(b *testing.B) {
+	cfg := benchConfig()
+	var top20 float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range series[0].Points {
+			if p.Fraction == 0.20 {
+				top20 = p.Share
+			}
+		}
+	}
+	b.ReportMetric(top20, "top20%-impact-share")
+}
+
+func BenchmarkFigure7_Sufficiency(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	cfg.SampleRecords = 20
+	var wymTop1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wymTop1 = rows[0].Acc["WYM"][0]
+	}
+	b.ReportMetric(wymTop1, "WYM-posthoc-acc@1")
+}
+
+func BenchmarkFigure8_Removal(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	var morfDrop float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		morf := rows[0].F1[eval.MoRF]
+		morfDrop = rows[0].Baseline - morf[len(morf)-1]
+	}
+	b.ReportMetric(morfDrop, "MoRF-F1-drop@5")
+}
+
+func BenchmarkFigure9_LandmarkCorrelation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	cfg.SampleRecords = 20
+	var matchCorr float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matchCorr = rows[0].MatchMean
+	}
+	b.ReportMetric(matchCorr, "match-mean-pearson")
+}
+
+func BenchmarkSection53_Throughput(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	cfg.SampleRecords = 30
+	var explainRate float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Section53(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		explainRate = rows[0].ExplainPerSecond
+	}
+	b.ReportMetric(explainRate, "explanations/sec")
+}
+
+func BenchmarkSection54_UserStudy(b *testing.B) {
+	cfg := benchConfig()
+	var kappa float64
+	for i := 0; i < b.N; i++ {
+		kappa = experiments.Section54(cfg).Kappa
+	}
+	b.ReportMetric(kappa, "fleiss-kappa")
+}
+
+// BenchmarkPredict measures single-record prediction latency on a trained
+// system — the deployment-relevant number behind §5.3.
+func BenchmarkPredict(b *testing.B) {
+	d, _ := DatasetByKey("S-FZ", 1.0)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := Train(train, valid, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Predict(test.Pairs[i%test.Size()])
+	}
+}
+
+// BenchmarkExplain measures single-record explanation latency.
+func BenchmarkExplain(b *testing.B) {
+	d, _ := DatasetByKey("S-FZ", 1.0)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := Train(train, valid, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Explain(test.Pairs[i%test.Size()])
+	}
+}
+
+// BenchmarkAblationThresholds regenerates the θ/η/ε design-choice sweep
+// (DESIGN.md ablations beyond the paper's Table 4).
+func BenchmarkAblationThresholds(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationThresholds(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationContext regenerates the context-mixing γ sweep.
+func BenchmarkAblationContext(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationContext(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionRules regenerates the §6 future-work experiment:
+// decision-unit rules screening the matcher.
+func BenchmarkExtensionRules(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"S-FZ"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionRules(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Command benchmark regenerates the paper's tables and figures on the
+// synthetic benchmark.
+//
+// Usage:
+//
+//	benchmark -experiment all -scale 0.05
+//	benchmark -experiment table3 -datasets S-AG,S-FZ -scale 0.15
+//
+// Experiments: table2, figure4, table3, figure5, table4, table5, figure6,
+// figure7, figure8, figure9, timing (§5.3), userstudy (§5.4), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wym/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run")
+		scale      = flag.Float64("scale", 0.05, "dataset scale (1.0 = Table-2 sizes)")
+		datasets   = flag.String("datasets", "", "comma-separated dataset keys (default: all 12)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		sample     = flag.Int("sample", 100, "records sampled for the per-record experiments")
+	)
+	flag.Parse()
+
+	cfg := experiments.RunConfig{Scale: *scale, Seed: *seed, SampleRecords: *sample}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if err := run(*experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, cfg experiments.RunConfig) error {
+	runners := map[string]func(experiments.RunConfig) (string, error){
+		"table2":              runTable2,
+		"figure4":             runFigure4,
+		"table3":              runTable3,
+		"figure5":             runFigure5,
+		"table4":              runTable4,
+		"table5":              runTable5,
+		"figure6":             runFigure6,
+		"figure7":             runFigure7,
+		"figure8":             runFigure8,
+		"figure9":             runFigure9,
+		"timing":              runTiming,
+		"userstudy":           runUserStudy,
+		"ablation-thresholds": runAblationThresholds,
+		"ablation-context":    runAblationContext,
+		"extension-rules":     runExtensionRules,
+	}
+	order := []string{
+		"table2", "figure4", "table3", "figure5", "table4", "table5",
+		"figure6", "figure7", "figure8", "figure9", "timing", "userstudy",
+		"ablation-thresholds", "ablation-context", "extension-rules",
+	}
+	if which != "all" {
+		r, ok := runners[which]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s, all)", which, strings.Join(order, ", "))
+		}
+		out, err := r(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	for _, name := range order {
+		out, err := runners[name](cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func runTable2(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatTable2(rows), nil
+}
+
+func runFigure4(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Figure4(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatFigure4(rows), nil
+}
+
+func runTable3(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Table3(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatTable3(rows), nil
+}
+
+func runFigure5(cfg experiments.RunConfig) (string, error) {
+	series, err := experiments.Figure5(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatFigure5(series), nil
+}
+
+func runTable4(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Table4(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatTable4(rows), nil
+}
+
+func runTable5(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Table5(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatTable5(rows), nil
+}
+
+func runFigure6(cfg experiments.RunConfig) (string, error) {
+	series, err := experiments.Figure6(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatFigure6(series), nil
+}
+
+func runFigure7(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Figure7(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatFigure7(rows), nil
+}
+
+func runFigure8(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Figure8(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatFigure8(rows), nil
+}
+
+func runFigure9(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Figure9(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatFigure9(rows), nil
+}
+
+func runTiming(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.Section53(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatSection53(rows), nil
+}
+
+func runUserStudy(cfg experiments.RunConfig) (string, error) {
+	return experiments.FormatSection54(experiments.Section54(cfg)), nil
+}
+
+func runAblationThresholds(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.AblationThresholds(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatAblation("Ablation: θ/η/ε similarity thresholds (F1).", rows), nil
+}
+
+func runExtensionRules(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.ExtensionRules(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatExtensionRules(rows), nil
+}
+
+func runAblationContext(cfg experiments.RunConfig) (string, error) {
+	rows, err := experiments.AblationContext(cfg)
+	if err != nil {
+		return "", err
+	}
+	return experiments.FormatAblation("Ablation: record-context mixing weight γ (F1).", rows), nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wym/internal/experiments"
+)
+
+func tinyCfg() experiments.RunConfig {
+	return experiments.RunConfig{Scale: 0.05, Datasets: []string{"S-FZ"}, Seed: 1, SampleRecords: 10}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("table2", tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run("nope", tinyCfg())
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunnersProduceOutput(t *testing.T) {
+	// The cheap drivers cover the CLI glue; the expensive ones are
+	// exercised by the bench harness and internal/experiments tests.
+	cfg := tinyCfg()
+	for _, runner := range []func(experiments.RunConfig) (string, error){
+		runTable2, runFigure4, runUserStudy,
+	} {
+		out, err := runner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == "" {
+			t.Fatal("empty output")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command datagen emits the synthetic benchmark as Magellan-layout CSV
+// files, one per dataset.
+//
+// Usage:
+//
+//	datagen -out ./datasets -scale 0.05
+//	datagen -out ./datasets -datasets S-AG,T-AB -scale 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wym"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "datasets", "output directory")
+		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = Table-2 sizes)")
+		datasets = flag.String("datasets", "", "comma-separated keys (default: all 12)")
+	)
+	flag.Parse()
+
+	if err := run(*out, *scale, *datasets); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale float64, datasets string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	keys := map[string]bool{}
+	if datasets != "" {
+		for _, k := range strings.Split(datasets, ",") {
+			keys[strings.TrimSpace(k)] = true
+		}
+	}
+	for _, p := range wym.BenchmarkProfiles() {
+		if len(keys) > 0 && !keys[p.Key] {
+			continue
+		}
+		d := wym.GenerateDataset(p, scale)
+		path := filepath.Join(out, p.Key+".csv")
+		if err := wym.SaveDataset(path, d); err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %6d pairs  %5.2f%% match  -> %s\n",
+			p.Key, d.Size(), 100*d.MatchRate(), path)
+	}
+	return nil
+}

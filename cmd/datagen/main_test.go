@@ -1,0 +1,35 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wym"
+)
+
+func TestRunWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.01, "S-BR,S-IA"); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"S-BR", "S-IA"} {
+		d, err := wym.LoadDataset(filepath.Join(dir, key+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if d.Size() == 0 {
+			t.Fatalf("%s: empty dataset", key)
+		}
+	}
+}
+
+func TestRunUnknownFilterWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.01, "NOPE"); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if len(matches) != 0 {
+		t.Fatalf("unexpected files: %v", matches)
+	}
+}

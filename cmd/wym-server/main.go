@@ -1,0 +1,158 @@
+// Command wym-server serves a trained WYM matcher over HTTP: train once
+// with `wym -save matcher.gob`, then serve predictions and decision-unit
+// explanations as JSON.
+//
+// Usage:
+//
+//	wym-server -model matcher.gob -addr :8080
+//
+// Endpoints:
+//
+//	POST /predict  {"left": [...], "right": [...]}
+//	    -> {"match": bool, "probability": float}
+//	POST /explain  {"left": [...], "right": [...]}
+//	    -> prediction plus the decision units with relevance and impact
+//	GET  /healthz  -> 200 ok
+//
+// The left/right arrays hold one string per schema attribute, in the
+// order the model was trained with (reported by GET /schema).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"wym"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to a system saved with wym -save")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "wym-server: -model is required")
+		os.Exit(2)
+	}
+	sys, err := wym.LoadSystem(*modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wym-server:", err)
+		os.Exit(1)
+	}
+	log.Printf("serving %s (classifier %s, schema %v) on %s",
+		*modelPath, sys.ModelName(), sys.Schema(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newHandler(sys)))
+}
+
+// pairRequest is the JSON body of /predict and /explain.
+type pairRequest struct {
+	Left  []string `json:"left"`
+	Right []string `json:"right"`
+}
+
+// predictResponse is the /predict reply.
+type predictResponse struct {
+	Match       bool    `json:"match"`
+	Probability float64 `json:"probability"`
+}
+
+// unitResponse is one decision unit in the /explain reply.
+type unitResponse struct {
+	Left      string  `json:"left,omitempty"`
+	Right     string  `json:"right,omitempty"`
+	Paired    bool    `json:"paired"`
+	Attribute string  `json:"attribute"`
+	Relevance float64 `json:"relevance"`
+	Impact    float64 `json:"impact"`
+}
+
+// explainResponse is the /explain reply.
+type explainResponse struct {
+	Match       bool           `json:"match"`
+	Probability float64        `json:"probability"`
+	Units       []unitResponse `json:"units"`
+}
+
+// newHandler builds the HTTP mux over a loaded system.
+func newHandler(sys *wym.System) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, sys.Schema())
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := decodePair(w, r, sys)
+		if !ok {
+			return
+		}
+		label, proba := sys.Predict(p)
+		writeJSON(w, http.StatusOK, predictResponse{
+			Match:       label == wym.Match,
+			Probability: proba,
+		})
+	})
+	mux.HandleFunc("POST /explain", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := decodePair(w, r, sys)
+		if !ok {
+			return
+		}
+		ex := sys.Explain(p)
+		resp := explainResponse{
+			Match:       ex.Prediction == wym.Match,
+			Probability: ex.Proba,
+		}
+		schema := sys.Schema()
+		for _, u := range ex.Units {
+			attr := ""
+			if u.Attr >= 0 && u.Attr < len(schema) {
+				attr = schema[u.Attr]
+			}
+			resp.Units = append(resp.Units, unitResponse{
+				Left: u.Left, Right: u.Right,
+				Paired:    u.Left != "" && u.Right != "",
+				Attribute: attr,
+				Relevance: u.Relevance,
+				Impact:    u.Impact,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// decodePair parses and validates a pair request; on failure it writes the
+// error response and returns ok=false.
+func decodePair(w http.ResponseWriter, r *http.Request, sys *wym.System) (wym.Pair, bool) {
+	var req pairRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return wym.Pair{}, false
+	}
+	n := len(sys.Schema())
+	if len(req.Left) != n || len(req.Right) != n {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("left and right must each have %d attribute values (schema %v)",
+				n, sys.Schema()))
+		return wym.Pair{}, false
+	}
+	return wym.Pair{Left: req.Left, Right: req.Right}, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("wym-server: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"wym"
+	"wym/internal/nn"
+	"wym/internal/relevance"
+)
+
+var (
+	trainOnce  sync.Once
+	trainedSys *wym.System
+	trainedEx  wym.Pair // a known matching pair from the test split
+)
+
+func server(t *testing.T) (*httptest.Server, *wym.System) {
+	t.Helper()
+	trainOnce.Do(func() {
+		d, _ := wym.DatasetByKey("S-BR", 1.0)
+		train, valid, test := d.Split(0.6, 0.2, 1)
+		cfg := wym.DefaultConfig()
+		cfg.ScorerNN = relevance.NNConfig{
+			Hidden: []int{16},
+			Train:  nn.Config{Epochs: 8, BatchSize: 32, LR: 1e-3, Seed: 1},
+			Seed:   1,
+		}
+		sys, err := wym.Train(train, valid, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainedSys = sys
+		for _, p := range test.Pairs {
+			if p.Label == wym.Match {
+				trainedEx = p
+				break
+			}
+		}
+	})
+	return httptest.NewServer(newHandler(trainedSys)), trainedSys
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := server(t)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv, sys := server(t)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var schema []string
+	if err := json.NewDecoder(resp.Body).Decode(&schema); err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != len(sys.Schema()) {
+		t.Fatalf("schema = %v", schema)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	srv, sys := server(t)
+	defer srv.Close()
+	resp := post(t, srv.URL+"/predict", pairRequest{Left: trainedEx.Left, Right: trainedEx.Right})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	wantLabel, wantProba := sys.Predict(trainedEx)
+	if out.Match != (wantLabel == wym.Match) || out.Probability != wantProba {
+		t.Fatalf("response %+v, want %d/%v", out, wantLabel, wantProba)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv, sys := server(t)
+	defer srv.Close()
+	resp := post(t, srv.URL+"/explain", pairRequest{Left: trainedEx.Left, Right: trainedEx.Right})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out explainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Units) == 0 {
+		t.Fatal("no units in explanation")
+	}
+	schema := sys.Schema()
+	for _, u := range out.Units {
+		if u.Left == "" && u.Right == "" {
+			t.Fatalf("empty unit: %+v", u)
+		}
+		if u.Paired != (u.Left != "" && u.Right != "") {
+			t.Fatalf("paired flag inconsistent: %+v", u)
+		}
+		if u.Attribute == "" {
+			t.Fatalf("missing attribute name (schema %v): %+v", schema, u)
+		}
+	}
+}
+
+func TestPredictRejectsBadRequests(t *testing.T) {
+	srv, _ := server(t)
+	defer srv.Close()
+
+	// Wrong arity.
+	resp := post(t, srv.URL+"/predict", pairRequest{Left: []string{"x"}, Right: []string{"y"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("arity status = %d", resp.StatusCode)
+	}
+
+	// Invalid JSON.
+	r, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", r.StatusCode)
+	}
+
+	// Wrong method.
+	g, err := http.Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", g.StatusCode)
+	}
+}

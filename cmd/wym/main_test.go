@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOnSyntheticDataset(t *testing.T) {
+	if err := run("", "S-BR", 1.0, 1, false, 1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSaveThenLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := run("", "S-BR", 1.0, 0, false, 1, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "S-BR", 1.0, 0, false, 1, "", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 1.0, 0, false, 1, "", ""); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := run("", "NOPE", 1.0, 0, false, 1, "", ""); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+	if err := run("/does/not/exist.csv", "", 1.0, 0, false, 1, "", ""); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}

@@ -1,0 +1,73 @@
+package wym_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"wym"
+)
+
+// Train a matcher on labeled pairs and explain a decision. (Compiled as
+// documentation; training output depends on the data so it is not asserted.)
+func Example() {
+	d, _ := wym.DatasetByKey("S-FZ", 1.0) // or wym.LoadDataset("pairs.csv")
+	train, valid, test := d.Split(0.6, 0.2, 1)
+
+	sys, err := wym.Train(train, valid, wym.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ex := sys.Explain(test.Pairs[0])
+	fmt.Printf("match=%v p=%.2f\n", ex.Prediction == wym.Match, ex.Proba)
+	for _, u := range ex.Units {
+		fmt.Printf("(%s, %s) impact %+.3f\n", u.Left, u.Right, u.Impact)
+	}
+}
+
+// Screen model decisions with domain rules (the paper's §6 future work).
+func ExamplePredictWithRules() {
+	d, _ := wym.DatasetByKey("S-AG", 0.05)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := wym.Train(train, valid, wym.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine := wym.NewRuleEngine(wym.CodeConflictRule{}, wym.CodeAgreementRule{})
+	decision, _ := wym.PredictWithRules(sys, engine, test.Pairs[0])
+	if decision.Overridden {
+		fmt.Printf("rule %s: %s\n", decision.Rule, decision.Reason)
+	}
+}
+
+// Block two entity tables into candidate pairs before matching.
+func ExampleBlockCandidates() {
+	left := []wym.Entity{{"digital camera x100", "fuji"}}
+	right := []wym.Entity{{"digital camera x-100", "fuji"}, {"espresso maker", "delonghi"}}
+
+	cfg := wym.DefaultBlockingConfig()
+	cfg.MaxDF = 1.0 // tiny tables: keep every token
+	cands := wym.BlockCandidates(left, right, cfg)
+	for _, c := range cands {
+		fmt.Printf("%d-%d shares %d tokens\n", c.Left, c.Right, c.Shared)
+	}
+	// Output:
+	// 0-0 shares 3 tokens
+}
+
+// Compare the intrinsic impact scores with a post-hoc LIME explanation.
+func ExampleExplainLIME() {
+	d, _ := wym.DatasetByKey("S-DA", 0.05)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := wym.Train(train, valid, wym.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proba := func(p wym.Pair) float64 { _, pr := sys.Predict(p); return pr }
+	attribs := wym.ExplainLIME(proba, test.Pairs[0], 100, 1)
+	sort.Slice(attribs, func(i, j int) bool { return attribs[i].Weight > attribs[j].Weight })
+	fmt.Println("strongest match evidence:", attribs[0].Text)
+}

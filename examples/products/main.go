@@ -1,0 +1,129 @@
+// Products: catalogue deduplication on the hard Amazon-Google-style
+// dataset, reproducing the paper's §5.1.1 error analysis — product codes
+// form decision units even when they identify different products — and the
+// domain-knowledge fix (CodeExact) that restricts code tokens to
+// exact-equality pairing. Run with: go run ./examples/products
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wym"
+)
+
+func main() {
+	d, ok := wym.DatasetByKey("S-AG", 0.1)
+	if !ok {
+		log.Fatal("benchmark profile S-AG missing")
+	}
+	fmt.Printf("Amazon-Google-style catalogue: %d pairs, %.1f%% matches\n\n",
+		d.Size(), 100*d.MatchRate())
+	train, valid, test := d.Split(0.6, 0.2, 1)
+
+	// Plain WYM: embeddings decide which tokens pair, including codes.
+	plainCfg := wym.DefaultConfig()
+	plain, err := wym.Train(train, valid, plainCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plainF1 := f1(plain.PredictAll(test), test.Labels())
+
+	// With the domain heuristic: code-like tokens pair only when equal.
+	codeCfg := wym.DefaultConfig()
+	codeCfg.CodeExact = true
+	withCodes, err := wym.Train(train, valid, codeCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codeF1 := f1(withCodes.PredictAll(test), test.Labels())
+
+	fmt.Printf("test F1 without the code heuristic: %.3f (classifier %s)\n", plainF1, plain.ModelName())
+	fmt.Printf("test F1 with    the code heuristic: %.3f (classifier %s)\n\n", codeF1, withCodes.ModelName())
+	fmt.Println("(the paper reports 0.645 -> 0.754 on the textual T-AB dataset for the same fix)")
+
+	// Show a confusable hard negative: same brand and product line,
+	// near-identical code. The explanation reveals which units drove each
+	// system's decision.
+	for _, p := range test.Pairs {
+		if p.Label != wym.NonMatch {
+			continue
+		}
+		exPlain := plain.Explain(p)
+		exCode := withCodes.Explain(p)
+		if exPlain.Prediction == exCode.Prediction {
+			continue // look for a record where the heuristic changes the call
+		}
+		fmt.Println("--- a record where the code heuristic flips the decision ---")
+		fmt.Printf("left : %v\nright: %v\ntruth: no match\n\n", p.Left, p.Right)
+		fmt.Printf("plain WYM says %s (p=%.2f); top units:\n", verdict(exPlain.Prediction), exPlain.Proba)
+		printTop(exPlain, 5)
+		fmt.Printf("\ncode-exact WYM says %s (p=%.2f); top units:\n", verdict(exCode.Prediction), exCode.Proba)
+		printTop(exCode, 5)
+		return
+	}
+	fmt.Println("(no decision flip in this sample — both systems agree everywhere)")
+}
+
+// f1 computes the F1 score with the match class as positive.
+func f1(pred, labels []int) float64 {
+	var tp, fp, fn int
+	for i := range labels {
+		switch {
+		case pred[i] == 1 && labels[i] == 1:
+			tp++
+		case pred[i] == 1 && labels[i] == 0:
+			fp++
+		case pred[i] == 0 && labels[i] == 1:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}
+
+func verdict(label int) string {
+	if label == wym.Match {
+		return "MATCH"
+	}
+	return "NO MATCH"
+}
+
+func printTop(ex wym.Explanation, k int) {
+	type scored struct {
+		u   wym.UnitExplanation
+		mag float64
+	}
+	var ss []scored
+	for _, u := range ex.Units {
+		mag := u.Impact
+		if mag < 0 {
+			mag = -mag
+		}
+		ss = append(ss, scored{u, mag})
+	}
+	for i := 0; i < len(ss); i++ {
+		for j := i + 1; j < len(ss); j++ {
+			if ss[j].mag > ss[i].mag {
+				ss[i], ss[j] = ss[j], ss[i]
+			}
+		}
+	}
+	if k > len(ss) {
+		k = len(ss)
+	}
+	for _, s := range ss[:k] {
+		l, r := s.u.Left, s.u.Right
+		if l == "" {
+			l = "—"
+		}
+		if r == "" {
+			r = "—"
+		}
+		fmt.Printf("  %+7.3f  (%s, %s)\n", s.u.Impact, l, r)
+	}
+}

@@ -1,0 +1,132 @@
+// Quickstart: train WYM on a hand-written product catalog and explain its
+// decisions. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"wym"
+)
+
+func main() {
+	// A tiny catalog-matching dataset over (name, manufacturer, price).
+	// In practice you would load one with wym.LoadDataset("pairs.csv").
+	d := catalog()
+	fmt.Printf("dataset: %d pairs, %.0f%% matches\n\n", d.Size(), 100*d.MatchRate())
+
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := wym.Train(train, valid, wym.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected interpretable classifier: %s\n", sys.ModelName())
+
+	for _, p := range test.Pairs {
+		explainPair(sys, p)
+	}
+
+	// The running example of the paper's Table 1: the Microsoft Exchange
+	// licenses (a match) and two different digital cameras (a non-match).
+	fmt.Println("--- the paper's running example ---")
+	explainPair(sys, wym.Pair{
+		Left:  wym.Entity{"exch srvr external sa eng 39400416", "microsoft licenses", "42166"},
+		Right: wym.Entity{"39400416 exch svr external l sa", "microsoft licenses", "22575"},
+	})
+	explainPair(sys, wym.Pair{
+		Left:  wym.Entity{"digital camera with lens kit dslra200w", "sony", "37.63"},
+		Right: wym.Entity{"digital camera leather case 5811", "nikon", "36.11"},
+	})
+}
+
+func explainPair(sys *wym.System, p wym.Pair) {
+	ex := sys.Explain(p)
+	verdict := "NO MATCH"
+	if ex.Prediction == wym.Match {
+		verdict = "MATCH"
+	}
+	fmt.Printf("%s (p=%.2f)\n  left : %v\n  right: %v\n", verdict, ex.Proba, p.Left, p.Right)
+
+	units := append([]wym.UnitExplanation{}, ex.Units...)
+	sort.SliceStable(units, func(a, b int) bool {
+		return abs(units[a].Impact) > abs(units[b].Impact)
+	})
+	for i, u := range units {
+		if i == 6 {
+			fmt.Printf("  ... %d more units\n", len(units)-i)
+			break
+		}
+		l, r := u.Left, u.Right
+		if l == "" {
+			l = "—"
+		}
+		if r == "" {
+			r = "—"
+		}
+		fmt.Printf("  %+7.3f  (%s, %s)\n", u.Impact, l, r)
+	}
+	fmt.Println()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// catalog builds a small labeled dataset: each matching pair is the same
+// product described by two vendors; non-matching pairs are different
+// products, several sharing the brand (hard negatives).
+func catalog() *wym.Dataset {
+	schema := wym.Schema{"name", "manufacturer", "price"}
+	type rec struct {
+		l, r  wym.Entity
+		label int
+	}
+	var recs []rec
+	products := []struct {
+		name, brand, price string
+		alt                string // second vendor's wording of the same product
+	}{
+		{"digital camera x100 silver", "fuji", "499.00", "digital camera x-100 slv"},
+		{"wireless mouse m720 black", "logitech", "39.99", "cordless mouse m720 blk"},
+		{"mechanical keyboard k870", "logitech", "89.50", "mech keyboard k870"},
+		{"espresso machine ec685", "delonghi", "189.00", "espresso maker ec685"},
+		{"laptop stand aluminum", "rain", "44.90", "notebook stand aluminium"},
+		{"usb charger 30w", "anker", "25.00", "usb power charger 30 w"},
+		{"noise cancelling headphones wh1000", "sony", "299.0", "noise canceling headset wh-1000"},
+		{"portable speaker go2", "jbl", "35.99", "mobile speaker go 2"},
+		{"hdmi cable 2m gold", "amazon", "9.99", "hdmi cable gold 2 m"},
+		{"4k monitor 27in u2720q", "dell", "519.0", "4k display 27 inch u2720q"},
+		{"robot vacuum i7", "irobot", "599.0", "robotic vacuum cleaner i7"},
+		{"air fryer xxl", "philips", "149.0", "airfryer xxl"},
+	}
+	// Matches: both wordings of the same product.
+	for _, p := range products {
+		recs = append(recs, rec{
+			l:     wym.Entity{p.name, p.brand, p.price},
+			r:     wym.Entity{p.alt, p.brand, p.price},
+			label: wym.Match,
+		})
+	}
+	// Non-matches: different products, including same-brand hard cases.
+	for i := range products {
+		for j := i + 1; j < len(products); j++ {
+			if len(recs) >= 12+36 {
+				break
+			}
+			recs = append(recs, rec{
+				l:     wym.Entity{products[i].name, products[i].brand, products[i].price},
+				r:     wym.Entity{products[j].alt, products[j].brand, products[j].price},
+				label: wym.NonMatch,
+			})
+		}
+	}
+	d := &wym.Dataset{Name: "quickstart", Schema: schema}
+	for i, r := range recs {
+		d.Pairs = append(d.Pairs, wym.Pair{ID: i, Left: r.l, Right: r.r, Label: r.label})
+	}
+	return d
+}

@@ -1,0 +1,3 @@
+module wym
+
+go 1.22

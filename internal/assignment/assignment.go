@@ -1,0 +1,146 @@
+// Package assignment implements the relaxed Stable Marriage matching used
+// by the decision-unit generator (GetSMPairs in Algorithm 1 of the paper).
+//
+// The classic Gale–Shapley problem matches two equally sized sets using
+// total preference orders. The EM variant relaxes this: the two sides may
+// have different sizes, preferences are continuous similarity values, and a
+// preference list only contains candidates whose similarity clears a
+// threshold — so elements can stay unmatched. The proposer side runs the
+// classic deferred-acceptance loop; the result is stable with respect to
+// the thresholded preference lists.
+package assignment
+
+import "sort"
+
+// Pair is one match in the output: X indexes the proposer side, Y the
+// reviewer side, and Sim is their similarity.
+type Pair struct {
+	X, Y int
+	Sim  float64
+}
+
+// Match finds a stable one-to-one matching between a proposer side of size
+// nx and a reviewer side of size ny. sim(x, y) must be a deterministic
+// similarity; only pairs with sim >= threshold are eligible. Ties are
+// broken by the lower index on both sides, which makes the result
+// deterministic. The returned pairs are sorted by (X, Y).
+//
+// Complexity is O(nx*ny*log(ny)) for preference-list construction plus the
+// classic O(nx*ny) proposal loop — the footnote-3 quadratic bound.
+func Match(nx, ny int, sim func(x, y int) float64, threshold float64) []Pair {
+	if nx == 0 || ny == 0 {
+		return nil
+	}
+	// Build each proposer's preference list: eligible reviewers in
+	// descending similarity, index-ascending on ties.
+	type cand struct {
+		y int
+		s float64
+	}
+	prefs := make([][]cand, nx)
+	simTo := make([][]float64, nx) // cache sim values for the accept step
+	for x := 0; x < nx; x++ {
+		row := make([]float64, ny)
+		var list []cand
+		for y := 0; y < ny; y++ {
+			s := sim(x, y)
+			row[y] = s
+			if s >= threshold {
+				list = append(list, cand{y, s})
+			}
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].s != list[j].s {
+				return list[i].s > list[j].s
+			}
+			return list[i].y < list[j].y
+		})
+		prefs[x] = list
+		simTo[x] = row
+	}
+
+	// Deferred acceptance. next[x] is the position in x's preference list
+	// of the next reviewer to propose to; engagedTo[y] is the proposer
+	// currently holding y (-1 if free).
+	next := make([]int, nx)
+	engagedTo := make([]int, ny)
+	for y := range engagedTo {
+		engagedTo[y] = -1
+	}
+	free := make([]int, 0, nx)
+	for x := nx - 1; x >= 0; x-- {
+		free = append(free, x) // stack: lowest index proposes first
+	}
+	for len(free) > 0 {
+		x := free[len(free)-1]
+		free = free[:len(free)-1]
+		for next[x] < len(prefs[x]) {
+			c := prefs[x][next[x]]
+			next[x]++
+			cur := engagedTo[c.y]
+			if cur == -1 {
+				engagedTo[c.y] = x
+				x = -1
+				break
+			}
+			// The reviewer keeps the more similar proposer; on a tie the
+			// lower index wins, matching the preference-list tiebreak.
+			curSim := simTo[cur][c.y]
+			if c.s > curSim || (c.s == curSim && x < cur) {
+				engagedTo[c.y] = x
+				free = append(free, cur)
+				x = -1
+				break
+			}
+		}
+		_ = x // x exhausted its list: it stays unmatched
+	}
+
+	var out []Pair
+	for y, x := range engagedTo {
+		if x >= 0 {
+			out = append(out, Pair{X: x, Y: y, Sim: simTo[x][y]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// IsStable reports whether the matching is stable under the thresholded
+// preferences: there is no pair (x, y) with sim(x, y) >= threshold where
+// both x and y would strictly prefer each other over their current
+// situation (being unmatched counts as the worst outcome). Property tests
+// use it to validate Match.
+func IsStable(pairs []Pair, nx, ny int, sim func(x, y int) float64, threshold float64) bool {
+	matchX := make([]int, nx)
+	matchY := make([]int, ny)
+	for i := range matchX {
+		matchX[i] = -1
+	}
+	for i := range matchY {
+		matchY[i] = -1
+	}
+	for _, p := range pairs {
+		matchX[p.X] = p.Y
+		matchY[p.Y] = p.X
+	}
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			s := sim(x, y)
+			if s < threshold {
+				continue
+			}
+			xPrefers := matchX[x] == -1 || s > sim(x, matchX[x])
+			yPrefers := matchY[y] == -1 || s > sim(matchY[y], y)
+			if xPrefers && yPrefers {
+				return false
+			}
+		}
+	}
+	return true
+}

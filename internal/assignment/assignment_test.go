@@ -1,0 +1,192 @@
+package assignment
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func simFromMatrix(m [][]float64) func(x, y int) float64 {
+	return func(x, y int) float64 { return m[x][y] }
+}
+
+func TestMatchEmptySides(t *testing.T) {
+	if got := Match(0, 3, nil, 0.5); got != nil {
+		t.Fatalf("empty proposer side = %v", got)
+	}
+	if got := Match(3, 0, nil, 0.5); got != nil {
+		t.Fatalf("empty reviewer side = %v", got)
+	}
+}
+
+func TestMatchSimple(t *testing.T) {
+	// Clear mutual best pairs on the diagonal.
+	m := [][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+	}
+	got := Match(2, 2, simFromMatrix(m), 0.5)
+	want := []Pair{{0, 0, 0.9}, {1, 1, 0.8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+}
+
+func TestMatchThresholdExcludes(t *testing.T) {
+	m := [][]float64{
+		{0.9, 0.4},
+		{0.4, 0.45},
+	}
+	got := Match(2, 2, simFromMatrix(m), 0.5)
+	want := []Pair{{0, 0, 0.9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+}
+
+func TestMatchContention(t *testing.T) {
+	// Both proposers prefer reviewer 0; the more similar one must win and
+	// the loser must fall back to its second choice.
+	m := [][]float64{
+		{0.9, 0.6},
+		{0.8, 0.7},
+	}
+	got := Match(2, 2, simFromMatrix(m), 0.5)
+	want := []Pair{{0, 0, 0.9}, {1, 1, 0.7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+}
+
+func TestMatchDisplacement(t *testing.T) {
+	// Proposer 1 arrives later but displaces proposer 0 from reviewer 0;
+	// proposer 0 has no other eligible option and ends unmatched.
+	m := [][]float64{
+		{0.7, 0.1},
+		{0.9, 0.1},
+	}
+	got := Match(2, 2, simFromMatrix(m), 0.5)
+	want := []Pair{{1, 0, 0.9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+}
+
+func TestMatchUnequalSides(t *testing.T) {
+	m := [][]float64{
+		{0.9},
+		{0.8},
+		{0.7},
+	}
+	got := Match(3, 1, simFromMatrix(m), 0.5)
+	want := []Pair{{0, 0, 0.9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+}
+
+func TestMatchTieBreaksDeterministically(t *testing.T) {
+	m := [][]float64{
+		{0.8, 0.8},
+		{0.8, 0.8},
+	}
+	got := Match(2, 2, simFromMatrix(m), 0.5)
+	// Lower indices pair first on ties.
+	want := []Pair{{0, 0, 0.8}, {1, 1, 0.8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+}
+
+func TestMatchOneToOneInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nx, ny := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := randomSim(rng, nx, ny)
+		pairs := Match(nx, ny, simFromMatrix(m), 0.5)
+		seenX := map[int]bool{}
+		seenY := map[int]bool{}
+		for _, p := range pairs {
+			if seenX[p.X] || seenY[p.Y] {
+				t.Fatalf("trial %d: duplicate side index in %v", trial, pairs)
+			}
+			seenX[p.X], seenY[p.Y] = true, true
+			if p.Sim < 0.5 {
+				t.Fatalf("trial %d: pair below threshold: %v", trial, p)
+			}
+			if m[p.X][p.Y] != p.Sim {
+				t.Fatalf("trial %d: Sim not copied from sim function", trial)
+			}
+		}
+	}
+}
+
+func TestMatchStabilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		nx, ny := 1+rng.Intn(10), 1+rng.Intn(10)
+		m := randomSim(rng, nx, ny)
+		sim := simFromMatrix(m)
+		pairs := Match(nx, ny, sim, 0.4)
+		if !IsStable(pairs, nx, ny, sim, 0.4) {
+			t.Fatalf("trial %d: unstable matching %v for sim %v", trial, pairs, m)
+		}
+	}
+}
+
+func TestMatchMaximalityProperty(t *testing.T) {
+	// Stability implies maximality here: if x and y are both unmatched and
+	// sim(x, y) >= threshold, (x, y) would be a blocking pair. Check it
+	// directly as a separate guard.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		nx, ny := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := randomSim(rng, nx, ny)
+		pairs := Match(nx, ny, simFromMatrix(m), 0.6)
+		mx := map[int]bool{}
+		my := map[int]bool{}
+		for _, p := range pairs {
+			mx[p.X], my[p.Y] = true, true
+		}
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				if !mx[x] && !my[y] && m[x][y] >= 0.6 {
+					t.Fatalf("trial %d: eligible pair (%d,%d) left unmatched", trial, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestIsStableDetectsBlockingPair(t *testing.T) {
+	m := [][]float64{
+		{0.9, 0.6},
+		{0.8, 0.7},
+	}
+	// Deliberately bad matching: swap the optimal assignment.
+	bad := []Pair{{0, 1, 0.6}, {1, 0, 0.8}}
+	if IsStable(bad, 2, 2, simFromMatrix(m), 0.5) {
+		t.Fatal("IsStable accepted a matching with a blocking pair")
+	}
+}
+
+func randomSim(rng *rand.Rand, nx, ny int) [][]float64 {
+	m := make([][]float64, nx)
+	for x := range m {
+		m[x] = make([]float64, ny)
+		for y := range m[x] {
+			m[x][y] = rng.Float64()
+		}
+	}
+	return m
+}
+
+func BenchmarkMatch20x20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomSim(rng, 20, 20)
+	sim := simFromMatrix(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Match(20, 20, sim, 0.3)
+	}
+}

@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/datagen"
+)
+
+func splitOf(t *testing.T, key string, scale float64) (train, valid, test *data.Dataset) {
+	t.Helper()
+	p, ok := datagen.ProfileByKey(key)
+	if !ok {
+		t.Fatalf("unknown profile %q", key)
+	}
+	return datagen.Generate(p, scale).Split(0.6, 0.2, 1)
+}
+
+func f1Of(pred, labels []int) float64 {
+	var tp, fp, fn int
+	for i := range labels {
+		switch {
+		case pred[i] == 1 && labels[i] == 1:
+			tp++
+		case pred[i] == 1 && labels[i] == 0:
+			fp++
+		case pred[i] == 0 && labels[i] == 1:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}
+
+func allMatchers() []Matcher {
+	return []Matcher{NewDMPlus(), NewAutoML(1), NewCorDEL(1), NewDITTO(1)}
+}
+
+func TestAllBaselinesLearnEasyDataset(t *testing.T) {
+	train, valid, test := splitOf(t, "S-FZ", 1.0)
+	for _, m := range allMatchers() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			if err := m.Train(train, valid); err != nil {
+				t.Fatal(err)
+			}
+			f1 := f1Of(PredictAll(m, test), test.Labels())
+			if f1 < 0.85 {
+				t.Fatalf("F1 = %v, want >= 0.85", f1)
+			}
+		})
+	}
+}
+
+func TestBaselineProbabilitiesValid(t *testing.T) {
+	train, valid, test := splitOf(t, "S-FZ", 1.0)
+	for _, m := range allMatchers() {
+		if err := m.Train(train, valid); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for _, p := range test.Pairs[:20] {
+			label, proba := m.Predict(p)
+			if proba < 0 || proba > 1 || math.IsNaN(proba) {
+				t.Fatalf("%s: proba = %v", m.Name(), proba)
+			}
+			if (label == data.Match) != (proba >= 0.5) {
+				t.Fatalf("%s: label/proba inconsistent", m.Name())
+			}
+		}
+	}
+}
+
+func TestDITTOBeatsDMPlusOnHardDataset(t *testing.T) {
+	// Table 3's central shape: the richest model wins on hard datasets.
+	train, valid, test := splitOf(t, "S-AG", 0.06)
+	ditto := NewDITTO(1)
+	dm := NewDMPlus()
+	if err := ditto.Train(train, valid); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Train(train, valid); err != nil {
+		t.Fatal(err)
+	}
+	fD := f1Of(PredictAll(ditto, test), test.Labels())
+	fM := f1Of(PredictAll(dm, test), test.Labels())
+	if fD <= fM {
+		t.Fatalf("DITTO (%v) should beat DM+ (%v) on S-AG", fD, fM)
+	}
+}
+
+func TestCoarseFeaturesShape(t *testing.T) {
+	p := data.Pair{
+		Left:  data.Entity{"digital camera", "sony", "37.63"},
+		Right: data.Entity{"digital camera kit", "sony", "39.99"},
+	}
+	if got := len(coarseFeatures(p)); got != 6 {
+		t.Fatalf("coarse features = %d, want 6 (2 per attribute)", got)
+	}
+	if got := len(pairFeatures(p)); got != 3*4+4 {
+		t.Fatalf("pair features = %d, want 16", got)
+	}
+}
+
+func TestPairFeaturesIdenticalVsDisjoint(t *testing.T) {
+	same := data.Pair{
+		Left:  data.Entity{"digital camera", "sony"},
+		Right: data.Entity{"digital camera", "sony"},
+	}
+	diff := data.Pair{
+		Left:  data.Entity{"digital camera", "sony"},
+		Right: data.Entity{"espresso machine", "delonghi"},
+	}
+	fs, fd := pairFeatures(same), pairFeatures(diff)
+	var sumS, sumD float64
+	for i := range fs {
+		sumS += fs[i]
+		sumD += fd[i]
+	}
+	if sumS <= sumD {
+		t.Fatalf("identical pair features (%v) should dominate disjoint (%v)", sumS, sumD)
+	}
+}
+
+func TestLengthDiff(t *testing.T) {
+	if got := lengthDiff([]string{"a", "b"}, []string{"c", "d"}); got != 1 {
+		t.Fatalf("equal lengths = %v", got)
+	}
+	if got := lengthDiff(nil, nil); got != 0 {
+		t.Fatalf("both empty = %v", got)
+	}
+	if got := lengthDiff([]string{"a", "b", "c", "d"}, []string{"x"}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("4 vs 1 = %v, want 0.25", got)
+	}
+}
+
+func TestCorDELContrastiveFeatures(t *testing.T) {
+	m := NewCorDEL(1)
+	p := data.Pair{
+		Left:  data.Entity{"alpha beta gamma"},
+		Right: data.Entity{"alpha beta delta"},
+	}
+	f := m.features(p)
+	// Layout: pairFeatures | per-attribute (shared, unique) | record-level
+	// (shared, uniqueL, uniqueR, sharedFrac, uniqueFrac) | code block.
+	base := len(pairFeatures(p)) + 2*len(p.Left)
+	shared, uniqueL, uniqueR := f[base], f[base+1], f[base+2]
+	if shared != 2 || uniqueL != 1 || uniqueR != 1 {
+		t.Fatalf("contrastive counts = %v/%v/%v, want 2/1/1", shared, uniqueL, uniqueR)
+	}
+}
+
+func TestDITTOEmbeddingFeatures(t *testing.T) {
+	train, valid, _ := splitOf(t, "S-FZ", 1.0)
+	m := NewDITTO(1)
+	if err := m.Train(train, valid); err != nil {
+		t.Fatal(err)
+	}
+	same := data.Pair{
+		Left:  train.Pairs[0].Left,
+		Right: train.Pairs[0].Left,
+	}
+	f := m.features(same)
+	base := len(pairFeatures(same))
+	// Identical entities: alignment features must be ~1 per attribute.
+	for a := 0; a < len(same.Left); a++ {
+		if f[base+2*a] < 0.99 || f[base+2*a+1] < 0.99 {
+			t.Fatalf("identical-entity embedding features = %v", f[base:])
+		}
+	}
+}

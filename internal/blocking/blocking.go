@@ -1,0 +1,221 @@
+// Package blocking implements candidate-pair generation for entity
+// matching at table scale. The paper's benchmark ships pre-blocked record
+// pairs, but a deployed matcher must first cut the quadratic cross product
+// of two entity tables down to a candidate set. This package provides the
+// standard token-based approach: an inverted index over discriminative
+// tokens with document-frequency pruning, plus an optional Jaccard
+// pre-filter on the candidate pairs.
+package blocking
+
+import (
+	"sort"
+
+	"wym/internal/data"
+	"wym/internal/textsim"
+	"wym/internal/tokenize"
+)
+
+// Config tunes the blocker.
+type Config struct {
+	// MaxDF prunes tokens appearing in more than this fraction of either
+	// table: frequent tokens ("black", a shared brand) generate huge,
+	// useless buckets. Default 0.1.
+	MaxDF float64
+	// MinShared is the number of shared index tokens required before a
+	// pair becomes a candidate. Default 1.
+	MinShared int
+	// JaccardFloor drops candidates whose whole-record token Jaccard
+	// similarity is below the floor (0 disables the filter).
+	JaccardFloor float64
+	// Attrs restricts indexing to the listed attribute indices
+	// (nil = all attributes).
+	Attrs []int
+}
+
+// DefaultConfig returns practical defaults.
+func DefaultConfig() Config { return Config{MaxDF: 0.1, MinShared: 1} }
+
+// Candidate is one generated pair: indices into the left and right tables
+// with the number of shared index tokens.
+type Candidate struct {
+	Left, Right int
+	Shared      int
+}
+
+// Candidates blocks two entity tables and returns candidate pairs sorted
+// by (Left, Right). Both tables must share the schema's attribute order.
+func Candidates(left, right []data.Entity, cfg Config) []Candidate {
+	if cfg.MaxDF <= 0 {
+		cfg.MaxDF = 0.1
+	}
+	if cfg.MinShared <= 0 {
+		cfg.MinShared = 1
+	}
+	leftTokens := tokenized(left, cfg.Attrs)
+	rightTokens := tokenized(right, cfg.Attrs)
+
+	index := buildIndex(rightTokens)
+	maxLeft := int(cfg.MaxDF * float64(len(left)))
+	maxRight := int(cfg.MaxDF * float64(len(right)))
+	if maxLeft < 1 {
+		maxLeft = 1
+	}
+	if maxRight < 1 {
+		maxRight = 1
+	}
+	dfLeft := docFreq(leftTokens)
+
+	shared := make(map[[2]int]int)
+	for li, toks := range leftTokens {
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			if dfLeft[t] > maxLeft {
+				continue
+			}
+			bucket := index[t]
+			if len(bucket) > maxRight {
+				continue
+			}
+			for _, ri := range bucket {
+				shared[[2]int{li, ri}]++
+			}
+		}
+	}
+
+	var out []Candidate
+	for key, n := range shared {
+		if n < cfg.MinShared {
+			continue
+		}
+		if cfg.JaccardFloor > 0 {
+			if textsim.Jaccard(leftTokens[key[0]], rightTokens[key[1]]) < cfg.JaccardFloor {
+				continue
+			}
+		}
+		out = append(out, Candidate{Left: key[0], Right: key[1], Shared: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// Pairs materializes candidates as unlabeled record pairs ready for a
+// matcher.
+func Pairs(left, right []data.Entity, cands []Candidate) []data.Pair {
+	out := make([]data.Pair, len(cands))
+	for i, c := range cands {
+		out[i] = data.Pair{ID: i, Left: left[c.Left], Right: right[c.Right]}
+	}
+	return out
+}
+
+// Stats summarizes a blocking run against the full cross product.
+type Stats struct {
+	LeftSize, RightSize int
+	Candidates          int
+	// Reduction is 1 - candidates/(|L|*|R|): the fraction of comparisons
+	// saved.
+	Reduction float64
+}
+
+// Summarize computes the reduction statistics.
+func Summarize(left, right []data.Entity, cands []Candidate) Stats {
+	s := Stats{LeftSize: len(left), RightSize: len(right), Candidates: len(cands)}
+	total := float64(len(left) * len(right))
+	if total > 0 {
+		s.Reduction = 1 - float64(len(cands))/total
+	}
+	return s
+}
+
+// Recall computes the fraction of true pairs covered by the candidates.
+// truth maps left indices to the matching right indices.
+func Recall(cands []Candidate, truth map[int][]int) float64 {
+	var total, found int
+	covered := map[[2]int]bool{}
+	for _, c := range cands {
+		covered[[2]int{c.Left, c.Right}] = true
+	}
+	for li, ris := range truth {
+		for _, ri := range ris {
+			total++
+			if covered[[2]int{li, ri}] {
+				found++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(found) / float64(total)
+}
+
+func tokenized(es []data.Entity, attrs []int) [][]string {
+	keep := map[int]bool{}
+	for _, a := range attrs {
+		keep[a] = true
+	}
+	out := make([][]string, len(es))
+	for i, e := range es {
+		var toks []string
+		for a, v := range e {
+			if len(attrs) > 0 && !keep[a] {
+				continue
+			}
+			toks = append(toks, tokenize.SplitWords(v)...)
+		}
+		out[i] = toks
+	}
+	return out
+}
+
+func buildIndex(tokens [][]string) map[string][]int {
+	index := make(map[string][]int)
+	for i, toks := range tokens {
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			index[t] = append(index[t], i)
+		}
+	}
+	return index
+}
+
+func docFreq(tokens [][]string) map[string]int {
+	df := make(map[string]int)
+	for _, toks := range tokens {
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if !seen[t] {
+				seen[t] = true
+				df[t]++
+			}
+		}
+	}
+	return df
+}
+
+// SelfCandidates blocks one entity table against itself for deduplication,
+// returning each unordered candidate pair once (Left < Right) and never
+// pairing a record with itself.
+func SelfCandidates(table []data.Entity, cfg Config) []Candidate {
+	raw := Candidates(table, table, cfg)
+	out := raw[:0]
+	for _, c := range raw {
+		if c.Left < c.Right {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package classify implements the pool of ten interpretable binary
+// classifiers the explainable matcher selects from (§4.3 of the paper):
+// logistic regression, linear discriminant analysis, k-nearest neighbours,
+// a CART decision tree, Gaussian naive Bayes, a linear SVM, AdaBoost,
+// gradient boosting, random forest and extra trees — all from scratch on
+// the standard library.
+//
+// Every model exposes signed per-feature Coefficients used by the inverse
+// feature transformation that turns model weights into decision-unit
+// impact scores. For linear models these are the fitted weights; for the
+// non-linear models they are impurity- or margin-based importances signed
+// by the feature's point-biserial correlation with the label, a documented
+// proxy (DESIGN.md §2).
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wym/internal/vec"
+)
+
+// Classifier is a binary classifier over dense feature vectors. Labels are
+// 0 (non-match) and 1 (match).
+type Classifier interface {
+	// Name identifies the model family (e.g. "LR", "RF").
+	Name() string
+	// Fit trains on the given matrix; it may be called once per instance.
+	Fit(x [][]float64, y []int) error
+	// PredictProba returns P(label == 1 | x).
+	PredictProba(x []float64) float64
+	// Coefficients returns a signed importance per input feature. It must
+	// be called only after Fit.
+	Coefficients() []float64
+}
+
+// Predict thresholds PredictProba at 0.5.
+func Predict(c Classifier, x []float64) int {
+	if c.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictAll applies Predict to every row.
+func PredictAll(c Classifier, x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = Predict(c, row)
+	}
+	return out
+}
+
+// ErrEmptyTrainingSet is returned by Fit when there is nothing to train on.
+var ErrEmptyTrainingSet = errors.New("classify: empty training set")
+
+func checkTrainingSet(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return ErrEmptyTrainingSet
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("classify: %d rows but %d labels", len(x), len(y))
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("classify: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for i, v := range y {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("classify: label %d at row %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Standardized wraps a classifier with z-score feature standardization
+// fitted on the training data. Standardization makes the coefficient
+// magnitudes of the pool comparable across engineered features with very
+// different scales (counts vs means).
+type Standardized struct {
+	Inner      Classifier
+	mean, std  []float64
+	fitted     bool
+	constantIx map[int]bool
+}
+
+// NewStandardized wraps inner.
+func NewStandardized(inner Classifier) *Standardized {
+	return &Standardized{Inner: inner}
+}
+
+// Name implements Classifier.
+func (s *Standardized) Name() string { return s.Inner.Name() }
+
+// Fit implements Classifier.
+func (s *Standardized) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	d := len(x[0])
+	s.mean = make([]float64, d)
+	s.std = make([]float64, d)
+	s.constantIx = make(map[int]bool)
+	col := make([]float64, len(x))
+	for j := 0; j < d; j++ {
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		m, sd := vec.MeanStd(col)
+		s.mean[j] = m
+		if sd == 0 {
+			sd = 1
+			s.constantIx[j] = true
+		}
+		s.std[j] = sd
+	}
+	xs := make([][]float64, len(x))
+	for i := range x {
+		xs[i] = s.transform(x[i])
+	}
+	s.fitted = true
+	return s.Inner.Fit(xs, y)
+}
+
+func (s *Standardized) transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// PredictProba implements Classifier.
+func (s *Standardized) PredictProba(x []float64) float64 {
+	if !s.fitted {
+		panic("classify: Standardized.PredictProba before Fit")
+	}
+	return s.Inner.PredictProba(s.transform(x))
+}
+
+// Coefficients implements Classifier: inner coefficients are returned in
+// the standardized space with constant features zeroed.
+func (s *Standardized) Coefficients() []float64 {
+	coef := vec.Clone(s.Inner.Coefficients())
+	for j := range coef {
+		if s.constantIx[j] {
+			coef[j] = 0
+		}
+	}
+	return coef
+}
+
+// signedImportance converts a non-negative importance vector into a signed
+// one using the point-biserial correlation of each feature with the label.
+func signedImportance(importance []float64, x [][]float64, y []int) []float64 {
+	out := make([]float64, len(importance))
+	labels := make([]float64, len(y))
+	for i, v := range y {
+		labels[i] = float64(v)
+	}
+	col := make([]float64, len(x))
+	for j := range importance {
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		r := vec.Pearson(col, labels)
+		sign := 1.0
+		if r < 0 {
+			sign = -1
+		}
+		out[j] = sign * importance[j]
+	}
+	return out
+}
+
+// Score is one row of a model-selection report.
+type Score struct {
+	Name      string
+	F1        float64
+	Precision float64
+	Recall    float64
+}
+
+// f1Score computes precision, recall and F1 of predictions against labels
+// with the match class as positive.
+func f1Score(pred, y []int) (precision, recall, f1 float64) {
+	var tp, fp, fn int
+	for i := range y {
+		switch {
+		case pred[i] == 1 && y[i] == 1:
+			tp++
+		case pred[i] == 1 && y[i] == 0:
+			fp++
+		case pred[i] == 0 && y[i] == 1:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// NewPool returns fresh instances of all ten classifiers in the paper's
+// order (LR, LDA, KNN, DT, NB, SVM, AB, GBM, RF, ET), each wrapped with
+// feature standardization, seeded deterministically from seed.
+func NewPool(seed int64) []Classifier {
+	return []Classifier{
+		NewStandardized(NewLogisticRegression()),
+		NewStandardized(NewLDA()),
+		NewStandardized(NewKNN(5)),
+		NewStandardized(NewDecisionTree(seed)),
+		NewStandardized(NewGaussianNB()),
+		NewStandardized(NewLinearSVM(seed)),
+		NewStandardized(NewAdaBoost(seed)),
+		NewStandardized(NewGBM(seed)),
+		NewStandardized(NewRandomForest(seed)),
+		NewStandardized(NewExtraTrees(seed)),
+	}
+}
+
+// SelectBest fits every candidate on the training set, scores it on the
+// validation set, and returns the classifier with the best validation F1
+// together with the full report (sorted by descending F1, name on ties).
+// Candidates whose Fit fails are skipped; an error is returned only if
+// every candidate fails.
+func SelectBest(candidates []Classifier, xTrain [][]float64, yTrain []int,
+	xValid [][]float64, yValid []int) (Classifier, []Score, error) {
+	var best Classifier
+	bestF1 := -1.0
+	var report []Score
+	var lastErr error
+	for _, c := range candidates {
+		if err := c.Fit(xTrain, yTrain); err != nil {
+			lastErr = fmt.Errorf("%s: %w", c.Name(), err)
+			continue
+		}
+		p, r, f1 := f1Score(PredictAll(c, xValid), yValid)
+		report = append(report, Score{Name: c.Name(), F1: f1, Precision: p, Recall: r})
+		if f1 > bestF1 {
+			best, bestF1 = c, f1
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("classify: all candidates failed, last error: %w", lastErr)
+	}
+	sort.Slice(report, func(i, j int) bool {
+		if report[i].F1 != report[j].F1 {
+			return report[i].F1 > report[j].F1
+		}
+		return report[i].Name < report[j].Name
+	})
+	return best, report, nil
+}
+
+// sigmoid is the logistic function.
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }

@@ -1,0 +1,357 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// linearlySeparable generates a 2-D dataset where feature 0 pushes toward
+// class 1 and feature 1 pushes toward class 0, with a little noise.
+func linearlySeparable(n int, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		label := rng.Intn(2)
+		mu0, mu1 := -1.0, 1.0
+		if label == 0 {
+			mu0, mu1 = 1.0, -1.0
+		}
+		x = append(x, []float64{
+			mu1 + rng.NormFloat64()*0.5,
+			mu0 + rng.NormFloat64()*0.5,
+		})
+		y = append(y, label)
+	}
+	return x, y
+}
+
+// xorData is the classic non-linear dataset that linear models cannot fit
+// but trees and ensembles can.
+func xorData(n int, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		a := float64(rng.Intn(2))
+		b := float64(rng.Intn(2))
+		x = append(x, []float64{a + rng.NormFloat64()*0.1, b + rng.NormFloat64()*0.1})
+		label := 0
+		if (a > 0.5) != (b > 0.5) {
+			label = 1
+		}
+		y = append(y, label)
+	}
+	return x, y
+}
+
+func accuracy(c Classifier, x [][]float64, y []int) float64 {
+	var correct int
+	for i := range x {
+		if Predict(c, x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func TestAllClassifiersLearnLinearData(t *testing.T) {
+	xTrain, yTrain := linearlySeparable(400, 1)
+	xTest, yTest := linearlySeparable(200, 2)
+	for _, c := range NewPool(7) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(xTrain, yTrain); err != nil {
+				t.Fatal(err)
+			}
+			if acc := accuracy(c, xTest, yTest); acc < 0.9 {
+				t.Fatalf("accuracy = %v, want >= 0.9", acc)
+			}
+		})
+	}
+}
+
+func TestTreeModelsLearnXOR(t *testing.T) {
+	xTrain, yTrain := xorData(400, 3)
+	xTest, yTest := xorData(200, 4)
+	for _, c := range []Classifier{
+		NewDecisionTree(1), NewRandomForest(1), NewExtraTrees(1), NewGBM(1), NewKNN(5),
+	} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(xTrain, yTrain); err != nil {
+				t.Fatal(err)
+			}
+			if acc := accuracy(c, xTest, yTest); acc < 0.9 {
+				t.Fatalf("XOR accuracy = %v, want >= 0.9", acc)
+			}
+		})
+	}
+}
+
+func TestLinearCoefficientSigns(t *testing.T) {
+	x, y := linearlySeparable(500, 5)
+	for _, c := range []Classifier{
+		NewLogisticRegression(), NewLDA(), NewGaussianNB(), NewLinearSVM(1),
+	} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(x, y); err != nil {
+				t.Fatal(err)
+			}
+			coef := c.Coefficients()
+			if len(coef) != 2 {
+				t.Fatalf("coef len = %d", len(coef))
+			}
+			if coef[0] <= 0 || coef[1] >= 0 {
+				t.Fatalf("coefficient signs wrong: %v (feature 0 is positive evidence)", coef)
+			}
+		})
+	}
+}
+
+func TestEnsembleCoefficientSigns(t *testing.T) {
+	x, y := linearlySeparable(500, 6)
+	for _, c := range []Classifier{
+		NewDecisionTree(1), NewRandomForest(1), NewExtraTrees(1), NewGBM(1), NewAdaBoost(1), NewKNN(5),
+	} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(x, y); err != nil {
+				t.Fatal(err)
+			}
+			coef := c.Coefficients()
+			if coef[0] <= 0 || coef[1] >= 0 {
+				t.Fatalf("signed importance wrong: %v", coef)
+			}
+		})
+	}
+}
+
+func TestPredictProbaBounds(t *testing.T) {
+	x, y := linearlySeparable(200, 8)
+	probe, _ := linearlySeparable(50, 9)
+	for _, c := range NewPool(3) {
+		if err := c.Fit(x, y); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for _, row := range probe {
+			p := c.PredictProba(row)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("%s: proba out of range: %v", c.Name(), p)
+			}
+		}
+	}
+}
+
+func TestDeterministicFit(t *testing.T) {
+	x, y := linearlySeparable(200, 10)
+	probe := []float64{0.3, -0.4}
+	for _, mk := range []func() Classifier{
+		func() Classifier { return NewLogisticRegression() },
+		func() Classifier { return NewLDA() },
+		func() Classifier { return NewKNN(5) },
+		func() Classifier { return NewDecisionTree(42) },
+		func() Classifier { return NewGaussianNB() },
+		func() Classifier { return NewLinearSVM(42) },
+		func() Classifier { return NewAdaBoost(42) },
+		func() Classifier { return NewGBM(42) },
+		func() Classifier { return NewRandomForest(42) },
+		func() Classifier { return NewExtraTrees(42) },
+	} {
+		a, b := mk(), mk()
+		if err := a.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if a.PredictProba(probe) != b.PredictProba(probe) {
+			t.Fatalf("%s: training not deterministic", a.Name())
+		}
+		if !reflect.DeepEqual(a.Coefficients(), b.Coefficients()) {
+			t.Fatalf("%s: coefficients not deterministic", a.Name())
+		}
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	for _, c := range NewPool(1) {
+		if err := c.Fit(nil, nil); err == nil {
+			t.Fatalf("%s: expected error on empty set", c.Name())
+		}
+	}
+	lr := NewLogisticRegression()
+	if err := lr.Fit([][]float64{{1}}, []int{1, 0}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if err := lr.Fit([][]float64{{1}, {1, 2}}, []int{1, 0}); err == nil {
+		t.Fatal("expected ragged matrix error")
+	}
+	if err := lr.Fit([][]float64{{1}}, []int{7}); err == nil {
+		t.Fatal("expected invalid label error")
+	}
+}
+
+func TestSingleClassDegenerateFits(t *testing.T) {
+	// All-positive training data must not crash any model, and the model
+	// should predict the constant class.
+	x := [][]float64{{1, 2}, {2, 1}, {1.5, 1.5}, {2, 2}}
+	y := []int{1, 1, 1, 1}
+	for _, c := range NewPool(1) {
+		if err := c.Fit(x, y); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if got := Predict(c, []float64{1.5, 1.5}); got != 1 {
+			t.Fatalf("%s: single-class predict = %d, want 1", c.Name(), got)
+		}
+	}
+}
+
+func TestStandardizedConstantFeature(t *testing.T) {
+	// A constant feature must not produce NaNs and must get a zero
+	// coefficient.
+	x := [][]float64{{5, -1}, {5, 1}, {5, -1.2}, {5, 0.9}, {5, -0.8}, {5, 1.1}}
+	y := []int{0, 1, 0, 1, 0, 1}
+	c := NewStandardized(NewLogisticRegression())
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	coef := c.Coefficients()
+	if coef[0] != 0 {
+		t.Fatalf("constant feature coefficient = %v, want 0", coef[0])
+	}
+	if p := c.PredictProba([]float64{5, 1}); math.IsNaN(p) {
+		t.Fatal("NaN probability with constant feature")
+	}
+}
+
+func TestStandardizedPanicsBeforeFit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStandardized(NewLogisticRegression()).PredictProba([]float64{1})
+}
+
+func TestSelectBest(t *testing.T) {
+	xTrain, yTrain := xorData(300, 11)
+	xValid, yValid := xorData(150, 12)
+	best, report, err := SelectBest(NewPool(5), xTrain, yTrain, xValid, yValid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) != 10 {
+		t.Fatalf("report has %d rows", len(report))
+	}
+	// XOR: the winner must be a non-linear model with high F1.
+	if report[0].F1 < 0.85 {
+		t.Fatalf("best F1 = %v", report[0].F1)
+	}
+	if best.Name() == "LR" || best.Name() == "LDA" || best.Name() == "SVM" {
+		t.Fatalf("a linear model (%s) won XOR", best.Name())
+	}
+	// Report is sorted by descending F1.
+	for i := 1; i < len(report); i++ {
+		if report[i].F1 > report[i-1].F1 {
+			t.Fatalf("report not sorted: %v", report)
+		}
+	}
+}
+
+func TestSelectBestAllFail(t *testing.T) {
+	if _, _, err := SelectBest(NewPool(1), nil, nil, nil, nil); err == nil {
+		t.Fatal("expected error when every fit fails")
+	}
+}
+
+func TestF1Score(t *testing.T) {
+	p, r, f1 := f1Score([]int{1, 1, 0, 0}, []int{1, 0, 1, 0})
+	if math.Abs(p-0.5) > 1e-12 || math.Abs(r-0.5) > 1e-12 || math.Abs(f1-0.5) > 1e-12 {
+		t.Fatalf("p/r/f1 = %v/%v/%v", p, r, f1)
+	}
+	// No predicted positives.
+	p, r, f1 = f1Score([]int{0, 0}, []int{1, 0})
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Fatalf("degenerate f1 = %v/%v/%v", p, r, f1)
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	x, y := linearlySeparable(100, 13)
+	c := NewLogisticRegression()
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	preds := PredictAll(c, x)
+	if len(preds) != len(x) {
+		t.Fatalf("len = %d", len(preds))
+	}
+}
+
+func TestKNNSmallK(t *testing.T) {
+	k := NewKNN(0) // clamped to 1
+	if k.K != 1 {
+		t.Fatalf("K = %d", k.K)
+	}
+	x := [][]float64{{0}, {1}}
+	y := []int{0, 1}
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if Predict(k, []float64{0.9}) != 1 || Predict(k, []float64{0.1}) != 0 {
+		t.Fatal("1-NN predictions wrong")
+	}
+	// K larger than the training set must clamp, not panic.
+	big := NewKNN(50)
+	if err := big.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := big.PredictProba([]float64{0.5}); p != 0.5 {
+		t.Fatalf("clamped-K proba = %v, want 0.5", p)
+	}
+}
+
+func TestGBMImprovesOverBaseline(t *testing.T) {
+	x, y := xorData(300, 14)
+	m := NewGBM(1)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Probabilities should spread away from the base rate.
+	var spread float64
+	for i := range x {
+		spread += math.Abs(m.PredictProba(x[i]) - 0.5)
+	}
+	if spread/float64(len(x)) < 0.2 {
+		t.Fatalf("GBM barely moved off the prior: %v", spread/float64(len(x)))
+	}
+}
+
+func TestAdaBoostStopsOnPerfectStump(t *testing.T) {
+	// Perfectly separable on one feature: training must terminate quickly
+	// and classify everything correctly.
+	x := [][]float64{{0}, {0.1}, {0.9}, {1}}
+	y := []int{0, 0, 1, 1}
+	m := NewAdaBoost(1)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.stumps) > 2 {
+		t.Fatalf("perfect stump should stop boosting, got %d stumps", len(m.stumps))
+	}
+	if accuracy(m, x, y) != 1 {
+		t.Fatal("AdaBoost failed a trivially separable problem")
+	}
+}
+
+func BenchmarkFitPool(b *testing.B) {
+	x, y := linearlySeparable(300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range NewPool(int64(i)) {
+			if err := c.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Gob support: every classifier in the pool can be serialized so a fitted
+// WYM system survives process restarts (core.System.Save/Load). Each type
+// round-trips its unexported state through an exported snapshot struct;
+// trees are flattened into index-linked arrays.
+
+func init() {
+	gob.Register(&LogisticRegression{})
+	gob.Register(&LDA{})
+	gob.Register(&KNN{})
+	gob.Register(&DecisionTree{})
+	gob.Register(&GaussianNB{})
+	gob.Register(&LinearSVM{})
+	gob.Register(&AdaBoost{})
+	gob.Register(&GBM{})
+	gob.Register(&RandomForest{})
+	gob.Register(&ExtraTrees{})
+	gob.Register(&Standardized{})
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// flatTree is a treeNode forest flattened into arrays; Left/Right hold
+// child indices (-1 for leaves).
+type flatTree struct {
+	Feature     []int
+	Threshold   []float64
+	Left, Right []int
+	Value       []float64
+	Samples     []int
+}
+
+func flattenTree(root *treeNode) flatTree {
+	var ft flatTree
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		idx := len(ft.Feature)
+		ft.Feature = append(ft.Feature, n.feature)
+		ft.Threshold = append(ft.Threshold, n.threshold)
+		ft.Value = append(ft.Value, n.value)
+		ft.Samples = append(ft.Samples, n.samples)
+		ft.Left = append(ft.Left, -1)
+		ft.Right = append(ft.Right, -1)
+		if !n.isLeaf() {
+			ft.Left[idx] = walk(n.left)
+			ft.Right[idx] = walk(n.right)
+		}
+		return idx
+	}
+	if root != nil {
+		walk(root)
+	}
+	return ft
+}
+
+func (ft flatTree) restore() *treeNode {
+	if len(ft.Feature) == 0 {
+		return nil
+	}
+	var build func(idx int) *treeNode
+	build = func(idx int) *treeNode {
+		n := &treeNode{
+			feature:   ft.Feature[idx],
+			threshold: ft.Threshold[idx],
+			value:     ft.Value[idx],
+			samples:   ft.Samples[idx],
+		}
+		if ft.Left[idx] >= 0 {
+			n.left = build(ft.Left[idx])
+			n.right = build(ft.Right[idx])
+		}
+		return n
+	}
+	return build(0)
+}
+
+// --- LogisticRegression ---
+
+type lrSnapshot struct {
+	Epochs int
+	LR, L2 float64
+	W      []float64
+	B      float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *LogisticRegression) GobEncode() ([]byte, error) {
+	return encode(lrSnapshot{m.Epochs, m.LR, m.L2, m.w, m.b})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *LogisticRegression) GobDecode(data []byte) error {
+	var s lrSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.Epochs, m.LR, m.L2, m.w, m.b = s.Epochs, s.LR, s.L2, s.W, s.B
+	return nil
+}
+
+// --- LDA ---
+
+type ldaSnapshot struct {
+	Ridge     float64
+	W         []float64
+	Threshold float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *LDA) GobEncode() ([]byte, error) {
+	return encode(ldaSnapshot{m.Ridge, m.w, m.threshold})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *LDA) GobDecode(data []byte) error {
+	var s ldaSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.Ridge, m.w, m.threshold = s.Ridge, s.W, s.Threshold
+	return nil
+}
+
+// --- KNN ---
+
+type knnSnapshot struct {
+	K    int
+	X    [][]float64
+	Y    []int
+	Coef []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *KNN) GobEncode() ([]byte, error) {
+	return encode(knnSnapshot{m.K, m.x, m.y, m.coef})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *KNN) GobDecode(data []byte) error {
+	var s knnSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.K, m.x, m.y, m.coef = s.K, s.X, s.Y, s.Coef
+	return nil
+}
+
+// --- DecisionTree ---
+
+type dtSnapshot struct {
+	MaxDepth, MinLeaf int
+	Seed              int64
+	Tree              flatTree
+	Coef              []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *DecisionTree) GobEncode() ([]byte, error) {
+	return encode(dtSnapshot{m.MaxDepth, m.MinLeaf, m.seed, flattenTree(m.root), m.coef})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *DecisionTree) GobDecode(data []byte) error {
+	var s dtSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.MaxDepth, m.MinLeaf, m.seed, m.root, m.coef =
+		s.MaxDepth, s.MinLeaf, s.Seed, s.Tree.restore(), s.Coef
+	return nil
+}
+
+// --- GaussianNB ---
+
+type nbSnapshot struct {
+	VarSmoothing   float64
+	Mean, Variance [2][]float64
+	LogPrior       [2]float64
+	Fitted         bool
+	SingleClass    int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *GaussianNB) GobEncode() ([]byte, error) {
+	return encode(nbSnapshot{m.VarSmoothing, m.mean, m.variance, m.logPrior, m.fitted, m.singleClass})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *GaussianNB) GobDecode(data []byte) error {
+	var s nbSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.VarSmoothing, m.mean, m.variance, m.logPrior, m.fitted, m.singleClass =
+		s.VarSmoothing, s.Mean, s.Variance, s.LogPrior, s.Fitted, s.SingleClass
+	return nil
+}
+
+// --- LinearSVM ---
+
+type svmSnapshot struct {
+	Lambda float64
+	Epochs int
+	Seed   int64
+	W      []float64
+	B      float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *LinearSVM) GobEncode() ([]byte, error) {
+	return encode(svmSnapshot{m.Lambda, m.Epochs, m.seed, m.w, m.b})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *LinearSVM) GobDecode(data []byte) error {
+	var s svmSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.Lambda, m.Epochs, m.seed, m.w, m.b = s.Lambda, s.Epochs, s.Seed, s.W, s.B
+	return nil
+}
+
+// --- AdaBoost ---
+
+type stumpSnapshot struct {
+	Feature   int
+	Threshold float64
+	Polarity  float64
+	Alpha     float64
+}
+
+type abSnapshot struct {
+	NStumps int
+	Seed    int64
+	Stumps  []stumpSnapshot
+	Coef    []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *AdaBoost) GobEncode() ([]byte, error) {
+	s := abSnapshot{NStumps: m.NStumps, Seed: m.seed, Coef: m.coef}
+	for _, st := range m.stumps {
+		s.Stumps = append(s.Stumps, stumpSnapshot{st.feature, st.threshold, st.polarity, st.alpha})
+	}
+	return encode(s)
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *AdaBoost) GobDecode(data []byte) error {
+	var s abSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.NStumps, m.seed, m.coef = s.NStumps, s.Seed, s.Coef
+	m.stumps = m.stumps[:0]
+	for _, st := range s.Stumps {
+		m.stumps = append(m.stumps, stump{st.Feature, st.Threshold, st.Polarity, st.Alpha})
+	}
+	return nil
+}
+
+// --- GBM ---
+
+type gbmSnapshot struct {
+	NTrees, MaxDepth int
+	LearnRate        float64
+	Seed             int64
+	Base             float64
+	Trees            []flatTree
+	Coef             []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *GBM) GobEncode() ([]byte, error) {
+	s := gbmSnapshot{
+		NTrees: m.NTrees, MaxDepth: m.MaxDepth, LearnRate: m.LearnRate,
+		Seed: m.seed, Base: m.base, Coef: m.coef,
+	}
+	for _, t := range m.trees {
+		s.Trees = append(s.Trees, flattenTree(t))
+	}
+	return encode(s)
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *GBM) GobDecode(data []byte) error {
+	var s gbmSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.NTrees, m.MaxDepth, m.LearnRate, m.seed, m.base, m.coef =
+		s.NTrees, s.MaxDepth, s.LearnRate, s.Seed, s.Base, s.Coef
+	m.trees = m.trees[:0]
+	for _, ft := range s.Trees {
+		m.trees = append(m.trees, ft.restore())
+	}
+	return nil
+}
+
+// --- forest (RandomForest / ExtraTrees) ---
+
+type forestSnapshot struct {
+	NTrees, MaxDepth, MinLeaf int
+	Bootstrap, RandomSplit    bool
+	Seed                      int64
+	Trees                     []flatTree
+	Coef                      []float64
+}
+
+func (m *forest) snapshot() forestSnapshot {
+	s := forestSnapshot{
+		NTrees: m.nTrees, MaxDepth: m.maxDepth, MinLeaf: m.minLeaf,
+		Bootstrap: m.bootstrap, RandomSplit: m.randomSplit,
+		Seed: m.seed, Coef: m.coef,
+	}
+	for _, t := range m.trees {
+		s.Trees = append(s.Trees, flattenTree(t))
+	}
+	return s
+}
+
+func (m *forest) restore(s forestSnapshot) {
+	m.nTrees, m.maxDepth, m.minLeaf = s.NTrees, s.MaxDepth, s.MinLeaf
+	m.bootstrap, m.randomSplit = s.Bootstrap, s.RandomSplit
+	m.seed, m.coef = s.Seed, s.Coef
+	m.trees = m.trees[:0]
+	for _, ft := range s.Trees {
+		m.trees = append(m.trees, ft.restore())
+	}
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *RandomForest) GobEncode() ([]byte, error) { return encode(m.snapshot()) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *RandomForest) GobDecode(data []byte) error {
+	var s forestSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.restore(s)
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *ExtraTrees) GobEncode() ([]byte, error) { return encode(m.snapshot()) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *ExtraTrees) GobDecode(data []byte) error {
+	var s forestSnapshot
+	if err := decode(data, &s); err != nil {
+		return err
+	}
+	m.restore(s)
+	return nil
+}
+
+// --- Standardized ---
+
+type standardizedSnapshot struct {
+	Inner      Classifier
+	Mean, Std  []float64
+	Fitted     bool
+	ConstantIx []int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Standardized) GobEncode() ([]byte, error) {
+	snap := standardizedSnapshot{Inner: s.Inner, Mean: s.mean, Std: s.std, Fitted: s.fitted}
+	for ix := range s.constantIx {
+		snap.ConstantIx = append(snap.ConstantIx, ix)
+	}
+	return encode(&snap)
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *Standardized) GobDecode(data []byte) error {
+	var snap standardizedSnapshot
+	if err := decode(data, &snap); err != nil {
+		return fmt.Errorf("classify: decoding Standardized: %w", err)
+	}
+	s.Inner, s.mean, s.std, s.fitted = snap.Inner, snap.Mean, snap.Std, snap.Fitted
+	s.constantIx = map[int]bool{}
+	for _, ix := range snap.ConstantIx {
+		s.constantIx[ix] = true
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// roundTrip gob-encodes a fitted classifier through the Classifier
+// interface and returns the decoded copy.
+func roundTrip(t *testing.T, c Classifier) Classifier {
+	t.Helper()
+	var buf bytes.Buffer
+	holder := struct{ C Classifier }{C: c}
+	if err := gob.NewEncoder(&buf).Encode(&holder); err != nil {
+		t.Fatalf("encode %s: %v", c.Name(), err)
+	}
+	var out struct{ C Classifier }
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode %s: %v", c.Name(), err)
+	}
+	return out.C
+}
+
+func TestGobRoundTripAllClassifiers(t *testing.T) {
+	xTrain, yTrain := linearlySeparable(200, 31)
+	probes, _ := linearlySeparable(40, 32)
+	for _, c := range NewPool(9) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(xTrain, yTrain); err != nil {
+				t.Fatal(err)
+			}
+			restored := roundTrip(t, c)
+			if restored.Name() != c.Name() {
+				t.Fatalf("name = %q, want %q", restored.Name(), c.Name())
+			}
+			for _, x := range probes {
+				if got, want := restored.PredictProba(x), c.PredictProba(x); got != want {
+					t.Fatalf("proba diverged: %v vs %v", got, want)
+				}
+			}
+			a, b := restored.Coefficients(), c.Coefficients()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("coefficient %d diverged: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGobRoundTripNonLinearModels(t *testing.T) {
+	// XOR exercises deep trees and multi-stump boosters, covering the tree
+	// flattening with real structure.
+	xTrain, yTrain := xorData(300, 33)
+	probes, _ := xorData(50, 34)
+	for _, c := range []Classifier{
+		NewDecisionTree(2), NewRandomForest(2), NewExtraTrees(2), NewGBM(2), NewAdaBoost(2),
+	} {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Fit(xTrain, yTrain); err != nil {
+				t.Fatal(err)
+			}
+			restored := roundTrip(t, c)
+			for _, x := range probes {
+				if restored.PredictProba(x) != c.PredictProba(x) {
+					t.Fatal("tree structure lost in round trip")
+				}
+			}
+		})
+	}
+}
+
+func TestFlattenTreeEmpty(t *testing.T) {
+	if ft := flattenTree(nil); len(ft.Feature) != 0 {
+		t.Fatalf("nil tree flattened to %+v", ft)
+	}
+	if ft := (flatTree{}); ft.restore() != nil {
+		t.Fatal("empty flat tree should restore to nil")
+	}
+}
+
+func TestFlattenTreeSingleLeaf(t *testing.T) {
+	leaf := &treeNode{value: 0.7, samples: 3}
+	restored := flattenTree(leaf).restore()
+	if restored == nil || !restored.isLeaf() || restored.value != 0.7 || restored.samples != 3 {
+		t.Fatalf("leaf round trip = %+v", restored)
+	}
+}

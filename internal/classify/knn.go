@@ -1,0 +1,86 @@
+package classify
+
+import (
+	"sort"
+
+	"wym/internal/vec"
+)
+
+// KNN is a k-nearest-neighbours classifier under Euclidean distance. Its
+// probability is the fraction of matching neighbours. KNN has no model
+// coefficients; Coefficients returns each feature's point-biserial
+// correlation with the label as the interpretability proxy, with the
+// correlation magnitude serving as importance.
+type KNN struct {
+	K int
+
+	x    [][]float64
+	y    []int
+	coef []float64
+}
+
+// NewKNN returns a classifier with the given neighbourhood size (the
+// paper's pool uses the scikit-learn default of 5).
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 1
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Classifier.
+func (m *KNN) Name() string { return "KNN" }
+
+// Fit implements Classifier. KNN is a lazy learner: Fit stores the
+// training set and precomputes the coefficient proxy.
+func (m *KNN) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	m.x = x
+	m.y = y
+	d := len(x[0])
+	labels := make([]float64, len(y))
+	for i, v := range y {
+		labels[i] = float64(v)
+	}
+	m.coef = make([]float64, d)
+	col := make([]float64, len(x))
+	for j := 0; j < d; j++ {
+		for i := range x {
+			col[i] = x[i][j]
+		}
+		m.coef[j] = vec.Pearson(col, labels)
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *KNN) PredictProba(x []float64) float64 {
+	k := m.K
+	if k > len(m.x) {
+		k = len(m.x)
+	}
+	type neighbour struct {
+		dist2 float64
+		label int
+	}
+	ns := make([]neighbour, len(m.x))
+	for i, row := range m.x {
+		var d2 float64
+		for j, v := range row {
+			diff := v - x[j]
+			d2 += diff * diff
+		}
+		ns[i] = neighbour{d2, m.y[i]}
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].dist2 < ns[b].dist2 })
+	var pos int
+	for _, n := range ns[:k] {
+		pos += n.label
+	}
+	return float64(pos) / float64(k)
+}
+
+// Coefficients implements Classifier.
+func (m *KNN) Coefficients() []float64 { return vec.Clone(m.coef) }

@@ -1,0 +1,324 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+
+	"wym/internal/vec"
+)
+
+// LogisticRegression is L2-regularized logistic regression trained with
+// full-batch gradient descent. It is the canonical interpretable matcher:
+// its coefficients are exactly the per-feature log-odds weights.
+type LogisticRegression struct {
+	// Epochs, LR and L2 may be tuned before Fit; NewLogisticRegression
+	// sets practical defaults.
+	Epochs int
+	LR     float64
+	L2     float64
+
+	w []float64
+	b float64
+}
+
+// NewLogisticRegression returns a model with the repo defaults.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{Epochs: 300, LR: 0.1, L2: 1e-3}
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	d := len(x[0])
+	m.w = make([]float64, d)
+	m.b = 0
+	n := float64(len(x))
+	gw := make([]float64, d)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for j := range gw {
+			gw[j] = 0
+		}
+		var gb float64
+		for i, row := range x {
+			p := sigmoid(vec.Dot(m.w, row) + m.b)
+			diff := p - float64(y[i])
+			vec.AXPY(gw, diff, row)
+			gb += diff
+		}
+		for j := range m.w {
+			m.w[j] -= m.LR * (gw[j]/n + m.L2*m.w[j])
+		}
+		m.b -= m.LR * gb / n
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *LogisticRegression) PredictProba(x []float64) float64 {
+	return sigmoid(vec.Dot(m.w, x) + m.b)
+}
+
+// Coefficients implements Classifier.
+func (m *LogisticRegression) Coefficients() []float64 { return vec.Clone(m.w) }
+
+// LDA is Fisher's linear discriminant analysis with a ridge-stabilized
+// pooled covariance. The discriminant direction w = Σ⁻¹(μ₁-μ₀) is the
+// coefficient vector.
+type LDA struct {
+	Ridge float64
+
+	w         []float64
+	threshold float64
+}
+
+// NewLDA returns an LDA with a small default ridge.
+func NewLDA() *LDA { return &LDA{Ridge: 1e-3} }
+
+// Name implements Classifier.
+func (m *LDA) Name() string { return "LDA" }
+
+// Fit implements Classifier.
+func (m *LDA) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	d := len(x[0])
+	mean := [2][]float64{make([]float64, d), make([]float64, d)}
+	count := [2]int{}
+	for i, row := range x {
+		vec.Add(mean[y[i]], row)
+		count[y[i]]++
+	}
+	if count[0] == 0 || count[1] == 0 {
+		// Degenerate single-class training set: predict the constant class.
+		m.w = make([]float64, d)
+		if count[1] > 0 {
+			m.threshold = math.Inf(-1) // everything scores above it
+		} else {
+			m.threshold = math.Inf(1)
+		}
+		return nil
+	}
+	for c := 0; c < 2; c++ {
+		vec.Scale(mean[c], 1/float64(count[c]))
+	}
+
+	// Pooled within-class covariance.
+	cov := vec.NewMatrix(d, d)
+	for i, row := range x {
+		diff := vec.Sub(row, mean[y[i]])
+		for a := 0; a < d; a++ {
+			if diff[a] == 0 {
+				continue
+			}
+			for b := 0; b < d; b++ {
+				cov.AddAt(a, b, diff[a]*diff[b])
+			}
+		}
+	}
+	denom := float64(len(x) - 2)
+	if denom < 1 {
+		denom = 1
+	}
+	for i := range cov.Data {
+		cov.Data[i] /= denom
+	}
+
+	diffMean := vec.Sub(mean[1], mean[0])
+	w, err := vec.Solve(cov, diffMean, m.Ridge)
+	if err != nil {
+		// Extremely collinear features even under ridge: fall back to the
+		// mean-difference direction, which keeps the model usable.
+		w = diffMean
+	}
+	m.w = w
+	mid := vec.Mean(mean[0], mean[1])
+	prior := math.Log(float64(count[1]) / float64(count[0]))
+	m.threshold = vec.Dot(m.w, mid) - prior
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *LDA) PredictProba(x []float64) float64 {
+	if math.IsInf(m.threshold, -1) {
+		return 1
+	}
+	if math.IsInf(m.threshold, 1) {
+		return 0
+	}
+	return sigmoid(vec.Dot(m.w, x) - m.threshold)
+}
+
+// Coefficients implements Classifier.
+func (m *LDA) Coefficients() []float64 { return vec.Clone(m.w) }
+
+// GaussianNB is Gaussian naive Bayes with per-class feature means and
+// variances. Its coefficient proxy is the standardized mean difference
+// (μ₁ⱼ-μ₀ⱼ)/σ²ⱼ — the weight the log-likelihood ratio assigns to feature
+// j under equal variances.
+type GaussianNB struct {
+	VarSmoothing float64
+
+	mean, variance [2][]float64
+	logPrior       [2]float64
+	fitted         bool
+	singleClass    int // -1 when both classes present
+}
+
+// NewGaussianNB returns a model with sklearn-compatible smoothing.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{VarSmoothing: 1e-9} }
+
+// Name implements Classifier.
+func (m *GaussianNB) Name() string { return "NB" }
+
+// Fit implements Classifier.
+func (m *GaussianNB) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	d := len(x[0])
+	count := [2]int{}
+	for c := 0; c < 2; c++ {
+		m.mean[c] = make([]float64, d)
+		m.variance[c] = make([]float64, d)
+	}
+	for i, row := range x {
+		vec.Add(m.mean[y[i]], row)
+		count[y[i]]++
+	}
+	m.singleClass = -1
+	if count[0] == 0 || count[1] == 0 {
+		if count[1] > 0 {
+			m.singleClass = 1
+		} else {
+			m.singleClass = 0
+		}
+		m.fitted = true
+		return nil
+	}
+	for c := 0; c < 2; c++ {
+		vec.Scale(m.mean[c], 1/float64(count[c]))
+		m.logPrior[c] = math.Log(float64(count[c]) / float64(len(x)))
+	}
+	// Largest feature variance for smoothing scale, as in scikit-learn.
+	var maxVar float64
+	for i, row := range x {
+		for j, v := range row {
+			diff := v - m.mean[y[i]][j]
+			m.variance[y[i]][j] += diff * diff
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.variance[c] {
+			m.variance[c][j] /= float64(count[c])
+			if m.variance[c][j] > maxVar {
+				maxVar = m.variance[c][j]
+			}
+		}
+	}
+	eps := m.VarSmoothing * maxVar
+	if eps == 0 {
+		eps = m.VarSmoothing
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.variance[c] {
+			m.variance[c][j] += eps
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *GaussianNB) PredictProba(x []float64) float64 {
+	if m.singleClass >= 0 {
+		return float64(m.singleClass)
+	}
+	var ll [2]float64
+	for c := 0; c < 2; c++ {
+		ll[c] = m.logPrior[c]
+		for j, v := range x {
+			diff := v - m.mean[c][j]
+			ll[c] += -0.5*math.Log(2*math.Pi*m.variance[c][j]) - diff*diff/(2*m.variance[c][j])
+		}
+	}
+	// Softmax over the two log-likelihoods, stabilized.
+	mx := math.Max(ll[0], ll[1])
+	e0, e1 := math.Exp(ll[0]-mx), math.Exp(ll[1]-mx)
+	return e1 / (e0 + e1)
+}
+
+// Coefficients implements Classifier.
+func (m *GaussianNB) Coefficients() []float64 {
+	if m.singleClass >= 0 {
+		return make([]float64, len(m.mean[0]))
+	}
+	d := len(m.mean[0])
+	out := make([]float64, d)
+	for j := 0; j < d; j++ {
+		pooled := (m.variance[0][j] + m.variance[1][j]) / 2
+		out[j] = (m.mean[1][j] - m.mean[0][j]) / pooled
+	}
+	return out
+}
+
+// LinearSVM is a linear support vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm on the hinge loss. PredictProba maps
+// the margin through a fixed logistic link (an un-calibrated Platt
+// scaling, sufficient for 0.5-thresholded decisions).
+type LinearSVM struct {
+	Lambda float64
+	Epochs int
+	seed   int64
+
+	w []float64
+	b float64
+}
+
+// NewLinearSVM returns a model with the repo defaults.
+func NewLinearSVM(seed int64) *LinearSVM {
+	return &LinearSVM{Lambda: 1e-3, Epochs: 40, seed: seed}
+}
+
+// Name implements Classifier.
+func (m *LinearSVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (m *LinearSVM) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	d := len(x[0])
+	m.w = make([]float64, d)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.seed))
+	t := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		order := rng.Perm(len(x))
+		for _, i := range order {
+			t++
+			eta := 1 / (m.Lambda * float64(t))
+			label := 2*float64(y[i]) - 1 // ±1
+			margin := label * (vec.Dot(m.w, x[i]) + m.b)
+			vec.Scale(m.w, 1-eta*m.Lambda)
+			if margin < 1 {
+				vec.AXPY(m.w, eta*label, x[i])
+				m.b += eta * label
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *LinearSVM) PredictProba(x []float64) float64 {
+	return sigmoid(2 * (vec.Dot(m.w, x) + m.b))
+}
+
+// Coefficients implements Classifier.
+func (m *LinearSVM) Coefficients() []float64 { return vec.Clone(m.w) }

@@ -1,0 +1,237 @@
+package classify
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// treeNode is a node of a binary regression tree. Classification trees are
+// regression trees over 0/1 targets: the leaf mean is the class-1
+// probability, and variance reduction on binary targets selects the same
+// splits as Gini impurity.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	value       float64
+	samples     int
+}
+
+func (n *treeNode) isLeaf() bool { return n.left == nil }
+
+func (n *treeNode) predict(x []float64) float64 {
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// treeOptions configures buildTree.
+type treeOptions struct {
+	maxDepth    int
+	minLeaf     int
+	maxFeatures int        // number of features tried per split; 0 = all
+	randomSplit bool       // extra-trees: one uniform random threshold per feature
+	rng         *rand.Rand // required when maxFeatures > 0 or randomSplit
+}
+
+// buildTree fits a tree on rows idx of (x, target), minimizing the squared
+// error of leaf means. importance, when non-nil, accumulates each
+// feature's total impurity decrease weighted by node size.
+func buildTree(x [][]float64, target []float64, idx []int, opts treeOptions,
+	depth int, importance []float64) *treeNode {
+	node := &treeNode{samples: len(idx), value: meanAt(target, idx)}
+	if depth >= opts.maxDepth || len(idx) < 2*opts.minLeaf {
+		return node
+	}
+	varTotal := varianceAt(target, idx)
+	if varTotal == 0 {
+		return node
+	}
+
+	d := len(x[0])
+	features := allFeatures(d)
+	if opts.maxFeatures > 0 && opts.maxFeatures < d {
+		opts.rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:opts.maxFeatures]
+	}
+
+	bestGain := 0.0
+	bestFeature := -1
+	var bestThreshold float64
+	for _, f := range features {
+		var gain, threshold float64
+		var ok bool
+		if opts.randomSplit {
+			gain, threshold, ok = randomSplitGain(x, target, idx, f, opts, varTotal)
+		} else {
+			gain, threshold, ok = bestSplitGain(x, target, idx, f, opts, varTotal)
+		}
+		if ok && gain > bestGain {
+			bestGain, bestFeature, bestThreshold = gain, f, threshold
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) < opts.minLeaf || len(rightIdx) < opts.minLeaf {
+		return node
+	}
+	if importance != nil {
+		importance[bestFeature] += bestGain * float64(len(idx))
+	}
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = buildTree(x, target, leftIdx, opts, depth+1, importance)
+	node.right = buildTree(x, target, rightIdx, opts, depth+1, importance)
+	return node
+}
+
+// bestSplitGain scans all midpoints of the sorted feature values and
+// returns the best variance reduction, its threshold, and whether any
+// valid split exists.
+func bestSplitGain(x [][]float64, target []float64, idx []int, f int,
+	opts treeOptions, varTotal float64) (gain, threshold float64, ok bool) {
+	sorted := make([]int, len(idx))
+	copy(sorted, idx)
+	sort.Slice(sorted, func(a, b int) bool { return x[sorted[a]][f] < x[sorted[b]][f] })
+
+	n := len(sorted)
+	var sumLeft, sqLeft float64
+	var sumTotal, sqTotal float64
+	for _, i := range sorted {
+		sumTotal += target[i]
+		sqTotal += target[i] * target[i]
+	}
+	for k := 0; k < n-1; k++ {
+		t := target[sorted[k]]
+		sumLeft += t
+		sqLeft += t * t
+		vl, vr := x[sorted[k]][f], x[sorted[k+1]][f]
+		if vl == vr {
+			continue
+		}
+		nl, nr := float64(k+1), float64(n-k-1)
+		if int(nl) < opts.minLeaf || int(nr) < opts.minLeaf {
+			continue
+		}
+		varLeft := sqLeft/nl - (sumLeft/nl)*(sumLeft/nl)
+		sumRight := sumTotal - sumLeft
+		sqRight := sqTotal - sqLeft
+		varRight := sqRight/nr - (sumRight/nr)*(sumRight/nr)
+		g := varTotal - (nl*varLeft+nr*varRight)/float64(n)
+		if g > gain {
+			gain = g
+			threshold = (vl + vr) / 2
+			ok = true
+		}
+	}
+	return gain, threshold, ok
+}
+
+// randomSplitGain draws one uniform threshold between the feature's min
+// and max (the Extra-Trees rule) and evaluates its variance reduction.
+func randomSplitGain(x [][]float64, target []float64, idx []int, f int,
+	opts treeOptions, varTotal float64) (gain, threshold float64, ok bool) {
+	lo, hi := x[idx[0]][f], x[idx[0]][f]
+	for _, i := range idx {
+		v := x[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		return 0, 0, false
+	}
+	threshold = lo + opts.rng.Float64()*(hi-lo)
+	var nl, nr float64
+	var sumL, sqL, sumR, sqR float64
+	for _, i := range idx {
+		t := target[i]
+		if x[i][f] <= threshold {
+			nl++
+			sumL += t
+			sqL += t * t
+		} else {
+			nr++
+			sumR += t
+			sqR += t * t
+		}
+	}
+	if int(nl) < opts.minLeaf || int(nr) < opts.minLeaf {
+		return 0, 0, false
+	}
+	varL := sqL/nl - (sumL/nl)*(sumL/nl)
+	varR := sqR/nr - (sumR/nr)*(sumR/nr)
+	gain = varTotal - (nl*varL+nr*varR)/float64(len(idx))
+	return gain, threshold, gain > 0
+}
+
+func meanAt(target []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += target[i]
+	}
+	return s / float64(len(idx))
+}
+
+func varianceAt(target []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	m := meanAt(target, idx)
+	var v float64
+	for _, i := range idx {
+		d := target[i] - m
+		v += d * d
+	}
+	return v / float64(len(idx))
+}
+
+func allFeatures(d int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func float64Labels(y []int) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func normalizeImportance(imp []float64) {
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total == 0 {
+		return
+	}
+	for i := range imp {
+		imp[i] /= total
+	}
+}

@@ -1,0 +1,376 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"wym/internal/vec"
+)
+
+// DecisionTree is a single CART tree (variance-reduction splits, which for
+// binary targets coincide with Gini).
+type DecisionTree struct {
+	MaxDepth int
+	MinLeaf  int
+
+	seed int64
+	root *treeNode
+	coef []float64
+}
+
+// NewDecisionTree returns a tree with the repo defaults (depth 8, leaf 2).
+func NewDecisionTree(seed int64) *DecisionTree {
+	return &DecisionTree{MaxDepth: 8, MinLeaf: 2, seed: seed}
+}
+
+// Name implements Classifier.
+func (m *DecisionTree) Name() string { return "DT" }
+
+// Fit implements Classifier.
+func (m *DecisionTree) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	importance := make([]float64, len(x[0]))
+	m.root = buildTree(x, float64Labels(y), allFeatures(len(x)), treeOptions{
+		maxDepth: m.MaxDepth,
+		minLeaf:  m.MinLeaf,
+		rng:      rand.New(rand.NewSource(m.seed)),
+	}, 0, importance)
+	normalizeImportance(importance)
+	m.coef = signedImportance(importance, x, y)
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *DecisionTree) PredictProba(x []float64) float64 { return m.root.predict(x) }
+
+// Coefficients implements Classifier.
+func (m *DecisionTree) Coefficients() []float64 { return vec.Clone(m.coef) }
+
+// forest is the shared implementation of RandomForest and ExtraTrees.
+type forest struct {
+	nTrees      int
+	maxDepth    int
+	minLeaf     int
+	bootstrap   bool
+	randomSplit bool
+	seed        int64
+
+	trees []*treeNode
+	coef  []float64
+}
+
+func (m *forest) fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	d := len(x[0])
+	maxFeatures := int(math.Sqrt(float64(d)))
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+	target := float64Labels(y)
+	rng := rand.New(rand.NewSource(m.seed))
+	importance := make([]float64, d)
+	m.trees = make([]*treeNode, m.nTrees)
+	for t := range m.trees {
+		idx := make([]int, len(x))
+		if m.bootstrap {
+			for i := range idx {
+				idx[i] = rng.Intn(len(x))
+			}
+		} else {
+			copy(idx, allFeatures(len(x)))
+		}
+		m.trees[t] = buildTree(x, target, idx, treeOptions{
+			maxDepth:    m.maxDepth,
+			minLeaf:     m.minLeaf,
+			maxFeatures: maxFeatures,
+			randomSplit: m.randomSplit,
+			rng:         rng,
+		}, 0, importance)
+	}
+	normalizeImportance(importance)
+	m.coef = signedImportance(importance, x, y)
+	return nil
+}
+
+func (m *forest) predictProba(x []float64) float64 {
+	var s float64
+	for _, t := range m.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(m.trees))
+}
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling.
+type RandomForest struct{ forest }
+
+// NewRandomForest returns a forest with the repo defaults (40 trees,
+// depth 8).
+func NewRandomForest(seed int64) *RandomForest {
+	return &RandomForest{forest{nTrees: 40, maxDepth: 8, minLeaf: 2, bootstrap: true, seed: seed}}
+}
+
+// Name implements Classifier.
+func (m *RandomForest) Name() string { return "RF" }
+
+// Fit implements Classifier.
+func (m *RandomForest) Fit(x [][]float64, y []int) error { return m.fit(x, y) }
+
+// PredictProba implements Classifier.
+func (m *RandomForest) PredictProba(x []float64) float64 { return m.predictProba(x) }
+
+// Coefficients implements Classifier.
+func (m *RandomForest) Coefficients() []float64 { return vec.Clone(m.coef) }
+
+// ExtraTrees is an extremely randomized forest: no bootstrap, one uniform
+// random threshold per candidate feature.
+type ExtraTrees struct{ forest }
+
+// NewExtraTrees returns an extra-trees ensemble with the repo defaults.
+func NewExtraTrees(seed int64) *ExtraTrees {
+	return &ExtraTrees{forest{nTrees: 40, maxDepth: 8, minLeaf: 2, randomSplit: true, seed: seed}}
+}
+
+// Name implements Classifier.
+func (m *ExtraTrees) Name() string { return "ET" }
+
+// Fit implements Classifier.
+func (m *ExtraTrees) Fit(x [][]float64, y []int) error { return m.fit(x, y) }
+
+// PredictProba implements Classifier.
+func (m *ExtraTrees) PredictProba(x []float64) float64 { return m.predictProba(x) }
+
+// Coefficients implements Classifier.
+func (m *ExtraTrees) Coefficients() []float64 { return vec.Clone(m.coef) }
+
+// GBM is gradient boosting: shallow regression trees fitted to the
+// gradient of the logistic loss.
+type GBM struct {
+	NTrees    int
+	MaxDepth  int
+	LearnRate float64
+
+	seed  int64
+	base  float64
+	trees []*treeNode
+	coef  []float64
+}
+
+// NewGBM returns a boosted ensemble with the repo defaults (60 trees,
+// depth 3, shrinkage 0.1).
+func NewGBM(seed int64) *GBM {
+	return &GBM{NTrees: 60, MaxDepth: 3, LearnRate: 0.1, seed: seed}
+}
+
+// Name implements Classifier.
+func (m *GBM) Name() string { return "GBM" }
+
+// Fit implements Classifier.
+func (m *GBM) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	n := len(x)
+	d := len(x[0])
+	// Initial raw score: log-odds of the base rate, clamped for the
+	// single-class case.
+	var pos int
+	for _, v := range y {
+		pos += v
+	}
+	p0 := (float64(pos) + 0.5) / (float64(n) + 1)
+	m.base = math.Log(p0 / (1 - p0))
+
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = m.base
+	}
+	residual := make([]float64, n)
+	importance := make([]float64, d)
+	rng := rand.New(rand.NewSource(m.seed))
+	idx := allFeatures(n)
+	m.trees = make([]*treeNode, 0, m.NTrees)
+	for t := 0; t < m.NTrees; t++ {
+		for i := range residual {
+			residual[i] = float64(y[i]) - sigmoid(raw[i])
+		}
+		tree := buildTree(x, residual, idx, treeOptions{
+			maxDepth: m.MaxDepth,
+			minLeaf:  2,
+			rng:      rng,
+		}, 0, importance)
+		m.trees = append(m.trees, tree)
+		for i := range raw {
+			raw[i] += m.LearnRate * tree.predict(x[i])
+		}
+	}
+	normalizeImportance(importance)
+	m.coef = signedImportance(importance, x, y)
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *GBM) PredictProba(x []float64) float64 {
+	raw := m.base
+	for _, t := range m.trees {
+		raw += m.LearnRate * t.predict(x)
+	}
+	return sigmoid(raw)
+}
+
+// Coefficients implements Classifier.
+func (m *GBM) Coefficients() []float64 { return vec.Clone(m.coef) }
+
+// AdaBoost is discrete AdaBoost over depth-1 decision stumps.
+type AdaBoost struct {
+	NStumps int
+
+	seed   int64
+	stumps []stump
+	coef   []float64
+}
+
+type stump struct {
+	feature   int
+	threshold float64
+	// polarity +1 predicts class 1 above the threshold, -1 below.
+	polarity float64
+	alpha    float64
+}
+
+func (s stump) predict(x []float64) float64 {
+	if (x[s.feature]-s.threshold)*s.polarity > 0 {
+		return 1
+	}
+	return -1
+}
+
+// NewAdaBoost returns an ensemble with the repo default of 50 stumps.
+func NewAdaBoost(seed int64) *AdaBoost { return &AdaBoost{NStumps: 50, seed: seed} }
+
+// Name implements Classifier.
+func (m *AdaBoost) Name() string { return "AB" }
+
+// Fit implements Classifier.
+func (m *AdaBoost) Fit(x [][]float64, y []int) error {
+	if err := checkTrainingSet(x, y); err != nil {
+		return err
+	}
+	n := len(x)
+	d := len(x[0])
+	labels := make([]float64, n) // ±1
+	for i, v := range y {
+		labels[i] = 2*float64(v) - 1
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / float64(n)
+	}
+	m.stumps = m.stumps[:0]
+	importance := make([]float64, d)
+	for t := 0; t < m.NStumps; t++ {
+		best, bestErr := bestStump(x, labels, weights)
+		if bestErr >= 0.5 {
+			break // no stump better than chance remains
+		}
+		eps := math.Max(bestErr, 1e-10)
+		best.alpha = 0.5 * math.Log((1-eps)/eps)
+		m.stumps = append(m.stumps, best)
+		importance[best.feature] += best.alpha
+		var sum float64
+		for i := range weights {
+			weights[i] *= math.Exp(-best.alpha * labels[i] * best.predict(x[i]))
+			sum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		if bestErr == 0 {
+			break // perfect stump: further rounds add nothing
+		}
+	}
+	normalizeImportance(importance)
+	m.coef = signedImportance(importance, x, y)
+	return nil
+}
+
+// bestStump searches every feature and every midpoint threshold for the
+// stump with the lowest weighted error.
+func bestStump(x [][]float64, labels, weights []float64) (stump, float64) {
+	n := len(x)
+	d := len(x[0])
+	best := stump{feature: 0, threshold: 0, polarity: 1}
+	bestErr := math.Inf(1)
+	for f := 0; f < d; f++ {
+		// Candidate thresholds: midpoints of sorted unique values. For
+		// speed, sort indices by the feature once per feature.
+		order := allFeatures(n)
+		sortByFeature(x, order, f)
+		// Weighted sum of labels above the split updates incrementally.
+		var sumAbovePos, sumAboveNeg float64 // weights of +1/-1 labels above threshold
+		for i := range order {
+			if labels[order[i]] > 0 {
+				sumAbovePos += weights[order[i]]
+			} else {
+				sumAboveNeg += weights[order[i]]
+			}
+		}
+		// err(polarity=+1) = weight of -1 above + weight of +1 below.
+		var belowPos, belowNeg float64
+		consider := func(threshold float64) {
+			errPlus := sumAboveNeg + belowPos
+			errMinus := sumAbovePos + belowNeg
+			if errPlus < bestErr {
+				bestErr = errPlus
+				best = stump{feature: f, threshold: threshold, polarity: 1}
+			}
+			if errMinus < bestErr {
+				bestErr = errMinus
+				best = stump{feature: f, threshold: threshold, polarity: -1}
+			}
+		}
+		consider(x[order[0]][f] - 1) // everything above
+		for i := 0; i < n; i++ {
+			idx := order[i]
+			if labels[idx] > 0 {
+				belowPos += weights[idx]
+				sumAbovePos -= weights[idx]
+			} else {
+				belowNeg += weights[idx]
+				sumAboveNeg -= weights[idx]
+			}
+			if i+1 < n && x[order[i+1]][f] == x[idx][f] {
+				continue
+			}
+			var threshold float64
+			if i+1 < n {
+				threshold = (x[idx][f] + x[order[i+1]][f]) / 2
+			} else {
+				threshold = x[idx][f] + 1
+			}
+			consider(threshold)
+		}
+	}
+	return best, bestErr
+}
+
+func sortByFeature(x [][]float64, order []int, f int) {
+	sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+}
+
+// PredictProba implements Classifier.
+func (m *AdaBoost) PredictProba(x []float64) float64 {
+	var margin float64
+	for _, s := range m.stumps {
+		margin += s.alpha * s.predict(x)
+	}
+	return sigmoid(2 * margin)
+}
+
+// Coefficients implements Classifier.
+func (m *AdaBoost) Coefficients() []float64 { return vec.Clone(m.coef) }

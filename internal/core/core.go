@@ -1,0 +1,464 @@
+// Package core wires the three architectural components of the paper —
+// decision-unit generator, relevance scorer, explainable matcher — into the
+// trainable WYM system. It owns the end-to-end pipeline: corpus-trained
+// embeddings, optional task fine-tuning, Algorithm 1 unit discovery,
+// Equation 2/3 relevance training, feature engineering, classifier-pool
+// selection, and the inverse transformation that yields per-unit impact
+// scores.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wym/internal/classify"
+	"wym/internal/data"
+	"wym/internal/embed"
+	"wym/internal/features"
+	"wym/internal/relevance"
+	"wym/internal/textsim"
+	"wym/internal/tokenize"
+	"wym/internal/units"
+)
+
+// EmbeddingKind selects the decision-unit generator variant (Table 4).
+type EmbeddingKind int
+
+// Embedding variants.
+const (
+	// SBERT is the default: corpus embeddings contrastively fine-tuned
+	// with both positive and negative pairs (the Sentence-BERT stand-in).
+	SBERT EmbeddingKind = iota
+	// BERTPretrained uses the corpus embeddings as-is.
+	BERTPretrained
+	// BERTFinetuned fine-tunes with positive pairs only (the "fine-tuned
+	// on the EM task" stand-in).
+	BERTFinetuned
+	// JaroWinkler replaces the embedding similarity with the syntactic
+	// Jaro–Winkler measure during unit discovery (the Table 4 baseline).
+	// Relevance scoring still uses the corpus embeddings.
+	JaroWinkler
+)
+
+// ScorerKind selects the relevance scorer variant (Table 4).
+type ScorerKind int
+
+// Scorer variants.
+const (
+	ScorerNN     ScorerKind = iota // the trained network (default)
+	ScorerBinary                   // 1 paired / 0 unpaired
+	ScorerCosine                   // raw embedding cosine
+)
+
+// FeatureKind selects the matcher feature space (Table 4).
+type FeatureKind int
+
+// Feature-space variants.
+const (
+	FeaturesFull       FeatureKind = iota // per-attribute + record scopes
+	FeaturesSimplified                    // the 6-feature ablation
+)
+
+// Config assembles a WYM variant. DefaultConfig is the paper's system.
+type Config struct {
+	Thresholds   units.Thresholds
+	Tokenize     tokenize.Options
+	Embedding    EmbeddingKind
+	Scorer       ScorerKind
+	Features     FeatureKind
+	CodeExact    bool    // product-code exact-pairing heuristic (§5.1.1)
+	ContextGamma float64 // record-context mixing weight
+	Targets      relevance.TargetConfig
+	ScorerNN     relevance.NNConfig
+	// MaxFineTunePairs caps the contrastive pairs collected for the
+	// embedding fine-tune (0 = default cap).
+	MaxFineTunePairs int
+	Seed             int64
+}
+
+// DefaultConfig returns the paper-faithful configuration: θ/η/ε from §5,
+// SBERT-style embeddings, the NN scorer and the full feature space.
+func DefaultConfig() Config {
+	return Config{
+		Thresholds:   units.PaperThresholds,
+		Tokenize:     tokenize.Default,
+		Embedding:    SBERT,
+		Scorer:       ScorerNN,
+		Features:     FeaturesFull,
+		ContextGamma: 0.15,
+		Targets:      relevance.DefaultTargetConfig(),
+		Seed:         1,
+	}
+}
+
+// System is a fitted WYM matcher.
+type System struct {
+	cfg    Config
+	schema data.Schema
+	source embed.Source
+	scorer relevance.Scorer
+	space  *features.Space
+	model  classify.Classifier
+
+	report []classify.Score
+	timing Timing
+}
+
+// Timing is the §5.3 pipeline breakdown recorded during training.
+type Timing struct {
+	Embeddings  time.Duration // corpus embedding training + fine-tuning
+	UnitGen     time.Duration // tokenization + Algorithm 1 over the data
+	ScorerTrain time.Duration
+	Featurize   time.Duration
+	ModelSelect time.Duration
+}
+
+// Total returns the summed training time.
+func (t Timing) Total() time.Duration {
+	return t.Embeddings + t.UnitGen + t.ScorerTrain + t.Featurize + t.ModelSelect
+}
+
+// Train fits the full pipeline on the training split, selecting the
+// classifier by F1 on the validation split.
+func Train(train, valid *data.Dataset, cfg Config) (*System, error) {
+	if train == nil || train.Size() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	if valid == nil || valid.Size() == 0 {
+		return nil, fmt.Errorf("core: empty validation set")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Thresholds == (units.Thresholds{}) {
+		cfg.Thresholds = units.PaperThresholds
+	}
+
+	s := &System{cfg: cfg, schema: train.Schema}
+
+	// Stage 1: embedding substrate, trained on the corpus of both splits'
+	// entity descriptions (test data never reaches embedding training:
+	// Predict embeds unseen tokens via the hash part).
+	start := time.Now()
+	s.source = s.buildSource(train, valid)
+	s.timing.Embeddings = time.Since(start)
+
+	// Stage 2: decision units for every training and validation record.
+	start = time.Now()
+	trainRecs := s.ProcessAll(train)
+	validRecs := s.ProcessAll(valid)
+	s.timing.UnitGen = time.Since(start)
+
+	// Stage 3: relevance scorer.
+	start = time.Now()
+	switch cfg.Scorer {
+	case ScorerBinary:
+		s.scorer = relevance.Binary{}
+	case ScorerCosine:
+		s.scorer = relevance.Cosine{}
+	default:
+		ts := relevance.NewTrainingSet(cfg.Targets)
+		for i, rec := range trainRecs {
+			ts.Add(rec, train.Pairs[i].Label)
+		}
+		nnCfg := cfg.ScorerNN
+		if nnCfg.Seed == 0 {
+			nnCfg.Seed = cfg.Seed
+		}
+		scorer, err := relevance.TrainNN(ts, s.source.Dim(), nnCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: training relevance scorer: %w", err)
+		}
+		s.scorer = scorer
+	}
+	s.timing.ScorerTrain = time.Since(start)
+
+	// Stage 4: feature engineering.
+	start = time.Now()
+	if cfg.Features == FeaturesSimplified {
+		s.space = features.NewSimplifiedSpace()
+	} else {
+		s.space = features.NewSpace(len(train.Schema))
+	}
+	xTrain := s.featurizeAll(trainRecs)
+	xValid := s.featurizeAll(validRecs)
+	s.timing.Featurize = time.Since(start)
+
+	// Stage 5: classifier pool and model selection.
+	start = time.Now()
+	best, report, err := classify.SelectBest(classify.NewPool(cfg.Seed),
+		xTrain, train.Labels(), xValid, valid.Labels())
+	if err != nil {
+		return nil, fmt.Errorf("core: model selection: %w", err)
+	}
+	s.model = best
+	s.report = report
+	s.timing.ModelSelect = time.Since(start)
+	return s, nil
+}
+
+// buildSource trains the embedding stack for the configured variant.
+func (s *System) buildSource(train, valid *data.Dataset) embed.Source {
+	corpus := corpusOf(s.cfg.Tokenize, train, valid)
+	coocCfg := embed.DefaultCoocConfig()
+	coocCfg.Seed = s.cfg.Seed
+	base := embed.Source(embed.NewConcat(embed.NewHash(), embed.TrainCooc(corpus, coocCfg)))
+
+	switch s.cfg.Embedding {
+	case SBERT, BERTFinetuned:
+		pos, neg := s.contrastivePairs(train, base)
+		if s.cfg.Embedding == BERTFinetuned {
+			neg = nil // task fine-tune: consolidation only
+		}
+		base = embed.FineTune(base, pos, neg, embed.DefaultFineTuneConfig())
+	}
+	return embed.NewCache(base)
+}
+
+// contrastivePairs aligns tokens inside training records with the base
+// embeddings and collects paired units of matching records as positives
+// and of non-matching records as negatives, capped for efficiency.
+func (s *System) contrastivePairs(train *data.Dataset, base embed.Source) (pos, neg []embed.PairSample) {
+	limit := s.cfg.MaxFineTunePairs
+	if limit <= 0 {
+		limit = 2000
+	}
+	tmp := &System{cfg: s.cfg, schema: train.Schema, source: base}
+	for i := range train.Pairs {
+		if len(pos) >= limit && len(neg) >= limit {
+			break
+		}
+		rec := tmp.Process(train.Pairs[i])
+		for _, u := range rec.Units {
+			if u.Kind != units.Paired {
+				continue
+			}
+			sample := embed.PairSample{
+				A: rec.Left[u.Left].Text,
+				B: rec.Right[u.Right].Text,
+			}
+			if sample.A == sample.B {
+				continue // identical tokens carry no fine-tuning signal
+			}
+			if train.Pairs[i].Label == data.Match {
+				if len(pos) < limit {
+					pos = append(pos, sample)
+				}
+			} else if len(neg) < limit {
+				neg = append(neg, sample)
+			}
+		}
+	}
+	return pos, neg
+}
+
+// Process runs tokenization, contextual embedding and Algorithm 1 on one
+// record pair.
+func (s *System) Process(p data.Pair) *relevance.Record {
+	lt := tokenize.Entity(p.Left, s.cfg.Tokenize)
+	rt := tokenize.Entity(p.Right, s.cfg.Tokenize)
+	lv := embed.Contextualize(s.source, tokenize.Texts(lt), s.cfg.ContextGamma)
+	rv := embed.Contextualize(s.source, tokenize.Texts(rt), s.cfg.ContextGamma)
+	in := units.Input{
+		Left: lt, Right: rt,
+		LeftVecs: lv, RightVecs: rv,
+		NumAttrs:  len(s.schema),
+		CodeExact: s.cfg.CodeExact,
+	}
+	if s.cfg.Embedding == JaroWinkler {
+		in.SimOverride = func(l, r int) float64 {
+			return textsim.JaroWinkler(lt[l].Text, rt[r].Text)
+		}
+	}
+	return &relevance.Record{
+		Units: units.Discover(in, s.cfg.Thresholds),
+		Left:  lt, Right: rt,
+		LeftVecs: lv, RightVecs: rv,
+	}
+}
+
+// ProcessAll runs Process over a dataset concurrently, preserving order.
+func (s *System) ProcessAll(d *data.Dataset) []*relevance.Record {
+	out := make([]*relevance.Record, d.Size())
+	workers := runtime.GOMAXPROCS(0)
+	if workers > d.Size() {
+		workers = d.Size()
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = s.Process(d.Pairs[i])
+			}
+		}()
+	}
+	for i := range d.Pairs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+func (s *System) featurizeAll(recs []*relevance.Record) [][]float64 {
+	out := make([][]float64, len(recs))
+	for i, rec := range recs {
+		out[i] = s.space.Vector(rec.Units, s.scorer.Score(rec))
+	}
+	return out
+}
+
+// Predict classifies one record pair, returning the hard label and the
+// match probability.
+func (s *System) Predict(p data.Pair) (label int, proba float64) {
+	rec := s.Process(p)
+	return s.predictRecord(rec)
+}
+
+func (s *System) predictRecord(rec *relevance.Record) (int, float64) {
+	x := s.space.Vector(rec.Units, s.scorer.Score(rec))
+	proba := s.model.PredictProba(x)
+	if proba >= 0.5 {
+		return data.Match, proba
+	}
+	return data.NonMatch, proba
+}
+
+// PredictAll returns hard labels for a whole dataset.
+func (s *System) PredictAll(d *data.Dataset) []int {
+	recs := s.ProcessAll(d)
+	out := make([]int, len(recs))
+	for i, rec := range recs {
+		out[i], _ = s.predictRecord(rec)
+	}
+	return out
+}
+
+// UnitExplanation is one row of an explanation: a decision unit with its
+// rendered tokens, relevance and impact scores.
+type UnitExplanation struct {
+	Left, Right string // token texts; empty string for the absent side
+	Kind        units.Kind
+	Attr        int
+	Relevance   float64
+	Impact      float64
+}
+
+// Explanation is the full interpretable output for one record pair.
+type Explanation struct {
+	Prediction int
+	Proba      float64
+	Units      []UnitExplanation
+}
+
+// Explain predicts one record pair and attributes the decision to its
+// units via the inverse feature transformation. Positive impacts push
+// toward match, negative toward non-match.
+func (s *System) Explain(p data.Pair) Explanation {
+	rec := s.Process(p)
+	return s.explainRecord(rec)
+}
+
+func (s *System) explainRecord(rec *relevance.Record) Explanation {
+	scores := s.scorer.Score(rec)
+	x := s.space.Vector(rec.Units, scores)
+	proba := s.model.PredictProba(x)
+	impacts := s.space.Impacts(rec.Units, scores, s.model.Coefficients())
+
+	ex := Explanation{Proba: proba, Prediction: data.NonMatch}
+	if proba >= 0.5 {
+		ex.Prediction = data.Match
+	}
+	for i, u := range rec.Units {
+		l, r := units.Texts(u, rec.Left, rec.Right)
+		ex.Units = append(ex.Units, UnitExplanation{
+			Left: l, Right: r,
+			Kind: u.Kind, Attr: u.Attr,
+			Relevance: scores[i],
+			Impact:    impacts[i],
+		})
+	}
+	return ex
+}
+
+// ExplainRecord exposes explainRecord for callers that already hold a
+// processed record (the evaluation harness re-uses processed records).
+func (s *System) ExplainRecord(rec *relevance.Record) Explanation { return s.explainRecord(rec) }
+
+// PredictRecord exposes predictRecord for processed records.
+func (s *System) PredictRecord(rec *relevance.Record) (int, float64) {
+	return s.predictRecord(rec)
+}
+
+// ModelName returns the selected classifier's name.
+func (s *System) ModelName() string { return s.model.Name() }
+
+// Report returns the validation scores of every pool member, best first.
+func (s *System) Report() []classify.Score { return s.report }
+
+// TrainingTiming returns the recorded pipeline breakdown.
+func (s *System) TrainingTiming() Timing { return s.timing }
+
+// Schema returns the schema the system was trained on.
+func (s *System) Schema() data.Schema { return s.schema }
+
+// FeatureSpace exposes the fitted feature space (experiments inspect it).
+func (s *System) FeatureSpace() *features.Space { return s.space }
+
+// Scorer exposes the fitted relevance scorer.
+func (s *System) Scorer() relevance.Scorer { return s.scorer }
+
+// corpusOf collects the token sequences of every entity description for
+// embedding training.
+func corpusOf(opts tokenize.Options, sets ...*data.Dataset) [][]string {
+	var corpus [][]string
+	for _, d := range sets {
+		if d == nil {
+			continue
+		}
+		for _, p := range d.Pairs {
+			corpus = append(corpus,
+				tokenize.Texts(tokenize.Entity(p.Left, opts)),
+				tokenize.Texts(tokenize.Entity(p.Right, opts)))
+		}
+	}
+	return corpus
+}
+
+// NewUnitGenerator builds a System that can Process records (tokenize,
+// embed, discover units) without training a scorer or matcher. The Figure 4
+// unit-distribution experiment uses it. Predict/Explain must not be called
+// on the result.
+func NewUnitGenerator(d *data.Dataset, cfg Config) *System {
+	if cfg.Thresholds == (units.Thresholds{}) {
+		cfg.Thresholds = units.PaperThresholds
+	}
+	s := &System{cfg: cfg, schema: d.Schema}
+	s.source = s.buildSource(d, nil)
+	return s
+}
+
+// Featurize processes a dataset and returns the engineered feature matrix
+// the matcher consumes; Table 5 fits the whole classifier pool on it.
+func (s *System) Featurize(d *data.Dataset) [][]float64 {
+	return s.featurizeAll(s.ProcessAll(d))
+}
+
+// AttributeImpact aggregates an explanation's impacts per schema
+// attribute: the CERTA-style attribute-level view the related work
+// discusses. The returned slice is aligned with the schema; units whose
+// attribute falls outside the schema are ignored.
+func AttributeImpact(schema data.Schema, ex Explanation) []float64 {
+	out := make([]float64, len(schema))
+	for _, u := range ex.Units {
+		if u.Attr >= 0 && u.Attr < len(out) {
+			out[u.Attr] += u.Impact
+		}
+	}
+	return out
+}

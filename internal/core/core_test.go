@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/datagen"
+	"wym/internal/nn"
+	"wym/internal/relevance"
+	"wym/internal/units"
+)
+
+// fastConfig returns a configuration sized for tests: smaller scorer
+// network and fewer fine-tune pairs, everything else paper-default.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ScorerNN = relevance.NNConfig{
+		Hidden: []int{32, 16},
+		Train:  nn.Config{Epochs: 15, BatchSize: 64, LR: 1e-3, Seed: 1},
+		Seed:   1,
+	}
+	cfg.MaxFineTunePairs = 300
+	return cfg
+}
+
+type trained struct {
+	sys  *System
+	test *data.Dataset
+}
+
+var trainCache = map[string]trained{}
+
+// trainOn generates a scaled dataset, splits 60-20-20 and trains. Results
+// for the default fastConfig are cached across tests to keep the suite
+// quick; pass cache=false for variant configs.
+func trainOn(t *testing.T, key string, scale float64, cfg Config) (*System, *data.Dataset) {
+	t.Helper()
+	cacheKey := fmt.Sprintf("%s@%v", key, scale)
+	if got, ok := trainCache[cacheKey]; ok {
+		return got.sys, got.test
+	}
+	p, ok := datagen.ProfileByKey(key)
+	if !ok {
+		t.Fatalf("unknown profile %q", key)
+	}
+	d := datagen.Generate(p, scale)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := Train(train, valid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainCache[cacheKey] = trained{sys, test}
+	return sys, test
+}
+
+func f1Of(pred, labels []int) float64 {
+	var tp, fp, fn int
+	for i := range labels {
+		switch {
+		case pred[i] == 1 && labels[i] == 1:
+			tp++
+		case pred[i] == 1 && labels[i] == 0:
+			fp++
+		case pred[i] == 0 && labels[i] == 1:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}
+
+func TestTrainAndPredictEasyDataset(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	f1 := f1Of(sys.PredictAll(test), test.Labels())
+	if f1 < 0.9 {
+		t.Fatalf("S-FZ F1 = %v, want >= 0.9 (report: %+v)", f1, sys.Report())
+	}
+}
+
+func TestTrainAndPredictMediumDataset(t *testing.T) {
+	sys, test := trainOn(t, "S-DA", 0.08, fastConfig())
+	f1 := f1Of(sys.PredictAll(test), test.Labels())
+	if f1 < 0.8 {
+		t.Fatalf("S-DA F1 = %v, want >= 0.8 (model %s)", f1, sys.ModelName())
+	}
+}
+
+func TestTrainRejectsEmptySets(t *testing.T) {
+	d := datagen.Generate(mustProfile(t, "S-FZ"), 1.0)
+	if _, err := Train(nil, d, fastConfig()); err == nil {
+		t.Fatal("expected error on nil training set")
+	}
+	if _, err := Train(d, &data.Dataset{}, fastConfig()); err == nil {
+		t.Fatal("expected error on empty validation set")
+	}
+}
+
+func mustProfile(t *testing.T, key string) datagen.Profile {
+	t.Helper()
+	p, ok := datagen.ProfileByKey(key)
+	if !ok {
+		t.Fatalf("unknown profile %q", key)
+	}
+	return p
+}
+
+func TestExplainStructure(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	for _, pair := range test.Pairs[:10] {
+		ex := sys.Explain(pair)
+		if ex.Proba < 0 || ex.Proba > 1 || math.IsNaN(ex.Proba) {
+			t.Fatalf("proba = %v", ex.Proba)
+		}
+		if (ex.Prediction == data.Match) != (ex.Proba >= 0.5) {
+			t.Fatalf("prediction/proba inconsistent: %d vs %v", ex.Prediction, ex.Proba)
+		}
+		if len(ex.Units) == 0 {
+			t.Fatal("explanation has no units")
+		}
+		for _, u := range ex.Units {
+			if u.Left == "" && u.Right == "" {
+				t.Fatalf("unit with no tokens: %+v", u)
+			}
+			if u.Kind == units.Paired && (u.Left == "" || u.Right == "") {
+				t.Fatalf("paired unit missing a side: %+v", u)
+			}
+			if u.Relevance < -1 || u.Relevance > 1 {
+				t.Fatalf("relevance out of range: %v", u.Relevance)
+			}
+			if math.IsNaN(u.Impact) || math.IsInf(u.Impact, 0) {
+				t.Fatalf("impact not finite: %v", u.Impact)
+			}
+		}
+	}
+}
+
+func TestExplainImpactsAlignWithPrediction(t *testing.T) {
+	// Summed impacts should correlate with the decision over the test set:
+	// records predicted Match should have a higher total impact than
+	// records predicted NonMatch.
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	var matchTotal, nonTotal float64
+	var nMatch, nNon int
+	for _, pair := range test.Pairs {
+		ex := sys.Explain(pair)
+		var sum float64
+		for _, u := range ex.Units {
+			sum += u.Impact
+		}
+		if ex.Prediction == data.Match {
+			matchTotal += sum
+			nMatch++
+		} else {
+			nonTotal += sum
+			nNon++
+		}
+	}
+	if nMatch == 0 || nNon == 0 {
+		t.Fatal("degenerate predictions")
+	}
+	if matchTotal/float64(nMatch) <= nonTotal/float64(nNon) {
+		t.Fatalf("impacts do not separate: match %v <= non %v",
+			matchTotal/float64(nMatch), nonTotal/float64(nNon))
+	}
+}
+
+func TestPredictConsistentWithExplain(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	for _, pair := range test.Pairs[:20] {
+		label, proba := sys.Predict(pair)
+		ex := sys.Explain(pair)
+		if label != ex.Prediction || math.Abs(proba-ex.Proba) > 1e-12 {
+			t.Fatalf("Predict and Explain disagree: %d/%v vs %d/%v",
+				label, proba, ex.Prediction, ex.Proba)
+		}
+	}
+}
+
+func TestVariantsTrain(t *testing.T) {
+	// Every Table 4 variant must train and produce a usable matcher.
+	variants := map[string]func(*Config){
+		"BERT-pt":       func(c *Config) { c.Embedding = BERTPretrained },
+		"BERT-ft":       func(c *Config) { c.Embedding = BERTFinetuned },
+		"JaroWinkler":   func(c *Config) { c.Embedding = JaroWinkler },
+		"binary scorer": func(c *Config) { c.Scorer = ScorerBinary },
+		"cosine scorer": func(c *Config) { c.Scorer = ScorerCosine },
+		"binary JW":     func(c *Config) { c.Embedding = JaroWinkler; c.Scorer = ScorerBinary },
+		"simplified":    func(c *Config) { c.Features = FeaturesSimplified },
+		"code exact":    func(c *Config) { c.CodeExact = true },
+	}
+	p := mustProfile(t, "S-FZ")
+	d := datagen.Generate(p, 1.0)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	for name, mutate := range variants {
+		name, mutate := name, mutate
+		t.Run(name, func(t *testing.T) {
+			cfg := fastConfig()
+			mutate(&cfg)
+			sys, err := Train(train, valid, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f1 := f1Of(sys.PredictAll(test), test.Labels()); f1 < 0.6 {
+				t.Fatalf("variant F1 = %v, want >= 0.6", f1)
+			}
+		})
+	}
+}
+
+func TestTimingRecorded(t *testing.T) {
+	sys, _ := trainOn(t, "S-FZ", 1.0, fastConfig())
+	timing := sys.TrainingTiming()
+	if timing.Total() <= 0 {
+		t.Fatalf("timing not recorded: %+v", timing)
+	}
+	if timing.UnitGen <= 0 || timing.ModelSelect <= 0 {
+		t.Fatalf("stage timings missing: %+v", timing)
+	}
+}
+
+func TestReportHasTenModels(t *testing.T) {
+	sys, _ := trainOn(t, "S-FZ", 1.0, fastConfig())
+	if len(sys.Report()) != 10 {
+		t.Fatalf("report rows = %d, want 10", len(sys.Report()))
+	}
+	if sys.ModelName() == "" {
+		t.Fatal("no model selected")
+	}
+}
+
+func TestProcessAllPreservesOrder(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	recs := sys.ProcessAll(test)
+	for i, rec := range recs {
+		direct := sys.Process(test.Pairs[i])
+		if len(rec.Units) != len(direct.Units) {
+			t.Fatalf("record %d differs between ProcessAll and Process", i)
+		}
+	}
+}
+
+func TestDefaultThresholdsApplied(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Thresholds = units.Thresholds{} // zero value must fall back to paper's
+	p := mustProfile(t, "S-FZ")
+	d := datagen.Generate(p, 1.0)
+	train, valid, _ := d.Split(0.6, 0.2, 1)
+	if _, err := Train(train, valid, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fullDataset generates a full-scale dataset for a profile (test helper
+// shared with the persistence tests).
+func fullDataset(p datagen.Profile) *data.Dataset {
+	return datagen.Generate(p, 1.0)
+}
+
+func TestPredictDegenerateRecords(t *testing.T) {
+	// Records with blank or one-sided content must not panic and must
+	// yield a valid probability.
+	sys, _ := trainOn(t, "S-FZ", 1.0, fastConfig())
+	schema := sys.Schema()
+	blank := make(data.Entity, len(schema))
+	full := data.Entity{"the blue bistro", "10 main st", "boston", "555 010 2030"}
+	cases := []data.Pair{
+		{Left: blank, Right: blank},
+		{Left: full, Right: blank},
+		{Left: blank, Right: full},
+		{Left: full, Right: full},
+	}
+	for i, p := range cases {
+		label, proba := sys.Predict(p)
+		if proba < 0 || proba > 1 || math.IsNaN(proba) {
+			t.Fatalf("case %d: proba = %v", i, proba)
+		}
+		if label != data.Match && label != data.NonMatch {
+			t.Fatalf("case %d: label = %d", i, label)
+		}
+		ex := sys.Explain(p)
+		for _, u := range ex.Units {
+			if math.IsNaN(u.Impact) {
+				t.Fatalf("case %d: NaN impact", i)
+			}
+		}
+	}
+	// Identical entities should lean strongly toward match.
+	if label, proba := sys.Predict(data.Pair{Left: full, Right: full}); label != data.Match {
+		t.Fatalf("identical entities predicted non-match (p=%v)", proba)
+	}
+}
+
+func TestExplainRelevanceSymmetryEndToEnd(t *testing.T) {
+	// Swapping left and right descriptions must keep paired-unit relevance
+	// identical (challenge R3 verified through the whole pipeline).
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	for _, p := range test.Pairs[:10] {
+		fwd := sys.Explain(p)
+		rev := sys.Explain(data.Pair{Left: p.Right, Right: p.Left, Label: p.Label})
+		fwdRel := map[string]float64{}
+		for _, u := range fwd.Units {
+			if u.Kind == units.Paired {
+				fwdRel[pairKey(u.Left, u.Right)] = u.Relevance
+			}
+		}
+		for _, u := range rev.Units {
+			if u.Kind != units.Paired {
+				continue
+			}
+			if want, ok := fwdRel[pairKey(u.Right, u.Left)]; ok {
+				if math.Abs(u.Relevance-want) > 1e-9 {
+					t.Fatalf("relevance asymmetry for (%s,%s): %v vs %v",
+						u.Left, u.Right, u.Relevance, want)
+				}
+			}
+		}
+	}
+}
+
+func pairKey(a, b string) string { return a + "\x00" + b }
+
+func TestTuneThresholds(t *testing.T) {
+	p := mustProfile(t, "S-FZ")
+	d := datagen.Generate(p, 1.0)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	grid := []units.Thresholds{
+		{Theta: 0.55, Eta: 0.60, Epsilon: 0.65},
+		{Theta: 0.60, Eta: 0.65, Epsilon: 0.70},
+	}
+	best, results, err := TuneThresholds(train, valid, fastConfig(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.ValidF1 < 0 || r.ValidF1 > 1 {
+			t.Fatalf("valid F1 = %v", r.ValidF1)
+		}
+	}
+	if f1 := f1Of(best.PredictAll(test), test.Labels()); f1 < 0.9 {
+		t.Fatalf("tuned system F1 = %v", f1)
+	}
+}
+
+func TestTuneThresholdsDefaultGrid(t *testing.T) {
+	if len(DefaultThresholdGrid) == 0 {
+		t.Fatal("empty default grid")
+	}
+	for _, th := range DefaultThresholdGrid {
+		if !(th.Theta <= th.Eta && th.Eta <= th.Epsilon) {
+			t.Fatalf("grid triple not increasing: %+v", th)
+		}
+	}
+}
+
+func TestAttributeImpact(t *testing.T) {
+	schema := data.Schema{"name", "brand"}
+	ex := Explanation{Units: []UnitExplanation{
+		{Attr: 0, Impact: 0.3},
+		{Attr: 0, Impact: -0.1},
+		{Attr: 1, Impact: 0.5},
+		{Attr: 9, Impact: 99}, // out of schema: ignored
+	}}
+	got := AttributeImpact(schema, ex)
+	if math.Abs(got[0]-0.2) > 1e-12 || math.Abs(got[1]-0.5) > 1e-12 {
+		t.Fatalf("attribute impacts = %v", got)
+	}
+}

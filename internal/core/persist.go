@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"wym/internal/classify"
+	"wym/internal/data"
+	"wym/internal/embed"
+	"wym/internal/features"
+	"wym/internal/nn"
+	"wym/internal/relevance"
+	"wym/internal/tokenize"
+	"wym/internal/units"
+)
+
+// Persistence: a fitted System serializes with encoding/gob so a matcher
+// can be trained once and served from many processes. The nn.Config's
+// Verbose callback cannot be encoded, so the configuration round-trips
+// through a function-free shadow struct; everything else (embedding
+// sources, scorer, classifier) carries its own gob support.
+
+// trainShadow mirrors nn.Config without the Verbose callback.
+type trainShadow struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	L2        float64
+	Loss      nn.Loss
+	Seed      int64
+}
+
+// configShadow mirrors Config with the shadowed optimizer settings.
+type configShadow struct {
+	Thresholds       units.Thresholds
+	Tokenize         tokenize.Options
+	Embedding        EmbeddingKind
+	Scorer           ScorerKind
+	Features         FeatureKind
+	CodeExact        bool
+	ContextGamma     float64
+	Targets          relevance.TargetConfig
+	ScorerHidden     []int
+	ScorerTrain      trainShadow
+	ScorerSeed       int64
+	MaxFineTunePairs int
+	Seed             int64
+}
+
+func shadowOf(cfg Config) configShadow {
+	t := cfg.ScorerNN.Train
+	return configShadow{
+		Thresholds:   cfg.Thresholds,
+		Tokenize:     cfg.Tokenize,
+		Embedding:    cfg.Embedding,
+		Scorer:       cfg.Scorer,
+		Features:     cfg.Features,
+		CodeExact:    cfg.CodeExact,
+		ContextGamma: cfg.ContextGamma,
+		Targets:      cfg.Targets,
+		ScorerHidden: cfg.ScorerNN.Hidden,
+		ScorerTrain: trainShadow{
+			Epochs: t.Epochs, BatchSize: t.BatchSize, LR: t.LR, L2: t.L2,
+			Loss: t.Loss, Seed: t.Seed,
+		},
+		ScorerSeed:       cfg.ScorerNN.Seed,
+		MaxFineTunePairs: cfg.MaxFineTunePairs,
+		Seed:             cfg.Seed,
+	}
+}
+
+func (s configShadow) config() Config {
+	return Config{
+		Thresholds:   s.Thresholds,
+		Tokenize:     s.Tokenize,
+		Embedding:    s.Embedding,
+		Scorer:       s.Scorer,
+		Features:     s.Features,
+		CodeExact:    s.CodeExact,
+		ContextGamma: s.ContextGamma,
+		Targets:      s.Targets,
+		ScorerNN: relevance.NNConfig{
+			Hidden: s.ScorerHidden,
+			Train: nn.Config{
+				Epochs: s.ScorerTrain.Epochs, BatchSize: s.ScorerTrain.BatchSize,
+				LR: s.ScorerTrain.LR, L2: s.ScorerTrain.L2,
+				Loss: s.ScorerTrain.Loss, Seed: s.ScorerTrain.Seed,
+			},
+			Seed: s.ScorerSeed,
+		},
+		MaxFineTunePairs: s.MaxFineTunePairs,
+		Seed:             s.Seed,
+	}
+}
+
+// systemSnapshot is the on-disk form of a fitted System.
+type systemSnapshot struct {
+	Cfg    configShadow
+	Schema data.Schema
+	Source embed.Source
+	Scorer relevance.Scorer
+	Space  *features.Space
+	Model  classify.Classifier
+	Report []classify.Score
+	Timing Timing
+}
+
+// Save serializes the fitted system. It fails on an untrained system.
+func (s *System) Save(w io.Writer) error {
+	if s.model == nil || s.scorer == nil || s.source == nil {
+		return fmt.Errorf("core: cannot save an untrained system")
+	}
+	snap := systemSnapshot{
+		Cfg:    shadowOf(s.cfg),
+		Schema: s.schema,
+		Source: s.source,
+		Scorer: s.scorer,
+		Space:  s.space,
+		Model:  s.model,
+		Report: s.report,
+		Timing: s.timing,
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("core: encoding system: %w", err)
+	}
+	return nil
+}
+
+// Load restores a system saved with Save.
+func Load(r io.Reader) (*System, error) {
+	var snap systemSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding system: %w", err)
+	}
+	if snap.Model == nil || snap.Scorer == nil || snap.Source == nil || snap.Space == nil {
+		return nil, fmt.Errorf("core: snapshot is missing fitted components")
+	}
+	return &System{
+		cfg:    snap.Cfg.config(),
+		schema: snap.Schema,
+		source: snap.Source,
+		scorer: snap.Scorer,
+		space:  snap.Space,
+		model:  snap.Model,
+		report: snap.Report,
+		timing: snap.Timing,
+	}, nil
+}
+
+// SaveFile saves the system to a file.
+func (s *System) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a system from a file.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions and probabilities must be identical on every test record.
+	for _, p := range test.Pairs {
+		l1, p1 := sys.Predict(p)
+		l2, p2 := loaded.Predict(p)
+		if l1 != l2 || p1 != p2 {
+			t.Fatalf("prediction diverged after reload: %d/%v vs %d/%v", l1, p1, l2, p2)
+		}
+	}
+	// Explanations must match too (scores flow through scorer + space +
+	// model coefficients).
+	ex1 := sys.Explain(test.Pairs[0])
+	ex2 := loaded.Explain(test.Pairs[0])
+	if len(ex1.Units) != len(ex2.Units) {
+		t.Fatalf("unit counts differ: %d vs %d", len(ex1.Units), len(ex2.Units))
+	}
+	for i := range ex1.Units {
+		if ex1.Units[i] != ex2.Units[i] {
+			t.Fatalf("unit %d differs: %+v vs %+v", i, ex1.Units[i], ex2.Units[i])
+		}
+	}
+	if loaded.ModelName() != sys.ModelName() {
+		t.Fatalf("model name = %q, want %q", loaded.ModelName(), sys.ModelName())
+	}
+	if len(loaded.Report()) != len(sys.Report()) {
+		t.Fatal("report lost")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := sys.Predict(test.Pairs[0])
+	l2, _ := loaded.Predict(test.Pairs[0])
+	if l1 != l2 {
+		t.Fatal("file round trip changed predictions")
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&System{}).Save(&buf); err == nil {
+		t.Fatal("expected error saving an untrained system")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSaveLoadAllVariants(t *testing.T) {
+	// Every scorer and embedding variant must survive the round trip —
+	// each exercises different gob-registered concrete types.
+	d := fullDataset(mustProfile(t, "S-FZ"))
+	variants := []func(*Config){
+		func(c *Config) {},
+		func(c *Config) { c.Embedding = BERTPretrained },
+		func(c *Config) { c.Scorer = ScorerBinary },
+		func(c *Config) { c.Scorer = ScorerCosine },
+		func(c *Config) { c.Features = FeaturesSimplified },
+	}
+	for i, mutate := range variants {
+		cfg := fastConfig()
+		mutate(&cfg)
+		train, valid, test := d.Split(0.6, 0.2, 1)
+		sys, err := Train(train, valid, cfg)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := sys.Save(&buf); err != nil {
+			t.Fatalf("variant %d save: %v", i, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("variant %d load: %v", i, err)
+		}
+		for _, pr := range test.Pairs[:10] {
+			l1, p1 := sys.Predict(pr)
+			l2, p2 := loaded.Predict(pr)
+			if l1 != l2 || p1 != p2 {
+				t.Fatalf("variant %d diverged after reload", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"wym/internal/data"
+	"wym/internal/eval"
+	"wym/internal/units"
+)
+
+// The paper notes that the optimal θ/η/ε thresholds are dataset-dependent
+// and "can only be experimentally determined" (§4.1.2). TuneThresholds
+// automates that experiment: it trains one system per candidate triple and
+// keeps the one with the best validation F1.
+
+// DefaultThresholdGrid spans the useful band around the paper's values,
+// keeping the increasing θ ≤ η ≤ ε ordering the paper argues for.
+var DefaultThresholdGrid = []units.Thresholds{
+	{Theta: 0.50, Eta: 0.55, Epsilon: 0.60},
+	{Theta: 0.55, Eta: 0.60, Epsilon: 0.65},
+	{Theta: 0.60, Eta: 0.65, Epsilon: 0.70}, // the paper's triple
+	{Theta: 0.65, Eta: 0.70, Epsilon: 0.75},
+	{Theta: 0.70, Eta: 0.75, Epsilon: 0.80},
+}
+
+// TuneResult is one grid point's outcome.
+type TuneResult struct {
+	Thresholds units.Thresholds
+	ValidF1    float64
+}
+
+// TuneThresholds trains cfg once per grid triple (DefaultThresholdGrid if
+// grid is nil) and returns the best system together with the full sweep,
+// ordered as the grid. The validation split drives both the classifier
+// selection inside each training run and the triple selection across runs.
+func TuneThresholds(train, valid *data.Dataset, cfg Config, grid []units.Thresholds) (*System, []TuneResult, error) {
+	if len(grid) == 0 {
+		grid = DefaultThresholdGrid
+	}
+	var best *System
+	bestF1 := -1.0
+	results := make([]TuneResult, 0, len(grid))
+	for _, th := range grid {
+		c := cfg
+		c.Thresholds = th
+		sys, err := Train(train, valid, c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: tuning %+v: %w", th, err)
+		}
+		f1 := eval.F1Score(sys.PredictAll(valid), valid.Labels())
+		results = append(results, TuneResult{Thresholds: th, ValidF1: f1})
+		if f1 > bestF1 {
+			best, bestF1 = sys, f1
+		}
+	}
+	return best, results, nil
+}

@@ -1,0 +1,126 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV encodes the dataset in the Magellan-style layout: a header of
+// "label, left_<attr>..., right_<attr>..." followed by one row per pair.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, 1+2*len(d.Schema))
+	header = append(header, "label")
+	for _, a := range d.Schema {
+		header = append(header, "left_"+a)
+	}
+	for _, a := range d.Schema {
+		header = append(header, "right_"+a)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("data: writing header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, p := range d.Pairs {
+		row[0] = strconv.Itoa(p.Label)
+		copy(row[1:], p.Left)
+		copy(row[1+len(d.Schema):], p.Right)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("data: writing pair %d: %w", p.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a dataset from the layout produced by WriteCSV. The
+// schema is recovered from the left_*/right_* header columns, which must
+// mirror each other in order.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "label" {
+		return nil, fmt.Errorf("data: header must start with 'label', got %v", header)
+	}
+	if (len(header)-1)%2 != 0 {
+		return nil, fmt.Errorf("data: unbalanced left/right columns (%d)", len(header)-1)
+	}
+	m := (len(header) - 1) / 2
+	schema := make(Schema, m)
+	for i := 0; i < m; i++ {
+		l, r := header[1+i], header[1+m+i]
+		if !strings.HasPrefix(l, "left_") || !strings.HasPrefix(r, "right_") {
+			return nil, fmt.Errorf("data: column %d/%d not left_/right_ prefixed: %q/%q", 1+i, 1+m+i, l, r)
+		}
+		la, ra := strings.TrimPrefix(l, "left_"), strings.TrimPrefix(r, "right_")
+		if la != ra {
+			return nil, fmt.Errorf("data: mismatched attribute order: %q vs %q", la, ra)
+		}
+		schema[i] = la
+	}
+
+	d := &Dataset{Name: name, Schema: schema}
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("data: line %d has %d fields, want %d", lineNo, len(rec), len(header))
+		}
+		label, err := strconv.Atoi(strings.TrimSpace(rec[0]))
+		if err != nil || (label != Match && label != NonMatch) {
+			return nil, fmt.Errorf("data: line %d has invalid label %q", lineNo, rec[0])
+		}
+		p := Pair{
+			ID:    len(d.Pairs),
+			Left:  append(Entity{}, rec[1:1+m]...),
+			Right: append(Entity{}, rec[1+m:]...),
+			Label: label,
+		}
+		d.Pairs = append(d.Pairs, p)
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path as CSV.
+func SaveFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	if err := WriteCSV(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from a CSV file; the dataset name is the path's
+// base name without extension.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return ReadCSV(f, base)
+}

@@ -1,0 +1,186 @@
+// Package data defines the dataset model for entity-matching benchmarks: a
+// common schema, entity descriptions, labeled record pairs, stratified
+// train/validation/test splits, and a CSV interchange format compatible
+// with the Magellan benchmark layout (label, left_*, right_* columns).
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Schema is the ordered list of attribute names shared by both entity
+// descriptions of every record (the paper assumes aligned schemas; §4).
+type Schema []string
+
+// Index returns the position of the named attribute, or -1.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Entity is one entity description: attribute values aligned with a Schema.
+type Entity []string
+
+// Clone returns a copy of the entity.
+func (e Entity) Clone() Entity {
+	out := make(Entity, len(e))
+	copy(out, e)
+	return out
+}
+
+// Label values for a record pair.
+const (
+	NonMatch = 0
+	Match    = 1
+)
+
+// Pair is one EM record: two entity descriptions and a match label.
+type Pair struct {
+	ID          int
+	Left, Right Entity
+	Label       int
+}
+
+// Dataset is a named collection of labeled pairs over one schema.
+type Dataset struct {
+	Name   string
+	Schema Schema
+	Pairs  []Pair
+}
+
+// Size returns the number of record pairs.
+func (d *Dataset) Size() int { return len(d.Pairs) }
+
+// Matches returns the number of records labeled Match.
+func (d *Dataset) Matches() int {
+	var n int
+	for _, p := range d.Pairs {
+		if p.Label == Match {
+			n++
+		}
+	}
+	return n
+}
+
+// MatchRate returns the fraction of matching records (0 for an empty set).
+func (d *Dataset) MatchRate() float64 {
+	if len(d.Pairs) == 0 {
+		return 0
+	}
+	return float64(d.Matches()) / float64(len(d.Pairs))
+}
+
+// Labels returns the label column as a slice.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Pairs))
+	for i, p := range d.Pairs {
+		out[i] = p.Label
+	}
+	return out
+}
+
+// Subset returns a dataset containing the pairs at the given indices; the
+// schema is shared, pairs are copied by value.
+func (d *Dataset) Subset(name string, idx []int) *Dataset {
+	out := &Dataset{Name: name, Schema: d.Schema, Pairs: make([]Pair, len(idx))}
+	for i, j := range idx {
+		out.Pairs[i] = d.Pairs[j]
+	}
+	return out
+}
+
+// Sample returns a stratified random sample of n pairs (all pairs when n
+// exceeds the dataset size), preserving the match rate as closely as the
+// rounding allows. The learning-curve experiment (§5.1.2) uses it.
+func (d *Dataset) Sample(n int, seed int64) *Dataset {
+	if n >= len(d.Pairs) {
+		return d.Subset(d.Name, seqIndices(len(d.Pairs)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pos, neg := d.byLabel()
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	nPos := int(float64(n)*d.MatchRate() + 0.5)
+	if nPos > len(pos) {
+		nPos = len(pos)
+	}
+	if nPos < 1 && len(pos) > 0 {
+		nPos = 1
+	}
+	nNeg := n - nPos
+	if nNeg > len(neg) {
+		nNeg = len(neg)
+	}
+	idx := append(append([]int{}, pos[:nPos]...), neg[:nNeg]...)
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return d.Subset(fmt.Sprintf("%s[n=%d]", d.Name, n), idx)
+}
+
+// Split partitions the dataset into train/validation/test subsets with the
+// given fractions (test receives the remainder), stratified by label so
+// each split preserves the match rate. The paper uses 60-20-20.
+func (d *Dataset) Split(trainFrac, validFrac float64, seed int64) (train, valid, test *Dataset) {
+	if trainFrac < 0 || validFrac < 0 || trainFrac+validFrac > 1 {
+		panic(fmt.Sprintf("data: invalid split fractions %v/%v", trainFrac, validFrac))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pos, neg := d.byLabel()
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+
+	var trainIdx, validIdx, testIdx []int
+	cut := func(idx []int) {
+		nTrain := int(float64(len(idx)) * trainFrac)
+		nValid := int(float64(len(idx)) * validFrac)
+		trainIdx = append(trainIdx, idx[:nTrain]...)
+		validIdx = append(validIdx, idx[nTrain:nTrain+nValid]...)
+		testIdx = append(testIdx, idx[nTrain+nValid:]...)
+	}
+	cut(pos)
+	cut(neg)
+	rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+	rng.Shuffle(len(validIdx), func(i, j int) { validIdx[i], validIdx[j] = validIdx[j], validIdx[i] })
+	rng.Shuffle(len(testIdx), func(i, j int) { testIdx[i], testIdx[j] = testIdx[j], testIdx[i] })
+	return d.Subset(d.Name+"/train", trainIdx),
+		d.Subset(d.Name+"/valid", validIdx),
+		d.Subset(d.Name+"/test", testIdx)
+}
+
+func (d *Dataset) byLabel() (pos, neg []int) {
+	for i, p := range d.Pairs {
+		if p.Label == Match {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	return pos, neg
+}
+
+// Validate checks structural invariants: every entity has exactly one value
+// per schema attribute and labels are 0/1.
+func (d *Dataset) Validate() error {
+	for i, p := range d.Pairs {
+		if len(p.Left) != len(d.Schema) || len(p.Right) != len(d.Schema) {
+			return fmt.Errorf("data: pair %d has %d/%d values for %d attributes",
+				i, len(p.Left), len(p.Right), len(d.Schema))
+		}
+		if p.Label != Match && p.Label != NonMatch {
+			return fmt.Errorf("data: pair %d has label %d", i, p.Label)
+		}
+	}
+	return nil
+}
+
+func seqIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

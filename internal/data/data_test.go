@@ -1,0 +1,247 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleDataset(nPos, nNeg int) *Dataset {
+	d := &Dataset{Name: "test", Schema: Schema{"name", "brand"}}
+	for i := 0; i < nPos; i++ {
+		d.Pairs = append(d.Pairs, Pair{
+			ID: len(d.Pairs), Label: Match,
+			Left:  Entity{"camera x100", "sony"},
+			Right: Entity{"camera x-100", "sony"},
+		})
+	}
+	for i := 0; i < nNeg; i++ {
+		d.Pairs = append(d.Pairs, Pair{
+			ID: len(d.Pairs), Label: NonMatch,
+			Left:  Entity{"camera x100", "sony"},
+			Right: Entity{"printer p20", "hp"},
+		})
+	}
+	return d
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := Schema{"name", "brand", "price"}
+	if s.Index("brand") != 1 {
+		t.Fatalf("Index(brand) = %d", s.Index("brand"))
+	}
+	if s.Index("missing") != -1 {
+		t.Fatal("missing attribute should return -1")
+	}
+}
+
+func TestEntityClone(t *testing.T) {
+	e := Entity{"a", "b"}
+	c := e.Clone()
+	c[0] = "z"
+	if e[0] != "a" {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	d := sampleDataset(3, 7)
+	if d.Size() != 10 || d.Matches() != 3 {
+		t.Fatalf("size/matches = %d/%d", d.Size(), d.Matches())
+	}
+	if math.Abs(d.MatchRate()-0.3) > 1e-12 {
+		t.Fatalf("match rate = %v", d.MatchRate())
+	}
+	empty := &Dataset{}
+	if empty.MatchRate() != 0 {
+		t.Fatal("empty match rate should be 0")
+	}
+	labels := d.Labels()
+	if len(labels) != 10 || labels[0] != 1 || labels[9] != 0 {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestSplitProportionsAndStratification(t *testing.T) {
+	d := sampleDataset(100, 400)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	if train.Size() != 300 || valid.Size() != 100 || test.Size() != 100 {
+		t.Fatalf("split sizes = %d/%d/%d", train.Size(), valid.Size(), test.Size())
+	}
+	for _, s := range []*Dataset{train, valid, test} {
+		if math.Abs(s.MatchRate()-0.2) > 0.02 {
+			t.Fatalf("split %s match rate = %v, want ~0.2", s.Name, s.MatchRate())
+		}
+	}
+	// Splits must partition the dataset: no pair lost or duplicated.
+	seen := map[int]int{}
+	for _, s := range []*Dataset{train, valid, test} {
+		for _, p := range s.Pairs {
+			seen[p.ID]++
+		}
+	}
+	if len(seen) != 500 {
+		t.Fatalf("partition covers %d of 500 pairs", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("pair %d appears %d times", id, n)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d := sampleDataset(20, 80)
+	a1, _, _ := d.Split(0.6, 0.2, 5)
+	a2, _, _ := d.Split(0.6, 0.2, 5)
+	if !reflect.DeepEqual(a1.Pairs, a2.Pairs) {
+		t.Fatal("same seed should give identical splits")
+	}
+	b, _, _ := d.Split(0.6, 0.2, 6)
+	if reflect.DeepEqual(a1.Pairs, b.Pairs) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSplitPanicsOnBadFractions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sampleDataset(1, 1).Split(0.8, 0.4, 1)
+}
+
+func TestSampleStratified(t *testing.T) {
+	d := sampleDataset(100, 400)
+	s := d.Sample(50, 3)
+	if s.Size() != 50 {
+		t.Fatalf("sample size = %d", s.Size())
+	}
+	if math.Abs(s.MatchRate()-0.2) > 0.05 {
+		t.Fatalf("sample match rate = %v", s.MatchRate())
+	}
+	// Oversampling returns everything.
+	if d.Sample(10_000, 3).Size() != 500 {
+		t.Fatal("oversample should return the full dataset")
+	}
+}
+
+func TestSampleKeepsAtLeastOnePositive(t *testing.T) {
+	d := sampleDataset(2, 198)
+	s := d.Sample(10, 1)
+	if s.Matches() < 1 {
+		t.Fatal("stratified sample lost all positives")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := sampleDataset(1, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := &Dataset{Schema: Schema{"a", "b"}, Pairs: []Pair{{Left: Entity{"x"}, Right: Entity{"y", "z"}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected arity error")
+	}
+	bad2 := sampleDataset(1, 0)
+	bad2.Pairs[0].Label = 7
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected label error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sampleDataset(2, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Schema, d.Schema) {
+		t.Fatalf("schema = %v", got.Schema)
+	}
+	if len(got.Pairs) != len(d.Pairs) {
+		t.Fatalf("pairs = %d", len(got.Pairs))
+	}
+	for i := range d.Pairs {
+		if !reflect.DeepEqual(got.Pairs[i].Left, d.Pairs[i].Left) ||
+			!reflect.DeepEqual(got.Pairs[i].Right, d.Pairs[i].Right) ||
+			got.Pairs[i].Label != d.Pairs[i].Label {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, got.Pairs[i], d.Pairs[i])
+		}
+	}
+}
+
+func TestCSVCommasAndQuotes(t *testing.T) {
+	d := &Dataset{Name: "q", Schema: Schema{"name"}}
+	d.Pairs = append(d.Pairs, Pair{
+		Label: Match,
+		Left:  Entity{`cable, "gold" 2m`},
+		Right: Entity{`cable gold 2m`},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pairs[0].Left[0] != `cable, "gold" 2m` {
+		t.Fatalf("quoted value = %q", got.Pairs[0].Left[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad header", "x,left_a,right_a\n"},
+		{"unbalanced", "label,left_a\n"},
+		{"mismatched attrs", "label,left_a,right_b\n"},
+		{"bad prefix", "label,l_a,right_a\n"},
+		{"bad label", "label,left_a,right_a\n7,x,y\n"},
+		{"short row", "label,left_a,right_a\n1,x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in), "bad"); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := sampleDataset(1, 2)
+	path := filepath.Join(t.TempDir(), "round.csv")
+	if err := SaveFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "round" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if got.Size() != 3 {
+		t.Fatalf("size = %d", got.Size())
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sampleDataset(2, 2)
+	s := d.Subset("sub", []int{3, 0})
+	if s.Size() != 2 || s.Pairs[0].ID != 3 || s.Pairs[1].ID != 0 {
+		t.Fatalf("subset = %+v", s.Pairs)
+	}
+}

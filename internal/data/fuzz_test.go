@@ -1,0 +1,44 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV reader: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	d := &Dataset{Name: "seed", Schema: Schema{"name", "brand"}}
+	d.Pairs = append(d.Pairs, Pair{Label: Match,
+		Left: Entity{"camera, \"x100\"", "fuji"}, Right: Entity{"camera x100", "fuji"}})
+	if err := WriteCSV(&seed, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("label,left_a,right_a\n1,x,y\n")
+	f.Add("not a csv at all")
+	f.Add("label,left_a,right_a\n9,x\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadCSV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, got); err != nil {
+			t.Fatalf("rewriting accepted dataset: %v", err)
+		}
+		again, err := ReadCSV(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Size() != got.Size() {
+			t.Fatalf("round trip changed size: %d vs %d", again.Size(), got.Size())
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package datagen
+
+// Benchmark returns the 12 dataset profiles of Table 2, keyed and sized as
+// in the paper, with per-dataset difficulty calibrations chosen to
+// reproduce the comparative shape of the evaluation (easy: S-FZ, S-IA,
+// S-DA, D-DA; medium: S-DG, D-DG, S-BR, D-IA, S-WA; hard: S-AG, T-AB,
+// D-WA).
+func Benchmark() []Profile {
+	return []Profile{
+		{
+			Key: "S-DG", Name: "DBLP-GoogleScholar", Domain: Bibliography,
+			Size: 28707, MatchRate: 0.1863,
+			Typo: 0.06, Drop: 0.10, Abbrev: 0.08, HardNeg: 0.30,
+			Seed: 101,
+		},
+		{
+			Key: "S-DA", Name: "DBLP-ACM", Domain: Bibliography,
+			Size: 12363, MatchRate: 0.1796,
+			Typo: 0.02, Drop: 0.04, Abbrev: 0.03, HardNeg: 0.15,
+			Seed: 102,
+		},
+		{
+			Key: "S-AG", Name: "Amazon-Google", Domain: Products,
+			Size: 11460, MatchRate: 0.1018,
+			Typo: 0.09, Drop: 0.18, Synonym: 0.22, Abbrev: 0.12,
+			HardNeg: 0.62, NumberJitter: 0.15, CodeNoise: 0.18,
+			Seed: 103,
+		},
+		{
+			Key: "S-WA", Name: "Walmart-Amazon", Domain: Products,
+			Size: 10242, MatchRate: 0.0939,
+			Typo: 0.08, Drop: 0.14, Synonym: 0.15, Abbrev: 0.10,
+			HardNeg: 0.50, NumberJitter: 0.12, CodeNoise: 0.12,
+			Seed: 104,
+		},
+		{
+			Key: "S-BR", Name: "BeerAdvo-RateBeer", Domain: Beer,
+			Size: 450, MatchRate: 0.1511,
+			Typo: 0.08, Drop: 0.12, Abbrev: 0.10, HardNeg: 0.35,
+			Seed: 105,
+		},
+		{
+			Key: "S-IA", Name: "iTunes-Amazon", Domain: Music,
+			Size: 539, MatchRate: 0.2449,
+			Typo: 0.03, Drop: 0.05, Abbrev: 0.04, HardNeg: 0.20,
+			NumberJitter: 0.05,
+			Seed:         106,
+		},
+		{
+			Key: "S-FZ", Name: "Fodors-Zagats", Domain: Restaurants,
+			Size: 946, MatchRate: 0.1163,
+			Typo: 0.02, Drop: 0.04, Abbrev: 0.03, HardNeg: 0.10,
+			Seed: 107,
+		},
+		{
+			Key: "T-AB", Name: "Abt-Buy", Domain: Products,
+			Size: 9575, MatchRate: 0.1074,
+			Typo: 0.09, Drop: 0.18, Synonym: 0.25, Abbrev: 0.12,
+			HardNeg: 0.60, NumberJitter: 0.15, CodeNoise: 0.16,
+			Textual: true,
+			Seed:    108,
+		},
+		{
+			Key: "D-IA", Name: "iTunes-Amazon (dirty)", Domain: Music,
+			Size: 539, MatchRate: 0.2449,
+			Typo: 0.03, Drop: 0.05, Abbrev: 0.04, HardNeg: 0.20,
+			NumberJitter: 0.05,
+			Dirty:        true,
+			Seed:         109,
+		},
+		{
+			Key: "D-DA", Name: "DBLP-ACM (dirty)", Domain: Bibliography,
+			Size: 12363, MatchRate: 0.1796,
+			Typo: 0.02, Drop: 0.04, Abbrev: 0.03, HardNeg: 0.15,
+			Dirty: true,
+			Seed:  110,
+		},
+		{
+			Key: "D-DG", Name: "DBLP-GoogleScholar (dirty)", Domain: Bibliography,
+			Size: 28707, MatchRate: 0.1863,
+			Typo: 0.06, Drop: 0.10, Abbrev: 0.08, HardNeg: 0.30,
+			Dirty: true,
+			Seed:  111,
+		},
+		{
+			Key: "D-WA", Name: "Walmart-Amazon (dirty)", Domain: Products,
+			Size: 10242, MatchRate: 0.0939,
+			Typo: 0.10, Drop: 0.20, Synonym: 0.20, Abbrev: 0.14,
+			HardNeg: 0.60, NumberJitter: 0.18, CodeNoise: 0.14,
+			Dirty: true,
+			Seed:  112,
+		},
+	}
+}
+
+// ProfileByKey returns the named profile from Benchmark, or false.
+func ProfileByKey(key string) (Profile, bool) {
+	for _, p := range Benchmark() {
+		if p.Key == key {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

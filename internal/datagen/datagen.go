@@ -1,0 +1,424 @@
+// Package datagen generates the synthetic Magellan-like benchmark used by
+// the experiments (DESIGN.md §1 documents the substitution). Each of the
+// paper's 12 datasets is reproduced as a Profile with the same schema
+// family, Table-2 size and match rate, and a difficulty calibration
+// (perturbation intensity, hard-negative fraction, dirtiness, periphrasis)
+// chosen so the comparative results keep the paper's shape: S-FZ/S-IA/S-DA
+// nearly separable, S-AG/T-AB/D-WA hard.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wym/internal/data"
+)
+
+// Domain selects the schema family and vocabulary of a dataset.
+type Domain int
+
+// Domains.
+const (
+	Products Domain = iota
+	Bibliography
+	Music
+	Beer
+	Restaurants
+)
+
+// Schema returns the attribute names of the domain.
+func (d Domain) Schema() data.Schema {
+	switch d {
+	case Bibliography:
+		return data.Schema{"title", "authors", "venue", "year"}
+	case Music:
+		return data.Schema{"song", "artist", "album", "genre", "price"}
+	case Beer:
+		return data.Schema{"beer_name", "brewery", "style", "abv"}
+	case Restaurants:
+		return data.Schema{"name", "address", "city", "phone"}
+	default:
+		return data.Schema{"name", "manufacturer", "price"}
+	}
+}
+
+// Profile describes one synthetic dataset: identity, size and the
+// difficulty calibration.
+type Profile struct {
+	Key       string // short id, e.g. "S-AG"
+	Name      string // long name, e.g. "Amazon-Google"
+	Domain    Domain
+	Size      int     // number of record pairs at scale 1.0 (Table 2)
+	MatchRate float64 // fraction of matching pairs (Table 2)
+
+	// Perturbation rates applied to the matching copy of an entity.
+	Typo    float64 // per-token character mutation
+	Drop    float64 // per-token deletion
+	Synonym float64 // per-token synonym substitution (periphrasis)
+	Abbrev  float64 // per-token abbreviation
+
+	// HardNeg is the fraction of non-matching pairs that share their
+	// brand/category (or venue/artist/...) with the other entity.
+	HardNeg float64
+	// NumberJitter is the relative perturbation of numeric attributes in
+	// matching pairs.
+	NumberJitter float64
+	// CodeNoise makes the product-code channel imperfect: with this
+	// probability a matching copy carries a revised code (suffix change)
+	// and a hard negative keeps the identical code while differing in the
+	// rest of the name — the code-confusion cases of the paper's error
+	// analysis (§5.1.1).
+	CodeNoise float64
+
+	// Dirty moves attribute values into the head attribute (the Magellan
+	// "dirty" variants). Textual collapses the record into a long
+	// description with filler words (Abt-Buy).
+	Dirty   bool
+	Textual bool
+
+	Seed int64
+}
+
+// Generate materializes the profile at the given scale (0 < scale <= 1 for
+// sub-sampling; the floor is 60 pairs so tiny scales stay usable). The
+// result is deterministic in (Profile, scale).
+func Generate(p Profile, scale float64) *data.Dataset {
+	n := int(float64(p.Size) * scale)
+	if n < 60 {
+		n = 60
+	}
+	if p.Size < 60 { // the small S-BR / S-IA datasets keep their true size
+		n = p.Size
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	schema := p.Domain.Schema()
+	if p.Textual {
+		schema = data.Schema{"name", "description", "price"}
+	}
+	d := &data.Dataset{Name: p.Key, Schema: schema}
+
+	nMatch := int(float64(n)*p.MatchRate + 0.5)
+	for i := 0; i < n; i++ {
+		var pair data.Pair
+		if i < nMatch {
+			pair = p.genMatch(rng)
+			pair.Label = data.Match
+		} else {
+			pair = p.genNonMatch(rng)
+			pair.Label = data.NonMatch
+		}
+		pair.ID = i
+		d.Pairs = append(d.Pairs, pair)
+	}
+	// Shuffle so splits see both labels everywhere.
+	rng.Shuffle(len(d.Pairs), func(i, j int) { d.Pairs[i], d.Pairs[j] = d.Pairs[j], d.Pairs[i] })
+	return d
+}
+
+// proto is an entity prototype: token lists per attribute of the domain
+// schema, prior to rendering and transforms.
+type proto struct {
+	attrs [][]string
+}
+
+func (p Profile) genMatch(rng *rand.Rand) data.Pair {
+	base := p.genProto(rng)
+	left := base.clone()
+	right := p.perturb(rng, base)
+	// A revised code on the matching copy (model refresh, regional SKU):
+	// the code channel must help but not decide the task alone.
+	if p.Domain == Products && rng.Float64() < p.CodeNoise && len(right.attrs[0]) > 3 {
+		right.attrs[0][3] = reviseCode(right.attrs[0][3])
+	}
+	return data.Pair{Left: p.render(rng, left), Right: p.render(rng, right)}
+}
+
+// reviseCode flips the trailing letter of a code, modeling product
+// revisions that keep the model number.
+func reviseCode(code string) string {
+	if code == "" {
+		return code
+	}
+	b := []byte(code)
+	last := len(b) - 1
+	if b[last] >= 'a' && b[last] <= 'z' {
+		b[last] = 'a' + (b[last]-'a'+1)%26
+	} else {
+		b[last] = '0' + (b[last]-'0'+1)%10
+	}
+	return string(b)
+}
+
+func (p Profile) genNonMatch(rng *rand.Rand) data.Pair {
+	a := p.genProto(rng)
+	b := p.genProto(rng)
+	if rng.Float64() < p.HardNeg {
+		p.shareComponents(rng, a, b)
+	}
+	// The right-hand description goes through the same source-style drift
+	// as matching copies; otherwise perturbation statistics (drops, typos)
+	// would leak the label.
+	bp := p.perturb(rng, b)
+	return data.Pair{Left: p.render(rng, a), Right: p.render(rng, bp)}
+}
+
+// genProto draws a fresh entity prototype for the domain.
+func (p Profile) genProto(rng *rand.Rand) *proto {
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+	switch p.Domain {
+	case Bibliography:
+		title := []string{pick(paperTopics), pick(paperTopics), pick(paperNouns)}
+		if rng.Float64() < 0.5 {
+			title = append(title, "for", pick(paperNouns))
+		}
+		authors := []string{pick(authorFirst), pick(authorLast), pick(authorFirst), pick(authorLast)}
+		year := fmt.Sprintf("%d", 1995+rng.Intn(28))
+		return &proto{attrs: [][]string{title, authors, {pick(venues)}, {year}}}
+	case Music:
+		song := []string{pick(songWords), pick(songWords)}
+		album := []string{pick(songWords), "album"}
+		price := fmt.Sprintf("%d.%02d", 1+rng.Intn(12), rng.Intn(100))
+		return &proto{attrs: [][]string{song, strings.Fields(pick(artistNames)), album, {pick(genres)}, {price}}}
+	case Beer:
+		name := []string{pick(beerWords), pick(beerWords), pick(beerStyles)}
+		abv := fmt.Sprintf("%d.%d", 4+rng.Intn(8), rng.Intn(10))
+		return &proto{attrs: [][]string{name, strings.Fields(pick(breweries)), {pick(beerStyles)}, {abv}}}
+	case Restaurants:
+		name := []string{"the", pick(restaurantWords), pick(restaurantTypes)}
+		addr := append([]string{fmt.Sprintf("%d", 10+rng.Intn(990))}, strings.Fields(pick(streets))...)
+		phone := fmt.Sprintf("%03d %03d %04d", 200+rng.Intn(700), rng.Intn(1000), rng.Intn(10000))
+		return &proto{attrs: [][]string{name, addr, strings.Fields(pick(cities)), {phone}}}
+	default: // Products
+		code := randomCode(rng)
+		name := []string{pick(adjectives), pick(categories), pick(materials), code}
+		price := fmt.Sprintf("%d.%02d", 10+rng.Intn(990), rng.Intn(100))
+		return &proto{attrs: [][]string{name, {pick(brands)}, {price}}}
+	}
+}
+
+// shareComponents copies the "identity-adjacent" parts of a into b to
+// build a hard negative: same brand and product category, same venue and
+// year, same artist, same brewery, or same city.
+func (p Profile) shareComponents(rng *rand.Rand, a, b *proto) {
+	switch p.Domain {
+	case Bibliography:
+		b.attrs[2] = cloneTokens(a.attrs[2]) // venue
+		b.attrs[3] = cloneTokens(a.attrs[3]) // year
+		// Hard bibliographic negatives also share a title topic word.
+		if len(a.attrs[0]) > 0 && len(b.attrs[0]) > 0 {
+			b.attrs[0][0] = a.attrs[0][0]
+		}
+	case Music:
+		b.attrs[1] = cloneTokens(a.attrs[1]) // artist
+		b.attrs[3] = cloneTokens(a.attrs[3]) // genre
+	case Beer:
+		b.attrs[1] = cloneTokens(a.attrs[1]) // brewery
+		b.attrs[2] = cloneTokens(a.attrs[2]) // style
+	case Restaurants:
+		b.attrs[2] = cloneTokens(a.attrs[2]) // city
+	default: // Products
+		if len(a.attrs[0]) < 4 || len(b.attrs[0]) < 4 {
+			return
+		}
+		// Same catalogue segment: brand and category always match, the
+		// material sometimes — the confusable same-line negatives of the
+		// Amazon-Google and Walmart-Amazon datasets. The adjective, code
+		// and price stay the other entity's own, so the difference is
+		// spread over several tokens rather than concentrated in one.
+		b.attrs[1] = cloneTokens(a.attrs[1]) // brand
+		b.attrs[0][1] = a.attrs[0][1]        // category
+		if rng.Float64() < 0.5 {
+			b.attrs[0][2] = a.attrs[0][2] // material
+		}
+		switch {
+		case rng.Float64() < p.CodeNoise:
+			// Coincidental identical code on a different product — the
+			// channel actively misleads (§5.1.1 error analysis).
+			b.attrs[0][3] = a.attrs[0][3]
+		case rng.Float64() < 0.5:
+			// Similar-looking code: same prefix, different digits.
+			b.attrs[0][3] = mutateCode(a.attrs[0][3])
+		}
+		// Same-line products are priced together: copy the price with a
+		// wider spread than matching copies get, so the numeric channel
+		// separates softly rather than deterministically.
+		if len(a.attrs) > 2 && len(b.attrs) > 2 && len(a.attrs[2]) > 0 {
+			b.attrs[2] = []string{jitterNumber(rng, a.attrs[2][0], 0.3)}
+		}
+	}
+}
+
+// perturb applies the profile's full perturbation to a matching copy.
+func (p Profile) perturb(rng *rand.Rand, src *proto) *proto {
+	out := src.clone()
+	for ai, toks := range out.attrs {
+		if isNumeric(toks) {
+			out.attrs[ai] = p.jitterNumbers(rng, toks)
+			continue
+		}
+		var kept []string
+		for _, tok := range toks {
+			switch {
+			case rng.Float64() < p.Drop && len(toks) > 1:
+				continue // dropped
+			case rng.Float64() < p.Synonym:
+				tok = substituteSynonym(rng, tok)
+			case rng.Float64() < p.Abbrev && len(tok) > 4:
+				tok = tok[:3+rng.Intn(2)]
+			case rng.Float64() < p.Typo && len(tok) > 2:
+				tok = typo(rng, tok)
+			}
+			kept = append(kept, tok)
+		}
+		if len(kept) == 0 {
+			kept = cloneTokens(toks[:1])
+		}
+		out.attrs[ai] = kept
+	}
+	return out
+}
+
+func (p Profile) jitterNumbers(rng *rand.Rand, toks []string) []string {
+	if p.NumberJitter == 0 {
+		return cloneTokens(toks)
+	}
+	out := make([]string, len(toks))
+	for i, tok := range toks {
+		out[i] = jitterNumber(rng, tok, p.NumberJitter)
+	}
+	return out
+}
+
+// render turns a prototype into an entity over the profile's schema,
+// applying the dirty or textual transform.
+func (p Profile) render(rng *rand.Rand, pr *proto) data.Entity {
+	if p.Textual {
+		return p.renderTextual(rng, pr)
+	}
+	e := make(data.Entity, len(pr.attrs))
+	for i, toks := range pr.attrs {
+		e[i] = strings.Join(toks, " ")
+	}
+	if p.Dirty {
+		// Move a random non-head attribute's value into the head attribute
+		// and blank the source — the Magellan dirty construction.
+		if rng.Float64() < 0.5 && len(e) > 1 {
+			j := 1 + rng.Intn(len(e)-1)
+			if e[j] != "" {
+				e[0] = e[0] + " " + e[j]
+				e[j] = ""
+			}
+		}
+	}
+	return e
+}
+
+// renderTextual collapses the prototype into (name, description, price):
+// the description interleaves all tokens with filler words, modeling the
+// long Abt-Buy descriptions where periphrasis defeats token alignment.
+func (p Profile) renderTextual(rng *rand.Rand, pr *proto) data.Entity {
+	name := strings.Join(pr.attrs[0], " ")
+	var desc []string
+	for _, toks := range pr.attrs[:len(pr.attrs)-1] {
+		desc = append(desc, toks...)
+	}
+	nFill := 3 + rng.Intn(4)
+	for i := 0; i < nFill; i++ {
+		desc = append(desc, fillers[rng.Intn(len(fillers))])
+	}
+	rng.Shuffle(len(desc), func(i, j int) { desc[i], desc[j] = desc[j], desc[i] })
+	price := pr.attrs[len(pr.attrs)-1]
+	return data.Entity{name, strings.Join(desc, " "), strings.Join(price, " ")}
+}
+
+func (pr *proto) clone() *proto {
+	out := &proto{attrs: make([][]string, len(pr.attrs))}
+	for i, toks := range pr.attrs {
+		out.attrs[i] = cloneTokens(toks)
+	}
+	return out
+}
+
+func cloneTokens(toks []string) []string {
+	out := make([]string, len(toks))
+	copy(out, toks)
+	return out
+}
+
+func substituteSynonym(rng *rand.Rand, tok string) string {
+	if alts, ok := synonyms[tok]; ok {
+		return alts[rng.Intn(len(alts))]
+	}
+	// Reverse lookup: the token may itself be a synonym form.
+	for base, alts := range synonyms {
+		for _, a := range alts {
+			if a == tok {
+				return base
+			}
+		}
+	}
+	return tok
+}
+
+func typo(rng *rand.Rand, tok string) string {
+	b := []byte(tok)
+	i := rng.Intn(len(b))
+	switch rng.Intn(3) {
+	case 0: // substitution
+		b[i] = byte('a' + rng.Intn(26))
+	case 1: // deletion
+		b = append(b[:i], b[i+1:]...)
+	default: // transposition
+		if i+1 < len(b) {
+			b[i], b[i+1] = b[i+1], b[i]
+		}
+	}
+	return string(b)
+}
+
+func randomCode(rng *rand.Rand) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	var b strings.Builder
+	for i := 0; i < 3; i++ {
+		b.WriteByte(letters[rng.Intn(26)])
+	}
+	fmt.Fprintf(&b, "%03d", rng.Intn(1000))
+	b.WriteByte(letters[rng.Intn(26)])
+	return b.String()
+}
+
+// mutateCode changes the digits of a code while keeping its letter prefix,
+// producing the confusable near-duplicate codes of hard negatives.
+func mutateCode(code string) string {
+	b := []byte(code)
+	for i := range b {
+		if b[i] >= '0' && b[i] <= '9' {
+			b[i] = '0' + (b[i]-'0'+3)%10
+		}
+	}
+	return string(b)
+}
+
+func isNumeric(toks []string) bool {
+	for _, t := range toks {
+		for _, r := range t {
+			if (r < '0' || r > '9') && r != '.' && r != ' ' {
+				return false
+			}
+		}
+	}
+	return len(toks) > 0
+}
+
+func jitterNumber(rng *rand.Rand, tok string, rel float64) string {
+	var v float64
+	if _, err := fmt.Sscanf(tok, "%f", &v); err != nil {
+		return tok
+	}
+	v *= 1 + (rng.Float64()*2-1)*rel
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}

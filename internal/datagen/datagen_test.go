@@ -1,0 +1,273 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/textsim"
+)
+
+func TestBenchmarkProfiles(t *testing.T) {
+	profiles := Benchmark()
+	if len(profiles) != 12 {
+		t.Fatalf("benchmark has %d profiles, want 12", len(profiles))
+	}
+	// Table 2 sizes and match rates.
+	want := map[string]struct {
+		size int
+		rate float64
+	}{
+		"S-DG": {28707, 0.1863}, "S-DA": {12363, 0.1796},
+		"S-AG": {11460, 0.1018}, "S-WA": {10242, 0.0939},
+		"S-BR": {450, 0.1511}, "S-IA": {539, 0.2449},
+		"S-FZ": {946, 0.1163}, "T-AB": {9575, 0.1074},
+		"D-IA": {539, 0.2449}, "D-DA": {12363, 0.1796},
+		"D-DG": {28707, 0.1863}, "D-WA": {10242, 0.0939},
+	}
+	for _, p := range profiles {
+		w, ok := want[p.Key]
+		if !ok {
+			t.Fatalf("unexpected profile %q", p.Key)
+		}
+		if p.Size != w.size || math.Abs(p.MatchRate-w.rate) > 1e-9 {
+			t.Fatalf("%s: size/rate = %d/%v, want %d/%v", p.Key, p.Size, p.MatchRate, w.size, w.rate)
+		}
+	}
+}
+
+func TestProfileByKey(t *testing.T) {
+	p, ok := ProfileByKey("S-AG")
+	if !ok || p.Name != "Amazon-Google" {
+		t.Fatalf("ProfileByKey = %+v, %v", p, ok)
+	}
+	if _, ok := ProfileByKey("NOPE"); ok {
+		t.Fatal("unknown key should return false")
+	}
+}
+
+func TestGenerateSizeAndRate(t *testing.T) {
+	p, _ := ProfileByKey("S-DA")
+	d := Generate(p, 0.05)
+	wantN := int(float64(p.Size) * 0.05)
+	if d.Size() != wantN {
+		t.Fatalf("size = %d, want %d", d.Size(), wantN)
+	}
+	if math.Abs(d.MatchRate()-p.MatchRate) > 0.02 {
+		t.Fatalf("match rate = %v, want ~%v", d.MatchRate(), p.MatchRate)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateFloor(t *testing.T) {
+	p, _ := ProfileByKey("S-DA")
+	d := Generate(p, 0.0001)
+	if d.Size() != 60 {
+		t.Fatalf("tiny scale size = %d, want floor 60", d.Size())
+	}
+	// Small datasets keep their true size even when it is below the floor
+	// times anything.
+	br, _ := ProfileByKey("S-BR")
+	d = Generate(br, 1.0)
+	if d.Size() != 450 {
+		t.Fatalf("S-BR size = %d, want 450", d.Size())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByKey("S-AG")
+	a := Generate(p, 0.02)
+	b := Generate(p, 0.02)
+	if !reflect.DeepEqual(a.Pairs, b.Pairs) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestGenerateMatchesAreSimilar(t *testing.T) {
+	// Across profiles, matching pairs must be substantially more token-
+	// similar than non-matching pairs — otherwise no matcher could work.
+	for _, key := range []string{"S-DA", "S-AG", "S-FZ", "T-AB", "D-WA"} {
+		p, _ := ProfileByKey(key)
+		d := Generate(p, 0.05)
+		var simMatch, simNon float64
+		var nMatch, nNon int
+		for _, pair := range d.Pairs {
+			s := pairSim(pair)
+			if pair.Label == data.Match {
+				simMatch += s
+				nMatch++
+			} else {
+				simNon += s
+				nNon++
+			}
+		}
+		if nMatch == 0 || nNon == 0 {
+			t.Fatalf("%s: degenerate label distribution", key)
+		}
+		mm, mn := simMatch/float64(nMatch), simNon/float64(nNon)
+		if mm <= mn+0.1 {
+			t.Fatalf("%s: matches not separable: match sim %v vs non-match %v", key, mm, mn)
+		}
+	}
+}
+
+func TestDifficultyOrdering(t *testing.T) {
+	// The match/non-match similarity gap must be wider on the easy
+	// datasets than on the hard ones.
+	gap := func(key string) float64 {
+		p, _ := ProfileByKey(key)
+		d := Generate(p, 0.05)
+		var m, n float64
+		var cm, cn int
+		for _, pair := range d.Pairs {
+			s := pairSim(pair)
+			if pair.Label == data.Match {
+				m += s
+				cm++
+			} else {
+				n += s
+				cn++
+			}
+		}
+		return m/float64(cm) - n/float64(cn)
+	}
+	easy := gap("S-FZ")
+	hard := gap("S-AG")
+	if easy <= hard {
+		t.Fatalf("difficulty inverted: S-FZ gap %v <= S-AG gap %v", easy, hard)
+	}
+}
+
+func TestDirtyProfilesMisplaceValues(t *testing.T) {
+	p, _ := ProfileByKey("D-DA")
+	d := Generate(p, 0.05)
+	var blanks int
+	for _, pair := range d.Pairs {
+		for _, e := range []data.Entity{pair.Left, pair.Right} {
+			for _, v := range e[1:] {
+				if v == "" {
+					blanks++
+				}
+			}
+		}
+	}
+	if blanks == 0 {
+		t.Fatal("dirty dataset has no misplaced attribute values")
+	}
+	// The clean counterpart must have none.
+	clean, _ := ProfileByKey("S-DA")
+	d = Generate(clean, 0.05)
+	for _, pair := range d.Pairs {
+		for _, v := range pair.Left[1:] {
+			if v == "" {
+				t.Fatal("clean dataset has blank attributes")
+			}
+		}
+	}
+}
+
+func TestTextualProfileSchemaAndLength(t *testing.T) {
+	p, _ := ProfileByKey("T-AB")
+	d := Generate(p, 0.02)
+	if !reflect.DeepEqual(d.Schema, data.Schema{"name", "description", "price"}) {
+		t.Fatalf("textual schema = %v", d.Schema)
+	}
+	var totalDesc int
+	for _, pair := range d.Pairs {
+		totalDesc += len(strings.Fields(pair.Left[1]))
+	}
+	if avg := float64(totalDesc) / float64(d.Size()); avg < 6 {
+		t.Fatalf("textual descriptions too short: avg %v tokens", avg)
+	}
+}
+
+func TestHardNegativesShareBrand(t *testing.T) {
+	p, _ := ProfileByKey("S-AG") // HardNeg = 0.7
+	d := Generate(p, 0.05)
+	var shared, nonMatches int
+	for _, pair := range d.Pairs {
+		if pair.Label != data.NonMatch {
+			continue
+		}
+		nonMatches++
+		if pair.Left[1] == pair.Right[1] && pair.Left[1] != "" {
+			shared++
+		}
+	}
+	frac := float64(shared) / float64(nonMatches)
+	if frac < 0.4 {
+		t.Fatalf("hard negative fraction = %v, want >= 0.4", frac)
+	}
+}
+
+func TestSynonymSubstitution(t *testing.T) {
+	// substituteSynonym must map in both directions and leave unknown
+	// tokens alone.
+	rng := newTestRng()
+	if got := substituteSynonym(rng, "laptop"); got != "notebook" {
+		t.Fatalf("laptop -> %q", got)
+	}
+	if got := substituteSynonym(rng, "notebook"); got != "laptop" {
+		t.Fatalf("notebook -> %q", got)
+	}
+	if got := substituteSynonym(rng, "xyzzy"); got != "xyzzy" {
+		t.Fatalf("unknown token changed: %q", got)
+	}
+}
+
+func TestMutateCodeKeepsPrefix(t *testing.T) {
+	m := mutateCode("abc123x")
+	if m == "abc123x" {
+		t.Fatal("mutateCode returned the same code")
+	}
+	if !strings.HasPrefix(m, "abc") || !strings.HasSuffix(m, "x") {
+		t.Fatalf("mutateCode mangled the letters: %q", m)
+	}
+}
+
+func TestTypoChangesToken(t *testing.T) {
+	rng := newTestRng()
+	for i := 0; i < 50; i++ {
+		out := typo(rng, "camera")
+		if len(out) < 5 || len(out) > 6 {
+			t.Fatalf("typo produced %q", out)
+		}
+	}
+}
+
+func TestJitterNumber(t *testing.T) {
+	rng := newTestRng()
+	out := jitterNumber(rng, "100", 0.1)
+	var v float64
+	if _, err := sscan(out, &v); err != nil {
+		t.Fatalf("jitterNumber produced non-number %q", out)
+	}
+	if v < 85 || v > 115 {
+		t.Fatalf("jitter out of range: %v", v)
+	}
+	if got := jitterNumber(rng, "notanumber", 0.1); got != "notanumber" {
+		t.Fatalf("non-number changed: %q", got)
+	}
+}
+
+// pairSim is a crude record similarity for separability checks.
+func pairSim(p data.Pair) float64 {
+	var l, r []string
+	for _, v := range p.Left {
+		l = append(l, strings.Fields(v)...)
+	}
+	for _, v := range p.Right {
+		r = append(r, strings.Fields(v)...)
+	}
+	return textsim.Jaccard(l, r)
+}
+
+func newTestRng() *rand.Rand { return rand.New(rand.NewSource(5)) }
+
+func sscan(s string, v *float64) (int, error) { return fmt.Sscanf(s, "%f", v) }

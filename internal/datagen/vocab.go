@@ -1,0 +1,132 @@
+package datagen
+
+// Vocabulary pools for the synthetic benchmark. The words are chosen to
+// mimic the Magellan domains: consumer products (Amazon-Google,
+// Walmart-Amazon, Abt-Buy), bibliography (DBLP-ACM, DBLP-GoogleScholar),
+// music (iTunes-Amazon), beer (BeerAdvo-RateBeer) and restaurants
+// (Fodors-Zagats).
+
+var brands = []string{
+	"sony", "samsung", "panasonic", "canon", "nikon", "microsoft", "apple",
+	"logitech", "philips", "toshiba", "lenovo", "asus", "acer", "dell",
+	"garmin", "kodak", "olympus", "sandisk", "netgear", "belkin",
+}
+
+var categories = []string{
+	"camera", "laptop", "keyboard", "monitor", "printer", "router",
+	"speaker", "headphones", "projector", "television", "tablet", "phone",
+	"drive", "mouse", "scanner", "charger", "adapter", "microphone",
+}
+
+var adjectives = []string{
+	"digital", "wireless", "portable", "compact", "professional", "ultra",
+	"premium", "slim", "rugged", "smart", "optical", "ergonomic",
+	"rechargeable", "waterproof", "foldable", "advanced",
+}
+
+var materials = []string{
+	"black", "silver", "white", "leather", "aluminum", "carbon", "glass",
+	"steel", "titanium", "graphite",
+}
+
+var fillers = []string{
+	"includes", "bundle", "pack", "edition", "series", "model", "featuring",
+	"designed", "high", "performance", "quality", "original", "genuine",
+	"warranty", "accessory", "replacement",
+}
+
+// synonyms maps a token to interchangeable surface forms. The benchmark
+// uses them to create matching records whose token overlap is semantic
+// rather than syntactic — the case where embedding-based pairing must beat
+// Jaro–Winkler (Table 4).
+var synonyms = map[string][]string{
+	"laptop":       {"notebook"},
+	"television":   {"tv"},
+	"headphones":   {"earphones", "headset"},
+	"phone":        {"smartphone", "handset"},
+	"wireless":     {"cordless"},
+	"portable":     {"mobile"},
+	"compact":      {"mini"},
+	"drive":        {"disk"},
+	"speaker":      {"loudspeaker"},
+	"charger":      {"adapter"},
+	"premium":      {"deluxe"},
+	"professional": {"pro"},
+}
+
+// bibliography pools (DBLP-style titles).
+var paperTopics = []string{
+	"entity", "matching", "query", "optimization", "indexing", "streaming",
+	"transactional", "distributed", "relational", "graph", "temporal",
+	"probabilistic", "schema", "integration", "clustering", "learning",
+	"approximate", "parallel", "adaptive", "scalable",
+}
+
+var paperNouns = []string{
+	"databases", "systems", "processing", "evaluation", "models", "joins",
+	"algorithms", "architectures", "semantics", "workloads", "storage",
+	"networks", "warehouses", "pipelines", "frameworks",
+}
+
+var authorFirst = []string{
+	"andrea", "marco", "laura", "wei", "yuliang", "anhai", "erhard", "divesh",
+	"paolo", "nan", "francesco", "matteo", "sofia", "peter", "felix", "maria",
+}
+
+var authorLast = []string{
+	"baraldi", "guerra", "li", "doan", "rahm", "srivastava", "merialdo",
+	"tang", "paganelli", "vincini", "koudas", "firmani", "christen", "naumann",
+}
+
+var venues = []string{
+	"sigmod", "vldb", "edbt", "icde", "cikm", "kdd", "www", "tkde",
+}
+
+// music pools (iTunes-style songs).
+var songWords = []string{
+	"midnight", "summer", "river", "golden", "echoes", "horizon", "neon",
+	"velvet", "thunder", "paradise", "gravity", "wildfire", "aurora",
+	"shadows", "diamonds", "satellite",
+}
+
+var artistNames = []string{
+	"the wanderers", "luna gray", "static bloom", "harbor lights",
+	"crimson tide", "paper planes", "night owls", "silver arcade",
+}
+
+var genres = []string{"pop", "rock", "jazz", "electronic", "folk", "indie", "soul"}
+
+// beer pools.
+var beerWords = []string{
+	"hoppy", "amber", "imperial", "golden", "dark", "wild", "old", "double",
+	"session", "rustic",
+}
+
+var beerStyles = []string{
+	"ipa", "stout", "porter", "lager", "pilsner", "saison", "ale", "witbier",
+}
+
+var breweries = []string{
+	"stone brewing", "founders", "sierra nevada", "ballast point",
+	"dogfish head", "bells brewery", "harpoon", "odell brewing",
+}
+
+// restaurant pools.
+var restaurantWords = []string{
+	"golden", "blue", "royal", "little", "grand", "old", "corner", "garden",
+}
+
+var restaurantTypes = []string{
+	"bistro", "trattoria", "grill", "diner", "cafe", "kitchen", "tavern",
+	"brasserie",
+}
+
+var cities = []string{
+	"new york", "los angeles", "san francisco", "chicago", "boston",
+	"seattle", "austin", "portland",
+}
+
+var streets = []string{
+	"main st", "oak ave", "5th ave", "broadway", "market st", "elm st",
+	"sunset blvd", "park ave",
+}

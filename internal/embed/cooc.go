@@ -1,0 +1,168 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"wym/internal/vec"
+)
+
+// Cooc holds distributional token embeddings trained from a corpus of
+// token sequences (one sequence per entity description). Tokens that occur
+// in similar contexts — synonyms, abbreviations of the same product line,
+// periphrasis — receive similar vectors. It is the stand-in for the
+// "pre-trained language model" half of BERT: the semantics it captures are
+// those of the benchmark corpus itself.
+//
+// Training computes windowed co-occurrence counts, reweights them with
+// positive pointwise mutual information (PPMI), and compresses each
+// token's PPMI context row through a shared signed random projection.
+type Cooc struct {
+	d       int
+	vectors map[string][]float64
+}
+
+// CoocConfig parametrizes TrainCooc. The zero value is not usable; start
+// from DefaultCoocConfig.
+type CoocConfig struct {
+	Dim    int   // output dimensionality
+	Window int   // symmetric context window size
+	MinCnt int   // discard tokens rarer than this
+	Seed   int64 // random projection seed
+}
+
+// DefaultCoocConfig returns the repo defaults: 48 dimensions, window 4,
+// minimum count 2.
+func DefaultCoocConfig() CoocConfig {
+	return CoocConfig{Dim: 48, Window: 4, MinCnt: 2, Seed: 1}
+}
+
+// TrainCooc builds distributional embeddings from a corpus. Each corpus
+// element is the token sequence of one entity description; the window
+// never crosses sequence boundaries.
+func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
+	if cfg.Dim <= 0 || cfg.Window <= 0 {
+		cfg = DefaultCoocConfig()
+	}
+	// Vocabulary with frequency filter. Iteration order must be stable for
+	// determinism, so sort the kept tokens.
+	freq := make(map[string]int)
+	for _, seq := range corpus {
+		for _, t := range seq {
+			freq[t]++
+		}
+	}
+	var vocabList []string
+	for t, c := range freq {
+		if c >= cfg.MinCnt {
+			vocabList = append(vocabList, t)
+		}
+	}
+	sort.Strings(vocabList)
+	vocab := make(map[string]int, len(vocabList))
+	for i, t := range vocabList {
+		vocab[t] = i
+	}
+
+	c := &Cooc{d: cfg.Dim, vectors: make(map[string][]float64, len(vocab))}
+	if len(vocab) == 0 {
+		return c
+	}
+
+	// Windowed co-occurrence counts, stored sparsely per target token.
+	co := make([]map[int]float64, len(vocab))
+	for i := range co {
+		co[i] = make(map[int]float64)
+	}
+	ctxTotal := make([]float64, len(vocab))
+	var grandTotal float64
+	for _, seq := range corpus {
+		ids := make([]int, 0, len(seq))
+		for _, t := range seq {
+			if id, ok := vocab[t]; ok {
+				ids = append(ids, id)
+			}
+		}
+		for i, a := range ids {
+			lo := i - cfg.Window
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + cfg.Window
+			if hi >= len(ids) {
+				hi = len(ids) - 1
+			}
+			for j := lo; j <= hi; j++ {
+				if j == i {
+					continue
+				}
+				b := ids[j]
+				co[a][b]++
+				ctxTotal[b]++
+				grandTotal++
+			}
+		}
+	}
+	if grandTotal == 0 {
+		return c
+	}
+
+	// Shared signed random projection: context id -> dim-sized ±1 row.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	proj := make([][]float64, len(vocab))
+	for i := range proj {
+		row := make([]float64, cfg.Dim)
+		for j := range row {
+			if rng.Int63()&1 == 0 {
+				row[j] = 1
+			} else {
+				row[j] = -1
+			}
+		}
+		proj[i] = row
+	}
+
+	// PPMI( target, context ) = max(0, log( p(t,c) / (p(t) p(c)) )).
+	tgtTotal := make([]float64, len(vocab))
+	for a := range co {
+		for _, cnt := range co[a] {
+			tgtTotal[a] += cnt
+		}
+	}
+	for a := range co {
+		v := make([]float64, cfg.Dim)
+		// Iterate contexts in sorted order: float accumulation is not
+		// associative, so map order would make training nondeterministic.
+		ctxIDs := make([]int, 0, len(co[a]))
+		for b := range co[a] {
+			ctxIDs = append(ctxIDs, b)
+		}
+		sort.Ints(ctxIDs)
+		for _, b := range ctxIDs {
+			cnt := co[a][b]
+			pmi := math.Log((cnt * grandTotal) / (tgtTotal[a] * ctxTotal[b]))
+			if pmi <= 0 {
+				continue
+			}
+			vec.AXPY(v, pmi, proj[b])
+		}
+		c.vectors[vocabList[a]] = vec.Normalize(v)
+	}
+	return c
+}
+
+// Dim implements Source.
+func (c *Cooc) Dim() int { return c.d }
+
+// Vector implements Source. Out-of-vocabulary tokens get the zero vector;
+// combine Cooc with Hash (via Concat) so such tokens still embed.
+func (c *Cooc) Vector(token string) []float64 {
+	if v, ok := c.vectors[token]; ok {
+		return vec.Clone(v)
+	}
+	return make([]float64, c.d)
+}
+
+// VocabSize returns the number of embedded tokens.
+func (c *Cooc) VocabSize() int { return len(c.vectors) }

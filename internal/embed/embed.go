@@ -1,0 +1,188 @@
+// Package embed is the word-embedding substrate that stands in for BERT in
+// this reproduction (see DESIGN.md §1). It provides:
+//
+//   - Hash: character n-gram hashing embeddings — surface-similar tokens
+//     (typos, abbreviations, inflections) get similar vectors;
+//   - Cooc: distributional embeddings trained on the dataset corpus via
+//     windowed co-occurrence with PPMI weighting and a signed random
+//     projection — tokens used in similar contexts (synonyms, periphrasis)
+//     get similar vectors;
+//   - Concat: concatenation of sources (the default WYM space combines
+//     Hash and Cooc);
+//   - Hebbian: a closed-form contrastive fine-tune of any base source,
+//     standing in for SBERT/task fine-tuning;
+//   - Contextualize: record-level mixing that gives the same token a
+//     slightly different vector in different records, standing in for
+//     BERT's contextualized hidden states (challenge R4);
+//   - Cache: memoization wrapper.
+//
+// All sources are deterministic given their construction parameters.
+package embed
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"wym/internal/vec"
+)
+
+// Source provides static (context-free) token embeddings. Vector must be
+// deterministic and must return a slice of length Dim; implementations
+// return a zero vector for tokens they cannot embed.
+type Source interface {
+	Vector(token string) []float64
+	Dim() int
+}
+
+// Hash embeds a token as the normalized signed sum of hashed character
+// n-grams (with ^/$ boundary markers), in the spirit of fastText's subword
+// vectors. Two tokens sharing many n-grams land close in cosine space.
+type Hash struct {
+	D          int // embedding dimension
+	NMin, NMax int // n-gram length range, inclusive
+}
+
+// NewHash returns a Hash source with the repo defaults: 48 dimensions,
+// 3..5-character n-grams.
+func NewHash() *Hash { return &Hash{D: 48, NMin: 3, NMax: 5} }
+
+// Dim implements Source.
+func (h *Hash) Dim() int { return h.D }
+
+// Vector implements Source. The empty token embeds to the zero vector.
+func (h *Hash) Vector(token string) []float64 {
+	out := make([]float64, h.D)
+	if token == "" {
+		return out
+	}
+	s := "^" + token + "$"
+	for n := h.NMin; n <= h.NMax; n++ {
+		if n > len(s) {
+			break
+		}
+		for i := 0; i+n <= len(s); i++ {
+			h.addNGram(out, s[i:i+n])
+		}
+	}
+	// Very short tokens may have no n-gram of the minimum length; fall
+	// back to the whole marked token so they still embed.
+	if vec.Norm(out) == 0 {
+		h.addNGram(out, s)
+	}
+	return vec.Normalize(out)
+}
+
+func (h *Hash) addNGram(out []float64, g string) {
+	f := fnv.New64a()
+	f.Write([]byte(g)) // hash.Write never fails
+	v := f.Sum64()
+	idx := int(v % uint64(h.D))
+	sign := 1.0
+	if (v>>32)&1 == 1 {
+		sign = -1
+	}
+	out[idx] += sign
+}
+
+// Concat concatenates the vectors of several sources and re-normalizes.
+// Each part is weighted equally after per-part normalization, so no single
+// source dominates the cosine.
+type Concat struct {
+	Parts []Source
+	dim   int
+}
+
+// NewConcat builds a Concat over the given parts.
+func NewConcat(parts ...Source) *Concat {
+	c := &Concat{Parts: parts}
+	for _, p := range parts {
+		c.dim += p.Dim()
+	}
+	return c
+}
+
+// Dim implements Source.
+func (c *Concat) Dim() int { return c.dim }
+
+// Vector implements Source.
+func (c *Concat) Vector(token string) []float64 {
+	out := make([]float64, 0, c.dim)
+	for _, p := range c.Parts {
+		part := vec.Clone(p.Vector(token))
+		vec.Normalize(part)
+		out = append(out, part...)
+	}
+	return vec.Normalize(out)
+}
+
+// Cache memoizes another source. It is safe for concurrent use.
+type Cache struct {
+	Base Source
+
+	mu sync.RWMutex
+	m  map[string][]float64
+}
+
+// NewCache wraps base with memoization.
+func NewCache(base Source) *Cache {
+	return &Cache{Base: base, m: make(map[string][]float64)}
+}
+
+// Dim implements Source.
+func (c *Cache) Dim() int { return c.Base.Dim() }
+
+// Vector implements Source. Returned slices are shared; callers must not
+// mutate them.
+func (c *Cache) Vector(token string) []float64 {
+	c.mu.RLock()
+	v, ok := c.m[token]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = c.Base.Vector(token)
+	c.mu.Lock()
+	c.m[token] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Contextualize embeds each token of one record and mixes in the record's
+// mean vector: v' = normalize((1-gamma)*v + gamma*mean). gamma = 0 yields
+// the static embedding; the WYM default is a light mixing (0.15) that keeps
+// token identity dominant while making vectors record-dependent, standing
+// in for BERT's contextualized hidden states.
+func Contextualize(src Source, tokens []string, gamma float64) [][]float64 {
+	if len(tokens) == 0 {
+		return nil
+	}
+	base := make([][]float64, len(tokens))
+	for i, t := range tokens {
+		base[i] = src.Vector(t)
+	}
+	if gamma == 0 {
+		out := make([][]float64, len(base))
+		for i := range base {
+			out[i] = vec.Clone(base[i])
+		}
+		return out
+	}
+	mean := vec.MeanOf(base)
+	out := make([][]float64, len(base))
+	for i := range base {
+		v := vec.Scaled(base[i], 1-gamma)
+		vec.AXPY(v, gamma, mean)
+		out[i] = vec.Normalize(v)
+	}
+	return out
+}
+
+// Zero returns a Source whose every vector is zero. The relevance scorer
+// uses it to embed the [UNP] placeholder of unpaired units (challenge R5).
+type Zero struct{ D int }
+
+// Dim implements Source.
+func (z Zero) Dim() int { return z.D }
+
+// Vector implements Source.
+func (z Zero) Vector(string) []float64 { return make([]float64, z.D) }

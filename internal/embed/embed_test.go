@@ -1,0 +1,266 @@
+package embed
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wym/internal/vec"
+)
+
+func TestHashDeterministicAndNormalized(t *testing.T) {
+	h := NewHash()
+	a := h.Vector("camera")
+	b := h.Vector("camera")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Hash.Vector is not deterministic")
+	}
+	if math.Abs(vec.Norm(a)-1) > 1e-9 {
+		t.Fatalf("norm = %v, want 1", vec.Norm(a))
+	}
+	if len(a) != h.Dim() {
+		t.Fatalf("dim = %d, want %d", len(a), h.Dim())
+	}
+}
+
+func TestHashEmptyToken(t *testing.T) {
+	h := NewHash()
+	if vec.Norm(h.Vector("")) != 0 {
+		t.Fatal("empty token should embed to zero")
+	}
+}
+
+func TestHashShortToken(t *testing.T) {
+	h := NewHash()
+	// One-character tokens have no 3-gram beyond "^a$"; they must still
+	// embed to something non-zero.
+	if vec.Norm(h.Vector("a")) == 0 {
+		t.Fatal("short token embedded to zero")
+	}
+}
+
+func TestHashSurfaceSimilarity(t *testing.T) {
+	h := NewHash()
+	similar := vec.Cosine(h.Vector("camera"), h.Vector("cameras"))
+	dissimilar := vec.Cosine(h.Vector("camera"), h.Vector("printer"))
+	if similar <= dissimilar {
+		t.Fatalf("surface similarity broken: sim(camera,cameras)=%v <= sim(camera,printer)=%v",
+			similar, dissimilar)
+	}
+	if similar < 0.5 {
+		t.Fatalf("inflected form similarity too low: %v", similar)
+	}
+}
+
+func TestHashPropertyBounds(t *testing.T) {
+	h := NewHash()
+	f := func(tok string) bool {
+		v := h.Vector(tok)
+		if len(v) != h.Dim() {
+			return false
+		}
+		n := vec.Norm(v)
+		return n == 0 || math.Abs(n-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testCorpus() [][]string {
+	// "laptop" and "notebook" appear in interchangeable contexts, as do
+	// "tv" and "television"; "warranty" appears in unrelated contexts.
+	var corpus [][]string
+	for i := 0; i < 30; i++ {
+		corpus = append(corpus,
+			[]string{"acer", "laptop", "15", "inch", "intel", "fast"},
+			[]string{"acer", "notebook", "15", "inch", "intel", "fast"},
+			[]string{"samsung", "tv", "55", "inch", "oled", "screen"},
+			[]string{"samsung", "television", "55", "inch", "oled", "screen"},
+			[]string{"extended", "warranty", "two", "years", "support"},
+		)
+	}
+	return corpus
+}
+
+func TestCoocSynonymsClose(t *testing.T) {
+	c := TrainCooc(testCorpus(), DefaultCoocConfig())
+	syn := vec.Cosine(c.Vector("laptop"), c.Vector("notebook"))
+	unrel := vec.Cosine(c.Vector("laptop"), c.Vector("warranty"))
+	if syn <= unrel {
+		t.Fatalf("distributional similarity broken: syn=%v unrel=%v", syn, unrel)
+	}
+	if syn < 0.5 {
+		t.Fatalf("synonym similarity too low: %v", syn)
+	}
+}
+
+func TestCoocOOVIsZero(t *testing.T) {
+	c := TrainCooc(testCorpus(), DefaultCoocConfig())
+	if vec.Norm(c.Vector("nonexistent")) != 0 {
+		t.Fatal("OOV token should embed to zero")
+	}
+}
+
+func TestCoocDeterministic(t *testing.T) {
+	a := TrainCooc(testCorpus(), DefaultCoocConfig())
+	b := TrainCooc(testCorpus(), DefaultCoocConfig())
+	if !reflect.DeepEqual(a.Vector("laptop"), b.Vector("laptop")) {
+		t.Fatal("TrainCooc is not deterministic")
+	}
+}
+
+func TestCoocMinCount(t *testing.T) {
+	cfg := DefaultCoocConfig()
+	cfg.MinCnt = 100
+	c := TrainCooc(testCorpus(), cfg)
+	if c.VocabSize() != 0 {
+		t.Fatalf("min count filter kept %d tokens", c.VocabSize())
+	}
+}
+
+func TestCoocEmptyCorpus(t *testing.T) {
+	c := TrainCooc(nil, DefaultCoocConfig())
+	if c.VocabSize() != 0 || vec.Norm(c.Vector("x")) != 0 {
+		t.Fatal("empty corpus should produce an empty model")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	h := NewHash()
+	c := TrainCooc(testCorpus(), DefaultCoocConfig())
+	cc := NewConcat(h, c)
+	if cc.Dim() != h.Dim()+c.Dim() {
+		t.Fatalf("dim = %d", cc.Dim())
+	}
+	v := cc.Vector("laptop")
+	if len(v) != cc.Dim() {
+		t.Fatalf("len = %d", len(v))
+	}
+	if math.Abs(vec.Norm(v)-1) > 1e-9 {
+		t.Fatalf("norm = %v", vec.Norm(v))
+	}
+	// OOV for cooc still embeds through the hash part.
+	if vec.Norm(cc.Vector("zzzunseen")) == 0 {
+		t.Fatal("concat should embed OOV tokens via the hash part")
+	}
+}
+
+func TestCacheReturnsSameValues(t *testing.T) {
+	h := NewHash()
+	c := NewCache(h)
+	if !reflect.DeepEqual(c.Vector("x100"), h.Vector("x100")) {
+		t.Fatal("cache changed the embedding")
+	}
+	// Second read hits the cache and must be identical.
+	v1 := c.Vector("x100")
+	v2 := c.Vector("x100")
+	if &v1[0] != &v2[0] {
+		t.Fatal("cache should return the memoized slice")
+	}
+	if c.Dim() != h.Dim() {
+		t.Fatal("cache dim mismatch")
+	}
+}
+
+func TestContextualize(t *testing.T) {
+	h := NewHash()
+	tokens := []string{"digital", "camera", "sony"}
+	static := Contextualize(h, tokens, 0)
+	for i, tok := range tokens {
+		if !reflect.DeepEqual(static[i], h.Vector(tok)) {
+			t.Fatalf("gamma=0 must reproduce static embeddings (token %q)", tok)
+		}
+	}
+	ctx := Contextualize(h, tokens, 0.15)
+	if len(ctx) != 3 {
+		t.Fatalf("len = %d", len(ctx))
+	}
+	// Context mixing must change the vector but keep it close to the
+	// static one (token identity dominates).
+	for i := range tokens {
+		cos := vec.Cosine(static[i], ctx[i])
+		if cos > 0.999999 {
+			t.Fatalf("token %d unchanged by contextualization", i)
+		}
+		if cos < 0.8 {
+			t.Fatalf("token %d drifted too far: cos=%v", i, cos)
+		}
+	}
+	// The same token in different records gets different vectors (R4).
+	other := Contextualize(h, []string{"digital", "printer", "hp"}, 0.15)
+	if reflect.DeepEqual(ctx[0], other[0]) {
+		t.Fatal("contextualization is not record-dependent")
+	}
+	if Contextualize(h, nil, 0.15) != nil {
+		t.Fatal("empty token list should yield nil")
+	}
+}
+
+func TestZeroSource(t *testing.T) {
+	z := Zero{D: 8}
+	if z.Dim() != 8 || vec.Norm(z.Vector("anything")) != 0 {
+		t.Fatal("Zero source wrong")
+	}
+}
+
+func TestFineTunePullsPositivesTogether(t *testing.T) {
+	h := NewHash()
+	pos := []PairSample{{"laptop", "notebook"}}
+	before := vec.Cosine(h.Vector("laptop"), h.Vector("notebook"))
+	ft := FineTune(h, pos, nil, DefaultFineTuneConfig())
+	after := vec.Cosine(ft.Vector("laptop"), ft.Vector("notebook"))
+	if after <= before {
+		t.Fatalf("fine-tune did not increase positive-pair similarity: %v -> %v", before, after)
+	}
+}
+
+func TestFineTunePushesNegativesApart(t *testing.T) {
+	h := NewHash()
+	neg := []PairSample{{"sony", "nikon"}}
+	before := vec.Cosine(h.Vector("sony"), h.Vector("nikon"))
+	ft := FineTune(h, nil, neg, FineTuneConfig{Alpha: 0, Beta: 0.5})
+	after := vec.Cosine(ft.Vector("sony"), ft.Vector("nikon"))
+	if after >= before {
+		t.Fatalf("fine-tune did not decrease negative-pair similarity: %v -> %v", before, after)
+	}
+}
+
+func TestFineTuneIdentityWhenEmpty(t *testing.T) {
+	h := NewHash()
+	ft := FineTune(h, nil, nil, DefaultFineTuneConfig())
+	a := h.Vector("camera")
+	b := ft.Vector("camera")
+	if vec.Cosine(a, b) < 0.999999 {
+		t.Fatal("empty fine-tune should be the identity map")
+	}
+	if ft.Dim() != h.Dim() {
+		t.Fatal("dim mismatch")
+	}
+}
+
+func TestFineTuneZeroVectorStaysZero(t *testing.T) {
+	z := Zero{D: 4}
+	ft := FineTune(z, []PairSample{{"a", "b"}}, nil, DefaultFineTuneConfig())
+	if vec.Norm(ft.Vector("a")) != 0 {
+		t.Fatal("zero vectors must stay zero through fine-tuning")
+	}
+}
+
+func BenchmarkHashVector(b *testing.B) {
+	h := NewHash()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Vector("dslra200w")
+	}
+}
+
+func BenchmarkCoocTrain(b *testing.B) {
+	corpus := testCorpus()
+	cfg := DefaultCoocConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainCooc(corpus, cfg)
+	}
+}

@@ -1,0 +1,113 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"wym/internal/vec"
+)
+
+// Gob support so fitted systems can be persisted (core.System.Save/Load).
+// Hash and Zero serialize through their exported fields; the types below
+// round-trip unexported state through snapshot structs.
+
+func init() {
+	gob.Register(&Hash{})
+	gob.Register(&Cooc{})
+	gob.Register(&Concat{})
+	gob.Register(&Cache{})
+	gob.Register(&Hebbian{})
+	gob.Register(Zero{})
+}
+
+func encodeSnap(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeSnap(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+type coocSnapshot struct {
+	D       int
+	Vectors map[string][]float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c *Cooc) GobEncode() ([]byte, error) {
+	return encodeSnap(coocSnapshot{D: c.d, Vectors: c.vectors})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *Cooc) GobDecode(data []byte) error {
+	var s coocSnapshot
+	if err := decodeSnap(data, &s); err != nil {
+		return err
+	}
+	c.d, c.vectors = s.D, s.Vectors
+	if c.vectors == nil {
+		c.vectors = map[string][]float64{}
+	}
+	return nil
+}
+
+type concatSnapshot struct {
+	Parts []Source
+	Dim   int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (c *Concat) GobEncode() ([]byte, error) {
+	return encodeSnap(concatSnapshot{Parts: c.Parts, Dim: c.dim})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *Concat) GobDecode(data []byte) error {
+	var s concatSnapshot
+	if err := decodeSnap(data, &s); err != nil {
+		return err
+	}
+	c.Parts, c.dim = s.Parts, s.Dim
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder. The memoized vectors are dropped:
+// they are a pure cache and rebuild on demand.
+func (c *Cache) GobEncode() ([]byte, error) {
+	return encodeSnap(struct{ Base Source }{Base: c.Base})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *Cache) GobDecode(data []byte) error {
+	var s struct{ Base Source }
+	if err := decodeSnap(data, &s); err != nil {
+		return err
+	}
+	c.Base = s.Base
+	c.m = make(map[string][]float64)
+	return nil
+}
+
+type hebbianSnapshot struct {
+	Base Source
+	M    *vec.Matrix
+}
+
+// GobEncode implements gob.GobEncoder.
+func (h *Hebbian) GobEncode() ([]byte, error) {
+	return encodeSnap(hebbianSnapshot{Base: h.Base, M: h.m})
+}
+
+// GobDecode implements gob.GobDecoder.
+func (h *Hebbian) GobDecode(data []byte) error {
+	var s hebbianSnapshot
+	if err := decodeSnap(data, &s); err != nil {
+		return err
+	}
+	h.Base, h.m = s.Base, s.M
+	return nil
+}

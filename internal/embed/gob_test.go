@@ -1,0 +1,63 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+func sourceRoundTrip(t *testing.T, s Source) Source {
+	t.Helper()
+	var buf bytes.Buffer
+	holder := struct{ S Source }{S: s}
+	if err := gob.NewEncoder(&buf).Encode(&holder); err != nil {
+		t.Fatal(err)
+	}
+	var out struct{ S Source }
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.S
+}
+
+func TestGobRoundTripSources(t *testing.T) {
+	cooc := TrainCooc(testCorpus(), DefaultCoocConfig())
+	base := NewConcat(NewHash(), cooc)
+	ft := FineTune(base, []PairSample{{"laptop", "notebook"}}, []PairSample{{"sony", "warranty"}},
+		DefaultFineTuneConfig())
+	sources := map[string]Source{
+		"hash":    NewHash(),
+		"cooc":    cooc,
+		"concat":  base,
+		"hebbian": ft,
+		"cache":   NewCache(base),
+		"zero":    Zero{D: 8},
+	}
+	for name, src := range sources {
+		src := src
+		t.Run(name, func(t *testing.T) {
+			restored := sourceRoundTrip(t, src)
+			if restored.Dim() != src.Dim() {
+				t.Fatalf("dim = %d, want %d", restored.Dim(), src.Dim())
+			}
+			for _, tok := range []string{"laptop", "warranty", "unseen-token", ""} {
+				if !reflect.DeepEqual(restored.Vector(tok), src.Vector(tok)) {
+					t.Fatalf("vector for %q diverged", tok)
+				}
+			}
+		})
+	}
+}
+
+func TestGobCacheDropsMemo(t *testing.T) {
+	c := NewCache(NewHash())
+	c.Vector("warm") // populate the memo
+	restored := sourceRoundTrip(t, c).(*Cache)
+	restored.mu.RLock()
+	n := len(restored.m)
+	restored.mu.RUnlock()
+	if n != 0 {
+		t.Fatalf("cache memo survived serialization: %d entries", n)
+	}
+}

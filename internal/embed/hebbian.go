@@ -1,0 +1,82 @@
+package embed
+
+import (
+	"wym/internal/vec"
+)
+
+// Hebbian fine-tunes a base embedding space for the EM task with a
+// closed-form contrastive update, standing in for SBERT's siamese
+// fine-tuning (§4.1.1 of the paper). It applies a linear map
+//
+//	M = I + alpha * Σ_{(x,y) ∈ pos} (v_x v_y^T + v_y v_x^T)/|pos|
+//	      - beta  * Σ_{(x,y) ∈ neg} (v_x v_y^T + v_y v_x^T)/|neg|
+//
+// to every base vector and re-normalizes. Positive pairs (tokens aligned
+// inside matching records) pull each other's directions together; negative
+// pairs push apart. The symmetric construction keeps the map well behaved
+// and the whole fine-tune deterministic and cheap — the properties the
+// ablation (Table 4, BERT-ft / SBERT columns) actually exercises.
+type Hebbian struct {
+	Base Source
+	m    *vec.Matrix
+}
+
+// PairSample is one contrastive training pair of token strings.
+type PairSample struct {
+	A, B string
+}
+
+// FineTuneConfig holds the contrastive strengths. The defaults (0.5, 0.25)
+// bias toward consolidation: matching-record evidence is cleaner than
+// non-matching evidence, which often contains legitimately shared tokens
+// (challenge R1).
+type FineTuneConfig struct {
+	Alpha, Beta float64
+}
+
+// DefaultFineTuneConfig returns the repo defaults.
+func DefaultFineTuneConfig() FineTuneConfig { return FineTuneConfig{Alpha: 0.5, Beta: 0.25} }
+
+// FineTune builds the Hebbian map from positive and negative token pairs.
+// Either list may be empty; with both empty the result is the identity map
+// over the base source.
+func FineTune(base Source, pos, neg []PairSample, cfg FineTuneConfig) *Hebbian {
+	d := base.Dim()
+	m := vec.NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		m.Set(i, i, 1)
+	}
+	accumulate := func(pairs []PairSample, scale float64) {
+		if len(pairs) == 0 || scale == 0 {
+			return
+		}
+		s := scale / float64(len(pairs))
+		for _, p := range pairs {
+			vx := base.Vector(p.A)
+			vy := base.Vector(p.B)
+			for i := 0; i < d; i++ {
+				if vx[i] == 0 && vy[i] == 0 {
+					continue
+				}
+				for j := 0; j < d; j++ {
+					m.AddAt(i, j, s*(vx[i]*vy[j]+vy[i]*vx[j]))
+				}
+			}
+		}
+	}
+	accumulate(pos, cfg.Alpha)
+	accumulate(neg, -cfg.Beta)
+	return &Hebbian{Base: base, m: m}
+}
+
+// Dim implements Source.
+func (h *Hebbian) Dim() int { return h.Base.Dim() }
+
+// Vector implements Source.
+func (h *Hebbian) Vector(token string) []float64 {
+	v := h.Base.Vector(token)
+	if vec.Norm(v) == 0 {
+		return v
+	}
+	return vec.Normalize(h.m.MulVec(v))
+}

@@ -1,0 +1,311 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/embed"
+	"wym/internal/relevance"
+	"wym/internal/tokenize"
+	"wym/internal/units"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := NewConfusion([]int{1, 1, 0, 0, 1}, []int{1, 0, 0, 1, 1})
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if math.Abs(c.Precision()-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", c.Recall())
+	}
+	if math.Abs(c.F1()-2.0/3) > 1e-12 {
+		t.Fatalf("f1 = %v", c.F1())
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	c := NewConfusion([]int{0, 0}, []int{0, 0})
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("degenerate metrics should be 0")
+	}
+	empty := Confusion{}
+	if empty.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestConfusionPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConfusion([]int{1}, []int{1, 0})
+}
+
+func TestFleissKappaPerfectAgreement(t *testing.T) {
+	// All raters agree, with subjects spread over categories: kappa = 1.
+	ratings := [][]int{{10, 0}, {0, 10}, {10, 0}}
+	if got := FleissKappa(ratings); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("kappa = %v, want 1", got)
+	}
+}
+
+func TestFleissKappaKnownValue(t *testing.T) {
+	// The worked example from Fleiss (1971) as popularized on the kappa
+	// literature: 10 subjects, 14 raters, 5 categories; kappa ≈ 0.21.
+	ratings := [][]int{
+		{0, 0, 0, 0, 14},
+		{0, 2, 6, 4, 2},
+		{0, 0, 3, 5, 6},
+		{0, 3, 9, 2, 0},
+		{2, 2, 8, 1, 1},
+		{7, 7, 0, 0, 0},
+		{3, 2, 6, 3, 0},
+		{2, 5, 3, 2, 2},
+		{6, 5, 2, 1, 0},
+		{0, 2, 2, 3, 7},
+	}
+	if got := FleissKappa(ratings); math.Abs(got-0.21) > 0.005 {
+		t.Fatalf("kappa = %v, want ~0.21", got)
+	}
+}
+
+func TestFleissKappaEdgeCases(t *testing.T) {
+	if FleissKappa(nil) != 0 {
+		t.Fatal("empty ratings should give 0")
+	}
+	if FleissKappa([][]int{{1, 0}}) != 0 {
+		t.Fatal("single rater should give 0")
+	}
+}
+
+func TestRankUnits(t *testing.T) {
+	order := RankUnits([]float64{0.1, -0.9, 0.5})
+	if !reflect.DeepEqual(order, []int{1, 2, 0}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func makeRecord(left, right []string) *relevance.Record {
+	src := embed.NewHash()
+	lt := tokenize.Entity(left, tokenize.Default)
+	rt := tokenize.Entity(right, tokenize.Default)
+	in := units.Input{
+		Left: lt, Right: rt,
+		LeftVecs:  embed.Contextualize(src, tokenize.Texts(lt), 0),
+		RightVecs: embed.Contextualize(src, tokenize.Texts(rt), 0),
+		NumAttrs:  len(left),
+	}
+	return &relevance.Record{
+		Units: units.Discover(in, units.PaperThresholds),
+		Left:  lt, Right: rt,
+		LeftVecs: in.LeftVecs, RightVecs: in.RightVecs,
+	}
+}
+
+func TestPairFromUnits(t *testing.T) {
+	rec := makeRecord([]string{"digital camera", "sony"}, []string{"digital camera", "nikon"})
+	all := make([]int, len(rec.Units))
+	for i := range all {
+		all[i] = i
+	}
+	full := PairFromUnits(rec, all, 2)
+	if full.Left[0] != "digital camera" || full.Left[1] != "sony" {
+		t.Fatalf("full reconstruction = %+v", full)
+	}
+	if full.Right[1] != "nikon" {
+		t.Fatalf("full right = %+v", full.Right)
+	}
+	// Keeping nothing yields empty attributes.
+	empty := PairFromUnits(rec, nil, 2)
+	for a := range empty.Left {
+		if empty.Left[a] != "" || empty.Right[a] != "" {
+			t.Fatalf("empty reconstruction = %+v", empty)
+		}
+	}
+}
+
+func TestPostHocAccuracy(t *testing.T) {
+	// Matcher: predicts 1 iff left attr contains "x". Reducer that keeps
+	// the pair intact gives accuracy 1; one that blanks it gives whatever
+	// the blank prediction matches.
+	predict := func(p data.Pair) int {
+		if p.Left[0] == "x" {
+			return 1
+		}
+		return 0
+	}
+	pairs := []data.Pair{
+		{Left: data.Entity{"x"}, Right: data.Entity{"x"}},
+		{Left: data.Entity{"y"}, Right: data.Entity{"y"}},
+	}
+	identity := func(p data.Pair, v int) data.Pair { return p }
+	if got := PostHocAccuracy(predict, pairs, identity, 1); got != 1 {
+		t.Fatalf("identity post-hoc = %v", got)
+	}
+	blank := func(p data.Pair, v int) data.Pair {
+		return data.Pair{Left: data.Entity{""}, Right: data.Entity{""}}
+	}
+	if got := PostHocAccuracy(predict, pairs, blank, 1); got != 0.5 {
+		t.Fatalf("blank post-hoc = %v", got)
+	}
+	if got := PostHocAccuracy(predict, nil, identity, 1); got != 0 {
+		t.Fatal("empty pairs should give 0")
+	}
+}
+
+func TestRemovalOrderMoRF(t *testing.T) {
+	impacts := []float64{0.2, -0.5, 0.9, -0.1}
+	// Predicted match: MoRF removes the highest-impact first.
+	order := RemovalOrder(impacts, data.Match, MoRF, nil)
+	if order[0] != 2 || order[1] != 0 {
+		t.Fatalf("MoRF match order = %v", order)
+	}
+	// Predicted non-match: most negative first.
+	order = RemovalOrder(impacts, data.NonMatch, MoRF, nil)
+	if order[0] != 1 {
+		t.Fatalf("MoRF nonmatch order = %v", order)
+	}
+}
+
+func TestRemovalOrderLeRF(t *testing.T) {
+	impacts := []float64{0.2, -0.5, 0.9, -0.1}
+	order := RemovalOrder(impacts, data.Match, LeRF, nil)
+	if order[0] != 1 {
+		t.Fatalf("LeRF match order = %v (most negative removed first)", order)
+	}
+	order = RemovalOrder(impacts, data.NonMatch, LeRF, nil)
+	if order[0] != 2 {
+		t.Fatalf("LeRF nonmatch order = %v", order)
+	}
+}
+
+func TestRemovalOrderRandomIsPermutation(t *testing.T) {
+	impacts := []float64{1, 2, 3, 4, 5}
+	order := RemovalOrder(impacts, data.Match, Random, rand.New(rand.NewSource(1)))
+	seen := map[int]bool{}
+	for _, i := range order {
+		seen[i] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("random order not a permutation: %v", order)
+	}
+}
+
+func TestRemoveTopK(t *testing.T) {
+	order := []int{2, 0, 1}
+	kept := RemoveTopK(order, 1)
+	if !reflect.DeepEqual(kept, []int{0, 1}) {
+		t.Fatalf("kept = %v", kept)
+	}
+	if got := RemoveTopK(order, 10); len(got) != 0 {
+		t.Fatalf("over-removal should keep nothing: %v", got)
+	}
+}
+
+func TestParetoCurveConcentration(t *testing.T) {
+	// One dominant unit: the top 20% must capture most of the impact.
+	impacts := [][]float64{{10, 0.1, 0.1, 0.1, 0.1}}
+	curve := ParetoCurve(impacts, []float64{0.2, 1.0})
+	if curve[0].Share < 0.9 {
+		t.Fatalf("top-20%% share = %v, want >= 0.9", curve[0].Share)
+	}
+	if math.Abs(curve[1].Share-1) > 1e-12 {
+		t.Fatalf("full share = %v, want 1", curve[1].Share)
+	}
+}
+
+func TestParetoCurveUniform(t *testing.T) {
+	impacts := [][]float64{{1, 1, 1, 1, 1}}
+	curve := ParetoCurve(impacts, []float64{0.4})
+	if math.Abs(curve[0].Share-0.4) > 1e-12 {
+		t.Fatalf("uniform top-40%% share = %v, want 0.4", curve[0].Share)
+	}
+}
+
+func TestParetoCurveSkipsDegenerate(t *testing.T) {
+	impacts := [][]float64{nil, {0, 0}, {1, 0}}
+	curve := ParetoCurve(impacts, []float64{0.5})
+	// Only the third record counts; its top-50% (1 unit) share is 1.
+	if math.Abs(curve[0].Share-1) > 1e-12 {
+		t.Fatalf("share = %v", curve[0].Share)
+	}
+}
+
+func TestAlignTokenWeights(t *testing.T) {
+	rec := makeRecord([]string{"camera"}, []string{"camera"})
+	if len(rec.Units) != 1 || rec.Units[0].Kind != units.Paired {
+		t.Fatalf("unexpected units: %v", rec.Units)
+	}
+	w := AlignTokenWeights(rec, map[int]float64{0: 0.6}, map[int]float64{0: 0.2})
+	if math.Abs(w[0]-0.4) > 1e-12 {
+		t.Fatalf("aligned weight = %v, want mean 0.4", w[0])
+	}
+	// Missing weights: nothing contributed.
+	w = AlignTokenWeights(rec, nil, nil)
+	if w[0] != 0 {
+		t.Fatalf("weight without tokens = %v", w[0])
+	}
+}
+
+func TestLearningCurve(t *testing.T) {
+	d := &data.Dataset{Name: "lc", Schema: data.Schema{"a"}}
+	for i := 0; i < 100; i++ {
+		label := data.NonMatch
+		if i%5 == 0 {
+			label = data.Match
+		}
+		d.Pairs = append(d.Pairs, data.Pair{ID: i, Label: label,
+			Left: data.Entity{"x"}, Right: data.Entity{"x"}})
+	}
+	var sizes []int
+	curve := LearningCurve(d, []int{10, 50, 1000}, func(s *data.Dataset) float64 {
+		sizes = append(sizes, s.Size())
+		return float64(s.Size())
+	}, 1)
+	// 1000 > dataset size: curve is 10, 50, full.
+	if len(curve) != 3 || curve[2].TrainSize != 100 {
+		t.Fatalf("curve = %+v", curve)
+	}
+	if sizes[0] != 10 || sizes[1] != 50 || sizes[2] != 100 {
+		t.Fatalf("sample sizes = %v", sizes)
+	}
+}
+
+func TestSimulateUserStudy(t *testing.T) {
+	res := SimulateUserStudy(DefaultStudyConfig())
+	if len(res.Ratings) != 9 {
+		t.Fatalf("statements = %d", len(res.Ratings))
+	}
+	for q, row := range res.Ratings {
+		total := 0
+		for _, v := range row {
+			total += v
+		}
+		if total != 15 {
+			t.Fatalf("statement %d has %d raters", q, total)
+		}
+	}
+	// The paper's findings: units preferred overall, substantial agreement.
+	if res.PreferUnitsShare < 0.4 {
+		t.Fatalf("prefer-units share = %v", res.PreferUnitsShare)
+	}
+	if res.Kappa < 0.6 || res.Kappa > 1 {
+		t.Fatalf("kappa = %v, want substantial agreement (~0.787 in the paper)", res.Kappa)
+	}
+	// Deterministic for a fixed seed.
+	res2 := SimulateUserStudy(DefaultStudyConfig())
+	if res.Kappa != res2.Kappa {
+		t.Fatal("study simulation not deterministic")
+	}
+}

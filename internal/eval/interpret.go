@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"wym/internal/data"
+	"wym/internal/relevance"
+)
+
+// RankUnits returns unit indices ordered by descending |impact|: the order
+// in which a user would read the explanation.
+func RankUnits(impacts []float64) []int {
+	order := make([]int, len(impacts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return math.Abs(impacts[order[a]]) > math.Abs(impacts[order[b]])
+	})
+	return order
+}
+
+// PairFromUnits rebuilds a record pair containing only the tokens of the
+// kept decision units, preserving attribute structure and token order.
+// The sufficiency (Figure 7) and removal (Figure 8) experiments use it to
+// re-evaluate the matcher on reduced inputs.
+func PairFromUnits(rec *relevance.Record, keep []int, schemaLen int) data.Pair {
+	keepL := map[int]bool{}
+	keepR := map[int]bool{}
+	for _, i := range keep {
+		u := rec.Units[i]
+		if u.Left >= 0 {
+			keepL[u.Left] = true
+		}
+		if u.Right >= 0 {
+			keepR[u.Right] = true
+		}
+	}
+	left := make([][]string, schemaLen)
+	right := make([][]string, schemaLen)
+	for ti, tok := range rec.Left {
+		if keepL[ti] && tok.Attr < schemaLen {
+			left[tok.Attr] = append(left[tok.Attr], tok.Text)
+		}
+	}
+	for ti, tok := range rec.Right {
+		if keepR[ti] && tok.Attr < schemaLen {
+			right[tok.Attr] = append(right[tok.Attr], tok.Text)
+		}
+	}
+	p := data.Pair{
+		Left:  make(data.Entity, schemaLen),
+		Right: make(data.Entity, schemaLen),
+	}
+	for a := 0; a < schemaLen; a++ {
+		p.Left[a] = strings.Join(left[a], " ")
+		p.Right[a] = strings.Join(right[a], " ")
+	}
+	return p
+}
+
+// Reducer rebuilds a pair keeping only its top-v explanation elements.
+// Each explanation style (decision units, LIME tokens, ...) provides one.
+type Reducer func(p data.Pair, v int) data.Pair
+
+// PostHocAccuracy implements Equation 4: the fraction of records whose
+// prediction on the top-v reduced input equals the prediction on the full
+// input. Higher is better — the explanation's top elements suffice to
+// reproduce the decision.
+func PostHocAccuracy(predict func(data.Pair) int, pairs []data.Pair, reduce Reducer, v int) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	var agree int
+	for _, p := range pairs {
+		full := predict(p)
+		reduced := predict(reduce(p, v))
+		if full == reduced {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(pairs))
+}
+
+// RemovalStrategy selects which units the Figure 8 perturbation removes.
+type RemovalStrategy int
+
+// Strategies.
+const (
+	// MoRF removes the units that support the prediction most: highest
+	// positive impact on records predicted as matches, lowest negative
+	// impact on predicted non-matches.
+	MoRF RemovalStrategy = iota
+	// LeRF removes the units that support the prediction least.
+	LeRF
+	// Random removes uniformly random units.
+	Random
+)
+
+// RemovalOrder returns unit indices in the order the strategy removes
+// them, given the record's impact scores and its predicted label.
+func RemovalOrder(impacts []float64, predicted int, strategy RemovalStrategy, rng *rand.Rand) []int {
+	order := make([]int, len(impacts))
+	for i := range order {
+		order[i] = i
+	}
+	switch strategy {
+	case Random:
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case MoRF:
+		sort.SliceStable(order, func(a, b int) bool {
+			if predicted == data.Match {
+				return impacts[order[a]] > impacts[order[b]]
+			}
+			return impacts[order[a]] < impacts[order[b]]
+		})
+	case LeRF:
+		sort.SliceStable(order, func(a, b int) bool {
+			if predicted == data.Match {
+				return impacts[order[a]] < impacts[order[b]]
+			}
+			return impacts[order[a]] > impacts[order[b]]
+		})
+	}
+	return order
+}
+
+// RemoveTopK returns the kept unit indices after removing the first k
+// units of the removal order.
+func RemoveTopK(order []int, k int) []int {
+	if k > len(order) {
+		k = len(order)
+	}
+	kept := make([]int, len(order)-k)
+	copy(kept, order[k:])
+	sort.Ints(kept)
+	return kept
+}
+
+// ParetoPoint is one point of the Figure 6 conciseness curve.
+type ParetoPoint struct {
+	Fraction float64 // fraction of units inspected (x axis)
+	Share    float64 // cumulative share of total |impact| (y axis)
+}
+
+// ParetoCurve averages, over records, the cumulative |impact| captured by
+// the top fraction of units at each grid point. Records with no units or
+// zero total impact are skipped.
+func ParetoCurve(impactsPerRecord [][]float64, grid []float64) []ParetoPoint {
+	out := make([]ParetoPoint, len(grid))
+	for gi, frac := range grid {
+		out[gi].Fraction = frac
+	}
+	var counted int
+	for _, impacts := range impactsPerRecord {
+		if len(impacts) == 0 {
+			continue
+		}
+		abs := make([]float64, len(impacts))
+		var total float64
+		for i, v := range impacts {
+			abs[i] = math.Abs(v)
+			total += abs[i]
+		}
+		if total == 0 {
+			continue
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(abs)))
+		counted++
+		cum := make([]float64, len(abs)+1)
+		for i, v := range abs {
+			cum[i+1] = cum[i] + v
+		}
+		for gi, frac := range grid {
+			k := int(math.Ceil(frac * float64(len(abs))))
+			if k > len(abs) {
+				k = len(abs)
+			}
+			out[gi].Share += cum[k] / total
+		}
+	}
+	if counted == 0 {
+		return out
+	}
+	for gi := range out {
+		out[gi].Share /= float64(counted)
+	}
+	return out
+}
+
+// AlignTokenWeights maps per-token weights (keyed by side and token index)
+// onto the record's decision units: each unit receives the mean weight of
+// its member tokens. Tokens without weights contribute nothing.
+func AlignTokenWeights(rec *relevance.Record, leftW, rightW map[int]float64) []float64 {
+	out := make([]float64, len(rec.Units))
+	for i, u := range rec.Units {
+		var sum float64
+		var n int
+		if u.Left >= 0 {
+			if w, ok := leftW[u.Left]; ok {
+				sum += w
+				n++
+			}
+		}
+		if u.Right >= 0 {
+			if w, ok := rightW[u.Right]; ok {
+				sum += w
+				n++
+			}
+		}
+		if n > 0 {
+			out[i] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// LearningPoint is one point of a Figure 5 learning curve.
+type LearningPoint struct {
+	TrainSize int
+	F1        float64
+}
+
+// LearningCurve evaluates run at each training-set size (the full set is
+// included automatically when larger than every listed size). run receives
+// a stratified sample of the training set and returns a test F1.
+func LearningCurve(train *data.Dataset, sizes []int, run func(sample *data.Dataset) float64, seed int64) []LearningPoint {
+	var out []LearningPoint
+	for _, n := range sizes {
+		if n >= train.Size() {
+			break
+		}
+		out = append(out, LearningPoint{TrainSize: n, F1: run(train.Sample(n, seed))})
+	}
+	out = append(out, LearningPoint{TrainSize: train.Size(), F1: run(train)})
+	return out
+}

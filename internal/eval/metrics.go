@@ -1,0 +1,123 @@
+// Package eval provides the evaluation machinery of §5: classification
+// metrics, the post-hoc sufficiency measure (Equation 4), MoRF/LeRF/Random
+// perturbation analysis (Figure 8), Pareto conciseness (Figure 6), Pearson
+// correlation between explanations (Figure 9), learning curves (Figure 5),
+// and the simulated user study with Fleiss' kappa (§5.4).
+package eval
+
+import (
+	"fmt"
+
+	"wym/internal/vec"
+)
+
+// Confusion is a binary confusion matrix with the match class as positive.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies predictions against labels.
+func NewConfusion(pred, labels []int) Confusion {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("eval: %d predictions for %d labels", len(pred), len(labels)))
+	}
+	var c Confusion
+	for i := range labels {
+		switch {
+		case pred[i] == 1 && labels[i] == 1:
+			c.TP++
+		case pred[i] == 1 && labels[i] == 0:
+			c.FP++
+		case pred[i] == 0 && labels[i] == 1:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP / (TP + FP), 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// F1Score is shorthand for NewConfusion(pred, labels).F1().
+func F1Score(pred, labels []int) float64 { return NewConfusion(pred, labels).F1() }
+
+// Pearson re-exports the correlation used by the Figure 9 comparison.
+func Pearson(a, b []float64) float64 { return vec.Pearson(a, b) }
+
+// FleissKappa computes Fleiss' kappa for n subjects rated by the same
+// number of raters into k categories. ratings[i][j] is the number of
+// raters assigning subject i to category j; every row must sum to the same
+// rater count. Returns 1 for perfect agreement, 0 for chance-level.
+func FleissKappa(ratings [][]int) float64 {
+	n := len(ratings)
+	if n == 0 {
+		return 0
+	}
+	k := len(ratings[0])
+	raters := 0
+	for _, v := range ratings[0] {
+		raters += v
+	}
+	if raters <= 1 {
+		return 0
+	}
+	// Per-category proportions and per-subject agreement.
+	pj := make([]float64, k)
+	var pBar float64
+	for _, row := range ratings {
+		total := 0
+		var agree float64
+		for j, v := range row {
+			total += v
+			pj[j] += float64(v)
+			agree += float64(v * (v - 1))
+		}
+		if total != raters {
+			panic(fmt.Sprintf("eval: ragged rating row: %d raters, want %d", total, raters))
+		}
+		pBar += agree / float64(raters*(raters-1))
+	}
+	pBar /= float64(n)
+	var pe float64
+	for j := range pj {
+		pj[j] /= float64(n * raters)
+		pe += pj[j] * pj[j]
+	}
+	if pe == 1 {
+		return 1
+	}
+	return (pBar - pe) / (1 - pe)
+}

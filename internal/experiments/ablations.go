@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wym/internal/core"
+	"wym/internal/units"
+)
+
+// The paper fixes θ = 0.6, η = 0.65, ε = 0.7 experimentally and argues the
+// thresholds should increase with the breadth of the search space. These
+// ablations probe the two design choices DESIGN.md calls out: the
+// threshold triple and the record-context mixing weight of the embedding
+// substitution.
+
+// ThresholdSetting is one swept configuration.
+type ThresholdSetting struct {
+	Label string
+	T     units.Thresholds
+}
+
+// ThresholdSweep is the default grid: the paper's increasing triple, a
+// flat triple, a permissive and a strict one, and an inverted ordering.
+var ThresholdSweep = []ThresholdSetting{
+	{"paper (0.60/0.65/0.70)", units.Thresholds{Theta: 0.60, Eta: 0.65, Epsilon: 0.70}},
+	{"flat (0.65)", units.Thresholds{Theta: 0.65, Eta: 0.65, Epsilon: 0.65}},
+	{"permissive (0.45/0.50/0.55)", units.Thresholds{Theta: 0.45, Eta: 0.50, Epsilon: 0.55}},
+	{"strict (0.75/0.80/0.85)", units.Thresholds{Theta: 0.75, Eta: 0.80, Epsilon: 0.85}},
+	{"inverted (0.70/0.65/0.60)", units.Thresholds{Theta: 0.70, Eta: 0.65, Epsilon: 0.60}},
+}
+
+// AblationRow is one dataset's F1 per swept setting.
+type AblationRow struct {
+	Key    string
+	Scores map[string]float64 // label -> F1
+	Labels []string           // presentation order
+}
+
+// AblationThresholds sweeps the θ/η/ε triple.
+func AblationThresholds(cfg RunConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, key := range cfg.keys() {
+		sp, err := makeSplits(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{Key: key, Scores: map[string]float64{}}
+		for _, setting := range ThresholdSweep {
+			c := CoreConfig(cfg.Seed)
+			c.Thresholds = setting.T
+			sys, err := core.Train(sp.train, sp.valid, c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: thresholds %s on %s: %w", setting.Label, key, err)
+			}
+			row.Scores[setting.Label] = testF1(sys, sp.test)
+			row.Labels = append(row.Labels, setting.Label)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GammaSweep is the context-mixing grid: 0 disables contextualization (a
+// purely static embedding space), the repo default is 0.15, and larger
+// values blur token identity.
+var GammaSweep = []float64{0, 0.15, 0.30, 0.50}
+
+// AblationContext sweeps the record-context mixing weight γ.
+func AblationContext(cfg RunConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, key := range cfg.keys() {
+		sp, err := makeSplits(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{Key: key, Scores: map[string]float64{}}
+		for _, gamma := range GammaSweep {
+			label := fmt.Sprintf("γ=%.2f", gamma)
+			c := CoreConfig(cfg.Seed)
+			c.ContextGamma = gamma
+			sys, err := core.Train(sp.train, sp.valid, c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: gamma %v on %s: %w", gamma, key, err)
+			}
+			row.Scores[label] = testF1(sys, sp.test)
+			row.Labels = append(row.Labels, label)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders a sweep result.
+func FormatAblation(title string, rows []AblationRow) string {
+	var t tableBuilder
+	t.line(title)
+	if len(rows) == 0 {
+		return t.String()
+	}
+	header := append([]string{"Dataset"}, rows[0].Labels...)
+	t.row(header...)
+	avg := map[string]float64{}
+	for _, r := range rows {
+		cells := []string{r.Key}
+		for _, label := range r.Labels {
+			cells = append(cells, fmt.Sprintf("%.3f", r.Scores[label]))
+			avg[label] += r.Scores[label]
+		}
+		t.row(cells...)
+	}
+	cells := []string{"AVG"}
+	for _, label := range rows[0].Labels {
+		cells = append(cells, fmt.Sprintf("%.3f", avg[label]/float64(len(rows))))
+	}
+	t.row(cells...)
+	return t.String()
+}

@@ -1,0 +1,212 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5). Every driver consumes a RunConfig — most
+// importantly a Scale that shrinks the Table-2 dataset sizes so a full
+// reproduction fits on a laptop — and returns structured rows plus a
+// paper-style textual rendering. cmd/benchmark and the repository's
+// bench_test.go are thin wrappers over these drivers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wym/internal/core"
+	"wym/internal/data"
+	"wym/internal/datagen"
+	"wym/internal/eval"
+	"wym/internal/nn"
+	"wym/internal/relevance"
+)
+
+// RunConfig is shared by all experiment drivers.
+type RunConfig struct {
+	// Scale is the fraction of each dataset's Table-2 size to generate
+	// (1.0 = the paper's sizes). Small scales keep the full benchmark
+	// tractable; 0.05 reproduces every shape in minutes.
+	Scale float64
+	// Datasets restricts the run to the given keys (nil = all 12).
+	Datasets []string
+	// Seed drives every stochastic component.
+	Seed int64
+	// SampleRecords caps per-record experiments (Figures 6-9); 0 = 100.
+	SampleRecords int
+}
+
+// DefaultRunConfig returns a configuration that reproduces every
+// experiment shape at laptop scale.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Scale: 0.05, Seed: 1, SampleRecords: 100}
+}
+
+func (c RunConfig) keys() []string {
+	if len(c.Datasets) > 0 {
+		return c.Datasets
+	}
+	var keys []string
+	for _, p := range datagen.Benchmark() {
+		keys = append(keys, p.Key)
+	}
+	return keys
+}
+
+func (c RunConfig) sampleRecords() int {
+	if c.SampleRecords > 0 {
+		return c.SampleRecords
+	}
+	return 100
+}
+
+// CoreConfig returns the WYM configuration used across the experiments: a
+// compact scorer network sized for the synthetic benchmark, everything
+// else paper-default.
+func CoreConfig(seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.ScorerNN = relevance.NNConfig{
+		Hidden: []int{64, 32},
+		Train:  nn.Config{Epochs: 20, BatchSize: 64, LR: 1e-3, Seed: seed},
+		Seed:   seed,
+	}
+	cfg.MaxFineTunePairs = 1000
+	return cfg
+}
+
+// splits carries one dataset's generated splits.
+type splits struct {
+	key                string
+	train, valid, test *data.Dataset
+}
+
+// makeSplits generates and splits one dataset.
+func makeSplits(key string, cfg RunConfig) (splits, error) {
+	p, ok := datagen.ProfileByKey(key)
+	if !ok {
+		return splits{}, fmt.Errorf("experiments: unknown dataset %q", key)
+	}
+	d := datagen.Generate(p, cfg.Scale)
+	train, valid, test := d.Split(0.6, 0.2, cfg.Seed)
+	return splits{key: key, train: train, valid: valid, test: test}, nil
+}
+
+// trainedSystem caches one trained WYM system per dataset so the
+// interpretability experiments (Figures 6-9, §5.3) don't retrain.
+type trainedSystem struct {
+	splits
+	sys *core.System
+}
+
+var (
+	sysCacheMu sync.Mutex
+	sysCache   = map[string]trainedSystem{}
+)
+
+// trainWYM returns a trained system for the dataset, cached per
+// (key, scale, seed).
+func trainWYM(key string, cfg RunConfig) (trainedSystem, error) {
+	cacheKey := fmt.Sprintf("%s@%v@%d", key, cfg.Scale, cfg.Seed)
+	sysCacheMu.Lock()
+	got, ok := sysCache[cacheKey]
+	sysCacheMu.Unlock()
+	if ok {
+		return got, nil
+	}
+	sp, err := makeSplits(key, cfg)
+	if err != nil {
+		return trainedSystem{}, err
+	}
+	sys, err := core.Train(sp.train, sp.valid, CoreConfig(cfg.Seed))
+	if err != nil {
+		return trainedSystem{}, fmt.Errorf("experiments: training on %s: %w", key, err)
+	}
+	ts := trainedSystem{splits: sp, sys: sys}
+	sysCacheMu.Lock()
+	sysCache[cacheKey] = ts
+	sysCacheMu.Unlock()
+	return ts, nil
+}
+
+// ResetCache clears the per-dataset system cache (benchmarks use it to
+// measure cold runs).
+func ResetCache() {
+	sysCacheMu.Lock()
+	sysCache = map[string]trainedSystem{}
+	sysCacheMu.Unlock()
+}
+
+// testF1 evaluates a system on the test split.
+func testF1(sys *core.System, test *data.Dataset) float64 {
+	return eval.F1Score(sys.PredictAll(test), test.Labels())
+}
+
+// sampleTest returns up to n test records, balanced between matches and
+// non-matches where possible (the Figure 9 protocol).
+func sampleTest(test *data.Dataset, n int, seed int64) *data.Dataset {
+	if test.Size() <= n {
+		return test
+	}
+	return test.Sample(n, seed)
+}
+
+// rankHeader renders "0.936 (5)"-style cells.
+func cell(v float64, rank int) string {
+	return fmt.Sprintf("%.3f (%d)", v, rank)
+}
+
+// ranksOf returns the 1-based descending rank of each value (ties share
+// the better rank, as in the paper's tables).
+func ranksOf(values []float64) []int {
+	type kv struct {
+		idx int
+		v   float64
+	}
+	order := make([]kv, len(values))
+	for i, v := range values {
+		order[i] = kv{i, v}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].v > order[b].v })
+	ranks := make([]int, len(values))
+	for pos, o := range order {
+		rank := pos + 1
+		if pos > 0 && o.v == order[pos-1].v {
+			rank = ranks[order[pos-1].idx]
+		}
+		ranks[o.idx] = rank
+	}
+	return ranks
+}
+
+// tableBuilder accumulates fixed-width rows.
+type tableBuilder struct {
+	b strings.Builder
+}
+
+func (t *tableBuilder) row(cells ...string) {
+	for i, c := range cells {
+		if i == 0 {
+			fmt.Fprintf(&t.b, "%-8s", c)
+			continue
+		}
+		fmt.Fprintf(&t.b, "  %12s", c)
+	}
+	t.b.WriteByte('\n')
+}
+
+func (t *tableBuilder) line(s string) {
+	t.b.WriteString(s)
+	t.b.WriteByte('\n')
+}
+
+func (t *tableBuilder) String() string { return t.b.String() }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wym/internal/eval"
+)
+
+// tinyConfig keeps every driver fast: one small dataset, floor-sized.
+func tinyConfig() RunConfig {
+	return RunConfig{Scale: 0.05, Datasets: []string{"S-FZ"}, Seed: 1, SampleRecords: 20}
+}
+
+func TestTable2(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"S-FZ", "S-AG"}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Key != "S-FZ" || rows[0].Type != "Structured" {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[0].Size <= 0 || rows[0].PctMatch <= 0 {
+		t.Fatalf("degenerate stats: %+v", rows[0])
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "S-AG") {
+		t.Fatalf("format output missing dataset: %s", out)
+	}
+}
+
+func TestTable2UnknownDataset(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"NOPE"}
+	if _, err := Table2(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	rows, err := Figure4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// The paper's Figure 4 shape: non-matching records carry more unpaired
+	// units than matching ones, and matching records more paired units
+	// than non-matching ones.
+	if r.NonMatchUnpaired <= r.MatchUnpaired {
+		t.Fatalf("unpaired distribution inverted: %+v", r)
+	}
+	if r.MatchPaired <= r.NonMatchPaired {
+		t.Fatalf("paired distribution inverted: %+v", r)
+	}
+	if !strings.Contains(FormatFigure4(rows), "S-FZ") {
+		t.Fatal("format output missing dataset")
+	}
+}
+
+func TestTable3ShapeOnEasyDataset(t *testing.T) {
+	rows, err := Table3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.Scores) != 5 {
+		t.Fatalf("systems = %d", len(r.Scores))
+	}
+	for name, f1 := range r.Scores {
+		if f1 < 0.5 {
+			t.Fatalf("%s F1 = %v on the easy dataset", name, f1)
+		}
+	}
+	for _, name := range Table3Systems {
+		if r.Ranks[name] < 1 || r.Ranks[name] > 5 {
+			t.Fatalf("rank out of range: %v", r.Ranks)
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "AVG") {
+		t.Fatal("format output missing averages")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"S-DA"}
+	cfg.Scale = 0.03
+	series, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) < 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	// Sizes must be increasing and end at the full training set.
+	pts := series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TrainSize <= pts[i-1].TrainSize {
+			t.Fatalf("sizes not increasing: %+v", pts)
+		}
+	}
+	if !strings.Contains(FormatFigure5(series), "S-DA") {
+		t.Fatal("format output missing dataset")
+	}
+}
+
+func TestFigure5ExcludesSmallDatasets(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"S-BR", "S-IA"}
+	series, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 0 {
+		t.Fatalf("small datasets should be excluded: %+v", series)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := Table4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.Scores) != len(Table4Variants) {
+		t.Fatalf("variants = %d", len(r.Scores))
+	}
+	for v, f1 := range r.Scores {
+		if f1 < 0 || f1 > 1 || math.IsNaN(f1) {
+			t.Fatalf("%s F1 = %v", v, f1)
+		}
+	}
+	if !strings.Contains(FormatTable4(rows), "smp.feat.") {
+		t.Fatal("format output missing variant")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	rows, err := Table5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0].Scores) != 10 {
+		t.Fatalf("classifiers = %d", len(rows[0].Scores))
+	}
+	if !strings.Contains(FormatTable5(rows), "GBM") {
+		t.Fatal("format output missing classifier")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	series, err := Figure6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	if len(pts) != len(Figure6Grid) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Cumulative shares must be non-decreasing and end at 1.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Share+1e-9 < pts[i-1].Share {
+			t.Fatalf("Pareto curve decreasing: %+v", pts)
+		}
+	}
+	if math.Abs(pts[len(pts)-1].Share-1) > 1e-9 {
+		t.Fatalf("full share = %v, want 1", pts[len(pts)-1].Share)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SampleRecords = 10
+	rows, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	for _, name := range Figure7Settings {
+		accs, ok := r.Acc[name]
+		if !ok || len(accs) != Figure7MaxV {
+			t.Fatalf("missing accuracies for %s: %+v", name, r.Acc)
+		}
+		for _, a := range accs {
+			if a < 0 || a > 1 {
+				t.Fatalf("%s accuracy out of range: %v", name, a)
+			}
+		}
+	}
+	if !strings.Contains(FormatFigure7(rows), "DITTO+LEMON") {
+		t.Fatal("format output missing setting")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	rows, err := Figure8(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	for _, s := range Figure8Strategies {
+		if len(r.F1[s]) != Figure8MaxK {
+			t.Fatalf("strategy %v has %d points", s, len(r.F1[s]))
+		}
+	}
+	// The central claim: removing the most relevant units (MoRF) hurts at
+	// least as much as removing the least relevant (LeRF).
+	morfK5 := r.F1[eval.MoRF][Figure8MaxK-1]
+	lerfK5 := r.F1[eval.LeRF][Figure8MaxK-1]
+	if morfK5 > lerfK5 {
+		t.Fatalf("MoRF (%v) should hurt at least as much as LeRF (%v)", morfK5, lerfK5)
+	}
+	if !strings.Contains(FormatFigure8(rows), "MoRF") {
+		t.Fatal("format output missing strategy")
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SampleRecords = 16
+	rows, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	for _, v := range []float64{r.MatchMean, r.NonMatchMean, r.MatchMedian, r.NonMatchMedian} {
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("correlation out of range: %+v", r)
+		}
+	}
+	if r.MatchRecords == 0 && r.NonMatchRecords == 0 {
+		t.Fatal("no records correlated")
+	}
+	if !strings.Contains(FormatFigure9(rows), "S-FZ") {
+		t.Fatal("format output missing dataset")
+	}
+}
+
+func TestSection53(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SampleRecords = 10
+	rows, err := Section53(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.TrainSeconds <= 0 || r.PredictPerSecond <= 0 || r.ExplainPerSecond <= 0 {
+		t.Fatalf("degenerate timing: %+v", r)
+	}
+	// Explaining includes prediction plus attribution, so it should not be
+	// dramatically faster. The margin is wide: wall-clock throughput on a
+	// loaded CI machine is noisy.
+	if r.ExplainPerSecond > r.PredictPerSecond*3 {
+		t.Fatalf("explain (%v/s) implausibly faster than predict (%v/s)", r.ExplainPerSecond, r.PredictPerSecond)
+	}
+	if !strings.Contains(FormatSection53(rows), "explanations/hour") {
+		t.Fatal("format output missing summary")
+	}
+}
+
+func TestSection54(t *testing.T) {
+	res := Section54(tinyConfig())
+	if res.Kappa < 0.6 {
+		t.Fatalf("kappa = %v", res.Kappa)
+	}
+	out := FormatSection54(res)
+	if !strings.Contains(out, "kappa") {
+		t.Fatalf("format output = %s", out)
+	}
+}
+
+func TestRanksOf(t *testing.T) {
+	ranks := ranksOf([]float64{0.9, 0.5, 0.9, 0.7})
+	if ranks[0] != 1 || ranks[2] != 1 {
+		t.Fatalf("tied best should share rank 1: %v", ranks)
+	}
+	if ranks[3] != 3 || ranks[1] != 4 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+}
+
+func TestCoreConfigDefaults(t *testing.T) {
+	cfg := CoreConfig(7)
+	if cfg.Seed != 7 || cfg.ScorerNN.Seed != 7 {
+		t.Fatalf("seeds not threaded: %+v", cfg)
+	}
+}
+
+func TestResetCache(t *testing.T) {
+	if _, err := trainWYM("S-FZ", tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	sysCacheMu.Lock()
+	n := len(sysCache)
+	sysCacheMu.Unlock()
+	if n == 0 {
+		t.Fatal("cache empty after training")
+	}
+	ResetCache()
+	sysCacheMu.Lock()
+	n = len(sysCache)
+	sysCacheMu.Unlock()
+	if n != 0 {
+		t.Fatal("cache not cleared")
+	}
+}
+
+func TestAblationThresholds(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := AblationThresholds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.Scores) != len(ThresholdSweep) {
+		t.Fatalf("settings = %d", len(r.Scores))
+	}
+	for label, f1 := range r.Scores {
+		if f1 < 0 || f1 > 1 {
+			t.Fatalf("%s F1 = %v", label, f1)
+		}
+	}
+	out := FormatAblation("thresholds", rows)
+	if !strings.Contains(out, "paper") || !strings.Contains(out, "AVG") {
+		t.Fatalf("format output = %s", out)
+	}
+}
+
+func TestAblationContext(t *testing.T) {
+	rows, err := AblationContext(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0].Scores) != len(GammaSweep) {
+		t.Fatalf("settings = %d", len(rows[0].Scores))
+	}
+}
+
+func TestFormatAblationEmpty(t *testing.T) {
+	if out := FormatAblation("empty", nil); !strings.Contains(out, "empty") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestExtensionRules(t *testing.T) {
+	rows, err := ExtensionRules(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.TestSize == 0 {
+		t.Fatal("empty test set")
+	}
+	for _, f1 := range []float64{r.BareF1, r.RulesF1} {
+		if f1 < 0 || f1 > 1 {
+			t.Fatalf("F1 out of range: %+v", r)
+		}
+	}
+	if !strings.Contains(FormatExtensionRules(rows), "overrides") {
+		t.Fatal("format output missing overrides column")
+	}
+}

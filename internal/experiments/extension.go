@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wym/internal/eval"
+	"wym/internal/rules"
+)
+
+// ExtensionRulesRow quantifies the paper's §6 future-work direction —
+// external knowledge as rules over decision units — on one dataset:
+// F1 of the bare model vs the model screened by the code rules, plus the
+// number of overridden decisions.
+type ExtensionRulesRow struct {
+	Key       string
+	BareF1    float64
+	RulesF1   float64
+	Overrides int
+	TestSize  int
+}
+
+// ExtensionRules evaluates the code-conflict/code-agreement rule engine on
+// top of the trained matcher.
+func ExtensionRules(cfg RunConfig) ([]ExtensionRulesRow, error) {
+	engine := rules.NewEngine(rules.CodeConflict{}, rules.CodeAgreement{})
+	var rows []ExtensionRulesRow
+	for _, key := range cfg.keys() {
+		ts, err := trainWYM(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		recs := ts.sys.ProcessAll(ts.test)
+		bare := make([]int, len(recs))
+		ruled := make([]int, len(recs))
+		var overrides int
+		for i, rec := range recs {
+			ex := ts.sys.ExplainRecord(rec)
+			bare[i] = ex.Prediction
+			d := engine.Apply(ts.test.Pairs[i], ex)
+			ruled[i] = d.Prediction
+			if d.Overridden {
+				overrides++
+			}
+		}
+		rows = append(rows, ExtensionRulesRow{
+			Key:       key,
+			BareF1:    eval.F1Score(bare, ts.test.Labels()),
+			RulesF1:   eval.F1Score(ruled, ts.test.Labels()),
+			Overrides: overrides,
+			TestSize:  ts.test.Size(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatExtensionRules renders the comparison.
+func FormatExtensionRules(rows []ExtensionRulesRow) string {
+	var t tableBuilder
+	t.line("Extension (§6 future work): decision-unit rules on top of WYM (F1).")
+	t.row("Dataset", "bare", "with rules", "Δ", "overrides")
+	var bareAvg, rulesAvg float64
+	for _, r := range rows {
+		t.row(r.Key,
+			f3(r.BareF1), f3(r.RulesF1),
+			fsigned(r.RulesF1-r.BareF1),
+			itoa(r.Overrides))
+		bareAvg += r.BareF1
+		rulesAvg += r.RulesF1
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.row("AVG", f3(bareAvg/n), f3(rulesAvg/n), fsigned((rulesAvg-bareAvg)/n), "")
+	}
+	return t.String()
+}
+
+func f3(v float64) string      { return fmt.Sprintf("%.3f", v) }
+func fsigned(v float64) string { return fmt.Sprintf("%+.3f", v) }
+func itoa(v int) string        { return fmt.Sprintf("%d", v) }

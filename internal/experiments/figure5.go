@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wym/internal/core"
+	"wym/internal/data"
+	"wym/internal/eval"
+)
+
+// Figure5SmallDatasets are excluded from the learning curves, as in the
+// paper: their training and test sets are too small for a reliable
+// evaluation.
+var Figure5SmallDatasets = map[string]bool{
+	"S-BR": true, "S-IA": true, "S-FZ": true, "D-IA": true,
+}
+
+// Figure5Series is one dataset's learning curve.
+type Figure5Series struct {
+	Key    string
+	Points []eval.LearningPoint
+}
+
+// Figure5Sizes are the paper's training subset sizes (500, 1K, 2K; the
+// full training set is always appended). Sizes that exceed a scaled
+// dataset's training split are skipped automatically.
+var Figure5Sizes = []int{500, 1000, 2000}
+
+// Figure5 computes learning curves with pre-trained (not fine-tuned)
+// embeddings, as in the paper's setup.
+func Figure5(cfg RunConfig) ([]Figure5Series, error) {
+	var out []Figure5Series
+	for _, key := range cfg.keys() {
+		if Figure5SmallDatasets[key] {
+			continue
+		}
+		sp, err := makeSplits(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Smaller subsets first so the curve starts below the paper's 500
+		// even on heavily scaled benchmarks.
+		sizes := append([]int{100, 250}, Figure5Sizes...)
+		coreCfg := CoreConfig(cfg.Seed)
+		coreCfg.Embedding = core.BERTPretrained
+		run := func(sample *data.Dataset) float64 {
+			sys, err := core.Train(sample, sp.valid, coreCfg)
+			if err != nil {
+				return 0
+			}
+			return testF1(sys, sp.test)
+		}
+		out = append(out, Figure5Series{
+			Key:    key,
+			Points: eval.LearningCurve(sp.train, sizes, run, cfg.Seed),
+		})
+	}
+	return out, nil
+}
+
+// FormatFigure5 renders each curve as size→F1 rows.
+func FormatFigure5(series []Figure5Series) string {
+	var t tableBuilder
+	t.line("Figure 5: Learning curves (training-set size vs F1), pre-trained embeddings.")
+	for _, s := range series {
+		line := fmt.Sprintf("%-6s", s.Key)
+		for _, p := range s.Points {
+			line += fmt.Sprintf("  %d:%.3f", p.TrainSize, p.F1)
+		}
+		t.line(line)
+	}
+	return t.String()
+}

@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wym/internal/baselines"
+	"wym/internal/core"
+	"wym/internal/data"
+	"wym/internal/eval"
+	"wym/internal/explain"
+	"wym/internal/relevance"
+)
+
+// ---------- Figure 6: conciseness ----------
+
+// Figure6Grid is the fraction-of-units grid of the Pareto analysis.
+var Figure6Grid = []float64{0.03, 0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.0}
+
+// Figure6Series is one dataset's conciseness curve.
+type Figure6Series struct {
+	Key    string
+	Points []eval.ParetoPoint
+}
+
+// Figure6 computes the cumulative-impact Pareto curves over test records.
+func Figure6(cfg RunConfig) ([]Figure6Series, error) {
+	var out []Figure6Series
+	for _, key := range cfg.keys() {
+		ts, err := trainWYM(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sample := sampleTest(ts.test, cfg.sampleRecords(), cfg.Seed)
+		var impacts [][]float64
+		for _, rec := range ts.sys.ProcessAll(sample) {
+			ex := ts.sys.ExplainRecord(rec)
+			row := make([]float64, len(ex.Units))
+			for i, u := range ex.Units {
+				row[i] = u.Impact
+			}
+			impacts = append(impacts, row)
+		}
+		out = append(out, Figure6Series{Key: key, Points: eval.ParetoCurve(impacts, Figure6Grid)})
+	}
+	return out, nil
+}
+
+// FormatFigure6 renders each curve as fraction→share rows.
+func FormatFigure6(series []Figure6Series) string {
+	var t tableBuilder
+	t.line("Figure 6: Conciseness of the explanations (cumulative |impact| share of top units).")
+	for _, s := range series {
+		line := fmt.Sprintf("%-6s", s.Key)
+		for _, p := range s.Points {
+			line += fmt.Sprintf("  %.0f%%:%.2f", 100*p.Fraction, p.Share)
+		}
+		t.line(line)
+	}
+	return t.String()
+}
+
+// ---------- Figure 7: sufficiency (post-hoc accuracy) ----------
+
+// Figure7Settings are the four compared explanation pipelines.
+var Figure7Settings = []string{"WYM", "WYM+LIME", "DITTO+LIME", "DITTO+LEMON"}
+
+// Figure7Row is one dataset's post-hoc accuracy per setting and v.
+type Figure7Row struct {
+	Key string
+	// Acc[setting][v-1] is the Equation 4 accuracy using the top v units.
+	Acc map[string][]float64
+}
+
+// Figure7MaxV is the largest explanation prefix evaluated (the paper uses
+// the top 1..5 units).
+const Figure7MaxV = 5
+
+// Figure7 computes the post-hoc accuracy of WYM as its own explainer
+// against the post-hoc pipelines (LIME on WYM, LIME and LEMON on DITTO).
+func Figure7(cfg RunConfig) ([]Figure7Row, error) {
+	var rows []Figure7Row
+	for _, key := range cfg.keys() {
+		ts, err := trainWYM(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ditto := baselines.NewDITTO(cfg.Seed)
+		if err := ditto.Train(ts.train, ts.valid); err != nil {
+			return nil, fmt.Errorf("experiments: DITTO on %s: %w", key, err)
+		}
+		sample := sampleTest(ts.test, cfg.sampleRecords()/2, cfg.Seed)
+
+		wymPredict := func(p data.Pair) int { l, _ := ts.sys.Predict(p); return l }
+		wymProba := func(p data.Pair) float64 { _, pr := ts.sys.Predict(p); return pr }
+		dittoPredict := func(p data.Pair) int { l, _ := ditto.Predict(p); return l }
+		dittoProba := func(p data.Pair) float64 { _, pr := ditto.Predict(p); return pr }
+
+		limeCfg := explain.DefaultConfig()
+		limeCfg.Samples = 60 // enough for ranking stability at this scale
+		limeCfg.Seed = cfg.Seed
+
+		reducers := map[string]struct {
+			predict func(data.Pair) int
+			reduce  eval.Reducer
+		}{
+			"WYM":         {wymPredict, wymUnitReducer(ts.sys)},
+			"WYM+LIME":    {wymPredict, tokenReducer(wymProba, explain.LIME, limeCfg)},
+			"DITTO+LIME":  {dittoPredict, tokenReducer(dittoProba, explain.LIME, limeCfg)},
+			"DITTO+LEMON": {dittoPredict, tokenReducer(dittoProba, explain.LEMON, limeCfg)},
+		}
+
+		row := Figure7Row{Key: key, Acc: map[string][]float64{}}
+		for name, r := range reducers {
+			accs := make([]float64, Figure7MaxV)
+			for v := 1; v <= Figure7MaxV; v++ {
+				accs[v-1] = eval.PostHocAccuracy(r.predict, sample.Pairs, r.reduce, v)
+			}
+			row.Acc[name] = accs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// wymUnitReducer reduces a pair to the tokens of its top-v impact units.
+func wymUnitReducer(sys *core.System) eval.Reducer {
+	return func(p data.Pair, v int) data.Pair {
+		rec := sys.Process(p)
+		ex := sys.ExplainRecord(rec)
+		impacts := make([]float64, len(ex.Units))
+		for i, u := range ex.Units {
+			impacts[i] = u.Impact
+		}
+		order := eval.RankUnits(impacts)
+		if v > len(order) {
+			v = len(order)
+		}
+		return eval.PairFromUnits(rec, order[:v], len(sys.Schema()))
+	}
+}
+
+// tokenReducer reduces a pair to its top-v attributed tokens under a
+// post-hoc explainer.
+func tokenReducer(f explain.ProbaFunc,
+	explainer func(explain.ProbaFunc, data.Pair, explain.Config) []explain.Attribution,
+	cfg explain.Config) eval.Reducer {
+	return func(p data.Pair, v int) data.Pair {
+		attribs := explainer(f, p, cfg)
+		top := explain.TopTokens(attribs, v)
+		refs := explain.Enumerate(p)
+		keep := make([]bool, len(refs))
+		for i, ref := range refs {
+			for _, a := range top {
+				if a.Side == ref.Side && a.Attr == ref.Attr && a.Pos == ref.Pos {
+					keep[i] = true
+					break
+				}
+			}
+		}
+		return explain.Mask(p, refs, keep)
+	}
+}
+
+// FormatFigure7 renders the sufficiency accuracies.
+func FormatFigure7(rows []Figure7Row) string {
+	var t tableBuilder
+	t.line("Figure 7: Sufficiency (post-hoc accuracy) using the top 1..5 explanation elements.")
+	for _, r := range rows {
+		t.line(r.Key + ":")
+		for _, name := range Figure7Settings {
+			line := fmt.Sprintf("  %-12s", name)
+			for v, acc := range r.Acc[name] {
+				line += fmt.Sprintf("  v=%d:%.2f", v+1, acc)
+			}
+			t.line(line)
+		}
+	}
+	return t.String()
+}
+
+// ---------- Figure 8: MoRF / LeRF / Random removal ----------
+
+// Figure8Strategies in presentation order.
+var Figure8Strategies = []eval.RemovalStrategy{eval.MoRF, eval.LeRF, eval.Random}
+
+// Figure8MaxK is the number of removed units evaluated (1..K).
+const Figure8MaxK = 5
+
+// Figure8Row is one dataset's F1 after removing k units per strategy.
+type Figure8Row struct {
+	Key      string
+	Baseline float64                            // F1 with no removal
+	F1       map[eval.RemovalStrategy][]float64 // strategy -> F1 at k=1..MaxK
+}
+
+// Figure8 perturbs test records by removing decision units in MoRF, LeRF
+// and random order and re-evaluates WYM's F1.
+func Figure8(cfg RunConfig) ([]Figure8Row, error) {
+	var rows []Figure8Row
+	for _, key := range cfg.keys() {
+		ts, err := trainWYM(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sample := sampleTest(ts.test, cfg.sampleRecords(), cfg.Seed)
+		recs := ts.sys.ProcessAll(sample)
+		type explained struct {
+			rec     *relevance.Record
+			impacts []float64
+			pred    int
+		}
+		items := make([]explained, len(recs))
+		basePred := make([]int, len(recs))
+		for i, rec := range recs {
+			ex := ts.sys.ExplainRecord(rec)
+			impacts := make([]float64, len(ex.Units))
+			for j, u := range ex.Units {
+				impacts[j] = u.Impact
+			}
+			items[i] = explained{rec: rec, impacts: impacts, pred: ex.Prediction}
+			basePred[i] = ex.Prediction
+		}
+		row := Figure8Row{
+			Key:      key,
+			Baseline: eval.F1Score(basePred, sample.Labels()),
+			F1:       map[eval.RemovalStrategy][]float64{},
+		}
+		for _, strategy := range Figure8Strategies {
+			f1s := make([]float64, Figure8MaxK)
+			for k := 1; k <= Figure8MaxK; k++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
+				pred := make([]int, len(items))
+				for i, it := range items {
+					order := eval.RemovalOrder(it.impacts, it.pred, strategy, rng)
+					kept := eval.RemoveTopK(order, k)
+					reduced := eval.PairFromUnits(it.rec, kept, len(ts.sys.Schema()))
+					pred[i], _ = ts.sys.Predict(reduced)
+				}
+				f1s[k-1] = eval.F1Score(pred, sample.Labels())
+			}
+			row.F1[strategy] = f1s
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+var strategyNames = map[eval.RemovalStrategy]string{
+	eval.MoRF: "MoRF", eval.LeRF: "LeRF", eval.Random: "Random",
+}
+
+// FormatFigure8 renders the removal curves.
+func FormatFigure8(rows []Figure8Row) string {
+	var t tableBuilder
+	t.line("Figure 8: F1 after removing the k most (MoRF) / least (LeRF) / random units.")
+	for _, r := range rows {
+		t.line(fmt.Sprintf("%s (baseline F1 %.3f):", r.Key, r.Baseline))
+		for _, s := range Figure8Strategies {
+			line := fmt.Sprintf("  %-7s", strategyNames[s])
+			for k, f1 := range r.F1[s] {
+				line += fmt.Sprintf("  k=%d:%.3f", k+1, f1)
+			}
+			t.line(line)
+		}
+	}
+	return t.String()
+}
+
+// ---------- Figure 9: correlation with Landmark ----------
+
+// Figure9Row is one dataset's Pearson correlation distribution between
+// WYM impacts and Landmark attributions, split by record label.
+type Figure9Row struct {
+	Key                           string
+	MatchMean, MatchMedian        float64
+	NonMatchMean, NonMatchMedian  float64
+	MatchRecords, NonMatchRecords int
+}
+
+// Figure9 compares WYM's impact scores with Landmark explanations on a
+// balanced sample: Landmark's token weights are merged onto WYM's decision
+// units and correlated per record.
+func Figure9(cfg RunConfig) ([]Figure9Row, error) {
+	var rows []Figure9Row
+	for _, key := range cfg.keys() {
+		ts, err := trainWYM(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sample := sampleTest(ts.test, cfg.sampleRecords(), cfg.Seed)
+		wymProba := func(p data.Pair) float64 { _, pr := ts.sys.Predict(p); return pr }
+		lmCfg := explain.DefaultConfig()
+		lmCfg.Samples = 100 // the paper's 100 perturbations per entity
+		lmCfg.Seed = cfg.Seed
+
+		var matchCorrs, nonCorrs []float64
+		for _, pair := range sample.Pairs {
+			rec := ts.sys.Process(pair)
+			if len(rec.Units) < 2 {
+				continue
+			}
+			ex := ts.sys.ExplainRecord(rec)
+			impacts := make([]float64, len(ex.Units))
+			for i, u := range ex.Units {
+				impacts[i] = u.Impact
+			}
+			aligned := landmarkOnUnits(wymProba, pair, rec, lmCfg)
+			corr := eval.Pearson(impacts, aligned)
+			if pair.Label == data.Match {
+				matchCorrs = append(matchCorrs, corr)
+			} else {
+				nonCorrs = append(nonCorrs, corr)
+			}
+		}
+		rows = append(rows, Figure9Row{
+			Key:             key,
+			MatchMean:       mean(matchCorrs),
+			MatchMedian:     medianOf(matchCorrs),
+			NonMatchMean:    mean(nonCorrs),
+			NonMatchMedian:  medianOf(nonCorrs),
+			MatchRecords:    len(matchCorrs),
+			NonMatchRecords: len(nonCorrs),
+		})
+	}
+	return rows, nil
+}
+
+// landmarkOnUnits runs the Landmark explainer and merges its token weights
+// onto the record's decision units (the paper post-processes Landmark's
+// token scores the same way).
+func landmarkOnUnits(f explain.ProbaFunc, pair data.Pair, rec *relevance.Record,
+	cfg explain.Config) []float64 {
+	attribs := explain.Landmark(f, pair, cfg)
+	// Token positions in explain refer to whitespace fields of the raw
+	// attribute values; map them onto the tokenizer's (attr, pos) space by
+	// matching texts in order per attribute.
+	leftW := matchTokenWeights(attribs, explain.Left, rec.LeftTexts())
+	rightW := matchTokenWeights(attribs, explain.Right, rec.RightTexts())
+	return eval.AlignTokenWeights(rec, leftW, rightW)
+}
+
+// matchTokenWeights assigns each tokenizer token (in order) the weight of
+// the first unconsumed attribution with the same text on the same side.
+func matchTokenWeights(attribs []explain.Attribution, side explain.Side, texts []string) map[int]float64 {
+	used := make([]bool, len(attribs))
+	out := map[int]float64{}
+	for ti, text := range texts {
+		for ai, a := range attribs {
+			if used[ai] || a.Side != side || a.Text != text {
+				continue
+			}
+			out[ti] = a.Weight
+			used[ai] = true
+			break
+		}
+	}
+	return out
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64{}, xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// FormatFigure9 renders the correlation summary.
+func FormatFigure9(rows []Figure9Row) string {
+	var t tableBuilder
+	t.line("Figure 9: Pearson correlation between WYM impacts and Landmark explanations.")
+	t.row("Dataset", "match mean", "match med", "non mean", "non med")
+	for _, r := range rows {
+		t.row(r.Key,
+			fmt.Sprintf("%.3f", r.MatchMean),
+			fmt.Sprintf("%.3f", r.MatchMedian),
+			fmt.Sprintf("%.3f", r.NonMatchMean),
+			fmt.Sprintf("%.3f", r.NonMatchMedian))
+	}
+	return t.String()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wym/internal/core"
+	"wym/internal/data"
+	"wym/internal/datagen"
+	"wym/internal/units"
+)
+
+// Table2Row is one row of the benchmark-statistics table.
+type Table2Row struct {
+	Key      string
+	Name     string
+	Type     string // Structured / Textual / Dirty
+	Size     int
+	PctMatch float64
+}
+
+// Table2 regenerates the benchmark and reports each dataset's statistics
+// at the configured scale.
+func Table2(cfg RunConfig) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, key := range cfg.keys() {
+		p, ok := datagen.ProfileByKey(key)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", key)
+		}
+		d := datagen.Generate(p, cfg.Scale)
+		typ := "Structured"
+		if p.Textual {
+			typ = "Textual"
+		}
+		if p.Dirty {
+			typ = "Dirty"
+		}
+		rows = append(rows, Table2Row{
+			Key: p.Key, Name: p.Name, Type: typ,
+			Size:     d.Size(),
+			PctMatch: 100 * d.MatchRate(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var t tableBuilder
+	t.line("Table 2: The benchmark used in the experiments.")
+	t.row("Dataset", "Type", "Size", "% Match")
+	for _, r := range rows {
+		t.row(r.Key, r.Type, fmt.Sprintf("%d", r.Size), fmt.Sprintf("%.2f", r.PctMatch))
+	}
+	return t.String()
+}
+
+// Figure4Row is the average decision-unit distribution of one dataset,
+// split by record label.
+type Figure4Row struct {
+	Key              string
+	MatchPaired      float64
+	MatchUnpaired    float64
+	NonMatchPaired   float64
+	NonMatchUnpaired float64
+}
+
+// Figure4 computes the average number of paired and unpaired units per
+// record for matching and non-matching records of each dataset.
+func Figure4(cfg RunConfig) ([]Figure4Row, error) {
+	var rows []Figure4Row
+	for _, key := range cfg.keys() {
+		p, ok := datagen.ProfileByKey(key)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown dataset %q", key)
+		}
+		d := datagen.Generate(p, cfg.Scale)
+		gen := core.NewUnitGenerator(d, CoreConfig(cfg.Seed))
+		recs := gen.ProcessAll(d)
+		row := Figure4Row{Key: key}
+		var nMatch, nNon int
+		for i, rec := range recs {
+			c := units.Count(rec.Units)
+			if d.Pairs[i].Label == data.Match {
+				row.MatchPaired += float64(c.Paired)
+				row.MatchUnpaired += float64(c.Unpaired)
+				nMatch++
+			} else {
+				row.NonMatchPaired += float64(c.Paired)
+				row.NonMatchUnpaired += float64(c.Unpaired)
+				nNon++
+			}
+		}
+		if nMatch > 0 {
+			row.MatchPaired /= float64(nMatch)
+			row.MatchUnpaired /= float64(nMatch)
+		}
+		if nNon > 0 {
+			row.NonMatchPaired /= float64(nNon)
+			row.NonMatchUnpaired /= float64(nNon)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFigure4 renders the distribution as a table (the paper uses a bar
+// chart; the series are the same).
+func FormatFigure4(rows []Figure4Row) string {
+	var t tableBuilder
+	t.line("Figure 4: Average distribution of the decision units (units/record).")
+	t.row("Dataset", "M paired", "M unpaired", "N paired", "N unpaired")
+	for _, r := range rows {
+		t.row(r.Key,
+			fmt.Sprintf("%.2f", r.MatchPaired),
+			fmt.Sprintf("%.2f", r.MatchUnpaired),
+			fmt.Sprintf("%.2f", r.NonMatchPaired),
+			fmt.Sprintf("%.2f", r.NonMatchUnpaired))
+	}
+	return t.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wym/internal/baselines"
+	"wym/internal/eval"
+)
+
+// Table3Systems is the column order of the effectiveness comparison.
+var Table3Systems = []string{"WYM", "DM+", "AutoML", "CorDEL", "DITTO"}
+
+// Table3Row is one dataset's F1 for every compared system.
+type Table3Row struct {
+	Key    string
+	Scores map[string]float64 // system name -> F1
+	Ranks  map[string]int
+}
+
+// Table3 trains WYM and the four baselines on every dataset and reports
+// test F1 with per-dataset ranks.
+func Table3(cfg RunConfig) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, key := range cfg.keys() {
+		ts, err := trainWYM(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		scores := map[string]float64{"WYM": testF1(ts.sys, ts.test)}
+
+		for _, m := range []baselines.Matcher{
+			baselines.NewDMPlus(),
+			baselines.NewAutoML(cfg.Seed),
+			baselines.NewCorDEL(cfg.Seed),
+			baselines.NewDITTO(cfg.Seed),
+		} {
+			if err := m.Train(ts.train, ts.valid); err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", m.Name(), key, err)
+			}
+			scores[m.Name()] = eval.F1Score(baselines.PredictAll(m, ts.test), ts.test.Labels())
+		}
+
+		values := make([]float64, len(Table3Systems))
+		for i, name := range Table3Systems {
+			values[i] = scores[name]
+		}
+		ranks := ranksOf(values)
+		rankMap := map[string]int{}
+		for i, name := range Table3Systems {
+			rankMap[name] = ranks[i]
+		}
+		rows = append(rows, Table3Row{Key: key, Scores: scores, Ranks: rankMap})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the comparison with per-dataset ranks, averages and
+// the WYM deltas, mirroring the paper's layout.
+func FormatTable3(rows []Table3Row) string {
+	var t tableBuilder
+	t.line("Table 3: Effectiveness (F1), with per-dataset rank in brackets.")
+	header := []string{"Dataset"}
+	header = append(header, Table3Systems...)
+	for _, s := range Table3Systems[1:] {
+		header = append(header, "Δ"+s+"(%)")
+	}
+	t.row(header...)
+
+	avg := map[string]float64{}
+	avgRank := map[string]float64{}
+	for _, r := range rows {
+		cells := []string{r.Key}
+		for _, name := range Table3Systems {
+			cells = append(cells, cell(r.Scores[name], r.Ranks[name]))
+			avg[name] += r.Scores[name]
+			avgRank[name] += float64(r.Ranks[name])
+		}
+		for _, name := range Table3Systems[1:] {
+			cells = append(cells, fmt.Sprintf("%+.1f", 100*(r.Scores["WYM"]-r.Scores[name])))
+		}
+		t.row(cells...)
+	}
+	n := float64(len(rows))
+	cells := []string{"AVG"}
+	for _, name := range Table3Systems {
+		cells = append(cells, fmt.Sprintf("%.3f (%.1f)", avg[name]/n, avgRank[name]/n))
+	}
+	t.row(cells...)
+	return t.String()
+}

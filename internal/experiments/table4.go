@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wym/internal/core"
+)
+
+// Table4Variants is the column order of the ablation study: the full WYM
+// system, the generator variants, the scorer variants, and the matcher
+// variant — the paper's Table 4 columns.
+var Table4Variants = []string{
+	"WYM", "j-w dist.", "BERT-pt", "BERT-ft",
+	"bin.scr.", "cos.sim.", "bin j-w", "smp.feat.",
+}
+
+// table4Config returns the configuration for the named variant.
+func table4Config(variant string, seed int64) core.Config {
+	cfg := CoreConfig(seed)
+	switch variant {
+	case "j-w dist.":
+		cfg.Embedding = core.JaroWinkler
+	case "BERT-pt":
+		cfg.Embedding = core.BERTPretrained
+	case "BERT-ft":
+		cfg.Embedding = core.BERTFinetuned
+	case "bin.scr.":
+		cfg.Scorer = core.ScorerBinary
+	case "cos.sim.":
+		cfg.Scorer = core.ScorerCosine
+	case "bin j-w":
+		cfg.Embedding = core.JaroWinkler
+		cfg.Scorer = core.ScorerBinary
+	case "smp.feat.":
+		cfg.Features = core.FeaturesSimplified
+	}
+	return cfg
+}
+
+// Table4Row is one dataset's ablation scores.
+type Table4Row struct {
+	Key    string
+	Scores map[string]float64
+	Ranks  map[string]int
+}
+
+// Table4 trains every component variant on every dataset.
+func Table4(cfg RunConfig) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, key := range cfg.keys() {
+		sp, err := makeSplits(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		scores := map[string]float64{}
+		for _, variant := range Table4Variants {
+			sys, err := core.Train(sp.train, sp.valid, table4Config(variant, cfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", key, variant, err)
+			}
+			scores[variant] = testF1(sys, sp.test)
+		}
+		values := make([]float64, len(Table4Variants))
+		for i, v := range Table4Variants {
+			values[i] = scores[v]
+		}
+		ranks := ranksOf(values)
+		rankMap := map[string]int{}
+		for i, v := range Table4Variants {
+			rankMap[v] = ranks[i]
+		}
+		rows = append(rows, Table4Row{Key: key, Scores: scores, Ranks: rankMap})
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the ablation table.
+func FormatTable4(rows []Table4Row) string {
+	var t tableBuilder
+	t.line("Table 4: Effectiveness (F1) varying the component implementations.")
+	t.line("Columns: full WYM | generator: j-w dist., BERT-pt, BERT-ft | scorer: bin.scr., cos.sim., bin j-w | matcher: smp.feat.")
+	header := append([]string{"Dataset"}, Table4Variants...)
+	t.row(header...)
+	avg := map[string]float64{}
+	avgRank := map[string]float64{}
+	for _, r := range rows {
+		cells := []string{r.Key}
+		for _, v := range Table4Variants {
+			cells = append(cells, cell(r.Scores[v], r.Ranks[v]))
+			avg[v] += r.Scores[v]
+			avgRank[v] += float64(r.Ranks[v])
+		}
+		t.row(cells...)
+	}
+	n := float64(len(rows))
+	cells := []string{"AVG"}
+	for _, v := range Table4Variants {
+		cells = append(cells, fmt.Sprintf("%.2f (%.1f)", avg[v]/n, avgRank[v]/n))
+	}
+	t.row(cells...)
+	return t.String()
+}

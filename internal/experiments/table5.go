@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wym/internal/classify"
+	"wym/internal/eval"
+	"wym/internal/vec"
+)
+
+// Table5Classifiers is the paper's column order.
+var Table5Classifiers = []string{"LR", "LDA", "KNN", "DT", "NB", "SVM", "AB", "GBM", "RF", "ET"}
+
+// Table5Row is one dataset's test F1 for every classifier in the pool,
+// fitted on the WYM-engineered features.
+type Table5Row struct {
+	Key    string
+	Scores map[string]float64
+}
+
+// Table5 trains the WYM pipeline once per dataset, then fits every
+// classifier of the pool on the engineered training features and evaluates
+// it on the test features.
+func Table5(cfg RunConfig) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, key := range cfg.keys() {
+		ts, err := trainWYM(key, cfg)
+		if err != nil {
+			return nil, err
+		}
+		xTrain := ts.sys.Featurize(ts.train)
+		xTest := ts.sys.Featurize(ts.test)
+		scores := map[string]float64{}
+		for _, c := range classify.NewPool(cfg.Seed) {
+			if err := c.Fit(xTrain, ts.train.Labels()); err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", c.Name(), key, err)
+			}
+			scores[c.Name()] = eval.F1Score(classify.PredictAll(c, xTest), ts.test.Labels())
+		}
+		rows = append(rows, Table5Row{Key: key, Scores: scores})
+	}
+	return rows, nil
+}
+
+// FormatTable5 renders the classifier table with the paper's marginal
+// statistics: per-dataset average and standard deviation (last columns)
+// and per-classifier average and standard deviation (last rows).
+func FormatTable5(rows []Table5Row) string {
+	var t tableBuilder
+	t.line("Table 5: Classifiers used as Explainable Matchers (F1).")
+	header := append([]string{"Dataset"}, Table5Classifiers...)
+	header = append(header, "Avg.", "S.D.")
+	t.row(header...)
+
+	perClassifier := map[string][]float64{}
+	for _, r := range rows {
+		cells := []string{r.Key}
+		var vals []float64
+		for _, name := range Table5Classifiers {
+			v := r.Scores[name]
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+			vals = append(vals, v)
+			perClassifier[name] = append(perClassifier[name], v)
+		}
+		m, sd := vec.MeanStd(vals)
+		cells = append(cells, fmt.Sprintf("%.3f", m), fmt.Sprintf("%.3f", sd))
+		t.row(cells...)
+	}
+	avgCells := []string{"Avg."}
+	sdCells := []string{"S.D."}
+	for _, name := range Table5Classifiers {
+		m, sd := vec.MeanStd(perClassifier[name])
+		avgCells = append(avgCells, fmt.Sprintf("%.3f", m))
+		sdCells = append(sdCells, fmt.Sprintf("%.3f", sd))
+	}
+	t.row(avgCells...)
+	t.row(sdCells...)
+	return t.String()
+}

@@ -1,0 +1,213 @@
+package explain
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/textsim"
+)
+
+// overlapProba is a transparent stand-in matcher: the Jaccard overlap of
+// the two descriptions. Dropping a shared token lowers it; dropping a
+// unique token raises it — so a correct explainer must attribute positive
+// weight to shared tokens and negative weight to unique ones.
+func overlapProba(p data.Pair) float64 {
+	var l, r []string
+	for _, v := range p.Left {
+		l = append(l, strings.Fields(v)...)
+	}
+	for _, v := range p.Right {
+		r = append(r, strings.Fields(v)...)
+	}
+	return textsim.Jaccard(l, r)
+}
+
+func testPair() data.Pair {
+	return data.Pair{
+		Left:  data.Entity{"alpha beta gamma", "shared"},
+		Right: data.Entity{"alpha beta delta", "shared"},
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	refs := Enumerate(testPair())
+	if len(refs) != 8 {
+		t.Fatalf("enumerated %d tokens, want 8", len(refs))
+	}
+	if refs[0].Side != Left || refs[0].Text != "alpha" || refs[0].Attr != 0 {
+		t.Fatalf("first ref = %+v", refs[0])
+	}
+	if refs[4].Side != Right {
+		t.Fatalf("right side should start at index 4: %+v", refs[4])
+	}
+}
+
+func TestMask(t *testing.T) {
+	p := testPair()
+	refs := Enumerate(p)
+	keep := make([]bool, len(refs))
+	for i := range keep {
+		keep[i] = true
+	}
+	keep[1] = false // drop left "beta"
+	masked := Mask(p, refs, keep)
+	if masked.Left[0] != "alpha gamma" {
+		t.Fatalf("masked left = %q", masked.Left[0])
+	}
+	if masked.Right[0] != "alpha beta delta" {
+		t.Fatalf("right side should be untouched: %q", masked.Right[0])
+	}
+	// Original must not be mutated.
+	if p.Left[0] != "alpha beta gamma" {
+		t.Fatal("Mask mutated the input pair")
+	}
+}
+
+func TestMaskPanicsOnMisalignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mask(testPair(), Enumerate(testPair()), nil)
+}
+
+func signOfToken(attribs []Attribution, text string, side Side) float64 {
+	for _, a := range attribs {
+		if a.Text == text && a.Side == side {
+			return a.Weight
+		}
+	}
+	return math.NaN()
+}
+
+func TestLIMEAttributionSigns(t *testing.T) {
+	p := testPair()
+	cfg := DefaultConfig()
+	cfg.Samples = 400
+	attribs := LIME(overlapProba, p, cfg)
+	if len(attribs) != 8 {
+		t.Fatalf("attributions = %d", len(attribs))
+	}
+	// Shared tokens support the (pseudo-)match; unique tokens oppose it.
+	if w := signOfToken(attribs, "alpha", Left); w <= 0 {
+		t.Fatalf("shared token weight = %v, want > 0", w)
+	}
+	if w := signOfToken(attribs, "gamma", Left); w >= 0 {
+		t.Fatalf("unique token weight = %v, want < 0", w)
+	}
+	if w := signOfToken(attribs, "delta", Right); w >= 0 {
+		t.Fatalf("unique right token weight = %v, want < 0", w)
+	}
+}
+
+func TestLIMEDeterministic(t *testing.T) {
+	p := testPair()
+	a := LIME(overlapProba, p, DefaultConfig())
+	b := LIME(overlapProba, p, DefaultConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("LIME is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestLIMEEmptyPair(t *testing.T) {
+	p := data.Pair{Left: data.Entity{""}, Right: data.Entity{""}}
+	if got := LIME(overlapProba, p, DefaultConfig()); got != nil {
+		t.Fatalf("empty pair should yield nil, got %v", got)
+	}
+}
+
+func TestLEMONSigns(t *testing.T) {
+	p := testPair()
+	cfg := DefaultConfig()
+	cfg.Samples = 400
+	attribs := LEMON(overlapProba, p, cfg)
+	if w := signOfToken(attribs, "alpha", Left); w <= 0 {
+		t.Fatalf("LEMON shared token weight = %v", w)
+	}
+	if w := signOfToken(attribs, "gamma", Left); w >= 0 {
+		t.Fatalf("LEMON unique token weight = %v", w)
+	}
+}
+
+func TestLandmarkSigns(t *testing.T) {
+	p := testPair()
+	cfg := DefaultConfig()
+	cfg.Samples = 300
+	attribs := Landmark(overlapProba, p, cfg)
+	if len(attribs) != 8 {
+		t.Fatalf("landmark attributions = %d, want one per token", len(attribs))
+	}
+	if w := signOfToken(attribs, "alpha", Left); w <= 0 {
+		t.Fatalf("landmark shared-left weight = %v", w)
+	}
+	if w := signOfToken(attribs, "alpha", Right); w <= 0 {
+		t.Fatalf("landmark shared-right weight = %v", w)
+	}
+	if w := signOfToken(attribs, "delta", Right); w >= 0 {
+		t.Fatalf("landmark unique-right weight = %v", w)
+	}
+}
+
+func TestLandmarkPerturbsOneSideOnly(t *testing.T) {
+	// With the left entity as target, the proba function must never see a
+	// modified right side during the left pass. Track it via a probe.
+	p := testPair()
+	var sawRightChange bool
+	probe := func(q data.Pair) float64 {
+		if q.Left[0] == p.Left[0] && q.Left[1] == p.Left[1] {
+			// left untouched → this is a right-side perturbation; fine.
+			return overlapProba(q)
+		}
+		if q.Right[0] != p.Right[0] || q.Right[1] != p.Right[1] {
+			sawRightChange = true
+		}
+		return overlapProba(q)
+	}
+	cfg := DefaultConfig()
+	cfg.Samples = 50
+	Landmark(probe, p, cfg)
+	if sawRightChange {
+		t.Fatal("Landmark perturbed both sides in one sample")
+	}
+}
+
+func TestTopTokens(t *testing.T) {
+	attribs := []Attribution{
+		{Text: "a", Weight: 0.1},
+		{Text: "b", Weight: -0.9},
+		{Text: "c", Weight: 0.5},
+	}
+	top := TopTokens(attribs, 2)
+	if top[0].Text != "b" || top[1].Text != "c" {
+		t.Fatalf("top = %v", top)
+	}
+	if got := TopTokens(attribs, 10); len(got) != 3 {
+		t.Fatalf("overlong k should clamp: %d", len(got))
+	}
+}
+
+func TestFitSurrogateRecoversLinearModel(t *testing.T) {
+	// y = 0.6*x0 - 0.4*x1 (+ constant). The surrogate must recover the
+	// signs and approximate magnitudes.
+	masks := [][]float64{
+		{1, 1}, {1, 0}, {0, 1}, {0, 0},
+		{1, 1}, {1, 0}, {0, 1}, {0, 0},
+	}
+	probas := make([]float64, len(masks))
+	for i, m := range masks {
+		probas[i] = 0.2 + 0.6*m[0] - 0.4*m[1]
+	}
+	weights := make([]float64, len(masks))
+	for i := range weights {
+		weights[i] = 1
+	}
+	coef := fitSurrogate(masks, probas, weights, 0.01)
+	if coef[0] < 0.4 || coef[1] > -0.2 {
+		t.Fatalf("surrogate coef = %v", coef)
+	}
+}

@@ -1,0 +1,343 @@
+// Package features implements the explainable matcher's feature
+// engineering (§4.3 of the paper) and its inverse.
+//
+// The forward direction turns a record's decision units and relevance
+// scores into a fixed-length vector by applying statistical operators
+// (count, sum, mean, median, max, min, range) to the scores aggregated per
+// scope: per schema attribute split into paired/unpaired units (structural
+// knowledge), and per record split into all/positive/negative scores
+// (pragmatic knowledge).
+//
+// The inverse direction — the heart of the interpretability claim — takes
+// the fitted coefficients of a linear (or coefficient-bearing) classifier
+// and redistributes each coefficient onto the decision units that fed its
+// feature: 1/N to each unit of a mean, 1 to each unit of a sum or count,
+// the whole weight to the arg-max/arg-min unit of an extremum, split
+// across the middle elements for a median, +1/-1 to the extremes of a
+// range. Each unit's impact is its relevance score times the average of
+// its received coefficient shares.
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"wym/internal/units"
+)
+
+// Filter selects which units of a scope feed a feature.
+type Filter int
+
+// Filters.
+const (
+	All      Filter = iota // every unit in scope
+	Paired                 // paired units only
+	Unpaired               // unpaired units only
+	Positive               // units with a positive relevance score
+	Negative               // units with a negative relevance score
+)
+
+var filterNames = map[Filter]string{
+	All: "all", Paired: "paired", Unpaired: "unpaired",
+	Positive: "pos", Negative: "neg",
+}
+
+// Op is a statistical operator over the selected units' relevance scores.
+type Op int
+
+// Operators.
+const (
+	Count Op = iota
+	Sum
+	Mean
+	Median
+	Max
+	Min
+	Range
+)
+
+var opNames = map[Op]string{
+	Count: "count", Sum: "sum", Mean: "mean", Median: "median",
+	Max: "max", Min: "min", Range: "range",
+}
+
+// RecordScope marks a Spec that aggregates over the whole record rather
+// than one attribute.
+const RecordScope = -1
+
+// Spec describes a single engineered feature.
+type Spec struct {
+	Scope  int // attribute index, or RecordScope
+	Filter Filter
+	Op     Op
+}
+
+// Name renders a stable identifier such as "attr1.paired.mean".
+func (s Spec) Name() string {
+	scope := "record"
+	if s.Scope != RecordScope {
+		scope = fmt.Sprintf("attr%d", s.Scope)
+	}
+	return scope + "." + filterNames[s.Filter] + "." + opNames[s.Op]
+}
+
+// Space is an ordered list of feature Specs for a schema of NumAttrs
+// attributes. The same Space must be used to featurize training and test
+// records and to invert coefficients.
+type Space struct {
+	Specs    []Spec
+	NumAttrs int
+}
+
+// attrOps are the operators applied to each attribute × {paired, unpaired}
+// scope; extrema and spread are reserved for the record scope, where more
+// units make them stable.
+var attrOps = []Op{Count, Sum, Mean, Max, Min}
+
+// recordOps are the operators applied to each record × {all, pos, neg}.
+var recordOps = []Op{Count, Sum, Mean, Median, Max, Min, Range}
+
+// NewSpace builds the full WYM feature space: for every attribute the
+// attrOps over paired and over unpaired units, plus the recordOps over
+// all, positive and negative scores.
+func NewSpace(numAttrs int) *Space {
+	s := &Space{NumAttrs: numAttrs}
+	for a := 0; a < numAttrs; a++ {
+		for _, f := range []Filter{Paired, Unpaired} {
+			for _, op := range attrOps {
+				s.Specs = append(s.Specs, Spec{Scope: a, Filter: f, Op: op})
+			}
+		}
+	}
+	for _, f := range []Filter{All, Positive, Negative} {
+		for _, op := range recordOps {
+			s.Specs = append(s.Specs, Spec{Scope: RecordScope, Filter: f, Op: op})
+		}
+	}
+	return s
+}
+
+// NewSimplifiedSpace builds the 6-feature ablation space of Table 4
+// ("smp. feat."): count and mean over all, positive and negative scores.
+func NewSimplifiedSpace() *Space {
+	s := &Space{NumAttrs: 0}
+	for _, f := range []Filter{All, Positive, Negative} {
+		for _, op := range []Op{Count, Mean} {
+			s.Specs = append(s.Specs, Spec{Scope: RecordScope, Filter: f, Op: op})
+		}
+	}
+	return s
+}
+
+// Dim returns the number of features.
+func (s *Space) Dim() int { return len(s.Specs) }
+
+// members returns the indices of the units selected by the spec.
+func (s *Space) members(spec Spec, us []units.Unit, scores []float64) []int {
+	var out []int
+	for i, u := range us {
+		if spec.Scope != RecordScope && u.Attr != spec.Scope {
+			continue
+		}
+		switch spec.Filter {
+		case Paired:
+			if u.Kind != units.Paired {
+				continue
+			}
+		case Unpaired:
+			if u.Kind == units.Paired {
+				continue
+			}
+		case Positive:
+			if scores[i] <= 0 {
+				continue
+			}
+		case Negative:
+			if scores[i] >= 0 {
+				continue
+			}
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Vector featurizes one record: us and scores must be aligned (scores[i]
+// is the relevance of us[i]). Records whose units live in attributes
+// beyond NumAttrs still contribute to the record-scope features.
+func (s *Space) Vector(us []units.Unit, scores []float64) []float64 {
+	if len(us) != len(scores) {
+		panic(fmt.Sprintf("features: %d units but %d scores", len(us), len(scores)))
+	}
+	out := make([]float64, len(s.Specs))
+	for k, spec := range s.Specs {
+		m := s.members(spec, us, scores)
+		vals := make([]float64, len(m))
+		for j, i := range m {
+			vals[j] = scores[i]
+		}
+		out[k] = apply(spec.Op, vals)
+	}
+	return out
+}
+
+func apply(op Op, vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	switch op {
+	case Count:
+		return float64(len(vals))
+	case Sum:
+		return sum(vals)
+	case Mean:
+		return sum(vals) / float64(len(vals))
+	case Median:
+		return median(vals)
+	case Max:
+		mx, _ := extrema(vals)
+		return mx
+	case Min:
+		_, mn := extrema(vals)
+		return mn
+	case Range:
+		mx, mn := extrema(vals)
+		return mx - mn
+	default:
+		panic(fmt.Sprintf("features: unknown op %d", op))
+	}
+}
+
+// weights returns the inverse-transformation share each member unit
+// receives from the spec's coefficient. The slice is aligned with the
+// member list.
+func weights(op Op, vals []float64) []float64 {
+	n := len(vals)
+	w := make([]float64, n)
+	if n == 0 {
+		return w
+	}
+	switch op {
+	case Count, Sum:
+		for i := range w {
+			w[i] = 1
+		}
+	case Mean:
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+	case Median:
+		order := sortedOrder(vals)
+		if n%2 == 1 {
+			w[order[n/2]] = 1
+		} else {
+			w[order[n/2-1]] = 0.5
+			w[order[n/2]] = 0.5
+		}
+	case Max:
+		w[argMax(vals)] = 1
+	case Min:
+		w[argMin(vals)] = 1
+	case Range:
+		w[argMax(vals)] += 1
+		w[argMin(vals)] -= 1
+	}
+	return w
+}
+
+// Impacts computes the per-unit impact scores: for each unit, the average
+// over all features it feeds of coef[k] * share, multiplied by the unit's
+// relevance score. Positive impacts push toward match, negative toward
+// non-match. coef must have length Dim().
+func (s *Space) Impacts(us []units.Unit, scores []float64, coef []float64) []float64 {
+	if len(coef) != len(s.Specs) {
+		panic(fmt.Sprintf("features: %d coefficients for %d features", len(coef), len(s.Specs)))
+	}
+	accum := make([]float64, len(us))
+	nFeat := make([]int, len(us))
+	for k, spec := range s.Specs {
+		m := s.members(spec, us, scores)
+		if len(m) == 0 {
+			continue
+		}
+		vals := make([]float64, len(m))
+		for j, i := range m {
+			vals[j] = scores[i]
+		}
+		w := weights(spec.Op, vals)
+		for j, i := range m {
+			if w[j] == 0 {
+				continue
+			}
+			accum[i] += coef[k] * w[j]
+			nFeat[i]++
+		}
+	}
+	out := make([]float64, len(us))
+	for i := range out {
+		if nFeat[i] == 0 {
+			continue
+		}
+		out[i] = scores[i] * accum[i] / float64(nFeat[i])
+	}
+	return out
+}
+
+func sum(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+func median(vals []float64) float64 {
+	order := sortedOrder(vals)
+	n := len(order)
+	if n%2 == 1 {
+		return vals[order[n/2]]
+	}
+	return (vals[order[n/2-1]] + vals[order[n/2]]) / 2
+}
+
+func extrema(vals []float64) (mx, mn float64) {
+	mx, mn = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v > mx {
+			mx = v
+		}
+		if v < mn {
+			mn = v
+		}
+	}
+	return mx, mn
+}
+
+func argMax(vals []float64) int {
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argMin(vals []float64) int {
+	best := 0
+	for i, v := range vals {
+		if v < vals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func sortedOrder(vals []float64) []int {
+	order := make([]int, len(vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+	return order
+}

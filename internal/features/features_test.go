@@ -1,0 +1,307 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wym/internal/units"
+)
+
+// twoAttrUnits builds a small unit list spanning two attributes with both
+// kinds, aligned with hand-picked relevance scores.
+func twoAttrUnits() ([]units.Unit, []float64) {
+	us := []units.Unit{
+		{Kind: units.Paired, Left: 0, Right: 0, Attr: 0},         // score 0.8
+		{Kind: units.Paired, Left: 1, Right: 1, Attr: 0},         // score 0.4
+		{Kind: units.UnpairedLeft, Left: 2, Right: -1, Attr: 0},  // score -0.5
+		{Kind: units.Paired, Left: 3, Right: 2, Attr: 1},         // score 0.9
+		{Kind: units.UnpairedRight, Left: -1, Right: 3, Attr: 1}, // score -0.7
+	}
+	scores := []float64{0.8, 0.4, -0.5, 0.9, -0.7}
+	return us, scores
+}
+
+func specIndex(s *Space, scope int, f Filter, op Op) int {
+	for k, spec := range s.Specs {
+		if spec.Scope == scope && spec.Filter == f && spec.Op == op {
+			return k
+		}
+	}
+	return -1
+}
+
+func TestNewSpaceShape(t *testing.T) {
+	s := NewSpace(3)
+	// 3 attrs × 2 filters × 5 ops + 3 record filters × 7 ops = 30 + 21.
+	if s.Dim() != 51 {
+		t.Fatalf("dim = %d, want 51", s.Dim())
+	}
+	names := map[string]bool{}
+	for _, spec := range s.Specs {
+		if names[spec.Name()] {
+			t.Fatalf("duplicate feature %q", spec.Name())
+		}
+		names[spec.Name()] = true
+	}
+}
+
+func TestNewSimplifiedSpace(t *testing.T) {
+	s := NewSimplifiedSpace()
+	if s.Dim() != 6 {
+		t.Fatalf("simplified dim = %d, want 6", s.Dim())
+	}
+}
+
+func TestVectorValues(t *testing.T) {
+	s := NewSpace(2)
+	us, scores := twoAttrUnits()
+	v := s.Vector(us, scores)
+
+	check := func(scope int, f Filter, op Op, want float64) {
+		t.Helper()
+		k := specIndex(s, scope, f, op)
+		if k < 0 {
+			t.Fatalf("missing spec %d/%v/%v", scope, f, op)
+		}
+		if math.Abs(v[k]-want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", s.Specs[k].Name(), v[k], want)
+		}
+	}
+	check(0, Paired, Count, 2)
+	check(0, Paired, Sum, 1.2)
+	check(0, Paired, Mean, 0.6)
+	check(0, Paired, Max, 0.8)
+	check(0, Paired, Min, 0.4)
+	check(0, Unpaired, Count, 1)
+	check(0, Unpaired, Mean, -0.5)
+	check(1, Paired, Count, 1)
+	check(RecordScope, All, Count, 5)
+	check(RecordScope, All, Median, 0.4)
+	check(RecordScope, Positive, Count, 3)
+	check(RecordScope, Positive, Min, 0.4)
+	check(RecordScope, Negative, Count, 2)
+	check(RecordScope, Negative, Max, -0.5)
+	check(RecordScope, All, Range, 0.9-(-0.7))
+}
+
+func TestVectorEmptyScopesAreZero(t *testing.T) {
+	s := NewSpace(2)
+	us := []units.Unit{{Kind: units.Paired, Attr: 0}}
+	v := s.Vector(us, []float64{0.5})
+	k := specIndex(s, 1, Paired, Mean)
+	if v[k] != 0 {
+		t.Fatalf("empty attribute mean = %v, want 0", v[k])
+	}
+	k = specIndex(s, RecordScope, Negative, Count)
+	if v[k] != 0 {
+		t.Fatalf("empty negative count = %v, want 0", v[k])
+	}
+}
+
+func TestVectorPanicsOnMisalignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpace(1).Vector([]units.Unit{{}}, nil)
+}
+
+func TestWeightsMean(t *testing.T) {
+	w := weights(Mean, []float64{0.2, 0.4, 0.6})
+	for _, x := range w {
+		if math.Abs(x-1.0/3) > 1e-12 {
+			t.Fatalf("mean weights = %v", w)
+		}
+	}
+}
+
+func TestWeightsExtrema(t *testing.T) {
+	vals := []float64{0.2, 0.9, -0.3}
+	w := weights(Max, vals)
+	if w[1] != 1 || w[0] != 0 || w[2] != 0 {
+		t.Fatalf("max weights = %v", w)
+	}
+	w = weights(Min, vals)
+	if w[2] != 1 {
+		t.Fatalf("min weights = %v", w)
+	}
+	w = weights(Range, vals)
+	if w[1] != 1 || w[2] != -1 {
+		t.Fatalf("range weights = %v", w)
+	}
+}
+
+func TestWeightsMedian(t *testing.T) {
+	w := weights(Median, []float64{0.5, 0.1, 0.9})
+	if w[0] != 1 || w[1] != 0 || w[2] != 0 {
+		t.Fatalf("odd median weights = %v", w)
+	}
+	w = weights(Median, []float64{0.1, 0.9, 0.5, 0.7})
+	// middle two of sorted {0.1, 0.5, 0.7, 0.9} are 0.5 and 0.7.
+	if w[2] != 0.5 || w[3] != 0.5 {
+		t.Fatalf("even median weights = %v", w)
+	}
+}
+
+func TestWeightsEmptyAndCount(t *testing.T) {
+	if len(weights(Mean, nil)) != 0 {
+		t.Fatal("empty weights should be empty")
+	}
+	w := weights(Count, []float64{1, 2})
+	if w[0] != 1 || w[1] != 1 {
+		t.Fatalf("count weights = %v", w)
+	}
+}
+
+func TestImpactsSigns(t *testing.T) {
+	// With a single mean-over-all feature, each unit's impact must be
+	// score * coef/N, carrying the relevance score's sign.
+	s := &Space{Specs: []Spec{{Scope: RecordScope, Filter: All, Op: Mean}}}
+	us, scores := twoAttrUnits()
+	imp := s.Impacts(us, scores, []float64{2.0})
+	for i := range us {
+		want := scores[i] * 2.0 / 5.0
+		if math.Abs(imp[i]-want) > 1e-12 {
+			t.Fatalf("impact %d = %v, want %v", i, imp[i], want)
+		}
+	}
+}
+
+func TestImpactsAveragesAcrossFeatures(t *testing.T) {
+	s := &Space{Specs: []Spec{
+		{Scope: RecordScope, Filter: All, Op: Sum},
+		{Scope: RecordScope, Filter: All, Op: Count},
+	}}
+	us := []units.Unit{{Kind: units.Paired, Attr: 0}}
+	scores := []float64{0.5}
+	imp := s.Impacts(us, scores, []float64{1.0, 3.0})
+	// Unit feeds both features with weight 1: mean share (1+3)/2 = 2.
+	if math.Abs(imp[0]-0.5*2) > 1e-12 {
+		t.Fatalf("impact = %v, want 1.0", imp[0])
+	}
+}
+
+func TestImpactsMaxOnlyHitsArgmax(t *testing.T) {
+	s := &Space{Specs: []Spec{{Scope: RecordScope, Filter: All, Op: Max}}}
+	us, scores := twoAttrUnits()
+	imp := s.Impacts(us, scores, []float64{1.0})
+	for i := range us {
+		if i == 3 { // score 0.9 is the max
+			if imp[i] == 0 {
+				t.Fatal("argmax unit received no impact")
+			}
+			continue
+		}
+		if imp[i] != 0 {
+			t.Fatalf("non-argmax unit %d received impact %v", i, imp[i])
+		}
+	}
+}
+
+func TestImpactsPanicsOnBadCoefLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpace(1).Impacts(nil, nil, []float64{1})
+}
+
+func TestImpactsFullSpaceProperty(t *testing.T) {
+	// For random scores and coefficients the impacts must be finite, and
+	// zero-relevance units must get zero impact.
+	s := NewSpace(2)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		us, _ := twoAttrUnits()
+		scores := make([]float64, len(us))
+		for i := range scores {
+			scores[i] = rng.Float64()*2 - 1
+		}
+		scores[0] = 0
+		coef := make([]float64, s.Dim())
+		for i := range coef {
+			coef[i] = rng.NormFloat64()
+		}
+		imp := s.Impacts(us, scores, coef)
+		if imp[0] != 0 {
+			t.Fatalf("zero-relevance unit got impact %v", imp[0])
+		}
+		for i, v := range imp {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("impact %d not finite: %v", i, v)
+			}
+		}
+	}
+}
+
+func TestSpecName(t *testing.T) {
+	spec := Spec{Scope: 1, Filter: Paired, Op: Mean}
+	if spec.Name() != "attr1.paired.mean" {
+		t.Fatalf("Name = %q", spec.Name())
+	}
+	spec = Spec{Scope: RecordScope, Filter: Negative, Op: Range}
+	if spec.Name() != "record.neg.range" {
+		t.Fatalf("Name = %q", spec.Name())
+	}
+}
+
+func TestVectorPermutationInvariance(t *testing.T) {
+	// Every engineered feature is a permutation-invariant statistic: the
+	// vector must not depend on the order of the decision units.
+	s := NewSpace(2)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		us, _ := twoAttrUnits()
+		scores := make([]float64, len(us))
+		for i := range scores {
+			scores[i] = rng.Float64()*2 - 1
+		}
+		base := s.Vector(us, scores)
+
+		perm := rng.Perm(len(us))
+		pu := make([]units.Unit, len(us))
+		ps := make([]float64, len(us))
+		for i, j := range perm {
+			pu[i], ps[i] = us[j], scores[j]
+		}
+		got := s.Vector(pu, ps)
+		for k := range base {
+			if math.Abs(base[k]-got[k]) > 1e-12 {
+				t.Fatalf("trial %d: feature %s changed under permutation: %v vs %v",
+					trial, s.Specs[k].Name(), base[k], got[k])
+			}
+		}
+	}
+}
+
+func TestImpactsPermutationEquivariance(t *testing.T) {
+	// Permuting the units permutes the impacts identically.
+	s := NewSpace(2)
+	rng := rand.New(rand.NewSource(78))
+	us, _ := twoAttrUnits()
+	scores := make([]float64, len(us))
+	for i := range scores {
+		scores[i] = rng.Float64()*2 - 1
+	}
+	coef := make([]float64, s.Dim())
+	for i := range coef {
+		coef[i] = rng.NormFloat64()
+	}
+	base := s.Impacts(us, scores, coef)
+
+	perm := rng.Perm(len(us))
+	pu := make([]units.Unit, len(us))
+	ps := make([]float64, len(us))
+	for i, j := range perm {
+		pu[i], ps[i] = us[j], scores[j]
+	}
+	got := s.Impacts(pu, ps, coef)
+	for i, j := range perm {
+		if math.Abs(got[i]-base[j]) > 1e-12 {
+			t.Fatalf("impact not equivariant at %d: %v vs %v", i, got[i], base[j])
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package relevance
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"wym/internal/nn"
+)
+
+func TestGobRoundTripScorers(t *testing.T) {
+	ts := NewTrainingSet(DefaultTargetConfig())
+	rec := makeRecord("camera zoom", "camera lens")
+	ts.Add(rec, 1)
+	nnScorer, err := TrainNN(ts, 48, NNConfig{Hidden: []int{8}, Seed: 1,
+		Train: nn.Config{Epochs: 3, BatchSize: 4, LR: 1e-3, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, scorer := range map[string]Scorer{
+		"nn": nnScorer, "binary": Binary{}, "cosine": Cosine{},
+	} {
+		scorer := scorer
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			holder := struct{ S Scorer }{S: scorer}
+			if err := gob.NewEncoder(&buf).Encode(&holder); err != nil {
+				t.Fatal(err)
+			}
+			var out struct{ S Scorer }
+			if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			a, b := scorer.Score(rec), out.S.Score(rec)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("score %d diverged: %v vs %v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package relevance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wym/internal/embed"
+	"wym/internal/nn"
+	"wym/internal/tokenize"
+	"wym/internal/units"
+)
+
+// makeRecord builds a Record for two single-attribute entity descriptions.
+func makeRecord(left, right string) *Record {
+	src := embed.NewHash()
+	lt := tokenize.Entity([]string{left}, tokenize.Default)
+	rt := tokenize.Entity([]string{right}, tokenize.Default)
+	in := units.Input{
+		Left:      lt,
+		Right:     rt,
+		LeftVecs:  embed.Contextualize(src, tokenize.Texts(lt), 0),
+		RightVecs: embed.Contextualize(src, tokenize.Texts(rt), 0),
+		NumAttrs:  1,
+	}
+	return &Record{
+		Units:     units.Discover(in, units.PaperThresholds),
+		Left:      lt,
+		Right:     rt,
+		LeftVecs:  in.LeftVecs,
+		RightVecs: in.RightVecs,
+	}
+}
+
+func TestFeaturesSymmetry(t *testing.T) {
+	rec := makeRecord("digital camera", "digital cameras")
+	// Swapping the record's sides must produce identical unit features for
+	// the mirrored units (challenge R3).
+	mirror := &Record{
+		Left: rec.Right, Right: rec.Left,
+		LeftVecs: rec.RightVecs, RightVecs: rec.LeftVecs,
+	}
+	for i, u := range rec.Units {
+		if u.Kind != units.Paired {
+			continue
+		}
+		mirror.Units = []units.Unit{{Kind: units.Paired, Left: u.Right, Right: u.Left, Sim: u.Sim}}
+		a := rec.Features(i)
+		b := mirror.Features(0)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-12 {
+				t.Fatalf("feature %d not symmetric: %v vs %v", j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestFeaturesUnpairedUsesZeroUNP(t *testing.T) {
+	rec := makeRecord("espresso", "keyboard")
+	if len(rec.Units) != 2 {
+		t.Fatalf("expected 2 unpaired units, got %v", rec.Units)
+	}
+	f := rec.Features(0)
+	d := rec.Dim()
+	if len(f) != 2*d {
+		t.Fatalf("feature dim = %d, want %d", len(f), 2*d)
+	}
+	// With a zero [UNP] side, mean must equal |diff|/1 scaled: mean = v/2
+	// and absdiff = |v| elementwise, so 2*mean[i] == ±absdiff[i].
+	for i := 0; i < d; i++ {
+		if math.Abs(math.Abs(2*f[i])-f[d+i]) > 1e-9 {
+			t.Fatalf("zero-UNP relationship violated at dim %d: mean=%v absdiff=%v", i, f[i], f[d+i])
+		}
+	}
+}
+
+func TestRecordDim(t *testing.T) {
+	rec := makeRecord("a1b2", "c3d4")
+	if rec.Dim() != 48 {
+		t.Fatalf("dim = %d", rec.Dim())
+	}
+	empty := &Record{}
+	if empty.Dim() != 0 {
+		t.Fatal("empty record dim should be 0")
+	}
+	rightOnly := &Record{RightVecs: [][]float64{{1, 2}}}
+	if rightOnly.Dim() != 2 {
+		t.Fatal("right-only record dim wrong")
+	}
+}
+
+func TestBinaryScorer(t *testing.T) {
+	rec := makeRecord("camera sony", "camera nikon")
+	scores := Binary{}.Score(rec)
+	for i, u := range rec.Units {
+		want := 0.0
+		if u.Kind == units.Paired {
+			want = 1
+		}
+		if scores[i] != want {
+			t.Fatalf("unit %d (%v): score %v, want %v", i, u, scores[i], want)
+		}
+	}
+}
+
+func TestCosineScorer(t *testing.T) {
+	rec := makeRecord("camera", "camera")
+	scores := Cosine{}.Score(rec)
+	if math.Abs(scores[0]-1) > 1e-9 {
+		t.Fatalf("identical pair cosine = %v", scores[0])
+	}
+	rec = makeRecord("espresso", "keyboard")
+	for i, s := range (Cosine{}).Score(rec) {
+		if s != 0 {
+			t.Fatalf("unpaired unit %d cosine = %v, want 0", i, s)
+		}
+	}
+}
+
+func TestUnitTargetEquation2(t *testing.T) {
+	cfg := DefaultTargetConfig()
+	paired := units.Unit{Kind: units.Paired}
+	unpaired := units.Unit{Kind: units.UnpairedLeft}
+	tests := []struct {
+		name  string
+		u     units.Unit
+		sim   float64
+		label int
+		want  float64
+	}{
+		{"match + similar => 1", paired, 0.9, 1, 1},
+		{"match + dissimilar => 0", paired, 0.3, 1, 0},
+		{"nonmatch + dissimilar => -1", paired, 0.3, 0, -1},
+		{"nonmatch + very similar => 0 (R1)", paired, 0.95, 0, 0},
+		{"unpaired in match => 0 (R1)", unpaired, 0, 1, 0},
+		{"unpaired in nonmatch => -1", unpaired, 0, 0, -1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := UnitTarget(tc.u, tc.sim, tc.label, cfg); got != tc.want {
+				t.Fatalf("target = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTrainingSetAggregation(t *testing.T) {
+	// The same token pair appearing under both labels must average its
+	// targets (Equation 3).
+	ts := NewTrainingSet(DefaultTargetConfig())
+	match := makeRecord("sony", "sony")
+	ts.Add(match, 1) // (sony, sony): sim 1 >= alpha, target 1
+	ts.Add(match, 0) // same unit under non-match: sim 1 >= beta, target 0
+	x, y := ts.Materialize()
+	if len(x) != 2 || len(y) != 2 {
+		t.Fatalf("materialized %d/%d rows", len(x), len(y))
+	}
+	// Mean of {1, 0} = 0.5 for every occurrence of the unit key.
+	for i := range y {
+		if math.Abs(y[i][0]-0.5) > 1e-12 {
+			t.Fatalf("aggregated target = %v, want 0.5", y[i][0])
+		}
+	}
+}
+
+func TestTrainNNAndScoreSeparates(t *testing.T) {
+	// Build a corpus where identical-token pairs occur in matching records
+	// and unpaired tokens in non-matching ones; the trained scorer must
+	// give paired-similar units higher scores than unpaired units.
+	ts := NewTrainingSet(DefaultTargetConfig())
+	vocabulary := []string{"camera", "lens", "sony", "zoom", "kit", "filter", "tripod", "flash"}
+	rng := rand.New(rand.NewSource(3))
+	var records []*Record
+	for i := 0; i < 60; i++ {
+		w := vocabulary[rng.Intn(len(vocabulary))]
+		w2 := vocabulary[rng.Intn(len(vocabulary))]
+		match := makeRecord(w+" "+w2, w+" "+w2)
+		ts.Add(match, 1)
+		records = append(records, match)
+		nonmatch := makeRecord(w, vocabulary[(rng.Intn(len(vocabulary)))])
+		ts.Add(nonmatch, 0)
+	}
+	scorer, err := TrainNN(ts, 48, NNConfig{Hidden: []int{32, 16}, Seed: 1,
+		Train: nn.Config{Epochs: 30, BatchSize: 32, LR: 1e-3, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scorer.Dim() != 48 {
+		t.Fatalf("scorer dim = %d", scorer.Dim())
+	}
+
+	var pairedSum, pairedN, unpairedSum, unpairedN float64
+	probe := makeRecord("camera lens", "camera tripod")
+	for i, u := range probe.Units {
+		s := scorer.Score(probe)[i]
+		if s < -1 || s > 1 {
+			t.Fatalf("score out of range: %v", s)
+		}
+		if u.Kind == units.Paired && u.Sim > 0.9 {
+			pairedSum += s
+			pairedN++
+		}
+		if u.Kind != units.Paired {
+			unpairedSum += s
+			unpairedN++
+		}
+	}
+	if pairedN == 0 || unpairedN == 0 {
+		t.Fatalf("probe should contain both kinds: %v", probe.Units)
+	}
+	if pairedSum/pairedN <= unpairedSum/unpairedN {
+		t.Fatalf("scorer does not separate: paired mean %v <= unpaired mean %v",
+			pairedSum/pairedN, unpairedSum/unpairedN)
+	}
+}
+
+func TestTrainNNEmptySet(t *testing.T) {
+	if _, err := TrainNN(NewTrainingSet(DefaultTargetConfig()), 8, NNConfig{}); err == nil {
+		t.Fatal("expected error on empty training set")
+	}
+}
+
+func TestNNScoreSymmetryProperty(t *testing.T) {
+	// Score must be invariant to swapping the unit's tokens: train a tiny
+	// scorer, then compare mirrored records.
+	ts := NewTrainingSet(DefaultTargetConfig())
+	rec := makeRecord("camera zoom", "camera lens")
+	ts.Add(rec, 1)
+	scorer, err := TrainNN(ts, 48, NNConfig{Hidden: []int{8}, Seed: 2,
+		Train: nn.Config{Epochs: 5, BatchSize: 4, LR: 1e-3, Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := &Record{
+		Left: rec.Right, Right: rec.Left,
+		LeftVecs: rec.RightVecs, RightVecs: rec.LeftVecs,
+	}
+	for i, u := range rec.Units {
+		if u.Kind != units.Paired {
+			continue
+		}
+		mirror.Units = []units.Unit{{Kind: units.Paired, Left: u.Right, Right: u.Left, Sim: u.Sim}}
+		a := scorer.Score(rec)[i]
+		b := scorer.Score(mirror)[0]
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("asymmetric score: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package rules implements the paper's first future-work direction:
+// injecting external knowledge as rules over decision units (§6). A rule
+// inspects a record's explained units — token texts, kinds, attributes,
+// relevance and impact scores — and may override the matcher's decision
+// with a human-readable reason. Overrides stay interpretable by
+// construction: every forced decision names the rule and the units that
+// triggered it.
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"wym/internal/core"
+	"wym/internal/data"
+	"wym/internal/tokenize"
+	"wym/internal/units"
+)
+
+// Verdict is a rule's outcome for one record.
+type Verdict int
+
+// Verdicts.
+const (
+	Keep Verdict = iota // defer to the model (or to later rules)
+	ForceMatch
+	ForceNonMatch
+)
+
+// Rule evaluates one explained record.
+type Rule interface {
+	// Name identifies the rule in decisions and logs.
+	Name() string
+	// Evaluate returns a verdict and, when not Keep, a reason mentioning
+	// the evidence.
+	Evaluate(p data.Pair, ex core.Explanation) (Verdict, string)
+}
+
+// Decision is the engine's final output for one record.
+type Decision struct {
+	Prediction int
+	Proba      float64
+	// Overridden reports that a rule changed the model's prediction;
+	// Rule and Reason document it.
+	Overridden bool
+	Rule       string
+	Reason     string
+}
+
+// Engine applies rules in order; the first non-Keep verdict wins.
+type Engine struct {
+	Rules []Rule
+}
+
+// NewEngine builds an engine over the given rules.
+func NewEngine(rs ...Rule) *Engine { return &Engine{Rules: rs} }
+
+// Apply combines the model's explanation with the rules.
+func (e *Engine) Apply(p data.Pair, ex core.Explanation) Decision {
+	d := Decision{Prediction: ex.Prediction, Proba: ex.Proba}
+	for _, r := range e.Rules {
+		verdict, reason := r.Evaluate(p, ex)
+		if verdict == Keep {
+			continue
+		}
+		forced := data.NonMatch
+		if verdict == ForceMatch {
+			forced = data.Match
+		}
+		d.Rule = r.Name()
+		d.Reason = reason
+		if forced != ex.Prediction {
+			d.Overridden = true
+			d.Prediction = forced
+		}
+		return d
+	}
+	return d
+}
+
+// CodeConflict forces a non-match when both descriptions contain
+// product-code tokens but none agree exactly — the domain knowledge of the
+// paper's §5.1.1 error analysis, expressed as a rule instead of a pairing
+// constraint.
+type CodeConflict struct{}
+
+// Name implements Rule.
+func (CodeConflict) Name() string { return "code-conflict" }
+
+// Evaluate implements Rule.
+func (CodeConflict) Evaluate(p data.Pair, ex core.Explanation) (Verdict, string) {
+	left, right := codeTokens(p)
+	if len(left) == 0 || len(right) == 0 {
+		return Keep, ""
+	}
+	for c := range left {
+		if right[c] {
+			return Keep, "" // at least one agreeing code
+		}
+	}
+	return ForceNonMatch, fmt.Sprintf("codes disagree: %s vs %s",
+		joinKeys(left), joinKeys(right))
+}
+
+// CodeAgreement forces a match when the descriptions share an exact code
+// token, no code conflicts exist, and the model was undecided (probability
+// within the Band around 0.5). Codes are near-unique identifiers, so exact
+// agreement outweighs weak residual evidence.
+type CodeAgreement struct {
+	// Band is the half-width of the undecided probability region
+	// (default 0.2: probabilities in [0.3, 0.7) can be overridden).
+	Band float64
+}
+
+// Name implements Rule.
+func (CodeAgreement) Name() string { return "code-agreement" }
+
+// Evaluate implements Rule.
+func (r CodeAgreement) Evaluate(p data.Pair, ex core.Explanation) (Verdict, string) {
+	band := r.Band
+	if band <= 0 {
+		band = 0.2
+	}
+	if ex.Proba < 0.5-band || ex.Proba >= 0.5+band {
+		return Keep, "" // the model is confident; don't second-guess it
+	}
+	left, right := codeTokens(p)
+	var agreed []string
+	for c := range left {
+		if right[c] {
+			agreed = append(agreed, c)
+		} else {
+			return Keep, "" // conflicting code present: stay out
+		}
+	}
+	for c := range right {
+		if !left[c] {
+			return Keep, ""
+		}
+	}
+	if len(agreed) == 0 {
+		return Keep, ""
+	}
+	return ForceMatch, "shared product code(s): " + strings.Join(agreed, ", ")
+}
+
+// AttributeMismatch forces a non-match when a designated attribute (e.g. a
+// primary-key-like column) produced no paired decision unit at all.
+type AttributeMismatch struct {
+	Attr     int
+	AttrName string // used in the reason; optional
+}
+
+// Name implements Rule.
+func (r AttributeMismatch) Name() string { return "attribute-mismatch" }
+
+// Evaluate implements Rule.
+func (r AttributeMismatch) Evaluate(_ data.Pair, ex core.Explanation) (Verdict, string) {
+	var sawAttr bool
+	for _, u := range ex.Units {
+		if u.Attr != r.Attr {
+			continue
+		}
+		sawAttr = true
+		if u.Kind == units.Paired {
+			return Keep, ""
+		}
+	}
+	if !sawAttr {
+		return Keep, "" // attribute empty on both sides: no evidence
+	}
+	name := r.AttrName
+	if name == "" {
+		name = fmt.Sprintf("attribute %d", r.Attr)
+	}
+	return ForceNonMatch, "no token of " + name + " could be paired"
+}
+
+// MinPairedRatio forces a non-match when fewer than Ratio of the record's
+// units are paired — a conservative guard for screening pipelines where
+// false matches are expensive.
+type MinPairedRatio struct {
+	Ratio float64 // e.g. 0.25
+}
+
+// Name implements Rule.
+func (MinPairedRatio) Name() string { return "min-paired-ratio" }
+
+// Evaluate implements Rule.
+func (r MinPairedRatio) Evaluate(_ data.Pair, ex core.Explanation) (Verdict, string) {
+	if len(ex.Units) == 0 || r.Ratio <= 0 {
+		return Keep, ""
+	}
+	var paired int
+	for _, u := range ex.Units {
+		if u.Kind == units.Paired {
+			paired++
+		}
+	}
+	ratio := float64(paired) / float64(len(ex.Units))
+	if ratio >= r.Ratio {
+		return Keep, ""
+	}
+	return ForceNonMatch, fmt.Sprintf("only %.0f%% of decision units are paired (floor %.0f%%)",
+		100*ratio, 100*r.Ratio)
+}
+
+// codeTokens collects the code-like tokens of each description.
+func codeTokens(p data.Pair) (left, right map[string]bool) {
+	collect := func(e data.Entity) map[string]bool {
+		out := map[string]bool{}
+		for _, v := range e {
+			for _, t := range tokenize.SplitWords(v) {
+				if tokenize.LooksLikeCode(t) {
+					out[t] = true
+				}
+			}
+		}
+		return out
+	}
+	return collect(p.Left), collect(p.Right)
+}
+
+func joinKeys(m map[string]bool) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	// Small sets; insertion sort keeps output deterministic.
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return strings.Join(ks, ",")
+}

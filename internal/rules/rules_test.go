@@ -1,0 +1,143 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"wym/internal/core"
+	"wym/internal/data"
+	"wym/internal/units"
+)
+
+func pairWith(left, right string) data.Pair {
+	return data.Pair{Left: data.Entity{left}, Right: data.Entity{right}}
+}
+
+func explanation(pred int, proba float64, us ...core.UnitExplanation) core.Explanation {
+	return core.Explanation{Prediction: pred, Proba: proba, Units: us}
+}
+
+func TestCodeConflict(t *testing.T) {
+	rule := CodeConflict{}
+	tests := []struct {
+		name string
+		p    data.Pair
+		want Verdict
+	}{
+		{"conflicting codes", pairWith("camera ab123x", "camera cd456y"), ForceNonMatch},
+		{"agreeing code", pairWith("camera ab123x", "cam ab123x"), Keep},
+		{"one agreeing among several", pairWith("kit ab123x cd456y", "kit cd456y"), Keep},
+		{"no codes left", pairWith("camera", "camera cd456y"), Keep},
+		{"no codes at all", pairWith("camera", "camera"), Keep},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, reason := rule.Evaluate(tc.p, core.Explanation{})
+			if got != tc.want {
+				t.Fatalf("verdict = %v (%s), want %v", got, reason, tc.want)
+			}
+			if got != Keep && reason == "" {
+				t.Fatal("override without a reason")
+			}
+		})
+	}
+}
+
+func TestCodeAgreement(t *testing.T) {
+	rule := CodeAgreement{}
+	p := pairWith("camera ab123x", "cam ab123x")
+	// Undecided model, agreeing codes: force the match.
+	if v, reason := rule.Evaluate(p, explanation(data.NonMatch, 0.4)); v != ForceMatch {
+		t.Fatalf("verdict = %v (%s)", v, reason)
+	}
+	// Confident model: keep.
+	if v, _ := rule.Evaluate(p, explanation(data.NonMatch, 0.05)); v != Keep {
+		t.Fatal("confident prediction should not be overridden")
+	}
+	// Conflicting extra code: keep.
+	conflict := pairWith("camera ab123x zz999z", "cam ab123x")
+	if v, _ := rule.Evaluate(conflict, explanation(data.NonMatch, 0.4)); v != Keep {
+		t.Fatal("conflicting code should block the agreement rule")
+	}
+	// No codes: keep.
+	if v, _ := rule.Evaluate(pairWith("camera", "cam"), explanation(data.NonMatch, 0.4)); v != Keep {
+		t.Fatal("no codes should keep")
+	}
+}
+
+func TestAttributeMismatch(t *testing.T) {
+	rule := AttributeMismatch{Attr: 1, AttrName: "brand"}
+	paired := core.UnitExplanation{Kind: units.Paired, Attr: 1, Left: "sony", Right: "sony"}
+	unpairedL := core.UnitExplanation{Kind: units.UnpairedLeft, Attr: 1, Left: "sony"}
+	unpairedR := core.UnitExplanation{Kind: units.UnpairedRight, Attr: 1, Right: "nikon"}
+	otherAttr := core.UnitExplanation{Kind: units.UnpairedLeft, Attr: 0, Left: "camera"}
+
+	if v, _ := rule.Evaluate(data.Pair{}, explanation(1, 0.9, paired, unpairedL)); v != Keep {
+		t.Fatal("paired unit in the attribute should keep")
+	}
+	v, reason := rule.Evaluate(data.Pair{}, explanation(1, 0.9, unpairedL, unpairedR, otherAttr))
+	if v != ForceNonMatch {
+		t.Fatalf("all-unpaired attribute should force non-match, got %v", v)
+	}
+	if !strings.Contains(reason, "brand") {
+		t.Fatalf("reason should name the attribute: %q", reason)
+	}
+	if v, _ := rule.Evaluate(data.Pair{}, explanation(1, 0.9, otherAttr)); v != Keep {
+		t.Fatal("attribute with no units should keep")
+	}
+}
+
+func TestMinPairedRatio(t *testing.T) {
+	rule := MinPairedRatio{Ratio: 0.5}
+	paired := core.UnitExplanation{Kind: units.Paired}
+	unpaired := core.UnitExplanation{Kind: units.UnpairedLeft}
+	if v, _ := rule.Evaluate(data.Pair{}, explanation(1, 0.9, paired, unpaired)); v != Keep {
+		t.Fatal("50% paired should keep at floor 50%")
+	}
+	if v, _ := rule.Evaluate(data.Pair{}, explanation(1, 0.9, paired, unpaired, unpaired)); v != ForceNonMatch {
+		t.Fatal("33% paired should force non-match at floor 50%")
+	}
+	if v, _ := rule.Evaluate(data.Pair{}, explanation(1, 0.9)); v != Keep {
+		t.Fatal("empty unit list should keep")
+	}
+	if v, _ := (MinPairedRatio{}).Evaluate(data.Pair{}, explanation(1, 0.9, unpaired)); v != Keep {
+		t.Fatal("zero ratio should disable the rule")
+	}
+}
+
+func TestEngineOrderAndOverride(t *testing.T) {
+	p := pairWith("camera ab123x", "camera cd456y")
+	ex := explanation(data.Match, 0.9)
+	engine := NewEngine(CodeConflict{}, MinPairedRatio{Ratio: 0.9})
+	d := engine.Apply(p, ex)
+	if !d.Overridden || d.Prediction != data.NonMatch || d.Rule != "code-conflict" {
+		t.Fatalf("decision = %+v", d)
+	}
+	// First rule wins: the ratio rule never fires.
+	if d.Reason == "" || !strings.Contains(d.Reason, "codes disagree") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+}
+
+func TestEngineKeepsModelDecision(t *testing.T) {
+	p := pairWith("camera ab123x", "cam ab123x")
+	ex := explanation(data.Match, 0.9)
+	d := NewEngine(CodeConflict{}).Apply(p, ex)
+	if d.Overridden || d.Prediction != data.Match || d.Rule != "" {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestEngineAgreeingVerdictNotFlaggedAsOverride(t *testing.T) {
+	// A rule confirming the model's decision records the rule but not an
+	// override.
+	p := pairWith("camera ab123x", "camera cd456y")
+	ex := explanation(data.NonMatch, 0.1)
+	d := NewEngine(CodeConflict{}).Apply(p, ex)
+	if d.Overridden {
+		t.Fatalf("agreeing verdict flagged as override: %+v", d)
+	}
+	if d.Rule != "code-conflict" {
+		t.Fatalf("rule not recorded: %+v", d)
+	}
+}

@@ -1,0 +1,259 @@
+// Package textsim implements the syntactic string-similarity measures WYM
+// uses as baselines and as classifier features: Jaro, Jaro–Winkler,
+// normalized Levenshtein, token Jaccard and token-set cosine.
+//
+// The paper's ablation study (Table 4) builds decision units from the
+// Jaro–Winkler distance instead of embeddings; the baseline matchers in
+// internal/baselines consume these measures as attribute similarities.
+package textsim
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Jaro returns the Jaro similarity of a and b in [0, 1]. Identical strings
+// score 1; strings with no matching characters score 0. Empty strings are
+// similar to each other (1) and dissimilar to everything else (0).
+func Jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	var matches int
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || a[i] != b[j] {
+				continue
+			}
+			matchA[i], matchB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between the sequences of matched characters.
+	var transpositions int
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro–Winkler similarity of a and b with the
+// standard prefix scale of 0.1 and a maximum common-prefix bonus length of
+// 4, as in Winkler's original formulation used by the paper.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Levenshtein returns the edit distance between a and b.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// LevenshteinSim returns 1 - Levenshtein(a,b)/max(len(a),len(b)), a
+// similarity in [0, 1]. Two empty strings are fully similar.
+func LevenshteinSim(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(max(len(a), len(b)))
+}
+
+// Jaccard returns the Jaccard similarity of the two token multisets,
+// computed on the underlying sets. Two empty sets are fully similar.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	setA := toSet(a)
+	setB := toSet(b)
+	var inter int
+	for t := range setA {
+		if setB[t] {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Overlap returns the overlap coefficient |A∩B| / min(|A|,|B|) of the two
+// token sets; 0 if either is empty.
+func Overlap(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	setA := toSet(a)
+	setB := toSet(b)
+	var inter int
+	for t := range setA {
+		if setB[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(min(len(setA), len(setB)))
+}
+
+// TokenCosine returns the cosine similarity between the term-frequency
+// vectors of the two token lists.
+func TokenCosine(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	fa := counts(a)
+	fb := counts(b)
+	var dot, na, nb float64
+	for t, ca := range fa {
+		na += float64(ca * ca)
+		if cb, ok := fb[t]; ok {
+			dot += float64(ca * cb)
+		}
+	}
+	for _, cb := range fb {
+		nb += float64(cb * cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// MongeElkan returns the Monge–Elkan similarity of two token lists under
+// the Jaro–Winkler base measure: the mean, over tokens of a, of the best
+// Jaro–Winkler match in b. It is asymmetric by construction; callers that
+// need symmetry should average both directions.
+func MongeElkan(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var total float64
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if s := JaroWinkler(ta, tb); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(a))
+}
+
+// NumberSim compares two strings as numbers when both parse, returning a
+// relative-difference similarity in [0, 1]; it falls back to
+// LevenshteinSim otherwise. The baseline matchers use it for price-like
+// attributes.
+func NumberSim(a, b string) float64 {
+	x, okA := parseFloat(a)
+	y, okB := parseFloat(b)
+	if okA && okB {
+		if x == y {
+			return 1
+		}
+		ax, ay := abs(x), abs(y)
+		den := ax
+		if ay > den {
+			den = ay
+		}
+		if den == 0 {
+			return 1
+		}
+		d := abs(x-y) / den
+		if d > 1 {
+			d = 1
+		}
+		return 1 - d
+	}
+	return LevenshteinSim(a, b)
+}
+
+func toSet(ts []string) map[string]bool {
+	s := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		s[t] = true
+	}
+	return s
+}
+
+func counts(ts []string) map[string]int {
+	c := make(map[string]int, len(ts))
+	for _, t := range ts {
+		c[t]++
+	}
+	return c
+}
+
+func parseFloat(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return v, err == nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

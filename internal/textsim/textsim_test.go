@@ -1,0 +1,211 @@
+package textsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestJaroKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.944444},
+		{"dixon", "dicksonx", 0.766667},
+		{"jellyfish", "smellyfish", 0.896296},
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, tc := range tests {
+		if got := Jaro(tc.a, tc.b); !approx(got, tc.want) {
+			t.Errorf("Jaro(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.961111},
+		{"dixon", "dicksonx", 0.813333},
+		{"abc", "abc", 1},
+	}
+	for _, tc := range tests {
+		if got := JaroWinkler(tc.a, tc.b); !approx(got, tc.want) {
+			t.Errorf("JaroWinkler(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroSymmetryAndBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s1, s2 := Jaro(a, b), Jaro(b, a)
+		return approx(s1, s2) && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaroWinklerBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1+1e-12 && s+1e-12 >= Jaro(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"a", "b", 1},
+	}
+	for _, tc := range tests {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinTriangleProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		// Keep the strings short enough for the O(n*m) DP.
+		a, b, c = clip(a), clip(b), clip(c)
+		ab, bc, ac := Levenshtein(a, b), Levenshtein(b, c), Levenshtein(a, c)
+		return ac <= ab+bc && ab == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 24 {
+		return s[:24]
+	}
+	return s
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	if got := LevenshteinSim("", ""); got != 1 {
+		t.Fatalf("empty sim = %v", got)
+	}
+	if got := LevenshteinSim("abcd", "abcd"); got != 1 {
+		t.Fatalf("identical sim = %v", got)
+	}
+	if got := LevenshteinSim("abcd", "wxyz"); got != 0 {
+		t.Fatalf("disjoint sim = %v", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []string
+		want float64
+	}{
+		{"identical", []string{"a", "b"}, []string{"b", "a"}, 1},
+		{"half", []string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{"disjoint", []string{"a"}, []string{"b"}, 0},
+		{"both empty", nil, nil, 1},
+		{"one empty", []string{"a"}, nil, 0},
+		{"multiset collapses", []string{"a", "a"}, []string{"a"}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Jaccard(tc.a, tc.b); !approx(got, tc.want) {
+				t.Fatalf("Jaccard = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap([]string{"a", "b", "c"}, []string{"a"}); !approx(got, 1) {
+		t.Fatalf("subset overlap = %v", got)
+	}
+	if got := Overlap(nil, []string{"a"}); got != 0 {
+		t.Fatalf("empty overlap = %v", got)
+	}
+}
+
+func TestTokenCosine(t *testing.T) {
+	if got := TokenCosine([]string{"a", "b"}, []string{"a", "b"}); !approx(got, 1) {
+		t.Fatalf("identical cosine = %v", got)
+	}
+	if got := TokenCosine([]string{"a"}, []string{"b"}); got != 0 {
+		t.Fatalf("disjoint cosine = %v", got)
+	}
+	if got := TokenCosine(nil, []string{"a"}); got != 0 {
+		t.Fatalf("empty cosine = %v", got)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	a := []string{"digital", "camera"}
+	b := []string{"digital", "cameras"}
+	if got := MongeElkan(a, b); got < 0.9 {
+		t.Fatalf("near-identical MongeElkan = %v, want > 0.9", got)
+	}
+	if got := MongeElkan(nil, b); got != 0 {
+		t.Fatalf("empty MongeElkan = %v", got)
+	}
+}
+
+func TestNumberSim(t *testing.T) {
+	if got := NumberSim("100", "100"); got != 1 {
+		t.Fatalf("equal numbers = %v", got)
+	}
+	if got := NumberSim("100", "50"); !approx(got, 0.5) {
+		t.Fatalf("relative diff = %v, want 0.5", got)
+	}
+	if got := NumberSim("-100", "100"); got != 0 {
+		t.Fatalf("clamped diff = %v, want 0", got)
+	}
+	if got := NumberSim("0", "0"); got != 1 {
+		t.Fatalf("two zeros = %v", got)
+	}
+	// Non-numeric falls back to edit similarity.
+	if got := NumberSim("sony", "sony"); got != 1 {
+		t.Fatalf("string fallback = %v", got)
+	}
+}
+
+func TestJaroLongCommonPrefix(t *testing.T) {
+	// Regression guard: the matching window must not go negative for very
+	// short strings.
+	if got := Jaro("a", "a"); got != 1 {
+		t.Fatalf("single char identical = %v", got)
+	}
+	if got := Jaro("a", "ab"); got <= 0 {
+		t.Fatalf("single char prefix = %v", got)
+	}
+}
+
+func TestJaroASCIIOnlyAssumption(t *testing.T) {
+	// The similarity operates on bytes; multi-byte input must still stay
+	// within bounds (tokenization lowercases and strips most of it anyway).
+	s := strings.Repeat("é", 3)
+	got := Jaro(s, "e")
+	if got < 0 || got > 1 {
+		t.Fatalf("multibyte Jaro out of bounds: %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package tokenize
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzSplitWords checks the tokenizer's core invariants on arbitrary
+// input: no empty tokens, only letters/digits, lowercasing idempotent.
+func FuzzSplitWords(f *testing.F) {
+	for _, seed := range []string{
+		"", "digital camera", "exch srvr ext-sa/eng 39400416",
+		"price: $37.63", "é漢字 mixed ASCII", "a\x00b", "ALL CAPS",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, w := range SplitWords(s) {
+			if w == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range w {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("non-alphanumeric rune %q in token %q", r, w)
+				}
+				if unicode.ToLower(r) != r {
+					t.Fatalf("non-lowercased rune %q in token %q", r, w)
+				}
+			}
+		}
+	})
+}
+
+// FuzzAttribute checks that tokenization with every option combination
+// never panics and respects the per-attribute cap.
+func FuzzAttribute(f *testing.F) {
+	f.Add("the digital camera dslra200w", true, true, 3)
+	f.Add("", false, false, 0)
+	f.Fuzz(func(t *testing.T, s string, stop, piece bool, maxTok int) {
+		if maxTok < 0 || maxTok > 1000 {
+			return
+		}
+		opts := Options{StopWords: stop, WordPiece: piece, MaxTokensPerAttr: maxTok}
+		toks := Attribute(s, 0, opts)
+		if maxTok > 0 && len(toks) > maxTok {
+			t.Fatalf("cap ignored: %d > %d", len(toks), maxTok)
+		}
+		for i, tok := range toks {
+			if tok.Pos != i {
+				t.Fatalf("positions not sequential: %+v", toks)
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package tokenize turns entity descriptions into provenance-tracking
+// tokens. It mirrors the featurization step of the paper (§4.1.1): attribute
+// values are tokenized, lowercased and stripped of stop words; an optional
+// word-piece mode splits long alphanumeric tokens into sub-word pieces,
+// which reproduces the product-code failure mode the paper's error analysis
+// discusses; and a product-code heuristic marks code-like tokens so that
+// the domain-knowledge fix (only equal codes may pair) can be applied.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single feature extracted from an entity description, together
+// with its provenance: the attribute it came from and its position within
+// that attribute's value.
+type Token struct {
+	Text string
+	Attr int // index into the dataset schema
+	Pos  int // 0-based position within the attribute value
+	// Code reports that the token looks like a product/model code (mixed
+	// letters and digits, or a long digit run). The decision-unit
+	// generator's domain heuristic (§5.1.1) uses it to restrict pairing of
+	// codes to exact equality.
+	Code bool
+	// Piece reports that the token is a word piece produced by splitting a
+	// longer token (word-piece mode only).
+	Piece bool
+}
+
+// Options configures tokenization.
+type Options struct {
+	// StopWords removes common English stop words. The paper applies stop
+	// word removal after word-piece tokenization.
+	StopWords bool
+	// WordPiece splits tokens longer than WordPieceLen into fixed-size
+	// pieces, approximating BERT's sub-word tokenizer. Off by default:
+	// the paper's error analysis shows it hurts product codes.
+	WordPiece    bool
+	WordPieceLen int // piece size; defaults to 4 when WordPiece is set
+	// MaxTokensPerAttr caps the number of tokens kept per attribute value
+	// (0 = unlimited). Long textual descriptions (the Abt-Buy dataset)
+	// otherwise dominate running time quadratically in the pairing step.
+	MaxTokensPerAttr int
+}
+
+// Default are the options used by the WYM implementation in the paper:
+// stop-word removal on, word-piece splitting off.
+var Default = Options{StopWords: true}
+
+// stopWords is a compact English stop-word list; entity descriptions in EM
+// benchmarks are short and noun-heavy, so a small list suffices.
+var stopWords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "from": true,
+	"has": true, "have": true, "in": true, "is": true, "it": true,
+	"its": true, "of": true, "on": true, "or": true, "that": true,
+	"the": true, "this": true, "to": true, "was": true, "were": true,
+	"will": true, "with": true, "you": true, "your": true, "s": true,
+	"t": true, "nan": true, "null": true, "none": true,
+}
+
+// IsStopWord reports whether w (already lowercased) is on the stop list.
+func IsStopWord(w string) bool { return stopWords[w] }
+
+// Attribute tokenizes a single attribute value, assigning the given
+// attribute index to every produced token.
+func Attribute(value string, attr int, opts Options) []Token {
+	words := SplitWords(value)
+	toks := make([]Token, 0, len(words))
+	pos := 0
+	emit := func(text string, piece bool) {
+		if opts.StopWords && stopWords[text] {
+			return
+		}
+		if opts.MaxTokensPerAttr > 0 && len(toks) >= opts.MaxTokensPerAttr {
+			return
+		}
+		toks = append(toks, Token{
+			Text:  text,
+			Attr:  attr,
+			Pos:   pos,
+			Code:  LooksLikeCode(text),
+			Piece: piece,
+		})
+		pos++
+	}
+	for _, w := range words {
+		if opts.WordPiece {
+			n := opts.WordPieceLen
+			if n <= 0 {
+				n = 4
+			}
+			if len(w) > n {
+				for i := 0; i < len(w); i += n {
+					end := i + n
+					if end > len(w) {
+						end = len(w)
+					}
+					emit(w[i:end], true)
+				}
+				continue
+			}
+		}
+		emit(w, false)
+	}
+	return toks
+}
+
+// Entity tokenizes all attribute values of an entity description, given as
+// a slice aligned with the dataset schema. The result preserves attribute
+// order; token positions restart at 0 within each attribute.
+func Entity(values []string, opts Options) []Token {
+	var toks []Token
+	for attr, v := range values {
+		toks = append(toks, Attribute(v, attr, opts)...)
+	}
+	return toks
+}
+
+// SplitWords lowercases s and splits it into maximal runs of letters and
+// digits. Mixed alphanumeric runs (product codes such as "dslra200w") stay
+// whole; punctuation and whitespace are separators.
+func SplitWords(s string) []string {
+	var words []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return words
+}
+
+// LooksLikeCode reports whether a token resembles a product or model code:
+// it mixes letters and digits, or is a digit run of at least four
+// characters. The paper's domain-knowledge heuristic restricts such tokens
+// to exact-equality pairing, which raised T-AB F1 from 0.645 to 0.754.
+func LooksLikeCode(tok string) bool {
+	var letters, digits int
+	for _, r := range tok {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case unicode.IsLetter(r):
+			letters++
+		}
+	}
+	if digits == 0 {
+		return false
+	}
+	if letters > 0 {
+		return true // mixed alphanumeric, e.g. "dslra200w"
+	}
+	return digits >= 4 // long digit run, e.g. "39400416"
+}
+
+// Texts returns just the token texts, in order. Baselines and explainers
+// that work at plain-string granularity use it.
+func Texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// ByAttr groups token indices by attribute, returning a map from attribute
+// index to the positions (indices into toks) of its tokens.
+func ByAttr(toks []Token) map[int][]int {
+	m := make(map[int][]int)
+	for i, t := range toks {
+		m[t.Attr] = append(m[t.Attr], i)
+	}
+	return m
+}

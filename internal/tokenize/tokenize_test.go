@@ -1,0 +1,170 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestSplitWords(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Digital Camera", []string{"digital", "camera"}},
+		{"exch srvr ext-sa/eng 39400416", []string{"exch", "srvr", "ext", "sa", "eng", "39400416"}},
+		{"dslra200w", []string{"dslra200w"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"", nil},
+		{"!!!", nil},
+		{"price: $37.63", []string{"price", "37", "63"}},
+	}
+	for _, tc := range tests {
+		if got := SplitWords(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitWords(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSplitWordsLowercasesProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range SplitWords(s) {
+			if w == "" {
+				return false
+			}
+			for _, r := range w {
+				// Some Unicode upper-case letters (e.g. mathematical
+				// alphanumerics) have no lower-case mapping, so the check
+				// is "lowercasing is idempotent", not "no upper case".
+				if unicode.ToLower(r) != r {
+					return false
+				}
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributeStopWords(t *testing.T) {
+	toks := Attribute("the digital camera with a lens", 2, Default)
+	got := Texts(toks)
+	want := []string{"digital", "camera", "lens"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i, tok := range toks {
+		if tok.Attr != 2 {
+			t.Fatalf("token %d attr = %d, want 2", i, tok.Attr)
+		}
+		if tok.Pos != i {
+			t.Fatalf("token %d pos = %d, want %d", i, tok.Pos, i)
+		}
+	}
+}
+
+func TestAttributeNoStopWords(t *testing.T) {
+	toks := Attribute("the camera", 0, Options{})
+	if got := Texts(toks); !reflect.DeepEqual(got, []string{"the", "camera"}) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestWordPieceSplitting(t *testing.T) {
+	opts := Options{WordPiece: true, WordPieceLen: 4}
+	toks := Attribute("dslra200w", 0, opts)
+	got := Texts(toks)
+	want := []string{"dslr", "a200", "w"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pieces = %v, want %v", got, want)
+	}
+	for _, tok := range toks {
+		if !tok.Piece {
+			t.Fatalf("token %q should be marked as a piece", tok.Text)
+		}
+	}
+	// Short tokens stay whole and unmarked.
+	toks = Attribute("sony", 0, opts)
+	if len(toks) != 1 || toks[0].Piece {
+		t.Fatalf("short token handling = %+v", toks)
+	}
+}
+
+func TestWordPieceDefaultLen(t *testing.T) {
+	toks := Attribute("abcdefgh", 0, Options{WordPiece: true})
+	if got := Texts(toks); !reflect.DeepEqual(got, []string{"abcd", "efgh"}) {
+		t.Fatalf("default piece len tokens = %v", got)
+	}
+}
+
+func TestMaxTokensPerAttr(t *testing.T) {
+	toks := Attribute("one two three four five", 0, Options{MaxTokensPerAttr: 3})
+	if len(toks) != 3 {
+		t.Fatalf("len = %d, want 3", len(toks))
+	}
+}
+
+func TestEntity(t *testing.T) {
+	toks := Entity([]string{"digital camera", "sony", "37.63"}, Default)
+	want := []string{"digital", "camera", "sony", "37", "63"}
+	if got := Texts(toks); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	if toks[0].Attr != 0 || toks[2].Attr != 1 || toks[3].Attr != 2 {
+		t.Fatalf("attribute provenance wrong: %+v", toks)
+	}
+	// Positions restart per attribute.
+	if toks[3].Pos != 0 || toks[4].Pos != 1 {
+		t.Fatalf("positions should restart per attribute: %+v", toks[3:])
+	}
+}
+
+func TestLooksLikeCode(t *testing.T) {
+	tests := []struct {
+		tok  string
+		want bool
+	}{
+		{"dslra200w", true},
+		{"39400416", true},
+		{"a4", true},
+		{"123", false}, // short digit runs are prices/quantities, not codes
+		{"sony", false},
+		{"camera", false},
+		{"", false},
+	}
+	for _, tc := range tests {
+		if got := LooksLikeCode(tc.tok); got != tc.want {
+			t.Errorf("LooksLikeCode(%q) = %v, want %v", tc.tok, got, tc.want)
+		}
+	}
+}
+
+func TestCodeFlagOnTokens(t *testing.T) {
+	toks := Attribute("exch 39400416", 0, Default)
+	if toks[0].Code {
+		t.Fatal("exch should not be a code")
+	}
+	if !toks[1].Code {
+		t.Fatal("39400416 should be a code")
+	}
+}
+
+func TestByAttr(t *testing.T) {
+	toks := Entity([]string{"a b", "c"}, Options{})
+	groups := ByAttr(toks)
+	if !reflect.DeepEqual(groups[0], []int{0, 1}) || !reflect.DeepEqual(groups[1], []int{2}) {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	if !IsStopWord("the") || IsStopWord("camera") {
+		t.Fatal("stop word classification wrong")
+	}
+}

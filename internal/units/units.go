@@ -1,0 +1,342 @@
+// Package units implements decision units — the paper's core abstraction —
+// and Algorithm 1 (DecisionUnitDiscovery). A decision unit is either a pair
+// of semantically similar tokens drawn from the two entity descriptions of
+// an EM record (a paired unit) or a token with no counterpart (an unpaired
+// unit). Units form the feature space on which the interpretable matcher
+// is trained, replacing raw token features.
+package units
+
+import (
+	"fmt"
+	"strings"
+
+	"wym/internal/assignment"
+	"wym/internal/tokenize"
+	"wym/internal/vec"
+)
+
+// Kind distinguishes paired from unpaired units.
+type Kind int
+
+// Unit kinds.
+const (
+	Paired Kind = iota
+	UnpairedLeft
+	UnpairedRight
+)
+
+// Stage records which phase of Algorithm 1 produced a unit; tests and
+// explanations use it as provenance.
+type Stage int
+
+// Discovery stages.
+const (
+	StageIntraAttr Stage = iota // matching-attribute search space (θ)
+	StageInterAttr              // cross-attribute search space (η)
+	StageOneToMany              // unpaired-vs-already-paired space (ε)
+	StageUnpaired               // never paired
+)
+
+// Unit is one decision unit of a record. Left and Right index the record's
+// left and right token slices; the absent side of an unpaired unit is -1.
+type Unit struct {
+	Kind  Kind
+	Left  int
+	Right int
+	Sim   float64 // similarity that formed the pair; 0 for unpaired units
+	Stage Stage
+	Attr  int // attribute provenance (left token's attribute when paired)
+}
+
+// Thresholds are the three similarity thresholds of Algorithm 1.
+type Thresholds struct {
+	Theta   float64 // intra-attribute
+	Eta     float64 // inter-attribute
+	Epsilon float64 // one-to-many
+}
+
+// PaperThresholds are the values used in the paper's experiments (§5):
+// θ=0.6, η=0.65, ε=0.7 — increasing with the breadth of the search space.
+var PaperThresholds = Thresholds{Theta: 0.6, Eta: 0.65, Epsilon: 0.7}
+
+// Input is one record prepared for unit discovery: the two token lists,
+// their (contextualized) embeddings, and the schema size.
+type Input struct {
+	Left, Right         []tokenize.Token
+	LeftVecs, RightVecs [][]float64
+	NumAttrs            int
+	// CodeExact enables the domain-knowledge heuristic from the paper's
+	// error analysis (§5.1.1): tokens flagged as product codes may only
+	// pair with an exactly equal token.
+	CodeExact bool
+	// SimOverride, when non-nil, replaces the embedding cosine as the
+	// token similarity (the Table 4 Jaro–Winkler ablation uses it). It is
+	// still subject to the CodeExact heuristic.
+	SimOverride func(l, r int) float64
+}
+
+// sim computes the similarity between left token l and right token r.
+func (in *Input) sim(l, r int) float64 {
+	if in.CodeExact {
+		lc, rc := in.Left[l].Code, in.Right[r].Code
+		if lc || rc {
+			if in.Left[l].Text == in.Right[r].Text {
+				return 1
+			}
+			return -1 // below any threshold: codes never pair unless equal
+		}
+	}
+	if in.SimOverride != nil {
+		return in.SimOverride(l, r)
+	}
+	return vec.Cosine(in.LeftVecs[l], in.RightVecs[r])
+}
+
+// Discover runs Algorithm 1 and returns the record's decision units:
+// paired units from the three staged search spaces, then the remaining
+// tokens as unpaired units. The output order is deterministic: paired
+// units in stage order (each stage sorted by token indices), then unpaired
+// left tokens, then unpaired right tokens.
+func Discover(in Input, th Thresholds) []Unit {
+	if len(in.Left) != len(in.LeftVecs) && in.SimOverride == nil {
+		panic(fmt.Sprintf("units: %d left tokens but %d vectors", len(in.Left), len(in.LeftVecs)))
+	}
+	if len(in.Right) != len(in.RightVecs) && in.SimOverride == nil {
+		panic(fmt.Sprintf("units: %d right tokens but %d vectors", len(in.Right), len(in.RightVecs)))
+	}
+
+	var out []Unit
+	pairedL := make([]bool, len(in.Left))
+	pairedR := make([]bool, len(in.Right))
+
+	// Stage 1: intra-attribute correspondences under θ. The schema bounds
+	// the search space: only tokens of the same (matching) attribute are
+	// compared.
+	for attr := 0; attr < in.NumAttrs; attr++ {
+		li := indicesOfAttr(in.Left, attr)
+		ri := indicesOfAttr(in.Right, attr)
+		pairs := assignment.Match(len(li), len(ri), func(x, y int) float64 {
+			return in.sim(li[x], ri[y])
+		}, th.Theta)
+		for _, p := range pairs {
+			l, r := li[p.X], ri[p.Y]
+			out = append(out, Unit{Kind: Paired, Left: l, Right: r, Sim: p.Sim,
+				Stage: StageIntraAttr, Attr: attr})
+			pairedL[l], pairedR[r] = true, true
+		}
+	}
+
+	// Stage 2: inter-attribute correspondences under η between the tokens
+	// both stages so far left unpaired. This absorbs dirty/misaligned
+	// attribute content (challenge R2).
+	freeL := unset(pairedL)
+	freeR := unset(pairedR)
+	pairs := assignment.Match(len(freeL), len(freeR), func(x, y int) float64 {
+		return in.sim(freeL[x], freeR[y])
+	}, th.Eta)
+	for _, p := range pairs {
+		l, r := freeL[p.X], freeR[p.Y]
+		out = append(out, Unit{Kind: Paired, Left: l, Right: r, Sim: p.Sim,
+			Stage: StageInterAttr, Attr: in.Left[l].Attr})
+		pairedL[l], pairedR[r] = true, true
+	}
+
+	// Stage 3: one-to-many correspondences under ε — remaining unpaired
+	// tokens against the *already paired* tokens of the other entity,
+	// forming chains that model repetition and periphrasis.
+	freeL = unset(pairedL)
+	anchorsR := set(pairedR)
+	pairsL := assignment.Match(len(freeL), len(anchorsR), func(x, y int) float64 {
+		return in.sim(freeL[x], anchorsR[y])
+	}, th.Epsilon)
+	freeR = unset(pairedR)
+	anchorsL := set(pairedL)
+	pairsR := assignment.Match(len(freeR), len(anchorsL), func(x, y int) float64 {
+		return in.sim(anchorsL[y], freeR[x])
+	}, th.Epsilon)
+	for _, p := range pairsL {
+		l, r := freeL[p.X], anchorsR[p.Y]
+		out = append(out, Unit{Kind: Paired, Left: l, Right: r, Sim: p.Sim,
+			Stage: StageOneToMany, Attr: in.Left[l].Attr})
+		pairedL[l] = true // r stays multiply assigned by design
+	}
+	for _, p := range pairsR {
+		r, l := freeR[p.X], anchorsL[p.Y]
+		out = append(out, Unit{Kind: Paired, Left: l, Right: r, Sim: p.Sim,
+			Stage: StageOneToMany, Attr: in.Left[l].Attr})
+		pairedR[r] = true
+	}
+
+	// Remaining tokens become unpaired units.
+	for _, l := range unset(pairedL) {
+		out = append(out, Unit{Kind: UnpairedLeft, Left: l, Right: -1,
+			Stage: StageUnpaired, Attr: in.Left[l].Attr})
+	}
+	for _, r := range unset(pairedR) {
+		out = append(out, Unit{Kind: UnpairedRight, Left: -1, Right: r,
+			Stage: StageUnpaired, Attr: in.Right[r].Attr})
+	}
+	return out
+}
+
+// Describe renders a unit as a human-readable string such as
+// "(exch, exch)" or "(eng, —)".
+func Describe(u Unit, in *Input) string {
+	switch u.Kind {
+	case Paired:
+		return "(" + in.Left[u.Left].Text + ", " + in.Right[u.Right].Text + ")"
+	case UnpairedLeft:
+		return "(" + in.Left[u.Left].Text + ", —)"
+	default:
+		return "(—, " + in.Right[u.Right].Text + ")"
+	}
+}
+
+// Texts returns the token texts of the unit; the absent side of an
+// unpaired unit is the empty string.
+func Texts(u Unit, left, right []tokenize.Token) (l, r string) {
+	if u.Left >= 0 {
+		l = left[u.Left].Text
+	}
+	if u.Right >= 0 {
+		r = right[u.Right].Text
+	}
+	return l, r
+}
+
+// Key returns an order-invariant identity for the unit's token contents,
+// used to aggregate relevance targets across the dataset (Equation 3).
+func Key(u Unit, left, right []tokenize.Token) string {
+	l, r := Texts(u, left, right)
+	if u.Kind != Paired {
+		t := l
+		if t == "" {
+			t = r
+		}
+		return t + "\x00[UNP]"
+	}
+	if r < l {
+		l, r = r, l
+	}
+	return l + "\x00" + r
+}
+
+// Counts summarizes a record's units for the Figure 4 statistics.
+type Counts struct{ Paired, Unpaired int }
+
+// Count tallies paired and unpaired units.
+func Count(us []Unit) Counts {
+	var c Counts
+	for _, u := range us {
+		if u.Kind == Paired {
+			c.Paired++
+		} else {
+			c.Unpaired++
+		}
+	}
+	return c
+}
+
+// CheckInvariants verifies the structural constraints of §3.1.1 over a
+// record's units: every token belongs to at least one unit; no token is in
+// both a paired and an unpaired unit; paired units join tokens of opposite
+// descriptions; unpaired units reference exactly one token. It returns a
+// descriptive error on the first violation.
+func CheckInvariants(us []Unit, nLeft, nRight int) error {
+	pairedL := make([]bool, nLeft)
+	pairedR := make([]bool, nRight)
+	unpairedL := make([]bool, nLeft)
+	unpairedR := make([]bool, nRight)
+	for i, u := range us {
+		switch u.Kind {
+		case Paired:
+			if u.Left < 0 || u.Left >= nLeft || u.Right < 0 || u.Right >= nRight {
+				return fmt.Errorf("unit %d: paired indices out of range: %+v", i, u)
+			}
+			pairedL[u.Left] = true
+			pairedR[u.Right] = true
+		case UnpairedLeft:
+			if u.Left < 0 || u.Left >= nLeft || u.Right != -1 {
+				return fmt.Errorf("unit %d: bad unpaired-left unit: %+v", i, u)
+			}
+			if unpairedL[u.Left] {
+				return fmt.Errorf("unit %d: left token %d unpaired twice", i, u.Left)
+			}
+			unpairedL[u.Left] = true
+		case UnpairedRight:
+			if u.Right < 0 || u.Right >= nRight || u.Left != -1 {
+				return fmt.Errorf("unit %d: bad unpaired-right unit: %+v", i, u)
+			}
+			if unpairedR[u.Right] {
+				return fmt.Errorf("unit %d: right token %d unpaired twice", i, u.Right)
+			}
+			unpairedR[u.Right] = true
+		default:
+			return fmt.Errorf("unit %d: unknown kind %v", i, u.Kind)
+		}
+	}
+	for t := 0; t < nLeft; t++ {
+		if pairedL[t] && unpairedL[t] {
+			return fmt.Errorf("left token %d is both paired and unpaired", t)
+		}
+		if !pairedL[t] && !unpairedL[t] {
+			return fmt.Errorf("left token %d belongs to no unit", t)
+		}
+	}
+	for t := 0; t < nRight; t++ {
+		if pairedR[t] && unpairedR[t] {
+			return fmt.Errorf("right token %d is both paired and unpaired", t)
+		}
+		if !pairedR[t] && !unpairedR[t] {
+			return fmt.Errorf("right token %d belongs to no unit", t)
+		}
+	}
+	return nil
+}
+
+func indicesOfAttr(toks []tokenize.Token, attr int) []int {
+	var out []int
+	for i, t := range toks {
+		if t.Attr == attr {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// unset returns the indices where the flag slice is false.
+func unset(flags []bool) []int {
+	var out []int
+	for i, f := range flags {
+		if !f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// set returns the indices where the flag slice is true.
+func set(flags []bool) []int {
+	var out []int
+	for i, f := range flags {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (u Unit) String() string {
+	var b strings.Builder
+	switch u.Kind {
+	case Paired:
+		fmt.Fprintf(&b, "paired(L%d,R%d sim=%.2f", u.Left, u.Right, u.Sim)
+	case UnpairedLeft:
+		fmt.Fprintf(&b, "unpaired(L%d", u.Left)
+	default:
+		fmt.Fprintf(&b, "unpaired(R%d", u.Right)
+	}
+	fmt.Fprintf(&b, " attr=%d stage=%d)", u.Attr, u.Stage)
+	return b.String()
+}

@@ -1,0 +1,327 @@
+package units
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wym/internal/embed"
+	"wym/internal/tokenize"
+)
+
+// buildInput tokenizes two entities over the same schema and embeds the
+// tokens with the hash source (no context mixing, for test determinism).
+func buildInput(left, right []string, codeExact bool) Input {
+	src := embed.NewHash()
+	lt := tokenize.Entity(left, tokenize.Default)
+	rt := tokenize.Entity(right, tokenize.Default)
+	return Input{
+		Left:      lt,
+		Right:     rt,
+		LeftVecs:  embed.Contextualize(src, tokenize.Texts(lt), 0),
+		RightVecs: embed.Contextualize(src, tokenize.Texts(rt), 0),
+		NumAttrs:  len(left),
+		CodeExact: codeExact,
+	}
+}
+
+func TestDiscoverIdenticalEntities(t *testing.T) {
+	in := buildInput(
+		[]string{"digital camera", "sony"},
+		[]string{"digital camera", "sony"},
+		false,
+	)
+	us := Discover(in, PaperThresholds)
+	if err := CheckInvariants(us, len(in.Left), len(in.Right)); err != nil {
+		t.Fatal(err)
+	}
+	c := Count(us)
+	if c.Paired != 3 || c.Unpaired != 0 {
+		t.Fatalf("identical entities: %+v, want 3 paired / 0 unpaired", c)
+	}
+	for _, u := range us {
+		if u.Sim < 0.99 {
+			t.Fatalf("identical tokens should pair with sim ~1: %v", u)
+		}
+		if u.Stage != StageIntraAttr {
+			t.Fatalf("identical tokens should pair intra-attribute: %v", u)
+		}
+	}
+}
+
+func TestDiscoverDisjointEntities(t *testing.T) {
+	in := buildInput(
+		[]string{"espresso machine", "delonghi"},
+		[]string{"wireless keyboard", "logitech"},
+		false,
+	)
+	us := Discover(in, PaperThresholds)
+	if err := CheckInvariants(us, len(in.Left), len(in.Right)); err != nil {
+		t.Fatal(err)
+	}
+	c := Count(us)
+	if c.Paired != 0 {
+		t.Fatalf("disjoint entities paired %d units", c.Paired)
+	}
+	if c.Unpaired != len(in.Left)+len(in.Right) {
+		t.Fatalf("unpaired = %d, want %d", c.Unpaired, len(in.Left)+len(in.Right))
+	}
+}
+
+func TestDiscoverInterAttributeRescue(t *testing.T) {
+	// "sony" sits in the name attribute on the left but in the brand
+	// attribute on the right — the dirty-data case stage 2 handles.
+	in := buildInput(
+		[]string{"camera sony", ""},
+		[]string{"camera", "sony"},
+		false,
+	)
+	us := Discover(in, PaperThresholds)
+	if err := CheckInvariants(us, len(in.Left), len(in.Right)); err != nil {
+		t.Fatal(err)
+	}
+	var foundInter bool
+	for _, u := range us {
+		if u.Kind == Paired && u.Stage == StageInterAttr {
+			l, r := Texts(u, in.Left, in.Right)
+			if l == "sony" && r == "sony" {
+				foundInter = true
+			}
+		}
+	}
+	if !foundInter {
+		t.Fatalf("misplaced token not rescued by stage 2: %v", us)
+	}
+}
+
+func TestDiscoverOneToMany(t *testing.T) {
+	// "camera" appears twice on the left but once on the right: the second
+	// occurrence must chain onto the already-paired right token (stage 3).
+	in := buildInput(
+		[]string{"camera camera", ""},
+		[]string{"camera", ""},
+		false,
+	)
+	us := Discover(in, PaperThresholds)
+	if err := CheckInvariants(us, len(in.Left), len(in.Right)); err != nil {
+		t.Fatal(err)
+	}
+	c := Count(us)
+	if c.Paired != 2 || c.Unpaired != 0 {
+		t.Fatalf("one-to-many chain missing: %+v (%v)", c, us)
+	}
+	var oneToMany bool
+	for _, u := range us {
+		if u.Stage == StageOneToMany {
+			oneToMany = true
+		}
+	}
+	if !oneToMany {
+		t.Fatalf("expected a stage-3 unit: %v", us)
+	}
+}
+
+func TestDiscoverOneToManyRightSide(t *testing.T) {
+	in := buildInput(
+		[]string{"camera", ""},
+		[]string{"camera camera", ""},
+		false,
+	)
+	us := Discover(in, PaperThresholds)
+	if err := CheckInvariants(us, len(in.Left), len(in.Right)); err != nil {
+		t.Fatal(err)
+	}
+	if c := Count(us); c.Paired != 2 || c.Unpaired != 0 {
+		t.Fatalf("right-side chain missing: %+v", c)
+	}
+}
+
+func TestDiscoverCodeExactHeuristic(t *testing.T) {
+	// Two near-identical codes must NOT pair under the heuristic...
+	in := buildInput(
+		[]string{"dslra200w"},
+		[]string{"dslra300w"},
+		true,
+	)
+	us := Discover(in, PaperThresholds)
+	if c := Count(us); c.Paired != 0 {
+		t.Fatalf("different codes paired under CodeExact: %v", us)
+	}
+	// ... while equal codes must pair with similarity 1.
+	in = buildInput([]string{"dslra200w"}, []string{"dslra200w"}, true)
+	us = Discover(in, PaperThresholds)
+	if c := Count(us); c.Paired != 1 || us[0].Sim != 1 {
+		t.Fatalf("equal codes should pair exactly: %v", us)
+	}
+	// Without the heuristic, codes sharing almost all character n-grams
+	// do pair — the failure mode the paper's error analysis describes.
+	in = buildInput([]string{"39400416"}, []string{"39400417"}, false)
+	us = Discover(in, PaperThresholds)
+	if c := Count(us); c.Paired != 1 {
+		t.Fatalf("near-identical codes should pair without the heuristic: %v", us)
+	}
+	in = buildInput([]string{"39400416"}, []string{"39400417"}, true)
+	us = Discover(in, PaperThresholds)
+	if c := Count(us); c.Paired != 0 {
+		t.Fatalf("CodeExact should forbid unequal codes: %v", us)
+	}
+}
+
+func TestDiscoverSimOverride(t *testing.T) {
+	in := buildInput([]string{"abc"}, []string{"abd"}, false)
+	in.SimOverride = func(l, r int) float64 { return 0 } // forbid all pairs
+	us := Discover(in, PaperThresholds)
+	if c := Count(us); c.Paired != 0 {
+		t.Fatalf("SimOverride ignored: %v", us)
+	}
+	in.SimOverride = func(l, r int) float64 { return 1 } // force pairing
+	us = Discover(in, PaperThresholds)
+	if c := Count(us); c.Paired != 1 {
+		t.Fatalf("SimOverride ignored: %v", us)
+	}
+}
+
+func TestDiscoverEmptyEntities(t *testing.T) {
+	in := buildInput([]string{""}, []string{""}, false)
+	us := Discover(in, PaperThresholds)
+	if len(us) != 0 {
+		t.Fatalf("empty entities should produce no units: %v", us)
+	}
+	if err := CheckInvariants(us, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscoverInvariantsProperty(t *testing.T) {
+	// Random small entities over a shared vocabulary: the invariants must
+	// hold for every outcome of Algorithm 1.
+	vocab := []string{"camera", "cameras", "sony", "nikon", "lens", "zoom",
+		"digital", "kit", "dslra200w", "5811", "black", "case"}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		mk := func() []string {
+			attrs := make([]string, 2)
+			for a := range attrs {
+				n := rng.Intn(5)
+				words := make([]string, n)
+				for i := range words {
+					words[i] = vocab[rng.Intn(len(vocab))]
+				}
+				attrs[a] = strings.Join(words, " ")
+			}
+			return attrs
+		}
+		in := buildInput(mk(), mk(), rng.Intn(2) == 0)
+		us := Discover(in, PaperThresholds)
+		if err := CheckInvariants(us, len(in.Left), len(in.Right)); err != nil {
+			t.Fatalf("trial %d: %v\nunits: %v", trial, err, us)
+		}
+	}
+}
+
+func TestDiscoverPairSimsAboveThresholds(t *testing.T) {
+	in := buildInput(
+		[]string{"digital camera lens kit", "sony"},
+		[]string{"digital cameras leather case", "nikon"},
+		false,
+	)
+	us := Discover(in, PaperThresholds)
+	for _, u := range us {
+		if u.Kind != Paired {
+			continue
+		}
+		var min float64
+		switch u.Stage {
+		case StageIntraAttr:
+			min = PaperThresholds.Theta
+		case StageInterAttr:
+			min = PaperThresholds.Eta
+		case StageOneToMany:
+			min = PaperThresholds.Epsilon
+		}
+		if u.Sim < min {
+			t.Fatalf("unit %v below its stage threshold %v", u, min)
+		}
+	}
+}
+
+func TestKeySymmetry(t *testing.T) {
+	left := tokenize.Entity([]string{"camera sony"}, tokenize.Default)
+	right := tokenize.Entity([]string{"sony camera"}, tokenize.Default)
+	// (camera, sony) from left->right and (sony, camera) must share a key.
+	u1 := Unit{Kind: Paired, Left: 0, Right: 0} // camera, sony
+	u2 := Unit{Kind: Paired, Left: 1, Right: 1} // sony, camera
+	if Key(u1, left, right) != Key(u2, left, right) {
+		t.Fatal("Key must be order-invariant for paired units")
+	}
+}
+
+func TestKeyUnpaired(t *testing.T) {
+	left := tokenize.Entity([]string{"eng"}, tokenize.Default)
+	u := Unit{Kind: UnpairedLeft, Left: 0, Right: -1}
+	if k := Key(u, left, nil); !strings.Contains(k, "[UNP]") {
+		t.Fatalf("unpaired key = %q", k)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	in := buildInput([]string{"exch"}, []string{"exch"}, false)
+	us := Discover(in, PaperThresholds)
+	if got := Describe(us[0], &in); got != "(exch, exch)" {
+		t.Fatalf("Describe = %q", got)
+	}
+	un := Unit{Kind: UnpairedLeft, Left: 0, Right: -1}
+	if got := Describe(un, &in); got != "(exch, —)" {
+		t.Fatalf("Describe unpaired = %q", got)
+	}
+}
+
+func TestCheckInvariantsDetectsViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		us     []Unit
+		nl, nr int
+	}{
+		{"uncovered token", nil, 1, 0},
+		{"double membership", []Unit{
+			{Kind: Paired, Left: 0, Right: 0},
+			{Kind: UnpairedLeft, Left: 0, Right: -1},
+		}, 1, 1},
+		{"out of range", []Unit{{Kind: Paired, Left: 5, Right: 0}}, 1, 1},
+		{"bad unpaired shape", []Unit{{Kind: UnpairedLeft, Left: 0, Right: 2}}, 1, 1},
+		{"duplicate unpaired", []Unit{
+			{Kind: UnpairedLeft, Left: 0, Right: -1},
+			{Kind: UnpairedLeft, Left: 0, Right: -1},
+		}, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckInvariants(tc.us, tc.nl, tc.nr); err == nil {
+				t.Fatal("expected invariant violation")
+			}
+		})
+	}
+}
+
+func TestUnitString(t *testing.T) {
+	u := Unit{Kind: Paired, Left: 1, Right: 2, Sim: 0.9, Attr: 0, Stage: StageIntraAttr}
+	if s := u.String(); !strings.Contains(s, "paired(L1,R2") {
+		t.Fatalf("String = %q", s)
+	}
+	u = Unit{Kind: UnpairedRight, Left: -1, Right: 3}
+	if s := u.String(); !strings.Contains(s, "unpaired(R3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func BenchmarkDiscover(b *testing.B) {
+	in := buildInput(
+		[]string{"sony digital camera with lens kit dslra200w zoom black", "sony", "37.63"},
+		[]string{"digital camera leather case 5811 black zoom", "nikon", "36.11"},
+		false,
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Discover(in, PaperThresholds)
+	}
+}

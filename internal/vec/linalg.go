@@ -1,0 +1,114 @@
+package vec
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned by Solve when the coefficient matrix is singular
+// (or numerically so) even after ridge regularization.
+var ErrSingular = errors.New("vec: singular matrix")
+
+// Matrix is a dense row-major matrix. The interpretable classifiers (LDA,
+// the ridge surrogate inside the LIME explainer) use it for the small
+// symmetric systems they solve; it is not a general-purpose BLAS.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// AddAt accumulates v into element (i, j).
+func (m *Matrix) AddAt(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// MulVec returns m * x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("vec: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		out[i] = Dot(row, x)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	cp := NewMatrix(m.Rows, m.Cols)
+	copy(cp.Data, m.Data)
+	return cp
+}
+
+// Solve solves the square linear system a*x = b by Gaussian elimination
+// with partial pivoting, adding ridge to the diagonal first. The input
+// matrix is not modified. Classifiers pass a small positive ridge so that
+// near-collinear engineered features (count vs sum over the same scope)
+// stay solvable.
+func Solve(a *Matrix, b []float64, ridge float64) ([]float64, error) {
+	if a.Rows != a.Cols || len(b) != a.Rows {
+		panic("vec: Solve requires a square system")
+	}
+	n := a.Rows
+	m := a.Clone()
+	for i := 0; i < n; i++ {
+		m.AddAt(i, i, ridge)
+	}
+	x := Clone(b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, pmax := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > pmax {
+				pivot, pmax = r, v
+			}
+		}
+		if pmax < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		pv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.AddAt(r, c, -f*m.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}

@@ -1,0 +1,105 @@
+package vec
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes a slice of scalars with the statistical operators the
+// explainable matcher's feature engineering uses (§4.3 of the paper):
+// max, min, count, sum, mean, median and range (max-min).
+type Stats struct {
+	Max, Min, Sum, Mean, Median, Range float64
+	Count                              int
+	// ArgMax and ArgMin are the indices (into the input slice) of the
+	// extreme elements; the inverse feature transformation uses them to
+	// attribute max/min feature coefficients back to a single decision
+	// unit. They are -1 for an empty input.
+	ArgMax, ArgMin int
+}
+
+// Summarize computes Stats over xs. An empty slice yields the zero summary
+// with Count == 0 and ArgMax == ArgMin == -1; the matcher relies on this to
+// featurize records whose attribute contains no decision unit.
+func Summarize(xs []float64) Stats {
+	s := Stats{ArgMax: -1, ArgMin: -1}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Count = len(xs)
+	s.Max = math.Inf(-1)
+	s.Min = math.Inf(1)
+	for i, x := range xs {
+		s.Sum += x
+		if x > s.Max {
+			s.Max, s.ArgMax = x, i
+		}
+		if x < s.Min {
+			s.Min, s.ArgMin = x, i
+		}
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	s.Range = s.Max - s.Min
+	s.Median = Median(xs)
+	return s
+}
+
+// Median returns the median of xs (0 for an empty slice) without modifying
+// the input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := Clone(xs)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs. It
+// returns (0, 0) for an empty slice and a zero deviation for singletons.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return mean, math.Sqrt(v / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when either series is constant or the series are empty.
+func Pearson(xs, ys []float64) float64 {
+	checkLen(xs, ys)
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, sx := MeanStd(xs)
+	my, sy := MeanStd(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+	}
+	cov /= float64(len(xs))
+	r := cov / (sx * sy)
+	if r > 1 {
+		return 1
+	}
+	if r < -1 {
+		return -1
+	}
+	return r
+}

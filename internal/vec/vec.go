@@ -1,0 +1,186 @@
+// Package vec provides the dense vector and small-matrix primitives used
+// throughout the WYM system: embedding arithmetic, cosine similarity, the
+// mean/absolute-difference featurization of decision units, and the linear
+// solves needed by the interpretable classifiers.
+//
+// All functions treat a []float64 as an immutable dense vector unless the
+// name says otherwise (Add mutates its receiver-like first argument, Plus
+// allocates). Dimension mismatches are programmer errors and panic.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of a.
+func Norm(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1]. If either
+// vector has zero norm the similarity is defined as 0; this is the
+// convention the relevance scorer relies on for the [UNP] zero embedding.
+func Cosine(a, b []float64) float64 {
+	checkLen(a, b)
+	var dot, na, nb float64
+	for i, v := range a {
+		dot += v * b[i]
+		na += v * v
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	// Clamp rounding noise so callers can rely on the [-1, 1] contract.
+	if c > 1 {
+		return 1
+	}
+	if c < -1 {
+		return -1
+	}
+	return c
+}
+
+// Add accumulates b into a in place.
+func Add(a, b []float64) {
+	checkLen(a, b)
+	for i, v := range b {
+		a[i] += v
+	}
+}
+
+// Plus returns a new vector equal to a + b.
+func Plus(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = v + b[i]
+	}
+	return out
+}
+
+// Sub returns a new vector equal to a - b.
+func Sub(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = v - b[i]
+	}
+	return out
+}
+
+// Scale multiplies a by s in place.
+func Scale(a []float64, s float64) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// Scaled returns a new vector equal to s*a.
+func Scaled(a []float64, s float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = s * v
+	}
+	return out
+}
+
+// AXPY computes a += s*b in place.
+func AXPY(a []float64, s float64, b []float64) {
+	checkLen(a, b)
+	for i, v := range b {
+		a[i] += s * v
+	}
+}
+
+// Mean returns the element-wise mean of a and b. Decision units use this as
+// the symmetric half of their feature representation (challenge R3).
+func Mean(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = (v + b[i]) / 2
+	}
+	return out
+}
+
+// AbsDiff returns the element-wise absolute difference |a-b|, the second,
+// order-invariant half of the decision-unit representation.
+func AbsDiff(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = math.Abs(v - b[i])
+	}
+	return out
+}
+
+// Normalize scales a to unit L2 norm in place and returns it. Zero vectors
+// are returned unchanged.
+func Normalize(a []float64) []float64 {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	Scale(a, 1/n)
+	return a
+}
+
+// Zeros returns a zero vector of dimension n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...[]float64) []float64 {
+	var n int
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make([]float64, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// MeanOf returns the element-wise mean of a non-empty set of equal-length
+// vectors. It returns nil for an empty set.
+func MeanOf(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		Add(out, v)
+	}
+	Scale(out, 1/float64(len(vs)))
+	return out
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", len(a), len(b)))
+	}
+}

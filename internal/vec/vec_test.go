@@ -1,0 +1,319 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float64{3, 4}); !almostEq(got, 5) {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Fatalf("Norm(nil) = %v, want 0", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2}, []float64{1, 2}, 1},
+		{"opposite", []float64{1, 0}, []float64{-1, 0}, -1},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"zero left", []float64{0, 0}, []float64{1, 2}, 0},
+		{"zero right", []float64{1, 2}, []float64{0, 0}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Cosine(tc.a, tc.b); !almostEq(got, tc.want) {
+				t.Fatalf("Cosine = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// squash maps quick's unbounded float64 samples into [-1, 1]; embedding
+// coordinates and relevance scores in WYM live in that range.
+func squash(a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = math.Tanh(v)
+	}
+	return out
+}
+
+func TestCosineBoundsProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		c := Cosine(squash(a[:]), squash(b[:]))
+		return c >= -1 && c <= 1 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSymmetryProperty(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		x, y := squash(a[:]), squash(b[:])
+		return almostEq(Cosine(x, y), Cosine(y, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAbsDiffSymmetry(t *testing.T) {
+	// The decision-unit representation (mean ⊕ |diff|) must be invariant
+	// to swapping left and right tokens — challenge R3 in the paper.
+	f := func(a, b [6]float64) bool {
+		x, y := squash(a[:]), squash(b[:])
+		m1, m2 := Mean(x, y), Mean(y, x)
+		d1, d2 := AbsDiff(x, y), AbsDiff(y, x)
+		for i := range m1 {
+			if !almostEq(m1[i], m2[i]) || !almostEq(d1[i], d2[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := []float64{1, 2}
+	Add(a, []float64{3, 4})
+	if a[0] != 4 || a[1] != 6 {
+		t.Fatalf("Add in place = %v", a)
+	}
+	s := Sub([]float64{4, 6}, []float64{1, 2})
+	if s[0] != 3 || s[1] != 4 {
+		t.Fatalf("Sub = %v", s)
+	}
+	Scale(s, 2)
+	if s[0] != 6 || s[1] != 8 {
+		t.Fatalf("Scale = %v", s)
+	}
+	p := Plus([]float64{1, 1}, []float64{2, 3})
+	if p[0] != 3 || p[1] != 4 {
+		t.Fatalf("Plus = %v", p)
+	}
+	sc := Scaled([]float64{1, 2}, 3)
+	if sc[0] != 3 || sc[1] != 6 {
+		t.Fatalf("Scaled = %v", sc)
+	}
+	ax := []float64{1, 1}
+	AXPY(ax, 2, []float64{1, 2})
+	if ax[0] != 3 || ax[1] != 5 {
+		t.Fatalf("AXPY = %v", ax)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Normalize([]float64{3, 4})
+	if !almostEq(Norm(v), 1) {
+		t.Fatalf("Normalize norm = %v, want 1", Norm(v))
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Normalize zero vector changed: %v", z)
+	}
+}
+
+func TestConcatAndClone(t *testing.T) {
+	c := Concat([]float64{1}, []float64{2, 3}, nil)
+	if len(c) != 3 || c[2] != 3 {
+		t.Fatalf("Concat = %v", c)
+	}
+	orig := []float64{1, 2}
+	cp := Clone(orig)
+	cp[0] = 9
+	if orig[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != nil {
+		t.Fatal("MeanOf(nil) should be nil")
+	}
+	m := MeanOf([][]float64{{1, 2}, {3, 4}})
+	if !almostEq(m[0], 2) || !almostEq(m[1], 3) {
+		t.Fatalf("MeanOf = %v", m)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, -1, 2})
+	if s.Max != 3 || s.Min != -1 || s.Count != 3 || !almostEq(s.Sum, 4) {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.ArgMax != 0 || s.ArgMin != 1 {
+		t.Fatalf("arg extrema = %d, %d", s.ArgMax, s.ArgMin)
+	}
+	if !almostEq(s.Median, 2) || !almostEq(s.Range, 4) {
+		t.Fatalf("median/range = %v/%v", s.Median, s.Range)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.ArgMax != -1 || s.ArgMin != -1 || s.Max != 0 {
+		t.Fatalf("empty Summarize = %+v", s)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{4, 1, 3, 2}); !almostEq(got, 2.5) {
+		t.Fatalf("even Median = %v", got)
+	}
+	in := []float64{9, 1, 5}
+	if got := Median(in); !almostEq(got, 5) {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if in[0] != 9 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(m, 5) || !almostEq(s, 2) {
+		t.Fatalf("MeanStd = %v, %v", m, s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("MeanStd(nil) should be zero")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, []float64{2, 4, 6, 8}); !almostEq(got, 1) {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	if got := Pearson(x, []float64{8, 6, 4, 2}); !almostEq(got, -1) {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant series correlation = %v", got)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(a, b [10]float64) bool {
+		r := Pearson(squash(a[:]), squash(b[:]))
+		return r >= -1 && r <= 1 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	x, err := Solve(a, []float64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if !almostEq(x[i], want) {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonally dominate to keep the system well conditioned.
+		for i := 0; i < n; i++ {
+			a.AddAt(i, i, float64(n)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	if _, err := Solve(a, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+	// With ridge the same system becomes solvable.
+	if _, err := Solve(a, []float64{1, 2}, 0.1); err != nil {
+		t.Fatalf("ridge solve failed: %v", err)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	b := []float64{4, 9}
+	if _, err := Solve(a, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || a.At(1, 1) != 3 || b[0] != 4 || b[1] != 9 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*3+j+1))
+		}
+	}
+	got := m.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}

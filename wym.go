@@ -1,0 +1,244 @@
+// Package wym is an intrinsically interpretable entity-matching system, a
+// Go reproduction of "An Intrinsically Interpretable Entity Matching
+// System" (Baraldi et al., EDBT 2023).
+//
+// WYM (Why do You Match?) decides whether two entity descriptions refer to
+// the same real-world entity and explains each decision through *decision
+// units*: pairs of semantically similar tokens drawn from the two
+// descriptions, or single tokens with no counterpart. Every unit carries a
+// relevance score (its isolated pull toward match or non-match) and an
+// impact score (its contribution to the actual decision); positive impacts
+// push toward match, negative toward non-match.
+//
+// Quick start:
+//
+//	train, valid, test := dataset.Split(0.6, 0.2, 1)
+//	sys, err := wym.Train(train, valid, wym.DefaultConfig())
+//	if err != nil { ... }
+//	label, proba := sys.Predict(test.Pairs[0])
+//	explanation := sys.Explain(test.Pairs[0])
+//	for _, u := range explanation.Units {
+//		fmt.Printf("(%s, %s) impact %+.3f\n", u.Left, u.Right, u.Impact)
+//	}
+//
+// The architecture follows the paper's template: a decision-unit generator
+// (BERT-substitute embeddings + relaxed stable marriage, Algorithm 1), a
+// relevance scorer (feed-forward network over symmetric unit features,
+// Equations 2-3), and an explainable matcher (statistical feature
+// engineering + a pool of ten interpretable classifiers with an invertible
+// coefficient-to-impact transformation). See DESIGN.md for the full system
+// inventory and the substitutions made for the offline Go build.
+package wym
+
+import (
+	"wym/internal/blocking"
+	"wym/internal/core"
+	"wym/internal/data"
+	"wym/internal/datagen"
+	"wym/internal/explain"
+	"wym/internal/rules"
+	"wym/internal/units"
+)
+
+// Core types, re-exported from the implementation packages. The aliases
+// keep a single source of truth while giving downstream users a flat API.
+type (
+	// System is a fitted WYM matcher.
+	System = core.System
+	// Config assembles a WYM variant; start from DefaultConfig.
+	Config = core.Config
+	// Explanation is the interpretable output for one record pair.
+	Explanation = core.Explanation
+	// UnitExplanation is one decision unit with its scores.
+	UnitExplanation = core.UnitExplanation
+	// Timing is the training-pipeline breakdown.
+	Timing = core.Timing
+
+	// Dataset is a named collection of labeled record pairs.
+	Dataset = data.Dataset
+	// Pair is one EM record: two entity descriptions and a label.
+	Pair = data.Pair
+	// Entity is one entity description (one value per schema attribute).
+	Entity = data.Entity
+	// Schema is the ordered attribute names shared by both descriptions.
+	Schema = data.Schema
+
+	// Thresholds are the θ/η/ε similarity thresholds of Algorithm 1.
+	Thresholds = units.Thresholds
+
+	// DatasetProfile describes a synthetic benchmark dataset.
+	DatasetProfile = datagen.Profile
+)
+
+// Label values.
+const (
+	NonMatch = data.NonMatch
+	Match    = data.Match
+)
+
+// Embedding variants for Config.Embedding (Table 4 of the paper).
+const (
+	EmbeddingSBERT          = core.SBERT
+	EmbeddingBERTPretrained = core.BERTPretrained
+	EmbeddingBERTFinetuned  = core.BERTFinetuned
+	EmbeddingJaroWinkler    = core.JaroWinkler
+)
+
+// Scorer variants for Config.Scorer.
+const (
+	RelevanceScorerNN     = core.ScorerNN
+	RelevanceScorerBinary = core.ScorerBinary
+	RelevanceScorerCosine = core.ScorerCosine
+)
+
+// Feature-space variants for Config.Features.
+const (
+	FeaturesFull       = core.FeaturesFull
+	FeaturesSimplified = core.FeaturesSimplified
+)
+
+// PaperThresholds are the values used in the paper's experiments:
+// θ = 0.6, η = 0.65, ε = 0.7.
+var PaperThresholds = units.PaperThresholds
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Train fits the full WYM pipeline on the training split, selecting the
+// explainable classifier by F1 on the validation split.
+func Train(train, valid *Dataset, cfg Config) (*System, error) {
+	return core.Train(train, valid, cfg)
+}
+
+// LoadDataset reads a dataset from a Magellan-style CSV file
+// (label, left_*, right_* columns).
+func LoadDataset(path string) (*Dataset, error) { return data.LoadFile(path) }
+
+// SaveDataset writes a dataset as CSV.
+func SaveDataset(path string, d *Dataset) error { return data.SaveFile(path, d) }
+
+// BenchmarkProfiles returns the 12 synthetic dataset profiles mirroring
+// the paper's Magellan benchmark (Table 2).
+func BenchmarkProfiles() []DatasetProfile { return datagen.Benchmark() }
+
+// GenerateDataset materializes a benchmark profile at the given scale
+// (1.0 = the paper's Table-2 sizes).
+func GenerateDataset(p DatasetProfile, scale float64) *Dataset {
+	return datagen.Generate(p, scale)
+}
+
+// DatasetByKey generates one benchmark dataset by key (e.g. "S-AG").
+// It returns false when the key is unknown.
+func DatasetByKey(key string, scale float64) (*Dataset, bool) {
+	p, ok := datagen.ProfileByKey(key)
+	if !ok {
+		return nil, false
+	}
+	return datagen.Generate(p, scale), true
+}
+
+// Attribution is one token's weight in a post-hoc explanation (positive
+// pushes toward match). See ExplainLIME.
+type Attribution = explain.Attribution
+
+// ExplainLIME computes a post-hoc LIME explanation of an arbitrary matcher
+// probability function on one record pair, for comparison against WYM's
+// intrinsic impact scores (§5.2 of the paper). samples controls the number
+// of perturbations (100 is a reasonable default).
+func ExplainLIME(proba func(Pair) float64, p Pair, samples int, seed int64) []Attribution {
+	cfg := explain.DefaultConfig()
+	if samples > 0 {
+		cfg.Samples = samples
+	}
+	cfg.Seed = seed
+	return explain.LIME(explain.ProbaFunc(proba), p, cfg)
+}
+
+// Rule engine: the paper's future-work extension — external knowledge as
+// rules over decision units (§6). Rules inspect a record's explanation and
+// may override the model's decision with a documented reason.
+type (
+	// Rule evaluates one explained record; see the built-in rules.
+	Rule = rules.Rule
+	// RuleEngine applies rules in order; the first firing rule wins.
+	RuleEngine = rules.Engine
+	// RuleDecision is the engine's final, possibly overridden decision.
+	RuleDecision = rules.Decision
+
+	// CodeConflictRule forces non-match on disagreeing product codes.
+	CodeConflictRule = rules.CodeConflict
+	// CodeAgreementRule forces match on shared codes when the model is
+	// undecided.
+	CodeAgreementRule = rules.CodeAgreement
+	// AttributeMismatchRule forces non-match when a key attribute pairs
+	// no tokens.
+	AttributeMismatchRule = rules.AttributeMismatch
+	// MinPairedRatioRule forces non-match below a paired-unit ratio.
+	MinPairedRatioRule = rules.MinPairedRatio
+)
+
+// NewRuleEngine builds an engine over the given rules.
+func NewRuleEngine(rs ...Rule) *RuleEngine { return rules.NewEngine(rs...) }
+
+// PredictWithRules explains the pair, applies the rule engine, and returns
+// the final decision together with the explanation that produced it.
+func PredictWithRules(sys *System, engine *RuleEngine, p Pair) (RuleDecision, Explanation) {
+	ex := sys.Explain(p)
+	return engine.Apply(p, ex), ex
+}
+
+// Blocking: candidate generation for table-scale matching. The benchmark
+// ships pre-paired records, but deployments must first cut the cross
+// product of two entity tables down to candidate pairs.
+type (
+	// BlockingConfig tunes the token-based blocker.
+	BlockingConfig = blocking.Config
+	// BlockingCandidate is one generated candidate pair.
+	BlockingCandidate = blocking.Candidate
+	// BlockingStats summarizes a blocking run.
+	BlockingStats = blocking.Stats
+)
+
+// DefaultBlockingConfig returns practical blocker defaults.
+func DefaultBlockingConfig() BlockingConfig { return blocking.DefaultConfig() }
+
+// BlockCandidates blocks two entity tables (each a slice of entities over
+// the same schema) and returns candidate pairs.
+func BlockCandidates(left, right []Entity, cfg BlockingConfig) []BlockingCandidate {
+	return blocking.Candidates(left, right, cfg)
+}
+
+// BlockPairs materializes candidates as unlabeled record pairs ready for
+// System.Predict.
+func BlockPairs(left, right []Entity, cands []BlockingCandidate) []Pair {
+	return blocking.Pairs(left, right, cands)
+}
+
+// BlockingSummary computes the comparison-reduction statistics of a run.
+func BlockingSummary(left, right []Entity, cands []BlockingCandidate) BlockingStats {
+	return blocking.Summarize(left, right, cands)
+}
+
+// LoadSystem restores a fitted system saved with System.SaveFile. Train
+// once, serve from many processes:
+//
+//	sys.SaveFile("matcher.gob")
+//	sys, err := wym.LoadSystem("matcher.gob")
+func LoadSystem(path string) (*System, error) { return core.LoadFile(path) }
+
+// TuneResult is one grid point of a threshold sweep; see TuneThresholds.
+type TuneResult = core.TuneResult
+
+// TuneThresholds trains one system per θ/η/ε triple (core's default grid
+// when grid is nil) and returns the system with the best validation F1
+// together with the full sweep — the paper's "experimentally determined
+// thresholds" automated.
+func TuneThresholds(train, valid *Dataset, cfg Config, grid []Thresholds) (*System, []TuneResult, error) {
+	return core.TuneThresholds(train, valid, cfg, grid)
+}
+
+// AttributeImpact aggregates an explanation's unit impacts per schema
+// attribute, giving the CERTA-style attribute-level view.
+func AttributeImpact(schema Schema, ex Explanation) []float64 {
+	return core.AttributeImpact(schema, ex)
+}

@@ -1,0 +1,164 @@
+package wym
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"wym/internal/nn"
+	"wym/internal/relevance"
+)
+
+// testConfig shrinks the scorer network so the public-API tests run fast.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ScorerNN = relevance.NNConfig{
+		Hidden: []int{32, 16},
+		Train:  nn.Config{Epochs: 15, BatchSize: 64, LR: 1e-3, Seed: 1},
+		Seed:   1,
+	}
+	cfg.MaxFineTunePairs = 200
+	return cfg
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d, ok := DatasetByKey("S-FZ", 1.0)
+	if !ok {
+		t.Fatal("S-FZ profile missing")
+	}
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := Train(train, valid, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var correct int
+	for _, p := range test.Pairs {
+		label, proba := sys.Predict(p)
+		if proba < 0 || proba > 1 || math.IsNaN(proba) {
+			t.Fatalf("proba = %v", proba)
+		}
+		if label == p.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Size()); acc < 0.9 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	ex := sys.Explain(test.Pairs[0])
+	if len(ex.Units) == 0 {
+		t.Fatal("empty explanation")
+	}
+}
+
+func TestBenchmarkProfiles(t *testing.T) {
+	profiles := BenchmarkProfiles()
+	if len(profiles) != 12 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	if _, ok := DatasetByKey("NOPE", 1.0); ok {
+		t.Fatal("unknown key should fail")
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d, _ := DatasetByKey("S-BR", 1.0)
+	path := filepath.Join(t.TempDir(), "beer.csv")
+	if err := SaveDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != d.Size() || got.MatchRate() != d.MatchRate() {
+		t.Fatalf("round trip changed the dataset: %d/%v vs %d/%v",
+			got.Size(), got.MatchRate(), d.Size(), d.MatchRate())
+	}
+}
+
+func TestPaperThresholds(t *testing.T) {
+	if PaperThresholds.Theta != 0.6 || PaperThresholds.Eta != 0.65 || PaperThresholds.Epsilon != 0.7 {
+		t.Fatalf("paper thresholds = %+v", PaperThresholds)
+	}
+}
+
+func TestPublicBlockingAPI(t *testing.T) {
+	left := []Entity{{"camera md0001", "sony"}, {"laptop md0002", "dell"}}
+	right := []Entity{{"camera pro md0001", "sony"}, {"printer md0009", "hp"}}
+	cfg := DefaultBlockingConfig()
+	cfg.MaxDF = 1.0
+	cands := BlockCandidates(left, right, cfg)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	pairs := BlockPairs(left, right, cands)
+	if len(pairs) != len(cands) {
+		t.Fatalf("pairs = %d, cands = %d", len(pairs), len(cands))
+	}
+	stats := BlockingSummary(left, right, cands)
+	if stats.Candidates != len(cands) || stats.LeftSize != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPublicRulesAPI(t *testing.T) {
+	d, _ := DatasetByKey("S-FZ", 1.0)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := Train(train, valid, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewRuleEngine(CodeConflictRule{}, MinPairedRatioRule{Ratio: 0.1})
+	for _, p := range test.Pairs[:10] {
+		decision, ex := PredictWithRules(sys, engine, p)
+		if decision.Proba != ex.Proba {
+			t.Fatal("decision lost the model probability")
+		}
+		if decision.Overridden && decision.Reason == "" {
+			t.Fatal("override without reason")
+		}
+	}
+}
+
+func TestPublicLIMEAPI(t *testing.T) {
+	d, _ := DatasetByKey("S-FZ", 1.0)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := Train(train, valid, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proba := func(p Pair) float64 { _, pr := sys.Predict(p); return pr }
+	attribs := ExplainLIME(proba, test.Pairs[0], 40, 1)
+	if len(attribs) == 0 {
+		t.Fatal("no attributions")
+	}
+	for _, a := range attribs {
+		if a.Text == "" {
+			t.Fatalf("empty token in attribution: %+v", a)
+		}
+	}
+}
+
+func TestSystemPersistenceViaPublicAPI(t *testing.T) {
+	d, _ := DatasetByKey("S-BR", 1.0)
+	train, valid, test := d.Split(0.6, 0.2, 1)
+	sys, err := Train(train, valid, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSystem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range test.Pairs {
+		l1, _ := sys.Predict(p)
+		l2, _ := loaded.Predict(p)
+		if l1 != l2 {
+			t.Fatal("loaded system diverged")
+		}
+	}
+}
