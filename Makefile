@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet test race bench bench-json
+
+## check: the pre-merge gate — vet, build, race-enabled tests, short benchmarks.
+check: vet build race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# cmd/wym alone needs ~10 min under the race detector on one core.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+## bench: short benchmark pass over the hot-path packages (sanity, not a
+## baseline — use bench-json for comparable numbers).
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=10x \
+		./internal/units ./internal/embed ./internal/assignment ./internal/nn
+
+## bench-json: regenerate the perf snapshot (see BENCH_baseline.json).
+bench-json:
+	$(GO) run ./cmd/benchmark -bench-json BENCH_baseline.json

@@ -8,6 +8,7 @@
 package wym
 
 import (
+	"sync"
 	"testing"
 
 	"wym/internal/eval"
@@ -192,15 +193,38 @@ func BenchmarkSection54_UserStudy(b *testing.B) {
 	b.ReportMetric(kappa, "fleiss-kappa")
 }
 
+// benchSystem trains one full-size S-FZ system shared by the hot-path
+// benchmarks below (training once keeps `go test -bench` runs fast).
+func benchSystem(b *testing.B) (*System, *Dataset) {
+	b.Helper()
+	benchOnce.Do(func() {
+		d, _ := DatasetByKey("S-FZ", 1.0)
+		train, valid, test := d.Split(0.6, 0.2, 1)
+		sys, err := Train(train, valid, DefaultConfig())
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchSys, benchTest = sys, test
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSys, benchTest
+}
+
+var (
+	benchOnce sync.Once
+	benchSys  *System
+	benchTest *Dataset
+	benchErr  error
+)
+
 // BenchmarkPredict measures single-record prediction latency on a trained
 // system — the deployment-relevant number behind §5.3.
 func BenchmarkPredict(b *testing.B) {
-	d, _ := DatasetByKey("S-FZ", 1.0)
-	train, valid, test := d.Split(0.6, 0.2, 1)
-	sys, err := Train(train, valid, DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
+	sys, test := benchSystem(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Predict(test.Pairs[i%test.Size()])
@@ -209,15 +233,23 @@ func BenchmarkPredict(b *testing.B) {
 
 // BenchmarkExplain measures single-record explanation latency.
 func BenchmarkExplain(b *testing.B) {
-	d, _ := DatasetByKey("S-FZ", 1.0)
-	train, valid, test := d.Split(0.6, 0.2, 1)
-	sys, err := Train(train, valid, DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
+	sys, test := benchSystem(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Explain(test.Pairs[i%test.Size()])
+	}
+}
+
+// BenchmarkProcessAll measures batch decision-unit generation over the test
+// split — the path that dominates training (§5.3) and bulk inference. The
+// committed BENCH_baseline.json tracks its trajectory across PRs.
+func BenchmarkProcessAll(b *testing.B) {
+	sys, test := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ProcessAll(test)
 	}
 }
 

@@ -8,6 +8,13 @@
 //
 // Experiments: table2, figure4, table3, figure5, table4, table5, figure6,
 // figure7, figure8, figure9, timing (§5.3), userstudy (§5.4), or all.
+//
+// The -bench-json flag switches to the performance-snapshot mode instead:
+//
+//	benchmark -bench-json BENCH_baseline.json
+//
+// which times the hot pipeline paths and writes machine-readable metrics
+// (see perf.go and the Performance section of README.md).
 package main
 
 import (
@@ -26,8 +33,29 @@ func main() {
 		datasets   = flag.String("datasets", "", "comma-separated dataset keys (default: all 12)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		sample     = flag.Int("sample", 100, "records sampled for the per-record experiments")
+		benchJSON  = flag.String("bench-json", "", "write a perf snapshot to this path (\"-\" = stdout) instead of running experiments")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		ds := "S-FZ"
+		if *datasets != "" {
+			ds = strings.Split(*datasets, ",")[0]
+		}
+		// The experiments default to a 0.05 scale; the perf snapshot wants
+		// full-size records unless the user asked for a specific scale.
+		benchScale := 1.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				benchScale = *scale
+			}
+		})
+		if err := runBenchJSON(*benchJSON, ds, benchScale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.RunConfig{Scale: *scale, Seed: *seed, SampleRecords: *sample}
 	if *datasets != "" {

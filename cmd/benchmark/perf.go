@@ -1,0 +1,164 @@
+package main
+
+// perf.go implements the -bench-json mode: a machine-readable performance
+// snapshot of the hot pipeline paths (tokenize→embed→Discover→score). The
+// committed BENCH_baseline.json at the repo root is generated with
+//
+//	go run ./cmd/benchmark -bench-json BENCH_baseline.json
+//
+// so future performance work has a fixed reference point. Each entry is a
+// standard testing.Benchmark result (ns/op, allocs/op, B/op); regenerate on
+// the same machine as the baseline when comparing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"wym"
+	"wym/internal/embed"
+	"wym/internal/tokenize"
+	"wym/internal/units"
+)
+
+// benchResult is one benchmark's metrics.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// perfSnapshot is the on-disk shape of a -bench-json run.
+type perfSnapshot struct {
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Dataset    string                 `json:"dataset"`
+	Scale      float64                `json:"scale"`
+	Seed       int64                  `json:"seed"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// runBenchJSON trains one system on the named benchmark dataset and times
+// the deployment-relevant paths: batch unit generation (ProcessAll), single
+// record prediction and explanation, plus the Contextualize and Discover
+// micro-paths that dominate them.
+func runBenchJSON(path, dataset string, scale float64, seed int64) error {
+	if dataset == "" {
+		dataset = "S-FZ"
+	}
+	d, ok := wym.DatasetByKey(dataset, scale)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	train, valid, test := d.Split(0.6, 0.2, seed)
+	sys, err := wym.Train(train, valid, wym.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	snap := perfSnapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    dataset,
+		Scale:      scale,
+		Seed:       seed,
+		Benchmarks: map[string]benchResult{},
+	}
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		snap.Benchmarks[name] = benchResult{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	record("ProcessAll", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.ProcessAll(test)
+		}
+	})
+	record("Predict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.Predict(test.Pairs[i%test.Size()])
+		}
+	})
+	record("Explain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.Explain(test.Pairs[i%test.Size()])
+		}
+	})
+
+	// Micro-paths, on a self-contained embedding stack so the numbers do
+	// not depend on the trained system's internals.
+	var corpus [][]string
+	for _, p := range train.Pairs {
+		corpus = append(corpus,
+			tokenize.Texts(tokenize.Entity(p.Left, tokenize.Default)),
+			tokenize.Texts(tokenize.Entity(p.Right, tokenize.Default)))
+	}
+	src := embed.NewCache(embed.NewConcat(embed.NewHash(), embed.TrainCooc(corpus, embed.DefaultCoocConfig())))
+	pair := widestPair(test)
+	lt := tokenize.Entity(pair.Left, tokenize.Default)
+	rt := tokenize.Entity(pair.Right, tokenize.Default)
+	ltexts, rtexts := tokenize.Texts(lt), tokenize.Texts(rt)
+
+	record("Contextualize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			embed.Contextualize(src, ltexts, 0.15)
+		}
+	})
+	in := units.Input{
+		Left: lt, Right: rt,
+		LeftVecs:  embed.Contextualize(src, ltexts, 0.15),
+		RightVecs: embed.Contextualize(src, rtexts, 0.15),
+		NumAttrs:  len(d.Schema),
+	}
+	record("Discover", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			units.Discover(in, units.PaperThresholds)
+		}
+	})
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s, scale %g, %d benchmarks)\n", path, dataset, scale, len(snap.Benchmarks))
+	return nil
+}
+
+// widestPair returns the record pair with the most tokens, the
+// representative load for the per-record micro benchmarks.
+func widestPair(d *wym.Dataset) wym.Pair {
+	best, bestN := d.Pairs[0], -1
+	for _, p := range d.Pairs {
+		n := len(tokenize.Entity(p.Left, tokenize.Default)) +
+			len(tokenize.Entity(p.Right, tokenize.Default))
+		if n > bestN {
+			best, bestN = p, n
+		}
+	}
+	return best
+}

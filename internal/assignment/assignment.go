@@ -10,7 +10,7 @@
 // the thresholded preference lists.
 package assignment
 
-import "sort"
+import "sync"
 
 // Pair is one match in the output: X indexes the proposer side, Y the
 // reviewer side, and Sim is their similarity.
@@ -19,11 +19,56 @@ type Pair struct {
 	Sim  float64
 }
 
+// MatrixSim adapts a flat row-major nx×ny similarity matrix (mat[x*ny+y]
+// is sim(x, y)) to Match's sim signature. Precomputing the matrix once and
+// serving every Match call from it is the hot-path pattern of the
+// decision-unit generator.
+func MatrixSim(mat []float64, ny int) func(x, y int) float64 {
+	return func(x, y int) float64 { return mat[x*ny+y] }
+}
+
+// SubMatrixSim is MatrixSim restricted to a subset of each side: xs and ys
+// map the proposer/reviewer indices of one Match call onto the rows and
+// columns of the full matrix. Algorithm 1's staged search spaces are such
+// subsets of one record-wide matrix.
+func SubMatrixSim(mat []float64, ny int, xs, ys []int) func(x, y int) float64 {
+	return func(x, y int) float64 { return mat[xs[x]*ny+ys[y]] }
+}
+
+// cand is one entry of a proposer's preference list.
+type cand struct {
+	y int
+	s float64
+}
+
+// matchScratch holds the per-call working memory of Match. The matcher
+// runs four-plus times per record on the hot path, so the slices are
+// pooled; everything here is dead once Match returns.
+type matchScratch struct {
+	cands     []cand // one arena, sub-sliced per proposer
+	prefStart []int  // nx+1 offsets into cands
+	next      []int
+	engagedTo []int
+	free      []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(matchScratch) }}
+
+// grow returns s[:n], reallocating only when the capacity is short.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Match finds a stable one-to-one matching between a proposer side of size
 // nx and a reviewer side of size ny. sim(x, y) must be a deterministic
-// similarity; only pairs with sim >= threshold are eligible. Ties are
-// broken by the lower index on both sides, which makes the result
-// deterministic. The returned pairs are sorted by (X, Y).
+// similarity — it may be called more than once per pair, so expensive
+// similarities should be precomputed (see MatrixSim); only pairs with
+// sim >= threshold are eligible. Ties are broken by the lower index on
+// both sides, which makes the result deterministic. The returned pairs are
+// sorted by (X, Y).
 //
 // Complexity is O(nx*ny*log(ny)) for preference-list construction plus the
 // classic O(nx*ny) proposal loop — the footnote-3 quadratic bound.
@@ -31,51 +76,58 @@ func Match(nx, ny int, sim func(x, y int) float64, threshold float64) []Pair {
 	if nx == 0 || ny == 0 {
 		return nil
 	}
+	sc := scratchPool.Get().(*matchScratch)
+	defer scratchPool.Put(sc)
+
 	// Build each proposer's preference list: eligible reviewers in
-	// descending similarity, index-ascending on ties.
-	type cand struct {
-		y int
-		s float64
-	}
-	prefs := make([][]cand, nx)
-	simTo := make([][]float64, nx) // cache sim values for the accept step
+	// descending similarity, index-ascending on ties. The lists live in
+	// one shared arena; prefStart[x] .. prefStart[x+1] delimits x's list.
+	// Lists are short (thresholding prunes most candidates), so an
+	// insertion sort beats the generic sorts and allocates nothing.
+	sc.cands = sc.cands[:0]
+	sc.prefStart = grow(sc.prefStart, nx+1)
 	for x := 0; x < nx; x++ {
-		row := make([]float64, ny)
-		var list []cand
+		sc.prefStart[x] = len(sc.cands)
+		start := len(sc.cands)
 		for y := 0; y < ny; y++ {
 			s := sim(x, y)
-			row[y] = s
-			if s >= threshold {
-				list = append(list, cand{y, s})
+			if s < threshold {
+				continue
+			}
+			// Insert into the sorted tail: descending s, ascending y.
+			sc.cands = append(sc.cands, cand{y, s})
+			for i := len(sc.cands) - 1; i > start; i-- {
+				p := &sc.cands[i-1]
+				if p.s > s || (p.s == s && p.y < y) {
+					break
+				}
+				sc.cands[i], sc.cands[i-1] = *p, cand{y, s}
 			}
 		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].s != list[j].s {
-				return list[i].s > list[j].s
-			}
-			return list[i].y < list[j].y
-		})
-		prefs[x] = list
-		simTo[x] = row
 	}
+	sc.prefStart[nx] = len(sc.cands)
 
 	// Deferred acceptance. next[x] is the position in x's preference list
 	// of the next reviewer to propose to; engagedTo[y] is the proposer
 	// currently holding y (-1 if free).
-	next := make([]int, nx)
-	engagedTo := make([]int, ny)
+	next := grow(sc.next, nx)
+	for x := range next {
+		next[x] = sc.prefStart[x]
+	}
+	engagedTo := grow(sc.engagedTo, ny)
 	for y := range engagedTo {
 		engagedTo[y] = -1
 	}
-	free := make([]int, 0, nx)
-	for x := nx - 1; x >= 0; x-- {
-		free = append(free, x) // stack: lowest index proposes first
+	free := grow(sc.free, nx)
+	for x := 0; x < nx; x++ {
+		free[nx-1-x] = x // stack: lowest index proposes first
 	}
+	sc.next, sc.engagedTo, sc.free = next, engagedTo, free
 	for len(free) > 0 {
 		x := free[len(free)-1]
 		free = free[:len(free)-1]
-		for next[x] < len(prefs[x]) {
-			c := prefs[x][next[x]]
+		for next[x] < sc.prefStart[x+1] {
+			c := sc.cands[next[x]]
 			next[x]++
 			cur := engagedTo[c.y]
 			if cur == -1 {
@@ -85,7 +137,7 @@ func Match(nx, ny int, sim func(x, y int) float64, threshold float64) []Pair {
 			}
 			// The reviewer keeps the more similar proposer; on a tie the
 			// lower index wins, matching the preference-list tiebreak.
-			curSim := simTo[cur][c.y]
+			curSim := sim(cur, c.y)
 			if c.s > curSim || (c.s == curSim && x < cur) {
 				engagedTo[c.y] = x
 				free = append(free, cur)
@@ -96,18 +148,26 @@ func Match(nx, ny int, sim func(x, y int) float64, threshold float64) []Pair {
 		_ = x // x exhausted its list: it stays unmatched
 	}
 
-	var out []Pair
-	for y, x := range engagedTo {
+	// Emit sorted by (X, Y) without a post-sort: engagedTo maps each
+	// reviewer to at most one proposer, so collecting per proposer in
+	// index order — reviewers ascending within — is already the order.
+	n := 0
+	for _, x := range engagedTo {
 		if x >= 0 {
-			out = append(out, Pair{X: x, Y: y, Sim: simTo[x][y]})
+			n++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].X != out[j].X {
-			return out[i].X < out[j].X
+	if n == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, n)
+	for x := 0; x < nx && len(out) < n; x++ {
+		for _, c := range sc.cands[sc.prefStart[x]:sc.prefStart[x+1]] {
+			if engagedTo[c.y] == x {
+				out = append(out, Pair{X: x, Y: c.y, Sim: c.s})
+			}
 		}
-		return out[i].Y < out[j].Y
-	})
+	}
 	return out
 }
 

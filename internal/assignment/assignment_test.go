@@ -181,6 +181,98 @@ func randomSim(rng *rand.Rand, nx, ny int) [][]float64 {
 	return m
 }
 
+// flatten converts a [][]float64 similarity table to the row-major layout
+// MatrixSim expects.
+func flatten(m [][]float64) ([]float64, int) {
+	if len(m) == 0 {
+		return nil, 0
+	}
+	ny := len(m[0])
+	flat := make([]float64, 0, len(m)*ny)
+	for _, row := range m {
+		flat = append(flat, row...)
+	}
+	return flat, ny
+}
+
+func TestMatrixSimReadsRowMajor(t *testing.T) {
+	m := [][]float64{
+		{0.1, 0.2, 0.3},
+		{0.4, 0.5, 0.6},
+	}
+	flat, ny := flatten(m)
+	sim := MatrixSim(flat, ny)
+	for x := range m {
+		for y := range m[x] {
+			if sim(x, y) != m[x][y] {
+				t.Fatalf("sim(%d,%d) = %v, want %v", x, y, sim(x, y), m[x][y])
+			}
+		}
+	}
+}
+
+func TestSubMatrixSimRestrictsIndices(t *testing.T) {
+	m := [][]float64{
+		{0.1, 0.2, 0.3},
+		{0.4, 0.5, 0.6},
+		{0.7, 0.8, 0.9},
+	}
+	flat, ny := flatten(m)
+	xs, ys := []int{2, 0}, []int{1}
+	sim := SubMatrixSim(flat, ny, xs, ys)
+	if got := sim(0, 0); got != 0.8 {
+		t.Fatalf("sim(0,0) = %v, want 0.8 (row 2, col 1)", got)
+	}
+	if got := sim(1, 0); got != 0.2 {
+		t.Fatalf("sim(1,0) = %v, want 0.2 (row 0, col 1)", got)
+	}
+}
+
+// TestMatchMatrixEqualsClosure is the adapter equivalence property: a
+// matrix-backed Match run must produce exactly the pairs of a
+// closure-backed run over the same similarities, including on arbitrary
+// index subsets — the way units.Discover serves all Algorithm-1 stages
+// from one record-wide matrix.
+func TestMatchMatrixEqualsClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		nx, ny := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomSim(rng, nx, ny)
+		threshold := rng.Float64()
+		flat, stride := flatten(m)
+
+		closurePairs := Match(nx, ny, simFromMatrix(m), threshold)
+		matrixPairs := Match(nx, ny, MatrixSim(flat, stride), threshold)
+		if !reflect.DeepEqual(closurePairs, matrixPairs) {
+			t.Fatalf("trial %d: matrix-backed pairs diverged:\n%v\n%v",
+				trial, closurePairs, matrixPairs)
+		}
+
+		// Random subsets of each side through SubMatrixSim.
+		xs := randomSubset(rng, nx)
+		ys := randomSubset(rng, ny)
+		subClosure := Match(len(xs), len(ys), func(x, y int) float64 {
+			return m[xs[x]][ys[y]]
+		}, threshold)
+		subMatrix := Match(len(xs), len(ys), SubMatrixSim(flat, stride, xs, ys), threshold)
+		if !reflect.DeepEqual(subClosure, subMatrix) {
+			t.Fatalf("trial %d: sub-matrix pairs diverged:\n%v\n%v",
+				trial, subClosure, subMatrix)
+		}
+	}
+}
+
+// randomSubset returns a sorted random subset of 0..n-1 (possibly empty).
+func randomSubset(rng *rand.Rand, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 func BenchmarkMatch20x20(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	m := randomSim(rng, 20, 20)

@@ -151,6 +151,14 @@ func Train(train, valid *data.Dataset, cfg Config) (*System, error) {
 	validRecs := s.ProcessAll(valid)
 	s.timing.UnitGen = time.Since(start)
 
+	// The corpus vocabulary is now fully embedded: freeze it into the
+	// cache's lock-free read-only tier so every later lookup — scorer
+	// training below and all concurrent Predict/Explain traffic — touches
+	// no lock for known tokens.
+	if c, ok := s.source.(*embed.Cache); ok {
+		c.Freeze()
+	}
+
 	// Stage 3: relevance scorer.
 	start = time.Now()
 	switch cfg.Scorer {
@@ -254,18 +262,31 @@ func (s *System) contrastivePairs(train *data.Dataset, base embed.Source) (pos, 
 	return pos, neg
 }
 
+// textsPool recycles the transient token-text slices of Process; the
+// embedding source only reads them during the Contextualize call.
+var textsPool = sync.Pool{New: func() any { return new([]string) }}
+
 // Process runs tokenization, contextual embedding and Algorithm 1 on one
 // record pair.
 func (s *System) Process(p data.Pair) *relevance.Record {
 	lt := tokenize.Entity(p.Left, s.cfg.Tokenize)
 	rt := tokenize.Entity(p.Right, s.cfg.Tokenize)
-	lv := embed.Contextualize(s.source, tokenize.Texts(lt), s.cfg.ContextGamma)
-	rv := embed.Contextualize(s.source, tokenize.Texts(rt), s.cfg.ContextGamma)
+	tp := textsPool.Get().(*[]string)
+	texts := tokenize.AppendTexts((*tp)[:0], lt)
+	lv := embed.Contextualize(s.source, texts, s.cfg.ContextGamma)
+	texts = tokenize.AppendTexts(texts[:0], rt)
+	rv := embed.Contextualize(s.source, texts, s.cfg.ContextGamma)
+	*tp = texts
+	textsPool.Put(tp)
 	in := units.Input{
 		Left: lt, Right: rt,
 		LeftVecs: lv, RightVecs: rv,
 		NumAttrs:  len(s.schema),
 		CodeExact: s.cfg.CodeExact,
+		// Contextualized embeddings of a normalized source are unit-or-zero
+		// (and context mixing re-normalizes regardless), so unit discovery
+		// may use the raw dot product instead of the full cosine.
+		NormalizedVecs: s.cfg.ContextGamma != 0 || embed.IsNormalized(s.source),
 	}
 	if s.cfg.Embedding == JaroWinkler {
 		in.SimOverride = func(l, r int) float64 {
@@ -281,26 +302,40 @@ func (s *System) Process(p data.Pair) *relevance.Record {
 
 // ProcessAll runs Process over a dataset concurrently, preserving order.
 func (s *System) ProcessAll(d *data.Dataset) []*relevance.Record {
-	out := make([]*relevance.Record, d.Size())
+	n := d.Size()
+	out := make([]*relevance.Record, n)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > d.Size() {
-		workers = d.Size()
+	if workers > n {
+		workers = n
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = s.Process(d.Pairs[i])
-			}
-		}()
+	if workers <= 1 {
+		for i := range d.Pairs {
+			out[i] = s.Process(d.Pairs[i])
+		}
+		return out
 	}
-	for i := range d.Pairs {
+	// Buffer the full job list up front: an unbuffered channel would make
+	// the producer rendezvous with a worker per record, serializing the
+	// fan-out; with the buffer, the producer finishes immediately and the
+	// workers drain without ever blocking on the send side.
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
+	var wg sync.WaitGroup
+	// One worker closure shared by every goroutine, allocated once —
+	// hoisted out of the spawn loop.
+	worker := func() {
+		defer wg.Done()
+		for i := range jobs {
+			out[i] = s.Process(d.Pairs[i])
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
 	wg.Wait()
 	return out
 }

@@ -1,0 +1,124 @@
+package core
+
+// Tests guarding the hot-path overhaul: concurrent Predict safety on a
+// shared model (the wym-server serving pattern), and the golden-unit
+// equivalence of the dot-product similarity matrix with the reference
+// cosine-closure formulation of Algorithm 1.
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"wym/internal/units"
+	"wym/internal/vec"
+)
+
+// TestPredictConcurrentSharedModel hammers one trained system with
+// concurrent Predict and Explain calls — the wym-server usage pattern: a
+// model is loaded once and serves every request goroutine. Run under
+// `go test -race` this doubles as the data-race check for the frozen
+// embedding cache, the scorer network and the classifier.
+func TestPredictConcurrentSharedModel(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 24; i++ {
+				p := test.Pairs[(w*31+i)%test.Size()]
+				label, proba := sys.Predict(p)
+				if proba < 0 || proba > 1 || math.IsNaN(proba) {
+					t.Errorf("proba = %v", proba)
+					return
+				}
+				if label != 0 && label != 1 {
+					t.Errorf("label = %d", label)
+					return
+				}
+				if i%8 == 0 {
+					sys.Explain(p)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPredictConcurrentLoadedModel repeats the exercise on a system that
+// went through Save/Load: a restored system starts with a cold, unfrozen
+// embedding cache, so concurrent predictions drive the sharded overflow
+// tier (writes included) rather than the read-only frozen tier.
+func TestPredictConcurrentLoadedModel(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				p := test.Pairs[(w*17+i)%test.Size()]
+				wantLabel, wantProba := sys.Predict(p)
+				label, proba := loaded.Predict(p)
+				if label != wantLabel || math.Abs(proba-wantProba) > 1e-12 {
+					t.Errorf("loaded system diverged: (%d, %v) != (%d, %v)",
+						label, proba, wantLabel, wantProba)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestDiscoverGoldenDotVsCosine is the golden-unit equivalence check for
+// the dot-product fast path: on real benchmark records, Algorithm 1 run on
+// the raw-dot similarity matrix must produce exactly the units of the
+// reference formulation that evaluates vec.Cosine pair by pair.
+func TestDiscoverGoldenDotVsCosine(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	if test.Size() == 0 {
+		t.Fatal("empty test split")
+	}
+	for i, p := range test.Pairs {
+		rec := sys.Process(p) // production path: NormalizedVecs + matrix
+		lv, rv := rec.LeftVecs, rec.RightVecs
+		ref := units.Input{
+			Left: rec.Left, Right: rec.Right,
+			LeftVecs: lv, RightVecs: rv,
+			NumAttrs: len(sys.Schema()),
+			// Reference path: full cosine, norms recomputed per pair.
+			SimOverride: func(l, r int) float64 { return vec.Cosine(lv[l], rv[r]) },
+		}
+		want := units.Discover(ref, sys.cfg.Thresholds)
+		got := rec.Units
+		if len(got) != len(want) {
+			t.Fatalf("record %d: %d units != %d reference units", i, len(got), len(want))
+		}
+		for j := range got {
+			g, w := got[j], want[j]
+			if g.Kind != w.Kind || g.Left != w.Left || g.Right != w.Right ||
+				g.Stage != w.Stage || g.Attr != w.Attr {
+				t.Fatalf("record %d unit %d: %+v != reference %+v", i, j, g, w)
+			}
+			// The dot product of unit vectors and the cosine may differ in
+			// the last ulp (the cosine divides by norms within rounding
+			// error of 1); anything beyond that is a real bug.
+			if math.Abs(g.Sim-w.Sim) > 1e-12 {
+				t.Fatalf("record %d unit %d: sim %v != reference %v", i, j, g.Sim, w.Sim)
+			}
+		}
+	}
+}

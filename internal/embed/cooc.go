@@ -155,6 +155,10 @@ func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
 // Dim implements Source.
 func (c *Cooc) Dim() int { return c.d }
 
+// Normalized implements NormalizedSource: trained vectors are normalized
+// at construction and OOV tokens embed to zero.
+func (c *Cooc) Normalized() bool { return true }
+
 // Vector implements Source. Out-of-vocabulary tokens get the zero vector;
 // combine Cooc with Hash (via Concat) so such tokens still embed.
 func (c *Cooc) Vector(token string) []float64 {

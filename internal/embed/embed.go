@@ -20,7 +20,9 @@
 package embed
 
 import (
+	"fmt"
 	"hash/fnv"
+	"math"
 	"sync"
 
 	"wym/internal/vec"
@@ -32,6 +34,28 @@ import (
 type Source interface {
 	Vector(token string) []float64
 	Dim() int
+}
+
+// NormalizedSource marks a Source whose Vector output is always either a
+// unit-L2 vector or the all-zero vector. Downstream hot paths rely on this
+// contract to replace cosine similarity with a raw dot product
+// (vec.DotUnit): for unit vectors the two are equal, and a dot with the
+// zero vector is 0 — exactly the zero-vector convention of vec.Cosine.
+//
+// Every source in this package satisfies the contract: Hash, Cooc, Concat
+// and Hebbian normalize their non-zero outputs at construction, Zero emits
+// only zero vectors, and Cache/wrappers inherit it from their base.
+type NormalizedSource interface {
+	Source
+	// Normalized reports whether the contract holds. It exists so wrapper
+	// sources can delegate the answer to their base at runtime.
+	Normalized() bool
+}
+
+// IsNormalized reports whether src guarantees unit-or-zero vectors.
+func IsNormalized(src Source) bool {
+	ns, ok := src.(NormalizedSource)
+	return ok && ns.Normalized()
 }
 
 // Hash embeds a token as the normalized signed sum of hashed character
@@ -48,6 +72,9 @@ func NewHash() *Hash { return &Hash{D: 48, NMin: 3, NMax: 5} }
 
 // Dim implements Source.
 func (h *Hash) Dim() int { return h.D }
+
+// Normalized implements NormalizedSource: Vector output is unit-or-zero.
+func (h *Hash) Normalized() bool { return true }
 
 // Vector implements Source. The empty token embeds to the zero vector.
 func (h *Hash) Vector(token string) []float64 {
@@ -104,47 +131,142 @@ func NewConcat(parts ...Source) *Concat {
 // Dim implements Source.
 func (c *Concat) Dim() int { return c.dim }
 
-// Vector implements Source.
+// Normalized implements NormalizedSource: the concatenation is normalized
+// before it is returned.
+func (c *Concat) Normalized() bool { return true }
+
+// Vector implements Source. Parts that satisfy the NormalizedSource
+// contract are appended as-is — their vectors already have unit (or zero)
+// norm, so the historical clone + re-normalize per part was redundant work.
+// Only parts without the guarantee are normalized, on a copy, since a
+// part's returned slice may be shared (e.g. a Cache entry).
 func (c *Concat) Vector(token string) []float64 {
 	out := make([]float64, 0, c.dim)
 	for _, p := range c.Parts {
-		part := vec.Clone(p.Vector(token))
-		vec.Normalize(part)
+		part := p.Vector(token)
+		if !IsNormalized(p) {
+			part = vec.Normalize(vec.Clone(part))
+		}
 		out = append(out, part...)
 	}
 	return vec.Normalize(out)
 }
 
-// Cache memoizes another source. It is safe for concurrent use.
-type Cache struct {
-	Base Source
+// cacheShards is the number of independently locked cache segments. A
+// power of two so the shard index is a mask of the token hash; 32 shards
+// keep lock contention negligible for any realistic worker count.
+const cacheShards = 32
 
+// cacheShard is one locked segment of the overflow cache.
+type cacheShard struct {
 	mu sync.RWMutex
 	m  map[string][]float64
 }
 
+// Cache memoizes another source. It is safe for concurrent use.
+//
+// The cache has two tiers. Lookups first hit a lock-free read-only map of
+// the frozen vocabulary (populated by Freeze after training); tokens
+// outside it fall through to a small sharded overflow keyed by token hash,
+// so concurrent misses on distinct shards never serialize — the old
+// single-RWMutex design made every ProcessAll worker queue on one lock.
+type Cache struct {
+	Base Source
+
+	frozen map[string][]float64 // immutable after Freeze; nil before
+	shards [cacheShards]cacheShard
+}
+
 // NewCache wraps base with memoization.
 func NewCache(base Source) *Cache {
-	return &Cache{Base: base, m: make(map[string][]float64)}
+	c := &Cache{Base: base}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string][]float64)
+	}
+	return c
 }
 
 // Dim implements Source.
 func (c *Cache) Dim() int { return c.Base.Dim() }
 
+// Normalized implements NormalizedSource by delegating to the base source.
+func (c *Cache) Normalized() bool { return IsNormalized(c.Base) }
+
 // Vector implements Source. Returned slices are shared; callers must not
 // mutate them.
 func (c *Cache) Vector(token string) []float64 {
-	c.mu.RLock()
-	v, ok := c.m[token]
-	c.mu.RUnlock()
+	if v, ok := c.frozen[token]; ok {
+		return v
+	}
+	sh := &c.shards[shardIndex(token)]
+	sh.mu.RLock()
+	v, ok := sh.m[token]
+	sh.mu.RUnlock()
 	if ok {
 		return v
 	}
 	v = c.Base.Vector(token)
-	c.mu.Lock()
-	c.m[token] = v
-	c.mu.Unlock()
+	sh.mu.Lock()
+	if prev, ok := sh.m[token]; ok {
+		v = prev // another goroutine won the race; keep one shared slice
+	} else {
+		sh.m[token] = v
+	}
+	sh.mu.Unlock()
 	return v
+}
+
+// Freeze converts everything cached so far into the lock-free read-only
+// tier and empties the overflow shards. Call it once the known vocabulary
+// has been fully embedded (core.Train does, after unit generation): from
+// then on, lookups of known-corpus tokens touch no lock at all, and only
+// genuinely unseen predict-time tokens pay for shard synchronization.
+//
+// Freeze is NOT safe to call concurrently with Vector; it belongs to the
+// single-threaded end of a training run. Reads after Freeze are safe from
+// any number of goroutines.
+func (c *Cache) Freeze() {
+	frozen := make(map[string][]float64, c.FrozenSize()+c.overflowSize())
+	for t, v := range c.frozen {
+		frozen[t] = v
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for t, v := range sh.m {
+			frozen[t] = v
+		}
+		sh.m = make(map[string][]float64)
+	}
+	c.frozen = frozen
+}
+
+// FrozenSize returns the number of tokens in the read-only tier.
+func (c *Cache) FrozenSize() int { return len(c.frozen) }
+
+// overflowSize returns the number of tokens in the sharded overflow tier.
+func (c *Cache) overflowSize() int {
+	var n int
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// shardIndex hashes a token to its overflow shard with inline FNV-1a.
+func shardIndex(token string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(token); i++ {
+		h ^= uint64(token[i])
+		h *= prime64
+	}
+	return uint32(h) & (cacheShards - 1)
 }
 
 // Contextualize embeds each token of one record and mixes in the record's
@@ -152,27 +274,109 @@ func (c *Cache) Vector(token string) []float64 {
 // the static embedding; the WYM default is a light mixing (0.15) that keeps
 // token identity dominant while making vectors record-dependent, standing
 // in for BERT's contextualized hidden states.
+// Contextualize output vectors are backed by one flat allocation per
+// record rather than one per token; because Contextualize normalizes its
+// non-zero outputs (and copies unit-or-zero source vectors when gamma is
+// 0 over a NormalizedSource), records embedded from the package's sources
+// always satisfy the unit-or-zero contract of NormalizedSource.
 func Contextualize(src Source, tokens []string, gamma float64) [][]float64 {
 	if len(tokens) == 0 {
 		return nil
 	}
-	base := make([][]float64, len(tokens))
-	for i, t := range tokens {
-		base[i] = src.Vector(t)
+	return ContextualizeInto(src, tokens, gamma, make([]float64, len(tokens)*src.Dim()))
+}
+
+// meanPool recycles the record-mean accumulator of ContextualizeInto; it
+// is transient per call.
+var meanPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// ContextualizeInto is Contextualize writing into a caller-provided flat
+// buffer of length len(tokens)*src.Dim(); the returned rows alias it.
+// Callers that retain records must hand over a fresh buffer; transient
+// consumers may pool and reuse buffers between calls.
+func ContextualizeInto(src Source, tokens []string, gamma float64, flat []float64) [][]float64 {
+	n := len(tokens)
+	if n == 0 {
+		return nil
 	}
+	d := src.Dim()
+	if len(flat) != n*d {
+		panic(fmt.Sprintf("embed: buffer len %d, want %d", len(flat), n*d))
+	}
+	out := make([][]float64, n)
 	if gamma == 0 {
-		out := make([][]float64, len(base))
-		for i := range base {
-			out[i] = vec.Clone(base[i])
+		for i, t := range tokens {
+			row := flat[i*d : (i+1)*d : (i+1)*d]
+			copy(row, src.Vector(t))
+			out[i] = row
 		}
 		return out
 	}
-	mean := vec.MeanOf(base)
-	out := make([][]float64, len(base))
-	for i := range base {
-		v := vec.Scaled(base[i], 1-gamma)
-		vec.AXPY(v, gamma, mean)
-		out[i] = vec.Normalize(v)
+	// Fused mixing: the mean rides the borrow loop (the vector is already
+	// in cache from the lookup), then each mixed row is written together
+	// with its squared norm and rescaled in one more pass — the same
+	// scale/axpy/normalize arithmetic as the separate vec calls (two
+	// statements per element below, so no FMA contraction), at a third of
+	// the memory passes. The four squared-norm accumulators break the
+	// serial float-add dependency chain of the normalization; their
+	// summation order differs from vec.Norm by ulps, which every
+	// downstream consumer of contextualized vectors tolerates.
+	mp := meanPool.Get().(*[]float64)
+	defer meanPool.Put(mp)
+	if cap(*mp) < d {
+		*mp = make([]float64, d)
+	}
+	mean := (*mp)[:d]
+	clear(mean)
+	for i, t := range tokens {
+		v := src.Vector(t)
+		out[i] = v
+		m := mean[:len(v)] // equal lengths: elide the m[j] bounds checks
+		for j, x := range v {
+			m[j] += x
+		}
+	}
+	scale := 1 / float64(n)
+	for j := range mean {
+		mean[j] *= scale
+	}
+	g1 := 1 - gamma
+	for i, v := range out {
+		row := flat[i*d : (i+1)*d : (i+1)*d]
+		m, r := mean[:len(v)], row[:len(v)]
+		var s0, s1, s2, s3 float64
+		for len(v) >= 4 && len(m) >= 4 && len(r) >= 4 {
+			y0 := v[0] * g1
+			y0 += gamma * m[0]
+			r[0] = y0
+			s0 += y0 * y0
+			y1 := v[1] * g1
+			y1 += gamma * m[1]
+			r[1] = y1
+			s1 += y1 * y1
+			y2 := v[2] * g1
+			y2 += gamma * m[2]
+			r[2] = y2
+			s2 += y2 * y2
+			y3 := v[3] * g1
+			y3 += gamma * m[3]
+			r[3] = y3
+			s3 += y3 * y3
+			v, m, r = v[4:], m[4:], r[4:]
+		}
+		for j, x := range v {
+			y := x * g1
+			y += gamma * m[j]
+			r[j] = y
+			s0 += y * y
+		}
+		if norm := math.Sqrt((s0 + s1) + (s2 + s3)); norm != 0 {
+			inv := 1 / norm
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		out[i] = row
 	}
 	return out
 }
@@ -186,3 +390,7 @@ func (z Zero) Dim() int { return z.D }
 
 // Vector implements Source.
 func (z Zero) Vector(string) []float64 { return make([]float64, z.D) }
+
+// Normalized implements NormalizedSource: the zero vector is explicitly
+// allowed by the unit-or-zero contract.
+func (z Zero) Normalized() bool { return true }

@@ -3,6 +3,7 @@ package embed
 import (
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -164,6 +165,154 @@ func TestCacheReturnsSameValues(t *testing.T) {
 	}
 }
 
+func TestCacheFreeze(t *testing.T) {
+	h := NewHash()
+	c := NewCache(h)
+	warm := c.Vector("camera")
+	c.Freeze()
+	if c.FrozenSize() != 1 {
+		t.Fatalf("frozen size = %d, want 1", c.FrozenSize())
+	}
+	// Frozen lookups return the very slice cached before the freeze.
+	v := c.Vector("camera")
+	if &v[0] != &warm[0] {
+		t.Fatal("freeze must keep the memoized slice")
+	}
+	// Unknown tokens fall through to the overflow tier and still memoize.
+	o1 := c.Vector("overflow-token")
+	o2 := c.Vector("overflow-token")
+	if &o1[0] != &o2[0] {
+		t.Fatal("overflow tier does not memoize")
+	}
+	if c.FrozenSize() != 1 {
+		t.Fatal("overflow tokens must not mutate the frozen tier")
+	}
+	// A second freeze folds the overflow into the frozen tier.
+	c.Freeze()
+	if c.FrozenSize() != 2 {
+		t.Fatalf("frozen size after refreeze = %d, want 2", c.FrozenSize())
+	}
+	if !reflect.DeepEqual(c.Vector("overflow-token"), h.Vector("overflow-token")) {
+		t.Fatal("refrozen vector diverged from the base source")
+	}
+}
+
+func TestCacheConcurrentMixedTiers(t *testing.T) {
+	c := NewCache(NewHash())
+	c.Vector("frozen-a")
+	c.Vector("frozen-b")
+	c.Freeze()
+	tokens := []string{"frozen-a", "frozen-b", "x1", "x2", "x3", "x4", "x5",
+		"y1", "y2", "y3", "y4", "y5"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tok := tokens[(w+i)%len(tokens)]
+				if len(c.Vector(tok)) != c.Dim() {
+					t.Errorf("bad vector for %q", tok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every goroutine must have observed one shared slice per token.
+	for _, tok := range tokens {
+		a, b := c.Vector(tok), c.Vector(tok)
+		if &a[0] != &b[0] {
+			t.Fatalf("token %q not memoized to a single slice", tok)
+		}
+	}
+}
+
+func TestNormalizedSourceContract(t *testing.T) {
+	cooc := TrainCooc(testCorpus(), DefaultCoocConfig())
+	base := NewConcat(NewHash(), cooc)
+	sources := map[string]Source{
+		"hash":    NewHash(),
+		"cooc":    cooc,
+		"concat":  base,
+		"hebbian": FineTune(base, []PairSample{{"laptop", "notebook"}}, nil, DefaultFineTuneConfig()),
+		"cache":   NewCache(base),
+		"zero":    Zero{D: 8},
+	}
+	for name, src := range sources {
+		if !IsNormalized(src) {
+			t.Fatalf("%s must satisfy the NormalizedSource contract", name)
+		}
+		for _, tok := range []string{"laptop", "warranty", "zzz-unseen", ""} {
+			n := vec.Norm(src.Vector(tok))
+			if n != 0 && math.Abs(n-1) > 1e-9 {
+				t.Fatalf("%s vector for %q has norm %v, want unit or zero", name, tok, n)
+			}
+		}
+	}
+	// A source without the marker must not be reported as normalized.
+	if IsNormalized(unnormalizedSource{}) {
+		t.Fatal("IsNormalized must be false for plain Sources")
+	}
+}
+
+// unnormalizedSource is a plain Source without the contract marker.
+type unnormalizedSource struct{}
+
+func (unnormalizedSource) Vector(string) []float64 { return []float64{2, 0} }
+func (unnormalizedSource) Dim() int                { return 2 }
+
+func TestConcatNormalizesUnmarkedParts(t *testing.T) {
+	// A part that returns non-unit vectors and lacks the marker must still
+	// be normalized (on a copy) before concatenation.
+	c := NewConcat(unnormalizedSource{}, NewHash())
+	v := c.Vector("camera")
+	if math.Abs(vec.Norm(v)-1) > 1e-9 {
+		t.Fatalf("norm = %v, want 1", vec.Norm(v))
+	}
+	// The unnormalized part occupies the first 2 dims; after per-part
+	// normalization both parts contribute equally, so the first component
+	// is 1/sqrt(2).
+	if math.Abs(v[0]-1/math.Sqrt2) > 1e-9 {
+		t.Fatalf("unmarked part not normalized before concat: v[0] = %v", v[0])
+	}
+}
+
+func TestContextualizeInto(t *testing.T) {
+	h := NewHash()
+	tokens := []string{"digital", "camera"}
+	want := Contextualize(h, tokens, 0.15)
+	flat := make([]float64, len(tokens)*h.Dim())
+	got := ContextualizeInto(h, tokens, 0.15, flat)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("ContextualizeInto diverged from Contextualize")
+	}
+	// Rows must alias the caller's buffer.
+	if &got[0][0] != &flat[0] {
+		t.Fatal("rows do not alias the provided buffer")
+	}
+	// Wrong buffer size is a programmer error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong buffer length")
+		}
+	}()
+	ContextualizeInto(h, tokens, 0.15, make([]float64, 1))
+}
+
+func TestContextualizeOutputNormalized(t *testing.T) {
+	h := NewHash()
+	for _, gamma := range []float64{0, 0.15, 0.5} {
+		out := Contextualize(h, []string{"digital", "camera", ""}, gamma)
+		for i, v := range out {
+			n := vec.Norm(v)
+			if n != 0 && math.Abs(n-1) > 1e-9 {
+				t.Fatalf("gamma=%v token %d: norm %v, want unit or zero", gamma, i, n)
+			}
+		}
+	}
+}
+
 func TestContextualize(t *testing.T) {
 	h := NewHash()
 	tokens := []string{"digital", "camera", "sony"}
@@ -245,6 +394,22 @@ func TestFineTuneZeroVectorStaysZero(t *testing.T) {
 	ft := FineTune(z, []PairSample{{"a", "b"}}, nil, DefaultFineTuneConfig())
 	if vec.Norm(ft.Vector("a")) != 0 {
 		t.Fatal("zero vectors must stay zero through fine-tuning")
+	}
+}
+
+// BenchmarkContextualize measures record-level contextual embedding on a
+// warmed cache — the per-record embedding cost inside core.Process.
+func BenchmarkContextualize(b *testing.B) {
+	src := NewCache(NewConcat(NewHash(), TrainCooc(testCorpus(), DefaultCoocConfig())))
+	tokens := []string{"acer", "laptop", "15", "inch", "intel", "fast",
+		"extended", "warranty", "two", "years"}
+	for _, t := range tokens {
+		src.Vector(t) // warm the cache: steady-state measurement
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Contextualize(src, tokens, 0.15)
 	}
 }
 

@@ -75,8 +75,9 @@ func (c *Concat) GobDecode(data []byte) error {
 	return nil
 }
 
-// GobEncode implements gob.GobEncoder. The memoized vectors are dropped:
-// they are a pure cache and rebuild on demand.
+// GobEncode implements gob.GobEncoder. The memoized vectors — frozen tier
+// and overflow shards alike — are dropped: they are a pure cache and
+// rebuild on demand.
 func (c *Cache) GobEncode() ([]byte, error) {
 	return encodeSnap(struct{ Base Source }{Base: c.Base})
 }
@@ -88,7 +89,10 @@ func (c *Cache) GobDecode(data []byte) error {
 		return err
 	}
 	c.Base = s.Base
-	c.m = make(map[string][]float64)
+	c.frozen = nil
+	for i := range c.shards {
+		c.shards[i].m = make(map[string][]float64)
+	}
 	return nil
 }
 

@@ -52,12 +52,17 @@ func TestGobRoundTripSources(t *testing.T) {
 
 func TestGobCacheDropsMemo(t *testing.T) {
 	c := NewCache(NewHash())
-	c.Vector("warm") // populate the memo
+	c.Vector("warm") // populate the overflow tier
+	c.Freeze()       // move it to the frozen tier
+	c.Vector("late") // and populate the overflow tier again
 	restored := sourceRoundTrip(t, c).(*Cache)
-	restored.mu.RLock()
-	n := len(restored.m)
-	restored.mu.RUnlock()
-	if n != 0 {
+	if n := restored.FrozenSize() + restored.overflowSize(); n != 0 {
 		t.Fatalf("cache memo survived serialization: %d entries", n)
+	}
+	// The restored cache must still memoize.
+	v1 := restored.Vector("warm")
+	v2 := restored.Vector("warm")
+	if &v1[0] != &v2[0] {
+		t.Fatal("restored cache does not memoize")
 	}
 }

@@ -72,6 +72,10 @@ func FineTune(base Source, pos, neg []PairSample, cfg FineTuneConfig) *Hebbian {
 // Dim implements Source.
 func (h *Hebbian) Dim() int { return h.Base.Dim() }
 
+// Normalized implements NormalizedSource: mapped vectors are re-normalized
+// and zero vectors stay zero.
+func (h *Hebbian) Normalized() bool { return true }
+
 // Vector implements Source.
 func (h *Hebbian) Vector(token string) []float64 {
 	v := h.Base.Vector(token)

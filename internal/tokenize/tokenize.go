@@ -8,8 +8,9 @@
 package tokenize
 
 import (
-	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a single feature extracted from an entity description, together
@@ -67,26 +68,76 @@ func IsStopWord(w string) bool { return stopWords[w] }
 // Attribute tokenizes a single attribute value, assigning the given
 // attribute index to every produced token.
 func Attribute(value string, attr int, opts Options) []Token {
-	words := SplitWords(value)
-	toks := make([]Token, 0, len(words))
+	return AppendAttribute(nil, value, attr, opts)
+}
+
+// splitScratch pools the transient slices of word splitting: the split
+// headers, the run byte buffer, the run end offsets and the per-run code
+// verdicts. Token texts escape into the output (as substrings of one arena
+// string per value or entity); these headers never do.
+type splitScratch struct {
+	words   []string
+	buf     []byte
+	offs    []int
+	codes   []bool
+	attrEnd []int // Entity only: offs index where each attribute's runs end
+}
+
+var splitPool = sync.Pool{New: func() any { return new(splitScratch) }}
+
+// arenaWords converts the accumulated runs into word strings sharing one
+// backing allocation, appending the headers to words[:0].
+func arenaWords(words []string, buf []byte, offs []int) []string {
+	words = words[:0]
+	if len(offs) == 0 {
+		return words
+	}
+	arena := string(buf)
+	start := 0
+	for _, end := range offs {
+		words = append(words, arena[start:end])
+		start = end
+	}
+	return words
+}
+
+// AppendAttribute is Attribute appending to dst, so callers tokenizing a
+// whole schema (see Entity) fill one slice instead of concatenating
+// per-attribute ones.
+func AppendAttribute(dst []Token, value string, attr int, opts Options) []Token {
+	sc := splitPool.Get().(*splitScratch)
+	defer splitPool.Put(sc)
+	sc.buf, sc.offs, sc.codes = splitRuns(sc.buf[:0], sc.offs[:0], sc.codes[:0], value)
+	sc.words = arenaWords(sc.words, sc.buf, sc.offs)
+	words := sc.words
+	if n := len(words); cap(dst)-len(dst) < n {
+		dst = growTokens(dst, n)
+	}
+	return emitTokens(dst, words, sc.codes, attr, opts)
+}
+
+// emitTokens appends the tokens of one attribute value, given its words and
+// their precomputed code verdicts. Positions start at 0 and count emitted
+// (post-stop-word) tokens, as the paper's provenance scheme requires.
+func emitTokens(dst []Token, words []string, codes []bool, attr int, opts Options) []Token {
 	pos := 0
-	emit := func(text string, piece bool) {
+	emit := func(text string, code, piece bool) {
 		if opts.StopWords && stopWords[text] {
 			return
 		}
-		if opts.MaxTokensPerAttr > 0 && len(toks) >= opts.MaxTokensPerAttr {
+		if opts.MaxTokensPerAttr > 0 && pos >= opts.MaxTokensPerAttr {
 			return
 		}
-		toks = append(toks, Token{
+		dst = append(dst, Token{
 			Text:  text,
 			Attr:  attr,
 			Pos:   pos,
-			Code:  LooksLikeCode(text),
+			Code:  code,
 			Piece: piece,
 		})
 		pos++
 	}
-	for _, w := range words {
+	for wi, w := range words {
 		if opts.WordPiece {
 			n := opts.WordPieceLen
 			if n <= 0 {
@@ -98,48 +149,127 @@ func Attribute(value string, attr int, opts Options) []Token {
 					if end > len(w) {
 						end = len(w)
 					}
-					emit(w[i:end], true)
+					emit(w[i:end], LooksLikeCode(w[i:end]), true)
 				}
 				continue
 			}
 		}
-		emit(w, false)
+		emit(w, codes[wi], false)
 	}
-	return toks
+	return dst
 }
 
 // Entity tokenizes all attribute values of an entity description, given as
 // a slice aligned with the dataset schema. The result preserves attribute
 // order; token positions restart at 0 within each attribute.
+//
+// Unlike repeated AppendAttribute calls, Entity splits every value before
+// materializing anything, so all token texts share a single entity-wide
+// arena string and the output slice is allocated once at its exact upper
+// bound — two allocations per entity on the hot path.
 func Entity(values []string, opts Options) []Token {
+	sc := splitPool.Get().(*splitScratch)
+	defer splitPool.Put(sc)
+	buf, offs, codes := sc.buf[:0], sc.offs[:0], sc.codes[:0]
+	attrEnd := sc.attrEnd[:0]
+	for _, v := range values {
+		buf, offs, codes = splitRuns(buf, offs, codes, v)
+		attrEnd = append(attrEnd, len(offs))
+	}
+	sc.buf, sc.offs, sc.codes, sc.attrEnd = buf, offs, codes, attrEnd
+	sc.words = arenaWords(sc.words, buf, offs)
+	words := sc.words
+	if len(words) == 0 {
+		return nil
+	}
+	// Word-piece splitting can emit more tokens than words; everything else
+	// only drops, so len(words) caps the output exactly.
 	var toks []Token
-	for attr, v := range values {
-		toks = append(toks, Attribute(v, attr, opts)...)
+	if !opts.WordPiece {
+		toks = make([]Token, 0, len(words))
+	}
+	start := 0
+	for attr, end := range attrEnd {
+		toks = emitTokens(toks, words[start:end], codes[start:end], attr, opts)
+		start = end
 	}
 	return toks
+}
+
+// growTokens ensures room for n more appends; it grows at least
+// geometrically so a sequence of short appends does not reallocate each
+// time.
+func growTokens(dst []Token, n int) []Token {
+	want := len(dst) + n
+	if c := 2 * cap(dst); c > want {
+		want = c
+	}
+	out := make([]Token, len(dst), want)
+	copy(out, dst)
+	return out
 }
 
 // SplitWords lowercases s and splits it into maximal runs of letters and
 // digits. Mixed alphanumeric runs (product codes such as "dslra200w") stay
 // whole; punctuation and whitespace are separators.
 func SplitWords(s string) []string {
-	var words []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			words = append(words, b.String())
-			b.Reset()
-		}
+	buf, offs, _ := splitRuns(nil, nil, nil, s)
+	if len(offs) == 0 {
+		return nil
 	}
-	for _, r := range strings.ToLower(s) {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(r)
+	return arenaWords(make([]string, 0, len(offs)), buf, offs)
+}
+
+// splitRuns appends every maximal letter/digit run of s — lowercased — to
+// buf, recording each run's end offset in offs and its LooksLikeCode
+// verdict in codes (tallied from the letter/digit counts the scan already
+// tracks, sparing a second pass per token). All words of a value share one
+// arena string (see arenaWords): a single allocation instead of one per
+// word. The common all-ASCII case bypasses the rune decoder.
+func splitRuns(buf []byte, offs []int, codes []bool, s string) ([]byte, []int, []bool) {
+	lastEnd := len(buf)
+	var letters, digits int
+	flush := func() {
+		if len(buf) > lastEnd {
+			offs = append(offs, len(buf))
+			codes = append(codes, digits > 0 && (letters > 0 || digits >= 4))
+			lastEnd = len(buf)
+		}
+		letters, digits = 0, 0
+	}
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if '0' <= c && c <= '9' {
+				buf = append(buf, c)
+				digits++
+			} else if 'a' <= c && c <= 'z' {
+				buf = append(buf, c)
+				letters++
+			} else if 'A' <= c && c <= 'Z' {
+				buf = append(buf, c+'a'-'A')
+				letters++
+			} else {
+				flush()
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		i += size
+		r = unicode.ToLower(r)
+		if unicode.IsDigit(r) {
+			buf = utf8.AppendRune(buf, r)
+			digits++
+		} else if unicode.IsLetter(r) {
+			buf = utf8.AppendRune(buf, r)
+			letters++
 		} else {
 			flush()
 		}
 	}
 	flush()
-	return words
+	return buf, offs, codes
 }
 
 // LooksLikeCode reports whether a token resembles a product or model code:
@@ -168,11 +298,16 @@ func LooksLikeCode(tok string) bool {
 // Texts returns just the token texts, in order. Baselines and explainers
 // that work at plain-string granularity use it.
 func Texts(toks []Token) []string {
-	out := make([]string, len(toks))
-	for i, t := range toks {
-		out[i] = t.Text
+	return AppendTexts(make([]string, 0, len(toks)), toks)
+}
+
+// AppendTexts is Texts appending to dst, for callers that pool the
+// transient text slice (the embedding hot path reads it and lets go).
+func AppendTexts(dst []string, toks []Token) []string {
+	for _, t := range toks {
+		dst = append(dst, t.Text)
 	}
-	return out
+	return dst
 }
 
 // ByAttr groups token indices by attribute, returning a map from attribute

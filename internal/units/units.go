@@ -9,6 +9,7 @@ package units
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"wym/internal/assignment"
 	"wym/internal/tokenize"
@@ -73,6 +74,14 @@ type Input struct {
 	// token similarity (the Table 4 Jaro–Winkler ablation uses it). It is
 	// still subject to the CodeExact heuristic.
 	SimOverride func(l, r int) float64
+	// NormalizedVecs declares that every vector in LeftVecs/RightVecs is
+	// unit-L2 or all-zero (the embed.NormalizedSource contract; records
+	// embedded through embed.Contextualize qualify). When set, token
+	// similarity is the raw dot product — equal to the cosine for such
+	// vectors, including the zero-vector → 0 convention — skipping the
+	// redundant norm computations of vec.Cosine on the hottest loop of
+	// the pipeline.
+	NormalizedVecs bool
 }
 
 // sim computes the similarity between left token l and right token r.
@@ -89,7 +98,89 @@ func (in *Input) sim(l, r int) float64 {
 	if in.SimOverride != nil {
 		return in.SimOverride(l, r)
 	}
+	if in.NormalizedVecs {
+		return vec.DotUnit(in.LeftVecs[l], in.RightVecs[r])
+	}
 	return vec.Cosine(in.LeftVecs[l], in.RightVecs[r])
+}
+
+// discoverScratch is the reusable working memory of one Discover call:
+// the flat L×R similarity matrix, the paired-token flags, and four index
+// arenas for the staged search spaces. Unit discovery runs once per record
+// pair across training and every Predict/Explain, so the buffers are in
+// constant rotation; everything here is dead once Discover returns.
+type discoverScratch struct {
+	mat            []float64
+	pairedL        []bool
+	pairedR        []bool
+	ia, ib, ic, id []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(discoverScratch) }}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// simMatrix computes the record's full L×R similarity matrix in one pass.
+// All three Algorithm-1 stages (and assignment.Match inside them) read
+// from it, so each token-pair similarity — previously recomputed by every
+// stage that revisited the pair — is evaluated exactly once.
+func (in *Input) simMatrix(mat []float64, stride int) {
+	// Fast path for the standard configuration (no code heuristic, no sim
+	// override, normalized vectors): hoist the per-cell branching and the
+	// left-vector load out of the inner loop.
+	if !in.CodeExact && in.SimOverride == nil && in.NormalizedVecs {
+		for l, lv := range in.LeftVecs {
+			row := mat[l*stride : (l+1)*stride]
+			for r, rv := range in.RightVecs {
+				// vec.DotUnit, manually inlined: at the small embedding
+				// dimensions used here the call overhead is a measurable
+				// slice of the fill. Keep the accumulator grouping in sync
+				// with DotUnit so both paths agree bit-for-bit.
+				a, b := lv, rv[:len(lv)]
+				var s0, s1, s2, s3 float64
+				for len(a) >= 4 && len(b) >= 4 {
+					s0 += a[0] * b[0]
+					s1 += a[1] * b[1]
+					s2 += a[2] * b[2]
+					s3 += a[3] * b[3]
+					a, b = a[4:], b[4:]
+				}
+				for i, v := range a {
+					s0 += v * b[i]
+				}
+				s := (s0 + s1) + (s2 + s3)
+				if s > 1 {
+					s = 1
+				} else if s < -1 {
+					s = -1
+				}
+				row[r] = s
+			}
+		}
+		return
+	}
+	for l := range in.Left {
+		row := mat[l*stride : (l+1)*stride]
+		for r := range row {
+			row[r] = in.sim(l, r)
+		}
+	}
 }
 
 // Discover runs Algorithm 1 and returns the record's decision units:
@@ -105,19 +196,37 @@ func Discover(in Input, th Thresholds) []Unit {
 		panic(fmt.Sprintf("units: %d right tokens but %d vectors", len(in.Right), len(in.RightVecs)))
 	}
 
-	var out []Unit
-	pairedL := make([]bool, len(in.Left))
-	pairedR := make([]bool, len(in.Right))
+	L, R := len(in.Left), len(in.Right)
+	// Every token ends up in at least one unit and each paired unit
+	// consumes at least one previously free token, so L+R bounds the
+	// output size.
+	out := make([]Unit, 0, L+R)
+	sc := scratchPool.Get().(*discoverScratch)
+	defer scratchPool.Put(sc)
+	pairedL := growBools(sc.pairedL, L)
+	pairedR := growBools(sc.pairedR, R)
+	sc.pairedL, sc.pairedR = pairedL, pairedR
+
+	// One flat L×R similarity matrix, reused from the pool, serves every
+	// stage below: the staged search spaces are overlapping subsets of the
+	// full cross product, so the per-stage closures of the old code
+	// recomputed most similarities two or three times.
+	var mat []float64
+	if L > 0 && R > 0 {
+		sc.mat = growFloats(sc.mat, L*R)
+		mat = sc.mat
+		in.simMatrix(mat, R)
+	}
 
 	// Stage 1: intra-attribute correspondences under θ. The schema bounds
 	// the search space: only tokens of the same (matching) attribute are
 	// compared.
 	for attr := 0; attr < in.NumAttrs; attr++ {
-		li := indicesOfAttr(in.Left, attr)
-		ri := indicesOfAttr(in.Right, attr)
-		pairs := assignment.Match(len(li), len(ri), func(x, y int) float64 {
-			return in.sim(li[x], ri[y])
-		}, th.Theta)
+		li := indicesOfAttr(sc.ia, in.Left, attr)
+		ri := indicesOfAttr(sc.ib, in.Right, attr)
+		sc.ia, sc.ib = li, ri
+		pairs := assignment.Match(len(li), len(ri),
+			assignment.SubMatrixSim(mat, R, li, ri), th.Theta)
 		for _, p := range pairs {
 			l, r := li[p.X], ri[p.Y]
 			out = append(out, Unit{Kind: Paired, Left: l, Right: r, Sim: p.Sim,
@@ -129,11 +238,11 @@ func Discover(in Input, th Thresholds) []Unit {
 	// Stage 2: inter-attribute correspondences under η between the tokens
 	// both stages so far left unpaired. This absorbs dirty/misaligned
 	// attribute content (challenge R2).
-	freeL := unset(pairedL)
-	freeR := unset(pairedR)
-	pairs := assignment.Match(len(freeL), len(freeR), func(x, y int) float64 {
-		return in.sim(freeL[x], freeR[y])
-	}, th.Eta)
+	freeL := unset(sc.ia, pairedL)
+	freeR := unset(sc.ib, pairedR)
+	sc.ia, sc.ib = freeL, freeR
+	pairs := assignment.Match(len(freeL), len(freeR),
+		assignment.SubMatrixSim(mat, R, freeL, freeR), th.Eta)
 	for _, p := range pairs {
 		l, r := freeL[p.X], freeR[p.Y]
 		out = append(out, Unit{Kind: Paired, Left: l, Right: r, Sim: p.Sim,
@@ -144,15 +253,15 @@ func Discover(in Input, th Thresholds) []Unit {
 	// Stage 3: one-to-many correspondences under ε — remaining unpaired
 	// tokens against the *already paired* tokens of the other entity,
 	// forming chains that model repetition and periphrasis.
-	freeL = unset(pairedL)
-	anchorsR := set(pairedR)
-	pairsL := assignment.Match(len(freeL), len(anchorsR), func(x, y int) float64 {
-		return in.sim(freeL[x], anchorsR[y])
-	}, th.Epsilon)
-	freeR = unset(pairedR)
-	anchorsL := set(pairedL)
+	freeL = unset(sc.ia, pairedL)
+	anchorsR := set(sc.ib, pairedR)
+	freeR = unset(sc.ic, pairedR)
+	anchorsL := set(sc.id, pairedL)
+	sc.ia, sc.ib, sc.ic, sc.id = freeL, anchorsR, freeR, anchorsL
+	pairsL := assignment.Match(len(freeL), len(anchorsR),
+		assignment.SubMatrixSim(mat, R, freeL, anchorsR), th.Epsilon)
 	pairsR := assignment.Match(len(freeR), len(anchorsL), func(x, y int) float64 {
-		return in.sim(anchorsL[y], freeR[x])
+		return mat[anchorsL[y]*R+freeR[x]]
 	}, th.Epsilon)
 	for _, p := range pairsL {
 		l, r := freeL[p.X], anchorsR[p.Y]
@@ -168,13 +277,17 @@ func Discover(in Input, th Thresholds) []Unit {
 	}
 
 	// Remaining tokens become unpaired units.
-	for _, l := range unset(pairedL) {
-		out = append(out, Unit{Kind: UnpairedLeft, Left: l, Right: -1,
-			Stage: StageUnpaired, Attr: in.Left[l].Attr})
+	for l, p := range pairedL {
+		if !p {
+			out = append(out, Unit{Kind: UnpairedLeft, Left: l, Right: -1,
+				Stage: StageUnpaired, Attr: in.Left[l].Attr})
+		}
 	}
-	for _, r := range unset(pairedR) {
-		out = append(out, Unit{Kind: UnpairedRight, Left: -1, Right: r,
-			Stage: StageUnpaired, Attr: in.Right[r].Attr})
+	for r, p := range pairedR {
+		if !p {
+			out = append(out, Unit{Kind: UnpairedRight, Left: -1, Right: r,
+				Stage: StageUnpaired, Attr: in.Right[r].Attr})
+		}
 	}
 	return out
 }
@@ -294,36 +407,39 @@ func CheckInvariants(us []Unit, nLeft, nRight int) error {
 	return nil
 }
 
-func indicesOfAttr(toks []tokenize.Token, attr int) []int {
-	var out []int
+// indicesOfAttr appends the positions of attr's tokens to dst[:0]; the
+// Discover scratch arenas are threaded through dst so steady-state calls
+// allocate nothing.
+func indicesOfAttr(dst []int, toks []tokenize.Token, attr int) []int {
+	dst = dst[:0]
 	for i, t := range toks {
 		if t.Attr == attr {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
-// unset returns the indices where the flag slice is false.
-func unset(flags []bool) []int {
-	var out []int
+// unset appends the indices where the flag slice is false to dst[:0].
+func unset(dst []int, flags []bool) []int {
+	dst = dst[:0]
 	for i, f := range flags {
 		if !f {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
-// set returns the indices where the flag slice is true.
-func set(flags []bool) []int {
-	var out []int
+// set appends the indices where the flag slice is true to dst[:0].
+func set(dst []int, flags []bool) []int {
+	dst = dst[:0]
 	for i, f := range flags {
 		if f {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // String implements fmt.Stringer for debugging.

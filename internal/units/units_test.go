@@ -314,12 +314,70 @@ func TestUnitString(t *testing.T) {
 	}
 }
 
+// TestDiscoverNormalizedVecsMatchesCosine: on normalized embeddings the
+// dot-product fast path must discover exactly the units of the cosine
+// path, across random records (the in-package complement of the
+// end-to-end golden test in internal/core).
+func TestDiscoverNormalizedVecsMatchesCosine(t *testing.T) {
+	vocab := []string{"camera", "cameras", "sony", "nikon", "lens", "zoom",
+		"digital", "kit", "dslra200w", "5811", "black", "case"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		mk := func() []string {
+			attrs := make([]string, 2)
+			for a := range attrs {
+				n := rng.Intn(6)
+				words := make([]string, n)
+				for i := range words {
+					words[i] = vocab[rng.Intn(len(vocab))]
+				}
+				attrs[a] = strings.Join(words, " ")
+			}
+			return attrs
+		}
+		in := buildInput(mk(), mk(), rng.Intn(2) == 0)
+		cos := Discover(in, PaperThresholds)
+		in.NormalizedVecs = true
+		dot := Discover(in, PaperThresholds)
+		if len(cos) != len(dot) {
+			t.Fatalf("trial %d: %d units (cosine) != %d units (dot)", trial, len(cos), len(dot))
+		}
+		for j := range cos {
+			c, d := cos[j], dot[j]
+			if c.Kind != d.Kind || c.Left != d.Left || c.Right != d.Right ||
+				c.Stage != d.Stage || c.Attr != d.Attr {
+				t.Fatalf("trial %d unit %d: %+v != %+v", trial, j, c, d)
+			}
+			if diff := c.Sim - d.Sim; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("trial %d unit %d: sim %v != %v", trial, j, c.Sim, d.Sim)
+			}
+		}
+	}
+}
+
 func BenchmarkDiscover(b *testing.B) {
 	in := buildInput(
 		[]string{"sony digital camera with lens kit dslra200w zoom black", "sony", "37.63"},
 		[]string{"digital camera leather case 5811 black zoom", "nikon", "36.11"},
 		false,
 	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Discover(in, PaperThresholds)
+	}
+}
+
+// BenchmarkDiscoverNormalized measures the production configuration: the
+// dot-product fast path over the pooled similarity matrix.
+func BenchmarkDiscoverNormalized(b *testing.B) {
+	in := buildInput(
+		[]string{"sony digital camera with lens kit dslra200w zoom black", "sony", "37.63"},
+		[]string{"digital camera leather case 5811 black zoom", "nikon", "36.11"},
+		false,
+	)
+	in.NormalizedVecs = true
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Discover(in, PaperThresholds)

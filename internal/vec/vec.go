@@ -23,6 +23,39 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
+// DotUnit returns the cosine similarity of two unit-or-zero vectors as a
+// plain inner product, clamped to [-1, 1]. For vectors that satisfy the
+// embed.NormalizedSource contract (unit L2 norm or all-zero) this equals
+// Cosine — including the zero-vector → 0 convention, since a dot product
+// with the zero vector is 0 — at a third of the floating-point work.
+func DotUnit(a, b []float64) float64 {
+	checkLen(a, b)
+	// Four independent accumulators break the FP add dependency chain —
+	// this loop fills the record similarity matrix, the single hottest
+	// spot of the pipeline. The summation order differs from Dot by ulps,
+	// which the discovery thresholds tolerate (see the golden-unit tests).
+	b = b[:len(a)] // equal lengths: elide the b[i] bounds checks
+	var s0, s1, s2, s3 float64
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += a[0] * b[0]
+		s1 += a[1] * b[1]
+		s2 += a[2] * b[2]
+		s3 += a[3] * b[3]
+		a, b = a[4:], b[4:]
+	}
+	for i, v := range a {
+		s0 += v * b[i]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	if s > 1 {
+		return 1
+	}
+	if s < -1 {
+		return -1
+	}
+	return s
+}
+
 // Norm returns the Euclidean (L2) norm of a.
 func Norm(a []float64) float64 {
 	var s float64

@@ -24,6 +24,70 @@ func TestDotPanicsOnMismatch(t *testing.T) {
 	Dot([]float64{1}, []float64{1, 2})
 }
 
+func TestDotUnit(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical unit", []float64{1, 0}, []float64{1, 0}, 1},
+		{"opposite unit", []float64{1, 0}, []float64{-1, 0}, -1},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"zero left", []float64{0, 0}, []float64{1, 0}, 0},
+		{"zero right", []float64{0, 1}, []float64{0, 0}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DotUnit(tc.a, tc.b); got != tc.want {
+				t.Fatalf("DotUnit = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDotUnitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	DotUnit([]float64{1}, []float64{1, 2})
+}
+
+// TestDotUnitEqualsCosineOnUnitVectors: for normalized vectors the raw
+// dot product must agree with the full cosine — the contract units.Input
+// relies on when NormalizedVecs is set.
+func TestDotUnitEqualsCosineOnUnitVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a, b := make([]float64, 8), make([]float64, 8)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		Normalize(a)
+		Normalize(b)
+		if got, want := DotUnit(a, b), Cosine(a, b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: DotUnit %v != Cosine %v", trial, got, want)
+		}
+		// Zero vectors keep the cosine convention.
+		zero := make([]float64, 8)
+		if DotUnit(zero, b) != 0 || Cosine(zero, b) != 0 {
+			t.Fatal("zero-vector convention broken")
+		}
+	}
+}
+
+func TestDotUnitClamps(t *testing.T) {
+	// Denormalized inputs violate the contract, but the clamp still bounds
+	// the result so threshold comparisons cannot see values beyond ±1.
+	if got := DotUnit([]float64{2, 0}, []float64{2, 0}); got != 1 {
+		t.Fatalf("DotUnit clamp high = %v, want 1", got)
+	}
+	if got := DotUnit([]float64{2, 0}, []float64{-2, 0}); got != -1 {
+		t.Fatalf("DotUnit clamp low = %v, want -1", got)
+	}
+}
+
 func TestNorm(t *testing.T) {
 	if got := Norm([]float64{3, 4}); !almostEq(got, 5) {
 		t.Fatalf("Norm = %v, want 5", got)
