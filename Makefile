@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json
+.PHONY: check build vet test race serve-race bench bench-json
 
-## check: the pre-merge gate — vet, build, race-enabled tests, short benchmarks.
-check: vet build race bench
+## check: the pre-merge gate — vet (must be clean for every package,
+## internal/serve included), build, the serving-layer race gate, full
+## race-enabled tests, short benchmarks.
+check: vet build serve-race race bench
 
 build:
 	$(GO) build ./...
@@ -17,6 +19,12 @@ test:
 # cmd/wym alone needs ~10 min under the race detector on one core.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+## serve-race: the serving stack's lifecycle and fault-injection tests
+## under the race detector — concurrent predict vs hot reload, load
+## shedding, SIGTERM draining. Fast enough to run on every change.
+serve-race:
+	$(GO) test -race -timeout 10m ./internal/serve/... ./cmd/wym-server/...
 
 ## bench: short benchmark pass over the hot-path packages (sanity, not a
 ## baseline — use bench-json for comparable numbers).

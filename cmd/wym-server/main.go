@@ -8,31 +8,61 @@
 //
 // Endpoints:
 //
-//	POST /predict  {"left": [...], "right": [...]}
+//	POST /predict        {"left": [...], "right": [...]}
 //	    -> {"match": bool, "probability": float}
-//	POST /explain  {"left": [...], "right": [...]}
+//	POST /predict/batch  {"pairs": [{"left": [...], "right": [...]}, ...]}
+//	    -> {"results": [...], "errors": n}   (per-item error semantics)
+//	POST /explain        {"left": [...], "right": [...]}
 //	    -> prediction plus the decision units with relevance and impact
-//	GET  /healthz  -> 200 ok
+//	GET  /schema         -> the attribute names the model was trained with
+//	GET  /healthz        -> 200 ok (liveness)
+//	GET  /readyz         -> 200 while serving, 503 while draining (readiness)
+//	POST /admin/reload   {"path": "..."}? -> atomically swap in a new model
 //
 // The left/right arrays hold one string per schema attribute, in the
 // order the model was trained with (reported by GET /schema).
+//
+// The process reloads its model on SIGHUP and drains gracefully on
+// SIGINT/SIGTERM; see the serve package for the resilience middleware
+// (panic recovery, per-request timeouts, body caps, load shedding).
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"wym"
+	"wym/internal/serve"
 )
 
 func main() {
 	var (
 		modelPath = flag.String("model", "", "path to a system saved with wym -save")
 		addr      = flag.String("addr", ":8080", "listen address")
+
+		readTimeout   = flag.Duration("read-timeout", 15*time.Second, "full-request read deadline")
+		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "response write deadline")
+		idleTimeout   = flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle deadline")
+		reqTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request handling budget (503 past it)")
+		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "drain budget on SIGINT/SIGTERM")
+
+		maxBody     = flag.Int64("max-body", 1<<20, "request body cap in bytes (413 past it)")
+		maxInFlight = flag.Int("max-inflight", 64, "concurrent predict/explain cap (429 past it, 0 = unlimited)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+		maxBatch    = flag.Int("max-batch", 256, "maximum pairs per /predict/batch request")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -44,12 +74,188 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wym-server:", err)
 		os.Exit(1)
 	}
-	log.Printf("serving %s (classifier %s, schema %v) on %s",
+
+	logger := log.New(os.Stderr, "wym-server: ", log.LstdFlags)
+	a := newApp(sys, *modelPath, options{
+		logger:      logger,
+		maxInFlight: *maxInFlight,
+		retryAfter:  *retryAfter,
+		reqTimeout:  *reqTimeout,
+		maxBody:     *maxBody,
+		maxBatch:    *maxBatch,
+	})
+	srv := serve.New(serve.Config{
+		Addr:          *addr,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		IdleTimeout:   *idleTimeout,
+		ShutdownGrace: *shutdownGrace,
+		ErrorLog:      logger,
+	}, a.handler())
+	a.drainFn = srv.Draining
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	a.watchHUP(ctx)
+
+	logger.Printf("serving %s (classifier %s, schema %v) on %s",
 		*modelPath, sys.ModelName(), sys.Schema(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newHandler(sys)))
+	if err := srv.Run(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly, bye")
 }
 
-// pairRequest is the JSON body of /predict and /explain.
+// options tunes the request-handling stack; zero values are filled with
+// serving defaults by newApp.
+type options struct {
+	logger      *log.Logger
+	maxInFlight int
+	retryAfter  time.Duration
+	reqTimeout  time.Duration
+	maxBody     int64
+	maxBatch    int
+	faults      *serve.Injector // test-only fault injection, nil in production
+}
+
+// app is the serving state: a reload-safe model handle plus the
+// middleware configuration. All request handlers read the model through
+// ref.Get() exactly once, so a concurrent reload never splits one
+// request across two models.
+type app struct {
+	ref       *wym.ModelRef
+	logger    *log.Logger
+	limiter   *serve.Limiter
+	opts      options
+	drainFn   func() bool // wired to serve.Server.Draining
+	reloadMu  sync.Mutex  // serializes reloads; never held on the predict path
+	modelPath string      // guarded by reloadMu
+	reloads   atomic.Int64
+}
+
+func newApp(sys *wym.System, modelPath string, opts options) *app {
+	if opts.logger == nil {
+		opts.logger = log.Default()
+	}
+	if opts.maxBatch <= 0 {
+		opts.maxBatch = 256
+	}
+	if opts.retryAfter <= 0 {
+		opts.retryAfter = time.Second
+	}
+	return &app{
+		ref:       wym.NewModelRef(sys),
+		logger:    opts.logger,
+		limiter:   serve.NewLimiter(opts.maxInFlight, opts.retryAfter),
+		opts:      opts,
+		drainFn:   func() bool { return false },
+		modelPath: modelPath,
+	}
+}
+
+// handler assembles the full middleware stack. The hot endpoints shed
+// load and respect the request budget; health and admin endpoints skip
+// the limiter so probes and operators get through even at saturation.
+// Recovery and access logging wrap everything.
+func (a *app) handler() http.Handler {
+	mux := http.NewServeMux()
+	hot := func(h http.HandlerFunc) http.Handler {
+		var inner http.Handler = h
+		inner = a.opts.faults.Middleware(inner) // no-op when nil
+		inner = serve.MaxBytes(a.opts.maxBody, inner)
+		inner = serve.Timeout(a.opts.reqTimeout, inner)
+		return a.limiter.Middleware(inner)
+	}
+	admin := func(h http.HandlerFunc) http.Handler {
+		return serve.Timeout(a.opts.reqTimeout, serve.MaxBytes(a.opts.maxBody, h))
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", a.handleReadyz)
+	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, a.ref.Get().Schema())
+	})
+	mux.Handle("POST /predict", hot(a.handlePredict))
+	mux.Handle("POST /predict/batch", hot(a.handlePredictBatch))
+	mux.Handle("POST /explain", hot(a.handleExplain))
+	mux.Handle("POST /admin/reload", admin(a.handleReload))
+	return serve.AccessLog(a.logger, a.limiter.InFlight, serve.Recover(a.logger, mux))
+}
+
+// watchHUP reloads the model from its current path on SIGHUP until ctx
+// ends — the classic "promote the retrained artifact in place" signal.
+func (a *app) watchHUP(ctx context.Context) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if path, err := a.reload(""); err != nil {
+					a.logger.Printf("SIGHUP reload of %s failed, keeping current model: %v", path, err)
+				} else {
+					a.logger.Printf("SIGHUP reload: now serving %s", path)
+				}
+			}
+		}
+	}()
+}
+
+// reload loads and validates a replacement model, publishing it only
+// after it passes. On any failure the previous model keeps serving —
+// rollback is the default, not an action. An empty path means "reload
+// the current artifact in place".
+func (a *app) reload(path string) (string, error) {
+	a.reloadMu.Lock()
+	defer a.reloadMu.Unlock()
+	if path == "" {
+		path = a.modelPath
+	}
+	sys, err := wym.LoadSystem(path)
+	if err != nil {
+		return path, err
+	}
+	if err := validateSystem(sys); err != nil {
+		return path, fmt.Errorf("model %s failed validation: %w", path, err)
+	}
+	a.ref.Set(sys)
+	a.modelPath = path
+	a.reloads.Add(1)
+	return path, nil
+}
+
+// Reloads returns the number of successful model swaps (exposed on
+// /readyz; tests use it to observe SIGHUP handling).
+func (a *app) Reloads() int64 { return a.reloads.Load() }
+
+// validateSystem smoke-tests a candidate model before it is allowed to
+// serve: the schema must be usable and a probe predict must complete
+// without tripping an invariant panic anywhere in the pipeline.
+func validateSystem(sys *wym.System) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("probe predict panicked: %v", r)
+		}
+	}()
+	schema := sys.Schema()
+	if len(schema) == 0 {
+		return errors.New("empty schema")
+	}
+	probe := make([]string, len(schema))
+	for i := range probe {
+		probe[i] = "probe"
+	}
+	sys.Predict(wym.Pair{Left: probe, Right: probe})
+	return nil
+}
+
+// pairRequest is the JSON body of /predict and /explain, and one batch
+// item.
 type pairRequest struct {
 	Left  []string `json:"left"`
 	Right []string `json:"right"`
@@ -59,6 +265,40 @@ type pairRequest struct {
 type predictResponse struct {
 	Match       bool    `json:"match"`
 	Probability float64 `json:"probability"`
+}
+
+// sideError pinpoints which side of a pair has the wrong attribute
+// count.
+type sideError struct {
+	Side string `json:"side"` // "left" or "right"
+	Want int    `json:"want"`
+	Got  int    `json:"got"`
+}
+
+// errorResponse is the structured error body for request failures.
+type errorResponse struct {
+	Error    string      `json:"error"`
+	BadSides []sideError `json:"bad_sides,omitempty"`
+}
+
+// batchRequest is the /predict/batch body.
+type batchRequest struct {
+	Pairs []pairRequest `json:"pairs"`
+}
+
+// batchItem is one /predict/batch result: either a prediction or an
+// item-level error, never both.
+type batchItem struct {
+	Match       *bool       `json:"match,omitempty"`
+	Probability *float64    `json:"probability,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	BadSides    []sideError `json:"bad_sides,omitempty"`
+}
+
+// batchResponse is the /predict/batch reply; Errors counts failed items.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	Errors  int         `json:"errors"`
 }
 
 // unitResponse is one decision unit in the /explain reply.
@@ -78,81 +318,228 @@ type explainResponse struct {
 	Units       []unitResponse `json:"units"`
 }
 
-// newHandler builds the HTTP mux over a loaded system.
-func newHandler(sys *wym.System) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, sys.Schema())
-	})
-	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
-		p, ok := decodePair(w, r, sys)
-		if !ok {
-			return
-		}
-		label, proba := sys.Predict(p)
-		writeJSON(w, http.StatusOK, predictResponse{
-			Match:       label == wym.Match,
-			Probability: proba,
-		})
-	})
-	mux.HandleFunc("POST /explain", func(w http.ResponseWriter, r *http.Request) {
-		p, ok := decodePair(w, r, sys)
-		if !ok {
-			return
-		}
-		ex := sys.Explain(p)
-		resp := explainResponse{
-			Match:       ex.Prediction == wym.Match,
-			Probability: ex.Proba,
-		}
-		schema := sys.Schema()
-		for _, u := range ex.Units {
-			attr := ""
-			if u.Attr >= 0 && u.Attr < len(schema) {
-				attr = schema[u.Attr]
-			}
-			resp.Units = append(resp.Units, unitResponse{
-				Left: u.Left, Right: u.Right,
-				Paired:    u.Left != "" && u.Right != "",
-				Attribute: attr,
-				Relevance: u.Relevance,
-				Impact:    u.Impact,
-			})
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	return mux
+// reloadRequest is the optional /admin/reload body; an omitted or empty
+// path reloads the artifact the server is already pointed at.
+type reloadRequest struct {
+	Path string `json:"path"`
 }
 
-// decodePair parses and validates a pair request; on failure it writes the
-// error response and returns ok=false.
+// reloadResponse reports a successful swap.
+type reloadResponse struct {
+	Status  string   `json:"status"`
+	Path    string   `json:"path"`
+	Model   string   `json:"model"`
+	Schema  []string `json:"schema"`
+	Reloads int64    `json:"reloads"`
+}
+
+func (a *app) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if a.drainFn() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	sys := a.ref.Get()
+	if sys == nil {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"model":   sys.ModelName(),
+		"reloads": a.Reloads(),
+	})
+}
+
+func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
+	sys := a.ref.Get()
+	p, ok := decodePair(w, r, sys)
+	if !ok {
+		return
+	}
+	label, proba := sys.Predict(p)
+	writeJSON(w, http.StatusOK, predictResponse{
+		Match:       label == wym.Match,
+		Probability: proba,
+	})
+}
+
+func (a *app) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	sys := a.ref.Get()
+	var req batchRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no pairs")
+		return
+	}
+	if len(req.Pairs) > a.opts.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d pairs, limit is %d", len(req.Pairs), a.opts.maxBatch))
+		return
+	}
+	resp := batchResponse{Results: make([]batchItem, len(req.Pairs))}
+	for i, pr := range req.Pairs {
+		resp.Results[i] = a.predictItem(sys, pr)
+		if resp.Results[i].Error != "" {
+			resp.Errors++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictItem scores one batch item with per-item error semantics: a
+// malformed or panic-inducing pair fails that item alone, never the
+// batch or the process.
+func (a *app) predictItem(sys *wym.System, pr pairRequest) (item batchItem) {
+	if bad := checkArity(sys, pr); len(bad) > 0 {
+		return batchItem{Error: "wrong attribute count", BadSides: bad}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			a.logger.Printf("batch item panic: %v", p)
+			item = batchItem{Error: fmt.Sprintf("internal error: %v", p)}
+		}
+	}()
+	label, proba := sys.Predict(wym.Pair{Left: pr.Left, Right: pr.Right})
+	match := label == wym.Match
+	return batchItem{Match: &match, Probability: &proba}
+}
+
+func (a *app) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sys := a.ref.Get()
+	p, ok := decodePair(w, r, sys)
+	if !ok {
+		return
+	}
+	ex := sys.Explain(p)
+	resp := explainResponse{
+		Match:       ex.Prediction == wym.Match,
+		Probability: ex.Proba,
+	}
+	schema := sys.Schema()
+	for _, u := range ex.Units {
+		attr := ""
+		if u.Attr >= 0 && u.Attr < len(schema) {
+			attr = schema[u.Attr]
+		}
+		resp.Units = append(resp.Units, unitResponse{
+			Left: u.Left, Right: u.Right,
+			Paired:    u.Left != "" && u.Right != "",
+			Attribute: attr,
+			Relevance: u.Relevance,
+			Impact:    u.Impact,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *app) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(body) > 0 { // body is optional; empty means reload in place
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+	}
+	path, err := a.reload(req.Path)
+	if err != nil {
+		a.logger.Printf("reload of %s failed, keeping current model: %v", path, err)
+		writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	sys := a.ref.Get()
+	a.logger.Printf("reload: now serving %s (classifier %s)", path, sys.ModelName())
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Status:  "ok",
+		Path:    path,
+		Model:   sys.ModelName(),
+		Schema:  sys.Schema(),
+		Reloads: a.Reloads(),
+	})
+}
+
+// errEmptyBody distinguishes a missing body from malformed JSON.
+var errEmptyBody = errors.New("empty request body")
+
+// decodeStrict decodes exactly one JSON value from r into v: unknown
+// fields and trailing garbage are errors, as is an empty body.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return errEmptyBody
+		}
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
+
+// checkArity validates both sides against the model schema and reports
+// each offending side.
+func checkArity(sys *wym.System, req pairRequest) []sideError {
+	n := len(sys.Schema())
+	var bad []sideError
+	if len(req.Left) != n {
+		bad = append(bad, sideError{Side: "left", Want: n, Got: len(req.Left)})
+	}
+	if len(req.Right) != n {
+		bad = append(bad, sideError{Side: "right", Want: n, Got: len(req.Right)})
+	}
+	return bad
+}
+
+// decodePair parses and validates a pair request; on failure it writes
+// the error response and returns ok=false.
 func decodePair(w http.ResponseWriter, r *http.Request, sys *wym.System) (wym.Pair, bool) {
 	var req pairRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
 		return wym.Pair{}, false
 	}
-	n := len(sys.Schema())
-	if len(req.Left) != n || len(req.Right) != n {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("left and right must each have %d attribute values (schema %v)",
-				n, sys.Schema()))
+	if bad := checkArity(sys, req); len(bad) > 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error:    fmt.Sprintf("wrong attribute count (schema %v)", sys.Schema()),
+			BadSides: bad,
+		})
 		return wym.Pair{}, false
 	}
 	return wym.Pair{Left: req.Left, Right: req.Right}, true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("wym-server: encoding response: %v", err)
+// writeDecodeError maps body-decoding failures to statuses: an
+// over-limit body is 413, everything else 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+		return
 	}
+	if errors.Is(err, errEmptyBody) {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+}
+
+// writeJSON delegates to serve.WriteJSON, which buffers the encoding so
+// a marshal failure yields a clean 500 rather than a 200 status line
+// with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	serve.WriteJSON(w, status, v)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	serve.WriteError(w, status, msg)
 }

@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -19,7 +22,8 @@ var (
 	trainedEx  wym.Pair // a known matching pair from the test split
 )
 
-func server(t *testing.T) (*httptest.Server, *wym.System) {
+// trained returns the shared fitted system (trained once per package).
+func trained(t *testing.T) *wym.System {
 	t.Helper()
 	trainOnce.Do(func() {
 		d, _ := wym.DatasetByKey("S-BR", 1.0)
@@ -42,7 +46,27 @@ func server(t *testing.T) (*httptest.Server, *wym.System) {
 			}
 		}
 	})
-	return httptest.NewServer(newHandler(trainedSys)), trainedSys
+	return trainedSys
+}
+
+func quietOptions() options {
+	return options{logger: log.New(io.Discard, "", 0)}
+}
+
+// testApp builds an app over the shared trained system.
+func testApp(t *testing.T, opts options) *app {
+	t.Helper()
+	sys := trained(t)
+	if opts.logger == nil {
+		opts.logger = log.New(io.Discard, "", 0)
+	}
+	return newApp(sys, "", opts)
+}
+
+func server(t *testing.T) (*httptest.Server, *wym.System) {
+	t.Helper()
+	a := testApp(t, quietOptions())
+	return httptest.NewServer(a.handler()), trainedSys
 }
 
 func post(t *testing.T, url string, body any) *http.Response {
@@ -164,5 +188,223 @@ func TestPredictRejectsBadRequests(t *testing.T) {
 	g.Body.Close()
 	if g.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET status = %d", g.StatusCode)
+	}
+}
+
+func TestPredictGoldenResponse(t *testing.T) {
+	// The happy-path body must match the canonical encoding of the
+	// model's own prediction, byte for byte.
+	srv, sys := server(t)
+	defer srv.Close()
+	resp := post(t, srv.URL+"/predict", pairRequest{Left: trainedEx.Left, Right: trainedEx.Right})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabel, wantProba := sys.Predict(trainedEx)
+	want, err := json.Marshal(predictResponse{
+		Match:       wantLabel == wym.Match,
+		Probability: wantProba,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimRight(string(body), "\n"); got != string(want) {
+		t.Fatalf("golden mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestDecodeHardening(t *testing.T) {
+	srv, _ := server(t)
+	defer srv.Close()
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error message
+	}{
+		{"empty body", "", "empty request body"},
+		{"whitespace body", "   ", "empty request body"},
+		{"unknown field", `{"left":["a"],"right":["b"],"wat":1}`, "wat"},
+		{"trailing garbage", `{"left":["a"],"right":["b"]} trailing`, "trailing data"},
+		{"second JSON value", `{"left":["a"],"right":["b"]}{"x":1}`, "trailing data"},
+		{"not JSON", `{nope`, "invalid JSON"},
+	}
+	for _, endpoint := range []string{"/predict", "/explain"} {
+		for _, tc := range cases {
+			t.Run(endpoint+" "+tc.name, func(t *testing.T) {
+				resp, err := http.Post(srv.URL+endpoint, "application/json", strings.NewReader(tc.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("status = %d, want 400", resp.StatusCode)
+				}
+				var e errorResponse
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+					t.Fatalf("error body is not JSON: %v", err)
+				}
+				if !strings.Contains(e.Error, tc.want) {
+					t.Fatalf("error %q does not mention %q", e.Error, tc.want)
+				}
+			})
+		}
+	}
+}
+
+func TestArityErrorNamesTheBadSide(t *testing.T) {
+	srv, sys := server(t)
+	defer srv.Close()
+	n := len(sys.Schema())
+
+	// Only the left side is wrong.
+	good := make([]string, n)
+	resp := post(t, srv.URL+"/predict", pairRequest{Left: []string{"just-one"}, Right: good})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.BadSides) != 1 || e.BadSides[0].Side != "left" ||
+		e.BadSides[0].Want != n || e.BadSides[0].Got != 1 {
+		t.Fatalf("bad_sides = %+v, want one left-side entry (want=%d got=1)", e.BadSides, n)
+	}
+
+	// Both sides wrong -> both reported.
+	resp2 := post(t, srv.URL+"/predict", pairRequest{Left: []string{"x"}, Right: []string{"y", "z"}})
+	defer resp2.Body.Close()
+	var e2 errorResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&e2); err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.BadSides) != 2 || e2.BadSides[0].Side != "left" || e2.BadSides[1].Side != "right" {
+		t.Fatalf("bad_sides = %+v, want left and right entries", e2.BadSides)
+	}
+}
+
+func TestMaxBodyLimit(t *testing.T) {
+	a := testApp(t, options{maxBody: 128, logger: log.New(io.Discard, "", 0)})
+	srv := httptest.NewServer(a.handler())
+	defer srv.Close()
+	huge := `{"left":["` + strings.Repeat("x", 4096) + `"],"right":["y"]}`
+	resp, err := http.Post(srv.URL+"/predict", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	srv, sys := server(t)
+	defer srv.Close()
+	n := len(sys.Schema())
+	good := pairRequest{Left: trainedEx.Left, Right: trainedEx.Right}
+	bad := pairRequest{Left: []string{"short"}, Right: make([]string, n)}
+	resp := post(t, srv.URL+"/predict/batch", batchRequest{Pairs: []pairRequest{good, bad, good}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (bad items must not fail the batch)", resp.StatusCode)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(out.Results))
+	}
+	if out.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", out.Errors)
+	}
+	wantLabel, wantProba := sys.Predict(trainedEx)
+	for _, i := range []int{0, 2} {
+		it := out.Results[i]
+		if it.Error != "" || it.Match == nil || it.Probability == nil {
+			t.Fatalf("item %d = %+v, want a prediction", i, it)
+		}
+		if *it.Match != (wantLabel == wym.Match) || *it.Probability != wantProba {
+			t.Fatalf("item %d = %+v, want %v/%v", i, it, wantLabel == wym.Match, wantProba)
+		}
+	}
+	mid := out.Results[1]
+	if mid.Error == "" || mid.Match != nil || mid.Probability != nil {
+		t.Fatalf("item 1 = %+v, want an item-level error", mid)
+	}
+	if len(mid.BadSides) != 1 || mid.BadSides[0].Side != "left" {
+		t.Fatalf("item 1 bad_sides = %+v, want the left side flagged", mid.BadSides)
+	}
+}
+
+func TestPredictBatchLimits(t *testing.T) {
+	a := testApp(t, options{maxBatch: 2, logger: log.New(io.Discard, "", 0)})
+	srv := httptest.NewServer(a.handler())
+	defer srv.Close()
+
+	// Empty batch.
+	r1 := post(t, srv.URL+"/predict/batch", batchRequest{})
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", r1.StatusCode)
+	}
+
+	// Over the cap.
+	p := pairRequest{Left: trainedEx.Left, Right: trainedEx.Right}
+	r2 := post(t, srv.URL+"/predict/batch", batchRequest{Pairs: []pairRequest{p, p, p}})
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status = %d, want 400", r2.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(r2.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "limit is 2") {
+		t.Fatalf("error = %q, want the cap named", e.Error)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	a := testApp(t, quietOptions())
+	srv := httptest.NewServer(a.handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready status = %d, want 200", resp.StatusCode)
+	}
+
+	// Draining flips readiness to 503 while liveness stays 200.
+	a.drainFn = func() bool { return true }
+	r2, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status = %d, want 503", r2.StatusCode)
+	}
+	h, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", h.StatusCode)
 	}
 }

@@ -162,12 +162,19 @@ func (s *System) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile restores a system from a file.
+// LoadFile restores a system from a file. Decode failures — a
+// truncated or corrupt gob stream, an empty file, a gob holding some
+// other type — are wrapped with the file path so operators can tell
+// *which* artifact is bad when a reload fails.
 func LoadFile(path string) (*System, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	defer f.Close()
-	return Load(f)
+	sys, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return sys, nil
 }

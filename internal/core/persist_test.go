@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -72,6 +74,73 @@ func TestSaveUntrained(t *testing.T) {
 func TestLoadGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
 		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadFileCorruptInputs(t *testing.T) {
+	dir := t.TempDir()
+
+	// A gob of an entirely different type: valid stream, wrong payload.
+	wrongType := filepath.Join(dir, "wrong-type.gob")
+	f, err := os.Create(wrongType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(map[string]int{"not": 1, "a": 2, "system": 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cases := []struct {
+		name  string
+		setup func(t *testing.T) string
+	}{
+		{"garbage bytes", func(t *testing.T) string {
+			p := filepath.Join(dir, "garbage.gob")
+			if err := os.WriteFile(p, []byte("\x00\xff definitely not a gob"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"zero-byte file", func(t *testing.T) string {
+			p := filepath.Join(dir, "empty.gob")
+			if err := os.WriteFile(p, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"wrong-type gob", func(t *testing.T) string { return wrongType }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := tc.setup(t)
+			sys, err := LoadFile(path)
+			if err == nil {
+				t.Fatalf("LoadFile(%s) succeeded on corrupt input (%v)", path, sys)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %q does not name the offending file %q", err, path)
+			}
+		})
+	}
+}
+
+func TestLoadFileTruncated(t *testing.T) {
+	// A prefix of a real snapshot must fail loudly, not yield a
+	// half-initialized system.
+	sys, _ := trainOn(t, "S-FZ", 1.0, fastConfig())
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "truncated.gob")
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("expected error loading a truncated snapshot")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the file", err)
 	}
 }
 

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Faults configures deterministic fault injection. Each rule fires on
+// every Nth request through the injector (1-based count), so a test can
+// predict exactly which request panics, errors, or stalls. Zero fields
+// disable the corresponding rule.
+type Faults struct {
+	PanicEvery   int           // panic on requests n where n % PanicEvery == 0
+	ErrorEvery   int           // inject ErrorStatus likewise
+	ErrorStatus  int           // status for injected errors (default 500)
+	LatencyEvery int           // add Latency likewise
+	Latency      time.Duration // injected stall before the handler runs
+}
+
+// Injector is a test-only middleware that injects the configured faults
+// into the request path. It is deliberately deterministic — a shared
+// counter, no randomness — so fault-injection tests assert exact
+// behavior instead of retrying until the dice cooperate. Production
+// wiring simply never constructs one (a nil Injector is a no-op).
+type Injector struct {
+	mu      sync.Mutex
+	cfg     Faults
+	n       uint64
+	enabled bool
+}
+
+// NewInjector builds an enabled injector over the fault plan.
+func NewInjector(cfg Faults) *Injector {
+	if cfg.ErrorStatus == 0 {
+		cfg.ErrorStatus = http.StatusInternalServerError
+	}
+	return &Injector{cfg: cfg, enabled: true}
+}
+
+// SetEnabled turns injection on or off without rewiring the stack.
+func (in *Injector) SetEnabled(on bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.enabled = on
+}
+
+// Reset zeroes the request counter so a test's numbering starts fresh.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.n = 0
+}
+
+// tick advances the counter and snapshots the plan.
+func (in *Injector) tick() (n uint64, cfg Faults, on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.n++
+	return in.n, in.cfg, in.enabled
+}
+
+// Middleware applies the fault plan ahead of next. Order of effects on
+// a single request: latency first (so a stalled request also counts
+// against in-flight caps stacked outside), then panic, then error.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	if in == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n, cfg, on := in.tick()
+		if !on {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if cfg.LatencyEvery > 0 && n%uint64(cfg.LatencyEvery) == 0 {
+			select {
+			case <-time.After(cfg.Latency):
+			case <-r.Context().Done():
+			}
+		}
+		if cfg.PanicEvery > 0 && n%uint64(cfg.PanicEvery) == 0 {
+			panic(fmt.Sprintf("faults: injected panic on request %d", n))
+		}
+		if cfg.ErrorEvery > 0 && n%uint64(cfg.ErrorEvery) == 0 {
+			WriteError(w, cfg.ErrorStatus, fmt.Sprintf("faults: injected error on request %d", n))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

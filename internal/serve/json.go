@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+)
+
+// WriteJSON encodes v into a buffer before touching the ResponseWriter,
+// so an encoding failure yields a clean 500 instead of a success status
+// followed by a truncated body (headers are committed on first write —
+// encode-then-write is the only ordering that can still change them).
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("serve: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"encoding response failed"}` + "\n"))
+		return
+	}
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+// WriteError writes a JSON error body with the given status.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Limiter sheds load once a fixed number of requests are in flight:
+// request max+1 is answered immediately with 429 and a Retry-After hint
+// instead of queueing behind work the server cannot absorb. Matching is
+// CPU-bound, so beyond roughly GOMAXPROCS concurrent predicts extra
+// admission only adds latency for everyone — failing fast keeps tail
+// latency bounded and lets well-behaved clients back off.
+//
+// A nil Limiter admits everything (convenient for wiring paths that
+// must never shed, like health probes).
+type Limiter struct {
+	sem        chan struct{}
+	retryAfter string
+}
+
+// NewLimiter admits up to max concurrent requests and advertises
+// retryAfter (rounded up to whole seconds, minimum 1) on shed responses.
+// Non-positive max returns nil — an unlimited limiter.
+func NewLimiter(max int, retryAfter time.Duration) *Limiter {
+	if max <= 0 {
+		return nil
+	}
+	secs := int(retryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &Limiter{
+		sem:        make(chan struct{}, max),
+		retryAfter: strconv.Itoa(secs),
+	}
+}
+
+// InFlight returns the number of requests currently admitted. Safe on a
+// nil Limiter (always 0); AccessLog takes it as the inflight probe.
+func (l *Limiter) InFlight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.sem)
+}
+
+// Middleware admits or sheds. Admission is a non-blocking semaphore
+// acquire: there is deliberately no queue, because queued requests
+// would stack latency invisibly until the client gave up anyway.
+func (l *Limiter) Middleware(next http.Handler) http.Handler {
+	if l == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case l.sem <- struct{}{}:
+			defer func() { <-l.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", l.retryAfter)
+			WriteError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+		}
+	})
+}

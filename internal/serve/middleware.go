@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code and byte count written through
+// a ResponseWriter, and whether the header has been committed — Recover
+// uses the latter to avoid a superfluous WriteHeader after a handler
+// that panicked mid-response.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// Flush forwards streaming flushes so the recorder stays transparent.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Committed reports whether a status line has been sent.
+func (r *statusRecorder) Committed() bool { return r.status != 0 }
+
+// committer is satisfied by statusRecorder; Recover probes for it to
+// decide whether a 500 can still be written.
+type committer interface{ Committed() bool }
+
+// Recover turns a handler panic into a logged 500 instead of a dead
+// process: the decision-unit, feature, and classifier layers guard their
+// invariants with panic, and one malformed request must not take down
+// the server. http.ErrAbortHandler passes through untouched (it is the
+// sanctioned way to abort a response).
+func Recover(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			logger.Printf("serve: panic handling %s %s: %v\n%s",
+				r.Method, r.URL.Path, p, debug.Stack())
+			if c, ok := w.(committer); ok && c.Committed() {
+				return // response already underway; nothing sane to send
+			}
+			WriteError(w, http.StatusInternalServerError, "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// MaxBytes caps the request body at n bytes. Reads past the cap fail
+// with *http.MaxBytesError, which the decoding layer maps to 413.
+// Non-positive n disables the cap.
+func MaxBytes(n int64, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, n)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// AccessLog emits one structured line per request: method, path, status,
+// response bytes, latency, and the current in-flight count (from the
+// limiter, if any — pass nil otherwise). It installs the statusRecorder
+// that Recover relies on, so it belongs outermost on the stack.
+func AccessLog(logger *log.Logger, inflight func() int, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		fl := 0
+		if inflight != nil {
+			fl = inflight()
+		}
+		logger.Printf("method=%s path=%s status=%d bytes=%d dur=%s inflight=%d",
+			r.Method, r.URL.Path, rec.status, rec.bytes,
+			time.Since(start).Round(time.Microsecond), fl)
+	})
+}

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func quietLogger(buf *bytes.Buffer) *log.Logger { return log.New(buf, "", 0) }
+
+func TestWriteJSONBuffersBeforeHeader(t *testing.T) {
+	// A value json cannot marshal must yield a clean 500, never a 200
+	// status with a truncated body.
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if body["error"] == "" {
+		t.Fatalf("missing error field: %q", rec.Body.String())
+	}
+}
+
+func TestWriteJSONHappyPath(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusTeapot, map[string]int{"n": 7})
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if got := rec.Body.String(); got != "{\"n\":7}\n" {
+		t.Fatalf("body = %q", got)
+	}
+}
+
+func TestRecoverKeepsServing(t *testing.T) {
+	var logbuf bytes.Buffer
+	calls := 0
+	h := Recover(quietLogger(&logbuf), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			panic("boom")
+		}
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	srv := httptest.NewServer(AccessLog(quietLogger(&logbuf), nil, h))
+	defer srv.Close()
+
+	r1, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request status = %d, want 500", r1.StatusCode)
+	}
+	if !strings.Contains(logbuf.String(), "boom") {
+		t.Fatalf("panic not logged: %q", logbuf.String())
+	}
+	if !strings.Contains(logbuf.String(), "goroutine") {
+		t.Fatalf("stack not logged: %q", logbuf.String())
+	}
+
+	r2, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request status = %d, want 200 (server should survive)", r2.StatusCode)
+	}
+}
+
+func TestRecoverAfterCommitLeavesResponse(t *testing.T) {
+	// Once the handler has committed a status, Recover must not stack a
+	// second one on top.
+	var logbuf bytes.Buffer
+	h := AccessLog(quietLogger(&logbuf), nil,
+		Recover(quietLogger(&logbuf), http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusAccepted)
+			io.WriteString(w, "partial")
+			panic("late boom")
+		})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want the committed 202", rec.Code)
+	}
+	if got := rec.Body.String(); got != "partial" {
+		t.Fatalf("body = %q, want the committed prefix only", got)
+	}
+}
+
+func TestMaxBytes(t *testing.T) {
+	h := MaxBytes(16, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.Copy(io.Discard, r.Body); err != nil {
+			WriteError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	small, err := http.Post(srv.URL, "text/plain", strings.NewReader("tiny"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Body.Close()
+	if small.StatusCode != http.StatusOK {
+		t.Fatalf("small body status = %d", small.StatusCode)
+	}
+
+	big, err := http.Post(srv.URL, "text/plain", strings.NewReader(strings.Repeat("x", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.Body.Close()
+	if big.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("big body status = %d, want 413", big.StatusCode)
+	}
+}
+
+func TestTimeoutExpires(t *testing.T) {
+	lateErr := make(chan error, 1)
+	h := Timeout(20*time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		// Late write after the deadline must be swallowed.
+		_, err := w.Write([]byte("late"))
+		lateErr <- err
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "timed out") {
+		t.Fatalf("body = %q", body)
+	}
+	if err := <-lateErr; err != http.ErrHandlerTimeout {
+		t.Fatalf("late write error = %v, want ErrHandlerTimeout", err)
+	}
+}
+
+func TestTimeoutFastPathReplaysResponse(t *testing.T) {
+	h := Timeout(time.Second, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Custom", "yes")
+		WriteJSON(w, http.StatusCreated, map[string]int{"n": 1})
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Custom") != "yes" {
+		t.Fatal("header lost in replay")
+	}
+	if rec.Body.String() != "{\"n\":1}\n" {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestTimeoutPropagatesPanicToRecover(t *testing.T) {
+	var logbuf bytes.Buffer
+	h := AccessLog(quietLogger(&logbuf), nil,
+		Recover(quietLogger(&logbuf),
+			Timeout(time.Second, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				panic("inner boom")
+			}))))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 from Recover", rec.Code)
+	}
+	if !strings.Contains(logbuf.String(), "inner boom") {
+		t.Fatalf("panic not logged: %q", logbuf.String())
+	}
+}
+
+func TestLimiterShedsWithRetryAfter(t *testing.T) {
+	l := NewLimiter(1, 2*time.Second)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("admitted request status = %d", resp.StatusCode)
+		}
+	}()
+	<-entered // the slot is now held
+	if got := l.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+
+	shed, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed.Body.Close()
+	if shed.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap status = %d, want 429", shed.StatusCode)
+	}
+	if ra := shed.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+
+	close(release)
+	wg.Wait()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	if l.InFlight() != 0 {
+		t.Fatal("nil limiter InFlight != 0")
+	}
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestAccessLogFields(t *testing.T) {
+	var logbuf bytes.Buffer
+	h := AccessLog(quietLogger(&logbuf), func() int { return 3 },
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/predict", nil))
+	line := logbuf.String()
+	for _, want := range []string{"method=POST", "path=/predict", "status=200", "inflight=3", "dur="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access log %q missing %q", line, want)
+		}
+	}
+}
+
+func TestInjectorDeterministicError(t *testing.T) {
+	in := NewInjector(Faults{ErrorEvery: 2, ErrorStatus: http.StatusBadGateway})
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	want := []int{200, 502, 200, 502, 200}
+	for i, ws := range want {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		if rec.Code != ws {
+			t.Fatalf("request %d status = %d, want %d", i+1, rec.Code, ws)
+		}
+	}
+	// Disabled injector passes everything through but keeps counting.
+	in.SetEnabled(false)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("disabled injector status = %d", rec.Code)
+	}
+}
+
+func TestInjectorPanicAndLatency(t *testing.T) {
+	var logbuf bytes.Buffer
+	in := NewInjector(Faults{PanicEvery: 1})
+	h := AccessLog(quietLogger(&logbuf), nil,
+		Recover(quietLogger(&logbuf), in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("injected panic status = %d, want 500", rec.Code)
+	}
+
+	lat := NewInjector(Faults{LatencyEvery: 1, Latency: 30 * time.Millisecond})
+	lh := lat.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	start := time.Now()
+	rec = httptest.NewRecorder()
+	lh.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency injection too fast: %s", d)
+	}
+}

@@ -1,0 +1,152 @@
+// Package serve is the resilience layer under cmd/wym-server: a managed
+// http.Server lifecycle (bounded connection timeouts, signal-driven
+// graceful shutdown with connection draining) plus the middleware stack a
+// production matcher needs — panic recovery, per-request timeouts, body
+// size limits, concurrency-capped load shedding with 429 + Retry-After,
+// structured access logging, and a deterministic fault injector that
+// end-to-end tests use to prove all of the above.
+//
+// The package is HTTP-generic: nothing in it knows about entity matching,
+// so any future command (a blocking service, a batch scorer) can reuse it.
+//
+// Typical wiring, outermost first:
+//
+//	handler := serve.AccessLog(logger, limiter.InFlight,
+//	    serve.Recover(logger, mux))
+//	srv := serve.New(serve.Config{Addr: ":8080"}, handler)
+//	err := srv.Run(ctx) // ctx from signal.NotifyContext(SIGINT, SIGTERM)
+//
+// with hot paths inside mux individually wrapped as
+//
+//	limiter.Middleware(serve.Timeout(d, serve.MaxBytes(n, h)))
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config bounds the server's connection handling. Zero fields fall back
+// to the defaults below; ShutdownGrace bounds how long Run waits for
+// in-flight requests when draining.
+type Config struct {
+	Addr          string        // listen address (default ":8080")
+	ReadTimeout   time.Duration // full-request read deadline (default 15s)
+	WriteTimeout  time.Duration // response write deadline (default 60s)
+	IdleTimeout   time.Duration // keep-alive idle deadline (default 120s)
+	ShutdownGrace time.Duration // drain budget on shutdown (default 15s)
+	ErrorLog      *log.Logger   // http.Server error log (default stdlib)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 15 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 60 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 15 * time.Second
+	}
+	return c
+}
+
+// Server wraps http.Server with explicit lifecycle: Start binds the
+// listener (so tests can use ":0" and read the real Addr), Run blocks
+// until the context is cancelled and then drains, Shutdown drains on
+// demand. Draining reports whether shutdown has begun — readiness probes
+// flip to 503 on it so load balancers stop routing before the listener
+// closes.
+type Server struct {
+	cfg      Config
+	srv      *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+	serveErr chan error
+}
+
+// New builds an unstarted server over the handler.
+func New(cfg Config, h http.Handler) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg: cfg,
+		srv: &http.Server{
+			Addr:         cfg.Addr,
+			Handler:      h,
+			ReadTimeout:  cfg.ReadTimeout,
+			WriteTimeout: cfg.WriteTimeout,
+			IdleTimeout:  cfg.IdleTimeout,
+			ErrorLog:     cfg.ErrorLog,
+		},
+		serveErr: make(chan error, 1),
+	}
+}
+
+// Start binds the listener and begins serving in the background. It
+// returns once the address is bound, so Addr is valid immediately after.
+func (s *Server) Start() error {
+	if s.ln != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (resolving ":0"). It is only
+// valid after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to the context deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.srv.Shutdown(ctx)
+}
+
+// Run starts the server (if Start was not already called) and blocks
+// until either the server fails or ctx is cancelled — typically by
+// SIGINT/SIGTERM via signal.NotifyContext. On cancellation it drains
+// in-flight requests for up to ShutdownGrace and returns the shutdown
+// error, nil on a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	select {
+	case err := <-s.serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	err := s.Shutdown(sctx)
+	<-s.serveErr // reap the Serve goroutine (ErrServerClosed)
+	return err
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Timeout bounds one request's handling time. The handler runs with a
+// deadline-carrying context and writes into a buffered writer; if it
+// finishes in time the buffer is replayed to the client, otherwise the
+// client gets 503 and the handler's late writes are discarded (it keeps
+// running until it observes ctx.Done, but can no longer corrupt the
+// response). Panics in the handler propagate to the caller so Recover —
+// stacked outside — still sees them. Non-positive d disables the bound.
+//
+// This mirrors http.TimeoutHandler but returns the JSON error shape the
+// rest of the API speaks.
+func Timeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		tw := &timeoutWriter{h: make(http.Header)}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+			}()
+			next.ServeHTTP(tw, r)
+			close(done)
+		}()
+		select {
+		case p := <-panicked:
+			panic(p)
+		case <-done:
+			tw.replay(w)
+		case <-ctx.Done():
+			tw.abandon()
+			WriteError(w, http.StatusServiceUnavailable, "request timed out")
+		}
+	})
+}
+
+// timeoutWriter buffers a response so it can be committed atomically
+// after the handler wins the race against the deadline.
+type timeoutWriter struct {
+	mu       sync.Mutex
+	h        http.Header
+	buf      bytes.Buffer
+	status   int
+	timedOut bool
+}
+
+func (tw *timeoutWriter) Header() http.Header { return tw.h }
+
+func (tw *timeoutWriter) WriteHeader(code int) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.status == 0 {
+		tw.status = code
+	}
+}
+
+func (tw *timeoutWriter) Write(b []byte) (int, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	return tw.buf.Write(b)
+}
+
+// abandon marks the response as forfeited; later handler writes error.
+func (tw *timeoutWriter) abandon() {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	tw.timedOut = true
+}
+
+// replay commits the buffered response to the real writer.
+func (tw *timeoutWriter) replay(w http.ResponseWriter) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	dst := w.Header()
+	for k, v := range tw.h {
+		dst[k] = v
+	}
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	w.WriteHeader(tw.status)
+	w.Write(tw.buf.Bytes())
+}

@@ -31,6 +31,8 @@
 package wym
 
 import (
+	"sync/atomic"
+
 	"wym/internal/blocking"
 	"wym/internal/core"
 	"wym/internal/data"
@@ -224,7 +226,36 @@ func BlockingSummary(left, right []Entity, cands []BlockingCandidate) BlockingSt
 //
 //	sys.SaveFile("matcher.gob")
 //	sys, err := wym.LoadSystem("matcher.gob")
+//
+// Decode failures (truncated files, garbage, a gob of the wrong type)
+// come back wrapped with the file path.
 func LoadSystem(path string) (*System, error) { return core.LoadFile(path) }
+
+// ModelRef is a reload-safe handle to the System currently being
+// served. Readers call Get per request and keep using the snapshot they
+// got; a reloader validates a replacement off to the side and publishes
+// it with Set in one atomic step. In-flight requests finish on the
+// model they started with — no locks on the predict path, safe under
+// the race detector with concurrent Get/Set.
+type ModelRef struct {
+	p atomic.Pointer[System]
+}
+
+// NewModelRef builds a handle serving sys (which may be nil until the
+// first successful load).
+func NewModelRef(sys *System) *ModelRef {
+	r := &ModelRef{}
+	r.p.Store(sys)
+	return r
+}
+
+// Get returns the current model. Callers must not assume a second Get
+// returns the same snapshot.
+func (r *ModelRef) Get() *System { return r.p.Load() }
+
+// Set atomically publishes sys as the current model and returns the
+// one it replaced.
+func (r *ModelRef) Set(sys *System) (old *System) { return r.p.Swap(sys) }
 
 // TuneResult is one grid point of a threshold sweep; see TuneThresholds.
 type TuneResult = core.TuneResult

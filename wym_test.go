@@ -162,3 +162,33 @@ func TestSystemPersistenceViaPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+func TestModelRefSwap(t *testing.T) {
+	a := &System{}
+	b := &System{}
+	ref := NewModelRef(a)
+	if ref.Get() != a {
+		t.Fatal("Get returned a different system than stored")
+	}
+	if old := ref.Set(b); old != a {
+		t.Fatal("Set did not return the replaced system")
+	}
+	if ref.Get() != b {
+		t.Fatal("Set did not publish the new system")
+	}
+	// Concurrent readers vs one writer; run under -race in `make check`.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			ref.Set(a)
+			ref.Set(b)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if sys := ref.Get(); sys != a && sys != b {
+			t.Fatal("Get observed a torn value")
+		}
+	}
+	<-done
+}
