@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race serve-race bench bench-json
+.PHONY: check build vet test race serve-race train-race fuzz-smoke bench bench-json
 
 ## check: the pre-merge gate — vet (must be clean for every package,
-## internal/serve included), build, the serving-layer race gate, full
-## race-enabled tests, short benchmarks.
-check: vet build serve-race race bench
+## internal/serve included), build, the serving-layer race gate, the
+## fault-tolerant-training race gate, a fuzz smoke pass over CSV ingest,
+## full race-enabled tests, short benchmarks.
+check: vet build serve-race train-race fuzz-smoke race bench
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,22 @@ race:
 ## shedding, SIGTERM draining. Fast enough to run on every change.
 serve-race:
 	$(GO) test -race -timeout 10m ./internal/serve/... ./cmd/wym-server/...
+
+## train-race: the fault-tolerant-training suite under the race detector —
+## cancellation at every stage boundary, checkpoint resume (byte-identical
+## golden predictions), checkpoint integrity rejection, per-record worker
+## panic quarantine, and the CLI's checkpoint/resume/lenient-ingest paths.
+train-race:
+	$(GO) test -race -timeout 20m \
+		-run 'TestResume|TestTrainCancellation|TestTrainQuarantines|TestProcessAllContext|TestCheckpoint|TestRunCheckpoint|TestRunCanceled|TestRunLenient' \
+		./internal/core ./cmd/wym
+
+## fuzz-smoke: a short native-fuzz pass over both CSV ingest surfaces —
+## the strict reader and the quarantining lenient loader must never panic
+## on arbitrary bytes.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=5s ./internal/data
+	$(GO) test -fuzz='^FuzzReadCSVLenient$$' -fuzztime=5s ./internal/data
 
 ## bench: short benchmark pass over the hot-path packages (sanity, not a
 ## baseline — use bench-json for comparable numbers).

@@ -199,7 +199,7 @@ func benchSystem(b *testing.B) (*System, *Dataset) {
 	b.Helper()
 	benchOnce.Do(func() {
 		d, _ := DatasetByKey("S-FZ", 1.0)
-		train, valid, test := d.Split(0.6, 0.2, 1)
+		train, valid, test := d.MustSplit(0.6, 0.2, 1)
 		sys, err := Train(train, valid, DefaultConfig())
 		if err != nil {
 			benchErr = err

@@ -55,7 +55,10 @@ func runBenchJSON(path, dataset string, scale float64, seed int64) error {
 	if !ok {
 		return fmt.Errorf("unknown dataset %q", dataset)
 	}
-	train, valid, test := d.Split(0.6, 0.2, seed)
+	train, valid, test, err := d.Split(0.6, 0.2, seed)
+	if err != nil {
+		return err
+	}
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
 		return err

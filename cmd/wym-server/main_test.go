@@ -27,7 +27,7 @@ func trained(t *testing.T) *wym.System {
 	t.Helper()
 	trainOnce.Do(func() {
 		d, _ := wym.DatasetByKey("S-BR", 1.0)
-		train, valid, test := d.Split(0.6, 0.2, 1)
+		train, valid, test := d.MustSplit(0.6, 0.2, 1)
 		cfg := wym.DefaultConfig()
 		cfg.ScorerNN = relevance.NNConfig{
 			Hidden: []int{16},

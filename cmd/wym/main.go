@@ -3,95 +3,181 @@
 //
 // Usage:
 //
-//	wym -data pairs.csv [-explain N] [-code-exact] [-seed 1]
-//	wym -dataset S-AG -scale 0.05 [-explain N]
+//	wym [train] -data pairs.csv [-explain N] [-code-exact] [-seed 1]
+//	wym [train] -dataset S-AG -scale 0.05 [-explain N]
+//	wym train -data pairs.csv -checkpoint run1/   # checkpoint each stage
+//	wym train -data pairs.csv -resume run1/       # resume an interrupted run
 //
 // The CSV layout is label, left_<attr>..., right_<attr>... (the Magellan
 // benchmark layout). With -dataset, a synthetic benchmark dataset is
 // generated instead. The tool splits 60-20-20, trains, reports test F1 and
 // the classifier-pool ranking, and renders explanations for the first N
 // test records.
+//
+// Training is fault tolerant: SIGINT/SIGTERM stops the run cleanly at the
+// next stage boundary, -checkpoint persists each completed stage, and
+// -resume picks an interrupted run back up from its last valid checkpoint.
+// CSV ingest is lenient by default — malformed rows are quarantined and
+// reported with their line numbers, up to -error-budget of them; -strict
+// fails on the first bad row instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"wym"
 	"wym/internal/eval"
 )
 
-func main() {
-	var (
-		dataPath  = flag.String("data", "", "CSV dataset path (label, left_*, right_* columns)")
-		datasetID = flag.String("dataset", "", "generate a synthetic benchmark dataset (e.g. S-AG) instead of reading CSV")
-		scale     = flag.Float64("scale", 0.05, "synthetic dataset scale (1.0 = paper size)")
-		explainN  = flag.Int("explain", 3, "number of test records to explain")
-		codeExact = flag.Bool("code-exact", false, "enable the product-code exact-pairing heuristic (§5.1.1)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		savePath  = flag.String("save", "", "save the trained system to this file")
-		loadPath  = flag.String("load", "", "skip training and load a system saved with -save")
-	)
-	flag.Parse()
+// options carries the parsed command line.
+type options struct {
+	dataPath    string
+	datasetID   string
+	scale       float64
+	explainN    int
+	codeExact   bool
+	seed        int64
+	savePath    string
+	loadPath    string
+	checkpoint  string
+	resume      string
+	strict      bool
+	errorBudget int
+	verbose     bool
+}
 
-	if err := run(*dataPath, *datasetID, *scale, *explainN, *codeExact, *seed, *savePath, *loadPath); err != nil {
+func main() {
+	args := os.Args[1:]
+	// Accept an optional leading "train" subcommand: `wym train -resume d`
+	// reads naturally in scripts and docs, and the flag package would stop
+	// parsing at the bare word otherwise.
+	if len(args) > 0 && args[0] == "train" {
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("wym", flag.ExitOnError)
+	var o options
+	fs.StringVar(&o.dataPath, "data", "", "CSV dataset path (label, left_*, right_* columns)")
+	fs.StringVar(&o.datasetID, "dataset", "", "generate a synthetic benchmark dataset (e.g. S-AG) instead of reading CSV")
+	fs.Float64Var(&o.scale, "scale", 0.05, "synthetic dataset scale (1.0 = paper size)")
+	fs.IntVar(&o.explainN, "explain", 3, "number of test records to explain")
+	fs.BoolVar(&o.codeExact, "code-exact", false, "enable the product-code exact-pairing heuristic (§5.1.1)")
+	fs.Int64Var(&o.seed, "seed", 1, "random seed")
+	fs.StringVar(&o.savePath, "save", "", "save the trained system to this file")
+	fs.StringVar(&o.loadPath, "load", "", "skip training and load a system saved with -save")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "write a stage checkpoint to this directory after each pipeline stage")
+	fs.StringVar(&o.resume, "resume", "", "resume an interrupted run from this checkpoint directory (implies -checkpoint)")
+	fs.BoolVar(&o.strict, "strict", false, "fail on the first malformed CSV row instead of quarantining it")
+	fs.IntVar(&o.errorBudget, "error-budget", 0, "max quarantined CSV rows before aborting (0 = default, negative = unlimited)")
+	fs.BoolVar(&o.verbose, "v", false, "report each pipeline stage as it completes")
+	fs.Parse(args)
+
+	// SIGINT/SIGTERM cancel the training context: the run stops cleanly at
+	// the next stage boundary (checkpoints already written stay valid, so
+	// -resume continues where the signal landed).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "wym:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, datasetID string, scale float64, explainN int, codeExact bool, seed int64, savePath, loadPath string) error {
-	var d *wym.Dataset
+// loadData reads or generates the dataset per the command line.
+func loadData(o options) (*wym.Dataset, error) {
 	switch {
-	case dataPath != "":
-		var err error
-		d, err = wym.LoadDataset(dataPath)
-		if err != nil {
-			return err
+	case o.dataPath != "":
+		if o.strict {
+			return wym.LoadDataset(o.dataPath)
 		}
-	case datasetID != "":
-		var ok bool
-		d, ok = wym.DatasetByKey(datasetID, scale)
+		d, report, err := wym.LoadDatasetLenient(o.dataPath,
+			wym.LoadOptions{ErrorBudget: o.errorBudget})
+		if report != nil && !report.Clean() {
+			for _, q := range report.Quarantined {
+				fmt.Fprintf(os.Stderr, "wym: quarantined %v\n", q)
+			}
+			fmt.Fprintln(os.Stderr, "wym:", report)
+		}
+		return d, err
+	case o.datasetID != "":
+		d, ok := wym.DatasetByKey(o.datasetID, o.scale)
 		if !ok {
-			return fmt.Errorf("unknown dataset %q (try S-DG, S-DA, S-AG, ...)", datasetID)
+			return nil, fmt.Errorf("unknown dataset %q (try S-DG, S-DA, S-AG, ...)", o.datasetID)
 		}
+		return d, nil
 	default:
-		return fmt.Errorf("pass -data <csv> or -dataset <key>")
+		return nil, fmt.Errorf("pass -data <csv> or -dataset <key>")
+	}
+}
+
+func run(ctx context.Context, o options) error {
+	d, err := loadData(o)
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("dataset %s: %d pairs, %.1f%% matches, schema %v\n",
 		d.Name, d.Size(), 100*d.MatchRate(), d.Schema)
 
-	train, valid, test := d.Split(0.6, 0.2, seed)
+	train, valid, test, err := d.Split(0.6, 0.2, o.seed)
+	if err != nil {
+		return err
+	}
 	var sys *wym.System
-	if loadPath != "" {
-		var err error
-		sys, err = wym.LoadSystem(loadPath)
+	if o.loadPath != "" {
+		sys, err = wym.LoadSystem(o.loadPath)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nloaded system from %s (classifier %s)\n", loadPath, sys.ModelName())
+		fmt.Printf("\nloaded system from %s (classifier %s)\n", o.loadPath, sys.ModelName())
 	} else {
 		cfg := wym.DefaultConfig()
-		cfg.CodeExact = codeExact
-		cfg.Seed = seed
-		var err error
-		sys, err = wym.Train(train, valid, cfg)
+		cfg.CodeExact = o.codeExact
+		cfg.Seed = o.seed
+		topts := wym.TrainOptions{CheckpointDir: o.checkpoint, Resume: o.resume != ""}
+		if o.resume != "" {
+			topts.CheckpointDir = o.resume
+		}
+		if o.verbose {
+			topts.OnStage = func(st wym.TrainStage, took time.Duration, resumed bool) {
+				how := "trained"
+				if resumed {
+					how = "resumed from checkpoint"
+				}
+				fmt.Printf("stage %-10s %s (%v)\n", st, how, took.Round(time.Millisecond))
+			}
+		}
+		var report *wym.TrainReport
+		sys, report, err = wym.TrainWithOptions(ctx, train, valid, cfg, topts)
 		if err != nil {
 			return err
+		}
+		for _, w := range report.CheckpointWarnings {
+			fmt.Fprintln(os.Stderr, "wym: checkpoint:", w)
+		}
+		if len(report.Resumed) > 0 {
+			fmt.Printf("resumed %d stage(s) from %s\n", len(report.Resumed), topts.CheckpointDir)
+		}
+		if n := report.Quarantined(); n > 0 {
+			fmt.Fprintf(os.Stderr, "wym: quarantined %d record(s) during training\n", n)
 		}
 		fmt.Printf("\nselected classifier: %s (validation ranking below)\n", sys.ModelName())
 		for _, s := range sys.Report() {
 			fmt.Printf("  %-4s F1=%.3f P=%.3f R=%.3f\n", s.Name, s.F1, s.Precision, s.Recall)
 		}
 	}
-	if savePath != "" {
-		if err := sys.SaveFile(savePath); err != nil {
+	if o.savePath != "" {
+		if err := sys.SaveFile(o.savePath); err != nil {
 			return err
 		}
-		fmt.Printf("saved trained system to %s\n", savePath)
+		fmt.Printf("saved trained system to %s\n", o.savePath)
 	}
 
 	pred := sys.PredictAll(test)
@@ -99,7 +185,7 @@ func run(dataPath, datasetID string, scale float64, explainN int, codeExact bool
 	fmt.Printf("\ntest: F1=%.3f precision=%.3f recall=%.3f accuracy=%.3f (%d records)\n",
 		c.F1(), c.Precision(), c.Recall(), c.Accuracy(), test.Size())
 
-	for i := 0; i < explainN && i < test.Size(); i++ {
+	for i := 0; i < o.explainN && i < test.Size(); i++ {
 		printExplanation(sys, test.Pairs[i])
 	}
 	return nil

@@ -1,34 +1,83 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunOnSyntheticDataset(t *testing.T) {
-	if err := run("", "S-BR", 1.0, 1, false, 1, "", ""); err != nil {
+	if err := run(context.Background(), options{datasetID: "S-BR", scale: 1.0, explainN: 1, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSaveThenLoad(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "m.gob")
-	if err := run("", "S-BR", 1.0, 0, false, 1, path, ""); err != nil {
+	if err := run(context.Background(), options{datasetID: "S-BR", scale: 1.0, seed: 1, savePath: path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "S-BR", 1.0, 0, false, 1, "", path); err != nil {
+	if err := run(context.Background(), options{datasetID: "S-BR", scale: 1.0, seed: 1, loadPath: path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 1.0, 0, false, 1, "", ""); err == nil {
+	if err := run(context.Background(), options{}); err == nil {
 		t.Fatal("expected usage error")
 	}
-	if err := run("", "NOPE", 1.0, 0, false, 1, "", ""); err == nil {
+	if err := run(context.Background(), options{datasetID: "NOPE"}); err == nil {
 		t.Fatal("expected unknown-dataset error")
 	}
-	if err := run("/does/not/exist.csv", "", 1.0, 0, false, 1, "", ""); err == nil {
+	if err := run(context.Background(), options{dataPath: "/does/not/exist.csv"}); err == nil {
 		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestRunCheckpointThenResume(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(context.Background(), options{datasetID: "S-BR", scale: 1.0, seed: 1, checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoints written: %v (%d entries)", err, len(entries))
+	}
+	if err := run(context.Background(), options{datasetID: "S-BR", scale: 1.0, seed: 1, resume: dir, verbose: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, options{datasetID: "S-BR", scale: 1.0, seed: 1}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestRunLenientVsStrictIngest(t *testing.T) {
+	// One bad label row: lenient quarantines it and trains on the rest;
+	// strict refuses the file.
+	path := filepath.Join(t.TempDir(), "dirty.csv")
+	csv := "label,left_a,right_a\n"
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			csv += fmt.Sprintf("1,widget alpha %d,widget alpha %d\n", i, i)
+		} else {
+			csv += fmt.Sprintf("0,widget alpha %d,gadget beta %d\n", i, i+1000)
+		}
+	}
+	csv += "7,broken,row\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), options{dataPath: path, seed: 1}); err != nil {
+		t.Fatalf("lenient ingest failed: %v", err)
+	}
+	if err := run(context.Background(), options{dataPath: path, seed: 1, strict: true}); err == nil {
+		t.Fatal("strict ingest accepted a bad label row")
 	}
 }

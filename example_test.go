@@ -12,7 +12,7 @@ import (
 // documentation; training output depends on the data so it is not asserted.)
 func Example() {
 	d, _ := wym.DatasetByKey("S-FZ", 1.0) // or wym.LoadDataset("pairs.csv")
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
@@ -29,7 +29,7 @@ func Example() {
 // Screen model decisions with domain rules (the paper's §6 future work).
 func ExamplePredictWithRules() {
 	d, _ := wym.DatasetByKey("S-AG", 0.05)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -60,7 +60,7 @@ func ExampleBlockCandidates() {
 // Compare the intrinsic impact scores with a post-hoc LIME explanation.
 func ExampleExplainLIME() {
 	d, _ := wym.DatasetByKey("S-DA", 0.05)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)

@@ -18,7 +18,7 @@ func main() {
 	if !ok {
 		log.Fatal("benchmark profile S-DA missing")
 	}
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)

@@ -18,7 +18,7 @@ func main() {
 	if !ok {
 		log.Fatal("benchmark profile S-WA missing")
 	}
-	train, valid, _ := d.Split(0.6, 0.2, 1)
+	train, valid, _ := d.MustSplit(0.6, 0.2, 1)
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)

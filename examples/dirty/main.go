@@ -22,7 +22,7 @@ func main() {
 	fmt.Println("(attribute values are randomly moved into the name column)")
 	fmt.Println()
 
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 
 	full, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {

@@ -19,7 +19,7 @@ func main() {
 	}
 	fmt.Printf("Amazon-Google-style catalogue: %d pairs, %.1f%% matches\n\n",
 		d.Size(), 100*d.MatchRate())
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 
 	// Plain WYM: embeddings decide which tokens pair, including codes.
 	plainCfg := wym.DefaultConfig()

@@ -16,7 +16,7 @@ func main() {
 	d := catalog()
 	fmt.Printf("dataset: %d pairs, %.0f%% matches\n\n", d.Size(), 100*d.MatchRate())
 
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)

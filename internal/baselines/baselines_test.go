@@ -14,7 +14,7 @@ func splitOf(t *testing.T, key string, scale float64) (train, valid, test *data.
 	if !ok {
 		t.Fatalf("unknown profile %q", key)
 	}
-	return datagen.Generate(p, scale).Split(0.6, 0.2, 1)
+	return datagen.Generate(p, scale).MustSplit(0.6, 0.2, 1)
 }
 
 func f1Of(pred, labels []int) float64 {

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -104,6 +105,10 @@ type System struct {
 
 	report []classify.Score
 	timing Timing
+
+	// processHook, when non-nil, runs before Process inside the quarantine
+	// wrapper; the fault-tolerance tests inject per-record panics with it.
+	processHook func(data.Pair)
 }
 
 // Timing is the §5.3 pipeline breakdown recorded during training.
@@ -120,115 +125,342 @@ func (t Timing) Total() time.Duration {
 	return t.Embeddings + t.UnitGen + t.ScorerTrain + t.Featurize + t.ModelSelect
 }
 
+// Stage identifies one phase of the training pipeline, in execution order.
+// The fault-tolerant trainer checkpoints after each completed stage and
+// checks for cancellation before starting the next.
+type Stage int
+
+// Pipeline stages.
+const (
+	StageEmbeddings Stage = iota // corpus embeddings + fine-tune
+	StageUnits                   // tokenization + Algorithm 1 over both splits
+	StageScorer                  // relevance scorer training
+	StageFeatures                // feature engineering (not checkpointed: transient)
+	StageModel                   // classifier pool + selection
+)
+
+// String implements fmt.Stringer; the names double as checkpoint keys.
+func (s Stage) String() string {
+	switch s {
+	case StageEmbeddings:
+		return "embeddings"
+	case StageUnits:
+		return "units"
+	case StageScorer:
+		return "scorer"
+	case StageFeatures:
+		return "features"
+	case StageModel:
+		return "model"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// RecordError is one record pair quarantined during processing: a worker
+// recovered a panic (or a validation failure) on it and excluded it from
+// the run instead of crashing the whole pipeline.
+type RecordError struct {
+	Index int    // position in the dataset's pair slice
+	ID    int    // the pair's ID
+	Err   string // the recovered panic or error text
+}
+
+// TrainReport describes what the fault-tolerant trainer did beyond the
+// happy path: stages resumed from checkpoints, checkpoints it had to
+// reject, and records it quarantined.
+type TrainReport struct {
+	// Resumed lists the stages loaded from checkpoints instead of trained.
+	Resumed []Stage
+	// CheckpointWarnings notes checkpoints that existed but were rejected
+	// (corrupt payload, config or dataset mismatch, stale version).
+	CheckpointWarnings []string
+	// QuarantinedTrain and QuarantinedValid list record pairs excluded
+	// from the run after a per-record worker panic.
+	QuarantinedTrain []RecordError
+	QuarantinedValid []RecordError
+}
+
+// Quarantined returns the total number of quarantined records.
+func (r *TrainReport) Quarantined() int {
+	return len(r.QuarantinedTrain) + len(r.QuarantinedValid)
+}
+
+// TrainOptions configures fault tolerance around TrainWithOptions.
+type TrainOptions struct {
+	// CheckpointDir, when non-empty, enables stage checkpointing: after
+	// each completed stage a versioned, integrity-checked snapshot is
+	// written there (atomically, via rename).
+	CheckpointDir string
+	// Resume loads the longest valid prefix of stage checkpoints from
+	// CheckpointDir before training, skipping the stages they cover. A
+	// checkpoint is valid only if its version, config fingerprint and
+	// dataset fingerprint all match; anything else is recomputed.
+	Resume bool
+	// OnStage, when non-nil, is called after each stage completes (or is
+	// resumed from a checkpoint) — progress reporting for long runs.
+	OnStage func(stage Stage, took time.Duration, resumed bool)
+
+	// processHook is the fault-injection seam for the in-package tests: it
+	// runs inside the per-record quarantine wrapper before each Process.
+	processHook func(data.Pair)
+}
+
 // Train fits the full pipeline on the training split, selecting the
 // classifier by F1 on the validation split.
 func Train(train, valid *data.Dataset, cfg Config) (*System, error) {
+	return TrainContext(context.Background(), train, valid, cfg)
+}
+
+// TrainContext is Train honoring a context: cancellation stops the run at
+// the next stage boundary (and inside the record-processing and epoch
+// loops of the long stages).
+func TrainContext(ctx context.Context, train, valid *data.Dataset, cfg Config) (*System, error) {
+	sys, _, err := TrainWithOptions(ctx, train, valid, cfg, TrainOptions{})
+	return sys, err
+}
+
+// stageErr wraps a stage failure with its pipeline position.
+func stageErr(st Stage, err error) error {
+	return fmt.Errorf("core: %s stage: %w", st, err)
+}
+
+// TrainWithOptions is the fault-tolerant trainer: TrainContext plus stage
+// checkpointing, resume, and dirty-record quarantine. The returned report
+// is non-nil whenever the input validation passed, even on error.
+func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Config, opts TrainOptions) (*System, *TrainReport, error) {
 	if train == nil || train.Size() == 0 {
-		return nil, fmt.Errorf("core: empty training set")
+		return nil, nil, fmt.Errorf("core: empty training set")
 	}
 	if valid == nil || valid.Size() == 0 {
-		return nil, fmt.Errorf("core: empty validation set")
+		return nil, nil, fmt.Errorf("core: empty validation set")
 	}
 	if err := train.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.Thresholds == (units.Thresholds{}) {
 		cfg.Thresholds = units.PaperThresholds
 	}
 
-	s := &System{cfg: cfg, schema: train.Schema}
+	s := &System{cfg: cfg, schema: train.Schema, processHook: opts.processHook}
+	report := &TrainReport{}
+	var ck *checkpointer
+	if opts.CheckpointDir != "" {
+		var err error
+		ck, err = newCheckpointer(opts.CheckpointDir, cfg, train, valid)
+		if err != nil {
+			return nil, report, err
+		}
+	}
+	done := func(st Stage, start time.Time, resumed bool) {
+		if resumed {
+			report.Resumed = append(report.Resumed, st)
+		}
+		if opts.OnStage != nil {
+			opts.OnStage(st, time.Since(start), resumed)
+		}
+	}
+
+	// A fully checkpointed run resumes to the final model in one load.
+	if ck != nil && opts.Resume {
+		if sys, ok := ck.loadModel(report); ok {
+			for st := StageEmbeddings; st <= StageModel; st++ {
+				done(st, time.Now(), true)
+			}
+			sys.cfg = cfg
+			return sys, report, nil
+		}
+	}
 
 	// Stage 1: embedding substrate, trained on the corpus of both splits'
 	// entity descriptions (test data never reaches embedding training:
 	// Predict embeds unseen tokens via the hash part).
+	if err := ctx.Err(); err != nil {
+		return nil, report, stageErr(StageEmbeddings, err)
+	}
 	start := time.Now()
-	s.source = s.buildSource(train, valid)
+	resumed := false
+	if ck != nil && opts.Resume {
+		if src, ok := ck.loadEmbeddings(report); ok {
+			s.source, resumed = src, true
+		}
+	}
+	if !resumed {
+		src, err := s.buildSourceCtx(ctx, train, valid)
+		if err != nil {
+			return nil, report, stageErr(StageEmbeddings, err)
+		}
+		s.source = src
+		if err := ck.saveEmbeddings(src); err != nil {
+			return nil, report, err
+		}
+	}
 	s.timing.Embeddings = time.Since(start)
+	done(StageEmbeddings, start, resumed)
 
 	// Stage 2: decision units for every training and validation record.
+	// Worker panics quarantine the offending pair (nil entry + report row)
+	// instead of crashing the run.
+	if err := ctx.Err(); err != nil {
+		return nil, report, stageErr(StageUnits, err)
+	}
 	start = time.Now()
-	trainRecs := s.ProcessAll(train)
-	validRecs := s.ProcessAll(valid)
+	var trainRecs, validRecs []*relevance.Record
+	resumed = false
+	if ck != nil && opts.Resume {
+		if tr, vr, ok := ck.loadUnits(report); ok {
+			trainRecs, validRecs, resumed = tr, vr, true
+		}
+	}
+	if !resumed {
+		var err error
+		trainRecs, report.QuarantinedTrain, err = s.ProcessAllContext(ctx, train)
+		if err != nil {
+			return nil, report, stageErr(StageUnits, err)
+		}
+		validRecs, report.QuarantinedValid, err = s.ProcessAllContext(ctx, valid)
+		if err != nil {
+			return nil, report, stageErr(StageUnits, err)
+		}
+		if err := ck.saveUnits(trainRecs, validRecs, report); err != nil {
+			return nil, report, err
+		}
+	}
 	s.timing.UnitGen = time.Since(start)
+	done(StageUnits, start, resumed)
 
 	// The corpus vocabulary is now fully embedded: freeze it into the
 	// cache's lock-free read-only tier so every later lookup — scorer
 	// training below and all concurrent Predict/Explain traffic — touches
-	// no lock for known tokens.
+	// no lock for known tokens. (On a resumed run the cache is cold; the
+	// freeze is then a no-op and lookups warm the sharded overflow tier.)
 	if c, ok := s.source.(*embed.Cache); ok {
 		c.Freeze()
 	}
 
 	// Stage 3: relevance scorer.
+	if err := ctx.Err(); err != nil {
+		return nil, report, stageErr(StageScorer, err)
+	}
 	start = time.Now()
-	switch cfg.Scorer {
-	case ScorerBinary:
-		s.scorer = relevance.Binary{}
-	case ScorerCosine:
-		s.scorer = relevance.Cosine{}
-	default:
-		ts := relevance.NewTrainingSet(cfg.Targets)
-		for i, rec := range trainRecs {
-			ts.Add(rec, train.Pairs[i].Label)
+	resumed = false
+	if ck != nil && opts.Resume {
+		if sc, ok := ck.loadScorer(report); ok {
+			s.scorer, resumed = sc, true
 		}
-		nnCfg := cfg.ScorerNN
-		if nnCfg.Seed == 0 {
-			nnCfg.Seed = cfg.Seed
+	}
+	if !resumed {
+		switch cfg.Scorer {
+		case ScorerBinary:
+			s.scorer = relevance.Binary{}
+		case ScorerCosine:
+			s.scorer = relevance.Cosine{}
+		default:
+			ts := relevance.NewTrainingSet(cfg.Targets)
+			for i, rec := range trainRecs {
+				if rec == nil {
+					continue // quarantined
+				}
+				ts.Add(rec, train.Pairs[i].Label)
+			}
+			nnCfg := cfg.ScorerNN
+			if nnCfg.Seed == 0 {
+				nnCfg.Seed = cfg.Seed
+			}
+			scorer, err := relevance.TrainNNCtx(ctx, ts, s.source.Dim(), nnCfg)
+			if err != nil {
+				return nil, report, stageErr(StageScorer, err)
+			}
+			s.scorer = scorer
 		}
-		scorer, err := relevance.TrainNN(ts, s.source.Dim(), nnCfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: training relevance scorer: %w", err)
+		if err := ck.saveScorer(s.scorer); err != nil {
+			return nil, report, err
 		}
-		s.scorer = scorer
 	}
 	s.timing.ScorerTrain = time.Since(start)
+	done(StageScorer, start, resumed)
 
-	// Stage 4: feature engineering.
+	// Stage 4: feature engineering. Quarantined records are dropped here,
+	// together with their labels, so the matrices stay aligned.
+	if err := ctx.Err(); err != nil {
+		return nil, report, stageErr(StageFeatures, err)
+	}
 	start = time.Now()
 	if cfg.Features == FeaturesSimplified {
 		s.space = features.NewSimplifiedSpace()
 	} else {
 		s.space = features.NewSpace(len(train.Schema))
 	}
-	xTrain := s.featurizeAll(trainRecs)
-	xValid := s.featurizeAll(validRecs)
+	xTrain, yTrain := s.featurizeLabeled(trainRecs, train)
+	xValid, yValid := s.featurizeLabeled(validRecs, valid)
 	s.timing.Featurize = time.Since(start)
+	done(StageFeatures, start, false)
 
 	// Stage 5: classifier pool and model selection.
+	if err := ctx.Err(); err != nil {
+		return nil, report, stageErr(StageModel, err)
+	}
 	start = time.Now()
-	best, report, err := classify.SelectBest(classify.NewPool(cfg.Seed),
-		xTrain, train.Labels(), xValid, valid.Labels())
+	best, scores, err := classify.SelectBest(classify.NewPool(cfg.Seed),
+		xTrain, yTrain, xValid, yValid)
 	if err != nil {
-		return nil, fmt.Errorf("core: model selection: %w", err)
+		return nil, report, fmt.Errorf("core: model selection: %w", err)
 	}
 	s.model = best
-	s.report = report
+	s.report = scores
 	s.timing.ModelSelect = time.Since(start)
-	return s, nil
+	if err := ck.saveModel(s); err != nil {
+		return nil, report, err
+	}
+	done(StageModel, start, false)
+	return s, report, nil
 }
 
 // buildSource trains the embedding stack for the configured variant.
 func (s *System) buildSource(train, valid *data.Dataset) embed.Source {
+	src, err := s.buildSourceCtx(context.Background(), train, valid)
+	if err != nil {
+		// Unreachable: the background context never cancels and the ctx
+		// variants have no other failure mode.
+		panic(err)
+	}
+	return src
+}
+
+// buildSourceCtx trains the embedding stack, checking for cancellation
+// inside corpus training, pair collection and the fine-tune.
+func (s *System) buildSourceCtx(ctx context.Context, train, valid *data.Dataset) (embed.Source, error) {
 	corpus := corpusOf(s.cfg.Tokenize, train, valid)
 	coocCfg := embed.DefaultCoocConfig()
 	coocCfg.Seed = s.cfg.Seed
-	base := embed.Source(embed.NewConcat(embed.NewHash(), embed.TrainCooc(corpus, coocCfg)))
+	cooc, err := embed.TrainCoocCtx(ctx, corpus, coocCfg)
+	if err != nil {
+		return nil, err
+	}
+	base := embed.Source(embed.NewConcat(embed.NewHash(), cooc))
 
 	switch s.cfg.Embedding {
 	case SBERT, BERTFinetuned:
-		pos, neg := s.contrastivePairs(train, base)
+		pos, neg, err := s.contrastivePairs(ctx, train, base)
+		if err != nil {
+			return nil, err
+		}
 		if s.cfg.Embedding == BERTFinetuned {
 			neg = nil // task fine-tune: consolidation only
 		}
-		base = embed.FineTune(base, pos, neg, embed.DefaultFineTuneConfig())
+		ft, err := embed.FineTuneCtx(ctx, base, pos, neg, embed.DefaultFineTuneConfig())
+		if err != nil {
+			return nil, err
+		}
+		base = ft
 	}
-	return embed.NewCache(base)
+	return embed.NewCache(base), nil
 }
 
 // contrastivePairs aligns tokens inside training records with the base
 // embeddings and collects paired units of matching records as positives
 // and of non-matching records as negatives, capped for efficiency.
-func (s *System) contrastivePairs(train *data.Dataset, base embed.Source) (pos, neg []embed.PairSample) {
+func (s *System) contrastivePairs(ctx context.Context, train *data.Dataset, base embed.Source) (pos, neg []embed.PairSample, err error) {
 	limit := s.cfg.MaxFineTunePairs
 	if limit <= 0 {
 		limit = 2000
@@ -237,6 +469,11 @@ func (s *System) contrastivePairs(train *data.Dataset, base embed.Source) (pos, 
 	for i := range train.Pairs {
 		if len(pos) >= limit && len(neg) >= limit {
 			break
+		}
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 		}
 		rec := tmp.Process(train.Pairs[i])
 		for _, u := range rec.Units {
@@ -259,7 +496,7 @@ func (s *System) contrastivePairs(train *data.Dataset, base embed.Source) (pos, 
 			}
 		}
 	}
-	return pos, neg
+	return pos, neg, nil
 }
 
 // textsPool recycles the transient token-text slices of Process; the
@@ -340,12 +577,103 @@ func (s *System) ProcessAll(d *data.Dataset) []*relevance.Record {
 	return out
 }
 
+// processSafe runs Process on one pair, converting a panic into an error
+// so a single malformed record can be quarantined instead of killing the
+// whole run.
+func (s *System) processSafe(p data.Pair) (rec *relevance.Record, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if s.processHook != nil {
+		s.processHook(p)
+	}
+	return s.Process(p), nil
+}
+
+// ProcessAllContext is ProcessAll with cancellation and per-record fault
+// isolation: a worker that panics on a record quarantines that pair (nil
+// entry in the result, a RecordError in the second return) and moves on.
+// Cancellation stops the workers at the next record; the partial results
+// are discarded and the context error returned.
+func (s *System) ProcessAllContext(ctx context.Context, d *data.Dataset) ([]*relevance.Record, []RecordError, error) {
+	n := d.Size()
+	out := make([]*relevance.Record, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range d.Pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			out[i], errs[i] = s.processSafe(d.Pairs[i])
+		}
+		return out, collectRecordErrors(d, errs), nil
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for i := range jobs {
+			if ctx.Err() != nil {
+				return
+			}
+			out[i], errs[i] = s.processSafe(d.Pairs[i])
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, collectRecordErrors(d, errs), nil
+}
+
+// collectRecordErrors turns the per-index error slice into an ordered
+// quarantine list — index order, so reports are deterministic regardless
+// of worker scheduling.
+func collectRecordErrors(d *data.Dataset, errs []error) []RecordError {
+	var out []RecordError
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, RecordError{Index: i, ID: d.Pairs[i].ID, Err: err.Error()})
+		}
+	}
+	return out
+}
+
 func (s *System) featurizeAll(recs []*relevance.Record) [][]float64 {
 	out := make([][]float64, len(recs))
 	for i, rec := range recs {
 		out[i] = s.space.Vector(rec.Units, s.scorer.Score(rec))
 	}
 	return out
+}
+
+// featurizeLabeled featurizes the non-quarantined records of a split,
+// returning the feature matrix and the aligned label vector.
+func (s *System) featurizeLabeled(recs []*relevance.Record, d *data.Dataset) (x [][]float64, y []int) {
+	x = make([][]float64, 0, len(recs))
+	y = make([]int, 0, len(recs))
+	for i, rec := range recs {
+		if rec == nil {
+			continue // quarantined
+		}
+		x = append(x, s.space.Vector(rec.Units, s.scorer.Score(rec)))
+		y = append(y, d.Pairs[i].Label)
+	}
+	return x, y
 }
 
 // Predict classifies one record pair, returning the hard label and the

@@ -46,7 +46,7 @@ func trainOn(t *testing.T, key string, scale float64, cfg Config) (*System, *dat
 		t.Fatalf("unknown profile %q", key)
 	}
 	d := datagen.Generate(p, scale)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := Train(train, valid, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +196,7 @@ func TestVariantsTrain(t *testing.T) {
 	}
 	p := mustProfile(t, "S-FZ")
 	d := datagen.Generate(p, 1.0)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	for name, mutate := range variants {
 		name, mutate := name, mutate
 		t.Run(name, func(t *testing.T) {
@@ -250,7 +250,7 @@ func TestDefaultThresholdsApplied(t *testing.T) {
 	cfg.Thresholds = units.Thresholds{} // zero value must fall back to paper's
 	p := mustProfile(t, "S-FZ")
 	d := datagen.Generate(p, 1.0)
-	train, valid, _ := d.Split(0.6, 0.2, 1)
+	train, valid, _ := d.MustSplit(0.6, 0.2, 1)
 	if _, err := Train(train, valid, cfg); err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func pairKey(a, b string) string { return a + "\x00" + b }
 func TestTuneThresholds(t *testing.T) {
 	p := mustProfile(t, "S-FZ")
 	d := datagen.Generate(p, 1.0)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	grid := []units.Thresholds{
 		{Theta: 0.55, Eta: 0.60, Epsilon: 0.65},
 		{Theta: 0.60, Eta: 0.65, Epsilon: 0.70},

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wym/internal/data"
+	"wym/internal/datagen"
+)
+
+// faultSplits generates a small dataset and splits it for the
+// fault-tolerance tests (smaller than the accuracy suite: these tests
+// train several times).
+func faultSplits(t *testing.T) (train, valid, test *data.Dataset) {
+	t.Helper()
+	d := datagen.Generate(mustProfile(t, "S-FZ"), 0.5)
+	return d.MustSplit(0.6, 0.2, 1)
+}
+
+// predictionFingerprint renders every test prediction with full float
+// precision: byte equality means the two systems are indistinguishable.
+func predictionFingerprint(sys *System, test *data.Dataset) []byte {
+	var b bytes.Buffer
+	for _, p := range test.Pairs {
+		label, proba := sys.Predict(p)
+		fmt.Fprintf(&b, "%d %x\n", label, math.Float64bits(proba))
+	}
+	return b.Bytes()
+}
+
+// TestResumeGoldenPredictions is the acceptance pin: interrupt a
+// checkpointed run after unit discovery, resume it, and the resumed
+// system's test predictions must be byte-identical to an uninterrupted
+// run with the same seed.
+func TestResumeGoldenPredictions(t *testing.T) {
+	train, valid, test := faultSplits(t)
+	cfg := fastConfig()
+
+	// Run A: uninterrupted, no checkpoints — the golden reference.
+	golden, _, err := TrainWithOptions(context.Background(), train, valid, cfg, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := predictionFingerprint(golden, test)
+
+	// Run B: checkpointed, canceled right after the units stage completes.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err = TrainWithOptions(ctx, train, valid, cfg, TrainOptions{
+		CheckpointDir: dir,
+		OnStage: func(st Stage, _ time.Duration, _ bool) {
+			if st == StageUnits {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	for _, st := range []Stage{StageEmbeddings, StageUnits} {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("stage%d-%s.ckpt", int(st), st))); err != nil {
+			t.Fatalf("missing %s checkpoint after interrupt: %v", st, err)
+		}
+	}
+
+	// Run C: resume — the first two stages must load, not retrain.
+	resumed, report, err := TrainWithOptions(context.Background(), train, valid, cfg, TrainOptions{
+		CheckpointDir: dir,
+		Resume:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Resumed) != 2 || report.Resumed[0] != StageEmbeddings || report.Resumed[1] != StageUnits {
+		t.Fatalf("resumed stages = %v, want [embeddings units]", report.Resumed)
+	}
+	if len(report.CheckpointWarnings) != 0 {
+		t.Fatalf("unexpected checkpoint warnings: %v", report.CheckpointWarnings)
+	}
+	if got := predictionFingerprint(resumed, test); !bytes.Equal(got, want) {
+		t.Fatal("resumed run's predictions differ from the uninterrupted run")
+	}
+
+	// Run D: resume again after full completion — one model load covers
+	// every stage, and predictions still match.
+	again, report, err := TrainWithOptions(context.Background(), train, valid, cfg, TrainOptions{
+		CheckpointDir: dir,
+		Resume:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Resumed) != 5 {
+		t.Fatalf("full resume covered %d stages, want 5", len(report.Resumed))
+	}
+	if got := predictionFingerprint(again, test); !bytes.Equal(got, want) {
+		t.Fatal("fully resumed run's predictions differ from the uninterrupted run")
+	}
+}
+
+func TestTrainCancellation(t *testing.T) {
+	train, valid, _ := faultSplits(t)
+	cfg := fastConfig()
+
+	// A context canceled up front fails at the first stage boundary.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainContext(ctx, train, valid, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled train: err = %v, want context.Canceled", err)
+	}
+
+	// Canceling after each stage stops the run at the next boundary with an
+	// error naming a later stage.
+	for _, at := range []Stage{StageEmbeddings, StageUnits, StageScorer, StageFeatures} {
+		at := at
+		t.Run(at.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			_, _, err := TrainWithOptions(ctx, train, valid, cfg, TrainOptions{
+				OnStage: func(st Stage, _ time.Duration, _ bool) {
+					if st == at {
+						cancel()
+					}
+				},
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if !strings.Contains(err.Error(), "stage") {
+				t.Fatalf("error does not name a stage: %v", err)
+			}
+		})
+	}
+}
+
+func TestTrainQuarantinesPanickingRecord(t *testing.T) {
+	train, valid, test := faultSplits(t)
+	cfg := fastConfig()
+	// Poison one training pair: its worker panics, the run must survive
+	// with that single pair quarantined.
+	poisoned := train.Pairs[3].ID
+	sys, report, err := TrainWithOptions(context.Background(), train, valid, cfg, TrainOptions{
+		processHook: func(p data.Pair) {
+			if p.ID == poisoned {
+				panic("injected fault")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("training with one poisoned record failed: %v", err)
+	}
+	if len(report.QuarantinedTrain) != 1 || len(report.QuarantinedValid) != 0 {
+		t.Fatalf("quarantine = %d train / %d valid, want 1/0: %+v",
+			len(report.QuarantinedTrain), len(report.QuarantinedValid), report)
+	}
+	q := report.QuarantinedTrain[0]
+	if q.Index != 3 || q.ID != poisoned || !strings.Contains(q.Err, "injected fault") {
+		t.Fatalf("quarantined record = %+v", q)
+	}
+	// The trained system still works (its own Process path has no hook).
+	sys.processHook = nil
+	if f1 := f1Of(sys.PredictAll(test), test.Labels()); f1 < 0.8 {
+		t.Fatalf("quarantined run F1 = %v, want >= 0.8", f1)
+	}
+}
+
+func TestProcessAllContextQuarantine(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	poisoned := map[int]bool{test.Pairs[1].ID: true, test.Pairs[7].ID: true}
+	sys.processHook = func(p data.Pair) {
+		if poisoned[p.ID] {
+			panic("boom")
+		}
+	}
+	defer func() { sys.processHook = nil }()
+	recs, errs, err := sys.ProcessAllContext(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != len(poisoned) {
+		t.Fatalf("quarantined %d records, want %d: %v", len(errs), len(poisoned), errs)
+	}
+	for _, re := range errs {
+		if !poisoned[re.ID] || recs[re.Index] != nil || !strings.Contains(re.Err, "panic: boom") {
+			t.Fatalf("bad quarantine entry %+v", re)
+		}
+	}
+	healthy := 0
+	for i, rec := range recs {
+		if rec != nil {
+			healthy++
+		} else if !poisoned[test.Pairs[i].ID] {
+			t.Fatalf("record %d dropped without a fault", i)
+		}
+	}
+	if healthy != test.Size()-len(poisoned) {
+		t.Fatalf("healthy records = %d, want %d", healthy, test.Size()-len(poisoned))
+	}
+}
+
+func TestProcessAllContextCancel(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := sys.ProcessAllContext(ctx, test); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCheckpointRejectsTampering(t *testing.T) {
+	train, valid, _ := faultSplits(t)
+	cfg := fastConfig()
+	ck, err := newCheckpointer(t.TempDir(), cfg, train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := (&System{cfg: cfg, schema: train.Schema}).buildSourceCtx(context.Background(), train, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.saveEmbeddings(src); err != nil {
+		t.Fatal(err)
+	}
+	report := &TrainReport{}
+	if _, ok := ck.loadEmbeddings(report); !ok || len(report.CheckpointWarnings) != 0 {
+		t.Fatalf("pristine checkpoint rejected: %v", report.CheckpointWarnings)
+	}
+
+	path := ck.path(StageEmbeddings)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(t *testing.T, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		report := &TrainReport{}
+		if _, ok := ck.loadEmbeddings(report); ok {
+			t.Fatal("corrupt checkpoint accepted")
+		}
+		if len(report.CheckpointWarnings) == 0 {
+			t.Fatal("rejection produced no warning")
+		}
+	}
+	t.Run("truncated", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte { return b[:len(b)/2] })
+	})
+	t.Run("flipped byte", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte { b[len(b)-10] ^= 0xff; return b })
+	})
+	t.Run("garbage", func(t *testing.T) {
+		corrupt(t, func([]byte) []byte { return []byte("not a checkpoint") })
+	})
+
+	// Restore the pristine file: a different config or different data must
+	// still reject it via the fingerprints.
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("config mismatch", func(t *testing.T) {
+		other := cfg
+		other.Seed = cfg.Seed + 1
+		ck2 := &checkpointer{dir: ck.dir, cfgSum: fingerprintConfig(other), dataSum: ck.dataSum}
+		report := &TrainReport{}
+		if _, ok := ck2.loadEmbeddings(report); ok {
+			t.Fatal("checkpoint accepted under a different config")
+		}
+	})
+	t.Run("data mismatch", func(t *testing.T) {
+		ck2 := &checkpointer{dir: ck.dir, cfgSum: ck.cfgSum, dataSum: fingerprintData(valid, train)}
+		report := &TrainReport{}
+		if _, ok := ck2.loadEmbeddings(report); ok {
+			t.Fatal("checkpoint accepted for different data")
+		}
+	})
+}
+
+// TestResumeRecoversFromCorruptCheckpoint: a damaged checkpoint must not
+// abort a resume — the stage is recomputed and the run still completes.
+func TestResumeRecoversFromCorruptCheckpoint(t *testing.T) {
+	train, valid, test := faultSplits(t)
+	cfg := fastConfig()
+	dir := t.TempDir()
+
+	golden, _, err := TrainWithOptions(context.Background(), train, valid, cfg,
+		TrainOptions{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the model and scorer checkpoints: resume must fall back to the
+	// embeddings+units prefix and retrain the rest to the same result.
+	for _, st := range []Stage{StageModel, StageScorer} {
+		path := filepath.Join(dir, fmt.Sprintf("stage%d-%s.ckpt", int(st), st))
+		if err := os.WriteFile(path, []byte("damaged"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed, report, err := TrainWithOptions(context.Background(), train, valid, cfg,
+		TrainOptions{CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Resumed) != 2 {
+		t.Fatalf("resumed stages = %v, want the embeddings+units prefix", report.Resumed)
+	}
+	if len(report.CheckpointWarnings) == 0 {
+		t.Fatal("damaged checkpoints produced no warnings")
+	}
+	if !bytes.Equal(predictionFingerprint(resumed, test), predictionFingerprint(golden, test)) {
+		t.Fatal("recovery run's predictions differ from the original")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageEmbeddings: "embeddings",
+		StageUnits:      "units",
+		StageScorer:     "scorer",
+		StageFeatures:   "features",
+		StageModel:      "model",
+		Stage(42):       "stage(42)",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Fatalf("Stage(%d).String() = %q, want %q", int(st), st.String(), s)
+		}
+	}
+	r := &TrainReport{QuarantinedTrain: make([]RecordError, 2), QuarantinedValid: make([]RecordError, 1)}
+	if r.Quarantined() != 3 {
+		t.Fatalf("Quarantined() = %d", r.Quarantined())
+	}
+}

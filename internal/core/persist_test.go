@@ -158,7 +158,7 @@ func TestSaveLoadAllVariants(t *testing.T) {
 	for i, mutate := range variants {
 		cfg := fastConfig()
 		mutate(&cfg)
-		train, valid, test := d.Split(0.6, 0.2, 1)
+		train, valid, test := d.MustSplit(0.6, 0.2, 1)
 		sys, err := Train(train, valid, cfg)
 		if err != nil {
 			t.Fatalf("variant %d: %v", i, err)

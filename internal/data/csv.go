@@ -2,6 +2,7 @@ package data
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -37,15 +38,16 @@ func WriteCSV(w io.Writer, d *Dataset) error {
 	return cw.Error()
 }
 
-// ReadCSV decodes a dataset from the layout produced by WriteCSV. The
-// schema is recovered from the left_*/right_* header columns, which must
-// mirror each other in order.
-func ReadCSV(r io.Reader, name string) (*Dataset, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
+// readHeader reads and validates the header row, returning the recovered
+// schema. The first cell tolerates a UTF-8 byte-order mark — spreadsheet
+// exports routinely prepend one.
+func readHeader(cr *csv.Reader) (Schema, error) {
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("data: reading header: %w", err)
+	}
+	if len(header) > 0 {
+		header[0] = strings.TrimPrefix(header[0], "\ufeff")
 	}
 	if len(header) < 3 || header[0] != "label" {
 		return nil, fmt.Errorf("data: header must start with 'label', got %v", header)
@@ -66,22 +68,68 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 		}
 		schema[i] = la
 	}
+	return schema, nil
+}
 
+// rowLine returns the 1-based input line on which the most recent row
+// started: for failed reads the parser's own position (multi-line quoted
+// fields make naive row counting wrong), for successful ones the position
+// of the row's first field.
+func rowLine(cr *csv.Reader, err error) int {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) {
+		return pe.StartLine
+	}
+	line, _ := cr.FieldPos(0)
+	return line
+}
+
+// parseLabel validates the label column of one row.
+func parseLabel(field string) (int, error) {
+	label, err := strconv.Atoi(strings.TrimSpace(field))
+	if err != nil || (label != Match && label != NonMatch) {
+		return 0, fmt.Errorf("invalid label %q", field)
+	}
+	return label, nil
+}
+
+// ReadCSV decodes a dataset from the layout produced by WriteCSV. The
+// schema is recovered from the left_*/right_* header columns, which must
+// mirror each other in order. ReadCSV is strict: the header's column count
+// is enforced on every row, and the first malformed row (wrong arity, CSV
+// syntax error, invalid label, whitespace-only trailing line) aborts the
+// load with its line number. Use ReadCSVLenient to quarantine bad rows
+// instead.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	// FieldsPerRecord = 0: lock the arity to the header's column count so
+	// the csv layer itself flags short/long rows (the old -1 setting
+	// accepted any arity and deferred detection to a manual check).
+	cr.FieldsPerRecord = 0
+	schema, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	m := len(schema)
 	d := &Dataset{Name: name, Schema: schema}
-	for lineNo := 2; ; lineNo++ {
+	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
+		line := rowLine(cr, err)
 		if err != nil {
-			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+			if errors.Is(err, csv.ErrFieldCount) {
+				if isBlankRow(rec) {
+					return nil, fmt.Errorf("data: line %d is blank", line)
+				}
+				return nil, fmt.Errorf("data: line %d has %d fields, want %d", line, len(rec), 1+2*m)
+			}
+			return nil, fmt.Errorf("data: line %d: %w", line, err)
 		}
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("data: line %d has %d fields, want %d", lineNo, len(rec), len(header))
-		}
-		label, err := strconv.Atoi(strings.TrimSpace(rec[0]))
-		if err != nil || (label != Match && label != NonMatch) {
-			return nil, fmt.Errorf("data: line %d has invalid label %q", lineNo, rec[0])
+		label, err := parseLabel(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d has %v", line, err)
 		}
 		p := Pair{
 			ID:    len(d.Pairs),
@@ -92,6 +140,12 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 		d.Pairs = append(d.Pairs, p)
 	}
 	return d, nil
+}
+
+// isBlankRow reports whether a row is a whitespace-only line — the classic
+// trailing blank line a text editor appends.
+func isBlankRow(rec []string) bool {
+	return len(rec) == 1 && strings.TrimSpace(rec[0]) == ""
 }
 
 // SaveFile writes the dataset to path as CSV.
@@ -115,6 +169,12 @@ func LoadFile(path string) (*Dataset, error) {
 		return nil, fmt.Errorf("data: %w", err)
 	}
 	defer f.Close()
+	return ReadCSV(f, baseName(path))
+}
+
+// baseName strips the directory and extension from a path for use as a
+// dataset name.
+func baseName(path string) string {
 	base := path
 	if i := strings.LastIndexByte(base, '/'); i >= 0 {
 		base = base[i+1:]
@@ -122,5 +182,5 @@ func LoadFile(path string) (*Dataset, error) {
 	if i := strings.LastIndexByte(base, '.'); i > 0 {
 		base = base[:i]
 	}
-	return ReadCSV(f, base)
+	return base
 }

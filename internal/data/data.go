@@ -123,10 +123,13 @@ func (d *Dataset) Sample(n int, seed int64) *Dataset {
 
 // Split partitions the dataset into train/validation/test subsets with the
 // given fractions (test receives the remainder), stratified by label so
-// each split preserves the match rate. The paper uses 60-20-20.
-func (d *Dataset) Split(trainFrac, validFrac float64, seed int64) (train, valid, test *Dataset) {
+// each split preserves the match rate. The paper uses 60-20-20. Invalid
+// fractions (negative, or summing past 1) return an error — bad split
+// parameters are operator input in a training pipeline, not a programming
+// error, so they must not crash the process.
+func (d *Dataset) Split(trainFrac, validFrac float64, seed int64) (train, valid, test *Dataset, err error) {
 	if trainFrac < 0 || validFrac < 0 || trainFrac+validFrac > 1 {
-		panic(fmt.Sprintf("data: invalid split fractions %v/%v", trainFrac, validFrac))
+		return nil, nil, nil, fmt.Errorf("data: invalid split fractions %v/%v", trainFrac, validFrac)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	pos, neg := d.byLabel()
@@ -148,7 +151,18 @@ func (d *Dataset) Split(trainFrac, validFrac float64, seed int64) (train, valid,
 	rng.Shuffle(len(testIdx), func(i, j int) { testIdx[i], testIdx[j] = testIdx[j], testIdx[i] })
 	return d.Subset(d.Name+"/train", trainIdx),
 		d.Subset(d.Name+"/valid", validIdx),
-		d.Subset(d.Name+"/test", testIdx)
+		d.Subset(d.Name+"/test", testIdx),
+		nil
+}
+
+// MustSplit is Split for callers with statically valid fractions (tests,
+// examples, benchmarks); it panics on error.
+func (d *Dataset) MustSplit(trainFrac, validFrac float64, seed int64) (train, valid, test *Dataset) {
+	train, valid, test, err := d.Split(trainFrac, validFrac, seed)
+	if err != nil {
+		panic(err)
+	}
+	return train, valid, test
 }
 
 func (d *Dataset) byLabel() (pos, neg []int) {

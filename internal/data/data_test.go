@@ -67,7 +67,7 @@ func TestCounts(t *testing.T) {
 
 func TestSplitProportionsAndStratification(t *testing.T) {
 	d := sampleDataset(100, 400)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	if train.Size() != 300 || valid.Size() != 100 || test.Size() != 100 {
 		t.Fatalf("split sizes = %d/%d/%d", train.Size(), valid.Size(), test.Size())
 	}
@@ -95,24 +95,35 @@ func TestSplitProportionsAndStratification(t *testing.T) {
 
 func TestSplitDeterministic(t *testing.T) {
 	d := sampleDataset(20, 80)
-	a1, _, _ := d.Split(0.6, 0.2, 5)
-	a2, _, _ := d.Split(0.6, 0.2, 5)
+	a1, _, _ := d.MustSplit(0.6, 0.2, 5)
+	a2, _, _ := d.MustSplit(0.6, 0.2, 5)
 	if !reflect.DeepEqual(a1.Pairs, a2.Pairs) {
 		t.Fatal("same seed should give identical splits")
 	}
-	b, _, _ := d.Split(0.6, 0.2, 6)
+	b, _, _ := d.MustSplit(0.6, 0.2, 6)
 	if reflect.DeepEqual(a1.Pairs, b.Pairs) {
 		t.Fatal("different seeds should differ")
 	}
 }
 
-func TestSplitPanicsOnBadFractions(t *testing.T) {
+func TestSplitRejectsBadFractions(t *testing.T) {
+	for _, frac := range [][2]float64{{0.8, 0.4}, {-0.1, 0.2}, {0.6, -0.2}} {
+		if _, _, _, err := sampleDataset(1, 1).Split(frac[0], frac[1], 1); err == nil {
+			t.Fatalf("fractions %v/%v: expected error", frac[0], frac[1])
+		}
+	}
+	if _, _, _, err := sampleDataset(2, 2).Split(0.6, 0.2, 1); err != nil {
+		t.Fatalf("valid fractions: %v", err)
+	}
+}
+
+func TestMustSplitPanicsOnBadFractions(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	sampleDataset(1, 1).Split(0.8, 0.4, 1)
+	sampleDataset(1, 1).MustSplit(0.8, 0.4, 1)
 }
 
 func TestSampleStratified(t *testing.T) {

@@ -20,6 +20,7 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("label,left_a,right_a\n1,x,y\n")
 	f.Add("not a csv at all")
 	f.Add("label,left_a,right_a\n9,x\n")
+	f.Add("\ufefflabel,left_a,right_a\n1,x,y\n \n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		got, err := ReadCSV(strings.NewReader(input), "fuzz")
@@ -39,6 +40,49 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if again.Size() != got.Size() {
 			t.Fatalf("round trip changed size: %d vs %d", again.Size(), got.Size())
+		}
+	})
+}
+
+// FuzzReadCSVLenient feeds arbitrary bytes to the quarantining loader: it
+// must never panic, anything it loads must validate, and its report must
+// account for every row. Accepted rows must survive a write/read round
+// trip — the only rows the second pass may drop are duplicates, which can
+// appear when the csv layer normalizes line endings inside quoted fields.
+func FuzzReadCSVLenient(f *testing.F) {
+	f.Add("label,left_a,right_a\n1,x,y\n9,bad,label\n1,x\n1,x,y\n")
+	f.Add("\ufefflabel,left_a,right_a\n0,\"multi\nline\",m\n \n")
+	f.Add("label,left_a,right_a\n\"bare quote,x\n0,,\n")
+	f.Add("not a csv at all")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		opts := LoadOptions{ErrorBudget: -1}
+		got, report, err := ReadCSVLenient(strings.NewReader(input), "fuzz", opts)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("loaded dataset fails validation: %v", err)
+		}
+		if report.Loaded != got.Size() || report.Rows != report.Loaded+len(report.Quarantined) {
+			t.Fatalf("report does not account for every row: %+v vs %d pairs", report, got.Size())
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, got); err != nil {
+			t.Fatalf("rewriting loaded dataset: %v", err)
+		}
+		again, report2, err := ReadCSVLenient(&buf, "fuzz2", opts)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		for _, q := range report2.Quarantined {
+			if q.Kind != RowErrDuplicate {
+				t.Fatalf("round trip quarantined a non-duplicate row: %v", q)
+			}
+		}
+		if again.Size()+len(report2.Quarantined) != got.Size() {
+			t.Fatalf("round trip lost rows: %d+%d vs %d",
+				again.Size(), len(report2.Quarantined), got.Size())
 		}
 	})
 }

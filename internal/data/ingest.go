@@ -1,0 +1,222 @@
+package data
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Lenient ingest: real-world EM feeds are messy — truncated uploads,
+// spreadsheet exports with BOMs and trailing blank lines, rows with the
+// wrong column count, free-text labels, duplicated records. The strict
+// reader (ReadCSV) fails fast on the first defect; the lenient reader
+// quarantines bad rows with their line numbers into a LoadReport and keeps
+// loading, aborting only when the defects exceed a configurable error
+// budget. Training on a 2-million-row feed should not die on row 7.
+
+// RowErrorKind classifies why a row was quarantined.
+type RowErrorKind string
+
+// Quarantine reasons.
+const (
+	RowErrParse     RowErrorKind = "parse"      // CSV syntax error (bare quote, ...)
+	RowErrArity     RowErrorKind = "arity"      // wrong number of fields
+	RowErrBlank     RowErrorKind = "blank"      // whitespace-only line
+	RowErrLabel     RowErrorKind = "label"      // label not 0/1
+	RowErrEmptySide RowErrorKind = "empty-side" // one entity entirely empty
+	RowErrDuplicate RowErrorKind = "duplicate"  // exact duplicate of an earlier row
+)
+
+// RowError is one quarantined input row.
+type RowError struct {
+	Line int // 1-based input line the row started on
+	Kind RowErrorKind
+	Msg  string
+}
+
+// Error implements error.
+func (e RowError) Error() string {
+	return fmt.Sprintf("line %d: %s [%s]", e.Line, e.Msg, e.Kind)
+}
+
+// DefaultErrorBudget is the quarantine cap applied when LoadOptions leaves
+// ErrorBudget at zero.
+const DefaultErrorBudget = 64
+
+// LoadOptions configures lenient ingest.
+type LoadOptions struct {
+	// Strict fails on the first bad row instead of quarantining — the
+	// fail-fast mode for feeds that are supposed to be machine-generated.
+	Strict bool
+	// ErrorBudget caps the quarantined rows: exceeding it aborts the load,
+	// on the theory that a mostly-broken file signals a schema or export
+	// problem rather than scattered dirt. 0 selects DefaultErrorBudget;
+	// negative means unlimited.
+	ErrorBudget int
+}
+
+// budget resolves the configured error budget.
+func (o LoadOptions) budget() int {
+	switch {
+	case o.ErrorBudget < 0:
+		return int(^uint(0) >> 1)
+	case o.ErrorBudget == 0:
+		return DefaultErrorBudget
+	default:
+		return o.ErrorBudget
+	}
+}
+
+// LoadReport summarizes a lenient load: how many rows were seen, how many
+// made it into the dataset, and every quarantined row with its line number
+// and reason.
+type LoadReport struct {
+	Name        string
+	Rows        int // data rows seen (header excluded)
+	Loaded      int
+	Quarantined []RowError
+}
+
+// Clean reports whether every row loaded.
+func (r *LoadReport) Clean() bool { return len(r.Quarantined) == 0 }
+
+// String renders a one-line summary.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("%s: %d/%d rows loaded, %d quarantined",
+		r.Name, r.Loaded, r.Rows, len(r.Quarantined))
+}
+
+// ErrBudgetExceeded wraps the abort when quarantined rows exceed the
+// error budget.
+var ErrBudgetExceeded = errors.New("data: error budget exceeded")
+
+// ReadCSVLenient decodes a dataset from the WriteCSV layout, quarantining
+// malformed rows instead of aborting. A corrupt header is still a hard
+// error — without a schema nothing can load. The returned report is
+// non-nil whenever the header parsed, including on budget aborts, so
+// callers can show operators exactly which rows were bad.
+func ReadCSVLenient(r io.Reader, name string, opts LoadOptions) (*Dataset, *LoadReport, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0
+	schema, err := readHeader(cr)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := len(schema)
+	d := &Dataset{Name: name, Schema: schema}
+	report := &LoadReport{Name: name}
+	budget := opts.budget()
+	seen := make(map[string]int) // full row content -> first line
+
+	quarantine := func(line int, kind RowErrorKind, msg string) error {
+		re := RowError{Line: line, Kind: kind, Msg: msg}
+		report.Quarantined = append(report.Quarantined, re)
+		if opts.Strict {
+			return fmt.Errorf("data: %w", re)
+		}
+		if len(report.Quarantined) > budget {
+			return fmt.Errorf("%w after %d bad rows (last: %v)",
+				ErrBudgetExceeded, len(report.Quarantined), re)
+		}
+		return nil
+	}
+
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		report.Rows++
+		line := rowLine(cr, err)
+		if err != nil {
+			var kind RowErrorKind
+			var msg string
+			switch {
+			case !errors.Is(err, csv.ErrFieldCount):
+				kind, msg = RowErrParse, err.Error()
+			case isBlankRow(rec):
+				kind, msg = RowErrBlank, "blank line"
+			default:
+				kind, msg = RowErrArity, fmt.Sprintf("%d fields, want %d", len(rec), 1+2*m)
+			}
+			if qerr := quarantine(line, kind, msg); qerr != nil {
+				return nil, report, qerr
+			}
+			continue
+		}
+		label, err := parseLabel(rec[0])
+		if err != nil {
+			if qerr := quarantine(line, RowErrLabel, err.Error()); qerr != nil {
+				return nil, report, qerr
+			}
+			continue
+		}
+		if side, empty := emptySide(rec, m); empty {
+			if qerr := quarantine(line, RowErrEmptySide,
+				side+" entity has no attribute values"); qerr != nil {
+				return nil, report, qerr
+			}
+			continue
+		}
+		// Key on the parsed label plus raw fields so a row differing only
+		// in label spelling (" 1" vs "1") still counts as a duplicate —
+		// write/read round trips normalize the label column.
+		key := fmt.Sprintf("%d\x1f%s", label, strings.Join(rec[1:], "\x1f"))
+		if first, dup := seen[key]; dup {
+			if qerr := quarantine(line, RowErrDuplicate,
+				fmt.Sprintf("duplicate of line %d", first)); qerr != nil {
+				return nil, report, qerr
+			}
+			continue
+		}
+		seen[key] = line
+		d.Pairs = append(d.Pairs, Pair{
+			ID:    len(d.Pairs),
+			Left:  append(Entity{}, rec[1:1+m]...),
+			Right: append(Entity{}, rec[1+m:]...),
+			Label: label,
+		})
+		report.Loaded++
+	}
+	return d, report, nil
+}
+
+// emptySide reports whether the left or right entity of a full-width row
+// is entirely empty (whitespace included): such a row carries no evidence
+// for either label and usually marks a botched join.
+func emptySide(rec []string, m int) (side string, empty bool) {
+	if allBlank(rec[1 : 1+m]) {
+		return "left", true
+	}
+	if allBlank(rec[1+m:]) {
+		return "right", true
+	}
+	return "", false
+}
+
+func allBlank(fields []string) bool {
+	for _, f := range fields {
+		if strings.TrimSpace(f) != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadFileLenient reads a dataset from a CSV file with lenient ingest;
+// the dataset name is derived as in LoadFile.
+func LoadFileLenient(path string, opts LoadOptions) (*Dataset, *LoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	d, report, err := ReadCSVLenient(f, baseName(path), opts)
+	if err != nil {
+		return nil, report, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return d, report, nil
+}

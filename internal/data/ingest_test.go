@@ -1,0 +1,218 @@
+package data
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// dirtyCSV is the acceptance fixture: a 2-attribute dataset whose data
+// rows exercise six distinct corruption kinds, each annotated with the
+// 1-based line it starts on. Line 5's quoted field embeds a newline, so
+// physical lines and row numbers diverge from there — the reported line
+// numbers must still point at the start of each bad row.
+const dirtyCSV = "label,left_name,left_brand,right_name,right_brand\n" + // line 1: header
+	"1,camera x100,fuji,camera x-100,fuji\n" + // line 2: clean
+	"1,lens 50mm,lens 50 mm\n" + // line 3: arity (3 fields)
+	"2,printer a4,hp,printer a-4,hp\n" + // line 4: invalid label
+	"0,\"tv\noled\",lg,tv oled,lg\n" + // line 5-6: clean, embedded newline
+	"1,,sony,x200,\n" + // line 7: clean (partial blanks are fine)
+	"0,,,,\n" + // line 8: both sides empty -> left reported first
+	"1,camera x100,fuji,camera x-100,fuji\n" + // line 9: duplicate of line 2
+	"0,phone 5g,moto,phone5g,moto\n" + // line 10: clean
+	"\"broken quote,x,y,a,b\n" + // line 11: parse error (unterminated quote swallows the rest)
+	" \n" // line 12: trailing blank line (never reached: the bare quote eats it)
+
+func TestLenientIngestQuarantine(t *testing.T) {
+	d, report, err := ReadCSVLenient(strings.NewReader(dirtyCSV), "dirty", LoadOptions{})
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if d.Size() != 4 {
+		t.Fatalf("loaded %d clean rows, want 4: %+v", d.Size(), d.Pairs)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("loaded dataset invalid: %v", err)
+	}
+	if report.Loaded != 4 || report.Rows != 4+len(report.Quarantined) {
+		t.Fatalf("report accounting off: %+v", report)
+	}
+	want := []struct {
+		line int
+		kind RowErrorKind
+	}{
+		{3, RowErrArity},
+		{4, RowErrLabel},
+		{8, RowErrEmptySide},
+		{9, RowErrDuplicate},
+		{11, RowErrParse},
+	}
+	if len(report.Quarantined) != len(want) {
+		t.Fatalf("quarantined %d rows, want %d: %v", len(report.Quarantined), len(want), report.Quarantined)
+	}
+	for i, w := range want {
+		got := report.Quarantined[i]
+		if got.Line != w.line || got.Kind != w.kind {
+			t.Errorf("quarantine %d = line %d [%s], want line %d [%s] (%s)",
+				i, got.Line, got.Kind, w.line, w.kind, got.Msg)
+		}
+	}
+	// The duplicate message must name the original row.
+	if msg := report.Quarantined[3].Msg; !strings.Contains(msg, "line 2") {
+		t.Errorf("duplicate message %q does not name line 2", msg)
+	}
+}
+
+func TestLenientIngestBlankTrailingLine(t *testing.T) {
+	in := "label,left_a,right_a\n1,x,y\n \n"
+	d, report, err := ReadCSVLenient(strings.NewReader(in), "t", LoadOptions{})
+	if err != nil || d.Size() != 1 {
+		t.Fatalf("load: %v, size %d", err, d.Size())
+	}
+	if len(report.Quarantined) != 1 || report.Quarantined[0].Kind != RowErrBlank ||
+		report.Quarantined[0].Line != 3 {
+		t.Fatalf("quarantine = %v, want blank line 3", report.Quarantined)
+	}
+	// Strict reader: same input is a hard error naming the line.
+	if _, err := ReadCSV(strings.NewReader(in), "t"); err == nil ||
+		!strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("strict read of blank line = %v, want line-3 error", err)
+	}
+}
+
+func TestIngestBOMHeader(t *testing.T) {
+	in := "\ufefflabel,left_a,right_a\n1,x,y\n"
+	for _, mode := range []string{"strict", "lenient"} {
+		var d *Dataset
+		var err error
+		if mode == "strict" {
+			d, err = ReadCSV(strings.NewReader(in), "bom")
+		} else {
+			d, _, err = ReadCSVLenient(strings.NewReader(in), "bom", LoadOptions{})
+		}
+		if err != nil {
+			t.Fatalf("%s: BOM header rejected: %v", mode, err)
+		}
+		if len(d.Schema) != 1 || d.Schema[0] != "a" || d.Size() != 1 {
+			t.Fatalf("%s: schema %v size %d", mode, d.Schema, d.Size())
+		}
+	}
+}
+
+func TestIngestTruncatedFiles(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"header cut mid-column", "label,left_a,rig"},
+		{"row cut mid-quote", "label,left_a,right_a\n1,\"unterminated"},
+		{"row cut short", "label,left_a,right_a\n1,x,y\n0,z"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Strict: anything structurally broken is an error; a cut that
+			// happens to parse (mid-column header cut) fails header checks.
+			if _, err := ReadCSV(strings.NewReader(c.input), "t"); c.name != "row cut short" && err == nil {
+				t.Fatalf("strict accepted %q", c.input)
+			}
+			// Lenient: must not panic; bad rows are quarantined, a bad
+			// header is still an error.
+			d, report, err := ReadCSVLenient(strings.NewReader(c.input), "t", LoadOptions{})
+			if err == nil && d != nil {
+				if vErr := d.Validate(); vErr != nil {
+					t.Fatalf("lenient produced invalid dataset: %v", vErr)
+				}
+				if report == nil {
+					t.Fatal("nil report without error")
+				}
+			}
+		})
+	}
+}
+
+func TestIngestQuotedNewlineLineNumbers(t *testing.T) {
+	// Two multi-line rows before the bad row: naive row counting would
+	// report line 4; the parser's position must say 8.
+	in := "label,left_a,right_a\n" + // 1
+		"1,\"a\nb\",ab\n" + // 2-3
+		"0,\"c\nd\",cd\n" + // 4-5
+		"9,x,y\n" + // 6: bad label
+		"1,ok,ok\n" // 7
+	_, report, err := ReadCSVLenient(strings.NewReader(in), "t", LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Quarantined) != 1 || report.Quarantined[0].Line != 6 {
+		t.Fatalf("quarantine = %v, want bad label at line 6", report.Quarantined)
+	}
+	if _, err := ReadCSV(strings.NewReader(in), "t"); err == nil ||
+		!strings.Contains(err.Error(), "line 6") {
+		t.Fatalf("strict error %v, want line 6", err)
+	}
+}
+
+func TestIngestErrorBudget(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("label,left_a,right_a\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("7,x,y\n") // every row has a bad label
+	}
+	_, report, err := ReadCSVLenient(strings.NewReader(b.String()), "t", LoadOptions{ErrorBudget: 3})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if len(report.Quarantined) != 4 {
+		t.Fatalf("aborted after %d quarantines, want 4 (budget 3 + the straw)", len(report.Quarantined))
+	}
+
+	// Unlimited budget: the same file loads (to zero rows) without error.
+	d, report, err := ReadCSVLenient(strings.NewReader(b.String()), "t", LoadOptions{ErrorBudget: -1})
+	if err != nil || d.Size() != 0 || len(report.Quarantined) != 10 {
+		t.Fatalf("unlimited budget: err=%v size=%d quarantined=%d", err, d.Size(), len(report.Quarantined))
+	}
+}
+
+func TestIngestStrictOptionFailsFast(t *testing.T) {
+	in := "label,left_a,right_a\n1,x,y\n9,z,w\n1,a,b\n"
+	_, report, err := ReadCSVLenient(strings.NewReader(in), "t", LoadOptions{Strict: true})
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want fail-fast at line 3", err)
+	}
+	if len(report.Quarantined) != 1 {
+		t.Fatalf("strict mode recorded %d rows, want 1", len(report.Quarantined))
+	}
+}
+
+func TestStrictReadCSVArityFromHeader(t *testing.T) {
+	// The old reader (FieldsPerRecord = -1 plus a manual check) and the new
+	// one agree: short and long rows are rejected with their line number.
+	for _, in := range []string{
+		"label,left_a,right_a\n1,x\n",
+		"label,left_a,right_a\n1,x,y,z\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in), "t"); err == nil ||
+			!strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("input %q: err = %v, want line-2 arity error", in, err)
+		}
+	}
+}
+
+func TestLoadFileLenient(t *testing.T) {
+	d, report, err := LoadFileLenient("/does/not/exist.csv", LoadOptions{})
+	if err == nil || d != nil || report != nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadReportString(t *testing.T) {
+	r := &LoadReport{Name: "x", Rows: 5, Loaded: 4,
+		Quarantined: []RowError{{Line: 3, Kind: RowErrLabel, Msg: "invalid label \"9\""}}}
+	if r.Clean() {
+		t.Fatal("report with quarantined rows is not clean")
+	}
+	s := r.String()
+	if !strings.Contains(s, "4/5") || !strings.Contains(s, "1 quarantined") {
+		t.Fatalf("summary %q", s)
+	}
+}

@@ -1,6 +1,7 @@
 package embed
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -42,6 +43,19 @@ func DefaultCoocConfig() CoocConfig {
 // element is the token sequence of one entity description; the window
 // never crosses sequence boundaries.
 func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
+	c, _ := TrainCoocCtx(context.Background(), corpus, cfg)
+	return c
+}
+
+// coocCancelStride is how many corpus sequences (or vocabulary rows) are
+// processed between cancellation checks; small enough that a SIGINT lands
+// within milliseconds, large enough that the check never shows in profiles.
+const coocCancelStride = 512
+
+// TrainCoocCtx is TrainCooc honoring a context: the counting and
+// projection loops poll for cancellation every coocCancelStride items and
+// return ctx.Err() with a nil source when interrupted.
+func TrainCoocCtx(ctx context.Context, corpus [][]string, cfg CoocConfig) (*Cooc, error) {
 	if cfg.Dim <= 0 || cfg.Window <= 0 {
 		cfg = DefaultCoocConfig()
 	}
@@ -67,7 +81,7 @@ func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
 
 	c := &Cooc{d: cfg.Dim, vectors: make(map[string][]float64, len(vocab))}
 	if len(vocab) == 0 {
-		return c
+		return c, nil
 	}
 
 	// Windowed co-occurrence counts, stored sparsely per target token.
@@ -77,7 +91,12 @@ func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
 	}
 	ctxTotal := make([]float64, len(vocab))
 	var grandTotal float64
-	for _, seq := range corpus {
+	for seqNo, seq := range corpus {
+		if seqNo%coocCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ids := make([]int, 0, len(seq))
 		for _, t := range seq {
 			if id, ok := vocab[t]; ok {
@@ -105,7 +124,7 @@ func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
 		}
 	}
 	if grandTotal == 0 {
-		return c
+		return c, nil
 	}
 
 	// Shared signed random projection: context id -> dim-sized ±1 row.
@@ -131,6 +150,11 @@ func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
 		}
 	}
 	for a := range co {
+		if a%coocCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v := make([]float64, cfg.Dim)
 		// Iterate contexts in sorted order: float accumulation is not
 		// associative, so map order would make training nondeterministic.
@@ -149,7 +173,7 @@ func TrainCooc(corpus [][]string, cfg CoocConfig) *Cooc {
 		}
 		c.vectors[vocabList[a]] = vec.Normalize(v)
 	}
-	return c
+	return c, nil
 }
 
 // Dim implements Source.

@@ -1,6 +1,8 @@
 package embed
 
 import (
+	"context"
+
 	"wym/internal/vec"
 )
 
@@ -41,17 +43,30 @@ func DefaultFineTuneConfig() FineTuneConfig { return FineTuneConfig{Alpha: 0.5, 
 // Either list may be empty; with both empty the result is the identity map
 // over the base source.
 func FineTune(base Source, pos, neg []PairSample, cfg FineTuneConfig) *Hebbian {
+	h, _ := FineTuneCtx(context.Background(), base, pos, neg, cfg)
+	return h
+}
+
+// FineTuneCtx is FineTune honoring a context: the contrastive accumulation
+// polls for cancellation every few dozen pairs and returns ctx.Err() with
+// a nil source when interrupted.
+func FineTuneCtx(ctx context.Context, base Source, pos, neg []PairSample, cfg FineTuneConfig) (*Hebbian, error) {
 	d := base.Dim()
 	m := vec.NewMatrix(d, d)
 	for i := 0; i < d; i++ {
 		m.Set(i, i, 1)
 	}
-	accumulate := func(pairs []PairSample, scale float64) {
+	accumulate := func(pairs []PairSample, scale float64) error {
 		if len(pairs) == 0 || scale == 0 {
-			return
+			return nil
 		}
 		s := scale / float64(len(pairs))
-		for _, p := range pairs {
+		for n, p := range pairs {
+			if n%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			vx := base.Vector(p.A)
 			vy := base.Vector(p.B)
 			for i := 0; i < d; i++ {
@@ -63,10 +78,15 @@ func FineTune(base Source, pos, neg []PairSample, cfg FineTuneConfig) *Hebbian {
 				}
 			}
 		}
+		return nil
 	}
-	accumulate(pos, cfg.Alpha)
-	accumulate(neg, -cfg.Beta)
-	return &Hebbian{Base: base, m: m}
+	if err := accumulate(pos, cfg.Alpha); err != nil {
+		return nil, err
+	}
+	if err := accumulate(neg, -cfg.Beta); err != nil {
+		return nil, err
+	}
+	return &Hebbian{Base: base, m: m}, nil
 }
 
 // Dim implements Source.

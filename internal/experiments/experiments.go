@@ -86,7 +86,10 @@ func makeSplits(key string, cfg RunConfig) (splits, error) {
 		return splits{}, fmt.Errorf("experiments: unknown dataset %q", key)
 	}
 	d := datagen.Generate(p, cfg.Scale)
-	train, valid, test := d.Split(0.6, 0.2, cfg.Seed)
+	train, valid, test, err := d.Split(0.6, 0.2, cfg.Seed)
+	if err != nil {
+		return splits{}, err
+	}
 	return splits{key: key, train: train, valid: valid, test: test}, nil
 }
 

@@ -6,6 +6,7 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -162,6 +163,15 @@ func Defaults() Config {
 // Fit trains the network on (X, Y) with mini-batch Adam. Y rows must match
 // the output dimension. It returns the mean loss of the final epoch.
 func (n *Net) Fit(x [][]float64, y [][]float64, cfg Config) (float64, error) {
+	return n.FitCtx(context.Background(), x, y, cfg)
+}
+
+// FitCtx is Fit honoring a context: cancellation is checked before every
+// epoch, so a SIGINT mid-training abandons the run at the next epoch
+// boundary instead of spinning through the remaining schedule. The
+// network's weights are left in their last-epoch state; callers that care
+// about consistency must discard the network on error.
+func (n *Net) FitCtx(ctx context.Context, x [][]float64, y [][]float64, cfg Config) (float64, error) {
 	if len(x) == 0 {
 		return 0, errors.New("nn: empty training set")
 	}
@@ -180,6 +190,9 @@ func (n *Net) Fit(x [][]float64, y [][]float64, cfg Config) (float64, error) {
 	order := rng.Perm(len(x))
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return lastLoss, fmt.Errorf("nn: training canceled at epoch %d: %w", epoch, err)
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		for start := 0; start < len(order); start += cfg.BatchSize {

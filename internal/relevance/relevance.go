@@ -16,6 +16,7 @@
 package relevance
 
 import (
+	"context"
 	"fmt"
 
 	"wym/internal/nn"
@@ -204,6 +205,13 @@ type NNConfig struct {
 // TrainNN fits the scorer network on an accumulated training set. dim is
 // the embedding dimensionality (the input size is 2*dim).
 func TrainNN(ts *TrainingSet, dim int, cfg NNConfig) (*NN, error) {
+	return TrainNNCtx(context.Background(), ts, dim, cfg)
+}
+
+// TrainNNCtx is TrainNN honoring a context: cancellation propagates into
+// the epoch loop (nn.FitCtx), so an interrupt abandons scorer training at
+// the next epoch boundary.
+func TrainNNCtx(ctx context.Context, ts *TrainingSet, dim int, cfg NNConfig) (*NN, error) {
 	if ts.Len() == 0 {
 		return nil, fmt.Errorf("relevance: empty training set")
 	}
@@ -226,7 +234,7 @@ func TrainNN(ts *TrainingSet, dim int, cfg NNConfig) (*NN, error) {
 		trainCfg.Seed = cfg.Seed
 	}
 	x, y := ts.Materialize()
-	if _, err := net.Fit(x, y, trainCfg); err != nil {
+	if _, err := net.FitCtx(ctx, x, y, trainCfg); err != nil {
 		return nil, fmt.Errorf("relevance: %w", err)
 	}
 	return &NN{net: net, dim: dim}, nil

@@ -84,6 +84,25 @@ type Input struct {
 	NormalizedVecs bool
 }
 
+// Check validates the structural preconditions of Discover: every token
+// must have an embedding vector (unless a SimOverride replaces the
+// embedding similarity entirely). Discover panics on violation — a
+// mis-built Input is a programming error on the happy path — but the
+// fault-tolerant training pipeline calls Check first so a corrupt record
+// can be quarantined with a descriptive error instead of a panic trace.
+func (in *Input) Check() error {
+	if in.SimOverride != nil {
+		return nil
+	}
+	if len(in.Left) != len(in.LeftVecs) {
+		return fmt.Errorf("units: %d left tokens but %d vectors", len(in.Left), len(in.LeftVecs))
+	}
+	if len(in.Right) != len(in.RightVecs) {
+		return fmt.Errorf("units: %d right tokens but %d vectors", len(in.Right), len(in.RightVecs))
+	}
+	return nil
+}
+
 // sim computes the similarity between left token l and right token r.
 func (in *Input) sim(l, r int) float64 {
 	if in.CodeExact {
@@ -189,11 +208,8 @@ func (in *Input) simMatrix(mat []float64, stride int) {
 // units in stage order (each stage sorted by token indices), then unpaired
 // left tokens, then unpaired right tokens.
 func Discover(in Input, th Thresholds) []Unit {
-	if len(in.Left) != len(in.LeftVecs) && in.SimOverride == nil {
-		panic(fmt.Sprintf("units: %d left tokens but %d vectors", len(in.Left), len(in.LeftVecs)))
-	}
-	if len(in.Right) != len(in.RightVecs) && in.SimOverride == nil {
-		panic(fmt.Sprintf("units: %d right tokens but %d vectors", len(in.Right), len(in.RightVecs)))
+	if err := in.Check(); err != nil {
+		panic(err.Error())
 	}
 
 	L, R := len(in.Left), len(in.Right)

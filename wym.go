@@ -12,7 +12,7 @@
 //
 // Quick start:
 //
-//	train, valid, test := dataset.Split(0.6, 0.2, 1)
+//	train, valid, test := dataset.MustSplit(0.6, 0.2, 1)
 //	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 //	if err != nil { ... }
 //	label, proba := sys.Predict(test.Pairs[0])
@@ -31,6 +31,7 @@
 package wym
 
 import (
+	"context"
 	"sync/atomic"
 
 	"wym/internal/blocking"
@@ -112,9 +113,75 @@ func Train(train, valid *Dataset, cfg Config) (*System, error) {
 	return core.Train(train, valid, cfg)
 }
 
+// Fault-tolerant training: the pipeline honors context cancellation at
+// stage boundaries (and inside its long loops), persists integrity-checked
+// stage checkpoints, and quarantines records whose processing panics
+// instead of failing the run.
+type (
+	// TrainOptions configures checkpointing and resume; see TrainWithOptions.
+	TrainOptions = core.TrainOptions
+	// TrainReport describes resumed stages, rejected checkpoints and
+	// quarantined records of a TrainWithOptions run.
+	TrainReport = core.TrainReport
+	// TrainStage identifies one pipeline stage (embeddings, units, scorer,
+	// features, model).
+	TrainStage = core.Stage
+	// TrainRecordError is one record pair quarantined during training.
+	TrainRecordError = core.RecordError
+)
+
+// Pipeline stages, in execution order.
+const (
+	StageEmbeddings = core.StageEmbeddings
+	StageUnits      = core.StageUnits
+	StageScorer     = core.StageScorer
+	StageFeatures   = core.StageFeatures
+	StageModel      = core.StageModel
+)
+
+// TrainContext is Train honoring a context: cancel it (e.g. from a signal
+// handler) and the run stops cleanly at the next stage boundary.
+func TrainContext(ctx context.Context, train, valid *Dataset, cfg Config) (*System, error) {
+	return core.TrainContext(ctx, train, valid, cfg)
+}
+
+// TrainWithOptions is the fault-tolerant trainer: TrainContext plus stage
+// checkpoints written to opts.CheckpointDir and, with opts.Resume, resume
+// from the longest valid checkpoint prefix. A resumed run produces
+// predictions byte-identical to an uninterrupted run with the same seed.
+func TrainWithOptions(ctx context.Context, train, valid *Dataset, cfg Config, opts TrainOptions) (*System, *TrainReport, error) {
+	return core.TrainWithOptions(ctx, train, valid, cfg, opts)
+}
+
 // LoadDataset reads a dataset from a Magellan-style CSV file
 // (label, left_*, right_* columns).
 func LoadDataset(path string) (*Dataset, error) { return data.LoadFile(path) }
+
+// Lenient ingest: quarantine malformed CSV rows instead of failing on the
+// first one.
+type (
+	// LoadOptions configures LoadDatasetLenient (strict mode, error budget).
+	LoadOptions = data.LoadOptions
+	// LoadReport summarizes a lenient load, listing every quarantined row.
+	LoadReport = data.LoadReport
+	// RowError is one quarantined input row with its line number.
+	RowError = data.RowError
+	// RowErrorKind classifies why a row was quarantined.
+	RowErrorKind = data.RowErrorKind
+)
+
+// ErrBudgetExceeded wraps the abort when quarantined rows exceed the
+// configured error budget.
+var ErrBudgetExceeded = data.ErrBudgetExceeded
+
+// LoadDatasetLenient reads a Magellan-style CSV file, quarantining
+// malformed rows (wrong arity, invalid labels, empty entities, duplicates,
+// CSV syntax errors) into the report instead of aborting, up to
+// opts.ErrorBudget of them. The report is non-nil whenever the header
+// parsed, even when an error is returned.
+func LoadDatasetLenient(path string, opts LoadOptions) (*Dataset, *LoadReport, error) {
+	return data.LoadFileLenient(path, opts)
+}
 
 // SaveDataset writes a dataset as CSV.
 func SaveDataset(path string, d *Dataset) error { return data.SaveFile(path, d) }

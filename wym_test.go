@@ -26,7 +26,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if !ok {
 		t.Fatal("S-FZ profile missing")
 	}
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := Train(train, valid, testConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestPublicBlockingAPI(t *testing.T) {
 
 func TestPublicRulesAPI(t *testing.T) {
 	d, _ := DatasetByKey("S-FZ", 1.0)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := Train(train, valid, testConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +122,7 @@ func TestPublicRulesAPI(t *testing.T) {
 
 func TestPublicLIMEAPI(t *testing.T) {
 	d, _ := DatasetByKey("S-FZ", 1.0)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := Train(train, valid, testConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +141,7 @@ func TestPublicLIMEAPI(t *testing.T) {
 
 func TestSystemPersistenceViaPublicAPI(t *testing.T) {
 	d, _ := DatasetByKey("S-BR", 1.0)
-	train, valid, test := d.Split(0.6, 0.2, 1)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
 	sys, err := Train(train, valid, testConfig())
 	if err != nil {
 		t.Fatal(err)
