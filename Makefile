@@ -1,18 +1,23 @@
 GO ?= go
 
-.PHONY: check build vet test race serve-race train-race fuzz-smoke bench bench-json
+.PHONY: check build vet fmt-check test race serve-race train-race fuzz-smoke bench bench-json bench-guard
 
-## check: the pre-merge gate — vet (must be clean for every package,
-## internal/serve included), build, the serving-layer race gate, the
-## fault-tolerant-training race gate, a fuzz smoke pass over CSV ingest,
-## full race-enabled tests, short benchmarks.
-check: vet build serve-race train-race fuzz-smoke race bench
+## check: the pre-merge gate — formatting, vet (must be clean for every
+## package, internal/serve included), build, the serving-layer race gate,
+## the fault-tolerant-training race gate, a fuzz smoke pass over CSV
+## ingest, full race-enabled tests, short benchmarks.
+check: fmt-check vet build serve-race train-race fuzz-smoke race bench
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## fmt-check: fail if any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -52,3 +57,8 @@ bench:
 ## bench-json: regenerate the perf snapshot (see BENCH_baseline.json).
 bench-json:
 	$(GO) run ./cmd/benchmark -bench-json BENCH_baseline.json
+
+## bench-guard: re-time the hot pipeline paths and fail if any regressed
+## more than 25% (ns/op or allocs/op) against the committed baseline.
+bench-guard:
+	$(GO) run ./cmd/benchmark -bench-guard BENCH_baseline.json

@@ -1,0 +1,135 @@
+package main
+
+// guard.go implements the -bench-guard mode: a performance regression
+// gate. It re-times the hot pipeline paths, compares them against a
+// committed baseline snapshot (BENCH_baseline.json), and exits non-zero
+// when any benchmark's ns/op or allocs/op grew past the threshold. The
+// guard reruns on the baseline's recorded dataset, scale, and seed so the
+// two snapshots measure the same workload; absolute wall-clock numbers
+// still depend on the machine, which is why the gate is a ratio, not a
+// bound.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// regression is one over-threshold metric in a guard run.
+type regression struct {
+	Bench  string  // benchmark name, e.g. "ProcessAll"
+	Metric string  // "ns/op" or "allocs/op"
+	Base   float64 // baseline value
+	Got    float64 // fresh value
+}
+
+// ratio reports the relative growth (0.25 = 25% slower/bigger).
+func (r regression) ratio() float64 {
+	if r.Base == 0 {
+		return 0
+	}
+	return r.Got/r.Base - 1
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s %s regressed %.1f%%: %.0f -> %.0f",
+		r.Bench, r.Metric, 100*r.ratio(), r.Base, r.Got)
+}
+
+// compareSnapshots diffs a fresh run against the baseline: any benchmark
+// whose ns/op or allocs/op grew by more than threshold (fractional, 0.25
+// = 25%) is a regression, as is a baseline benchmark missing from the
+// fresh run (a silently dropped bench must not pass the gate). Results
+// are sorted by benchmark name so output and tests are deterministic.
+// Benchmarks only present in the fresh run are ignored — adding coverage
+// is not a regression.
+func compareSnapshots(base, got map[string]benchResult, threshold float64) []regression {
+	var regs []regression
+	for name, b := range base {
+		g, ok := got[name]
+		if !ok {
+			regs = append(regs, regression{Bench: name, Metric: "missing", Base: b.NsPerOp})
+			continue
+		}
+		if exceeds(b.NsPerOp, g.NsPerOp, threshold) {
+			regs = append(regs, regression{Bench: name, Metric: "ns/op", Base: b.NsPerOp, Got: g.NsPerOp})
+		}
+		if exceeds(float64(b.AllocsPerOp), float64(g.AllocsPerOp), threshold) {
+			regs = append(regs, regression{Bench: name, Metric: "allocs/op",
+				Base: float64(b.AllocsPerOp), Got: float64(g.AllocsPerOp)})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Bench != regs[j].Bench {
+			return regs[i].Bench < regs[j].Bench
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}
+
+// exceeds reports whether got grew past base by more than threshold. A
+// zero baseline only regresses if the fresh value is non-zero.
+func exceeds(base, got, threshold float64) bool {
+	if base == 0 {
+		return got > 0 && threshold < 1
+	}
+	return got > base*(1+threshold)
+}
+
+// runBenchGuard loads the baseline, re-times the same workload, and
+// reports. A regression returns an error (the caller exits non-zero).
+func runBenchGuard(baselinePath string, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base perfSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("baseline %s has no benchmarks", baselinePath)
+	}
+	fmt.Printf("bench-guard: baseline %s (%s, scale %g, seed %d), threshold %.0f%%\n",
+		baselinePath, base.Dataset, base.Scale, base.Seed, 100*threshold)
+	fresh, err := collectSnapshot(base.Dataset, base.Scale, base.Seed)
+	if err != nil {
+		return err
+	}
+	for _, name := range sortedBenchNames(base.Benchmarks) {
+		b := base.Benchmarks[name]
+		if g, ok := fresh.Benchmarks[name]; ok {
+			fmt.Printf("  %-14s ns/op %12.0f -> %12.0f (%+.1f%%)   allocs/op %7d -> %7d (%+.1f%%)\n",
+				name, b.NsPerOp, g.NsPerOp, 100*delta(b.NsPerOp, g.NsPerOp),
+				b.AllocsPerOp, g.AllocsPerOp,
+				100*delta(float64(b.AllocsPerOp), float64(g.AllocsPerOp)))
+		}
+	}
+	regs := compareSnapshots(base.Benchmarks, fresh.Benchmarks, threshold)
+	if len(regs) == 0 {
+		fmt.Println("bench-guard: ok, no regressions")
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "bench-guard:", r)
+	}
+	return fmt.Errorf("%d benchmark metric(s) regressed more than %.0f%%", len(regs), 100*threshold)
+}
+
+func delta(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return got/base - 1
+}
+
+func sortedBenchNames(m map[string]benchResult) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

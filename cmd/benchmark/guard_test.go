@@ -1,0 +1,94 @@
+package main
+
+import "testing"
+
+func bench(ns float64, allocs int64) benchResult {
+	return benchResult{NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareSnapshotsClean(t *testing.T) {
+	base := map[string]benchResult{
+		"ProcessAll": bench(1000, 100),
+		"Predict":    bench(500, 50),
+	}
+	// Within threshold: 20% slower and fewer allocs.
+	got := map[string]benchResult{
+		"ProcessAll": bench(1200, 90),
+		"Predict":    bench(400, 50),
+	}
+	if regs := compareSnapshots(base, got, 0.25); len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+}
+
+func TestCompareSnapshotsRegressions(t *testing.T) {
+	base := map[string]benchResult{
+		"ProcessAll": bench(1000, 100),
+		"Predict":    bench(500, 50),
+		"Explain":    bench(800, 80),
+	}
+	got := map[string]benchResult{
+		"ProcessAll": bench(1300, 100), // ns/op +30%
+		"Predict":    bench(500, 70),   // allocs/op +40%
+		"Explain":    bench(790, 80),   // fine
+	}
+	regs := compareSnapshots(base, got, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+	// Sorted by benchmark name: Predict < ProcessAll.
+	if regs[0].Bench != "Predict" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs[0] = %+v, want Predict allocs/op", regs[0])
+	}
+	if regs[1].Bench != "ProcessAll" || regs[1].Metric != "ns/op" {
+		t.Fatalf("regs[1] = %+v, want ProcessAll ns/op", regs[1])
+	}
+	if r := regs[1].ratio(); r < 0.29 || r > 0.31 {
+		t.Fatalf("ProcessAll ratio = %v, want ~0.30", r)
+	}
+}
+
+func TestCompareSnapshotsBoundary(t *testing.T) {
+	base := map[string]benchResult{"B": bench(1000, 100)}
+	// Exactly at threshold passes; just past it fails.
+	at := map[string]benchResult{"B": bench(1250, 125)}
+	if regs := compareSnapshots(base, at, 0.25); len(regs) != 0 {
+		t.Fatalf("exactly-at-threshold flagged: %v", regs)
+	}
+	past := map[string]benchResult{"B": bench(1251, 100)}
+	if regs := compareSnapshots(base, past, 0.25); len(regs) != 1 {
+		t.Fatalf("past-threshold regressions = %v, want 1", regs)
+	}
+}
+
+func TestCompareSnapshotsMissingBench(t *testing.T) {
+	base := map[string]benchResult{"Gone": bench(1000, 100)}
+	regs := compareSnapshots(base, map[string]benchResult{}, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("regressions = %v, want one missing-bench entry", regs)
+	}
+}
+
+func TestCompareSnapshotsNewBenchIgnored(t *testing.T) {
+	base := map[string]benchResult{"Old": bench(1000, 100)}
+	got := map[string]benchResult{
+		"Old": bench(1000, 100),
+		"New": bench(1, 1),
+	}
+	if regs := compareSnapshots(base, got, 0.25); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged: %v", regs)
+	}
+}
+
+func TestCompareSnapshotsZeroBaseline(t *testing.T) {
+	base := map[string]benchResult{"Z": bench(0, 0)}
+	// Zero stays zero: fine.
+	if regs := compareSnapshots(base, map[string]benchResult{"Z": bench(0, 0)}, 0.25); len(regs) != 0 {
+		t.Fatalf("zero-to-zero flagged: %v", regs)
+	}
+	// Zero grows: a regression no finite ratio can excuse.
+	regs := compareSnapshots(base, map[string]benchResult{"Z": bench(10, 0)}, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("zero-to-nonzero regressions = %v, want one ns/op entry", regs)
+	}
+}

@@ -14,7 +14,11 @@
 //	benchmark -bench-json BENCH_baseline.json
 //
 // which times the hot pipeline paths and writes machine-readable metrics
-// (see perf.go and the Performance section of README.md).
+// (see perf.go and the Performance section of README.md). The companion
+// -bench-guard mode re-times those paths and fails (exit 1) when any of
+// them regressed past -bench-threshold against a committed baseline:
+//
+//	benchmark -bench-guard BENCH_baseline.json -bench-threshold 0.25
 package main
 
 import (
@@ -34,8 +38,18 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		sample     = flag.Int("sample", 100, "records sampled for the per-record experiments")
 		benchJSON  = flag.String("bench-json", "", "write a perf snapshot to this path (\"-\" = stdout) instead of running experiments")
+		benchGuard = flag.String("bench-guard", "", "re-time the hot paths and fail if they regressed past -bench-threshold vs this baseline snapshot")
+		benchThres = flag.Float64("bench-threshold", 0.25, "fractional ns/op or allocs/op growth tolerated by -bench-guard")
 	)
 	flag.Parse()
+
+	if *benchGuard != "" {
+		if err := runBenchGuard(*benchGuard, *benchThres); err != nil {
+			fmt.Fprintln(os.Stderr, "benchmark:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		ds := "S-FZ"

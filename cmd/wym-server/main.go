@@ -39,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -356,13 +357,19 @@ func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	label, proba := sys.Predict(p)
+	label, proba := sys.Engine().Predict(p)
 	writeJSON(w, http.StatusOK, predictResponse{
 		Match:       label == wym.Match,
 		Probability: proba,
 	})
 }
 
+// handlePredictBatch serves a batch with per-item error semantics: items
+// with the wrong attribute count are rejected up front, and the rest run
+// through Engine.PredictBatch, whose worker fan-out quarantines any item
+// whose processing panics (that item fails alone, never the batch or the
+// process). The batch runs under the request context, so a client
+// disconnect or timeout stops the remaining items.
 func (a *app) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	sys := a.ref.Get()
 	var req batchRequest
@@ -380,31 +387,32 @@ func (a *app) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := batchResponse{Results: make([]batchItem, len(req.Pairs))}
+	var (
+		pairs   []wym.Pair // arity-valid items, in request order
+		indices []int      // their positions in the response
+	)
 	for i, pr := range req.Pairs {
-		resp.Results[i] = a.predictItem(sys, pr)
-		if resp.Results[i].Error != "" {
+		if bad := checkArity(sys, pr); len(bad) > 0 {
+			resp.Results[i] = batchItem{Error: "wrong attribute count", BadSides: bad}
 			resp.Errors++
+			continue
 		}
+		pairs = append(pairs, wym.Pair{Left: pr.Left, Right: pr.Right})
+		indices = append(indices, i)
+	}
+	for k, pred := range sys.Engine().PredictBatch(r.Context(), pairs) {
+		i := indices[k]
+		if pred.Err != "" {
+			a.logger.Printf("batch item %d failed: %s", i, pred.Err)
+			resp.Results[i] = batchItem{Error: "internal error: " + strings.TrimPrefix(pred.Err, "panic: ")}
+			resp.Errors++
+			continue
+		}
+		match := pred.Label == wym.Match
+		proba := pred.Proba
+		resp.Results[i] = batchItem{Match: &match, Probability: &proba}
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// predictItem scores one batch item with per-item error semantics: a
-// malformed or panic-inducing pair fails that item alone, never the
-// batch or the process.
-func (a *app) predictItem(sys *wym.System, pr pairRequest) (item batchItem) {
-	if bad := checkArity(sys, pr); len(bad) > 0 {
-		return batchItem{Error: "wrong attribute count", BadSides: bad}
-	}
-	defer func() {
-		if p := recover(); p != nil {
-			a.logger.Printf("batch item panic: %v", p)
-			item = batchItem{Error: fmt.Sprintf("internal error: %v", p)}
-		}
-	}()
-	label, proba := sys.Predict(wym.Pair{Left: pr.Left, Right: pr.Right})
-	match := label == wym.Match
-	return batchItem{Match: &match, Probability: &proba}
 }
 
 func (a *app) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -413,7 +421,7 @@ func (a *app) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ex := sys.Explain(p)
+	ex := sys.Engine().Explain(p)
 	resp := explainResponse{
 		Match:       ex.Prediction == wym.Match,
 		Probability: ex.Proba,

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"wym"
+)
+
+// TestModelRefSwapDuringPredictAll hammers the hot-reload invariant under
+// the race detector: ModelRef.Set may swap in a new model (and with it a
+// new pipeline engine) while other goroutines are mid-way through batch
+// predictions on the old one. Each batch must run entirely on whichever
+// engine it started with — readers take the reference once, so a swap
+// never splits one batch across two models and never races with the
+// engine's worker fan-out. `make serve-race` runs this package with
+// -race.
+func TestModelRefSwapDuringPredictAll(t *testing.T) {
+	sysA := trained(t)
+
+	// A second, distinct system with its own engine: round-trip the fitted
+	// system through its gob form instead of training twice.
+	var buf bytes.Buffer
+	if err := sysA.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := wym.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, _ := wym.DatasetByKey("S-BR", 1.0)
+	_, _, test := d.MustSplit(0.6, 0.2, 1)
+	want := sysA.PredictAll(test)
+
+	ref := wym.NewModelRef(sysA)
+	const (
+		readers = 4
+		batches = 8
+		swaps   = 64
+	)
+	var wg sync.WaitGroup
+	wg.Add(readers + 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			if i%2 == 0 {
+				ref.Set(sysB)
+			} else {
+				ref.Set(sysA)
+			}
+		}
+	}()
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				eng := ref.Get().Engine() // one read per batch
+				got := eng.PredictAll(test)
+				// Both systems are the same fitted model, so every batch
+				// must reproduce the reference labels no matter which
+				// engine served it or when the swap landed.
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- "prediction diverged during reload"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -180,19 +180,25 @@ func run(ctx context.Context, o options) error {
 		fmt.Printf("saved trained system to %s\n", o.savePath)
 	}
 
-	pred := sys.PredictAll(test)
+	eng := sys.Engine()
+	pred := eng.PredictAll(test)
 	c := eval.NewConfusion(pred, test.Labels())
 	fmt.Printf("\ntest: F1=%.3f precision=%.3f recall=%.3f accuracy=%.3f (%d records)\n",
 		c.F1(), c.Precision(), c.Recall(), c.Accuracy(), test.Size())
 
 	for i := 0; i < o.explainN && i < test.Size(); i++ {
-		printExplanation(sys, test.Pairs[i])
+		printExplanation(eng, test.Pairs[i])
 	}
 	return nil
 }
 
-func printExplanation(sys *wym.System, p wym.Pair) {
-	ex := sys.Explain(p)
+// printExplanation renders one pair's decision. The pair is processed
+// once and the record reused for both the prediction and the explanation
+// — the record-level engine API exists exactly so callers never pay for
+// tokenization and embedding twice.
+func printExplanation(eng *wym.Engine, p wym.Pair) {
+	rec := eng.Process(p)
+	ex := eng.ExplainRecord(rec)
 	verdict := "NO MATCH"
 	if ex.Prediction == wym.Match {
 		verdict = "MATCH"

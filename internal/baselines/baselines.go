@@ -20,27 +20,30 @@ import (
 	"wym/internal/classify"
 	"wym/internal/data"
 	"wym/internal/embed"
+	"wym/internal/pipeline"
 	"wym/internal/textsim"
 	"wym/internal/tokenize"
 	"wym/internal/vec"
 )
 
 // Matcher is a trainable black-box EM system: the Table 3 competitors and
-// the subjects of the post-hoc explainers (Figures 7 and 9).
+// the subjects of the post-hoc explainers (Figures 7 and 9). Train
+// assembles each matcher into a pipeline.Engine (see engine.go); Predict
+// and PredictAll run through it.
 type Matcher interface {
 	Name() string
 	Train(train, valid *data.Dataset) error
 	// Predict returns the hard label and the match probability.
 	Predict(p data.Pair) (label int, proba float64)
+	// Engine returns the matcher's pipeline instantiation (nil before
+	// Train).
+	Engine() *pipeline.Engine
 }
 
-// PredictAll applies Predict to a whole dataset.
+// PredictAll applies the matcher to a whole dataset through its engine's
+// order-preserving batch fan-out.
 func PredictAll(m Matcher, d *data.Dataset) []int {
-	out := make([]int, d.Size())
-	for i, p := range d.Pairs {
-		out[i], _ = m.Predict(p)
-	}
-	return out
+	return m.Engine().PredictAll(d)
 }
 
 // attrTokens tokenizes one attribute value into plain strings.
@@ -113,6 +116,7 @@ func absf(x float64) float64 {
 // attribute-similarity block plus the coarse per-attribute similarities —
 // the lowest-capacity model in the comparison.
 type DMPlus struct {
+	engineHolder
 	model classify.Classifier
 }
 
@@ -132,6 +136,7 @@ func (m *DMPlus) Train(train, _ *data.Dataset) error {
 	if err := m.model.Fit(x, train.Labels()); err != nil {
 		return fmt.Errorf("baselines: DM+: %w", err)
 	}
+	m.assemble(m.features, m.model)
 	return nil
 }
 
@@ -142,14 +147,14 @@ func (m *DMPlus) features(p data.Pair) []float64 {
 
 // Predict implements Matcher.
 func (m *DMPlus) Predict(p data.Pair) (int, float64) {
-	proba := m.model.PredictProba(m.features(p))
-	return hard(proba), proba
+	return m.eng.Predict(p)
 }
 
 // AutoML simulates the AutoML-for-EM adapter: the full classifier pool is
 // fitted on the mid-level feature block and the best validation model is
 // kept.
 type AutoML struct {
+	engineHolder
 	seed  int64
 	model classify.Classifier
 }
@@ -175,13 +180,13 @@ func (m *AutoML) Train(train, valid *data.Dataset) error {
 		return fmt.Errorf("baselines: AutoML: %w", err)
 	}
 	m.model = best
+	m.assemble(pairFeatures, m.model)
 	return nil
 }
 
 // Predict implements Matcher.
 func (m *AutoML) Predict(p data.Pair) (int, float64) {
-	proba := m.model.PredictProba(pairFeatures(p))
-	return hard(proba), proba
+	return m.eng.Predict(p)
 }
 
 // CorDEL simulates the contrastive CorDEL model: the mid-level block is
@@ -190,6 +195,7 @@ func (m *AutoML) Predict(p data.Pair) (int, float64) {
 // capacity — stronger than AutoML's generic pool on contrast-heavy
 // datasets, weaker than DITTO's embedding-aware model.
 type CorDEL struct {
+	engineHolder
 	seed  int64
 	model *classify.GBM
 }
@@ -284,19 +290,20 @@ func (m *CorDEL) Train(train, _ *data.Dataset) error {
 	if err := m.model.Fit(x, train.Labels()); err != nil {
 		return fmt.Errorf("baselines: CorDEL: %w", err)
 	}
+	m.assemble(m.features, m.model)
 	return nil
 }
 
 // Predict implements Matcher.
 func (m *CorDEL) Predict(p data.Pair) (int, float64) {
-	proba := m.model.PredictProba(m.features(p))
-	return hard(proba), proba
+	return m.eng.Predict(p)
 }
 
 // DITTO simulates the state-of-the-art DITTO matcher: the mid-level block
 // plus corpus-embedding alignment features, classified by a deep boosted
 // ensemble. It is the strongest and least interpretable model in the pool.
 type DITTO struct {
+	engineHolder
 	seed   int64
 	source embed.Source
 	model  *classify.GBM
@@ -421,13 +428,13 @@ func (m *DITTO) Train(train, valid *data.Dataset) error {
 	if err := m.model.Fit(x, y); err != nil {
 		return fmt.Errorf("baselines: DITTO: %w", err)
 	}
+	m.assemble(m.features, m.model)
 	return nil
 }
 
 // Predict implements Matcher.
 func (m *DITTO) Predict(p data.Pair) (int, float64) {
-	proba := m.model.PredictProba(m.features(p))
-	return hard(proba), proba
+	return m.eng.Predict(p)
 }
 
 func hard(proba float64) int {

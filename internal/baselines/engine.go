@@ -1,0 +1,57 @@
+package baselines
+
+import (
+	"wym/internal/data"
+	"wym/internal/pipeline"
+)
+
+// The simulated black boxes are instantiations of the same architecture
+// template WYM fills (internal/pipeline): a pass-through unit generator
+// (they never build decision units), no relevance scorer, and a matcher
+// that featurizes the raw pair and classifies it. Assembling them into a
+// pipeline.Engine gives every baseline the engine's batched, fault-
+// isolated serving surface for free and keeps the comparison honest —
+// Table 3 runs WYM and its competitors through one code path.
+
+// probaModel is the slice of the classifier API the baseline matchers
+// need; both classify.Classifier and *classify.GBM satisfy it.
+type probaModel interface {
+	PredictProba(x []float64) float64
+}
+
+// featureMatcher implements pipeline.Matcher over a pair-level feature
+// function and a fitted model — the shared shape of the simulated black
+// boxes. It ignores relevance scores (the baselines have none) and
+// explains decisions with a bare prediction: no decision units, which is
+// exactly the interpretability gap the paper measures them against.
+type featureMatcher struct {
+	feats func(data.Pair) []float64
+	model probaModel
+}
+
+// MatchRecord implements pipeline.Matcher.
+func (m featureMatcher) MatchRecord(rec *pipeline.Record, _ []float64) (int, float64) {
+	proba := m.model.PredictProba(m.feats(rec.Pair))
+	return hard(proba), proba
+}
+
+// ExplainRecord implements pipeline.Matcher: black boxes predict without
+// explaining, so the explanation carries the decision and no units.
+func (m featureMatcher) ExplainRecord(rec *pipeline.Record, _ []float64) pipeline.Explanation {
+	label, proba := m.MatchRecord(rec, nil)
+	return pipeline.Explanation{Prediction: label, Proba: proba}
+}
+
+// engineHolder carries a baseline's assembled engine; the concrete
+// matchers embed it and call assemble at the end of Train.
+type engineHolder struct {
+	eng *pipeline.Engine
+}
+
+// Engine returns the assembled pipeline engine (nil before Train).
+func (h *engineHolder) Engine() *pipeline.Engine { return h.eng }
+
+// assemble plugs the fitted feature model into the template.
+func (h *engineHolder) assemble(feats func(data.Pair) []float64, model probaModel) {
+	h.eng = pipeline.New(pipeline.Verbatim{}, pipeline.NoScores{}, featureMatcher{feats: feats, model: model})
+}

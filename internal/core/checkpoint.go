@@ -309,7 +309,7 @@ func (ck *checkpointer) loadModel(report *TrainReport) (*System, bool) {
 	if !ok || snap.Model == nil || snap.Scorer == nil || snap.Source == nil || snap.Space == nil {
 		return nil, false
 	}
-	return &System{
+	s := &System{
 		cfg:    snap.Cfg.config(),
 		schema: snap.Schema,
 		source: snap.Source,
@@ -318,5 +318,7 @@ func (ck *checkpointer) loadModel(report *TrainReport) (*System, bool) {
 		model:  snap.Model,
 		report: snap.Report,
 		timing: snap.Timing,
-	}, true
+	}
+	s.rebuildEngine()
+	return s, true
 }

@@ -1,16 +1,16 @@
-// Package core wires the three architectural components of the paper —
-// decision-unit generator, relevance scorer, explainable matcher — into the
-// trainable WYM system. It owns the end-to-end pipeline: corpus-trained
-// embeddings, optional task fine-tuning, Algorithm 1 unit discovery,
-// Equation 2/3 relevance training, feature engineering, classifier-pool
-// selection, and the inverse transformation that yields per-unit impact
-// scores.
+// Package core implements WYM, the paper's instantiation of the
+// three-component architecture template defined by internal/pipeline: a
+// decision-unit generator (corpus-trained embeddings + Algorithm 1), a
+// relevance scorer (the Equation 2/3 network, or the Table 4 ablations)
+// and an explainable matcher (statistical feature engineering, a
+// classifier pool, and the inverse transformation that yields per-unit
+// impact scores). Training owns the end-to-end fit; once fitted, every
+// prediction and explanation flows through the assembled pipeline.Engine.
 package core
 
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -18,6 +18,7 @@ import (
 	"wym/internal/data"
 	"wym/internal/embed"
 	"wym/internal/features"
+	"wym/internal/pipeline"
 	"wym/internal/relevance"
 	"wym/internal/textsim"
 	"wym/internal/tokenize"
@@ -94,7 +95,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is a fitted WYM matcher.
+// System is a fitted WYM matcher: the components of the architecture
+// template plus the pipeline.Engine they are assembled into.
 type System struct {
 	cfg    Config
 	schema data.Schema
@@ -102,14 +104,37 @@ type System struct {
 	scorer relevance.Scorer
 	space  *features.Space
 	model  classify.Classifier
+	engine *pipeline.Engine
 
 	report []classify.Score
 	timing Timing
 
-	// processHook, when non-nil, runs before Process inside the quarantine
-	// wrapper; the fault-tolerance tests inject per-record panics with it.
+	// processHook, when non-nil, runs before unit generation inside the
+	// quarantine wrapper of ProcessAllContext; the fault-tolerance tests
+	// inject per-record panics with it.
 	processHook func(data.Pair)
 }
+
+// rebuildEngine assembles the pipeline instantiation from the fitted
+// components: the WYM generator always, the scorer and matcher only once
+// they exist (the trainer rebuilds after fitting; a generator-only system
+// keeps a generator-only engine).
+func (s *System) rebuildEngine() {
+	gen := wymGenerator{s: s}
+	var scorer pipeline.RelevanceScorer
+	if s.scorer != nil {
+		scorer = pipeline.UnitScores{S: s.scorer}
+	}
+	var matcher pipeline.Matcher
+	if s.space != nil && s.model != nil {
+		matcher = wymMatcher{space: s.space, model: s.model}
+	}
+	s.engine = pipeline.New(gen, scorer, matcher)
+}
+
+// Engine returns the system's assembled pipeline engine; every serving
+// path (CLI, server, benchmarks) predicts through it.
+func (s *System) Engine() *pipeline.Engine { return s.engine }
 
 // Timing is the §5.3 pipeline breakdown recorded during training.
 type Timing struct {
@@ -160,11 +185,7 @@ func (s Stage) String() string {
 // RecordError is one record pair quarantined during processing: a worker
 // recovered a panic (or a validation failure) on it and excluded it from
 // the run instead of crashing the whole pipeline.
-type RecordError struct {
-	Index int    // position in the dataset's pair slice
-	ID    int    // the pair's ID
-	Err   string // the recovered panic or error text
-}
+type RecordError = pipeline.RecordError
 
 // TrainReport describes what the fault-tolerant trainer did beyond the
 // happy path: stages resumed from checkpoints, checkpoints it had to
@@ -225,6 +246,19 @@ func stageErr(st Stage, err error) error {
 	return fmt.Errorf("core: %s stage: %w", st, err)
 }
 
+// relevanceRecords projects a batch of pipeline records onto their
+// unit-level views, preserving quarantined (nil) slots; the scorer stage
+// and the checkpoints consume this form.
+func relevanceRecords(recs []*pipeline.Record) []*relevance.Record {
+	out := make([]*relevance.Record, len(recs))
+	for i, rec := range recs {
+		if rec != nil {
+			out[i] = rec.Rel()
+		}
+	}
+	return out
+}
+
 // TrainWithOptions is the fault-tolerant trainer: TrainContext plus stage
 // checkpointing, resume, and dirty-record quarantine. The returned report
 // is non-nil whenever the input validation passed, even on error.
@@ -243,6 +277,7 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 	}
 
 	s := &System{cfg: cfg, schema: train.Schema, processHook: opts.processHook}
+	s.rebuildEngine()
 	report := &TrainReport{}
 	var ck *checkpointer
 	if opts.CheckpointDir != "" {
@@ -268,6 +303,7 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 				done(st, time.Now(), true)
 			}
 			sys.cfg = cfg
+			sys.rebuildEngine()
 			return sys, report, nil
 		}
 	}
@@ -298,8 +334,9 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 	s.timing.Embeddings = time.Since(start)
 	done(StageEmbeddings, start, resumed)
 
-	// Stage 2: decision units for every training and validation record.
-	// Worker panics quarantine the offending pair (nil entry + report row)
+	// Stage 2: decision units for every training and validation record,
+	// generated through the pipeline's quarantining batch runner. Worker
+	// panics quarantine the offending pair (nil entry + report row)
 	// instead of crashing the run.
 	if err := ctx.Err(); err != nil {
 		return nil, report, stageErr(StageUnits, err)
@@ -313,15 +350,17 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 		}
 	}
 	if !resumed {
-		var err error
-		trainRecs, report.QuarantinedTrain, err = s.ProcessAllContext(ctx, train)
+		batch := pipeline.BatchOptions{Hook: s.processHook}
+		trainBatch, qt, err := pipeline.ProcessAllContext(ctx, s.engine.Generator(), train, batch)
 		if err != nil {
 			return nil, report, stageErr(StageUnits, err)
 		}
-		validRecs, report.QuarantinedValid, err = s.ProcessAllContext(ctx, valid)
+		validBatch, qv, err := pipeline.ProcessAllContext(ctx, s.engine.Generator(), valid, batch)
 		if err != nil {
 			return nil, report, stageErr(StageUnits, err)
 		}
+		trainRecs, report.QuarantinedTrain = relevanceRecords(trainBatch), qt
+		validRecs, report.QuarantinedValid = relevanceRecords(validBatch), qv
 		if err := ck.saveUnits(trainRecs, validRecs, report); err != nil {
 			return nil, report, err
 		}
@@ -413,6 +452,8 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 		return nil, report, err
 	}
 	done(StageModel, start, false)
+	// All three components are fitted: assemble the serving engine.
+	s.rebuildEngine()
 	return s, report, nil
 }
 
@@ -475,7 +516,7 @@ func (s *System) contrastivePairs(ctx context.Context, train *data.Dataset, base
 				return nil, nil, err
 			}
 		}
-		rec := tmp.Process(train.Pairs[i])
+		rec := tmp.generate(train.Pairs[i])
 		for _, u := range rec.Units {
 			if u.Kind != units.Paired {
 				continue
@@ -499,13 +540,23 @@ func (s *System) contrastivePairs(ctx context.Context, train *data.Dataset, base
 	return pos, neg, nil
 }
 
-// textsPool recycles the transient token-text slices of Process; the
-// embedding source only reads them during the Contextualize call.
+// textsPool recycles the transient token-text slices of unit generation;
+// the embedding source only reads them during the Contextualize call.
 var textsPool = sync.Pool{New: func() any { return new([]string) }}
 
-// Process runs tokenization, contextual embedding and Algorithm 1 on one
+// wymGenerator is the paper's decision-unit generator as a
+// pipeline.UnitGenerator: tokenization, contextual embedding, and
+// Algorithm 1 unit discovery over one record pair.
+type wymGenerator struct {
+	s *System
+}
+
+// Generate implements pipeline.UnitGenerator.
+func (g wymGenerator) Generate(p data.Pair) *pipeline.Record { return g.s.generate(p) }
+
+// generate runs tokenization, contextual embedding and Algorithm 1 on one
 // record pair.
-func (s *System) Process(p data.Pair) *relevance.Record {
+func (s *System) generate(p data.Pair) *pipeline.Record {
 	lt := tokenize.Entity(p.Left, s.cfg.Tokenize)
 	rt := tokenize.Entity(p.Right, s.cfg.Tokenize)
 	tp := textsPool.Get().(*[]string)
@@ -530,66 +581,23 @@ func (s *System) Process(p data.Pair) *relevance.Record {
 			return textsim.JaroWinkler(lt[l].Text, rt[r].Text)
 		}
 	}
-	return &relevance.Record{
+	rec := &pipeline.Record{Pair: p}
+	rec.Record = relevance.Record{
 		Units: units.Discover(in, s.cfg.Thresholds),
 		Left:  lt, Right: rt,
 		LeftVecs: lv, RightVecs: rv,
 	}
+	return rec
 }
+
+// Process runs the generator on one record pair; the returned record can
+// be cached and fed to PredictRecord and ExplainRecord so the pair is
+// tokenized and embedded once.
+func (s *System) Process(p data.Pair) *pipeline.Record { return s.engine.Process(p) }
 
 // ProcessAll runs Process over a dataset concurrently, preserving order.
-func (s *System) ProcessAll(d *data.Dataset) []*relevance.Record {
-	n := d.Size()
-	out := make([]*relevance.Record, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := range d.Pairs {
-			out[i] = s.Process(d.Pairs[i])
-		}
-		return out
-	}
-	// Buffer the full job list up front: an unbuffered channel would make
-	// the producer rendezvous with a worker per record, serializing the
-	// fan-out; with the buffer, the producer finishes immediately and the
-	// workers drain without ever blocking on the send side.
-	jobs := make(chan int, n)
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	var wg sync.WaitGroup
-	// One worker closure shared by every goroutine, allocated once —
-	// hoisted out of the spawn loop.
-	worker := func() {
-		defer wg.Done()
-		for i := range jobs {
-			out[i] = s.Process(d.Pairs[i])
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
-	}
-	wg.Wait()
-	return out
-}
-
-// processSafe runs Process on one pair, converting a panic into an error
-// so a single malformed record can be quarantined instead of killing the
-// whole run.
-func (s *System) processSafe(p data.Pair) (rec *relevance.Record, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			rec, err = nil, fmt.Errorf("panic: %v", r)
-		}
-	}()
-	if s.processHook != nil {
-		s.processHook(p)
-	}
-	return s.Process(p), nil
+func (s *System) ProcessAll(d *data.Dataset) []*pipeline.Record {
+	return s.engine.ProcessAll(d)
 }
 
 // ProcessAllContext is ProcessAll with cancellation and per-record fault
@@ -597,66 +605,56 @@ func (s *System) processSafe(p data.Pair) (rec *relevance.Record, err error) {
 // entry in the result, a RecordError in the second return) and moves on.
 // Cancellation stops the workers at the next record; the partial results
 // are discarded and the context error returned.
-func (s *System) ProcessAllContext(ctx context.Context, d *data.Dataset) ([]*relevance.Record, []RecordError, error) {
-	n := d.Size()
-	out := make([]*relevance.Record, n)
-	errs := make([]error, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := range d.Pairs {
-			if err := ctx.Err(); err != nil {
-				return nil, nil, err
-			}
-			out[i], errs[i] = s.processSafe(d.Pairs[i])
-		}
-		return out, collectRecordErrors(d, errs), nil
-	}
-	jobs := make(chan int, n)
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	var wg sync.WaitGroup
-	worker := func() {
-		defer wg.Done()
-		for i := range jobs {
-			if ctx.Err() != nil {
-				return
-			}
-			out[i], errs[i] = s.processSafe(d.Pairs[i])
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	return out, collectRecordErrors(d, errs), nil
+func (s *System) ProcessAllContext(ctx context.Context, d *data.Dataset) ([]*pipeline.Record, []RecordError, error) {
+	return pipeline.ProcessAllContext(ctx, s.engine.Generator(), d,
+		pipeline.BatchOptions{Hook: s.processHook})
 }
 
-// collectRecordErrors turns the per-index error slice into an ordered
-// quarantine list — index order, so reports are deterministic regardless
-// of worker scheduling.
-func collectRecordErrors(d *data.Dataset, errs []error) []RecordError {
-	var out []RecordError
-	for i, err := range errs {
-		if err != nil {
-			out = append(out, RecordError{Index: i, ID: d.Pairs[i].ID, Err: err.Error()})
-		}
-	}
-	return out
+// wymMatcher is the paper's explainable matcher as a pipeline.Matcher:
+// the statistical feature space, the selected interpretable classifier,
+// and the inverse transformation from model coefficients to per-unit
+// impact scores.
+type wymMatcher struct {
+	space *features.Space
+	model classify.Classifier
 }
 
-func (s *System) featurizeAll(recs []*relevance.Record) [][]float64 {
+// MatchRecord implements pipeline.Matcher.
+func (m wymMatcher) MatchRecord(rec *pipeline.Record, scores []float64) (int, float64) {
+	x := m.space.Vector(rec.Units, scores)
+	proba := m.model.PredictProba(x)
+	if proba >= 0.5 {
+		return data.Match, proba
+	}
+	return data.NonMatch, proba
+}
+
+// ExplainRecord implements pipeline.Matcher.
+func (m wymMatcher) ExplainRecord(rec *pipeline.Record, scores []float64) Explanation {
+	x := m.space.Vector(rec.Units, scores)
+	proba := m.model.PredictProba(x)
+	impacts := m.space.Impacts(rec.Units, scores, m.model.Coefficients())
+
+	ex := Explanation{Proba: proba, Prediction: data.NonMatch}
+	if proba >= 0.5 {
+		ex.Prediction = data.Match
+	}
+	for i, u := range rec.Units {
+		l, r := units.Texts(u, rec.Left, rec.Right)
+		ex.Units = append(ex.Units, UnitExplanation{
+			Left: l, Right: r,
+			Kind: u.Kind, Attr: u.Attr,
+			Relevance: scores[i],
+			Impact:    impacts[i],
+		})
+	}
+	return ex
+}
+
+func (s *System) featurizeAll(recs []*pipeline.Record) [][]float64 {
 	out := make([][]float64, len(recs))
 	for i, rec := range recs {
-		out[i] = s.space.Vector(rec.Units, s.scorer.Score(rec))
+		out[i] = s.space.Vector(rec.Units, s.scorer.Score(rec.Rel()))
 	}
 	return out
 }
@@ -679,83 +677,37 @@ func (s *System) featurizeLabeled(recs []*relevance.Record, d *data.Dataset) (x 
 // Predict classifies one record pair, returning the hard label and the
 // match probability.
 func (s *System) Predict(p data.Pair) (label int, proba float64) {
-	rec := s.Process(p)
-	return s.predictRecord(rec)
-}
-
-func (s *System) predictRecord(rec *relevance.Record) (int, float64) {
-	x := s.space.Vector(rec.Units, s.scorer.Score(rec))
-	proba := s.model.PredictProba(x)
-	if proba >= 0.5 {
-		return data.Match, proba
-	}
-	return data.NonMatch, proba
+	return s.engine.Predict(p)
 }
 
 // PredictAll returns hard labels for a whole dataset.
 func (s *System) PredictAll(d *data.Dataset) []int {
-	recs := s.ProcessAll(d)
-	out := make([]int, len(recs))
-	for i, rec := range recs {
-		out[i], _ = s.predictRecord(rec)
-	}
-	return out
+	return s.engine.PredictAll(d)
 }
 
 // UnitExplanation is one row of an explanation: a decision unit with its
 // rendered tokens, relevance and impact scores.
-type UnitExplanation struct {
-	Left, Right string // token texts; empty string for the absent side
-	Kind        units.Kind
-	Attr        int
-	Relevance   float64
-	Impact      float64
-}
+type UnitExplanation = pipeline.UnitExplanation
 
 // Explanation is the full interpretable output for one record pair.
-type Explanation struct {
-	Prediction int
-	Proba      float64
-	Units      []UnitExplanation
-}
+type Explanation = pipeline.Explanation
 
 // Explain predicts one record pair and attributes the decision to its
 // units via the inverse feature transformation. Positive impacts push
 // toward match, negative toward non-match.
 func (s *System) Explain(p data.Pair) Explanation {
-	rec := s.Process(p)
-	return s.explainRecord(rec)
+	return s.engine.Explain(p)
 }
 
-func (s *System) explainRecord(rec *relevance.Record) Explanation {
-	scores := s.scorer.Score(rec)
-	x := s.space.Vector(rec.Units, scores)
-	proba := s.model.PredictProba(x)
-	impacts := s.space.Impacts(rec.Units, scores, s.model.Coefficients())
-
-	ex := Explanation{Proba: proba, Prediction: data.NonMatch}
-	if proba >= 0.5 {
-		ex.Prediction = data.Match
-	}
-	for i, u := range rec.Units {
-		l, r := units.Texts(u, rec.Left, rec.Right)
-		ex.Units = append(ex.Units, UnitExplanation{
-			Left: l, Right: r,
-			Kind: u.Kind, Attr: u.Attr,
-			Relevance: scores[i],
-			Impact:    impacts[i],
-		})
-	}
-	return ex
+// ExplainRecord explains an already-processed record (the evaluation
+// harness and record-caching callers reuse processed records).
+func (s *System) ExplainRecord(rec *pipeline.Record) Explanation {
+	return s.engine.ExplainRecord(rec)
 }
 
-// ExplainRecord exposes explainRecord for callers that already hold a
-// processed record (the evaluation harness re-uses processed records).
-func (s *System) ExplainRecord(rec *relevance.Record) Explanation { return s.explainRecord(rec) }
-
-// PredictRecord exposes predictRecord for processed records.
-func (s *System) PredictRecord(rec *relevance.Record) (int, float64) {
-	return s.predictRecord(rec)
+// PredictRecord classifies an already-processed record.
+func (s *System) PredictRecord(rec *pipeline.Record) (int, float64) {
+	return s.engine.PredictRecord(rec)
 }
 
 // ModelName returns the selected classifier's name.
@@ -794,15 +746,17 @@ func corpusOf(opts tokenize.Options, sets ...*data.Dataset) [][]string {
 }
 
 // NewUnitGenerator builds a System that can Process records (tokenize,
-// embed, discover units) without training a scorer or matcher. The Figure 4
-// unit-distribution experiment uses it. Predict/Explain must not be called
-// on the result.
+// embed, discover units) without training a scorer or matcher: its engine
+// is the generator-only pipeline instantiation. The Figure 4
+// unit-distribution experiment uses it. Predict/Explain must not be
+// called on the result.
 func NewUnitGenerator(d *data.Dataset, cfg Config) *System {
 	if cfg.Thresholds == (units.Thresholds{}) {
 		cfg.Thresholds = units.PaperThresholds
 	}
 	s := &System{cfg: cfg, schema: d.Schema}
 	s.source = s.buildSource(d, nil)
+	s.rebuildEngine()
 	return s
 }
 
@@ -814,14 +768,8 @@ func (s *System) Featurize(d *data.Dataset) [][]float64 {
 
 // AttributeImpact aggregates an explanation's impacts per schema
 // attribute: the CERTA-style attribute-level view the related work
-// discusses. The returned slice is aligned with the schema; units whose
-// attribute falls outside the schema are ignored.
+// discusses. It is pipeline.AttributeImpact, re-exported for callers of
+// the core package.
 func AttributeImpact(schema data.Schema, ex Explanation) []float64 {
-	out := make([]float64, len(schema))
-	for _, u := range ex.Units {
-		if u.Attr >= 0 && u.Attr < len(out) {
-			out[u.Attr] += u.Impact
-		}
-	}
-	return out
+	return pipeline.AttributeImpact(schema, ex)
 }

@@ -137,7 +137,7 @@ func Load(r io.Reader) (*System, error) {
 	if snap.Model == nil || snap.Scorer == nil || snap.Source == nil || snap.Space == nil {
 		return nil, fmt.Errorf("core: snapshot is missing fitted components")
 	}
-	return &System{
+	s := &System{
 		cfg:    snap.Cfg.config(),
 		schema: snap.Schema,
 		source: snap.Source,
@@ -146,7 +146,9 @@ func Load(r io.Reader) (*System, error) {
 		model:  snap.Model,
 		report: snap.Report,
 		timing: snap.Timing,
-	}, nil
+	}
+	s.rebuildEngine()
+	return s, nil
 }
 
 // SaveFile saves the system to a file.

@@ -137,7 +137,7 @@ func wymUnitReducer(sys *core.System) eval.Reducer {
 		if v > len(order) {
 			v = len(order)
 		}
-		return eval.PairFromUnits(rec, order[:v], len(sys.Schema()))
+		return eval.PairFromUnits(rec.Rel(), order[:v], len(sys.Schema()))
 	}
 }
 
@@ -219,7 +219,7 @@ func Figure8(cfg RunConfig) ([]Figure8Row, error) {
 			for j, u := range ex.Units {
 				impacts[j] = u.Impact
 			}
-			items[i] = explained{rec: rec, impacts: impacts, pred: ex.Prediction}
+			items[i] = explained{rec: rec.Rel(), impacts: impacts, pred: ex.Prediction}
 			basePred[i] = ex.Prediction
 		}
 		row := Figure8Row{
@@ -306,7 +306,7 @@ func Figure9(cfg RunConfig) ([]Figure9Row, error) {
 			for i, u := range ex.Units {
 				impacts[i] = u.Impact
 			}
-			aligned := landmarkOnUnits(wymProba, pair, rec, lmCfg)
+			aligned := landmarkOnUnits(wymProba, pair, rec.Rel(), lmCfg)
 			corr := eval.Pearson(impacts, aligned)
 			if pair.Label == data.Match {
 				matchCorrs = append(matchCorrs, corr)

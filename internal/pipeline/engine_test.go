@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wym/internal/data"
+)
+
+// The engine tests run entirely on fake components: the contract under
+// test is the template plumbing (ordering, fan-out, quarantine,
+// cancellation), not any particular instantiation.
+
+// fakeGen stamps the pair ID into the record so tests can verify order.
+type fakeGen struct {
+	panicOn map[int]bool // pair IDs whose processing "fails"
+}
+
+func (g fakeGen) Generate(p data.Pair) *Record {
+	if g.panicOn[p.ID] {
+		panic(fmt.Sprintf("bad record %d", p.ID))
+	}
+	return &Record{Pair: p}
+}
+
+// fakeScorer returns one score derived from the pair ID.
+type fakeScorer struct{}
+
+func (fakeScorer) Score(rec *Record) []float64 {
+	return []float64{float64(rec.Pair.ID) / 100}
+}
+
+// fakeMatcher labels even IDs as matches and folds the scores into the
+// probability so tests can see that the scorer output reached it.
+type fakeMatcher struct{ panicOn map[int]bool }
+
+func (m fakeMatcher) MatchRecord(rec *Record, scores []float64) (int, float64) {
+	if m.panicOn[rec.Pair.ID] {
+		panic(fmt.Sprintf("bad match %d", rec.Pair.ID))
+	}
+	proba := 0.0
+	for _, s := range scores {
+		proba += s
+	}
+	if rec.Pair.ID%2 == 0 {
+		return 1, proba
+	}
+	return 0, proba
+}
+
+func (m fakeMatcher) ExplainRecord(rec *Record, scores []float64) Explanation {
+	label, proba := m.MatchRecord(rec, scores)
+	return Explanation{Prediction: label, Proba: proba}
+}
+
+func dataset(n int) *data.Dataset {
+	d := &data.Dataset{Schema: data.Schema{"a"}}
+	for i := 0; i < n; i++ {
+		d.Pairs = append(d.Pairs, data.Pair{ID: i, Left: []string{fmt.Sprint(i)}, Right: []string{fmt.Sprint(i)}})
+	}
+	return d
+}
+
+func testEngine() *Engine {
+	return New(fakeGen{}, fakeScorer{}, fakeMatcher{})
+}
+
+func TestNewRequiresGenerator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil, ...) did not panic")
+		}
+	}()
+	New(nil, fakeScorer{}, fakeMatcher{})
+}
+
+func TestGeneratorOnlyEnginePanicsOnPredict(t *testing.T) {
+	eng := New(fakeGen{}, nil, nil)
+	if rec := eng.Process(data.Pair{ID: 7}); rec.Pair.ID != 7 {
+		t.Fatalf("Process = %+v", rec)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Predict on a generator-only engine did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "no matcher") {
+			t.Fatalf("panic = %v, want it to name the missing matcher", r)
+		}
+	}()
+	eng.Predict(data.Pair{ID: 1})
+}
+
+func TestPredictUsesScorerOutput(t *testing.T) {
+	eng := testEngine()
+	label, proba := eng.Predict(data.Pair{ID: 50})
+	if label != 1 || proba != 0.5 {
+		t.Fatalf("Predict = (%d, %v), want (1, 0.5)", label, proba)
+	}
+	// A nil scorer is legal: the matcher then sees no scores.
+	noScorer := New(fakeGen{}, nil, fakeMatcher{})
+	if _, proba := noScorer.Predict(data.Pair{ID: 50}); proba != 0 {
+		t.Fatalf("scorer-less proba = %v, want 0", proba)
+	}
+}
+
+func TestProcessOnceRecordReuse(t *testing.T) {
+	eng := testEngine()
+	p := data.Pair{ID: 12}
+	rec := eng.Process(p)
+	wantLabel, wantProba := eng.Predict(p)
+	gotLabel, gotProba := eng.PredictRecord(rec)
+	if gotLabel != wantLabel || gotProba != wantProba {
+		t.Fatalf("PredictRecord = (%d, %v), Predict = (%d, %v)", gotLabel, gotProba, wantLabel, wantProba)
+	}
+	if ex := eng.ExplainRecord(rec); ex.Prediction != wantLabel || ex.Proba != wantProba {
+		t.Fatalf("ExplainRecord = %+v, want prediction %d proba %v", ex, wantLabel, wantProba)
+	}
+}
+
+func TestProcessAllPreservesOrder(t *testing.T) {
+	// Enough records to exercise the worker fan-out.
+	d := dataset(257)
+	recs := testEngine().ProcessAll(d)
+	if len(recs) != d.Size() {
+		t.Fatalf("len = %d, want %d", len(recs), d.Size())
+	}
+	for i, rec := range recs {
+		if rec.Pair.ID != i {
+			t.Fatalf("recs[%d].Pair.ID = %d, want %d (order not preserved)", i, rec.Pair.ID, i)
+		}
+	}
+}
+
+func TestProcessAllContextQuarantine(t *testing.T) {
+	d := dataset(100)
+	gen := fakeGen{panicOn: map[int]bool{13: true, 77: true}}
+	eng := New(gen, nil, nil)
+	recs, errs, err := eng.ProcessAllContext(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 2 || errs[0].Index != 13 || errs[1].Index != 77 {
+		t.Fatalf("errs = %+v, want indices 13 and 77 in order", errs)
+	}
+	if !strings.Contains(errs[0].Err, "bad record 13") {
+		t.Fatalf("errs[0] = %+v, want the panic message preserved", errs[0])
+	}
+	for i, rec := range recs {
+		quarantined := i == 13 || i == 77
+		if (rec == nil) != quarantined {
+			t.Fatalf("recs[%d] = %v, quarantined = %v", i, rec, quarantined)
+		}
+	}
+}
+
+func TestProcessAllContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := testEngine().ProcessAllContext(ctx, dataset(50))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPredictAllMatchesPerPairPredict(t *testing.T) {
+	d := dataset(64)
+	eng := testEngine()
+	got := eng.PredictAll(d)
+	for i, p := range d.Pairs {
+		want, _ := eng.Predict(p)
+		if got[i] != want {
+			t.Fatalf("PredictAll[%d] = %d, Predict = %d", i, got[i], want)
+		}
+	}
+}
+
+func TestPredictBatchIsolatesFailures(t *testing.T) {
+	d := dataset(40)
+	eng := New(fakeGen{panicOn: map[int]bool{3: true}}, fakeScorer{},
+		fakeMatcher{panicOn: map[int]bool{21: true}})
+	preds := eng.PredictBatch(context.Background(), d.Pairs)
+	if len(preds) != 40 {
+		t.Fatalf("len = %d, want 40", len(preds))
+	}
+	for i, pred := range preds {
+		switch i {
+		case 3, 21:
+			if pred.Err == "" {
+				t.Fatalf("preds[%d] = %+v, want a quarantined item", i, pred)
+			}
+			if !strings.Contains(pred.Err, "panic:") {
+				t.Fatalf("preds[%d].Err = %q, want the panic surfaced", i, pred.Err)
+			}
+		default:
+			if pred.Err != "" {
+				t.Fatalf("preds[%d] = %+v, want success", i, pred)
+			}
+			if want := i % 2; want == 0 && pred.Label != 1 || want != 0 && pred.Label != 0 {
+				t.Fatalf("preds[%d].Label = %d for ID %d", i, pred.Label, i)
+			}
+		}
+	}
+}
+
+func TestPredictBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	preds := testEngine().PredictBatch(ctx, dataset(10).Pairs)
+	for i, pred := range preds {
+		if pred.Err != context.Canceled.Error() {
+			t.Fatalf("preds[%d].Err = %q, want the context error", i, pred.Err)
+		}
+	}
+}
+
+func TestVerbatimAndNoScores(t *testing.T) {
+	p := data.Pair{ID: 5, Left: []string{"x"}, Right: []string{"y"}}
+	rec := Verbatim{}.Generate(p)
+	if rec.Pair.ID != 5 || len(rec.Units) != 0 {
+		t.Fatalf("Verbatim record = %+v, want the bare pair and no units", rec)
+	}
+	if s := (NoScores{}).Score(rec); s != nil {
+		t.Fatalf("NoScores.Score = %v, want nil", s)
+	}
+}

@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"strings"
 
-	"wym/internal/core"
 	"wym/internal/data"
+	"wym/internal/pipeline"
 	"wym/internal/tokenize"
 	"wym/internal/units"
 )
@@ -33,7 +33,7 @@ type Rule interface {
 	Name() string
 	// Evaluate returns a verdict and, when not Keep, a reason mentioning
 	// the evidence.
-	Evaluate(p data.Pair, ex core.Explanation) (Verdict, string)
+	Evaluate(p data.Pair, ex pipeline.Explanation) (Verdict, string)
 }
 
 // Decision is the engine's final output for one record.
@@ -56,7 +56,7 @@ type Engine struct {
 func NewEngine(rs ...Rule) *Engine { return &Engine{Rules: rs} }
 
 // Apply combines the model's explanation with the rules.
-func (e *Engine) Apply(p data.Pair, ex core.Explanation) Decision {
+func (e *Engine) Apply(p data.Pair, ex pipeline.Explanation) Decision {
 	d := Decision{Prediction: ex.Prediction, Proba: ex.Proba}
 	for _, r := range e.Rules {
 		verdict, reason := r.Evaluate(p, ex)
@@ -88,7 +88,7 @@ type CodeConflict struct{}
 func (CodeConflict) Name() string { return "code-conflict" }
 
 // Evaluate implements Rule.
-func (CodeConflict) Evaluate(p data.Pair, ex core.Explanation) (Verdict, string) {
+func (CodeConflict) Evaluate(p data.Pair, ex pipeline.Explanation) (Verdict, string) {
 	left, right := codeTokens(p)
 	if len(left) == 0 || len(right) == 0 {
 		return Keep, ""
@@ -116,7 +116,7 @@ type CodeAgreement struct {
 func (CodeAgreement) Name() string { return "code-agreement" }
 
 // Evaluate implements Rule.
-func (r CodeAgreement) Evaluate(p data.Pair, ex core.Explanation) (Verdict, string) {
+func (r CodeAgreement) Evaluate(p data.Pair, ex pipeline.Explanation) (Verdict, string) {
 	band := r.Band
 	if band <= 0 {
 		band = 0.2
@@ -155,7 +155,7 @@ type AttributeMismatch struct {
 func (r AttributeMismatch) Name() string { return "attribute-mismatch" }
 
 // Evaluate implements Rule.
-func (r AttributeMismatch) Evaluate(_ data.Pair, ex core.Explanation) (Verdict, string) {
+func (r AttributeMismatch) Evaluate(_ data.Pair, ex pipeline.Explanation) (Verdict, string) {
 	var sawAttr bool
 	for _, u := range ex.Units {
 		if u.Attr != r.Attr {
@@ -187,7 +187,7 @@ type MinPairedRatio struct {
 func (MinPairedRatio) Name() string { return "min-paired-ratio" }
 
 // Evaluate implements Rule.
-func (r MinPairedRatio) Evaluate(_ data.Pair, ex core.Explanation) (Verdict, string) {
+func (r MinPairedRatio) Evaluate(_ data.Pair, ex pipeline.Explanation) (Verdict, string) {
 	if len(ex.Units) == 0 || r.Ratio <= 0 {
 		return Keep, ""
 	}

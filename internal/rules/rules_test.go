@@ -4,8 +4,8 @@ import (
 	"strings"
 	"testing"
 
-	"wym/internal/core"
 	"wym/internal/data"
+	"wym/internal/pipeline"
 	"wym/internal/units"
 )
 
@@ -13,8 +13,8 @@ func pairWith(left, right string) data.Pair {
 	return data.Pair{Left: data.Entity{left}, Right: data.Entity{right}}
 }
 
-func explanation(pred int, proba float64, us ...core.UnitExplanation) core.Explanation {
-	return core.Explanation{Prediction: pred, Proba: proba, Units: us}
+func explanation(pred int, proba float64, us ...pipeline.UnitExplanation) pipeline.Explanation {
+	return pipeline.Explanation{Prediction: pred, Proba: proba, Units: us}
 }
 
 func TestCodeConflict(t *testing.T) {
@@ -32,7 +32,7 @@ func TestCodeConflict(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			got, reason := rule.Evaluate(tc.p, core.Explanation{})
+			got, reason := rule.Evaluate(tc.p, pipeline.Explanation{})
 			if got != tc.want {
 				t.Fatalf("verdict = %v (%s), want %v", got, reason, tc.want)
 			}
@@ -67,10 +67,10 @@ func TestCodeAgreement(t *testing.T) {
 
 func TestAttributeMismatch(t *testing.T) {
 	rule := AttributeMismatch{Attr: 1, AttrName: "brand"}
-	paired := core.UnitExplanation{Kind: units.Paired, Attr: 1, Left: "sony", Right: "sony"}
-	unpairedL := core.UnitExplanation{Kind: units.UnpairedLeft, Attr: 1, Left: "sony"}
-	unpairedR := core.UnitExplanation{Kind: units.UnpairedRight, Attr: 1, Right: "nikon"}
-	otherAttr := core.UnitExplanation{Kind: units.UnpairedLeft, Attr: 0, Left: "camera"}
+	paired := pipeline.UnitExplanation{Kind: units.Paired, Attr: 1, Left: "sony", Right: "sony"}
+	unpairedL := pipeline.UnitExplanation{Kind: units.UnpairedLeft, Attr: 1, Left: "sony"}
+	unpairedR := pipeline.UnitExplanation{Kind: units.UnpairedRight, Attr: 1, Right: "nikon"}
+	otherAttr := pipeline.UnitExplanation{Kind: units.UnpairedLeft, Attr: 0, Left: "camera"}
 
 	if v, _ := rule.Evaluate(data.Pair{}, explanation(1, 0.9, paired, unpairedL)); v != Keep {
 		t.Fatal("paired unit in the attribute should keep")
@@ -89,8 +89,8 @@ func TestAttributeMismatch(t *testing.T) {
 
 func TestMinPairedRatio(t *testing.T) {
 	rule := MinPairedRatio{Ratio: 0.5}
-	paired := core.UnitExplanation{Kind: units.Paired}
-	unpaired := core.UnitExplanation{Kind: units.UnpairedLeft}
+	paired := pipeline.UnitExplanation{Kind: units.Paired}
+	unpaired := pipeline.UnitExplanation{Kind: units.UnpairedLeft}
 	if v, _ := rule.Evaluate(data.Pair{}, explanation(1, 0.9, paired, unpaired)); v != Keep {
 		t.Fatal("50% paired should keep at floor 50%")
 	}

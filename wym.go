@@ -32,6 +32,7 @@ package wym
 
 import (
 	"context"
+	"io"
 	"sync/atomic"
 
 	"wym/internal/blocking"
@@ -39,6 +40,7 @@ import (
 	"wym/internal/data"
 	"wym/internal/datagen"
 	"wym/internal/explain"
+	"wym/internal/pipeline"
 	"wym/internal/rules"
 	"wym/internal/units"
 )
@@ -51,11 +53,26 @@ type (
 	// Config assembles a WYM variant; start from DefaultConfig.
 	Config = core.Config
 	// Explanation is the interpretable output for one record pair.
-	Explanation = core.Explanation
+	Explanation = pipeline.Explanation
 	// UnitExplanation is one decision unit with its scores.
-	UnitExplanation = core.UnitExplanation
+	UnitExplanation = pipeline.UnitExplanation
 	// Timing is the training-pipeline breakdown.
 	Timing = core.Timing
+
+	// Engine is the pluggable pipeline engine every instantiation of the
+	// paper's architecture template (WYM itself, the simulated baselines)
+	// serves through. A fitted System exposes its engine via
+	// System.Engine(); all batch and single-pair prediction paths run
+	// through it.
+	Engine = pipeline.Engine
+	// ProcessedRecord is a record pair after unit generation: tokens,
+	// contextual embeddings and decision units. Callers that need both a
+	// prediction and an explanation for the same pair should Process once
+	// and reuse the record — see System.Process below.
+	ProcessedRecord = pipeline.Record
+	// BatchPrediction is one item's outcome in Engine.PredictBatch: a
+	// label and probability, or the quarantined item's error.
+	BatchPrediction = pipeline.Prediction
 
 	// Dataset is a named collection of labeled record pairs.
 	Dataset = data.Dataset
@@ -298,6 +315,10 @@ func BlockingSummary(left, right []Entity, cands []BlockingCandidate) BlockingSt
 // come back wrapped with the file path.
 func LoadSystem(path string) (*System, error) { return core.LoadFile(path) }
 
+// Load restores a fitted system from a reader holding the gob stream
+// System.Save wrote.
+func Load(r io.Reader) (*System, error) { return core.Load(r) }
+
 // ModelRef is a reload-safe handle to the System currently being
 // served. Readers call Get per request and keep using the snapshot they
 // got; a reloader validates a replacement off to the side and publishes
@@ -336,7 +357,23 @@ func TuneThresholds(train, valid *Dataset, cfg Config, grid []Thresholds) (*Syst
 }
 
 // AttributeImpact aggregates an explanation's unit impacts per schema
-// attribute, giving the CERTA-style attribute-level view.
+// attribute, giving the CERTA-style attribute-level view. (One
+// implementation lives in the pipeline layer; core and this facade both
+// alias it.)
 func AttributeImpact(schema Schema, ex Explanation) []float64 {
-	return core.AttributeImpact(schema, ex)
+	return pipeline.AttributeImpact(schema, ex)
 }
+
+// Record-level API: a System also exposes the processing step on its own,
+// so callers can tokenize, embed and discover units once per pair and
+// reuse the result —
+//
+//	rec := sys.Process(pair)            // or sys.ProcessAllContext(ctx, ds)
+//	label, proba := sys.PredictRecord(rec)
+//	ex := sys.ExplainRecord(rec)        // no second tokenize/embed pass
+//
+// Predict followed by Explain on the same pair costs two full processing
+// passes; Process + PredictRecord + ExplainRecord costs one. The batch
+// form, ProcessAllContext, additionally quarantines records whose
+// processing panics (nil entry + RecordError) instead of failing the
+// batch, and honors context cancellation.

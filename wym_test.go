@@ -1,6 +1,7 @@
 package wym
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -191,4 +192,60 @@ func TestModelRefSwap(t *testing.T) {
 		}
 	}
 	<-done
+}
+
+// TestRecordLevelAPI pins the facade's Process/PredictRecord/
+// ExplainRecord contract: processing a pair once and reusing the record
+// must reproduce exactly what the one-shot Predict and Explain paths
+// return, both via the System and via its Engine.
+func TestRecordLevelAPI(t *testing.T) {
+	d, _ := DatasetByKey("S-FZ", 1.0)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
+	sys, err := Train(train, valid, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sys.Engine()
+	if eng == nil {
+		t.Fatal("trained system has no engine")
+	}
+	for _, p := range test.Pairs[:10] {
+		wantLabel, wantProba := sys.Predict(p)
+		wantEx := sys.Explain(p)
+
+		rec := sys.Process(p)
+		if gotLabel, gotProba := sys.PredictRecord(rec); gotLabel != wantLabel || gotProba != wantProba {
+			t.Fatalf("PredictRecord = (%d, %v), Predict = (%d, %v)", gotLabel, gotProba, wantLabel, wantProba)
+		}
+		gotEx := sys.ExplainRecord(rec)
+		if gotEx.Prediction != wantEx.Prediction || gotEx.Proba != wantEx.Proba || len(gotEx.Units) != len(wantEx.Units) {
+			t.Fatalf("ExplainRecord = %+v, Explain = %+v", gotEx, wantEx)
+		}
+		for i := range gotEx.Units {
+			if gotEx.Units[i] != wantEx.Units[i] {
+				t.Fatalf("unit %d: ExplainRecord = %+v, Explain = %+v", i, gotEx.Units[i], wantEx.Units[i])
+			}
+		}
+
+		// The engine surface is the same instantiation.
+		if gotLabel, gotProba := eng.Predict(p); gotLabel != wantLabel || gotProba != wantProba {
+			t.Fatalf("Engine.Predict = (%d, %v), System.Predict = (%d, %v)", gotLabel, gotProba, wantLabel, wantProba)
+		}
+	}
+
+	// Batch processing with quarantine: a clean dataset quarantines nothing
+	// and the processed records predict identically.
+	recs, recErrs, err := sys.ProcessAllContext(context.Background(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recErrs) != 0 {
+		t.Fatalf("quarantined = %+v, want none", recErrs)
+	}
+	want := sys.PredictAll(test)
+	for i, rec := range recs {
+		if got, _ := sys.PredictRecord(rec); got != want[i] {
+			t.Fatalf("record %d: PredictRecord = %d, PredictAll = %d", i, got, want[i])
+		}
+	}
 }
