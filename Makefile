@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race serve-race train-race fuzz-smoke bench bench-json bench-guard
+.PHONY: check build vet fmt-check test race serve-race train-race fuzz-smoke bench bench-json bench-guard cover
 
 ## check: the pre-merge gate — formatting, vet (must be clean for every
 ## package, internal/serve included), build, the serving-layer race gate,
 ## the fault-tolerant-training race gate, a fuzz smoke pass over CSV
-## ingest, full race-enabled tests, short benchmarks.
-check: fmt-check vet build serve-race train-race fuzz-smoke race bench
+## ingest, full race-enabled tests, short benchmarks, and the coverage
+## ratchet.
+check: fmt-check vet build serve-race train-race fuzz-smoke race bench cover
 
 build:
 	$(GO) build ./...
@@ -62,3 +63,15 @@ bench-json:
 ## more than 25% (ns/op or allocs/op) against the committed baseline.
 bench-guard:
 	$(GO) run ./cmd/benchmark -bench-guard BENCH_baseline.json
+
+## cover: run the full test suite with coverage and enforce the ratchet —
+## total statement coverage must not drop below the committed floor in
+## COVERAGE_floor. Raise the floor (never lower it) when new tests push
+## coverage up; that is the ratchet.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	floor=$$(cat COVERAGE_floor); \
+	echo "coverage: $$total% (floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage ratchet: total $$total% fell below the committed floor $$floor%"; exit 1; }

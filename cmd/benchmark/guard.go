@@ -94,7 +94,7 @@ func runBenchGuard(baselinePath string, threshold float64) error {
 	}
 	fmt.Printf("bench-guard: baseline %s (%s, scale %g, seed %d), threshold %.0f%%\n",
 		baselinePath, base.Dataset, base.Scale, base.Seed, 100*threshold)
-	fresh, err := collectSnapshot(base.Dataset, base.Scale, base.Seed)
+	fresh, _, err := collectSnapshot(base.Dataset, base.Scale, base.Seed)
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,11 @@
 // them regressed past -bench-threshold against a committed baseline:
 //
 //	benchmark -bench-guard BENCH_baseline.json -bench-threshold 0.25
+//
+// Either perf mode (and -metrics-json on its own) can additionally dump
+// the engine observability metrics accumulated during the timed run:
+//
+//	benchmark -metrics-json metrics.json
 package main
 
 import (
@@ -32,14 +37,15 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run")
-		scale      = flag.Float64("scale", 0.05, "dataset scale (1.0 = Table-2 sizes)")
-		datasets   = flag.String("datasets", "", "comma-separated dataset keys (default: all 12)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		sample     = flag.Int("sample", 100, "records sampled for the per-record experiments")
-		benchJSON  = flag.String("bench-json", "", "write a perf snapshot to this path (\"-\" = stdout) instead of running experiments")
-		benchGuard = flag.String("bench-guard", "", "re-time the hot paths and fail if they regressed past -bench-threshold vs this baseline snapshot")
-		benchThres = flag.Float64("bench-threshold", 0.25, "fractional ns/op or allocs/op growth tolerated by -bench-guard")
+		experiment  = flag.String("experiment", "all", "which experiment to run")
+		scale       = flag.Float64("scale", 0.05, "dataset scale (1.0 = Table-2 sizes)")
+		datasets    = flag.String("datasets", "", "comma-separated dataset keys (default: all 12)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		sample      = flag.Int("sample", 100, "records sampled for the per-record experiments")
+		benchJSON   = flag.String("bench-json", "", "write a perf snapshot to this path (\"-\" = stdout) instead of running experiments")
+		benchGuard  = flag.String("bench-guard", "", "re-time the hot paths and fail if they regressed past -bench-threshold vs this baseline snapshot")
+		benchThres  = flag.Float64("bench-threshold", 0.25, "fractional ns/op or allocs/op growth tolerated by -bench-guard")
+		metricsJSON = flag.String("metrics-json", "", "also dump the engine obs metrics accumulated during the perf run as JSON (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -51,7 +57,9 @@ func main() {
 		return
 	}
 
-	if *benchJSON != "" {
+	// -metrics-json without -bench-json still runs the perf workload,
+	// writing only the metrics dump.
+	if *benchJSON != "" || *metricsJSON != "" {
 		ds := "S-FZ"
 		if *datasets != "" {
 			ds = strings.Split(*datasets, ",")[0]
@@ -64,7 +72,7 @@ func main() {
 				benchScale = *scale
 			}
 		})
-		if err := runBenchJSON(*benchJSON, ds, benchScale, *seed); err != nil {
+		if err := runBenchJSON(*benchJSON, *metricsJSON, ds, benchScale, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchmark:", err)
 			os.Exit(1)
 		}

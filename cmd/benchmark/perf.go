@@ -19,6 +19,8 @@ import (
 
 	"wym"
 	"wym/internal/embed"
+	"wym/internal/obs"
+	"wym/internal/pipeline"
 	"wym/internal/tokenize"
 	"wym/internal/units"
 )
@@ -44,25 +46,56 @@ type perfSnapshot struct {
 }
 
 // runBenchJSON collects a snapshot and writes it as JSON; "-" writes to
-// stdout.
-func runBenchJSON(path, dataset string, scale float64, seed int64) error {
-	snap, err := collectSnapshot(dataset, scale, seed)
+// stdout. An empty path skips the perf snapshot output (the
+// -metrics-json-only mode). metricsPath, when non-empty, additionally
+// dumps the obs registry accumulated during the run — the engine metrics
+// of every timed operation — in the registry's JSON rendering.
+func runBenchJSON(path, metricsPath, dataset string, scale float64, seed int64) error {
+	snap, reg, err := collectSnapshot(dataset, scale, seed)
 	if err != nil {
 		return err
 	}
-	out, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return err
+	if path != "" {
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if path == "-" {
+			if _, err := os.Stdout.Write(out); err != nil {
+				return err
+			}
+		} else {
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%s, scale %g, %d benchmarks)\n", path, snap.Dataset, snap.Scale, len(snap.Benchmarks))
+		}
 	}
-	out = append(out, '\n')
+	return writeMetricsJSON(metricsPath, reg)
+}
+
+// writeMetricsJSON dumps the registry as JSON to path ("-" = stdout, ""
+// = skip).
+func writeMetricsJSON(path string, reg *obs.Registry) error {
+	if path == "" {
+		return nil
+	}
 	if path == "-" {
-		_, err = os.Stdout.Write(out)
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	defer f.Close()
+	if err := reg.WriteJSON(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%s, scale %g, %d benchmarks)\n", path, snap.Dataset, snap.Scale, len(snap.Benchmarks))
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d metric families)\n", path, len(reg.Snapshot()))
 	return nil
 }
 
@@ -70,22 +103,23 @@ func runBenchJSON(path, dataset string, scale float64, seed int64) error {
 // times the deployment-relevant paths: batch unit generation (ProcessAll),
 // single record prediction and explanation, plus the Contextualize and
 // Discover micro-paths that dominate them.
-func collectSnapshot(dataset string, scale float64, seed int64) (perfSnapshot, error) {
+func collectSnapshot(dataset string, scale float64, seed int64) (perfSnapshot, *obs.Registry, error) {
 	var snap perfSnapshot
+	reg := obs.NewRegistry()
 	if dataset == "" {
 		dataset = "S-FZ"
 	}
 	d, ok := wym.DatasetByKey(dataset, scale)
 	if !ok {
-		return snap, fmt.Errorf("unknown dataset %q", dataset)
+		return snap, reg, fmt.Errorf("unknown dataset %q", dataset)
 	}
 	train, valid, test, err := d.Split(0.6, 0.2, seed)
 	if err != nil {
-		return snap, err
+		return snap, reg, err
 	}
 	sys, err := wym.Train(train, valid, wym.DefaultConfig())
 	if err != nil {
-		return snap, err
+		return snap, reg, err
 	}
 
 	snap = perfSnapshot{
@@ -110,8 +144,12 @@ func collectSnapshot(dataset string, scale float64, seed int64) (perfSnapshot, e
 
 	// The deployment paths are timed through the pipeline engine — the
 	// surface every binary serves from — so the numbers measure what
-	// production code actually runs.
+	// production code actually runs. The engine is instrumented with the
+	// full metrics bundle on purpose: the committed baseline then times
+	// the observed hot path, and -bench-guard holds the instrumentation
+	// overhead to the same regression budget as any other change.
 	eng := sys.Engine()
+	eng.SetMetrics(pipeline.NewMetrics(reg))
 	record("ProcessAll", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -163,7 +201,7 @@ func collectSnapshot(dataset string, scale float64, seed int64) (perfSnapshot, e
 			units.Discover(in, units.PaperThresholds)
 		}
 	})
-	return snap, nil
+	return snap, reg, nil
 }
 
 // widestPair returns the record pair with the most tokens, the

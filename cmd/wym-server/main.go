@@ -37,6 +37,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +47,8 @@ import (
 	"time"
 
 	"wym"
+	"wym/internal/obs"
+	"wym/internal/pipeline"
 	"wym/internal/serve"
 )
 
@@ -64,6 +67,9 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "concurrent predict/explain cap (429 past it, 0 = unlimited)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 		maxBatch    = flag.Int("max-batch", 256, "maximum pairs per /predict/batch request")
+
+		adminAddr = flag.String("admin-addr", "", "admin listen address for GET /metrics (and pprof); empty disables")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof on the admin address")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -99,6 +105,20 @@ func main() {
 	defer stop()
 	a.watchHUP(ctx)
 
+	if *adminAddr != "" {
+		adminSrv := serve.New(serve.Config{
+			Addr:          *adminAddr,
+			ShutdownGrace: *shutdownGrace,
+			ErrorLog:      logger,
+		}, a.adminHandler(*pprofOn))
+		go func() {
+			if err := adminSrv.Run(ctx); err != nil {
+				logger.Printf("admin server: %v", err)
+			}
+		}()
+		logger.Printf("admin surface (GET /metrics, pprof=%v) on %s", *pprofOn, *adminAddr)
+	}
+
 	logger.Printf("serving %s (classifier %s, schema %v) on %s",
 		*modelPath, sys.ModelName(), sys.Schema(), *addr)
 	if err := srv.Run(ctx); err != nil {
@@ -117,6 +137,7 @@ type options struct {
 	reqTimeout  time.Duration
 	maxBody     int64
 	maxBatch    int
+	registry    *obs.Registry   // metrics registry; newApp creates one when nil
 	faults      *serve.Injector // test-only fault injection, nil in production
 }
 
@@ -133,6 +154,13 @@ type app struct {
 	reloadMu  sync.Mutex  // serializes reloads; never held on the predict path
 	modelPath string      // guarded by reloadMu
 	reloads   atomic.Int64
+
+	// Observability: one registry for the process; the engine bundle is
+	// re-attached to every reloaded model so counters survive swaps.
+	reg           *obs.Registry
+	engineMetrics *pipeline.Metrics
+	httpMetrics   *serve.HTTPMetrics
+	reloadsTotal  *obs.Counter
 }
 
 func newApp(sys *wym.System, modelPath string, opts options) *app {
@@ -145,14 +173,29 @@ func newApp(sys *wym.System, modelPath string, opts options) *app {
 	if opts.retryAfter <= 0 {
 		opts.retryAfter = time.Second
 	}
-	return &app{
-		ref:       wym.NewModelRef(sys),
+	if opts.registry == nil {
+		opts.registry = obs.NewRegistry()
+	}
+	a := &app{
 		logger:    opts.logger,
 		limiter:   serve.NewLimiter(opts.maxInFlight, opts.retryAfter),
 		opts:      opts,
 		drainFn:   func() bool { return false },
 		modelPath: modelPath,
+
+		reg:         opts.registry,
+		httpMetrics: serve.NewHTTPMetrics(opts.registry),
+		reloadsTotal: opts.registry.Counter("wym_server_reloads_total",
+			"Successful model hot reloads."),
 	}
+	a.engineMetrics = pipeline.NewMetrics(a.reg)
+	a.limiter.CountSheds(a.reg.Counter("wym_server_shed_total",
+		"Requests shed with 429 by the in-flight limiter."))
+	// Instrument before publishing: handlers must never observe an
+	// uninstrumented engine.
+	sys.Engine().SetMetrics(a.engineMetrics)
+	a.ref = wym.NewModelRef(sys)
+	return a
 }
 
 // handler assembles the full middleware stack. The hot endpoints shed
@@ -161,28 +204,51 @@ func newApp(sys *wym.System, modelPath string, opts options) *app {
 // Recovery and access logging wrap everything.
 func (a *app) handler() http.Handler {
 	mux := http.NewServeMux()
-	hot := func(h http.HandlerFunc) http.Handler {
+	// Metrics wrap each route outermost (inside the mux) so the route
+	// label is the registered pattern and shed 429s are counted too.
+	hot := func(route string, h http.HandlerFunc) http.Handler {
 		var inner http.Handler = h
 		inner = a.opts.faults.Middleware(inner) // no-op when nil
 		inner = serve.MaxBytes(a.opts.maxBody, inner)
 		inner = serve.Timeout(a.opts.reqTimeout, inner)
-		return a.limiter.Middleware(inner)
+		inner = a.limiter.Middleware(inner)
+		return a.httpMetrics.Route(route, inner)
 	}
-	admin := func(h http.HandlerFunc) http.Handler {
-		return serve.Timeout(a.opts.reqTimeout, serve.MaxBytes(a.opts.maxBody, h))
+	admin := func(route string, h http.HandlerFunc) http.Handler {
+		inner := serve.Timeout(a.opts.reqTimeout, serve.MaxBytes(a.opts.maxBody, h))
+		return a.httpMetrics.Route(route, inner)
 	}
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /readyz", a.handleReadyz)
-	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, a.ref.Get().Schema())
-	})
-	mux.Handle("POST /predict", hot(a.handlePredict))
-	mux.Handle("POST /predict/batch", hot(a.handlePredictBatch))
-	mux.Handle("POST /explain", hot(a.handleExplain))
-	mux.Handle("POST /admin/reload", admin(a.handleReload))
+	mux.Handle("GET /healthz", a.httpMetrics.Route("/healthz",
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})))
+	mux.Handle("GET /readyz", a.httpMetrics.Route("/readyz", http.HandlerFunc(a.handleReadyz)))
+	mux.Handle("GET /schema", a.httpMetrics.Route("/schema",
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, a.ref.Get().Schema())
+		})))
+	mux.Handle("POST /predict", hot("/predict", a.handlePredict))
+	mux.Handle("POST /predict/batch", hot("/predict/batch", a.handlePredictBatch))
+	mux.Handle("POST /explain", hot("/explain", a.handleExplain))
+	mux.Handle("POST /admin/reload", admin("/admin/reload", a.handleReload))
 	return serve.AccessLog(a.logger, a.limiter.InFlight, serve.Recover(a.logger, mux))
+}
+
+// adminHandler is the admin-surface mux: GET /metrics always, the
+// net/http/pprof handlers when enabled. It is served on its own listener
+// (-admin-addr) so profiling and scraping never contend with, or leak
+// onto, the public predict routes.
+func (a *app) adminHandler(pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", a.reg.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return serve.Recover(a.logger, mux)
 }
 
 // watchHUP reloads the model from its current path on SIGHUP until ctx
@@ -224,9 +290,13 @@ func (a *app) reload(path string) (string, error) {
 	if err := validateSystem(sys); err != nil {
 		return path, fmt.Errorf("model %s failed validation: %w", path, err)
 	}
+	// Re-attach the process-lifetime metrics bundle before publishing so
+	// counters and histograms accumulate across model generations.
+	sys.Engine().SetMetrics(a.engineMetrics)
 	a.ref.Set(sys)
 	a.modelPath = path
 	a.reloads.Add(1)
+	a.reloadsTotal.Inc()
 	return path, nil
 }
 

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wym/internal/obs"
+)
+
+// scrape fetches the admin /metrics text and returns the body.
+func scrape(t *testing.T, adminURL string) string {
+	t.Helper()
+	resp, err := http.Get(adminURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndToEnd drives the public surface (predicts, a bad
+// request, a hot reload) and asserts the admin /metrics scrape reflects
+// all of it: per-route request counts by status class, engine record
+// counters that survive the model swap, and the reload counter.
+func TestMetricsEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := testApp(t, options{logger: log.New(io.Discard, "", 0), registry: reg})
+	srv := httptest.NewServer(a.handler())
+	defer srv.Close()
+	admin := httptest.NewServer(a.adminHandler(true))
+	defer admin.Close()
+
+	sys := trained(t)
+	good := pairRequest{Left: trainedEx.Left, Right: trainedEx.Right}
+	for i := 0; i < 2; i++ {
+		resp := post(t, srv.URL+"/predict", good)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict status = %d", resp.StatusCode)
+		}
+	}
+	resp := post(t, srv.URL+"/predict", pairRequest{Left: []string{"only-one"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad predict status = %d", resp.StatusCode)
+	}
+
+	// Hot reload from a saved artifact, then predict again: the engine
+	// bundle must keep accumulating across the swap.
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	resp = post(t, srv.URL+"/admin/reload", reloadRequest{Path: path})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d", resp.StatusCode)
+	}
+	resp = post(t, srv.URL+"/predict", good)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload predict status = %d", resp.StatusCode)
+	}
+
+	text := scrape(t, admin.URL)
+	for _, want := range []string{
+		`wym_http_requests_total{route="/predict",code="2xx"} 3`,
+		`wym_http_requests_total{route="/predict",code="4xx"} 1`,
+		`wym_http_requests_total{route="/admin/reload",code="2xx"} 1`,
+		`wym_engine_records_processed_total 3`,
+		`wym_engine_predict_seconds_count 3`,
+		`wym_server_reloads_total 1`,
+		`wym_engine_inflight_records 0`,
+		"# TYPE wym_http_request_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+
+	// The JSON rendering is served from the same registry.
+	jresp, err := http.Get(admin.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	jbody, err := io.ReadAll(jresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jresp.Header.Get("Content-Type"), "application/json") {
+		t.Fatalf("json Content-Type = %q", jresp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(jbody), `"wym_server_reloads_total"`) {
+		t.Fatalf("json scrape missing reload counter:\n%s", jbody)
+	}
+}
+
+// TestAdminPprofOptIn checks the pprof handlers are present only when
+// enabled.
+func TestAdminPprofOptIn(t *testing.T) {
+	a := testApp(t, quietOptions())
+
+	on := httptest.NewServer(a.adminHandler(true))
+	defer on.Close()
+	resp, err := http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof-on cmdline status = %d, want 200", resp.StatusCode)
+	}
+
+	off := httptest.NewServer(a.adminHandler(false))
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof-off cmdline status = %d, want 404", resp.StatusCode)
+	}
+
+	// /metrics is always on the admin surface, never the public one.
+	mresp, err := http.Get(off.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("admin /metrics status = %d", mresp.StatusCode)
+	}
+	pub := httptest.NewServer(a.handler())
+	defer pub.Close()
+	presp, err := http.Get(pub.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNotFound {
+		t.Fatalf("public /metrics status = %d, want 404", presp.StatusCode)
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/wym -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// durationRE matches Go duration strings ("1.2ms", "980µs", "1m2.5s", …).
+// Wall-clock timings are the only run-to-run nondeterminism in the CLI
+// output, so normalizing them to a placeholder makes the full stdout —
+// including the -v stage-timing table — byte-comparable across runs.
+// Longer unit names come first so "ms" is not split into "m"+"s".
+var durationRE = regexp.MustCompile(`\d+(\.\d+)?(h|ms|s|m|µs|us|ns)`)
+
+func normalizeDurations(s string) string {
+	return durationRE.ReplaceAllString(s, "<DUR>")
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return out
+}
+
+// TestGoldenTrainExplain locks the complete end-to-end CLI transcript of
+// a verbose training run — dataset banner, per-stage progress lines, the
+// stage-timing table, classifier ranking, test metrics, and the
+// explanation rendering — against a checked-in golden file. Any change to
+// the user-visible output shape must be made deliberately via -update.
+func TestGoldenTrainExplain(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(context.Background(), options{
+			datasetID: "S-BR", scale: 1.0, explainN: 2, seed: 1, verbose: true,
+		})
+	})
+	got := normalizeDurations(out)
+
+	// Structural checks independent of the golden bytes, so a careless
+	// -update cannot silently drop the stage-timing table.
+	if !strings.Contains(got, "stage timing:") {
+		t.Fatalf("verbose run printed no stage-timing table:\n%s", got)
+	}
+	for _, stage := range []string{
+		"embeddings/cooc", "units/train", "scorer/train", "features", "model/select", "total",
+	} {
+		if !regexp.MustCompile(`(?m)^  ` + regexp.QuoteMeta(stage) + ` +<DUR>$`).MatchString(got) {
+			t.Fatalf("stage-timing table missing row for %q:\n%s", stage, got)
+		}
+	}
+	if !strings.Contains(got, "test: F1=") {
+		t.Fatalf("missing test-metrics line:\n%s", got)
+	}
+
+	golden := filepath.Join("testdata", "train_sbr.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/wym -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("CLI output diverged from %s (re-run with -update if intentional)\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal line diff: the first divergent line with a
+// little context from each side.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return "first divergence at line " + itoa(i+1) +
+				":\n  want: " + w[i] + "\n  got:  " + g[i]
+		}
+	}
+	return "line counts differ: want " + itoa(len(w)) + ", got " + itoa(len(g))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -145,7 +145,10 @@ func run(ctx context.Context, o options) error {
 		if o.resume != "" {
 			topts.CheckpointDir = o.resume
 		}
+		var tracer *wym.Tracer
 		if o.verbose {
+			tracer = wym.NewTracer()
+			topts.Tracer = tracer
 			topts.OnStage = func(st wym.TrainStage, took time.Duration, resumed bool) {
 				how := "trained"
 				if resumed {
@@ -158,6 +161,11 @@ func run(ctx context.Context, o options) error {
 		sys, report, err = wym.TrainWithOptions(ctx, train, valid, cfg, topts)
 		if err != nil {
 			return err
+		}
+		if tracer != nil {
+			if table := tracer.Table(); table != "" {
+				fmt.Printf("\nstage timing:\n%s", table)
+			}
 		}
 		for _, w := range report.CheckpointWarnings {
 			fmt.Fprintln(os.Stderr, "wym: checkpoint:", w)

@@ -1,0 +1,115 @@
+package assignment
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The property tests drive Match with hundreds of random thresholded
+// similarity instances and verify the invariants that every caller
+// (Algorithm 1's three staged searches) relies on: the result is a valid
+// partial matching, respects the threshold, reports true similarities,
+// is stable, deterministically ordered, and reproducible.
+
+func randomInstance(rng *rand.Rand) (nx, ny int, mat []float64, threshold float64) {
+	nx, ny = rng.Intn(13), rng.Intn(13)
+	mat = make([]float64, nx*ny)
+	for i := range mat {
+		mat[i] = rng.Float64()
+	}
+	// Bias thresholds into the interesting band: low enough that pairs
+	// form, high enough that preference lists get pruned.
+	threshold = 0.2 + 0.7*rng.Float64()
+	return nx, ny, mat, threshold
+}
+
+func TestMatchRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		nx, ny, mat, threshold := randomInstance(rng)
+		sim := MatrixSim(mat, ny)
+		pairs := Match(nx, ny, sim, threshold)
+
+		// Valid partial matching: each proposer and each reviewer appears
+		// at most once, with in-range indices.
+		seenX := make(map[int]bool, len(pairs))
+		seenY := make(map[int]bool, len(pairs))
+		for _, p := range pairs {
+			if p.X < 0 || p.X >= nx || p.Y < 0 || p.Y >= ny {
+				t.Fatalf("trial %d: pair out of range: %+v (nx=%d ny=%d)", trial, p, nx, ny)
+			}
+			if seenX[p.X] {
+				t.Fatalf("trial %d: proposer %d matched twice", trial, p.X)
+			}
+			if seenY[p.Y] {
+				t.Fatalf("trial %d: reviewer %d matched twice", trial, p.Y)
+			}
+			seenX[p.X], seenY[p.Y] = true, true
+
+			// The reported similarity is the true one and clears the bar.
+			if got := sim(p.X, p.Y); p.Sim != got {
+				t.Fatalf("trial %d: pair %+v reports sim %v, matrix says %v", trial, p, p.Sim, got)
+			}
+			if p.Sim < threshold {
+				t.Fatalf("trial %d: pair %+v below threshold %v", trial, p, threshold)
+			}
+		}
+
+		// Deterministic output order: sorted by (X, Y).
+		for i := 1; i < len(pairs); i++ {
+			a, b := pairs[i-1], pairs[i]
+			if a.X > b.X || (a.X == b.X && a.Y >= b.Y) {
+				t.Fatalf("trial %d: pairs not sorted by (X, Y): %+v before %+v", trial, a, b)
+			}
+		}
+
+		// Stability under the thresholded preferences.
+		if !IsStable(pairs, nx, ny, sim, threshold) {
+			t.Fatalf("trial %d: matching not stable (nx=%d ny=%d th=%v): %+v",
+				trial, nx, ny, threshold, pairs)
+		}
+
+		// Reproducibility: the same instance yields the same matching.
+		again := Match(nx, ny, sim, threshold)
+		if !reflect.DeepEqual(pairs, again) {
+			t.Fatalf("trial %d: Match is not deterministic:\n%+v\n%+v", trial, pairs, again)
+		}
+	}
+}
+
+func TestMatchThresholdExcludesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nx, ny := 6, 6
+	mat := make([]float64, nx*ny)
+	for i := range mat {
+		mat[i] = rng.Float64() * 0.5
+	}
+	if pairs := Match(nx, ny, MatrixSim(mat, ny), 0.9); pairs != nil {
+		t.Fatalf("threshold above every similarity still matched: %+v", pairs)
+	}
+}
+
+func TestMatchPerfectDiagonal(t *testing.T) {
+	// With a dominant diagonal every element should pair with its twin.
+	const n = 8
+	mat := make([]float64, n*n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y {
+				mat[x*n+y] = 1
+			} else {
+				mat[x*n+y] = 0.1
+			}
+		}
+	}
+	pairs := Match(n, n, MatrixSim(mat, n), 0.5)
+	if len(pairs) != n {
+		t.Fatalf("got %d pairs, want %d", len(pairs), n)
+	}
+	for _, p := range pairs {
+		if p.X != p.Y || p.Sim != 1 {
+			t.Fatalf("off-diagonal pair: %+v", p)
+		}
+	}
+}

@@ -299,6 +299,7 @@ func (ck *checkpointer) saveModel(s *System) error {
 		Model:  s.model,
 		Report: s.report,
 		Timing: s.timing,
+		Spans:  s.spans,
 	})
 }
 
@@ -318,6 +319,7 @@ func (ck *checkpointer) loadModel(report *TrainReport) (*System, bool) {
 		model:  snap.Model,
 		report: snap.Report,
 		timing: snap.Timing,
+		spans:  snap.Spans,
 	}
 	s.rebuildEngine()
 	return s, true

@@ -18,6 +18,7 @@ import (
 	"wym/internal/data"
 	"wym/internal/embed"
 	"wym/internal/features"
+	"wym/internal/obs"
 	"wym/internal/pipeline"
 	"wym/internal/relevance"
 	"wym/internal/textsim"
@@ -108,6 +109,11 @@ type System struct {
 
 	report []classify.Score
 	timing Timing
+	// tracer receives the per-stage spans during training; spans is the
+	// frozen result, persisted with the model so `wym train -v` and the
+	// checkpoint metadata can replay the stage-timing table later.
+	tracer *obs.Tracer
+	spans  []obs.Span
 
 	// processHook, when non-nil, runs before unit generation inside the
 	// quarantine wrapper of ProcessAllContext; the fault-tolerance tests
@@ -222,6 +228,13 @@ type TrainOptions struct {
 	// resumed from a checkpoint) — progress reporting for long runs.
 	OnStage func(stage Stage, took time.Duration, resumed bool)
 
+	// Tracer, when non-nil, receives a named span per completed training
+	// (sub)stage: embeddings/cooc, embeddings/finetune, units/train,
+	// scorer/train, and so on. The trainer records the same spans into the
+	// returned System either way (see System.StageSpans); passing a tracer
+	// just lets callers render them live, e.g. `wym train -v`.
+	Tracer *obs.Tracer
+
 	// processHook is the fault-injection seam for the in-package tests: it
 	// runs inside the per-record quarantine wrapper before each Process.
 	processHook func(data.Pair)
@@ -276,7 +289,13 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 		cfg.Thresholds = units.PaperThresholds
 	}
 
-	s := &System{cfg: cfg, schema: train.Schema, processHook: opts.processHook}
+	tr := opts.Tracer
+	if tr == nil {
+		// Always trace: spans end up in the fitted System (and its
+		// checkpoint metadata) whether or not the caller watches live.
+		tr = obs.NewTracer()
+	}
+	s := &System{cfg: cfg, schema: train.Schema, tracer: tr, processHook: opts.processHook}
 	s.rebuildEngine()
 	report := &TrainReport{}
 	var ck *checkpointer
@@ -304,6 +323,9 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 			}
 			sys.cfg = cfg
 			sys.rebuildEngine()
+			// Replay the original run's stage spans into the caller's
+			// tracer so the timing table survives a full-model resume.
+			tr.Import(sys.spans)
 			return sys, report, nil
 		}
 	}
@@ -351,14 +373,18 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 	}
 	if !resumed {
 		batch := pipeline.BatchOptions{Hook: s.processHook}
+		doneTrain := tr.Start("units/train")
 		trainBatch, qt, err := pipeline.ProcessAllContext(ctx, s.engine.Generator(), train, batch)
 		if err != nil {
 			return nil, report, stageErr(StageUnits, err)
 		}
+		doneTrain()
+		doneValid := tr.Start("units/valid")
 		validBatch, qv, err := pipeline.ProcessAllContext(ctx, s.engine.Generator(), valid, batch)
 		if err != nil {
 			return nil, report, stageErr(StageUnits, err)
 		}
+		doneValid()
 		trainRecs, report.QuarantinedTrain = relevanceRecords(trainBatch), qt
 		validRecs, report.QuarantinedValid = relevanceRecords(validBatch), qv
 		if err := ck.saveUnits(trainRecs, validRecs, report); err != nil {
@@ -389,6 +415,7 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 		}
 	}
 	if !resumed {
+		doneScorer := tr.Start("scorer/train")
 		switch cfg.Scorer {
 		case ScorerBinary:
 			s.scorer = relevance.Binary{}
@@ -412,6 +439,7 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 			}
 			s.scorer = scorer
 		}
+		doneScorer()
 		if err := ck.saveScorer(s.scorer); err != nil {
 			return nil, report, err
 		}
@@ -425,6 +453,7 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 		return nil, report, stageErr(StageFeatures, err)
 	}
 	start = time.Now()
+	doneFeatures := tr.Start("features")
 	if cfg.Features == FeaturesSimplified {
 		s.space = features.NewSimplifiedSpace()
 	} else {
@@ -432,6 +461,7 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 	}
 	xTrain, yTrain := s.featurizeLabeled(trainRecs, train)
 	xValid, yValid := s.featurizeLabeled(validRecs, valid)
+	doneFeatures()
 	s.timing.Featurize = time.Since(start)
 	done(StageFeatures, start, false)
 
@@ -440,6 +470,7 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 		return nil, report, stageErr(StageModel, err)
 	}
 	start = time.Now()
+	doneModel := tr.Start("model/select")
 	best, scores, err := classify.SelectBest(classify.NewPool(cfg.Seed),
 		xTrain, yTrain, xValid, yValid)
 	if err != nil {
@@ -447,7 +478,11 @@ func TrainWithOptions(ctx context.Context, train, valid *data.Dataset, cfg Confi
 	}
 	s.model = best
 	s.report = scores
+	doneModel()
 	s.timing.ModelSelect = time.Since(start)
+	// Freeze the spans before the model checkpoint so the saved snapshot
+	// carries the full stage-timing record.
+	s.spans = tr.Spans()
 	if err := ck.saveModel(s); err != nil {
 		return nil, report, err
 	}
@@ -474,25 +509,31 @@ func (s *System) buildSourceCtx(ctx context.Context, train, valid *data.Dataset)
 	corpus := corpusOf(s.cfg.Tokenize, train, valid)
 	coocCfg := embed.DefaultCoocConfig()
 	coocCfg.Seed = s.cfg.Seed
+	doneCooc := s.tracer.Start("embeddings/cooc")
 	cooc, err := embed.TrainCoocCtx(ctx, corpus, coocCfg)
 	if err != nil {
 		return nil, err
 	}
+	doneCooc()
 	base := embed.Source(embed.NewConcat(embed.NewHash(), cooc))
 
 	switch s.cfg.Embedding {
 	case SBERT, BERTFinetuned:
+		donePairs := s.tracer.Start("embeddings/pairs")
 		pos, neg, err := s.contrastivePairs(ctx, train, base)
 		if err != nil {
 			return nil, err
 		}
+		donePairs()
 		if s.cfg.Embedding == BERTFinetuned {
 			neg = nil // task fine-tune: consolidation only
 		}
+		doneFT := s.tracer.Start("embeddings/finetune")
 		ft, err := embed.FineTuneCtx(ctx, base, pos, neg, embed.DefaultFineTuneConfig())
 		if err != nil {
 			return nil, err
 		}
+		doneFT()
 		base = ft
 	}
 	return embed.NewCache(base), nil
@@ -718,6 +759,12 @@ func (s *System) Report() []classify.Score { return s.report }
 
 // TrainingTiming returns the recorded pipeline breakdown.
 func (s *System) TrainingTiming() Timing { return s.timing }
+
+// StageSpans returns the per-(sub)stage wall-clock spans recorded during
+// training, in completion order. The spans persist with the model
+// (Save/Load and the model checkpoint), so a loaded system still reports
+// how it was trained; render them with obs.Tracer.Table via Import.
+func (s *System) StageSpans() []obs.Span { return append([]obs.Span(nil), s.spans...) }
 
 // Schema returns the schema the system was trained on.
 func (s *System) Schema() data.Schema { return s.schema }

@@ -11,6 +11,7 @@ import (
 	"wym/internal/embed"
 	"wym/internal/features"
 	"wym/internal/nn"
+	"wym/internal/obs"
 	"wym/internal/relevance"
 	"wym/internal/tokenize"
 	"wym/internal/units"
@@ -95,7 +96,9 @@ func (s configShadow) config() Config {
 	}
 }
 
-// systemSnapshot is the on-disk form of a fitted System.
+// systemSnapshot is the on-disk form of a fitted System. Spans was added
+// after the first release; gob tolerates its absence, so older artifacts
+// load with no stage-timing record rather than failing.
 type systemSnapshot struct {
 	Cfg    configShadow
 	Schema data.Schema
@@ -105,6 +108,7 @@ type systemSnapshot struct {
 	Model  classify.Classifier
 	Report []classify.Score
 	Timing Timing
+	Spans  []obs.Span
 }
 
 // Save serializes the fitted system. It fails on an untrained system.
@@ -121,6 +125,7 @@ func (s *System) Save(w io.Writer) error {
 		Model:  s.model,
 		Report: s.report,
 		Timing: s.timing,
+		Spans:  s.spans,
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("core: encoding system: %w", err)
@@ -146,6 +151,7 @@ func Load(r io.Reader) (*System, error) {
 		model:  snap.Model,
 		report: snap.Report,
 		timing: snap.Timing,
+		spans:  snap.Spans,
 	}
 	s.rebuildEngine()
 	return s, nil

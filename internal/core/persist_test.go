@@ -45,6 +45,20 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if len(loaded.Report()) != len(sys.Report()) {
 		t.Fatal("report lost")
 	}
+	// The stage-timing spans persist with the model.
+	spans := loaded.StageSpans()
+	if len(spans) == 0 || len(spans) != len(sys.StageSpans()) {
+		t.Fatalf("spans = %d after reload, want %d (non-zero)", len(spans), len(sys.StageSpans()))
+	}
+	names := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"embeddings/cooc", "units/train", "scorer/train", "features", "model/select"} {
+		if !names[want] {
+			t.Fatalf("reloaded spans missing %q (have %v)", want, names)
+		}
+	}
 }
 
 func TestSaveLoadFile(t *testing.T) {

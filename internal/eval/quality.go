@@ -3,6 +3,13 @@
 // perturbation analysis (Figure 8), Pareto conciseness (Figure 6), Pearson
 // correlation between explanations (Figure 9), learning curves (Figure 5),
 // and the simulated user study with Fleiss' kappa (§5.4).
+//
+// The metrics here are model-QUALITY metrics — how well a trained matcher
+// predicts — computed offline over a labeled dataset. They are unrelated
+// to the RUNTIME observability metrics of internal/obs (request counts,
+// latency histograms, stage spans), which describe how the system behaves
+// in production; this file was once named metrics.go and was renamed to
+// quality.go to keep the two families apart.
 package eval
 
 import (

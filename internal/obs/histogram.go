@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sort"
+)
+
+// DefaultLatencyBuckets spans 10µs to 10s in a roughly logarithmic
+// 1-2.5-5 progression — wide enough for both the per-record engine paths
+// (tens of microseconds) and whole HTTP requests (milliseconds to
+// seconds). Values are seconds, matching the Prometheus convention for
+// *_seconds histograms.
+var DefaultLatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf overflow bucket. Writes are lock-free atomics. The observation
+// count is derived from the buckets at read time, so a concurrent scrape
+// always sees count == sum of bucket counts — the invariant the registry
+// tests pin.
+type Histogram struct {
+	bounds  []float64 // sorted ascending upper bounds; +Inf implicit
+	buckets []Counter // len(bounds)+1, non-cumulative
+	sum     atomicFloat
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which
+// must be sorted strictly ascending and non-empty. Most callers want
+// Registry.Histogram instead, which also registers the result.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be sorted strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]Counter, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value. Nil-safe and safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, len(bounds) if none
+	h.buckets[i].Inc()
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations, derived by summing the
+// buckets so it is consistent with any concurrently rendered bucket view.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Value()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values. Under concurrent writes it
+// may trail Count by in-flight observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.value()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: the upper
+// bounds, the per-bucket (non-cumulative) counts with the +Inf overflow
+// bucket last, the derived total count, and the value sum.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. The snapshot's Count
+// always equals the sum of its Counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Value()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.value()
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the target bucket, mirroring
+// Prometheus's histogram_quantile. Observations in the +Inf bucket clamp
+// to the highest finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-th quantile from the snapshot; see
+// Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket: clamp to the last finite bound
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		// Position of the target rank inside this bucket's count.
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

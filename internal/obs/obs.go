@@ -1,0 +1,114 @@
+// Package obs is the runtime observability core of the system: atomic
+// counters and gauges, fixed-bucket latency histograms with quantile
+// estimation, a registry that renders both Prometheus text format and
+// JSON, and a named-span stage tracer for long pipelines.
+//
+// The package is dependency-free (standard library only) and layer
+// agnostic: the pipeline engine, the serving stack and the trainer each
+// define their own metric bundles over these primitives. All write paths
+// are lock-free atomics, so instrumenting a hot loop costs a handful of
+// nanoseconds per record; scrapes read the same atomics without pausing
+// writers.
+//
+// Not to be confused with internal/eval, which measures matching
+// *quality* (F1, precision, recall, explanation sufficiency). This
+// package measures the *runtime*: request rates, latencies, quarantine
+// counts, stage timings.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use and nil-safe, so
+// optional instrumentation sites need no guards.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (in-flight requests, queue
+// depths). The zero value is ready to use; all methods are safe for
+// concurrent use and nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g != nil {
+		g.v.Add(1)
+	}
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g != nil {
+		g.v.Add(-1)
+	}
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// atomicFloat accumulates a float64 sum with a CAS loop; histograms use
+// it for their _sum series.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 {
+	return math.Float64frombits(f.bits.Load())
+}

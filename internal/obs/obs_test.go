@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+
+	// Nil receivers must be safe: optional instrumentation sites rely on it.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	nc.Add(2)
+	ng.Inc()
+	ng.Dec()
+	ng.Set(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	want := []uint64{2, 1, 1, 1} // le=1: {0.5, 1}; le=2: {1.5}; le=4: {3}; +Inf: {100}
+	for i, c := range snap.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, c, want[i], snap.Counts)
+		}
+	}
+	if got := snap.Sum; math.Abs(got-106) > 1e-9 {
+		t.Fatalf("sum = %g, want 106", got)
+	}
+	// Median rank 2.5 lands in the first bucket (cumulative 2 < 2.5 <= 3).
+	if q := h.Quantile(0.5); q <= 1 || q > 2 {
+		t.Fatalf("p50 = %g, want in (1, 2]", q)
+	}
+	// The tail quantile clamps to the last finite bound.
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %g, want 4 (clamped)", q)
+	}
+	if q := (&Histogram{}).Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty-histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryMemoization(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x", L("route", "/a"))
+	b := reg.Counter("x_total", "x", L("route", "/a"))
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	c := reg.Counter("x_total", "x", L("route", "/b"))
+	if a == c {
+		t.Fatal("different labels should return different counters")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind mismatch did not panic")
+			}
+		}()
+		reg.Gauge("x_total", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bucket mismatch did not panic")
+			}
+		}()
+		reg.Histogram("h_seconds", "h", []float64{1, 2})
+		reg.Histogram("h_seconds", "h", []float64{1, 2, 3})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid metric name did not panic")
+			}
+		}()
+		reg.Counter("bad-name", "x")
+	}()
+}
+
+func TestTracerTable(t *testing.T) {
+	tr := NewTracer()
+	done := tr.Start("embeddings/cooc")
+	done()
+	tr.Record(Span{Name: "units/train", Dur: 1500 * time.Microsecond})
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "embeddings/cooc" || spans[1].Name != "units/train" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	table := tr.Table()
+	for _, want := range []string{"embeddings/cooc", "units/train", "total", "1.5ms"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	// Rows are aligned: every line has the duration starting at the same
+	// column family (two-space separator after the padded name).
+	for _, line := range strings.Split(strings.TrimRight(table, "\n"), "\n") {
+		if !strings.HasPrefix(line, "  ") {
+			t.Fatalf("table row %q lost its indent", line)
+		}
+	}
+
+	var nilTr *Tracer
+	nilTr.Record(Span{Name: "x"})
+	nilTr.Start("y")()
+	nilTr.Import([]Span{{Name: "z"}})
+	if nilTr.Table() != "" || nilTr.Spans() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+}

@@ -1,0 +1,375 @@
+package obs
+
+// The Prometheus text exposition format emitted by WritePrometheus is a
+// wire contract: external scrapers parse it. These tests pin the format
+// with a standalone parser — rendering a registry and re-reading it must
+// reproduce the registered values exactly (round trip), including under
+// concurrent writes (where per-scrape invariants replace exact values).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// promFamily is one parsed metric family with its metadata lines.
+type promFamily struct {
+	name    string
+	typ     string
+	help    string
+	samples []promSample
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// parsePrometheus is a strict parser for the subset of the text format
+// the registry emits. It fails the test on any malformed line, on
+// samples appearing before their TYPE, and on sample names that do not
+// belong to a declared family.
+func parsePrometheus(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := map[string]*promFamily{}
+	var current *promFamily
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP line %q", ln+1, line)
+			}
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			current = &promFamily{name: name, help: help}
+			fams[name] = current
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			if current == nil || current.name != fields[0] {
+				t.Fatalf("line %d: TYPE %s without preceding HELP", ln+1, fields[0])
+			}
+			current.typ = fields[1]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			s := parseSampleLine(t, ln+1, line)
+			fam := familyOf(fams, s.name)
+			if fam == nil || fam.typ == "" {
+				t.Fatalf("line %d: sample %s before its TYPE declaration", ln+1, s.name)
+			}
+			fam.samples = append(fam.samples, s)
+		}
+	}
+	return fams
+}
+
+// familyOf resolves a sample name to its family, stripping the histogram
+// suffixes.
+func familyOf(fams map[string]*promFamily, name string) *promFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, ok := fams[base]; ok && f.typ == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{label="value",...} value` with the text
+// format's label escaping.
+func parseSampleLine(t *testing.T, ln int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: malformed sample %q", ln, line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if !promNameRe.MatchString(s.name) {
+		t.Fatalf("line %d: bad metric name %q", ln, s.name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for !strings.HasPrefix(rest, "}") {
+			eq := strings.Index(rest, "=\"")
+			if eq < 0 {
+				t.Fatalf("line %d: malformed labels in %q", ln, line)
+			}
+			lname := rest[:eq]
+			if !promNameRe.MatchString(lname) {
+				t.Fatalf("line %d: bad label name %q", ln, lname)
+			}
+			rest = rest[eq+2:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					t.Fatalf("line %d: unterminated label value in %q", ln, line)
+				}
+				c := rest[0]
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				if c == '\\' {
+					if len(rest) < 2 {
+						t.Fatalf("line %d: dangling escape in %q", ln, line)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: unknown escape \\%c", ln, rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			s.labels[lname] = val.String()
+			rest = strings.TrimPrefix(rest, ",")
+		}
+		rest = strings.TrimPrefix(rest, "}")
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(rest, " "), 64)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value in %q: %v", ln, line, err)
+	}
+	s.value = v
+	return s
+}
+
+// sampleBy finds the one sample matching the name and label subset.
+func sampleBy(t *testing.T, f *promFamily, name string, labels map[string]string) promSample {
+	t.Helper()
+	var found []promSample
+	for _, s := range f.samples {
+		if s.name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = append(found, s)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("want exactly one sample %s%v, got %d", name, labels, len(found))
+	}
+	return found[0]
+}
+
+// TestPrometheusRoundTrip pins the exposition format: a registry with
+// every metric kind (and escaping-hostile label values) renders to text
+// that the strict parser reads back to the exact registered values.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_requests_total", "Requests served.", L("route", "/predict"), L("code", "2xx")).Add(42)
+	reg.Counter("rt_requests_total", "Requests served.", L("route", "/predict"), L("code", "5xx")).Add(3)
+	reg.Gauge("rt_inflight", "In-flight requests.").Set(7)
+	reg.Counter("rt_escapes_total", "Escaping test.", L("path", "a\\b\"c\nd")).Inc()
+	h := reg.Histogram("rt_latency_seconds", "Latency.", []float64{0.1, 1, 10}, L("route", "/predict"))
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePrometheus(t, buf.String())
+
+	req := fams["rt_requests_total"]
+	if req == nil || req.typ != "counter" {
+		t.Fatalf("rt_requests_total family = %+v", req)
+	}
+	if v := sampleBy(t, req, "rt_requests_total", map[string]string{"code": "2xx"}).value; v != 42 {
+		t.Fatalf("2xx = %g, want 42", v)
+	}
+	if v := sampleBy(t, req, "rt_requests_total", map[string]string{"code": "5xx"}).value; v != 3 {
+		t.Fatalf("5xx = %g, want 3", v)
+	}
+	if v := sampleBy(t, fams["rt_inflight"], "rt_inflight", nil).value; v != 7 {
+		t.Fatalf("gauge = %g, want 7", v)
+	}
+	esc := sampleBy(t, fams["rt_escapes_total"], "rt_escapes_total", nil)
+	if esc.labels["path"] != "a\\b\"c\nd" {
+		t.Fatalf("escaped label round-tripped to %q", esc.labels["path"])
+	}
+
+	hist := fams["rt_latency_seconds"]
+	if hist == nil || hist.typ != "histogram" {
+		t.Fatalf("histogram family = %+v", hist)
+	}
+	wantCum := map[string]float64{"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+	var prev float64
+	for _, le := range []string{"0.1", "1", "10", "+Inf"} {
+		s := sampleBy(t, hist, "rt_latency_seconds_bucket", map[string]string{"le": le})
+		if s.value != wantCum[le] {
+			t.Fatalf("bucket le=%s = %g, want %g", le, s.value, wantCum[le])
+		}
+		if s.value < prev {
+			t.Fatalf("bucket le=%s not cumulative: %g < %g", le, s.value, prev)
+		}
+		prev = s.value
+	}
+	if v := sampleBy(t, hist, "rt_latency_seconds_count", nil).value; v != 5 {
+		t.Fatalf("_count = %g, want 5", v)
+	}
+	if v := sampleBy(t, hist, "rt_latency_seconds_sum", nil).value; math.Abs(v-56.05) > 1e-9 {
+		t.Fatalf("_sum = %g, want 56.05", v)
+	}
+
+	// The JSON rendering reports the same values.
+	var js bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var fjs []FamilyJSON
+	if err := json.Unmarshal(js.Bytes(), &fjs); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	byName := map[string]FamilyJSON{}
+	for _, f := range fjs {
+		byName[f.Name] = f
+	}
+	if f := byName["rt_latency_seconds"]; len(f.Series) != 1 || *f.Series[0].Count != 5 {
+		t.Fatalf("JSON histogram = %+v", f)
+	}
+	if f := byName["rt_inflight"]; *f.Series[0].Value != 7 {
+		t.Fatalf("JSON gauge = %+v", f)
+	}
+}
+
+// TestRegistryConcurrentScrapes is the registry's own race suite:
+// parallel writers hammer a counter, a gauge and a histogram while
+// concurrent scrapers render and parse the text format, asserting that
+// counters are monotonic scrape-over-scrape and that the histogram's
+// +Inf cumulative bucket equals its _count sample in every scrape.
+func TestRegistryConcurrentScrapes(t *testing.T) {
+	const (
+		writers    = 8
+		perWriter  = 2000
+		scrapers   = 4
+		scrapeIter = 40
+	)
+	reg := NewRegistry()
+	ctr := reg.Counter("cc_ops_total", "ops")
+	gauge := reg.Gauge("cc_inflight", "inflight")
+	hist := reg.Histogram("cc_latency_seconds", "lat", []float64{0.001, 0.01, 0.1, 1})
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				gauge.Inc()
+				ctr.Inc()
+				hist.Observe(float64(i%2000) / 1000.0)
+				gauge.Dec()
+			}
+		}(w)
+	}
+	errs := make(chan error, scrapers)
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastCtr, lastCount float64
+			for i := 0; i < scrapeIter; i++ {
+				var buf bytes.Buffer
+				if err := reg.WritePrometheus(&buf); err != nil {
+					errs <- err
+					return
+				}
+				fams := parsePrometheus(t, buf.String())
+				c := sampleBy(t, fams["cc_ops_total"], "cc_ops_total", nil).value
+				if c < lastCtr {
+					errs <- fmt.Errorf("counter went backwards: %g -> %g", lastCtr, c)
+					return
+				}
+				lastCtr = c
+				count := sampleBy(t, fams["cc_latency_seconds"], "cc_latency_seconds_count", nil).value
+				inf := sampleBy(t, fams["cc_latency_seconds"], "cc_latency_seconds_bucket",
+					map[string]string{"le": "+Inf"}).value
+				if count != inf {
+					errs <- fmt.Errorf("histogram count %g != +Inf cumulative bucket %g", count, inf)
+					return
+				}
+				if count < lastCount {
+					errs <- fmt.Errorf("histogram count went backwards: %g -> %g", lastCount, count)
+					return
+				}
+				lastCount = count
+				// JSON scrapes race the same atomics.
+				if err := reg.WriteJSON(&bytes.Buffer{}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const total = writers * perWriter
+	if got := ctr.Value(); got != total {
+		t.Fatalf("final counter = %d, want %d", got, total)
+	}
+	snap := hist.Snapshot()
+	if snap.Count != total {
+		t.Fatalf("final histogram count = %d, want %d", snap.Count, total)
+	}
+	var bucketSum uint64
+	for _, c := range snap.Counts {
+		bucketSum += c
+	}
+	if bucketSum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, snap.Count)
+	}
+	if got := gauge.Value(); got != 0 {
+		t.Fatalf("final gauge = %d, want 0", got)
+	}
+}

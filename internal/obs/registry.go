@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value dimension of a metric series. Order matters
+// for series identity: register a series with its labels in a fixed
+// order (the helpers below always do).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metric kinds, doubling as Prometheus TYPE strings.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labeled instance of a metric family; exactly one of the
+// value fields is set, per the family kind.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind string
+
+	mu     sync.Mutex
+	bounds []float64          // histogram families: the shared bucket layout
+	series map[string]*series // by label signature
+	order  []string           // label signatures in registration order
+}
+
+// Registry holds metric families and renders them. Registration is
+// memoized: asking for the same name+labels twice returns the same
+// metric, so call sites can re-register cheaply instead of threading
+// metric handles around. Registering one name with two different kinds
+// (or histogram bucket layouts) panics — that is a programming error.
+//
+// The zero Registry is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName pins metric and label names to the Prometheus charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// signature renders the label set as its series key (and its final
+// Prometheus form, minus histogram le merging).
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString("=\"")
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getFamily finds or creates a family, enforcing kind consistency.
+func (r *Registry) getFamily(name, help, kind string) *family {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// getSeries finds or creates a labeled series within a family; build
+// constructs the metric on first registration.
+func (f *family) getSeries(labels []Label, build func() *series) *series {
+	for _, l := range labels {
+		if !validName(l.Name) {
+			panic("obs: invalid label name " + strconv.Quote(l.Name))
+		}
+	}
+	key := signature(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = build()
+		s.labels = append([]Label(nil), labels...)
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.getFamily(name, help, kindCounter)
+	return f.getSeries(labels, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.getFamily(name, help, kindGauge)
+	return f.getSeries(labels, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// Histogram registers (or finds) a histogram series. Every series of one
+// family shares the same bucket bounds; registering the same name with a
+// different layout panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	f := r.getFamily(name, help, kindHistogram)
+	f.mu.Lock()
+	if f.bounds == nil {
+		f.bounds = append([]float64(nil), bounds...)
+	} else if len(f.bounds) != len(bounds) || !equalBounds(f.bounds, bounds) {
+		f.mu.Unlock()
+		panic("obs: histogram " + name + " re-registered with different buckets")
+	}
+	f.mu.Unlock()
+	return f.getSeries(labels, func() *series { return &series{h: NewHistogram(bounds)} }).h
+}
+
+func equalBounds(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedFamilies snapshots the family list in name order (deterministic
+// scrape output) and each family's series in registration order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// snapshotSeries copies one family's series handles under its lock.
+func (f *family) snapshotSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.series[key])
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP and TYPE line per family,
+// then its series; histograms expand into cumulative _bucket series with
+// le labels, plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.snapshotSeries() {
+			sig := signature(s.labels)
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, "", sig, "", strconv.FormatUint(s.c.Value(), 10))
+			case kindGauge:
+				writeSample(&b, f.name, "", sig, "", strconv.FormatInt(s.g.Value(), 10))
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				var cum uint64
+				for i, c := range snap.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(snap.Bounds) {
+						le = formatFloat(snap.Bounds[i])
+					}
+					writeSample(&b, f.name, "_bucket", sig, `le="`+le+`"`, strconv.FormatUint(cum, 10))
+				}
+				writeSample(&b, f.name, "_sum", sig, "", formatFloat(snap.Sum))
+				writeSample(&b, f.name, "_count", sig, "", strconv.FormatUint(snap.Count, 10))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits one sample line, merging the series labels with an
+// optional extra label (the histogram le).
+func writeSample(b *strings.Builder, name, suffix, sig, extra, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if sig != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(sig)
+		if sig != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// JSON rendering: one object per family, series with resolved labels,
+// histograms with derived quantiles — the shape the benchmark snapshots
+// and dashboards consume.
+
+// SeriesJSON is one series in the JSON rendering.
+type SeriesJSON struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+
+	Count   *uint64   `json:"count,omitempty"`
+	Sum     *float64  `json:"sum,omitempty"`
+	P50     *float64  `json:"p50,omitempty"`
+	P95     *float64  `json:"p95,omitempty"`
+	P99     *float64  `json:"p99,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// FamilyJSON is one metric family in the JSON rendering.
+type FamilyJSON struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// Snapshot renders the registry as JSON-ready family descriptors, in
+// name order.
+func (r *Registry) Snapshot() []FamilyJSON {
+	var out []FamilyJSON
+	for _, f := range r.sortedFamilies() {
+		fj := FamilyJSON{Name: f.name, Type: f.kind, Help: f.help}
+		for _, s := range f.snapshotSeries() {
+			sj := SeriesJSON{}
+			if len(s.labels) > 0 {
+				sj.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					sj.Labels[l.Name] = l.Value
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				v := float64(s.c.Value())
+				sj.Value = &v
+			case kindGauge:
+				v := float64(s.g.Value())
+				sj.Value = &v
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				p50, p95, p99 := snap.Quantile(0.50), snap.Quantile(0.95), snap.Quantile(0.99)
+				sj.Count, sj.Sum = &snap.Count, &snap.Sum
+				sj.P50, sj.P95, sj.P99 = &p50, &p95, &p99
+				sj.Bounds, sj.Buckets = snap.Bounds, snap.Counts
+			}
+			fj.Series = append(fj.Series, sj)
+		}
+		out = append(out, fj)
+	}
+	return out
+}
+
+// WriteJSON renders the registry as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the registry over HTTP: Prometheus text format by
+// default, JSON with ?format=json. This is the GET /metrics endpoint of
+// the admin surface.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one completed named span of a traced run: a pipeline stage, a
+// sub-stage, anything with a beginning and an end. Spans are plain data
+// (exported fields, no behavior) so they gob-encode into checkpoint and
+// model metadata.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Tracer collects named spans in completion order. It is safe for
+// concurrent use and nil-safe: every method no-ops on a nil *Tracer, so
+// instrumented code paths need no guards when tracing is off.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a span and returns the function that closes it. Typical
+// use:
+//
+//	done := tr.Start("embeddings/cooc")
+//	... stage work ...
+//	done()
+func (t *Tracer) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.Record(Span{Name: name, Start: start, Dur: time.Since(start)})
+	}
+}
+
+// Record appends an already-measured span.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Import appends a batch of spans (e.g. restored from checkpoint
+// metadata) in order.
+func (t *Tracer) Import(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Table renders the spans as an aligned two-column wall-clock table with
+// a trailing total row — the `wym train -v` stage-timing report. Spans
+// render in completion order; durations are rounded to 10µs so the table
+// stays readable without hiding sub-millisecond stages.
+func (t *Tracer) Table() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return ""
+	}
+	width := len("total")
+	for _, s := range spans {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	var total time.Duration
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, s.Name, s.Dur.Round(10*time.Microsecond))
+		total += s.Dur
+	}
+	fmt.Fprintf(&b, "  %-*s  %s\n", width, "total", total.Round(10*time.Microsecond))
+	return b.String()
+}

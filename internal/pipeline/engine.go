@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"wym/internal/data"
 )
@@ -22,6 +23,10 @@ type Engine struct {
 	gen     UnitGenerator
 	scorer  RelevanceScorer
 	matcher Matcher
+	// metrics, when non-nil, receives per-record counters, latency
+	// histograms and the in-flight gauge (see metrics.go). Attached via
+	// SetMetrics before the engine is published to concurrent callers.
+	metrics *Metrics
 }
 
 // New assembles an engine from one instantiation of each component.
@@ -45,7 +50,7 @@ func (e *Engine) Scorer() RelevanceScorer { return e.scorer }
 func (e *Engine) Matcher() Matcher { return e.matcher }
 
 // Process runs the generator on one record pair.
-func (e *Engine) Process(p data.Pair) *Record { return e.gen.Generate(p) }
+func (e *Engine) Process(p data.Pair) *Record { return e.generate(p) }
 
 // scores runs the scorer, tolerating scorer-less instantiations.
 func (e *Engine) scores(rec *Record) []float64 {
@@ -65,6 +70,12 @@ func (e *Engine) mustMatcher() Matcher {
 // Predict processes one record pair and classifies it, returning the
 // hard label and the match probability.
 func (e *Engine) Predict(p data.Pair) (label int, proba float64) {
+	if m := e.metrics; m != nil {
+		start := time.Now()
+		label, proba = e.PredictRecord(e.Process(p))
+		m.PredictSeconds.Observe(time.Since(start).Seconds())
+		return label, proba
+	}
 	return e.PredictRecord(e.Process(p))
 }
 
@@ -93,7 +104,7 @@ func (e *Engine) ProcessAll(d *data.Dataset) []*Record {
 	workers := batchWorkers(n)
 	if workers <= 1 {
 		for i := range d.Pairs {
-			out[i] = e.gen.Generate(d.Pairs[i])
+			out[i] = e.generate(d.Pairs[i])
 		}
 		return out
 	}
@@ -112,7 +123,7 @@ func (e *Engine) ProcessAll(d *data.Dataset) []*Record {
 	worker := func() {
 		defer wg.Done()
 		for i := range jobs {
-			out[i] = e.gen.Generate(d.Pairs[i])
+			out[i] = e.generate(d.Pairs[i])
 		}
 	}
 	wg.Add(workers)
@@ -129,6 +140,10 @@ type BatchOptions struct {
 	// before the generator; the fault-tolerance tests inject per-record
 	// panics with it.
 	Hook func(data.Pair)
+	// Metrics, when non-nil, receives per-record process latencies and
+	// the processed/quarantined counters for this batch. Engine batch
+	// methods thread their attached bundle through automatically.
+	Metrics *Metrics
 }
 
 // ProcessAllContext is ProcessAll with cancellation and per-record fault
@@ -137,7 +152,7 @@ type BatchOptions struct {
 // Cancellation stops the workers at the next record; the partial results
 // are discarded and the context error returned.
 func (e *Engine) ProcessAllContext(ctx context.Context, d *data.Dataset) ([]*Record, []RecordError, error) {
-	return ProcessAllContext(ctx, e.gen, d, BatchOptions{})
+	return ProcessAllContext(ctx, e.gen, d, BatchOptions{Metrics: e.metrics})
 }
 
 // ProcessAllContext runs a bare generator over a dataset with the same
@@ -148,7 +163,7 @@ func ProcessAllContext(ctx context.Context, g UnitGenerator, d *data.Dataset, op
 	out := make([]*Record, n)
 	errs := make([]error, n)
 	generate := func(i int) {
-		out[i], errs[i] = generateSafe(g, d.Pairs[i], opts.Hook)
+		out[i], errs[i] = observeGenerate(opts.Metrics, g, d.Pairs[i], opts.Hook)
 	}
 	workers := batchWorkers(n)
 	if workers <= 1 {
@@ -295,6 +310,7 @@ func (e *Engine) PredictBatch(ctx context.Context, pairs []data.Pair) []Predicti
 func (e *Engine) predictSafe(p data.Pair) (pred Prediction) {
 	defer func() {
 		if r := recover(); r != nil {
+			e.metrics.quarantineInc()
 			pred = Prediction{Err: fmt.Sprintf("panic: %v", r)}
 		}
 	}()

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/obs"
+)
+
+func testMetrics() *Metrics { return NewMetrics(obs.NewRegistry()) }
+
+func TestEngineMetricsCountProcessAndPredict(t *testing.T) {
+	eng := testEngine()
+	m := testMetrics()
+	eng.SetMetrics(m)
+	if eng.Metrics() != m {
+		t.Fatal("Metrics() did not return the attached bundle")
+	}
+
+	d := dataset(8)
+	eng.ProcessAll(d)
+	if got := m.Processed.Value(); got != 8 {
+		t.Fatalf("processed after ProcessAll = %d, want 8", got)
+	}
+	if got := m.ProcessSeconds.Count(); got != 8 {
+		t.Fatalf("process histogram count = %d, want 8", got)
+	}
+
+	eng.Predict(data.Pair{ID: 2})
+	if got := m.PredictSeconds.Count(); got != 1 {
+		t.Fatalf("predict histogram count = %d, want 1", got)
+	}
+	if got := m.Processed.Value(); got != 9 {
+		t.Fatalf("processed after Predict = %d, want 9", got)
+	}
+	if got := m.Quarantined.Value(); got != 0 {
+		t.Fatalf("quarantined = %d, want 0", got)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %d, want 0 at rest", got)
+	}
+}
+
+func TestEngineMetricsQuarantineCounting(t *testing.T) {
+	// Generator panics on pairs 1 and 3: ProcessAllContext quarantines
+	// them and the counter records both.
+	eng := New(fakeGen{panicOn: map[int]bool{1: true, 3: true}}, fakeScorer{}, fakeMatcher{})
+	m := testMetrics()
+	eng.SetMetrics(m)
+	d := dataset(5)
+	recs, recErrs, err := eng.ProcessAllContext(context.Background(), d)
+	if err != nil {
+		t.Fatalf("ProcessAllContext: %v", err)
+	}
+	if len(recErrs) != 2 {
+		t.Fatalf("record errors = %d, want 2", len(recErrs))
+	}
+	if recs[1] != nil || recs[3] != nil {
+		t.Fatal("quarantined records should be nil")
+	}
+	if got := m.Quarantined.Value(); got != 2 {
+		t.Fatalf("quarantined = %d, want 2", got)
+	}
+	// Quarantined pairs still count as processed (they entered the
+	// generator), so processed covers the full batch.
+	if got := m.Processed.Value(); got != 5 {
+		t.Fatalf("processed = %d, want 5", got)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %d, want 0 after quarantine", got)
+	}
+}
+
+func TestEngineMetricsPredictBatchQuarantine(t *testing.T) {
+	eng := New(fakeGen{}, fakeScorer{}, fakeMatcher{panicOn: map[int]bool{2: true}})
+	m := testMetrics()
+	eng.SetMetrics(m)
+	pairs := dataset(4).Pairs
+	preds := eng.PredictBatch(context.Background(), pairs)
+	if preds[2].Err == "" {
+		t.Fatal("pair 2 should have been quarantined")
+	}
+	if got := m.Quarantined.Value(); got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	// The three successful predicts land in the latency histogram; the
+	// panicking one aborts before observation.
+	if got := m.PredictSeconds.Count(); got != 3 {
+		t.Fatalf("predict histogram count = %d, want 3", got)
+	}
+	if got := m.InFlight.Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %d, want 0 after batch", got)
+	}
+}
+
+func TestEngineNilMetricsIsFree(t *testing.T) {
+	eng := testEngine()
+	// No bundle attached: every path must run without observation.
+	eng.Process(data.Pair{ID: 1})
+	eng.Predict(data.Pair{ID: 2})
+	eng.ProcessAll(dataset(3))
+	if _, _, err := eng.ProcessAllContext(context.Background(), dataset(3)); err != nil {
+		t.Fatalf("ProcessAllContext: %v", err)
+	}
+	eng.PredictBatch(context.Background(), dataset(2).Pairs)
+}

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"wym/internal/obs"
 )
 
 // Limiter sheds load once a fixed number of requests are in flight:
@@ -18,6 +20,7 @@ import (
 type Limiter struct {
 	sem        chan struct{}
 	retryAfter string
+	sheds      *obs.Counter // optional; counts 429 responses
 }
 
 // NewLimiter admits up to max concurrent requests and advertises
@@ -34,6 +37,15 @@ func NewLimiter(max int, retryAfter time.Duration) *Limiter {
 	return &Limiter{
 		sem:        make(chan struct{}, max),
 		retryAfter: strconv.Itoa(secs),
+	}
+}
+
+// CountSheds attaches a counter incremented on every shed (429)
+// response. Attach before the limiter starts serving; safe on a nil
+// Limiter (an unlimited limiter never sheds).
+func (l *Limiter) CountSheds(c *obs.Counter) {
+	if l != nil {
+		l.sheds = c
 	}
 }
 
@@ -59,6 +71,7 @@ func (l *Limiter) Middleware(next http.Handler) http.Handler {
 			defer func() { <-l.sem }()
 			next.ServeHTTP(w, r)
 		default:
+			l.sheds.Inc() // nil-safe when no counter is attached
 			w.Header().Set("Retry-After", l.retryAfter)
 			WriteError(w, http.StatusTooManyRequests, "server at capacity, retry later")
 		}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"wym/internal/obs"
+)
+
+// HTTPMetrics records per-route request observability: a request counter
+// labeled by route and status class, and a latency histogram per route.
+// Wrap each mux entry with Route so the route label is the pattern the
+// operator knows ("/predict"), never the raw request path (unbounded
+// label cardinality). A nil *HTTPMetrics is a transparent no-op, so
+// wiring can be unconditional.
+type HTTPMetrics struct {
+	reg *obs.Registry
+}
+
+// NewHTTPMetrics binds the middleware to a registry.
+func NewHTTPMetrics(reg *obs.Registry) *HTTPMetrics {
+	return &HTTPMetrics{reg: reg}
+}
+
+// statusClasses are the code label values on wym_http_requests_total —
+// classes, not raw codes, to keep series cardinality fixed per route.
+var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+func statusClass(code int) string {
+	idx := code/100 - 1
+	if idx < 0 || idx >= len(statusClasses) {
+		return "5xx" // defensive: malformed codes count as server errors
+	}
+	return statusClasses[idx]
+}
+
+// Route wraps a handler with per-route instrumentation. All series are
+// registered up front, so the request path is lock-free metric updates
+// plus one statusRecorder allocation.
+func (m *HTTPMetrics) Route(route string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	seconds := m.reg.Histogram("wym_http_request_seconds",
+		"HTTP request latency by route.",
+		obs.DefaultLatencyBuckets, obs.L("route", route))
+	byClass := make(map[string]*obs.Counter, len(statusClasses))
+	for _, class := range statusClasses {
+		byClass[class] = m.reg.Counter("wym_http_requests_total",
+			"HTTP requests by route and status class.",
+			obs.L("route", route), obs.L("code", class))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		seconds.Observe(time.Since(start).Seconds())
+		status := rec.status
+		if status == 0 {
+			// Handler wrote nothing; net/http sends 200 on return.
+			status = http.StatusOK
+		}
+		byClass[statusClass(status)].Inc()
+	})
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wym/internal/obs"
+)
+
+func TestStatusClass(t *testing.T) {
+	cases := map[int]string{
+		100: "1xx", 200: "2xx", 204: "2xx", 301: "3xx",
+		404: "4xx", 429: "4xx", 500: "5xx", 599: "5xx",
+		0: "5xx", 700: "5xx", // out-of-range codes count as server errors
+	}
+	for code, want := range cases {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestHTTPMetricsRoute(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewHTTPMetrics(reg)
+	h := m.Route("/echo", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			WriteError(w, http.StatusBadRequest, "nope")
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/?fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ok := reg.Counter("wym_http_requests_total",
+		"HTTP requests by route and status class.",
+		obs.L("route", "/echo"), obs.L("code", "2xx"))
+	bad := reg.Counter("wym_http_requests_total",
+		"HTTP requests by route and status class.",
+		obs.L("route", "/echo"), obs.L("code", "4xx"))
+	if ok.Value() != 3 || bad.Value() != 1 {
+		t.Fatalf("2xx = %d, 4xx = %d; want 3, 1", ok.Value(), bad.Value())
+	}
+	hist := reg.Histogram("wym_http_request_seconds",
+		"HTTP request latency by route.",
+		obs.DefaultLatencyBuckets, obs.L("route", "/echo"))
+	if hist.Count() != 4 {
+		t.Fatalf("latency observations = %d, want 4", hist.Count())
+	}
+
+	// A nil HTTPMetrics is transparent.
+	var nilM *HTTPMetrics
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := nilM.Route("/x", inner); got == nil {
+		t.Fatal("nil HTTPMetrics.Route returned nil handler")
+	}
+}
+
+func TestLimiterShedCounter(t *testing.T) {
+	l := NewLimiter(1, time.Second)
+	reg := obs.NewRegistry()
+	sheds := reg.Counter("wym_server_shed_total", "sheds")
+	l.CountSheds(sheds)
+
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(enter)
+		<-release
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-enter // first request is inside the handler, occupying the slot
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429", resp.StatusCode)
+	}
+	close(release)
+	<-done
+	if got := sheds.Value(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	// Rendered output carries the shed series.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wym_server_shed_total 1") {
+		t.Fatalf("scrape missing shed counter:\n%s", b.String())
+	}
+
+	// Nil limiter ignores the attach (never sheds, nothing to count).
+	var nilL *Limiter
+	nilL.CountSheds(sheds)
+}

@@ -1,0 +1,186 @@
+package units
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wym/internal/tokenize"
+)
+
+// The property tests run Discover over hundreds of random records (via
+// SimOverride, so no embedding stack is needed) and check the invariants
+// Algorithm 1 promises: full token coverage with no paired/unpaired
+// overlap (CheckInvariants), per-stage similarity thresholds, stage-1/2
+// one-to-one matching, stage-3 anchoring against already-paired tokens,
+// and deterministic output.
+
+// randomRecord builds a random Input whose similarity is a fixed random
+// L×R matrix, returning the input and the matrix lookup.
+func randomRecord(rng *rand.Rand) (Input, func(l, r int) float64) {
+	numAttrs := 1 + rng.Intn(3)
+	mkToks := func(n int) []tokenize.Token {
+		toks := make([]tokenize.Token, n)
+		for i := range toks {
+			toks[i] = tokenize.Token{Text: fmt.Sprintf("t%d", i), Attr: rng.Intn(numAttrs), Pos: i}
+		}
+		return toks
+	}
+	left := mkToks(rng.Intn(10))
+	right := mkToks(rng.Intn(10))
+	L, R := len(left), len(right)
+	mat := make([]float64, L*R)
+	for i := range mat {
+		mat[i] = rng.Float64()
+	}
+	sim := func(l, r int) float64 { return mat[l*R+r] }
+	return Input{Left: left, Right: right, NumAttrs: numAttrs, SimOverride: sim}, sim
+}
+
+func TestDiscoverRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	th := PaperThresholds
+	for trial := 0; trial < 300; trial++ {
+		in, sim := randomRecord(rng)
+		L, R := len(in.Left), len(in.Right)
+		us := Discover(in, th)
+
+		// Structural invariants of §3.1.1: every token covered, none both
+		// paired and unpaired, indices in range.
+		if err := CheckInvariants(us, L, R); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// earlyL/earlyR: tokens paired by stages 1–2, i.e. the anchor sets
+		// stage 3 is allowed to chain onto.
+		earlyL := make(map[int]bool)
+		earlyR := make(map[int]bool)
+		for _, u := range us {
+			if u.Kind == Paired && (u.Stage == StageIntraAttr || u.Stage == StageInterAttr) {
+				if earlyL[u.Left] {
+					t.Fatalf("trial %d: left token %d paired twice in stages 1-2", trial, u.Left)
+				}
+				if earlyR[u.Right] {
+					t.Fatalf("trial %d: right token %d paired twice in stages 1-2", trial, u.Right)
+				}
+				earlyL[u.Left], earlyR[u.Right] = true, true
+			}
+		}
+
+		laterL := make(map[int]bool)
+		laterR := make(map[int]bool)
+		for i, u := range us {
+			if u.Kind != Paired {
+				continue
+			}
+			// The recorded similarity is the true one.
+			if got := sim(u.Left, u.Right); u.Sim != got {
+				t.Fatalf("trial %d unit %d: Sim %v, matrix says %v", trial, i, u.Sim, got)
+			}
+			switch u.Stage {
+			case StageIntraAttr:
+				if u.Sim < th.Theta {
+					t.Fatalf("trial %d unit %d: stage-1 sim %v below θ=%v", trial, i, u.Sim, th.Theta)
+				}
+				// Stage 1 only pairs tokens of the same attribute.
+				la, ra := in.Left[u.Left].Attr, in.Right[u.Right].Attr
+				if la != ra || u.Attr != la {
+					t.Fatalf("trial %d unit %d: stage-1 attrs %d/%d (unit says %d)", trial, i, la, ra, u.Attr)
+				}
+			case StageInterAttr:
+				if u.Sim < th.Eta {
+					t.Fatalf("trial %d unit %d: stage-2 sim %v below η=%v", trial, i, u.Sim, th.Eta)
+				}
+			case StageOneToMany:
+				if u.Sim < th.Epsilon {
+					t.Fatalf("trial %d unit %d: stage-3 sim %v below ε=%v", trial, i, u.Sim, th.Epsilon)
+				}
+				// Stage 3 pairs a still-free token with an anchor that
+				// stages 1-2 already paired (the anchor is multiply
+				// assigned by design); each free token chains once.
+				freeLeft := !earlyL[u.Left] && earlyR[u.Right]
+				freeRight := !earlyR[u.Right] && earlyL[u.Left]
+				if !freeLeft && !freeRight {
+					t.Fatalf("trial %d unit %d: stage-3 pair %+v has no stage-1/2 anchor", trial, i, u)
+				}
+				if freeLeft {
+					if laterL[u.Left] {
+						t.Fatalf("trial %d unit %d: free left token %d chained twice", trial, i, u.Left)
+					}
+					laterL[u.Left] = true
+				} else {
+					if laterR[u.Right] {
+						t.Fatalf("trial %d unit %d: free right token %d chained twice", trial, i, u.Right)
+					}
+					laterR[u.Right] = true
+				}
+			default:
+				t.Fatalf("trial %d unit %d: paired unit with stage %v", trial, i, u.Stage)
+			}
+		}
+
+		// Reproducibility: the record always yields the same units.
+		if again := Discover(in, th); !reflect.DeepEqual(us, again) {
+			t.Fatalf("trial %d: Discover is not deterministic:\n%v\n%v", trial, us, again)
+		}
+	}
+}
+
+func TestDiscoverCodeExactProperty(t *testing.T) {
+	// With CodeExact on, a token flagged as a product code may only pair
+	// with an exactly equal text, regardless of the embedding similarity.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		in, _ := randomRecord(rng)
+		in.CodeExact = true
+		// A tiny alphabet and random code flags force both equal and
+		// unequal code-token encounters.
+		for i := range in.Left {
+			in.Left[i].Text = string(rune('a' + rng.Intn(3)))
+			in.Left[i].Code = rng.Intn(2) == 0
+		}
+		for i := range in.Right {
+			in.Right[i].Text = string(rune('a' + rng.Intn(3)))
+			in.Right[i].Code = rng.Intn(2) == 0
+		}
+		us := Discover(in, PaperThresholds)
+		if err := CheckInvariants(us, len(in.Left), len(in.Right)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, u := range us {
+			if u.Kind != Paired {
+				continue
+			}
+			lt, rt := in.Left[u.Left], in.Right[u.Right]
+			if (lt.Code || rt.Code) && lt.Text != rt.Text {
+				t.Fatalf("trial %d unit %d: code token paired with unequal text: %q vs %q",
+					trial, i, lt.Text, rt.Text)
+			}
+		}
+	}
+}
+
+func TestDiscoverEmptySides(t *testing.T) {
+	// Degenerate records: one or both sides empty must still satisfy the
+	// invariants (everything unpaired, nothing out of range).
+	sim := func(l, r int) float64 { return 1 }
+	toks := []tokenize.Token{{Text: "a", Attr: 0}, {Text: "b", Attr: 0}}
+	cases := []struct{ left, right []tokenize.Token }{
+		{nil, nil},
+		{toks, nil},
+		{nil, toks},
+	}
+	for i, c := range cases {
+		in := Input{Left: c.left, Right: c.right, NumAttrs: 1, SimOverride: sim}
+		us := Discover(in, PaperThresholds)
+		if err := CheckInvariants(us, len(c.left), len(c.right)); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for _, u := range us {
+			if u.Kind == Paired {
+				t.Fatalf("case %d: paired unit %v with an empty side", i, u)
+			}
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"wym/internal/data"
 	"wym/internal/datagen"
 	"wym/internal/explain"
+	"wym/internal/obs"
 	"wym/internal/pipeline"
 	"wym/internal/rules"
 	"wym/internal/units"
@@ -145,7 +146,16 @@ type (
 	TrainStage = core.Stage
 	// TrainRecordError is one record pair quarantined during training.
 	TrainRecordError = core.RecordError
+	// Tracer collects named wall-clock spans; pass one in
+	// TrainOptions.Tracer to watch stage timings live, or render a loaded
+	// system's spans with Import + Table.
+	Tracer = obs.Tracer
+	// Span is one completed named span of a traced run.
+	Span = obs.Span
 )
+
+// NewTracer returns an empty span tracer for TrainOptions.Tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Pipeline stages, in execution order.
 const (
