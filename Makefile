@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race serve-race train-race fuzz-smoke bench bench-json bench-guard cover
+.PHONY: check build vet fmt-check test race serve-race train-race model-race fuzz-smoke bench bench-json bench-guard cover
 
 ## check: the pre-merge gate — formatting, vet (must be clean for every
 ## package, internal/serve included), build, the serving-layer race gate,
-## the fault-tolerant-training race gate, a fuzz smoke pass over CSV
-## ingest, full race-enabled tests, short benchmarks, and the coverage
-## ratchet.
-check: fmt-check vet build serve-race train-race fuzz-smoke race bench cover
+## the fault-tolerant-training race gate, the model-format race gate, a
+## fuzz smoke pass over CSV ingest and arena parsing, full race-enabled
+## tests, short benchmarks, and the coverage ratchet.
+check: fmt-check vet build serve-race train-race model-race fuzz-smoke race bench cover
 
 build:
 	$(GO) build ./...
@@ -42,12 +42,22 @@ train-race:
 		-run 'TestResume|TestTrainCancellation|TestTrainQuarantines|TestProcessAllContext|TestCheckpoint|TestRunCheckpoint|TestRunCanceled|TestRunLenient' \
 		./internal/core ./cmd/wym
 
-## fuzz-smoke: a short native-fuzz pass over both CSV ingest surfaces —
-## the strict reader and the quarantining lenient loader must never panic
-## on arbitrary bytes.
+## model-race: the zero-copy model-format suite under the race detector —
+## concurrent arena mmap hot reload vs batch prediction (use-after-munmap
+## would segfault here), FastNN scorer determinism under concurrency, and
+## the arena/gob prediction-equivalence goldens.
+model-race:
+	$(GO) test -race -timeout 15m \
+		-run 'TestArenaHotReloadUnderLoad|TestModelRefSwapDuringPredictAll|TestFastNNConcurrentScore|TestArenaPredictionEquivalence|TestLoadFileCorruptArenas' \
+		./cmd/wym-server ./internal/relevance ./internal/core
+
+## fuzz-smoke: a short native-fuzz pass over the untrusted-input
+## surfaces — both CSV ingest readers and the arena (.wyma) parser must
+## never panic on arbitrary bytes.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=5s ./internal/data
 	$(GO) test -fuzz='^FuzzReadCSVLenient$$' -fuzztime=5s ./internal/data
+	$(GO) test -fuzz='^FuzzLoadArena$$' -fuzztime=5s ./internal/arena
 
 ## bench: short benchmark pass over the hot-path packages (sanity, not a
 ## baseline — use bench-json for comparable numbers).

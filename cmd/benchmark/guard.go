@@ -78,6 +78,46 @@ func exceeds(base, got, threshold float64) bool {
 	return got > base*(1+threshold)
 }
 
+// crossGate is one intra-snapshot performance contract: the fast series
+// must beat the slow series by at least the given speedup factor. These
+// gates run on the *fresh* snapshot, so they hold on every machine —
+// unlike the baseline comparison, a ratio between two series timed in
+// the same run does not depend on absolute hardware speed.
+type crossGate struct {
+	fast, slow string
+	speedup    float64
+}
+
+// crossGates encodes the arena format's performance contract (DESIGN
+// §10): serving predicts through the zero-copy arena at least 2x faster
+// than through the gob-decoded stack, and cold-starts at least 10x
+// faster than a gob decode.
+var crossGates = []crossGate{
+	{fast: "ArenaPredict", slow: "Predict", speedup: 2},
+	{fast: "ModelLoadArena", slow: "ModelLoadGob", speedup: 10},
+}
+
+// checkCrossGates verifies every cross-series gate against one
+// snapshot, returning a violation message per failed gate. A gate whose
+// series are absent (an old baseline) is skipped — the missing-bench
+// check in compareSnapshots already covers dropped series.
+func checkCrossGates(benchmarks map[string]benchResult, gates []crossGate) []string {
+	var violations []string
+	for _, g := range gates {
+		fast, okF := benchmarks[g.fast]
+		slow, okS := benchmarks[g.slow]
+		if !okF || !okS {
+			continue
+		}
+		if fast.NsPerOp*g.speedup > slow.NsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s must be >=%.0fx faster than %s: %.0f ns/op vs %.0f ns/op (%.1fx)",
+				g.fast, g.speedup, g.slow, fast.NsPerOp, slow.NsPerOp, slow.NsPerOp/fast.NsPerOp))
+		}
+	}
+	return violations
+}
+
 // runBenchGuard loads the baseline, re-times the same workload, and
 // reports. A regression returns an error (the caller exits non-zero).
 func runBenchGuard(baselinePath string, threshold float64) error {
@@ -108,14 +148,22 @@ func runBenchGuard(baselinePath string, threshold float64) error {
 		}
 	}
 	regs := compareSnapshots(base.Benchmarks, fresh.Benchmarks, threshold)
-	if len(regs) == 0 {
-		fmt.Println("bench-guard: ok, no regressions")
+	violations := checkCrossGates(fresh.Benchmarks, crossGates)
+	if len(regs) == 0 && len(violations) == 0 {
+		fmt.Println("bench-guard: ok, no regressions, cross-series gates hold")
 		return nil
 	}
 	for _, r := range regs {
 		fmt.Fprintln(os.Stderr, "bench-guard:", r)
 	}
-	return fmt.Errorf("%d benchmark metric(s) regressed more than %.0f%%", len(regs), 100*threshold)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "bench-guard: gate:", v)
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%d benchmark metric(s) regressed more than %.0f%% (plus %d gate violations)",
+			len(regs), 100*threshold, len(violations))
+	}
+	return fmt.Errorf("%d cross-series gate(s) violated", len(violations))
 }
 
 func delta(base, got float64) float64 {

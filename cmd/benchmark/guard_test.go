@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func bench(ns float64, allocs int64) benchResult {
 	return benchResult{NsPerOp: ns, AllocsPerOp: allocs}
@@ -90,5 +93,46 @@ func TestCompareSnapshotsZeroBaseline(t *testing.T) {
 	regs := compareSnapshots(base, map[string]benchResult{"Z": bench(10, 0)}, 0.25)
 	if len(regs) != 1 || regs[0].Metric != "ns/op" {
 		t.Fatalf("zero-to-nonzero regressions = %v, want one ns/op entry", regs)
+	}
+}
+
+func TestCheckCrossGates(t *testing.T) {
+	gates := []crossGate{
+		{fast: "ArenaPredict", slow: "Predict", speedup: 2},
+		{fast: "ModelLoadArena", slow: "ModelLoadGob", speedup: 10},
+	}
+	// Gates hold: arena predict 3x faster, arena load 20x faster.
+	ok := map[string]benchResult{
+		"Predict":        bench(900_000, 100),
+		"ArenaPredict":   bench(300_000, 100),
+		"ModelLoadGob":   bench(4_000_000, 100),
+		"ModelLoadArena": bench(200_000, 100),
+	}
+	if v := checkCrossGates(ok, gates); len(v) != 0 {
+		t.Fatalf("gates violated on a passing snapshot: %v", v)
+	}
+	// Arena predict only 1.5x faster: the 2x gate must fire.
+	slow := map[string]benchResult{
+		"Predict":        bench(900_000, 100),
+		"ArenaPredict":   bench(600_000, 100),
+		"ModelLoadGob":   bench(4_000_000, 100),
+		"ModelLoadArena": bench(200_000, 100),
+	}
+	v := checkCrossGates(slow, gates)
+	if len(v) != 1 || !strings.Contains(v[0], "ArenaPredict") {
+		t.Fatalf("violations = %v, want one ArenaPredict entry", v)
+	}
+	// Both gates violated.
+	if v := checkCrossGates(map[string]benchResult{
+		"Predict":        bench(900_000, 100),
+		"ArenaPredict":   bench(899_000, 100),
+		"ModelLoadGob":   bench(4_000_000, 100),
+		"ModelLoadArena": bench(3_999_000, 100),
+	}, gates); len(v) != 2 {
+		t.Fatalf("violations = %v, want two", v)
+	}
+	// Missing series are skipped (old baselines), not violated.
+	if v := checkCrossGates(map[string]benchResult{"Predict": bench(1, 1)}, gates); len(v) != 0 {
+		t.Fatalf("missing series flagged: %v", v)
 	}
 }

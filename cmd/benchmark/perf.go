@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -166,6 +167,54 @@ func collectSnapshot(dataset string, scale float64, seed int64) (perfSnapshot, *
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng.Explain(test.Pairs[i%test.Size()])
+		}
+	})
+
+	// Model-format paths: cold-start load of the gob snapshot vs the
+	// mmap-able arena, and the serving predict path on the arena-backed
+	// system (zero-copy vectors + the float32 FastNN scorer). The
+	// cross-series gates in guard.go hold the arena to its contract —
+	// load ≥10x faster than gob, predict ≥2x faster than the gob-backed
+	// engine — so the ratios are enforced, not just recorded.
+	dir, err := os.MkdirTemp("", "wym-bench-model")
+	if err != nil {
+		return snap, reg, err
+	}
+	defer os.RemoveAll(dir)
+	gobPath := filepath.Join(dir, "model.gob")
+	arenaPath := filepath.Join(dir, "model.wyma")
+	if err := sys.SaveFile(gobPath); err != nil {
+		return snap, reg, err
+	}
+	if err := sys.SaveArenaFile(arenaPath, wym.ArenaOptions{}); err != nil {
+		return snap, reg, err
+	}
+	record("ModelLoadGob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wym.LoadSystem(gobPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("ModelLoadArena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wym.LoadSystem(arenaPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	arenaSys, err := wym.LoadSystem(arenaPath)
+	if err != nil {
+		return snap, reg, err
+	}
+	arenaEng := arenaSys.Engine()
+	arenaEng.SetMetrics(pipeline.NewMetrics(reg))
+	record("ArenaPredict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			arenaEng.Predict(test.Pairs[i%test.Size()])
 		}
 	})
 

@@ -76,11 +76,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wym-server: -model is required")
 		os.Exit(2)
 	}
+	loadStart := time.Now()
 	sys, err := wym.LoadSystem(*modelPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wym-server:", err)
 		os.Exit(1)
 	}
+	loadTook := time.Since(loadStart)
 
 	logger := log.New(os.Stderr, "wym-server: ", log.LstdFlags)
 	a := newApp(sys, *modelPath, options{
@@ -91,6 +93,8 @@ func main() {
 		maxBody:     *maxBody,
 		maxBatch:    *maxBatch,
 	})
+	a.observeModelLoad(sys.Format(), loadTook)
+	logger.Printf("loaded %s (%s) in %v", *modelPath, sys.Format(), loadTook.Round(time.Millisecond))
 	srv := serve.New(serve.Config{
 		Addr:          *addr,
 		ReadTimeout:   *readTimeout,
@@ -146,14 +150,15 @@ type options struct {
 // ref.Get() exactly once, so a concurrent reload never splits one
 // request across two models.
 type app struct {
-	ref       *wym.ModelRef
-	logger    *log.Logger
-	limiter   *serve.Limiter
-	opts      options
-	drainFn   func() bool // wired to serve.Server.Draining
-	reloadMu  sync.Mutex  // serializes reloads; never held on the predict path
-	modelPath string      // guarded by reloadMu
-	reloads   atomic.Int64
+	ref            *wym.ModelRef
+	logger         *log.Logger
+	limiter        *serve.Limiter
+	opts           options
+	drainFn        func() bool // wired to serve.Server.Draining
+	reloadMu       sync.Mutex  // serializes reloads; never held on the predict path
+	modelPath      string      // guarded by reloadMu
+	residentFormat string      // guarded by reloadMu
+	reloads        atomic.Int64
 
 	// Observability: one registry for the process; the engine bundle is
 	// re-attached to every reloaded model so counters survive swaps.
@@ -195,7 +200,34 @@ func newApp(sys *wym.System, modelPath string, opts options) *app {
 	// uninstrumented engine.
 	sys.Engine().SetMetrics(a.engineMetrics)
 	a.ref = wym.NewModelRef(sys)
+	a.setResidentFormat(sys.Format())
 	return a
+}
+
+// setResidentFormat flips the wym_server_model_format gauge family: the
+// serving format's series reads 1, every previously seen format 0 — so
+// a scrape identifies the resident model representation (gob vs arena)
+// across hot swaps. Called at startup and from reload (which holds
+// reloadMu).
+func (a *app) setResidentFormat(format string) {
+	const name = "wym_server_model_format"
+	const help = "1 for the model format currently serving, 0 for formats it replaced."
+	if prev := a.residentFormat; prev != "" && prev != format {
+		a.reg.Gauge(name, help, obs.L("format", prev)).Set(0)
+	}
+	a.reg.Gauge(name, help, obs.L("format", format)).Set(1)
+	a.residentFormat = format
+}
+
+// observeModelLoad records one model artifact load into the per-format
+// load-duration histogram and updates the resident-format gauge. Arena
+// loads are mmap + header validation and land in the sub-millisecond
+// buckets; gob loads decode the full snapshot.
+func (a *app) observeModelLoad(format string, took time.Duration) {
+	a.reg.Histogram("wym_server_model_load_seconds",
+		"Model artifact load+validate latency, labeled by on-disk format.",
+		obs.DefaultLatencyBuckets, obs.L("format", format)).Observe(took.Seconds())
+	a.setResidentFormat(format)
 }
 
 // handler assembles the full middleware stack. The hot endpoints shed
@@ -283,6 +315,7 @@ func (a *app) reload(path string) (string, error) {
 	if path == "" {
 		path = a.modelPath
 	}
+	start := time.Now()
 	sys, err := wym.LoadSystem(path)
 	if err != nil {
 		return path, err
@@ -290,6 +323,7 @@ func (a *app) reload(path string) (string, error) {
 	if err := validateSystem(sys); err != nil {
 		return path, fmt.Errorf("model %s failed validation: %w", path, err)
 	}
+	a.observeModelLoad(sys.Format(), time.Since(start))
 	// Re-attach the process-lifetime metrics bundle before publishing so
 	// counters and histograms accumulate across model generations.
 	sys.Engine().SetMetrics(a.engineMetrics)

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"log"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"wym"
+	"wym/internal/obs"
 )
 
 // TestModelRefSwapDuringPredictAll hammers the hot-reload invariant under
@@ -77,3 +81,101 @@ func TestModelRefSwapDuringPredictAll(t *testing.T) {
 		t.Fatal(msg)
 	}
 }
+
+// TestArenaHotReloadUnderLoad is the mmap-safety race test behind `make
+// model-race`: the server hot-swaps between a float32 and an int8 arena
+// artifact while readers run batch predictions. Replaced arenas are
+// unmapped only by their finalizer, never while a published engine can
+// still reach them — a use-after-munmap here is a SIGSEGV, and a
+// reference leak shows up as -race/GC pressure. The decisions must stay
+// byte-stable across every swap (the equivalence goldens guarantee both
+// precisions agree on this dataset).
+func TestArenaHotReloadUnderLoad(t *testing.T) {
+	sys := trained(t)
+	dir := t.TempDir()
+	f32Path := filepath.Join(dir, "m.f32.wyma")
+	int8Path := filepath.Join(dir, "m.int8.wyma")
+	if err := sys.SaveArenaFile(f32Path, wym.ArenaOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveArenaFile(int8Path, wym.ArenaOptions{Int8: true}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := wym.LoadSystem(f32Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, _ := wym.DatasetByKey("S-BR", 1.0)
+	_, _, test := d.MustSplit(0.6, 0.2, 1)
+	want := first.PredictAll(test)
+
+	reg := obs.NewRegistry()
+	a := newApp(first, f32Path, options{logger: log.New(io.Discard, "", 0), registry: reg})
+
+	const (
+		readers = 4
+		batches = 6
+		swaps   = 24
+	)
+	var wg sync.WaitGroup
+	wg.Add(readers + 1)
+	errs := make(chan string, readers+1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			path := f32Path
+			if i%2 == 0 {
+				path = int8Path
+			}
+			if _, err := a.reload(path); err != nil {
+				errs <- "reload failed: " + err.Error()
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				eng := a.ref.Get().Engine()
+				got := eng.PredictAll(test)
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- "prediction diverged during arena hot reload"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+	if n := a.Reloads(); n != swaps {
+		t.Fatalf("reloads = %d, want %d", n, swaps)
+	}
+
+	// The observability contract: per-format load histograms and the
+	// resident-format gauge tracking the last swap (swaps is even, so the
+	// final artifact is the float32 one).
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scraped := buf.String()
+	for _, want := range []string{
+		`wym_server_model_load_seconds_count{format="arena-f32"}`,
+		`wym_server_model_load_seconds_count{format="arena-int8"}`,
+		`wym_server_model_format{format="arena-f32"} 1`,
+		`wym_server_model_format{format="arena-int8"} 0`,
+	} {
+		if !contains(scraped, want) {
+			t.Fatalf("metrics scrape missing %q:\n%s", want, scraped)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

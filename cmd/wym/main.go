@@ -7,6 +7,8 @@
 //	wym [train] -dataset S-AG -scale 0.05 [-explain N]
 //	wym train -data pairs.csv -checkpoint run1/   # checkpoint each stage
 //	wym train -data pairs.csv -resume run1/       # resume an interrupted run
+//	wym model convert -in m.gob -out m.wyma [-int8]  # compile the serving arena
+//	wym model info -model m.wyma                     # inspect a model file
 //
 // The CSV layout is label, left_<attr>..., right_<attr>... (the Magellan
 // benchmark layout). With -dataset, a synthetic benchmark dataset is
@@ -55,6 +57,13 @@ type options struct {
 
 func main() {
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "model" {
+		if err := runModel(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "wym:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	// Accept an optional leading "train" subcommand: `wym train -resume d`
 	// reads naturally in scripts and docs, and the flag package would stop
 	// parsing at the bare word otherwise.

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wym"
+	"wym/internal/relevance"
+)
+
+// runModel dispatches the `wym model` subcommands:
+//
+//	wym model convert -in matcher.gob -out matcher.wyma [-int8]
+//	wym model info -model matcher.wyma
+//
+// convert compiles a trained artifact (gob or arena) into the flat
+// zero-copy .wyma serving format; info prints a model file's format,
+// shape and integrity summary without fully deserializing it.
+func runModel(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: wym model <convert|info> [flags]")
+	}
+	switch args[0] {
+	case "convert":
+		return runModelConvert(args[1:])
+	case "info":
+		return runModelInfo(args[1:])
+	default:
+		return fmt.Errorf("unknown model subcommand %q (want convert or info)", args[0])
+	}
+}
+
+func runModelConvert(args []string) error {
+	fs := flag.NewFlagSet("wym model convert", flag.ExitOnError)
+	in := fs.String("in", "", "trained model to convert (gob or .wyma)")
+	out := fs.String("out", "", "output .wyma path")
+	int8Flag := fs.Bool("int8", false, "quantize vectors to int8 with per-vector scales (4x smaller)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("pass -in <model> and -out <model.wyma>")
+	}
+	start := time.Now()
+	sys, err := wym.LoadSystem(*in)
+	if err != nil {
+		return err
+	}
+	loadTook := time.Since(start)
+	start = time.Now()
+	if err := sys.SaveArenaFile(*out, wym.ArenaOptions{Int8: *int8Flag}); err != nil {
+		return err
+	}
+	compileTook := time.Since(start)
+
+	re, err := wym.LoadSystem(*out)
+	if err != nil {
+		return fmt.Errorf("verifying converted model: %w", err)
+	}
+	f := re.ArenaFile()
+	fmt.Printf("converted %s (%s) -> %s (%s)\n", *in, sys.Format(), *out, re.Format())
+	fmt.Printf("  vocab %d vectors, dim %d, %d bytes on disk\n", f.VocabN, f.Dim, f.Size())
+	fmt.Printf("  load %v, compile %v\n", loadTook.Round(time.Millisecond), compileTook.Round(time.Millisecond))
+	return nil
+}
+
+func runModelInfo(args []string) error {
+	fs := flag.NewFlagSet("wym model info", flag.ExitOnError)
+	path := fs.String("model", "", "model file to inspect (gob or .wyma)")
+	fs.Parse(args)
+	if *path == "" {
+		// Accept a bare positional path: `wym model info matcher.wyma`.
+		if fs.NArg() == 1 {
+			*path = fs.Arg(0)
+		} else {
+			return fmt.Errorf("pass -model <file>")
+		}
+	}
+	st, err := os.Stat(*path)
+	if err != nil {
+		return err
+	}
+	sys, err := wym.LoadSystem(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s\n", *path)
+	fmt.Printf("format: %s\n", sys.Format())
+	fmt.Printf("file size: %d bytes\n", st.Size())
+	if f := sys.ArenaFile(); f != nil {
+		quant := "none (float32)"
+		if f.Int8() {
+			quant = "int8, per-vector scales"
+		}
+		fmt.Printf("vocab: %d vectors, dim %d (hash %d)\n", f.VocabN, f.Dim, f.HashDim)
+		fmt.Printf("quantization: %s\n", quant)
+		fmt.Printf("payload crc32c: 0x%08x\n", f.CRC)
+	}
+	fmt.Printf("classifier: %s\n", sys.ModelName())
+	fmt.Printf("scorer: %s\n", scorerName(sys))
+	fmt.Printf("schema: %v\n", sys.Schema())
+	return nil
+}
+
+func scorerName(sys *wym.System) string {
+	switch sys.Scorer().(type) {
+	case *relevance.NN:
+		return "nn"
+	case *relevance.FastNN:
+		return "nn (arena fast path)"
+	case relevance.Binary:
+		return "binary"
+	case relevance.Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("%T", sys.Scorer())
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"wym"
+)
+
+// Model-file sizes and checksums vary with float noise across
+// architectures, so the golden transcript normalizes them alongside
+// durations. Paths under t.TempDir() are rewritten to stable tokens.
+var (
+	sizeRE = regexp.MustCompile(`\b\d+ bytes\b`)
+	crcRE  = regexp.MustCompile(`\b0x[0-9a-f]{8}\b`)
+)
+
+func normalizeModelOutput(s, dir string) string {
+	s = strings.ReplaceAll(s, dir, "<DIR>")
+	s = normalizeDurations(s)
+	s = sizeRE.ReplaceAllString(s, "<SIZE> bytes")
+	s = crcRE.ReplaceAllString(s, "<CRC>")
+	return s
+}
+
+// trainModelFile trains once on S-BR and saves the gob artifact.
+func trainModelFile(t *testing.T, dir string) string {
+	t.Helper()
+	gobPath := filepath.Join(dir, "matcher.gob")
+	if err := run(context.Background(), options{
+		datasetID: "S-BR", scale: 1.0, seed: 1, savePath: gobPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return gobPath
+}
+
+// TestGoldenModelConvertInfo locks the `wym model convert` + `wym model
+// info` transcript — the operator-facing view of the arena format —
+// against a golden file, for gob, float32-arena and int8-arena inputs.
+func TestGoldenModelConvertInfo(t *testing.T) {
+	dir := t.TempDir()
+	var gobPath string
+	// Train outside the captured region: the training transcript is
+	// already locked by train_sbr.golden.
+	gobPath = trainModelFile(t, dir)
+	f32Path := filepath.Join(dir, "matcher.wyma")
+	int8Path := filepath.Join(dir, "matcher.int8.wyma")
+
+	out := captureStdout(t, func() error {
+		if err := runModel([]string{"convert", "-in", gobPath, "-out", f32Path}); err != nil {
+			return err
+		}
+		if err := runModel([]string{"convert", "-in", gobPath, "-out", int8Path, "-int8"}); err != nil {
+			return err
+		}
+		for _, p := range []string{gobPath, f32Path, int8Path} {
+			if err := runModel([]string{"info", "-model", p}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	got := normalizeModelOutput(out, dir)
+
+	// Structural checks that survive -update.
+	for _, want := range []string{
+		"format: gob", "format: arena-f32", "format: arena-int8",
+		"quantization: none (float32)", "quantization: int8, per-vector scales",
+		"payload crc32c: <CRC>", "scorer: nn (arena fast path)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, got)
+		}
+	}
+
+	golden := filepath.Join("testdata", "model_info.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/wym -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("model CLI output diverged from %s (re-run with -update if intentional)\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+func TestModelSubcommandErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"convert"},
+		{"convert", "-in", "nope.gob"},
+		{"info"},
+		{"info", "-model", filepath.Join(t.TempDir(), "missing.wyma")},
+	} {
+		if err := runModel(args); err == nil {
+			t.Fatalf("runModel(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestLoadTrainedArenaServes drives the end-to-end operator flow: train
+// -save gob, convert, then `-load model.wyma` serves predictions.
+func TestLoadTrainedArenaServes(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := trainModelFile(t, dir)
+	arenaPath := filepath.Join(dir, "m.wyma")
+	if err := runModel([]string{"convert", "-in", gobPath, "-out", arenaPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), options{
+		datasetID: "S-BR", scale: 1.0, seed: 1, loadPath: arenaPath, explainN: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := wym.LoadSystem(arenaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Format() != wym.FormatArenaF32 {
+		t.Fatalf("Format() = %q", sys.Format())
+	}
+}

@@ -1,0 +1,350 @@
+package arena
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testBuild returns a small but fully featured arena: float32 vectors,
+// fine-tune matrix, scorer, meta blob.
+func testBuild(tb testing.TB) *Build {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	const dim, n = 6, 5
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	vecs := make([]float32, n*dim)
+	for i := range vecs {
+		vecs[i] = float32(rng.NormFloat64())
+	}
+	mat := make([]float64, dim*dim)
+	for i := range mat {
+		mat[i] = rng.NormFloat64()
+	}
+	sc := &Scorer{Layers: []ScorerLayer{
+		{In: 2 * dim, Out: 3, InPadded: 16, Act: ActReLU,
+			W: make([]float32, 3*16), B: []float32{0.1, -0.2, 0.3}},
+		{In: 3, Out: 1, InPadded: 8, Act: ActTanh,
+			W: make([]float32, 8), B: []float32{0.05}},
+	}}
+	for i := range sc.Layers[0].W {
+		sc.Layers[0].W[i] = float32(rng.NormFloat64())
+	}
+	return &Build{
+		Dim: dim, HashDim: 3, NMin: 3, NMax: 5,
+		Keys: keys, VecF32: vecs, Matrix: mat,
+		Meta:   []byte("opaque-meta-blob"),
+		Scorer: sc,
+	}
+}
+
+func writeTemp(tb testing.TB, b *Build) string {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "model.wyma")
+	if err := WriteFile(path, b); err != nil {
+		tb.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := testBuild(t)
+	path := writeTemp(t, b)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+
+	if f.Dim != b.Dim || f.HashDim != b.HashDim || f.NMin != b.NMin || f.NMax != b.NMax {
+		t.Fatalf("header mismatch: %+v", f)
+	}
+	if f.VocabN != len(b.Keys) {
+		t.Fatalf("VocabN = %d, want %d", f.VocabN, len(b.Keys))
+	}
+	if f.Int8() {
+		t.Fatal("float32 arena reported as int8")
+	}
+	for i, k := range b.Keys {
+		if got := f.Key(i); got != k {
+			t.Fatalf("Key(%d) = %q, want %q", i, got, k)
+		}
+		if idx := f.Lookup(k); idx != i {
+			t.Fatalf("Lookup(%q) = %d, want %d", k, idx, i)
+		}
+	}
+	if f.Lookup("zulu") != -1 || f.Lookup("") != -1 {
+		t.Fatal("Lookup of absent token did not return -1")
+	}
+	for i, v := range b.VecF32 {
+		if f.VecF32[i] != v {
+			t.Fatalf("vector value %d mismatch", i)
+		}
+	}
+	for i, v := range b.Matrix {
+		if f.Matrix[i] != v {
+			t.Fatalf("matrix value %d mismatch", i)
+		}
+	}
+	if string(f.Meta) != string(b.Meta) {
+		t.Fatalf("meta = %q", f.Meta)
+	}
+	if f.Scorer == nil || len(f.Scorer.Layers) != 2 {
+		t.Fatalf("scorer = %+v", f.Scorer)
+	}
+	l0 := f.Scorer.Layers[0]
+	if l0.In != 12 || l0.Out != 3 || l0.InPadded != 16 || l0.Act != ActReLU {
+		t.Fatalf("layer 0 = %+v", l0)
+	}
+	for i, w := range b.Scorer.Layers[0].W {
+		if l0.W[i] != w {
+			t.Fatalf("layer 0 weight %d mismatch", i)
+		}
+	}
+	if f.Scorer.Layers[1].B[0] != 0.05 {
+		t.Fatal("layer 1 bias mismatch")
+	}
+	if f.Size() <= headerSize {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestRoundTripInt8(t *testing.T) {
+	b := testBuild(t)
+	n := len(b.Keys)
+	b.VecI8 = make([]int8, n*b.Dim)
+	b.Scales = make([]float32, n)
+	for i := range b.VecI8 {
+		b.VecI8[i] = int8(i%255 - 127)
+	}
+	for i := range b.Scales {
+		b.Scales[i] = float32(i+1) / 128
+	}
+	b.VecF32 = nil
+	path := writeTemp(t, b)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	if !f.Int8() {
+		t.Fatal("int8 arena not flagged")
+	}
+	if f.VecF32 != nil {
+		t.Fatal("int8 arena exposes float32 view")
+	}
+	for i, v := range b.VecI8 {
+		if f.VecI8[i] != v {
+			t.Fatalf("int8 value %d mismatch", i)
+		}
+	}
+	for i, s := range b.Scales {
+		if f.Scales[i] != s {
+			t.Fatalf("scale %d mismatch", i)
+		}
+	}
+}
+
+func TestFromBytesMatchesOpen(t *testing.T) {
+	b := testBuild(t)
+	img, err := Encode(b)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	f, err := FromBytes("mem.wyma", img)
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if f.VocabN != len(b.Keys) || f.Key(0) != "alpha" {
+		t.Fatalf("parsed arena wrong: %+v", f)
+	}
+}
+
+// TestCorruptArenas is the corrupt-ingest suite: every class of damage
+// must produce a path-qualified error, never a panic.
+func TestCorruptArenas(t *testing.T) {
+	img, err := Encode(testBuild(t))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	recrc := func(b []byte) { // keep the checksum valid so deeper checks are reached
+		binary.LittleEndian.PutUint32(b[36:], 0)
+		binary.LittleEndian.PutUint32(b[36:], crc32Of(b[64:]))
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"bad magic", func(b []byte) []byte {
+			copy(b, "NOTWYMA!")
+			return b
+		}, "bad magic"},
+		{"unsupported version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 99)
+			return b
+		}, "unsupported format version 99"},
+		{"truncated header", func(b []byte) []byte {
+			return b[:100]
+		}, "file too small"},
+		{"truncated arena", func(b []byte) []byte {
+			// Re-sign the truncated payload so the failure surfaces as the
+			// section bounds check, not merely the checksum.
+			b = b[:len(b)-64]
+			recrc(b)
+			return b
+		}, "out of bounds"},
+		{"truncated arena bad crc", func(b []byte) []byte {
+			return b[:len(b)-64]
+		}, "checksum mismatch"},
+		{"checksum mismatch", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xFF
+			return b
+		}, "checksum mismatch"},
+		{"implausible dim", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 0)
+			recrc(b)
+			return b
+		}, "implausible dim"},
+		{"unknown flags", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 1<<31)
+			recrc(b)
+			return b
+		}, "unknown flag bits"},
+		{"section out of bounds", func(b []byte) []byte {
+			// Point the vector section past EOF.
+			binary.LittleEndian.PutUint64(b[64+16*secVectors:], uint64(len(b)+4096))
+			recrc(b)
+			return b
+		}, "out of bounds"},
+		{"wrong vector length", func(b []byte) []byte {
+			off := 64 + 16*secVectors + 8
+			binary.LittleEndian.PutUint64(b[off:], binary.LittleEndian.Uint64(b[off:])-4)
+			recrc(b)
+			return b
+		}, "vector arena section length"},
+		{"out-of-bounds vocab offsets", func(b []byte) []byte {
+			// Last key offset must equal len(keyData); bump it.
+			offsOff := binary.LittleEndian.Uint64(b[64+16*secKeyOffs:])
+			n := binary.LittleEndian.Uint64(b[64+16*secKeyOffs+8:]) / 4
+			last := offsOff + 4*(n-1)
+			binary.LittleEndian.PutUint32(b[last:], binary.LittleEndian.Uint32(b[last:])+7)
+			recrc(b)
+			return b
+		}, "vocab offsets end at"},
+		{"decreasing vocab offsets", func(b []byte) []byte {
+			offsOff := binary.LittleEndian.Uint64(b[64+16*secKeyOffs:])
+			binary.LittleEndian.PutUint32(b[offsOff+4:], ^uint32(0)>>1)
+			recrc(b)
+			return b
+		}, "vocab offset"},
+		{"unsorted vocabulary", func(b []byte) []byte {
+			// Swap the first bytes of "alpha" and "bravo" in key data.
+			keyOff := binary.LittleEndian.Uint64(b[64+16*secKeyData:])
+			b[keyOff], b[keyOff+5] = 'z', 'a'
+			recrc(b)
+			return b
+		}, "not strictly sorted"},
+		{"scorer truncated", func(b []byte) []byte {
+			off := 64 + 16*secScorer + 8
+			binary.LittleEndian.PutUint64(b[off:], 6)
+			recrc(b)
+			return b
+		}, "scorer section"},
+		{"scorer bad activation", func(b []byte) []byte {
+			scOff := binary.LittleEndian.Uint64(b[64+16*secScorer:])
+			binary.LittleEndian.PutUint32(b[scOff+4+8:], 77)
+			recrc(b)
+			return b
+		}, "unknown activation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panicked: %v", r)
+				}
+			}()
+			mutated := tc.mutate(append([]byte(nil), img...))
+			path := filepath.Join(t.TempDir(), "corrupt.wyma")
+			if err := os.WriteFile(path, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Open(path)
+			if err == nil {
+				t.Fatalf("Open accepted corrupt arena (%s)", tc.name)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error not path-qualified: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.wyma")
+	_, err := Open(path)
+	if err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEncodeRejectsBadBuilds(t *testing.T) {
+	good := testBuild(t)
+	cases := []struct {
+		name   string
+		mutate func(*Build)
+	}{
+		{"unsorted keys", func(b *Build) { b.Keys[0], b.Keys[1] = b.Keys[1], b.Keys[0] }},
+		{"duplicate keys", func(b *Build) { b.Keys[1] = b.Keys[0] }},
+		{"bad dim", func(b *Build) { b.Dim = 0 }},
+		{"vector shape", func(b *Build) { b.VecF32 = b.VecF32[:1] }},
+		{"matrix shape", func(b *Build) { b.Matrix = b.Matrix[:3] }},
+		{"int8 shape", func(b *Build) { b.VecF32 = nil; b.VecI8 = make([]int8, 1); b.Scales = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := testBuild(t)
+			tc.mutate(b)
+			if _, err := Encode(b); err == nil {
+				t.Fatal("Encode accepted malformed build")
+			}
+		})
+	}
+	if _, err := Encode(good); err != nil {
+		t.Fatalf("Encode rejected good build: %v", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	path := writeTemp(t, testBuild(t))
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestQuantizationHelpersExact(t *testing.T) {
+	// Dequantizing a max-magnitude int8 value must reproduce scale*127
+	// bit-exactly in float64.
+	scale := 0.0123
+	if got := scale * float64(int8(127)); math.Abs(got-scale*127) != 0 {
+		t.Fatalf("dequant drift: %v", got)
+	}
+}
+
+func crc32Of(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }

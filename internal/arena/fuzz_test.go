@@ -1,0 +1,45 @@
+package arena
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadArena drives the header/offset decoder with arbitrary bytes:
+// whatever the input, parsing must either succeed or return an error —
+// never panic, never index out of bounds. Seeds cover the empty input, a
+// valid arena, and targeted corruptions of each header region.
+func FuzzLoadArena(f *testing.F) {
+	img, err := Encode(testBuild(f))
+	if err != nil {
+		f.Fatalf("Encode: %v", err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(img)
+	f.Add(img[:headerSize])
+	f.Add(img[:len(img)-8])
+	for _, off := range []int{8, 12, 16, 32, 36, 64, 64 + 16*secVectors, headerSize + 3} {
+		mutated := append([]byte(nil), img...)
+		if off < len(mutated) {
+			mutated[off] ^= 0xA5
+		}
+		f.Add(mutated)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := FromBytes("fuzz.wyma", data)
+		if err != nil {
+			return
+		}
+		// A parse that succeeds must yield a self-consistent arena:
+		// exercise the accessors that index the views.
+		if parsed.VocabN > 0 {
+			_ = parsed.Key(0)
+			_ = parsed.Key(parsed.VocabN - 1)
+			_ = parsed.Lookup("probe")
+		}
+		if !bytes.Equal(parsed.Meta, parsed.Meta) {
+			t.Fatal("unreachable")
+		}
+	})
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package arena
+
+// Platforms without a wired-up mmap read the whole file into an aligned
+// buffer; cold start loses the zero-copy win but keeps identical
+// semantics.
+func mapFile(path string) ([]byte, bool, error) { return readAligned(path) }
+
+func unmapFile(data []byte) error { return nil }

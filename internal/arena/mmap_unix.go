@@ -1,0 +1,39 @@
+//go:build unix
+
+package arena
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. It reports whether the returned bytes are
+// an mmap (true) or an in-memory copy (false, used when the filesystem
+// refuses the mapping).
+func mapFile(path string) ([]byte, bool, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, false, fmt.Errorf("file too small: %d bytes, header needs %d", size, headerSize)
+	}
+	if size > 1<<40 {
+		return nil, false, fmt.Errorf("file too large to map: %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Some filesystems cannot mmap; fall back to a plain read.
+		return readAligned(path)
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"wym/internal/arena"
 	"wym/internal/classify"
 	"wym/internal/data"
 	"wym/internal/embed"
@@ -119,6 +120,12 @@ type System struct {
 	// quarantine wrapper of ProcessAllContext; the fault-tolerance tests
 	// inject per-record panics with it.
 	processHook func(data.Pair)
+
+	// format and arena record the on-disk representation an arena-backed
+	// system was loaded from; both are zero for trained and gob-loaded
+	// systems. See arena_persist.go.
+	format string
+	arena  *arena.File
 }
 
 // rebuildEngine assembles the pipeline instantiation from the fitted

@@ -111,10 +111,15 @@ type systemSnapshot struct {
 	Spans  []obs.Span
 }
 
-// Save serializes the fitted system. It fails on an untrained system.
+// Save serializes the fitted system. It fails on an untrained system
+// and on arena-backed systems, whose zero-copy components have no gob
+// form — convert from the original gob artifact instead.
 func (s *System) Save(w io.Writer) error {
 	if s.model == nil || s.scorer == nil || s.source == nil {
 		return fmt.Errorf("core: cannot save an untrained system")
+	}
+	if s.arena != nil {
+		return fmt.Errorf("core: cannot gob-encode an arena-backed system (format %s); convert from the gob artifact", s.Format())
 	}
 	snap := systemSnapshot{
 		Cfg:    shadowOf(s.cfg),
@@ -170,11 +175,16 @@ func (s *System) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile restores a system from a file. Decode failures — a
-// truncated or corrupt gob stream, an empty file, a gob holding some
-// other type — are wrapped with the file path so operators can tell
-// *which* artifact is bad when a reload fails.
+// LoadFile restores a system from a file, auto-detecting the format:
+// files starting with the arena magic load through the zero-copy mmap
+// path (arena_persist.go), everything else through gob. Decode
+// failures — a truncated or corrupt stream, an empty file, a gob
+// holding some other type — are wrapped with the file path so
+// operators can tell *which* artifact is bad when a reload fails.
 func LoadFile(path string) (*System, error) {
+	if sniffArena(path) {
+		return loadArenaFile(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

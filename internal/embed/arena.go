@@ -1,0 +1,266 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wym/internal/arena"
+	"wym/internal/vec"
+)
+
+// Arena is a Source backed by an opened .wyma arena (DESIGN §10): the
+// zero-copy serving representation of a trained embedding stack. Vocab
+// lookups binary-search the file's sorted key index and decode straight
+// out of the contiguous float32 (or int8) vector arena; out-of-vocabulary
+// tokens are recomputed exactly the way the original stack embeds them —
+// hash n-grams, concat-normalize, optional fine-tune matrix — and then
+// memoized in a sharded cache.
+//
+// The compile step (CompileArena) only stores the co-occurrence
+// vocabulary: every other token has a zero distributional part, so its
+// embedding is fully determined by the hash configuration and fine-tune
+// matrix the arena carries, and the OOV path reproduces the gob stack's
+// float64 arithmetic bit for bit. In-vocabulary vectors round through
+// float32 (or int8); the golden equivalence suite in internal/core pins
+// that error.
+//
+// Arena satisfies NormalizedSource (unit-or-zero output) and
+// InlineSource (allocation-free row fills), and is safe for concurrent
+// use.
+type Arena struct {
+	f    *arena.File
+	hash Hash
+
+	// oov memoizes computed out-of-vocabulary embeddings; same sharding
+	// scheme as Cache's overflow tier.
+	oov [cacheShards]cacheShard
+}
+
+// NewArena wraps an opened arena file as an embedding source.
+func NewArena(f *arena.File) (*Arena, error) {
+	if f.HashDim <= 0 || f.HashDim > f.Dim {
+		return nil, fmt.Errorf("embed: arena %s: hash dim %d incompatible with dim %d", f.Path, f.HashDim, f.Dim)
+	}
+	a := &Arena{f: f, hash: Hash{D: f.HashDim, NMin: f.NMin, NMax: f.NMax}}
+	for i := range a.oov {
+		a.oov[i].m = make(map[string][]float64)
+	}
+	return a, nil
+}
+
+// File returns the backing arena file.
+func (a *Arena) File() *arena.File { return a.f }
+
+// Dim implements Source.
+func (a *Arena) Dim() int { return a.f.Dim }
+
+// Normalized implements NormalizedSource: stored vectors were unit at
+// compile time (int8 ones are re-normalized after dequantization) and the
+// OOV path normalizes like the original stack.
+func (a *Arena) Normalized() bool { return true }
+
+// VocabSize returns the number of vectors stored in the arena.
+func (a *Arena) VocabSize() int { return a.f.VocabN }
+
+// Quantized reports whether the arena stores int8-quantized vectors.
+func (a *Arena) Quantized() bool { return a.f.Int8() }
+
+// Vector implements Source.
+func (a *Arena) Vector(token string) []float64 {
+	out := make([]float64, a.f.Dim)
+	a.VectorInto(token, out)
+	return out
+}
+
+// VectorInto implements InlineSource: the serving hot path, free of
+// per-token allocation for in-vocabulary and cached-OOV tokens.
+func (a *Arena) VectorInto(token string, dst []float64) {
+	d := a.f.Dim
+	if len(dst) != d {
+		panic(fmt.Sprintf("embed: buffer len %d, want %d", len(dst), d))
+	}
+	if i := a.f.Lookup(token); i >= 0 {
+		if a.f.Int8() {
+			vec.Dequant8(dst, a.f.VecI8[i*d:(i+1)*d], float64(a.f.Scales[i]))
+			vec.Normalize(dst)
+		} else {
+			vec.Widen(dst, a.f.VecF32[i*d:(i+1)*d])
+		}
+		return
+	}
+	sh := &a.oov[shardIndex(token)]
+	sh.mu.RLock()
+	v, ok := sh.m[token]
+	sh.mu.RUnlock()
+	if !ok {
+		v = a.computeOOV(token)
+		sh.mu.Lock()
+		if prev, ok := sh.m[token]; ok {
+			v = prev
+		} else {
+			sh.m[token] = v
+		}
+		sh.mu.Unlock()
+	}
+	copy(dst, v)
+}
+
+// computeOOV reproduces the original stack's embedding of a token with a
+// zero distributional part: hash-embed, concat-normalize, then apply the
+// fine-tune matrix when present. Each step runs the same float64
+// operations in the same order as the gob-loaded stack, so the result is
+// bit-identical to it.
+func (a *Arena) computeOOV(token string) []float64 {
+	d := a.f.Dim
+	v := make([]float64, d)
+	if token == "" {
+		return v
+	}
+	a.hash.vectorInto(token, v[:a.f.HashDim])
+	// Concat-level normalization over the full vector (the zero
+	// distributional tail contributes exact zeros to the norm).
+	vec.Normalize(v)
+	if a.f.Matrix == nil || vec.Norm(v) == 0 {
+		return v
+	}
+	// Fine-tune map: only the first HashDim columns can contribute, the
+	// rest multiply exact zeros — same accumulation order as the full
+	// matrix-vector product.
+	mv := make([]float64, d)
+	hd := a.f.HashDim
+	for i := 0; i < d; i++ {
+		row := a.f.Matrix[i*d : i*d+hd]
+		mv[i] = vec.Dot(row, v[:hd])
+	}
+	return vec.Normalize(mv)
+}
+
+// CompileOptions configures CompileArena.
+type CompileOptions struct {
+	// Int8 selects the quantized arena variant: each vector stored as
+	// int8 with one float32 scale (max|v|/127), trading ~0.4% vector
+	// error for 4x smaller vector storage.
+	Int8 bool
+}
+
+// CompileArena flattens a trained embedding stack into the writer-side
+// arena parts: the sorted co-occurrence vocabulary with its vectors
+// converted to float32 (or int8 + scales), the hash configuration, and
+// the fine-tune matrix when present. Supported stacks are the shapes
+// core builds — Cache(Concat(Hash, Cooc)) with an optional Hebbian layer
+// between — plus an already-arena-backed source (re-quantization).
+func CompileArena(src Source, opts CompileOptions) (*arena.Build, error) {
+	if a, ok := src.(*Arena); ok {
+		return recompileArena(a, opts)
+	}
+	root := src
+	if c, ok := root.(*Cache); ok {
+		root = c.Base
+	}
+	var matrix []float64
+	if h, ok := root.(*Hebbian); ok {
+		if h.m.Rows != h.Dim() || h.m.Cols != h.Dim() {
+			return nil, fmt.Errorf("embed: fine-tune matrix is %dx%d, dim %d", h.m.Rows, h.m.Cols, h.Dim())
+		}
+		matrix = append([]float64(nil), h.m.Data...)
+		root = h.Base
+	}
+	concat, ok := root.(*Concat)
+	if !ok || len(concat.Parts) != 2 {
+		return nil, fmt.Errorf("embed: cannot compile source stack %T into an arena", root)
+	}
+	hash, ok := concat.Parts[0].(*Hash)
+	if !ok {
+		return nil, fmt.Errorf("embed: cannot compile: first concat part is %T, want *Hash", concat.Parts[0])
+	}
+	cooc, ok := concat.Parts[1].(*Cooc)
+	if !ok {
+		return nil, fmt.Errorf("embed: cannot compile: second concat part is %T, want *Cooc", concat.Parts[1])
+	}
+
+	keys := make([]string, 0, len(cooc.vectors))
+	for t := range cooc.vectors {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+
+	b := &arena.Build{
+		Dim: src.Dim(), HashDim: hash.D, NMin: hash.NMin, NMax: hash.NMax,
+		Keys: keys, Matrix: matrix,
+	}
+	// Embed every vocabulary token through the full original stack — the
+	// exact float64 pipeline — then narrow.
+	fill := newQuantizer(b, opts, len(keys))
+	for i, t := range keys {
+		fill(i, src.Vector(t))
+	}
+	return b, nil
+}
+
+// recompileArena rebuilds arena parts from an already-opened arena —
+// used to derive an int8 artifact from a float32 one (or vice versa).
+func recompileArena(a *Arena, opts CompileOptions) (*arena.Build, error) {
+	f := a.f
+	keys := make([]string, f.VocabN)
+	for i := range keys {
+		// Key views alias the mapping; clone so the build outlives it.
+		keys[i] = string([]byte(f.Key(i)))
+	}
+	var matrix []float64
+	if f.Matrix != nil {
+		matrix = append([]float64(nil), f.Matrix...)
+	}
+	b := &arena.Build{
+		Dim: f.Dim, HashDim: f.HashDim, NMin: f.NMin, NMax: f.NMax,
+		Keys: keys, Matrix: matrix,
+	}
+	fill := newQuantizer(b, opts, len(keys))
+	row := make([]float64, f.Dim)
+	for i, t := range keys {
+		a.VectorInto(t, row)
+		fill(i, row)
+	}
+	return b, nil
+}
+
+// newQuantizer allocates the build's vector storage and returns the
+// per-vector fill function for the selected precision.
+func newQuantizer(b *arena.Build, opts CompileOptions, n int) func(i int, v []float64) {
+	if !opts.Int8 {
+		b.VecF32 = make([]float32, n*b.Dim)
+		return func(i int, v []float64) {
+			row := b.VecF32[i*b.Dim : (i+1)*b.Dim]
+			for j, x := range v {
+				row[j] = float32(x)
+			}
+		}
+	}
+	b.VecI8 = make([]int8, n*b.Dim)
+	b.Scales = make([]float32, n)
+	return func(i int, v []float64) {
+		var maxAbs float64
+		for _, x := range v {
+			if ax := math.Abs(x); ax > maxAbs {
+				maxAbs = ax
+			}
+		}
+		if maxAbs == 0 {
+			return // zero vector: q stays 0, scale stays 0
+		}
+		scale := maxAbs / 127
+		b.Scales[i] = float32(scale)
+		row := b.VecI8[i*b.Dim : (i+1)*b.Dim]
+		inv := 1 / scale
+		for j, x := range v {
+			q := math.RoundToEven(x * inv)
+			if q > 127 {
+				q = 127
+			}
+			if q < -127 {
+				q = -127
+			}
+			row[j] = int8(q)
+		}
+	}
+}

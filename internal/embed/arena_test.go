@@ -1,0 +1,235 @@
+package embed
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"wym/internal/arena"
+	"wym/internal/vec"
+)
+
+// trainedStack builds the full production stack — Cache(Hebbian(Concat(
+// Hash, Cooc))) — on a small corpus, mirroring core.buildSourceCtx.
+func trainedStack(tb testing.TB) (*Cache, [][]string) {
+	tb.Helper()
+	corpus := [][]string{
+		{"apple", "iphone", "12", "pro", "256gb", "black"},
+		{"apple", "iphone", "12", "pro", "max", "256gb"},
+		{"samsung", "galaxy", "s21", "ultra", "128gb", "black"},
+		{"samsung", "galaxy", "s21", "5g", "128gb"},
+		{"google", "pixel", "6", "pro", "128gb", "stormy", "black"},
+		{"google", "pixel", "6", "128gb"},
+	}
+	cfg := DefaultCoocConfig()
+	cooc := TrainCooc(corpus, cfg)
+	if cooc.VocabSize() == 0 {
+		tb.Fatal("empty cooc vocabulary")
+	}
+	base := NewConcat(NewHash(), cooc)
+	ft := FineTune(base, []PairSample{{A: "iphone", B: "apple"}, {A: "galaxy", B: "samsung"}},
+		[]PairSample{{A: "apple", B: "samsung"}}, DefaultFineTuneConfig())
+	return NewCache(ft), corpus
+}
+
+func compileToFile(tb testing.TB, src Source, opts CompileOptions) *arena.File {
+	tb.Helper()
+	b, err := CompileArena(src, opts)
+	if err != nil {
+		tb.Fatalf("CompileArena: %v", err)
+	}
+	path := filepath.Join(tb.TempDir(), "embed.wyma")
+	if err := arena.WriteFile(path, b); err != nil {
+		tb.Fatalf("WriteFile: %v", err)
+	}
+	f, err := arena.Open(path)
+	if err != nil {
+		tb.Fatalf("Open: %v", err)
+	}
+	tb.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestArenaMatchesStackFloat32(t *testing.T) {
+	src, corpus := trainedStack(t)
+	f := compileToFile(t, src, CompileOptions{})
+	a, err := NewArena(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dim() != src.Dim() || !a.Normalized() || a.Quantized() {
+		t.Fatalf("arena shape wrong: dim=%d quant=%v", a.Dim(), a.Quantized())
+	}
+	// In-vocabulary tokens: equal within float32 rounding.
+	for _, seq := range corpus {
+		for _, tok := range seq {
+			want := src.Vector(tok)
+			got := a.Vector(tok)
+			for j := range want {
+				if d := math.Abs(got[j] - want[j]); d > 1e-6 {
+					t.Fatalf("token %q dim %d: |%g - %g| = %g", tok, j, got[j], want[j], d)
+				}
+			}
+		}
+	}
+	// Out-of-vocabulary tokens (typos, unseen strings, the empty token):
+	// the fallback reruns the float64 pipeline, so results are identical.
+	for _, tok := range []string{"iphnoe", "unseen-token", "xyzzy", "a", ""} {
+		want := src.Vector(tok)
+		got := a.Vector(tok)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("OOV token %q dim %d: arena %g != stack %g", tok, j, got[j], want[j])
+			}
+		}
+		// Second lookup hits the OOV cache and must agree.
+		again := a.Vector(tok)
+		for j := range want {
+			if again[j] != got[j] {
+				t.Fatalf("OOV cache for %q changed the vector", tok)
+			}
+		}
+	}
+}
+
+func TestArenaMatchesStackInt8(t *testing.T) {
+	src, corpus := trainedStack(t)
+	f := compileToFile(t, src, CompileOptions{Int8: true})
+	a, err := NewArena(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Quantized() {
+		t.Fatal("int8 arena not quantized")
+	}
+	for _, seq := range corpus {
+		for _, tok := range seq {
+			want := src.Vector(tok)
+			got := a.Vector(tok)
+			// int8 quantization: per-coordinate error bounded by roughly
+			// scale/2 ≈ maxAbs/254 plus renormalization drift.
+			if cos := vec.Cosine(got, want); vec.Norm(want) > 0 && cos < 0.999 {
+				t.Fatalf("token %q: cosine %g after int8 round-trip", tok, cos)
+			}
+			if n := vec.Norm(got); n != 0 && math.Abs(n-1) > 1e-12 {
+				t.Fatalf("token %q: dequantized norm %g not unit", tok, n)
+			}
+		}
+	}
+	// OOV stays exact regardless of vector quantization.
+	want := src.Vector("iphnoe")
+	got := a.Vector("iphnoe")
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("int8 OOV dim %d: %g != %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestArenaWithoutFineTune(t *testing.T) {
+	// The BERT-pretrained variant has no Hebbian layer; the arena then
+	// carries no matrix and the OOV fallback is hash + concat-normalize.
+	corpus := [][]string{{"red", "shoe", "size", "42"}, {"red", "boot", "size", "43"}}
+	src := NewCache(NewConcat(NewHash(), TrainCooc(corpus, DefaultCoocConfig())))
+	f := compileToFile(t, src, CompileOptions{})
+	if f.Matrix != nil {
+		t.Fatal("arena has a matrix for a stack without fine-tune")
+	}
+	a, err := NewArena(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range []string{"red", "shoe", "unseen"} {
+		want := src.Vector(tok)
+		got := a.Vector(tok)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-6 {
+				t.Fatalf("token %q dim %d: %g != %g", tok, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRecompileArenaToInt8(t *testing.T) {
+	src, _ := trainedStack(t)
+	f32 := compileToFile(t, src, CompileOptions{})
+	a32, err := NewArena(f32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileArena(a32, CompileOptions{Int8: true})
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "re.wyma")
+	if err := arena.WriteFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	f8, err := arena.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f8.Close()
+	a8, err := NewArena(f8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f8.VocabN != f32.VocabN || !a8.Quantized() {
+		t.Fatalf("recompiled arena: vocab %d vs %d, quant %v", f8.VocabN, f32.VocabN, a8.Quantized())
+	}
+	if cos := vec.Cosine(a8.Vector("apple"), a32.Vector("apple")); cos < 0.999 {
+		t.Fatalf("recompiled vector drifted: cosine %g", cos)
+	}
+}
+
+func TestCompileArenaRejectsUnsupportedStacks(t *testing.T) {
+	for _, src := range []Source{NewHash(), Zero{D: 8}, NewCache(NewHash())} {
+		if _, err := CompileArena(src, CompileOptions{}); err == nil {
+			t.Fatalf("CompileArena accepted %T", src)
+		}
+	}
+}
+
+func TestContextualizeInlineMatchesMapPath(t *testing.T) {
+	src, corpus := trainedStack(t)
+	f := compileToFile(t, src, CompileOptions{})
+	a, err := NewArena(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := append(append([]string{}, corpus[0]...), "iphnoe", "unseen")
+	for _, gamma := range []float64{0, 0.15} {
+		viaMap := Contextualize(src, tokens, gamma)
+		viaArena := Contextualize(a, tokens, gamma)
+		for i := range viaMap {
+			for j := range viaMap[i] {
+				if d := math.Abs(viaMap[i][j] - viaArena[i][j]); d > 1e-6 {
+					t.Fatalf("gamma=%g token %d dim %d: map %g arena %g", gamma, i, j, viaMap[i][j], viaArena[i][j])
+				}
+			}
+			if gamma != 0 {
+				if n := vec.Norm(viaArena[i]); n != 0 && math.Abs(n-1) > 1e-9 {
+					t.Fatalf("contextualized arena row %d has norm %g", i, n)
+				}
+			}
+		}
+	}
+}
+
+func TestArenaVectorIntoAllocFree(t *testing.T) {
+	src, _ := trainedStack(t)
+	f := compileToFile(t, src, CompileOptions{})
+	a, err := NewArena(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, a.Dim())
+	a.VectorInto("iphnoe", dst) // warm the OOV cache
+	allocs := testing.AllocsPerRun(200, func() {
+		a.VectorInto("apple", dst)  // in-vocab
+		a.VectorInto("iphnoe", dst) // cached OOV
+	})
+	if allocs != 0 {
+		t.Fatalf("VectorInto allocates %v times per op", allocs)
+	}
+}

@@ -58,6 +58,18 @@ func IsNormalized(src Source) bool {
 	return ok && ns.Normalized()
 }
 
+// InlineSource is a Source that can write a token's embedding directly
+// into a caller-provided buffer. Sources backed by flat storage (the
+// arena) implement it so the contextualization hot path fills record
+// rows without one allocation per token; map-backed sources skip it and
+// keep their zero-copy shared-slice behavior.
+type InlineSource interface {
+	Source
+	// VectorInto writes the token's embedding into dst, which must have
+	// length Dim(). It overwrites dst entirely.
+	VectorInto(token string, dst []float64)
+}
+
 // Hash embeds a token as the normalized signed sum of hashed character
 // n-grams (with ^/$ boundary markers), in the spirit of fastText's subword
 // vectors. Two tokens sharing many n-grams land close in cosine space.
@@ -79,8 +91,17 @@ func (h *Hash) Normalized() bool { return true }
 // Vector implements Source. The empty token embeds to the zero vector.
 func (h *Hash) Vector(token string) []float64 {
 	out := make([]float64, h.D)
+	h.vectorInto(token, out)
+	return out
+}
+
+// vectorInto writes the token's hash embedding into out (len h.D),
+// overwriting it. The arena source uses it to compute out-of-vocabulary
+// fallbacks without allocating.
+func (h *Hash) vectorInto(token string, out []float64) {
+	clear(out)
 	if token == "" {
-		return out
+		return
 	}
 	s := "^" + token + "$"
 	for n := h.NMin; n <= h.NMax; n++ {
@@ -96,7 +117,7 @@ func (h *Hash) Vector(token string) []float64 {
 	if vec.Norm(out) == 0 {
 		h.addNGram(out, s)
 	}
-	return vec.Normalize(out)
+	vec.Normalize(out)
 }
 
 func (h *Hash) addNGram(out []float64, g string) {
@@ -304,7 +325,16 @@ func ContextualizeInto(src Source, tokens []string, gamma float64, flat []float6
 		panic(fmt.Sprintf("embed: buffer len %d, want %d", len(flat), n*d))
 	}
 	out := make([][]float64, n)
+	inline, isInline := src.(InlineSource)
 	if gamma == 0 {
+		if isInline {
+			for i, t := range tokens {
+				row := flat[i*d : (i+1)*d : (i+1)*d]
+				inline.VectorInto(t, row)
+				out[i] = row
+			}
+			return out
+		}
 		for i, t := range tokens {
 			row := flat[i*d : (i+1)*d : (i+1)*d]
 			copy(row, src.Vector(t))
@@ -328,12 +358,28 @@ func ContextualizeInto(src Source, tokens []string, gamma float64, flat []float6
 	}
 	mean := (*mp)[:d]
 	clear(mean)
-	for i, t := range tokens {
-		v := src.Vector(t)
-		out[i] = v
-		m := mean[:len(v)] // equal lengths: elide the m[j] bounds checks
-		for j, x := range v {
-			m[j] += x
+	if isInline {
+		// Inline sources write each token straight into its output row;
+		// the mixing pass below then reads and rewrites the row in place,
+		// which is safe because every element is read before it is
+		// written. Same arithmetic as the borrowed-slice path.
+		for i, t := range tokens {
+			row := flat[i*d : (i+1)*d : (i+1)*d]
+			inline.VectorInto(t, row)
+			out[i] = row
+			m := mean[:len(row)]
+			for j, x := range row {
+				m[j] += x
+			}
+		}
+	} else {
+		for i, t := range tokens {
+			v := src.Vector(t)
+			out[i] = v
+			m := mean[:len(v)] // equal lengths: elide the m[j] bounds checks
+			for j, x := range v {
+				m[j] += x
+			}
 		}
 	}
 	scale := 1 / float64(n)

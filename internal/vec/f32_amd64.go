@@ -1,0 +1,45 @@
+//go:build amd64
+
+package vec
+
+// f32UseASM gates the AVX2+FMA microkernel. It is decided once at init
+// from CPUID: the instruction-set bits (AVX2, FMA) plus OSXSAVE and the
+// XCR0 XMM|YMM bits, which confirm the operating system actually saves
+// the 256-bit register state across context switches.
+var f32UseASM = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+	)
+	if c1&fma == 0 || c1&osxsave == 0 {
+		return false
+	}
+	if xlo, _ := xgetbv(); xlo&0x6 != 0x6 { // XMM and YMM state enabled in XCR0
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// dot4Accel runs the assembly microkernel over the first m elements
+// (m > 0, m a multiple of 8) of the five streams.
+func dot4Accel(w, x0, x1, x2, x3 []float32, m int) (s0, s1, s2, s3 float32) {
+	var out [4]float32
+	dot4avx2(&w[0], &x0[0], &x1[0], &x2[0], &x3[0], m, &out)
+	return out[0], out[1], out[2], out[3]
+}
+
+//go:noescape
+func dot4avx2(w, x0, x1, x2, x3 *float32, n int, out *[4]float32)
+
+func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv() (eax, edx uint32)

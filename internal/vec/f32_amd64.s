@@ -1,0 +1,126 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dot4avx2(w, x0, x1, x2, x3 *float32, n int, out *[4]float32)
+//
+// Four simultaneous float32 dot products of one weight stream w against
+// four feature streams x0..x3, n a positive multiple of 8. The main loop
+// consumes 16 floats per stream per iteration with eight independent FMA
+// accumulator chains (two per stream) to cover the FMA latency; a single
+// 8-wide step absorbs an odd trailing block. Horizontal reduction order
+// therefore differs from the scalar fallback by ulps — callers treat the
+// two paths as equal only within the arena equivalence tolerance.
+TEXT ·dot4avx2(SB), NOSPLIT, $0-56
+	MOVQ w+0(FP), DI
+	MOVQ x0+8(FP), SI
+	MOVQ x1+16(FP), DX
+	MOVQ x2+24(FP), CX
+	MOVQ x3+32(FP), R8
+	MOVQ n+40(FP), R9
+
+	VXORPS Y0, Y0, Y0 // acc x0, even block
+	VXORPS Y1, Y1, Y1 // acc x1, even block
+	VXORPS Y2, Y2, Y2 // acc x2, even block
+	VXORPS Y3, Y3, Y3 // acc x3, even block
+	VXORPS Y4, Y4, Y4 // acc x0, odd block
+	VXORPS Y5, Y5, Y5 // acc x1, odd block
+	VXORPS Y6, Y6, Y6 // acc x2, odd block
+	VXORPS Y7, Y7, Y7 // acc x3, odd block
+
+	XORQ R11, R11 // i = 0
+	MOVQ R9, R12
+	ANDQ $-16, R12 // n16 = n &^ 15
+
+loop16:
+	CMPQ R11, R12
+	JGE  tail8
+	VMOVUPS (DI)(R11*4), Y8    // w[i : i+8]
+	VMOVUPS 32(DI)(R11*4), Y9  // w[i+8 : i+16]
+	VMOVUPS (SI)(R11*4), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VMOVUPS 32(SI)(R11*4), Y11
+	VFMADD231PS Y9, Y11, Y4
+	VMOVUPS (DX)(R11*4), Y12
+	VFMADD231PS Y8, Y12, Y1
+	VMOVUPS 32(DX)(R11*4), Y13
+	VFMADD231PS Y9, Y13, Y5
+	VMOVUPS (CX)(R11*4), Y14
+	VFMADD231PS Y8, Y14, Y2
+	VMOVUPS 32(CX)(R11*4), Y15
+	VFMADD231PS Y9, Y15, Y6
+	VMOVUPS (R8)(R11*4), Y10
+	VFMADD231PS Y8, Y10, Y3
+	VMOVUPS 32(R8)(R11*4), Y11
+	VFMADD231PS Y9, Y11, Y7
+	ADDQ $16, R11
+	JMP  loop16
+
+tail8:
+	CMPQ R11, R9
+	JGE  reduce
+	VMOVUPS (DI)(R11*4), Y8
+	VMOVUPS (SI)(R11*4), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VMOVUPS (DX)(R11*4), Y11
+	VFMADD231PS Y8, Y11, Y1
+	VMOVUPS (CX)(R11*4), Y12
+	VFMADD231PS Y8, Y12, Y2
+	VMOVUPS (R8)(R11*4), Y13
+	VFMADD231PS Y8, Y13, Y3
+	ADDQ $8, R11
+	JMP  tail8
+
+reduce:
+	VADDPS Y4, Y0, Y0
+	VADDPS Y5, Y1, Y1
+	VADDPS Y6, Y2, Y2
+	VADDPS Y7, Y3, Y3
+
+	MOVQ out+48(FP), R10
+
+	VEXTRACTF128 $1, Y0, X8
+	VADDPS  X8, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VMOVSS  X0, (R10)
+
+	VEXTRACTF128 $1, Y1, X8
+	VADDPS  X8, X1, X1
+	VHADDPS X1, X1, X1
+	VHADDPS X1, X1, X1
+	VMOVSS  X1, 4(R10)
+
+	VEXTRACTF128 $1, Y2, X8
+	VADDPS  X8, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VMOVSS  X2, 8(R10)
+
+	VEXTRACTF128 $1, Y3, X8
+	VADDPS  X8, X3, X3
+	VHADDPS X3, X3, X3
+	VHADDPS X3, X3, X3
+	VMOVSS  X3, 12(R10)
+
+	VZEROUPPER
+	RET
+
+// func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

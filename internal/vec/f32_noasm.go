@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package vec
+
+// Non-amd64 builds always run the pure-Go float32 kernels.
+var f32UseASM = false
+
+// dot4Accel is never called when f32UseASM is false; this stub keeps the
+// portable build compiling.
+func dot4Accel(w, x0, x1, x2, x3 []float32, m int) (s0, s1, s2, s3 float32) {
+	return 0, 0, 0, 0
+}

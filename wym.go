@@ -46,6 +46,15 @@ import (
 	"wym/internal/units"
 )
 
+// Model format identifiers reported by System.Format: "gob" for the
+// training/interchange format, "arena-f32"/"arena-int8" for the mmap-able
+// serving format. LoadSystem auto-detects the format from the file.
+const (
+	FormatGob       = core.FormatGob
+	FormatArenaF32  = core.FormatArenaF32
+	FormatArenaInt8 = core.FormatArenaInt8
+)
+
 // Core types, re-exported from the implementation packages. The aliases
 // keep a single source of truth while giving downstream users a flat API.
 type (
@@ -59,6 +68,9 @@ type (
 	UnitExplanation = pipeline.UnitExplanation
 	// Timing is the training-pipeline breakdown.
 	Timing = core.Timing
+	// ArenaOptions configures System.SaveArenaFile, the compiler from a
+	// fitted system to the flat zero-copy .wyma serving format.
+	ArenaOptions = core.ArenaOptions
 
 	// Engine is the pluggable pipeline engine every instantiation of the
 	// paper's architecture template (WYM itself, the simulated baselines)
