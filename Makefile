@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race serve-race train-race model-race fuzz-smoke bench bench-json bench-guard cover
+.PHONY: check build vet fmt-check test race serve-race train-race model-race router-race fuzz-smoke bench bench-json bench-guard cover
 
 ## check: the pre-merge gate — formatting, vet (must be clean for every
 ## package, internal/serve included), build, the serving-layer race gate,
-## the fault-tolerant-training race gate, the model-format race gate, a
-## fuzz smoke pass over CSV ingest and arena parsing, full race-enabled
-## tests, short benchmarks, and the coverage ratchet.
-check: fmt-check vet build serve-race train-race model-race fuzz-smoke race bench cover
+## the fault-tolerant-training race gate, the model-format race gate, the
+## fleet-routing chaos gate, a fuzz smoke pass over CSV ingest and arena
+## parsing, full race-enabled tests, short benchmarks, and the coverage
+## ratchet.
+check: fmt-check vet build serve-race train-race model-race router-race fuzz-smoke race bench cover
 
 build:
 	$(GO) build ./...
@@ -50,6 +51,16 @@ model-race:
 	$(GO) test -race -timeout 15m \
 		-run 'TestArenaHotReloadUnderLoad|TestModelRefSwapDuringPredictAll|TestFastNNConcurrentScore|TestArenaPredictionEquivalence|TestLoadFileCorruptArenas' \
 		./cmd/wym-server ./internal/relevance ./internal/core
+
+## router-race: the fleet-routing chaos suites under the race detector —
+## the ring/breaker/backoff/pool unit tests, the stub-fleet chaos harness
+## (replica kill mid-load, slow-replica timeout, panic recovery, rolling
+## reload — zero client-visible 5xx throughout), and the real-3-replica
+## fleet e2e in cmd/wym-server.
+router-race:
+	$(GO) test -race -timeout 10m \
+		./internal/cluster/... ./cmd/wym-router/...
+	$(GO) test -race -timeout 10m -run 'TestFleet' ./cmd/wym-server
 
 ## fuzz-smoke: a short native-fuzz pass over the untrusted-input
 ## surfaces — both CSV ingest readers and the arena (.wyma) parser must

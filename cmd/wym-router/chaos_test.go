@@ -1,0 +1,423 @@
+package main
+
+// Chaos harness: three in-process replicas behind a real
+// cluster.Router, with faults injected mid-load — hard kills, stalls,
+// panics, rolling readiness flips. The invariant under every fault:
+// clients never see a 5xx from a batch, and single predicts fail over
+// while any replica lives. Run under the race detector (make
+// router-race); the load generators are deliberately concurrent.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wym/internal/cluster"
+	"wym/internal/obs"
+)
+
+// chaosReplica is a minimal protocol-faithful wym-server stand-in with
+// fault switches the chaos tests flip mid-load.
+type chaosReplica struct {
+	srv    *httptest.Server
+	ready  atomic.Bool
+	stall  atomic.Int64 // nanoseconds to sleep before answering
+	panics atomic.Bool
+	served atomic.Int64 // pairs answered (single=1, batch=len)
+}
+
+func newChaosReplica() *chaosReplica {
+	c := &chaosReplica{}
+	c.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !c.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ready","models":[{"name":"default","format":"gob"}]}`)
+	})
+	gate := func(r *http.Request) bool {
+		if d := c.stall.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				return false
+			}
+		}
+		if c.panics.Load() {
+			panic("chaos: injected panic")
+		}
+		return true
+	}
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		if !gate(r) {
+			return
+		}
+		c.served.Add(1)
+		fmt.Fprintln(w, `{"match":true,"probability":0.9}`)
+	})
+	mux.HandleFunc("POST /predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !gate(r) {
+			return
+		}
+		var req struct {
+			Pairs []json.RawMessage `json:"pairs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		c.served.Add(int64(len(req.Pairs)))
+		results := make([]json.RawMessage, len(req.Pairs))
+		for i := range results {
+			results[i] = json.RawMessage(`{"match":true,"probability":0.9}`)
+		}
+		json.NewEncoder(w).Encode(struct {
+			Results []json.RawMessage `json:"results"`
+			Errors  int               `json:"errors"`
+		}{results, 0})
+	})
+	// Recover injected panics into 500s, like the real server's
+	// middleware, so the fault reaches the router as a status code.
+	c.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if recover() != nil {
+				w.WriteHeader(http.StatusInternalServerError)
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	}))
+	return c
+}
+
+// fleet is the harness: replicas, pool, router, and its HTTP front.
+type fleet struct {
+	replicas []*chaosReplica
+	pool     *cluster.Pool
+	front    *httptest.Server
+	reg      *obs.Registry
+	cancel   func()
+}
+
+func newFleet(t *testing.T, n int) *fleet {
+	t.Helper()
+	f := &fleet{reg: obs.NewRegistry()}
+	eps := make([]string, n)
+	for i := 0; i < n; i++ {
+		rep := newChaosReplica()
+		f.replicas = append(f.replicas, rep)
+		eps[i] = rep.srv.URL
+	}
+	metrics := cluster.NewMetrics(f.reg)
+	f.pool = cluster.NewPool(eps, cluster.PoolConfig{
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		EjectAfter:    2,
+		Breaker:       cluster.BreakerConfig{Threshold: 2, OpenFor: 50 * time.Millisecond},
+		Metrics:       metrics,
+	})
+	router := cluster.NewRouter(f.pool, cluster.RouterConfig{
+		TryTimeout: 500 * time.Millisecond,
+		Retries:    2,
+		Backoff:    cluster.NewBackoff(time.Millisecond, 10*time.Millisecond, 1),
+		Metrics:    metrics,
+		Logger:     log.New(io.Discard, "", 0),
+	})
+	f.front = httptest.NewServer(router.Handler())
+	ctx := t.Context()
+	f.pool.Start(ctx)
+	t.Cleanup(f.Close)
+	return f
+}
+
+func (f *fleet) Close() {
+	f.front.Close()
+	for _, r := range f.replicas {
+		r.srv.Close()
+	}
+}
+
+// waitSweeps blocks until at least n more full probe sweeps complete.
+func (f *fleet) waitSweeps(t *testing.T, n int64) {
+	t.Helper()
+	target := f.pool.ProbeSweeps() + n
+	deadline := time.After(10 * time.Second)
+	for f.pool.ProbeSweeps() < target {
+		select {
+		case <-deadline:
+			t.Fatal("probe loop stalled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// batchBody builds a batch whose pairs vary, so shards spread across
+// the ring.
+func batchBody(t *testing.T, tag string, n int) []byte {
+	t.Helper()
+	pairs := make([]json.RawMessage, n)
+	for i := range pairs {
+		pairs[i] = json.RawMessage(fmt.Sprintf(`{"left":["%s-%d"],"right":["x"]}`, tag, i))
+	}
+	buf, err := json.Marshal(map[string]any{"pairs": pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+type batchReply struct {
+	Results []json.RawMessage `json:"results"`
+	Errors  int               `json:"errors"`
+}
+
+// TestChaosReplicaKillMidLoad is the headline invariant: hard-killing
+// one of three replicas in the middle of sustained batch load produces
+// zero 5xx responses — every batch keeps answering 200 with failover
+// absorbing the dead shard — and the ring drops the corpse within a
+// probe interval.
+func TestChaosReplicaKillMidLoad(t *testing.T) {
+	f := newFleet(t, 3)
+
+	const (
+		workers    = 8
+		perWorker  = 30
+		batchSize  = 8
+		killAtIter = 5 // worker 0 kills replica 2 after this many batches
+	)
+	var (
+		non200     atomic.Int64
+		itemErrors atomic.Int64
+		badBatches atomic.Int64
+		killOnce   sync.Once
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if w == 0 && i == killAtIter {
+					killOnce.Do(func() {
+						f.replicas[2].srv.CloseClientConnections()
+						f.replicas[2].srv.Close()
+					})
+				}
+				body := batchBody(t, fmt.Sprintf("w%d-i%d", w, i), batchSize)
+				resp, err := http.Post(f.front.URL+"/predict/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					non200.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					non200.Add(1)
+					continue
+				}
+				var reply batchReply
+				if json.Unmarshal(raw, &reply) != nil || len(reply.Results) != batchSize {
+					badBatches.Add(1)
+					continue
+				}
+				itemErrors.Add(int64(reply.Errors))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := non200.Load(); n != 0 {
+		t.Errorf("%d batch requests got a non-200 during the kill, want 0", n)
+	}
+	if n := badBatches.Load(); n != 0 {
+		t.Errorf("%d malformed batch replies", n)
+	}
+	// Two live replicas remain, so failover should absorb everything:
+	// the acceptance bar is per-item errors at worst, never 5xx.
+	if n := itemErrors.Load(); n != 0 {
+		t.Logf("note: %d items degraded to per-item errors during failover", n)
+	}
+
+	// The prober notices the corpse within EjectAfter sweeps.
+	f.waitSweeps(t, 3)
+	if f.pool.Ring().Len() != 2 {
+		t.Fatalf("ring has %d members after the kill, want 2", f.pool.Ring().Len())
+	}
+	if f.pool.Ring().Has(f.replicas[2].srv.URL) {
+		t.Fatal("killed replica still admitted to the ring")
+	}
+	// Survivors carried the load.
+	if f.replicas[0].served.Load()+f.replicas[1].served.Load() == 0 {
+		t.Fatal("surviving replicas served nothing")
+	}
+}
+
+// TestChaosSlowReplicaTimesOutAndFailsOver: a stalled replica must not
+// stall the client — the per-try deadline fires and the walk moves on.
+func TestChaosSlowReplicaTimesOutAndFailsOver(t *testing.T) {
+	f := newFleet(t, 3)
+	f.replicas[1].stall.Store(int64(10 * time.Second)) // way past TryTimeout
+
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"left":["slow-%d"],"right":["x"]}`, i)
+		start := time.Now()
+		resp, err := http.Post(f.front.URL+"/predict", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d status = %d, want 200 via failover", i, resp.StatusCode)
+		}
+		if took := time.Since(start); took > 5*time.Second {
+			t.Fatalf("predict %d took %v — the slow replica stalled the client", i, took)
+		}
+	}
+	// The stalled replica's breaker took the timeouts as failures and
+	// opened, if any requests hashed to it first.
+	st := f.pool.Replica(f.replicas[1].srv.URL).Breaker().State()
+	t.Logf("slow replica breaker: %v", st)
+}
+
+// TestChaosPanicRecovery: a replica that panics per-request answers 500
+// (its recovery middleware), and the router fails the request over to a
+// healthy peer instead of relaying the 500.
+func TestChaosPanicRecovery(t *testing.T) {
+	f := newFleet(t, 3)
+	f.replicas[0].panics.Store(true)
+
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"left":["boom-%d"],"right":["x"]}`, i)
+		resp, err := http.Post(f.front.URL+"/predict", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d status = %d, want 200 via failover past the panicking replica", i, resp.StatusCode)
+		}
+	}
+	if f.replicas[0].served.Load() != 0 {
+		t.Fatal("panicking replica claims to have served requests")
+	}
+}
+
+// TestChaosRollingReload walks a readiness flip across the fleet — each
+// replica drains (readyz 503), gets ejected, recovers, and is
+// re-admitted with a fresh breaker — while a client keeps predicting.
+// No request may fail: a rolling reload is invisible at the front door.
+func TestChaosRollingReload(t *testing.T) {
+	f := newFleet(t, 3)
+
+	stop := make(chan struct{})
+	var loadErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := fmt.Sprintf(`{"left":["roll-%d"],"right":["x"]}`, i)
+			resp, err := http.Post(f.front.URL+"/predict", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				loadErr.Store(fmt.Sprintf("predict %d: %v", i, err))
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				loadErr.Store(fmt.Sprintf("predict %d status = %d", i, resp.StatusCode))
+				return
+			}
+		}
+	}()
+
+	for idx, rep := range f.replicas {
+		rep.ready.Store(false)
+		f.waitSweeps(t, 3) // ejected within EjectAfter=2 sweeps
+		if f.pool.Ring().Has(rep.srv.URL) {
+			t.Fatalf("replica %d still admitted while draining", idx)
+		}
+		rep.ready.Store(true)
+		f.waitSweeps(t, 2) // one good probe re-admits
+		if !f.pool.Ring().Has(rep.srv.URL) {
+			t.Fatalf("replica %d not re-admitted after recovery", idx)
+		}
+		if st := f.pool.Replica(rep.srv.URL).Breaker().State(); st != cluster.Closed {
+			t.Fatalf("replica %d breaker %v after re-admission, want Closed", idx, st)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if msg := loadErr.Load(); msg != nil {
+		t.Fatalf("load failed during rolling reload: %s", msg)
+	}
+	if f.pool.Ring().Len() != 3 {
+		t.Fatalf("ring has %d members after the roll, want 3", f.pool.Ring().Len())
+	}
+}
+
+// TestChaosRouterReadyzTracksFleet: the router's own readiness surface
+// reflects ejections, and goes 503 only when the whole fleet is gone.
+func TestChaosRouterReadyzTracksFleet(t *testing.T) {
+	f := newFleet(t, 2)
+
+	readyz := func() (int, map[string]bool) {
+		resp, err := http.Get(f.front.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Replicas []struct {
+				Endpoint string `json:"endpoint"`
+				Admitted bool   `json:"admitted"`
+			} `json:"replicas"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		admitted := map[string]bool{}
+		for _, r := range body.Replicas {
+			admitted[r.Endpoint] = r.Admitted
+		}
+		return resp.StatusCode, admitted
+	}
+
+	if code, admitted := readyz(); code != http.StatusOK || !admitted[f.replicas[0].srv.URL] {
+		t.Fatalf("healthy fleet readyz = %d %v", code, admitted)
+	}
+	f.replicas[0].ready.Store(false)
+	f.waitSweeps(t, 3)
+	if code, admitted := readyz(); code != http.StatusOK || admitted[f.replicas[0].srv.URL] {
+		t.Fatalf("one-down fleet readyz = %d %v, want 200 with the drained replica unadmitted", code, admitted)
+	}
+	f.replicas[1].ready.Store(false)
+	f.waitSweeps(t, 3)
+	if code, _ := readyz(); code != http.StatusServiceUnavailable {
+		t.Fatalf("empty-fleet readyz = %d, want 503", code)
+	}
+}
+
+func TestSplitEndpoints(t *testing.T) {
+	got := splitEndpoints(" http://a:1 ,, http://b:2,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("splitEndpoints = %v", got)
+	}
+	if got := splitEndpoints(""); got != nil {
+		t.Fatalf("splitEndpoints(\"\") = %v, want nil", got)
+	}
+}

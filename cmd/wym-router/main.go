@@ -1,0 +1,184 @@
+// Command wym-router fronts a fleet of wym-server replicas with a
+// consistent-hash routing layer: requests for the same pair always land
+// on the same replica while it is healthy, failures fail over along the
+// ring, and a dead replica degrades batches per-item instead of turning
+// them into whole-request errors.
+//
+// Usage:
+//
+//	wym-router -replicas http://10.0.0.1:8080,http://10.0.0.2:8080 -addr :8090
+//
+// Endpoints (mirrors wym-server, so clients cannot tell them apart):
+//
+//	POST /predict, /explain, /predict/batch
+//	POST /models/{name}/predict[,/batch], /models/{name}/explain
+//	GET  /schema    -> forwarded to any healthy replica
+//	GET  /healthz   -> 200 ok (router liveness)
+//	GET  /readyz    -> per-replica fleet detail; 503 when the ring is empty
+//
+// Resilience model:
+//
+//   - Active health probing: every replica's /readyz is polled; after
+//     -eject-after consecutive failures the replica leaves the ring, and
+//     one successful probe re-admits it with a fresh breaker.
+//   - Per-replica circuit breakers (closed/open/half-open) trip on
+//     transport errors and 5xx, so an in-request failure stops traffic
+//     before the prober notices.
+//   - Retries with exponential backoff and full jitter on idempotent
+//     predict/explain calls; deadlines propagate from the inbound
+//     request, so a client cancel is never retried.
+//   - 429 sheds honor the replica's Retry-After instead of tripping the
+//     breaker: saturated is not broken.
+//   - /predict/batch scatter-gathers by shard; items on a downed shard
+//     come back as per-item errors, never a whole-batch 5xx.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wym/internal/cluster"
+	"wym/internal/obs"
+	"wym/internal/serve"
+)
+
+func main() {
+	var (
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs (required)")
+		addr     = flag.String("addr", ":8090", "listen address")
+
+		vnodes        = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "replica /readyz probe cadence")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe budget")
+		ejectAfter    = flag.Int("eject-after", 2, "consecutive failed probes before a replica leaves the ring")
+
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive request failures that open a replica's breaker")
+		breakerOpen      = flag.Duration("breaker-open", 5*time.Second, "how long an open breaker waits before a half-open probe")
+
+		tryTimeout  = flag.Duration("try-timeout", 10*time.Second, "per-attempt forward budget")
+		retries     = flag.Int("retries", 2, "failover rounds after the first (0 disables retries)")
+		backoffBase = flag.Duration("backoff-base", 25*time.Millisecond, "base retry delay (doubles per round, full jitter)")
+		backoffMax  = flag.Duration("backoff-max", time.Second, "retry delay cap")
+
+		maxBody  = flag.Int64("max-body", 1<<20, "inbound request body cap in bytes (413 past it)")
+		maxBatch = flag.Int("max-batch", 1024, "maximum pairs per /predict/batch request")
+
+		readTimeout   = flag.Duration("read-timeout", 15*time.Second, "full-request read deadline")
+		writeTimeout  = flag.Duration("write-timeout", 60*time.Second, "response write deadline")
+		idleTimeout   = flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle deadline")
+		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "drain budget on SIGINT/SIGTERM")
+
+		adminAddr = flag.String("admin-addr", "", "admin listen address for GET /metrics (and pprof); empty disables")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof on the admin address")
+	)
+	flag.Parse()
+	endpoints := splitEndpoints(*replicas)
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "wym-router: -replicas is required")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "wym-router: ", log.LstdFlags)
+	reg := obs.NewRegistry()
+	metrics := cluster.NewMetrics(reg)
+
+	// Negative -retries means "no retries"; the config's 0-means-default
+	// convention would resurrect them.
+	effRetries := *retries
+	if effRetries == 0 {
+		effRetries = -1
+	}
+
+	pool := cluster.NewPool(endpoints, cluster.PoolConfig{
+		VirtualNodes:  *vnodes,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		EjectAfter:    *ejectAfter,
+		Breaker: cluster.BreakerConfig{
+			Threshold: *breakerThreshold,
+			OpenFor:   *breakerOpen,
+		},
+		Logger:  logger,
+		Metrics: metrics,
+	})
+	router := cluster.NewRouter(pool, cluster.RouterConfig{
+		TryTimeout: *tryTimeout,
+		Retries:    effRetries,
+		Backoff:    cluster.NewBackoff(*backoffBase, *backoffMax, 0),
+		MaxBody:    *maxBody,
+		MaxBatch:   *maxBatch,
+		Logger:     logger,
+		Metrics:    metrics,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Verify the fleet before taking traffic, then keep probing.
+	pool.ProbeAll(ctx)
+	pool.Start(ctx)
+	logger.Printf("fronting %d replicas (%d admitted) on %s",
+		len(pool.Replicas()), pool.Ring().Len(), *addr)
+
+	if *adminAddr != "" {
+		adminSrv := serve.New(serve.Config{
+			Addr:          *adminAddr,
+			ShutdownGrace: *shutdownGrace,
+			ErrorLog:      logger,
+		}, adminHandler(reg, logger, *pprofOn))
+		go func() {
+			if err := adminSrv.Run(ctx); err != nil {
+				logger.Printf("admin server: %v", err)
+			}
+		}()
+		logger.Printf("admin surface (GET /metrics, pprof=%v) on %s", *pprofOn, *adminAddr)
+	}
+
+	srv := serve.New(serve.Config{
+		Addr:          *addr,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		IdleTimeout:   *idleTimeout,
+		ShutdownGrace: *shutdownGrace,
+		ErrorLog:      logger,
+	}, serve.Recover(logger, router.Handler()))
+	if err := srv.Run(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly, bye")
+}
+
+// splitEndpoints parses the -replicas flag: comma-separated, blanks
+// dropped (the pool normalizes and dedupes further).
+func splitEndpoints(flagVal string) []string {
+	var out []string
+	for _, ep := range strings.Split(flagVal, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+func adminHandler(reg *obs.Registry, logger *log.Logger, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return serve.Recover(logger, mux)
+}

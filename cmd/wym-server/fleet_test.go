@@ -1,0 +1,269 @@
+package main
+
+// Real-fleet chaos e2e: three actual wym-server apps (sharing the
+// trained system) behind a real cluster.Router. Unlike the stub-based
+// suite in cmd/wym-router, every forwarded request exercises the full
+// predict path — decode, engine, explain-capable model — so protocol
+// drift between router and server shows up here. Run under the race
+// detector via make router-race.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wym/internal/cluster"
+	"wym/internal/obs"
+)
+
+// fleetReplica is one real app behind its own listener, with a
+// flippable drain switch standing in for SIGTERM draining.
+type fleetReplica struct {
+	app      *app
+	srv      *httptest.Server
+	draining atomic.Bool
+}
+
+// testFleet stands up n real replicas behind a router with fast probe
+// and failover settings.
+func testFleet(t *testing.T, n int) ([]*fleetReplica, *cluster.Pool, *httptest.Server) {
+	t.Helper()
+	replicas := make([]*fleetReplica, n)
+	eps := make([]string, n)
+	for i := range replicas {
+		rep := &fleetReplica{app: testApp(t, quietOptions())}
+		rep.app.drainFn = rep.draining.Load
+		rep.srv = httptest.NewServer(rep.app.handler())
+		t.Cleanup(rep.srv.Close)
+		replicas[i] = rep
+		eps[i] = rep.srv.URL
+	}
+	metrics := cluster.NewMetrics(obs.NewRegistry())
+	pool := cluster.NewPool(eps, cluster.PoolConfig{
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		EjectAfter:    2,
+		Breaker:       cluster.BreakerConfig{Threshold: 2, OpenFor: 50 * time.Millisecond},
+		Metrics:       metrics,
+	})
+	router := cluster.NewRouter(pool, cluster.RouterConfig{
+		TryTimeout: 2 * time.Second,
+		Retries:    2,
+		Backoff:    cluster.NewBackoff(time.Millisecond, 10*time.Millisecond, 1),
+		Metrics:    metrics,
+		Logger:     log.New(io.Discard, "", 0),
+	})
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(front.Close)
+	pool.Start(t.Context())
+	return replicas, pool, front
+}
+
+func waitFleetSweeps(t *testing.T, pool *cluster.Pool, n int64) {
+	t.Helper()
+	target := pool.ProbeSweeps() + n
+	deadline := time.After(10 * time.Second)
+	for pool.ProbeSweeps() < target {
+		select {
+		case <-deadline:
+			t.Fatal("probe loop stalled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestFleetKillReplicaMidBatchLoad drives real batch predictions
+// through the router while one replica is hard-killed: zero 5xx, every
+// batch fully answered with real predictions, the corpse off the ring
+// within a probe interval.
+func TestFleetKillReplicaMidBatchLoad(t *testing.T) {
+	replicas, pool, front := testFleet(t, 3)
+	trained(t) // ensure trainedEx is populated
+
+	// Vary the pairs so shards spread: real schema values, mutated left
+	// names per request.
+	makeBatch := func(tag string, size int) []byte {
+		pairs := make([]pairRequest, size)
+		for i := range pairs {
+			left := append([]string(nil), trainedEx.Left...)
+			left[0] = fmt.Sprintf("%s %s-%d", left[0], tag, i)
+			pairs[i] = pairRequest{Left: left, Right: trainedEx.Right}
+		}
+		buf, err := json.Marshal(map[string]any{"pairs": pairs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+
+	const (
+		workers   = 6
+		perWorker = 12
+		batchSize = 6
+	)
+	var (
+		non200     atomic.Int64
+		badReplies atomic.Int64
+		itemErrors atomic.Int64
+		killOnce   sync.Once
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if w == 0 && i == 3 {
+					killOnce.Do(func() {
+						replicas[2].srv.CloseClientConnections()
+						replicas[2].srv.Close()
+					})
+				}
+				body := makeBatch(fmt.Sprintf("w%d-i%d", w, i), batchSize)
+				resp, err := http.Post(front.URL+"/predict/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					non200.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					non200.Add(1)
+					continue
+				}
+				var reply struct {
+					Results []struct {
+						Match       *bool   `json:"match"`
+						Probability float64 `json:"probability"`
+						Error       string  `json:"error"`
+					} `json:"results"`
+					Errors int `json:"errors"`
+				}
+				if json.Unmarshal(raw, &reply) != nil || len(reply.Results) != batchSize {
+					badReplies.Add(1)
+					continue
+				}
+				itemErrors.Add(int64(reply.Errors))
+				for _, res := range reply.Results {
+					if res.Error == "" && res.Match == nil {
+						badReplies.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := non200.Load(); n != 0 {
+		t.Errorf("%d batches hit a non-200 during the kill, want 0 (per-item degradation only)", n)
+	}
+	if n := badReplies.Load(); n != 0 {
+		t.Errorf("%d malformed batch replies from real replicas", n)
+	}
+	if n := itemErrors.Load(); n != 0 {
+		t.Logf("note: %d items degraded to per-item errors while failing over", n)
+	}
+	waitFleetSweeps(t, pool, 3)
+	if pool.Ring().Has(replicas[2].srv.URL) {
+		t.Fatal("killed replica still admitted to the ring")
+	}
+}
+
+// TestFleetDrainEjectsAndReadmits flips a real replica's readiness (as
+// SIGTERM draining does), proving the router stops sending to it and
+// welcomes it back — breaker reset included — once it reports ready.
+func TestFleetDrainEjectsAndReadmits(t *testing.T) {
+	replicas, pool, front := testFleet(t, 3)
+	target := replicas[1]
+
+	target.draining.Store(true)
+	waitFleetSweeps(t, pool, 3)
+	if pool.Ring().Has(target.srv.URL) {
+		t.Fatal("draining replica still admitted")
+	}
+
+	// Traffic keeps flowing on the remaining two.
+	body := goodBody(t)
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(front.URL+"/predict", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict during drain status = %d", resp.StatusCode)
+		}
+	}
+
+	target.draining.Store(false)
+	waitFleetSweeps(t, pool, 2)
+	if !pool.Ring().Has(target.srv.URL) {
+		t.Fatal("recovered replica not re-admitted")
+	}
+	if st := pool.Replica(target.srv.URL).Breaker().State(); st != cluster.Closed {
+		t.Fatalf("re-admitted replica breaker = %v, want Closed", st)
+	}
+}
+
+// TestFleetRouterSeesReplicaModels: the router's probe reads the real
+// server's /readyz model list, format and fingerprint included — the
+// fleet view is built from real protocol, not stub JSON.
+func TestFleetRouterSeesReplicaModels(t *testing.T) {
+	replicas, pool, _ := testFleet(t, 2)
+	waitFleetSweeps(t, pool, 2)
+	for i, rep := range replicas {
+		models := pool.Replica(rep.srv.URL).Models()
+		if len(models) != 1 || models[0].Name != defaultModelName {
+			t.Fatalf("replica %d models = %+v, want the default entry", i, models)
+		}
+		if models[0].Format != trained(t).Format() {
+			t.Fatalf("replica %d model format = %q, want %q", i, models[0].Format, trained(t).Format())
+		}
+	}
+}
+
+// TestFleetScopedRoutesEndToEnd: a named model loaded on every replica
+// is reachable through the router's model-scoped routes.
+func TestFleetScopedRoutesEndToEnd(t *testing.T) {
+	replicas, _, front := testFleet(t, 2)
+	path := savedModel(t)
+	for _, rep := range replicas {
+		if _, err := rep.app.models.Load("alt", path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := goodBody(t)
+	resp, err := http.Post(front.URL+"/models/alt/predict", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scoped predict through router = %d, body %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Match *bool `json:"match"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil || out.Match == nil {
+		t.Fatalf("scoped predict body %s (err %v)", raw, err)
+	}
+	// A model resident nowhere 404s — and the router relays the
+	// replica's verdict instead of retrying a non-5xx.
+	resp, err = http.Post(front.URL+"/models/nope/predict", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown scoped model through router = %d, want 404 relayed", resp.StatusCode)
+	}
+}

@@ -14,17 +14,31 @@
 //	    -> {"results": [...], "errors": n}   (per-item error semantics)
 //	POST /explain        {"left": [...], "right": [...]}
 //	    -> prediction plus the decision units with relevance and impact
+//	POST /models/{name}/predict        -> predict against a named model
+//	POST /models/{name}/predict/batch  -> batch against a named model
+//	POST /models/{name}/explain        -> explain against a named model
+//	GET  /models         -> the resident model registry (names, formats, fingerprints)
 //	GET  /schema         -> the attribute names the model was trained with
 //	GET  /healthz        -> 200 ok (liveness)
-//	GET  /readyz         -> 200 while serving, 503 while draining (readiness)
-//	POST /admin/reload   {"path": "..."}? -> atomically swap in a new model
+//	GET  /readyz         -> 200 while serving (with the resident-model
+//	                        list), 503 while draining (readiness)
+//	POST /admin/reload   {"path": "..."}? -> atomically swap the default model
+//	POST   /admin/models/{name}/load {"path": "..."} -> load/replace a named model
+//	DELETE /admin/models/{name}                      -> unload a named model
 //
 // The left/right arrays hold one string per schema attribute, in the
 // order the model was trained with (reported by GET /schema).
 //
-// The process reloads its model on SIGHUP and drains gracefully on
-// SIGINT/SIGTERM; see the serve package for the resilience middleware
-// (panic recovery, per-request timeouts, body caps, load shedding).
+// Several models can be resident at once: the -model artifact is the
+// pinned "default" (served by the bare routes), -models preloads more,
+// and the registry evicts least-recently-used extras past the
+// -max-model-bytes budget. Every model keeps the same hot-reload,
+// metrics, and drain semantics the single-model server had.
+//
+// The process reloads its default model on SIGHUP and drains
+// gracefully on SIGINT/SIGTERM; see the serve package for the
+// resilience middleware (panic recovery, per-request timeouts, body
+// caps, load shedding).
 package main
 
 import (
@@ -68,6 +82,9 @@ func main() {
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 		maxBatch    = flag.Int("max-batch", 256, "maximum pairs per /predict/batch request")
 
+		preload       = flag.String("models", "", "extra named models to preload, as name=path[,name=path...]")
+		maxModelBytes = flag.Int64("max-model-bytes", 0, "registry bytes budget; LRU-evicts non-default models past it (0 = unlimited)")
+
 		adminAddr = flag.String("admin-addr", "", "admin listen address for GET /metrics (and pprof); empty disables")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof on the admin address")
 	)
@@ -86,15 +103,33 @@ func main() {
 
 	logger := log.New(os.Stderr, "wym-server: ", log.LstdFlags)
 	a := newApp(sys, *modelPath, options{
-		logger:      logger,
-		maxInFlight: *maxInFlight,
-		retryAfter:  *retryAfter,
-		reqTimeout:  *reqTimeout,
-		maxBody:     *maxBody,
-		maxBatch:    *maxBatch,
+		logger:        logger,
+		maxInFlight:   *maxInFlight,
+		retryAfter:    *retryAfter,
+		reqTimeout:    *reqTimeout,
+		maxBody:       *maxBody,
+		maxBatch:      *maxBatch,
+		maxModelBytes: *maxModelBytes,
 	})
 	a.observeModelLoad(sys.Format(), loadTook)
 	logger.Printf("loaded %s (%s) in %v", *modelPath, sys.Format(), loadTook.Round(time.Millisecond))
+	if *preload != "" {
+		for _, spec := range strings.Split(*preload, ",") {
+			name, path, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok || name == "" || path == "" {
+				fmt.Fprintf(os.Stderr, "wym-server: -models entry %q is not name=path\n", spec)
+				os.Exit(2)
+			}
+			start := time.Now()
+			entry, err := a.models.Load(name, path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wym-server: preloading model %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			a.observeModelLoad(entry.status().Format, time.Since(start))
+			logger.Printf("preloaded model %s from %s (%s)", name, path, entry.status().Format)
+		}
+	}
 	srv := serve.New(serve.Config{
 		Addr:          *addr,
 		ReadTimeout:   *readTimeout,
@@ -135,22 +170,25 @@ func main() {
 // options tunes the request-handling stack; zero values are filled with
 // serving defaults by newApp.
 type options struct {
-	logger      *log.Logger
-	maxInFlight int
-	retryAfter  time.Duration
-	reqTimeout  time.Duration
-	maxBody     int64
-	maxBatch    int
-	registry    *obs.Registry   // metrics registry; newApp creates one when nil
-	faults      *serve.Injector // test-only fault injection, nil in production
+	logger        *log.Logger
+	maxInFlight   int
+	retryAfter    time.Duration
+	reqTimeout    time.Duration
+	maxBody       int64
+	maxBatch      int
+	maxModelBytes int64           // model-registry bytes budget (0 = unlimited)
+	registry      *obs.Registry   // metrics registry; newApp creates one when nil
+	faults        *serve.Injector // test-only fault injection, nil in production
 }
 
-// app is the serving state: a reload-safe model handle plus the
-// middleware configuration. All request handlers read the model through
-// ref.Get() exactly once, so a concurrent reload never splits one
-// request across two models.
+// app is the serving state: the model registry (with the pinned
+// default model's reload-safe handle) plus the middleware
+// configuration. All request handlers resolve a model snapshot exactly
+// once, so a concurrent reload never splits one request across two
+// models.
 type app struct {
-	ref            *wym.ModelRef
+	ref            *wym.ModelRef // the default registry entry's ref
+	models         *modelRegistry
 	logger         *log.Logger
 	limiter        *serve.Limiter
 	opts           options
@@ -196,10 +234,20 @@ func newApp(sys *wym.System, modelPath string, opts options) *app {
 	a.engineMetrics = pipeline.NewMetrics(a.reg)
 	a.limiter.CountSheds(a.reg.Counter("wym_server_shed_total",
 		"Requests shed with 429 by the in-flight limiter."))
-	// Instrument before publishing: handlers must never observe an
-	// uninstrumented engine.
+	// The registry validates and instruments every model before
+	// publishing it: handlers must never observe an uninstrumented
+	// engine, and a broken artifact must never displace a serving one.
+	a.models = newModelRegistry(opts.maxModelBytes, a.reg, func(sys *wym.System) error {
+		if err := validateSystem(sys); err != nil {
+			return err
+		}
+		sys.Engine().SetMetrics(a.engineMetrics)
+		return nil
+	})
+	// Instrument before publishing, as above (the startup artifact was
+	// already validated by loading successfully in main).
 	sys.Engine().SetMetrics(a.engineMetrics)
-	a.ref = wym.NewModelRef(sys)
+	a.ref = a.models.Install(defaultModelName, modelPath, sys).ref
 	a.setResidentFormat(sys.Format())
 	return a
 }
@@ -262,7 +310,24 @@ func (a *app) handler() http.Handler {
 	mux.Handle("POST /predict", hot("/predict", a.handlePredict))
 	mux.Handle("POST /predict/batch", hot("/predict/batch", a.handlePredictBatch))
 	mux.Handle("POST /explain", hot("/explain", a.handleExplain))
+	// Model-scoped routes: the metric label is the route pattern, not
+	// the expanded name, so series cardinality stays fixed however many
+	// models churn through the registry.
+	mux.Handle("POST /models/{name}/predict",
+		hot("/models/{name}/predict", a.modelScoped(a.predictWith)))
+	mux.Handle("POST /models/{name}/predict/batch",
+		hot("/models/{name}/predict/batch", a.modelScoped(a.predictBatchWith)))
+	mux.Handle("POST /models/{name}/explain",
+		hot("/models/{name}/explain", a.modelScoped(a.explainWith)))
+	mux.Handle("GET /models", a.httpMetrics.Route("/models",
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, a.models.List())
+		})))
 	mux.Handle("POST /admin/reload", admin("/admin/reload", a.handleReload))
+	mux.Handle("POST /admin/models/{name}/load",
+		admin("/admin/models/{name}/load", a.handleModelLoad))
+	mux.Handle("DELETE /admin/models/{name}",
+		admin("/admin/models/{name}", a.handleModelUnload))
 	return serve.AccessLog(a.logger, a.limiter.InFlight, serve.Recover(a.logger, mux))
 }
 
@@ -305,10 +370,12 @@ func (a *app) watchHUP(ctx context.Context) {
 	}()
 }
 
-// reload loads and validates a replacement model, publishing it only
-// after it passes. On any failure the previous model keeps serving —
-// rollback is the default, not an action. An empty path means "reload
-// the current artifact in place".
+// reload loads and validates a replacement default model, publishing
+// it only after it passes (the registry validates and re-attaches the
+// process-lifetime engine metrics before the swap, so counters
+// accumulate across model generations). On any failure the previous
+// model keeps serving — rollback is the default, not an action. An
+// empty path means "reload the current artifact in place".
 func (a *app) reload(path string) (string, error) {
 	a.reloadMu.Lock()
 	defer a.reloadMu.Unlock()
@@ -316,18 +383,11 @@ func (a *app) reload(path string) (string, error) {
 		path = a.modelPath
 	}
 	start := time.Now()
-	sys, err := wym.LoadSystem(path)
+	entry, err := a.models.Load(defaultModelName, path)
 	if err != nil {
 		return path, err
 	}
-	if err := validateSystem(sys); err != nil {
-		return path, fmt.Errorf("model %s failed validation: %w", path, err)
-	}
-	a.observeModelLoad(sys.Format(), time.Since(start))
-	// Re-attach the process-lifetime metrics bundle before publishing so
-	// counters and histograms accumulate across model generations.
-	sys.Engine().SetMetrics(a.engineMetrics)
-	a.ref.Set(sys)
+	a.observeModelLoad(entry.status().Format, time.Since(start))
 	a.modelPath = path
 	a.reloads.Add(1)
 	a.reloadsTotal.Inc()
@@ -438,6 +498,9 @@ type reloadResponse struct {
 	Reloads int64    `json:"reloads"`
 }
 
+// handleReadyz reports readiness plus what this replica is actually
+// serving: every resident model's name, format, and artifact
+// fingerprint — the router's health prober and operators key on it.
 func (a *app) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if a.drainFn() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
@@ -452,11 +515,31 @@ func (a *app) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"status":  "ready",
 		"model":   sys.ModelName(),
 		"reloads": a.Reloads(),
+		"models":  a.models.List(),
 	})
 }
 
+// modelScoped resolves the {name} route segment against the registry
+// and hands the request to the shared handler body; unknown names are
+// a 404, never a panic.
+func (a *app) modelScoped(h func(sys *wym.System, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		entry := a.models.Get(name)
+		if entry == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+			return
+		}
+		entry.touch(time.Now())
+		h(entry.System(), w, r)
+	}
+}
+
 func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
-	sys := a.ref.Get()
+	a.predictWith(a.ref.Get(), w, r)
+}
+
+func (a *app) predictWith(sys *wym.System, w http.ResponseWriter, r *http.Request) {
 	p, ok := decodePair(w, r, sys)
 	if !ok {
 		return
@@ -475,7 +558,10 @@ func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
 // process). The batch runs under the request context, so a client
 // disconnect or timeout stops the remaining items.
 func (a *app) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	sys := a.ref.Get()
+	a.predictBatchWith(a.ref.Get(), w, r)
+}
+
+func (a *app) predictBatchWith(sys *wym.System, w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		writeDecodeError(w, err)
@@ -520,7 +606,10 @@ func (a *app) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *app) handleExplain(w http.ResponseWriter, r *http.Request) {
-	sys := a.ref.Get()
+	a.explainWith(a.ref.Get(), w, r)
+}
+
+func (a *app) explainWith(sys *wym.System, w http.ResponseWriter, r *http.Request) {
 	p, ok := decodePair(w, r, sys)
 	if !ok {
 		return
@@ -575,6 +664,56 @@ func (a *app) handleReload(w http.ResponseWriter, r *http.Request) {
 		Schema:  sys.Schema(),
 		Reloads: a.Reloads(),
 	})
+}
+
+// handleModelLoad loads (or hot-replaces) a named model from an
+// artifact path. The same validate-then-swap rules as /admin/reload
+// apply: a bad artifact never displaces a serving model.
+func (a *app) handleModelLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req reloadRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, "path is required")
+		return
+	}
+	if err := validModelName(name); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	entry, err := a.models.Load(name, req.Path)
+	if err != nil {
+		a.logger.Printf("load of model %s from %s failed: %v", name, req.Path, err)
+		writeError(w, http.StatusInternalServerError, "load failed: "+err.Error())
+		return
+	}
+	st := entry.status()
+	a.observeModelLoad(st.Format, time.Since(start))
+	a.logger.Printf("model %s: now serving %s (%s, %s)", name, st.Path, st.Format, st.Fingerprint)
+	writeJSON(w, http.StatusOK, struct {
+		Status string      `json:"status"`
+		Model  modelStatus `json:"model"`
+		Schema []string    `json:"schema"`
+	}{Status: "ok", Model: st, Schema: entry.System().Schema()})
+}
+
+// handleModelUnload evicts a named model; the default is pinned.
+func (a *app) handleModelUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := a.models.Remove(name); err != nil {
+		status := http.StatusNotFound
+		if name == defaultModelName {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	a.logger.Printf("model %s unloaded", name)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unloaded", "name": name})
 }
 
 // errEmptyBody distinguishes a missing body from malformed JSON.

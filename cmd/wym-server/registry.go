@@ -1,0 +1,299 @@
+package main
+
+// Multi-model registry: several named models resident in one server
+// process, each behind its own reload-safe wym.ModelRef, addressed via
+// /models/{name}/predict[/batch|/explain]. The registry is LRU-bounded
+// by a bytes budget (artifact file size as the residency proxy): when
+// a load pushes the total past the budget, the least-recently-used
+// non-default models are evicted until it fits. The default model (the
+// -model flag) is pinned — it is what /predict serves and what the
+// fleet router's health view keys on — and is never evicted.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wym"
+	"wym/internal/obs"
+)
+
+// defaultModelName is the registry name of the -model artifact; the
+// bare /predict routes serve it.
+const defaultModelName = "default"
+
+// modelStatus is one registry row as /readyz and GET /models report
+// it: enough for the router and operators to see what a replica is
+// actually serving — name, on-disk format, and an artifact
+// fingerprint that changes whenever the bytes do.
+type modelStatus struct {
+	Name        string `json:"name"`
+	Format      string `json:"format"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Path        string `json:"path,omitempty"`
+	Bytes       int64  `json:"bytes,omitempty"`
+	Reloads     int64  `json:"reloads"`
+}
+
+// modelEntry is one resident model: a hot-reload-safe ref plus the
+// artifact metadata the status surfaces report.
+type modelEntry struct {
+	name string
+	ref  *wym.ModelRef
+
+	mu          sync.Mutex // guards the metadata below across reloads
+	path        string
+	format      string
+	fingerprint string
+	bytes       int64
+
+	lastUsed atomic.Int64 // unix nanos of the last predict through it
+	reloads  atomic.Int64
+}
+
+// System returns the entry's current model snapshot.
+func (e *modelEntry) System() *wym.System { return e.ref.Get() }
+
+func (e *modelEntry) touch(now time.Time) { e.lastUsed.Store(now.UnixNano()) }
+
+func (e *modelEntry) status() modelStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return modelStatus{
+		Name:        e.name,
+		Format:      e.format,
+		Fingerprint: e.fingerprint,
+		Path:        e.path,
+		Bytes:       e.bytes,
+		Reloads:     e.reloads.Load(),
+	}
+}
+
+// modelRegistry holds every resident model. All mutations take the
+// registry lock; the predict hot path only does a map read under
+// RLock plus the entry's atomic ref load.
+type modelRegistry struct {
+	mu       sync.RWMutex
+	entries  map[string]*modelEntry
+	maxBytes int64                   // 0 = unlimited
+	onLoad   func(*wym.System) error // validate+instrument before publish
+	now      func() time.Time
+
+	evictions      *obs.Counter
+	residentModels *obs.Gauge
+	residentBytes  *obs.Gauge
+}
+
+func newModelRegistry(maxBytes int64, reg *obs.Registry, onLoad func(*wym.System) error) *modelRegistry {
+	g := &modelRegistry{
+		entries:  make(map[string]*modelEntry),
+		maxBytes: maxBytes,
+		onLoad:   onLoad,
+		now:      time.Now,
+	}
+	// The metric types are nil-safe, so an unmetered registry (tests)
+	// just leaves them nil.
+	if reg != nil {
+		g.evictions = reg.Counter("wym_server_model_evictions_total",
+			"Models evicted by the registry's LRU bytes budget.")
+		g.residentModels = reg.Gauge("wym_server_models_resident",
+			"Models currently resident in the registry.")
+		g.residentBytes = reg.Gauge("wym_server_model_bytes_resident",
+			"Total artifact bytes resident in the registry.")
+	}
+	return g
+}
+
+// validModelName gates registry names: path-segment-safe, bounded, and
+// never empty, so /models/{name} routing and metrics stay sane.
+func validModelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("model name is empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("model name exceeds 128 bytes")
+	}
+	if strings.ContainsAny(name, "/\\ \t\n") {
+		return fmt.Errorf("model name %q contains a separator or space", name)
+	}
+	return nil
+}
+
+// fingerprintFile hashes the artifact bytes (FNV-64a, streamed) so two
+// artifacts compare by content, not path or mtime. Empty on error or
+// an empty path — the fingerprint is advisory, never load-blocking.
+func fingerprintFile(path string) string {
+	if path == "" {
+		return ""
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("fnv64:%016x", h.Sum64())
+}
+
+func fileBytes(path string) int64 {
+	if path == "" {
+		return 0
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// Install publishes an already-loaded system under name — the startup
+// path for the -model flag (the artifact was just loaded and
+// validated by main). It does not trigger eviction.
+func (g *modelRegistry) Install(name, path string, sys *wym.System) *modelEntry {
+	e := &modelEntry{
+		name:        name,
+		ref:         wym.NewModelRef(sys),
+		path:        path,
+		format:      sys.Format(),
+		fingerprint: fingerprintFile(path),
+		bytes:       fileBytes(path),
+	}
+	e.touch(g.now())
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries[name] = e
+	g.publishGaugesLocked()
+	return e
+}
+
+// Load loads, validates, and publishes the artifact at path under
+// name, reusing the existing entry's ref when the name is already
+// resident (hot reload: in-flight requests keep the old snapshot, new
+// requests see the new one). On any failure the registry is unchanged
+// — the previous model, if any, keeps serving.
+func (g *modelRegistry) Load(name, path string) (*modelEntry, error) {
+	if err := validModelName(name); err != nil {
+		return nil, err
+	}
+	if path == "" {
+		return nil, fmt.Errorf("model %s: load path is empty", name)
+	}
+	sys, err := wym.LoadSystem(path)
+	if err != nil {
+		return nil, err
+	}
+	if g.onLoad != nil {
+		if err := g.onLoad(sys); err != nil {
+			return nil, fmt.Errorf("model %s failed validation: %w", path, err)
+		}
+	}
+	fingerprint := fingerprintFile(path)
+	bytes := fileBytes(path)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e := g.entries[name]
+	if e == nil {
+		e = &modelEntry{name: name, ref: wym.NewModelRef(sys)}
+		g.entries[name] = e
+	} else {
+		e.ref.Set(sys)
+	}
+	e.mu.Lock()
+	e.path, e.format, e.fingerprint, e.bytes = path, sys.Format(), fingerprint, bytes
+	e.mu.Unlock()
+	e.reloads.Add(1)
+	e.touch(g.now())
+	g.evictOverBudgetLocked(name)
+	g.publishGaugesLocked()
+	return e, nil
+}
+
+// Get returns the entry for name, nil when absent.
+func (g *modelRegistry) Get(name string) *modelEntry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.entries[name]
+}
+
+// Remove unloads a named model. The default model is pinned.
+func (g *modelRegistry) Remove(name string) error {
+	if name == defaultModelName {
+		return fmt.Errorf("the default model cannot be unloaded")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.entries[name]; !ok {
+		return fmt.Errorf("unknown model %q", name)
+	}
+	delete(g.entries, name)
+	g.publishGaugesLocked()
+	return nil
+}
+
+// List snapshots every resident model, sorted by name.
+func (g *modelRegistry) List() []modelStatus {
+	g.mu.RLock()
+	entries := make([]*modelEntry, 0, len(g.entries))
+	for _, e := range g.entries {
+		entries = append(entries, e)
+	}
+	g.mu.RUnlock()
+	out := make([]modelStatus, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (g *modelRegistry) totalBytesLocked() int64 {
+	var total int64
+	for _, e := range g.entries {
+		e.mu.Lock()
+		total += e.bytes
+		e.mu.Unlock()
+	}
+	return total
+}
+
+// evictOverBudgetLocked drops least-recently-used models until the
+// byte total fits the budget. The default model and the entry just
+// touched (keep) are never evicted, so a single oversized artifact
+// can exceed the budget — the budget bounds the *extra* residents,
+// it never makes the server modelless.
+func (g *modelRegistry) evictOverBudgetLocked(keep string) {
+	if g.maxBytes <= 0 {
+		return
+	}
+	for g.totalBytesLocked() > g.maxBytes {
+		var victim *modelEntry
+		for name, e := range g.entries {
+			if name == defaultModelName || name == keep {
+				continue
+			}
+			if victim == nil || e.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(g.entries, victim.name)
+		g.evictions.Inc()
+	}
+}
+
+func (g *modelRegistry) publishGaugesLocked() {
+	g.residentModels.Set(int64(len(g.entries)))
+	g.residentBytes.Set(g.totalBytesLocked())
+}

@@ -49,6 +49,11 @@ const Magic = "WYMARENA"
 // reinterpreting fields.
 const Version = 1
 
+// HeaderSize is the fixed on-disk header length. A file carrying the
+// Magic but fewer bytes than this is structurally truncated — callers
+// can reject it before mapping.
+const HeaderSize = headerSize
+
 // Format flags.
 const (
 	FlagInt8   = 1 << 0 // vectors are int8 with per-vector scales

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes retry delays: exponential growth capped at Max,
+// then "full jitter" — a uniform draw over [0, capped] — so a fleet of
+// routers retrying a recovering replica spreads its load instead of
+// stampeding in lockstep (the AWS architecture-blog result: full
+// jitter wins over equal or no jitter for contended retries).
+type Backoff struct {
+	Base time.Duration // first-attempt ceiling (default 25ms)
+	Max  time.Duration // growth cap (default 1s)
+
+	mu   sync.Mutex
+	rand *rand.Rand // injectable for deterministic tests
+}
+
+// NewBackoff builds a Backoff with its own seeded RNG. seed 0 draws a
+// random seed; tests pass a fixed seed for reproducible delays.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Backoff{Base: base, Max: max, rand: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the sleep before retry attempt (0-based): a uniform
+// draw from [0, min(Max, Base·2^attempt)].
+func (b *Backoff) Delay(attempt int) time.Duration {
+	ceil := b.Base
+	for i := 0; i < attempt && ceil < b.Max; i++ {
+		ceil *= 2
+	}
+	if ceil > b.Max {
+		ceil = b.Max
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	d := time.Duration(b.rand.Int63n(int64(ceil) + 1))
+	b.mu.Unlock()
+	return d
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffFullJitterBounds(t *testing.T) {
+	bo := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 42)
+	ceilings := []time.Duration{
+		10 * time.Millisecond, // attempt 0
+		20 * time.Millisecond, // attempt 1
+		40 * time.Millisecond, // attempt 2
+		80 * time.Millisecond, // attempt 3
+		80 * time.Millisecond, // attempt 4: capped
+		80 * time.Millisecond, // far past the cap
+	}
+	for attempt, ceil := range ceilings {
+		a := attempt
+		if attempt == len(ceilings)-1 {
+			a = 20
+		}
+		for i := 0; i < 200; i++ {
+			d := bo.Delay(a)
+			if d < 0 || d > ceil {
+				t.Fatalf("Delay(%d) = %v, want within [0, %v]", a, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	a := NewBackoff(10*time.Millisecond, time.Second, 7)
+	b := NewBackoff(10*time.Millisecond, time.Second, 7)
+	for i := 0; i < 50; i++ {
+		if da, db := a.Delay(i%5), b.Delay(i%5); da != db {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBackoffJitterActuallyVaries(t *testing.T) {
+	bo := NewBackoff(time.Second, time.Second, 3)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[bo.Delay(0)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("50 draws produced only %d distinct delays — jitter missing", len(seen))
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	bo := NewBackoff(0, 0, 0)
+	if bo.Base != 25*time.Millisecond || bo.Max != time.Second {
+		t.Fatalf("defaults = base %v max %v", bo.Base, bo.Max)
+	}
+}

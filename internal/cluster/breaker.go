@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position. The zero value is
+// Closed (traffic flows).
+type BreakerState int32
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// HalfOpen: one probe request is allowed through; its outcome
+	// decides between Closed and Open.
+	HalfOpen
+	// Open: requests are refused locally until the open window elapses.
+	Open
+)
+
+// String names the state for logs and the breaker-state metric help.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-replica circuit breaker. Closed counts consecutive
+// failures and trips Open at the threshold; Open refuses locally (no
+// network spent on a replica known to be failing) until the open
+// window elapses, then admits exactly one half-open probe; the probe's
+// success closes the breaker, its failure re-opens it for another
+// window.
+//
+// The clock is injectable so tests step time instead of sleeping.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	threshold int
+	openFor   time.Duration
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	now       func() time.Time
+	onState   func(BreakerState) // observes every transition; may be nil
+}
+
+// BreakerConfig tunes a Breaker; zero fields take the defaults noted.
+type BreakerConfig struct {
+	Threshold int           // consecutive failures to trip (default 3)
+	OpenFor   time.Duration // refusal window once tripped (default 5s)
+	Now       func() time.Time
+	OnState   func(BreakerState) // state-transition hook (metrics)
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{
+		threshold: cfg.Threshold,
+		openFor:   cfg.OpenFor,
+		now:       cfg.Now,
+		onState:   cfg.OnState,
+	}
+}
+
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if b.onState != nil {
+		b.onState(to)
+	}
+}
+
+// Allow reports whether a request may proceed. In Open it flips to
+// HalfOpen once the window has elapsed and admits a single probe;
+// concurrent callers during a probe are refused so one slow probe
+// cannot become a thundering herd onto a recovering replica.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.transitionLocked(HalfOpen)
+		b.probing = true
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a request that completed normally: resets the
+// failure count and closes the breaker from any state.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.transitionLocked(Closed)
+}
+
+// Failure records a failed request. In Closed it trips Open at the
+// threshold; in HalfOpen the failed probe re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		b.openedAt = b.now()
+		b.transitionLocked(Open)
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.transitionLocked(Open)
+		}
+	case Open:
+		// Already refusing; a late in-flight failure keeps the window.
+	}
+}
+
+// Reset force-closes the breaker (health-probe re-admission path).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.transitionLocked(Closed)
+}
+
+// State returns the current position without side effects.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually so breaker-window tests never sleep.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 3, OpenFor: time.Second, Now: clk.Now})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+		if b.State() != Closed {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the window")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, OpenFor: time.Second, Now: clk.Now})
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	clk.Advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker allowed before the open window elapsed")
+	}
+	clk.Advance(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after the window")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("breaker allowed a second concurrent half-open probe")
+	}
+	// Probe failure re-opens for a fresh window.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("breaker allowed right after a failed probe")
+	}
+	clk.Advance(1001 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 3, OpenFor: time.Second, Now: clk.Now})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("three consecutive failures did not trip the breaker")
+	}
+}
+
+func TestBreakerResetAndStateHook(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []BreakerState
+	var mu sync.Mutex
+	b := NewBreaker(BreakerConfig{
+		Threshold: 1, OpenFor: time.Second, Now: clk.Now,
+		OnState: func(s BreakerState) {
+			mu.Lock()
+			transitions = append(transitions, s)
+			mu.Unlock()
+		},
+	})
+	b.Failure() // -> open
+	b.Reset()   // -> closed (health-probe re-admission)
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("Reset did not close the breaker")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []BreakerState{Open, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 5, OpenFor: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if j%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		Closed: "closed", HalfOpen: "half-open", Open: "open", BreakerState(9): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

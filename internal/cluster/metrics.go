@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"wym/internal/obs"
+)
+
+// Metrics is the router's observability bundle. Per-replica series are
+// created on first use (replica sets are small and bounded by the
+// -replicas flag, so label cardinality stays fixed in practice). A nil
+// *Metrics is a transparent no-op so tests can wire a pool without a
+// registry.
+type Metrics struct {
+	reg *obs.Registry
+}
+
+// NewMetrics binds the bundle to a registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{reg: reg}
+}
+
+// BreakerState returns the per-replica breaker gauge: 0 closed,
+// 1 half-open, 2 open (the BreakerState enum values).
+func (m *Metrics) BreakerState(replica string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("wym_router_breaker_state",
+		"Circuit breaker position per replica: 0 closed, 1 half-open, 2 open.",
+		obs.L("replica", replica))
+}
+
+// Retries counts forwarded attempts beyond the first per replica.
+func (m *Metrics) Retries(replica string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("wym_router_retries_total",
+		"Predict attempts beyond the first, by the replica retried against.",
+		obs.L("replica", replica))
+}
+
+// Forwards counts proxied attempts per replica and outcome
+// ("ok", "error", "shed", "rejected").
+func (m *Metrics) Forwards(replica, outcome string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("wym_router_forwards_total",
+		"Forwarded attempts by replica and outcome.",
+		obs.L("replica", replica), obs.L("outcome", outcome))
+}
+
+// Ejections counts health-probe ring ejections per replica.
+func (m *Metrics) Ejections(replica string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("wym_router_ejections_total",
+		"Replicas ejected from the ring by the health prober.",
+		obs.L("replica", replica))
+}
+
+// Readmissions counts health-probe ring re-admissions per replica.
+func (m *Metrics) Readmissions(replica string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("wym_router_readmissions_total",
+		"Replicas re-admitted to the ring after /readyz recovered.",
+		obs.L("replica", replica))
+}
+
+// ReplicasReady is the count of ring members (admitted replicas).
+func (m *Metrics) ReplicasReady() *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("wym_router_replicas_ready",
+		"Replicas currently admitted to the routing ring.")
+}
+
+// RoutedSeconds is the routed-request latency histogram per route —
+// the client-observed time including failover walks and retries.
+func (m *Metrics) RoutedSeconds(route string) *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Histogram("wym_router_request_seconds",
+		"End-to-end routed request latency by route, retries included.",
+		obs.DefaultLatencyBuckets, obs.L("route", route))
+}

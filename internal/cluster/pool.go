@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ModelInfo is one resident model as a replica's /readyz reports it —
+// the router and operators use it to see what a replica actually
+// serves (name, on-disk format, artifact fingerprint).
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Format      string `json:"format"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// readyzBody is the subset of a replica's /readyz response the prober
+// consumes.
+type readyzBody struct {
+	Status string      `json:"status"`
+	Models []ModelInfo `json:"models"`
+}
+
+// Replica is one wym-server endpoint plus the router's local view of
+// it: breaker, health, shed cooloff, and the models its /readyz last
+// reported.
+type Replica struct {
+	Endpoint string // base URL, e.g. "http://10.0.0.7:8080"
+
+	breaker      *Breaker
+	healthy      atomic.Bool
+	cooloffUntil atomic.Int64 // unix nanos; 429 Retry-After parking
+	models       atomic.Value // []ModelInfo
+	probeFails   int          // consecutive probe failures (prober goroutine only)
+}
+
+// Models returns the resident models the replica last reported.
+func (rep *Replica) Models() []ModelInfo {
+	v, _ := rep.models.Load().([]ModelInfo)
+	return v
+}
+
+// Healthy reports the prober's current verdict.
+func (rep *Replica) Healthy() bool { return rep.healthy.Load() }
+
+// Breaker exposes the replica's circuit breaker (tests and metrics).
+func (rep *Replica) Breaker() *Breaker { return rep.breaker }
+
+// Cooloff parks the replica until now+d — the shed-backoff path: a 429
+// with Retry-After means the replica is up but saturated, so the
+// router stops offering it traffic for the advertised window instead
+// of tripping the breaker.
+func (rep *Replica) Cooloff(d time.Duration, now time.Time) {
+	if d <= 0 {
+		return
+	}
+	until := now.Add(d).UnixNano()
+	for {
+		cur := rep.cooloffUntil.Load()
+		if cur >= until || rep.cooloffUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// CoolingOff reports whether the replica is parked by a shed response.
+func (rep *Replica) CoolingOff(now time.Time) bool {
+	return now.UnixNano() < rep.cooloffUntil.Load()
+}
+
+// PoolConfig tunes a Pool. Zero fields take the defaults noted.
+type PoolConfig struct {
+	VirtualNodes  int           // ring vnodes per replica (default DefaultVirtualNodes)
+	ProbeInterval time.Duration // /readyz cadence (default 2s)
+	ProbeTimeout  time.Duration // per-probe budget (default 1s)
+	EjectAfter    int           // consecutive probe failures to eject (default 2)
+	Breaker       BreakerConfig // per-replica breaker settings
+	Client        *http.Client  // probe client (default: fresh client, ProbeTimeout)
+	Logger        *log.Logger   // optional transition log
+	Metrics       *Metrics      // optional observability bundle
+	Now           func() time.Time
+}
+
+// Pool owns the replica set: the consistent-hash ring of admitted
+// members, per-replica breakers, and the active health prober that
+// ejects and re-admits replicas as /readyz fails and recovers. Every
+// configured replica keeps its Replica record forever; only ring
+// membership changes.
+type Pool struct {
+	cfg      PoolConfig
+	ring     *Ring
+	mu       sync.RWMutex
+	replicas map[string]*Replica
+	order    []string // configured order, for deterministic Replicas()
+
+	probes atomic.Int64 // completed probe sweeps (tests wait on it)
+}
+
+// NewPool builds a pool over the endpoints; all start admitted and
+// healthy (the first probe sweep corrects optimism within one
+// interval).
+func NewPool(endpoints []string, cfg PoolConfig) *Pool {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.ProbeTimeout}
+	}
+	p := &Pool{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VirtualNodes),
+		replicas: make(map[string]*Replica, len(endpoints)),
+	}
+	for _, ep := range endpoints {
+		ep = strings.TrimRight(strings.TrimSpace(ep), "/")
+		if ep == "" || p.replicas[ep] != nil {
+			continue
+		}
+		rep := &Replica{Endpoint: ep}
+		bcfg := cfg.Breaker
+		bcfg.Now = cfg.Now
+		gauge := cfg.Metrics.BreakerState(ep)
+		bcfg.OnState = func(s BreakerState) { gauge.Set(int64(s)) }
+		rep.breaker = NewBreaker(bcfg)
+		rep.healthy.Store(true)
+		p.replicas[ep] = rep
+		p.order = append(p.order, ep)
+		p.ring.Add(ep)
+	}
+	cfg.Metrics.ReplicasReady().Set(int64(p.ring.Len()))
+	return p
+}
+
+// Ring exposes the routing ring.
+func (p *Pool) Ring() *Ring { return p.ring }
+
+// Replica returns the record for an endpoint, nil if unknown.
+func (p *Pool) Replica(endpoint string) *Replica {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.replicas[endpoint]
+}
+
+// Replicas returns all configured replicas in flag order, admitted or
+// not.
+func (p *Pool) Replicas() []*Replica {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Replica, 0, len(p.order))
+	for _, ep := range p.order {
+		out = append(out, p.replicas[ep])
+	}
+	return out
+}
+
+// Candidates returns the replicas to try for key in preference order:
+// the ring walk over admitted members. Ejected replicas are absent by
+// construction; breaker and cooloff filtering happens at send time so
+// a half-open probe slot is only claimed when a request actually goes
+// out.
+func (p *Pool) Candidates(key string) []*Replica {
+	eps := p.ring.Lookup(key, 0)
+	out := make([]*Replica, 0, len(eps))
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, ep := range eps {
+		if rep := p.replicas[ep]; rep != nil {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// Start runs the probe loop until ctx ends.
+func (p *Pool) Start(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(p.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.ProbeAll(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeSweeps reports how many full probe sweeps have completed
+// (tests use it to wait for "within one probe interval" behavior).
+func (p *Pool) ProbeSweeps() int64 { return p.probes.Load() }
+
+// ProbeAll probes every configured replica once, concurrently, and
+// applies ejections and re-admissions.
+func (p *Pool) ProbeAll(ctx context.Context) {
+	reps := p.Replicas()
+	var wg sync.WaitGroup
+	for _, rep := range reps {
+		wg.Add(1)
+		go func(rep *Replica) {
+			defer wg.Done()
+			p.probe(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+	p.cfg.Metrics.ReplicasReady().Set(int64(p.ring.Len()))
+	p.probes.Add(1)
+}
+
+// probe hits one replica's /readyz and updates health, membership, and
+// the resident-model view. Mutating rep.probeFails is safe because
+// probes for a given replica never overlap (ProbeAll joins before the
+// next sweep starts).
+func (p *Pool) probe(ctx context.Context, rep *Replica) {
+	pctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	ok, models := p.checkReadyz(pctx, rep.Endpoint)
+	if ok {
+		rep.probeFails = 0
+		if models != nil {
+			rep.models.Store(models)
+		}
+		wasHealthy := rep.healthy.Swap(true)
+		if !p.ring.Has(rep.Endpoint) {
+			// Re-admission: the replica answered /readyz again, so it
+			// rejoins the ring and its breaker starts fresh.
+			p.ring.Add(rep.Endpoint)
+			rep.breaker.Reset()
+			p.cfg.Metrics.Readmissions(rep.Endpoint).Inc()
+			p.logf("replica %s re-admitted (readyz ok)", rep.Endpoint)
+		} else if !wasHealthy {
+			rep.breaker.Reset()
+		}
+		return
+	}
+	rep.probeFails++
+	if rep.probeFails < p.cfg.EjectAfter {
+		return
+	}
+	rep.healthy.Store(false)
+	if p.ring.Has(rep.Endpoint) {
+		p.ring.Remove(rep.Endpoint)
+		p.cfg.Metrics.Ejections(rep.Endpoint).Inc()
+		p.logf("replica %s ejected after %d failed probes", rep.Endpoint, rep.probeFails)
+	}
+}
+
+// checkReadyz performs one readiness probe.
+func (p *Pool) checkReadyz(ctx context.Context, endpoint string) (ok bool, models []ModelInfo) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint+"/readyz", nil)
+	if err != nil {
+		return false, nil
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return false, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return false, nil
+	}
+	var rb readyzBody
+	if err := json.Unmarshal(body, &rb); err != nil {
+		// A 200 with an unparseable body still counts as ready — the
+		// prober's job is admission, the model view is best-effort.
+		return true, nil
+	}
+	return true, rb.Models
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// retryAfterDuration parses a Retry-After header (seconds form) into a
+// duration; 0 when absent or malformed. HTTP-date form is not worth
+// supporting here — serve.Limiter always sends whole seconds.
+func retryAfterDuration(h http.Header) time.Duration {
+	v := strings.TrimSpace(h.Get("Retry-After"))
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// ErrNoReplicas is returned when every candidate for a key is
+// unavailable after retries.
+var ErrNoReplicas = fmt.Errorf("cluster: no replica available")

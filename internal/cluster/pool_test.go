@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"wym/internal/obs"
+)
+
+// testPool builds a pool over the stubs with fast probe settings and a
+// live metrics bundle.
+func testPool(t *testing.T, stubs ...*stubReplica) (*Pool, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	eps := make([]string, len(stubs))
+	for i, s := range stubs {
+		eps[i] = s.URL()
+	}
+	p := NewPool(eps, PoolConfig{
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		EjectAfter:    2,
+		Breaker:       BreakerConfig{Threshold: 2, OpenFor: 100 * time.Millisecond},
+		Metrics:       NewMetrics(reg),
+	})
+	return p, reg
+}
+
+func TestPoolProbeEjectsAndReadmits(t *testing.T) {
+	a, b := newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	p, reg := testPool(t, a, b)
+	ctx := context.Background()
+
+	p.ProbeAll(ctx)
+	if p.Ring().Len() != 2 {
+		t.Fatalf("ring has %d members after healthy probe, want 2", p.Ring().Len())
+	}
+	if !p.Replica(b.URL()).Healthy() {
+		t.Fatal("healthy replica marked unhealthy")
+	}
+	// The prober learned what each replica serves from /readyz.
+	if models := p.Replica(a.URL()).Models(); len(models) != 1 || models[0].Name != "default" {
+		t.Fatalf("probe did not capture resident models: %+v", models)
+	}
+
+	// b starts failing readiness: first failed probe keeps it admitted
+	// (EjectAfter 2), the second ejects.
+	b.ready.Store(false)
+	p.ProbeAll(ctx)
+	if !p.Ring().Has(b.URL()) {
+		t.Fatal("one failed probe ejected the replica, EjectAfter is 2")
+	}
+	p.ProbeAll(ctx)
+	if p.Ring().Has(b.URL()) {
+		t.Fatal("replica was not ejected after consecutive failed probes")
+	}
+	if p.Replica(b.URL()).Healthy() {
+		t.Fatal("ejected replica still marked healthy")
+	}
+	if got := NewMetrics(reg).Ejections(b.URL()).Value(); got != 1 {
+		t.Fatalf("ejections counter = %d, want 1", got)
+	}
+	if got := NewMetrics(reg).ReplicasReady().Value(); got != 1 {
+		t.Fatalf("replicas_ready gauge = %d, want 1", got)
+	}
+
+	// Poison its breaker too, then let readiness recover: one probe
+	// re-admits and resets the breaker.
+	p.Replica(b.URL()).Breaker().Failure()
+	p.Replica(b.URL()).Breaker().Failure()
+	if p.Replica(b.URL()).Breaker().State() != Open {
+		t.Fatal("setup: breaker should be open")
+	}
+	b.ready.Store(true)
+	p.ProbeAll(ctx)
+	if !p.Ring().Has(b.URL()) {
+		t.Fatal("recovered replica was not re-admitted")
+	}
+	if p.Replica(b.URL()).Breaker().State() != Closed {
+		t.Fatal("re-admission did not reset the breaker")
+	}
+	if got := NewMetrics(reg).Readmissions(b.URL()).Value(); got != 1 {
+		t.Fatalf("readmissions counter = %d, want 1", got)
+	}
+}
+
+func TestPoolStartProbesOnItsOwn(t *testing.T) {
+	a := newStubReplica()
+	defer a.Close()
+	p, _ := testPool(t, a)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Start(ctx)
+	deadline := time.After(5 * time.Second)
+	for p.ProbeSweeps() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("probe loop never swept")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestPoolCandidatesSkipEjected(t *testing.T) {
+	a, b := newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	p, _ := testPool(t, a, b)
+	b.ready.Store(false)
+	p.ProbeAll(context.Background())
+	p.ProbeAll(context.Background())
+	cands := p.Candidates("any-key")
+	if len(cands) != 1 || cands[0].Endpoint != a.URL() {
+		t.Fatalf("candidates = %v, want only the healthy replica", cands)
+	}
+}
+
+func TestReplicaCooloff(t *testing.T) {
+	rep := &Replica{Endpoint: "http://x"}
+	now := time.Unix(1000, 0)
+	if rep.CoolingOff(now) {
+		t.Fatal("fresh replica is cooling off")
+	}
+	rep.Cooloff(2*time.Second, now)
+	if !rep.CoolingOff(now.Add(time.Second)) {
+		t.Fatal("replica not cooling inside the window")
+	}
+	if rep.CoolingOff(now.Add(3 * time.Second)) {
+		t.Fatal("replica still cooling after the window")
+	}
+	// A shorter later cooloff never shortens a longer one.
+	rep.Cooloff(10*time.Second, now)
+	rep.Cooloff(1*time.Second, now)
+	if !rep.CoolingOff(now.Add(5 * time.Second)) {
+		t.Fatal("shorter cooloff overwrote a longer one")
+	}
+	// Zero and negative durations are ignored.
+	rep2 := &Replica{Endpoint: "http://y"}
+	rep2.Cooloff(0, now)
+	rep2.Cooloff(-time.Second, now)
+	if rep2.CoolingOff(now) {
+		t.Fatal("non-positive cooloff parked the replica")
+	}
+}
+
+func TestRetryAfterDuration(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{" 7 ", 7 * time.Second},
+		{"0", 0},
+		{"-2", 0},
+		{"soon", 0},
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.header != "" {
+			h.Set("Retry-After", tc.header)
+		}
+		if got := retryAfterDuration(h); got != tc.want {
+			t.Fatalf("retryAfterDuration(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestPoolDedupesAndNormalizesEndpoints(t *testing.T) {
+	p := NewPool([]string{"http://a:1/", "http://a:1", " ", ""}, PoolConfig{})
+	if got := len(p.Replicas()); got != 1 {
+		t.Fatalf("replicas = %d, want 1 after dedupe", got)
+	}
+	if p.Replicas()[0].Endpoint != "http://a:1" {
+		t.Fatalf("endpoint = %q, want trailing slash trimmed", p.Replicas()[0].Endpoint)
+	}
+}

@@ -1,0 +1,175 @@
+// Package cluster is the distributed-resilience layer behind
+// cmd/wym-router: a consistent-hash ring over replica endpoints
+// (virtual nodes so load spreads evenly and membership changes move few
+// keys), per-replica circuit breakers (closed/open/half-open), retries
+// with exponential backoff and full jitter, an active health prober
+// that ejects failing replicas from the ring and re-admits them when
+// /readyz recovers, and the routing handler that forwards predict
+// traffic with deadline propagation and per-item batch degradation.
+//
+// The package deliberately speaks only HTTP and JSON shapes — it never
+// imports the model packages — so the router binary stays a thin,
+// stateless traffic layer that any wym-server fleet can sit behind.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is how many points each replica contributes to
+// the ring when the caller does not choose. More vnodes flatten the
+// load distribution at the cost of a longer sorted slice; 128 keeps
+// the per-replica share within a few percent of fair for small fleets.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over replica endpoints. Lookups walk
+// clockwise from the key's hash, so removing a replica only moves the
+// keys it owned, and a Lookup with n > 1 yields the natural failover
+// order (the replicas that would own the key if earlier ones vanished).
+//
+// Ring is safe for concurrent use; membership changes rebuild the
+// point slice under a write lock while lookups take a read lock.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	members map[string]bool
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash     uint64
+	endpoint string
+}
+
+// NewRing builds an empty ring; vnodes <= 0 uses DefaultVirtualNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hashKey is FNV-64a: no cryptographic need here, just a fast, stable,
+// well-mixed 64-bit hash shared by vnode placement and key lookup.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts an endpoint (idempotent) and rebuilds the point slice.
+func (r *Ring) Add(endpoint string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[endpoint] {
+		return
+	}
+	r.members[endpoint] = true
+	r.rebuildLocked()
+}
+
+// Remove ejects an endpoint (idempotent). Keys it owned flow to their
+// next clockwise owners; every other key keeps its replica.
+func (r *Ring) Remove(endpoint string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[endpoint] {
+		return
+	}
+	delete(r.members, endpoint)
+	r.rebuildLocked()
+}
+
+// Has reports current membership.
+func (r *Ring) Has(endpoint string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[endpoint]
+}
+
+// Members returns the current endpoints, sorted for determinism.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for ep := range r.members {
+		out = append(out, ep)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of member endpoints.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for ep := range r.members {
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:     hashKey(fmt.Sprintf("%s#%d", ep, v)),
+				endpoint: ep,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].endpoint < r.points[j].endpoint
+	})
+}
+
+// Lookup returns up to n distinct endpoints in preference order for
+// key: the clockwise owner first, then the replicas that would inherit
+// the key if the ones before them were ejected. n <= 0 means "all
+// members". An empty ring returns nil.
+func (r *Ring) Lookup(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	// First point with hash >= h, wrapping to 0.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for range r.points {
+		p := r.points[i]
+		if !seen[p.endpoint] {
+			seen[p.endpoint] = true
+			out = append(out, p.endpoint)
+			if len(out) == n {
+				break
+			}
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// Owner returns the primary owner for key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	eps := r.Lookup(key, 1)
+	if len(eps) == 0 {
+		return ""
+	}
+	return eps[0]
+}

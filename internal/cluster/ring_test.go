@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupDeterministicAndDistinct(t *testing.T) {
+	r := NewRing(64)
+	eps := []string{"http://a:1", "http://b:2", "http://c:3"}
+	for _, ep := range eps {
+		r.Add(ep)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := r.Lookup(key, 0)
+		if len(first) != 3 {
+			t.Fatalf("Lookup(%q) returned %d endpoints, want 3", key, len(first))
+		}
+		seen := map[string]bool{}
+		for _, ep := range first {
+			if seen[ep] {
+				t.Fatalf("Lookup(%q) repeated endpoint %s", key, ep)
+			}
+			seen[ep] = true
+		}
+		again := r.Lookup(key, 0)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("Lookup(%q) unstable: %v vs %v", key, first, again)
+			}
+		}
+		if r.Owner(key) != first[0] {
+			t.Fatalf("Owner(%q) = %s, want %s", key, r.Owner(key), first[0])
+		}
+	}
+}
+
+func TestRingRemoveOnlyMovesRemovedKeys(t *testing.T) {
+	r := NewRing(0)
+	eps := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	for _, ep := range eps {
+		r.Add(ep)
+	}
+	const n = 2000
+	before := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before[key] = r.Owner(key)
+	}
+	victim := "http://b:2"
+	r.Remove(victim)
+	moved := 0
+	for key, owner := range before {
+		now := r.Owner(key)
+		if owner == victim {
+			if now == victim {
+				t.Fatalf("key %q still owned by removed replica", key)
+			}
+			moved++
+			continue
+		}
+		if now != owner {
+			t.Fatalf("key %q moved from %s to %s though %s was removed", key, owner, now, victim)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned no keys — vnode placement is broken")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	counts := map[string]int{}
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("http://replica-%d:80", i))
+	}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("pair-%d", i))]++
+	}
+	for ep, c := range counts {
+		share := float64(c) / n
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("replica %s owns %.1f%% of keys — ring is badly unbalanced (%v)",
+				ep, 100*share, counts)
+		}
+	}
+}
+
+func TestRingReadmissionRestoresOwnership(t *testing.T) {
+	r := NewRing(0)
+	for _, ep := range []string{"http://a:1", "http://b:2", "http://c:3"} {
+		r.Add(ep)
+	}
+	key := "some-pair"
+	owner := r.Owner(key)
+	r.Remove(owner)
+	if got := r.Owner(key); got == owner {
+		t.Fatalf("key still routed to ejected replica %s", owner)
+	}
+	r.Add(owner)
+	if got := r.Owner(key); got != owner {
+		t.Fatalf("re-admission changed ownership: %s, want %s", got, owner)
+	}
+}
+
+func TestRingEmptyAndBounds(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup("x", 0); got != nil {
+		t.Fatalf("empty ring Lookup = %v, want nil", got)
+	}
+	if r.Owner("x") != "" {
+		t.Fatal("empty ring Owner should be empty")
+	}
+	r.Add("http://a:1")
+	r.Add("http://a:1") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Add", r.Len())
+	}
+	if got := r.Lookup("x", 5); len(got) != 1 {
+		t.Fatalf("Lookup n>members = %v, want 1 endpoint", got)
+	}
+	r.Remove("http://missing") // idempotent no-op
+	if !r.Has("http://a:1") || r.Has("http://missing") {
+		t.Fatal("Has gave wrong membership")
+	}
+	if members := r.Members(); len(members) != 1 || members[0] != "http://a:1" {
+		t.Fatalf("Members = %v", members)
+	}
+}

@@ -1,0 +1,465 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wym/internal/serve"
+)
+
+// RouterConfig tunes the traffic layer. Zero fields take the defaults
+// noted.
+type RouterConfig struct {
+	TryTimeout time.Duration // per-attempt forward budget (default 10s)
+	Retries    int           // full failover rounds after the first (default 2)
+	Backoff    *Backoff      // retry delays (default NewBackoff(25ms, 1s, 0))
+	MaxBody    int64         // inbound body cap in bytes (default 1<<20)
+	MaxBatch   int           // max pairs per inbound batch (default 1024)
+	Client     *http.Client  // forwarding client (default http.DefaultTransport, no client timeout — per-try ctx governs)
+	Logger     *log.Logger
+	Metrics    *Metrics
+	Now        func() time.Time
+}
+
+// Router forwards predict traffic onto a Pool: consistent-hash replica
+// selection with in-request failover, circuit-breaker gating, retries
+// with full-jitter backoff on idempotent calls, Retry-After-honoring
+// shed cooloffs, deadline propagation from the inbound context, and
+// per-item degradation on /predict/batch.
+//
+// Predict and explain calls are read-only against an immutable model
+// snapshot, so retrying them against another replica is always safe.
+type Router struct {
+	pool *Pool
+	cfg  RouterConfig
+}
+
+// NewRouter builds a router over the pool.
+func NewRouter(pool *Pool, cfg RouterConfig) *Router {
+	if cfg.TryTimeout <= 0 {
+		cfg.TryTimeout = 10 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Backoff == nil {
+		cfg.Backoff = NewBackoff(25*time.Millisecond, time.Second, 0)
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Router{pool: pool, cfg: cfg}
+}
+
+// Pool exposes the replica pool (readyz reporting, tests).
+func (rt *Router) Pool() *Pool { return rt.pool }
+
+// Handler assembles the router mux. Routed endpoints mirror
+// wym-server's so clients cannot tell a router from a replica; the
+// model-scoped forms forward to /models/{name}/... on the replica.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, metricRoute string, h http.HandlerFunc) {
+		var inner http.Handler = h
+		inner = http.MaxBytesHandler(inner, rt.cfg.MaxBody)
+		if hist := rt.cfg.Metrics.RoutedSeconds(metricRoute); hist != nil {
+			next := inner
+			inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				start := rt.cfg.Now()
+				next.ServeHTTP(w, r)
+				hist.Observe(rt.cfg.Now().Sub(start).Seconds())
+			})
+		}
+		mux.Handle(pattern, inner)
+	}
+	route("POST /predict", "/predict", rt.handleSingle(""))
+	route("POST /explain", "/explain", rt.handleSingle(""))
+	route("POST /predict/batch", "/predict/batch", rt.handleBatch(false))
+	route("POST /models/{name}/predict", "/models/{name}/predict", rt.handleSingle("predict"))
+	route("POST /models/{name}/explain", "/models/{name}/explain", rt.handleSingle("explain"))
+	route("POST /models/{name}/predict/batch", "/models/{name}/predict/batch", rt.handleBatch(true))
+	mux.HandleFunc("GET /schema", rt.handleSchema)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	return mux
+}
+
+// replicaResponse is one completed forward: the replica's verdict,
+// fully buffered so failover decisions never hold a connection open.
+type replicaResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// send forwards one attempt to one replica under the inbound deadline
+// intersected with the per-try budget.
+func (rt *Router) send(ctx context.Context, rep *Replica, method, path string, body []byte) (*replicaResponse, error) {
+	tctx, cancel := context.WithTimeout(ctx, rt.cfg.TryTimeout)
+	defer cancel()
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(tctx, method, rep.Endpoint+path, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &replicaResponse{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// forward routes one idempotent request to the best available replica
+// for key, walking the failover order and retrying whole rounds with
+// backoff. A replica's verdict on the request itself (2xx–4xx except
+// 429) ends the walk; transport errors, 5xx, and sheds move on.
+func (rt *Router) forward(ctx context.Context, method, path string, body []byte, key string) (*replicaResponse, error) {
+	var lastErr error
+	attempts := 0
+	for round := 0; round <= rt.cfg.Retries; round++ {
+		if round > 0 {
+			delay := rt.cfg.Backoff.Delay(round - 1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		cands := rt.pool.Candidates(key)
+		if len(cands) == 0 {
+			lastErr = ErrNoReplicas
+			continue
+		}
+		for _, rep := range cands {
+			now := rt.cfg.Now()
+			if rep.CoolingOff(now) {
+				continue
+			}
+			if !rep.breaker.Allow() {
+				rt.cfg.Metrics.Forwards(rep.Endpoint, "rejected").Inc()
+				continue
+			}
+			if attempts > 0 {
+				rt.cfg.Metrics.Retries(rep.Endpoint).Inc()
+			}
+			attempts++
+			resp, err := rt.send(ctx, rep, method, path, body)
+			if err != nil {
+				if ctx.Err() != nil {
+					// The client's deadline, not the replica's fault:
+					// don't punish the breaker for an inbound cancel.
+					return nil, ctx.Err()
+				}
+				rep.breaker.Failure()
+				rt.cfg.Metrics.Forwards(rep.Endpoint, "error").Inc()
+				lastErr = fmt.Errorf("%s: %w", rep.Endpoint, err)
+				continue
+			}
+			switch {
+			case resp.status == http.StatusTooManyRequests:
+				// Shedding means alive-but-saturated: honor its
+				// Retry-After instead of counting a breaker failure.
+				rep.breaker.Success()
+				d := retryAfterDuration(resp.header)
+				if d <= 0 {
+					d = time.Second
+				}
+				rep.Cooloff(d, now)
+				rt.cfg.Metrics.Forwards(rep.Endpoint, "shed").Inc()
+				lastErr = fmt.Errorf("%s: shedding (429)", rep.Endpoint)
+			case resp.status >= 500:
+				rep.breaker.Failure()
+				rt.cfg.Metrics.Forwards(rep.Endpoint, "error").Inc()
+				lastErr = fmt.Errorf("%s: status %d", rep.Endpoint, resp.status)
+			default:
+				rep.breaker.Success()
+				rt.cfg.Metrics.Forwards(rep.Endpoint, "ok").Inc()
+				return resp, nil
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoReplicas
+	}
+	return nil, lastErr
+}
+
+// relay writes a buffered replica response to the client verbatim.
+func relay(w http.ResponseWriter, resp *replicaResponse) {
+	if ct := resp.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// modelScope resolves the {name} path segment into the replica-side
+// path prefix and the routing-key prefix. op distinguishes the two
+// single-pair endpoints sharing a handler.
+func modelScope(r *http.Request, op string) (path, keyPrefix string) {
+	name := r.PathValue("name")
+	if name == "" {
+		return r.URL.Path, ""
+	}
+	return "/models/" + name + "/" + op, name + "\x00"
+}
+
+// handleSingle serves /predict and /explain (and their model-scoped
+// forms): the routing key is the model name plus the raw pair body, so
+// identical pairs always land on the same replica while it is up —
+// cache affinity for free.
+func (rt *Router) handleSingle(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeBodyError(w, err)
+			return
+		}
+		if len(bytes.TrimSpace(body)) == 0 {
+			serve.WriteError(w, http.StatusBadRequest, "empty request body")
+			return
+		}
+		path := r.URL.Path
+		keyPrefix := ""
+		if op != "" {
+			path, keyPrefix = modelScope(r, op)
+		}
+		resp, err := rt.forward(r.Context(), http.MethodPost, path, body, keyPrefix+string(body))
+		if err != nil {
+			writeUnavailable(w, err)
+			return
+		}
+		relay(w, resp)
+	}
+}
+
+// routerBatchRequest decodes just enough of an inbound batch to
+// partition it: each pair stays raw bytes and is re-emitted verbatim
+// into its shard's sub-batch.
+type routerBatchRequest struct {
+	Pairs []json.RawMessage `json:"pairs"`
+}
+
+// routerBatchResponse mirrors wym-server's batch reply shape.
+type routerBatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+	Errors  int               `json:"errors"`
+}
+
+// handleBatch scatter-gathers a batch across the ring: items are
+// grouped by their shard owner, sub-batches forwarded concurrently
+// (each with the full failover walk), and per-item errors fill the
+// slots of any shard that stays down — the batch itself never turns
+// into a 5xx because one replica died.
+func (rt *Router) handleBatch(scoped bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeBodyError(w, err)
+			return
+		}
+		var req routerBatchRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			serve.WriteError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		if len(req.Pairs) == 0 {
+			serve.WriteError(w, http.StatusBadRequest, "batch has no pairs")
+			return
+		}
+		if len(req.Pairs) > rt.cfg.MaxBatch {
+			serve.WriteError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch has %d pairs, limit is %d", len(req.Pairs), rt.cfg.MaxBatch))
+			return
+		}
+		path := "/predict/batch"
+		keyPrefix := ""
+		if scoped {
+			path, keyPrefix = modelScope(r, "predict/batch")
+		}
+		if rt.pool.Ring().Len() == 0 {
+			writeUnavailable(w, ErrNoReplicas)
+			return
+		}
+
+		// Partition by shard owner. Items whose key has no owner (the
+		// ring emptied between the check above and here) fall into the
+		// "" group and fail per-item like any downed shard.
+		type group struct {
+			indices []int
+			items   []json.RawMessage
+			key     string // a representative key: drives the failover walk
+		}
+		groups := make(map[string]*group)
+		for i, raw := range req.Pairs {
+			key := keyPrefix + string(raw)
+			owner := rt.pool.Ring().Owner(key)
+			g := groups[owner]
+			if g == nil {
+				g = &group{key: key}
+				groups[owner] = g
+			}
+			g.indices = append(g.indices, i)
+			g.items = append(g.items, raw)
+		}
+
+		out := routerBatchResponse{Results: make([]json.RawMessage, len(req.Pairs))}
+		var (
+			mu     sync.Mutex
+			wg     sync.WaitGroup
+			failed = func(g *group, msg string) {
+				item, _ := json.Marshal(struct {
+					Error string `json:"error"`
+				}{Error: msg})
+				mu.Lock()
+				defer mu.Unlock()
+				for _, idx := range g.indices {
+					out.Results[idx] = item
+					out.Errors++
+				}
+			}
+		)
+		for owner, g := range groups {
+			if owner == "" {
+				failed(g, "no replica available for shard")
+				continue
+			}
+			wg.Add(1)
+			go func(g *group) {
+				defer wg.Done()
+				sub, err := json.Marshal(routerBatchRequest{Pairs: g.items})
+				if err != nil {
+					failed(g, "internal error: "+err.Error())
+					return
+				}
+				resp, err := rt.forward(r.Context(), http.MethodPost, path, sub, g.key)
+				if err != nil {
+					failed(g, "shard unavailable: "+err.Error())
+					return
+				}
+				if resp.status != http.StatusOK {
+					failed(g, fmt.Sprintf("shard rejected sub-batch: status %d", resp.status))
+					return
+				}
+				var subResp routerBatchResponse
+				if err := json.Unmarshal(resp.body, &subResp); err != nil ||
+					len(subResp.Results) != len(g.indices) {
+					failed(g, "shard returned a malformed batch response")
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				for k, idx := range g.indices {
+					out.Results[idx] = subResp.Results[k]
+				}
+				out.Errors += subResp.Errors
+			}(g)
+		}
+		wg.Wait()
+		serve.WriteJSON(w, http.StatusOK, out)
+	}
+}
+
+// handleSchema forwards to any available replica — every replica of a
+// fleet serves the same default model family, so the first healthy
+// answer is authoritative.
+func (rt *Router) handleSchema(w http.ResponseWriter, r *http.Request) {
+	resp, err := rt.forward(r.Context(), http.MethodGet, "/schema", nil, "schema")
+	if err != nil {
+		writeUnavailable(w, err)
+		return
+	}
+	relay(w, resp)
+}
+
+// replicaStatus is one replica's row in the router's /readyz body.
+type replicaStatus struct {
+	Endpoint string      `json:"endpoint"`
+	Admitted bool        `json:"admitted"`
+	Healthy  bool        `json:"healthy"`
+	Breaker  string      `json:"breaker"`
+	Models   []ModelInfo `json:"models,omitempty"`
+}
+
+// handleReadyz reports fleet readiness: 200 while at least one replica
+// is admitted to the ring, 503 otherwise, with per-replica detail
+// either way.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reps := rt.pool.Replicas()
+	statuses := make([]replicaStatus, 0, len(reps))
+	for _, rep := range reps {
+		statuses = append(statuses, replicaStatus{
+			Endpoint: rep.Endpoint,
+			Admitted: rt.pool.Ring().Has(rep.Endpoint),
+			Healthy:  rep.Healthy(),
+			Breaker:  rep.breaker.State().String(),
+			Models:   rep.Models(),
+		})
+	}
+	ready := rt.pool.Ring().Len() > 0
+	status := http.StatusOK
+	state := "ready"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		state = "no replicas"
+	}
+	serve.WriteJSON(w, status, struct {
+		Status   string          `json:"status"`
+		Replicas []replicaStatus `json:"replicas"`
+	}{Status: state, Replicas: statuses})
+}
+
+// writeUnavailable maps a routing failure to the client: client
+// cancellations propagate as 499-ish 503s with the cause, everything
+// else is a plain 503 naming the last replica error.
+func writeUnavailable(w http.ResponseWriter, err error) {
+	msg := "no replica available"
+	if err != nil && !errors.Is(err, ErrNoReplicas) {
+		msg = "no replica available: " + err.Error()
+	}
+	serve.WriteError(w, http.StatusServiceUnavailable, msg)
+}
+
+// writeBodyError maps inbound body read failures (over-cap included).
+func writeBodyError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		serve.WriteError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds "+strconv.FormatInt(maxErr.Limit, 10)+" bytes")
+		return
+	}
+	serve.WriteError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+}

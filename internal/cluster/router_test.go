@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wym/internal/obs"
+)
+
+// testRouter wires stubs -> pool -> router -> httptest front end.
+func testRouter(t *testing.T, cfg RouterConfig, stubs ...*stubReplica) (*Router, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	p, reg := testPool(t, stubs...)
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(reg)
+	}
+	if cfg.Backoff == nil {
+		cfg.Backoff = NewBackoff(time.Millisecond, 5*time.Millisecond, 1)
+	}
+	rt := NewRouter(p, cfg)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return rt, front, reg
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(b)
+}
+
+func pairBody(i int) string {
+	return fmt.Sprintf(`{"left":["item %d","brand"],"right":["item %d","brand"]}`, i, i)
+}
+
+func TestRouterPredictKeyAffinity(t *testing.T) {
+	a, b, c := newStubReplica(), newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+	_, front, _ := testRouter(t, RouterConfig{}, a, b, c)
+
+	body := pairBody(7)
+	for i := 0; i < 10; i++ {
+		resp, got := postJSON(t, front.URL+"/predict", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d = %d (%s)", i, resp.StatusCode, got)
+		}
+		if !strings.Contains(got, `"match":true`) {
+			t.Fatalf("predict body = %s", got)
+		}
+	}
+	// The same pair must always land on the same replica.
+	nonZero := 0
+	for _, s := range []*stubReplica{a, b, c} {
+		if s.Predicts() > 0 {
+			nonZero++
+			if s.Predicts() != 10 {
+				t.Fatalf("owner saw %d predicts, want all 10", s.Predicts())
+			}
+		}
+	}
+	if nonZero != 1 {
+		t.Fatalf("pair spread across %d replicas, want key affinity to exactly 1", nonZero)
+	}
+}
+
+func TestRouterFailoverOnDeadReplica(t *testing.T) {
+	a, b, c := newStubReplica(), newStubReplica(), newStubReplica()
+	defer b.Close()
+	defer c.Close()
+	rt, front, reg := testRouter(t, RouterConfig{TryTimeout: 2 * time.Second}, a, b, c)
+
+	// Kill a replica without telling the prober — the router must
+	// discover it the hard way and fail over inside the request.
+	a.Close()
+	for i := 0; i < 30; i++ {
+		resp, got := postJSON(t, front.URL+"/predict", pairBody(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d with a dead replica = %d (%s)", i, resp.StatusCode, got)
+		}
+	}
+	// The dead replica's breaker opened after its failure threshold, so
+	// later requests skipped it without a connection attempt.
+	if got := rt.Pool().Replica(a.URL()).Breaker().State(); got != Open {
+		t.Fatalf("dead replica breaker = %v, want open", got)
+	}
+	m := NewMetrics(reg)
+	if m.Forwards(a.URL(), "error").Value() == 0 {
+		t.Fatal("no forward errors recorded against the dead replica")
+	}
+	if m.BreakerState(a.URL()).Value() != int64(Open) {
+		t.Fatalf("breaker-state gauge = %d, want %d", m.BreakerState(a.URL()).Value(), Open)
+	}
+	// Live replicas absorbed all the traffic.
+	if b.Predicts()+c.Predicts() != 30 {
+		t.Fatalf("live replicas served %d, want 30", b.Predicts()+c.Predicts())
+	}
+}
+
+func TestRouterSlowReplicaTimesOutAndFailsOver(t *testing.T) {
+	a, b := newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	_, front, _ := testRouter(t, RouterConfig{TryTimeout: 60 * time.Millisecond}, a, b)
+
+	// Find a pair owned by a, then make a stall far past the per-try
+	// budget: the router must cut it off and fail over to b.
+	var body string
+	for i := 0; ; i++ {
+		body = pairBody(i)
+		resp, _ := postJSON(t, front.URL+"/predict", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warmup predict = %d", resp.StatusCode)
+		}
+		if a.Predicts() > 0 {
+			break
+		}
+	}
+	a.stall.Store(int64(5 * time.Second))
+	start := time.Now()
+	resp, got := postJSON(t, front.URL+"/predict", body)
+	took := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict behind slow replica = %d (%s)", resp.StatusCode, got)
+	}
+	if took > 2*time.Second {
+		t.Fatalf("failover took %v — the slow replica's stall leaked through", took)
+	}
+}
+
+func TestRouterHonorsRetryAfterCooloff(t *testing.T) {
+	clk := newFakeClock()
+	a, b := newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	rt, front, reg := testRouter(t, RouterConfig{Now: clk.Now}, a, b)
+
+	// Find a pair owned by a.
+	var body string
+	for i := 0; ; i++ {
+		body = pairBody(i)
+		postJSON(t, front.URL+"/predict", body)
+		if a.Predicts() > 0 {
+			break
+		}
+	}
+	aBefore := a.Predicts()
+
+	// a starts shedding with a 2s Retry-After: the request fails over
+	// to b, and a is parked for the advertised window.
+	a.shed.Store(true)
+	a.retryAfter.Store(2)
+	resp, got := postJSON(t, front.URL+"/predict", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict during shed = %d (%s)", resp.StatusCode, got)
+	}
+	rep := rt.Pool().Replica(a.URL())
+	if !rep.CoolingOff(clk.Now()) {
+		t.Fatal("429 Retry-After did not park the replica")
+	}
+	if NewMetrics(reg).Forwards(a.URL(), "shed").Value() == 0 {
+		t.Fatal("shed outcome not counted")
+	}
+	// While parked, traffic for a's keys goes to b without contacting a.
+	a.shed.Store(false)
+	shedPredicts := a.Predicts()
+	postJSON(t, front.URL+"/predict", body)
+	if a.Predicts() != shedPredicts {
+		t.Fatal("router sent traffic to a replica inside its Retry-After window")
+	}
+	// After the window the replica serves its keys again.
+	clk.Advance(3 * time.Second)
+	resp, _ = postJSON(t, front.URL+"/predict", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("predict after cooloff failed")
+	}
+	if a.Predicts() <= aBefore {
+		t.Fatal("replica never resumed serving after its cooloff")
+	}
+	// Shedding is not a breaker failure: the breaker stayed closed.
+	if rep.Breaker().State() != Closed {
+		t.Fatalf("breaker = %v after sheds, want closed", rep.Breaker().State())
+	}
+}
+
+func TestRouterPanicRecoveryRetriesElsewhere(t *testing.T) {
+	a, b := newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	rt, front, _ := testRouter(t, RouterConfig{}, a, b)
+	_ = rt
+
+	a.panics.Store(true)
+	for i := 0; i < 10; i++ {
+		resp, got := postJSON(t, front.URL+"/predict", pairBody(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d with a panicking replica = %d (%s)", i, resp.StatusCode, got)
+		}
+	}
+	if b.Predicts() != 10 {
+		t.Fatalf("healthy replica served %d of 10", b.Predicts())
+	}
+}
+
+func TestRouterBatchScatterGather(t *testing.T) {
+	a, b, c := newStubReplica(), newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+	_, front, _ := testRouter(t, RouterConfig{}, a, b, c)
+
+	var pairs []string
+	for i := 0; i < 24; i++ {
+		pairs = append(pairs, pairBody(i))
+	}
+	body := `{"pairs":[` + strings.Join(pairs, ",") + `]}`
+	resp, got := postJSON(t, front.URL+"/predict/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d (%s)", resp.StatusCode, got)
+	}
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+		Errors  int               `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(got), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 24 || out.Errors != 0 {
+		t.Fatalf("batch results = %d, errors = %d", len(out.Results), out.Errors)
+	}
+	// The batch was sharded: more than one replica saw a sub-batch, and
+	// the sub-batch sizes sum to the full batch.
+	total, shards := 0, 0
+	for _, s := range []*stubReplica{a, b, c} {
+		for _, sz := range s.Batches() {
+			total += sz
+		}
+		if len(s.Batches()) > 0 {
+			shards++
+		}
+	}
+	if total != 24 {
+		t.Fatalf("sub-batches sum to %d, want 24", total)
+	}
+	if shards < 2 {
+		t.Fatalf("batch landed on %d replicas, want scatter across ≥2", shards)
+	}
+}
+
+func TestRouterBatchDegradesPerItemWhenShardIsDown(t *testing.T) {
+	// One replica only, killed: every item fails per-item, the batch
+	// itself stays a 200 — never a 5xx.
+	a := newStubReplica()
+	_, front, _ := testRouter(t, RouterConfig{Retries: 1, TryTimeout: time.Second}, a)
+	a.Close()
+
+	body := `{"pairs":[` + pairBody(1) + `,` + pairBody(2) + `]}`
+	resp, got := postJSON(t, front.URL+"/predict/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded batch = %d, want 200 (%s)", resp.StatusCode, got)
+	}
+	var out struct {
+		Results []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(got), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.Errors != 2 {
+		t.Fatalf("degraded batch: %d results, %d errors (%s)", len(out.Results), out.Errors, got)
+	}
+	for i, r := range out.Results {
+		if !strings.Contains(r.Error, "shard unavailable") {
+			t.Fatalf("item %d error = %q, want shard unavailable", i, r.Error)
+		}
+	}
+}
+
+func TestRouterNoReplicasIs503(t *testing.T) {
+	a := newStubReplica()
+	rt, front, _ := testRouter(t, RouterConfig{Retries: 1}, a)
+	a.ready.Store(false)
+	rt.Pool().ProbeAll(context.Background())
+	rt.Pool().ProbeAll(context.Background())
+
+	resp, got := postJSON(t, front.URL+"/predict", pairBody(0))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict with empty ring = %d (%s)", resp.StatusCode, got)
+	}
+	resp, _ = postJSON(t, front.URL+"/predict/batch", `{"pairs":[`+pairBody(0)+`]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch with empty ring = %d", resp.StatusCode)
+	}
+	r, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("router readyz with empty ring = %d, want 503", r.StatusCode)
+	}
+	a.Close()
+}
+
+func TestRouterModelScopedRoutes(t *testing.T) {
+	a := newStubReplica()
+	defer a.Close()
+	_, front, _ := testRouter(t, RouterConfig{}, a)
+
+	resp, got := postJSON(t, front.URL+"/models/catalog/predict", pairBody(3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model-scoped predict = %d (%s)", resp.StatusCode, got)
+	}
+	resp, _ = postJSON(t, front.URL+"/models/catalog/predict/batch", `{"pairs":[`+pairBody(3)+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model-scoped batch = %d", resp.StatusCode)
+	}
+	paths := a.Paths()
+	wantSingle, wantBatch := false, false
+	for _, p := range paths {
+		if p == "/models/catalog/predict" {
+			wantSingle = true
+		}
+		if p == "/models/catalog/predict/batch" {
+			wantBatch = true
+		}
+	}
+	if !wantSingle || !wantBatch {
+		t.Fatalf("forwarded paths = %v, want model-scoped paths preserved", paths)
+	}
+}
+
+func TestRouterReadyzReportsReplicaDetail(t *testing.T) {
+	a, b := newStubReplica(), newStubReplica()
+	defer a.Close()
+	defer b.Close()
+	rt, front, _ := testRouter(t, RouterConfig{}, a, b)
+	rt.Pool().ProbeAll(context.Background())
+
+	r, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", r.StatusCode)
+	}
+	var body struct {
+		Status   string `json:"status"`
+		Replicas []struct {
+			Endpoint string      `json:"endpoint"`
+			Admitted bool        `json:"admitted"`
+			Healthy  bool        `json:"healthy"`
+			Breaker  string      `json:"breaker"`
+			Models   []ModelInfo `json:"models"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ready" || len(body.Replicas) != 2 {
+		t.Fatalf("readyz body = %+v", body)
+	}
+	for _, rep := range body.Replicas {
+		if !rep.Admitted || !rep.Healthy || rep.Breaker != "closed" {
+			t.Fatalf("replica status = %+v", rep)
+		}
+		if len(rep.Models) != 1 || rep.Models[0].Format != "gob" {
+			t.Fatalf("replica models = %+v — readyz model view missing", rep.Models)
+		}
+	}
+}
+
+func TestRouterBadRequests(t *testing.T) {
+	a := newStubReplica()
+	defer a.Close()
+	_, front, _ := testRouter(t, RouterConfig{MaxBatch: 2}, a)
+
+	resp, _ := postJSON(t, front.URL+"/predict", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, front.URL+"/predict/batch", `{"pairs":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, front.URL+"/predict/batch", `not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+	resp, got := postJSON(t, front.URL+"/predict/batch",
+		`{"pairs":[`+pairBody(1)+`,`+pairBody(2)+`,`+pairBody(3)+`]}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(got, "limit is 2") {
+		t.Fatalf("over-limit batch = %d (%s), want 400", resp.StatusCode, got)
+	}
+}
+
+func TestRouterSchemaForwarded(t *testing.T) {
+	a := newStubReplica()
+	defer a.Close()
+	_, front, _ := testRouter(t, RouterConfig{}, a)
+	r, err := http.Get(front.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	b, _ := io.ReadAll(r.Body)
+	if r.StatusCode != http.StatusOK || !strings.Contains(string(b), "brand") {
+		t.Fatalf("schema = %d (%s)", r.StatusCode, b)
+	}
+}
+
+func TestRouterRelaysReplicaClientErrors(t *testing.T) {
+	// A 4xx from the replica is the replica's verdict on the request —
+	// relayed as-is, never retried, never a breaker failure.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			fmt.Fprintln(w, `{"status":"ready"}`)
+			return
+		}
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error":"wrong attribute count"}`)
+	}))
+	defer bad.Close()
+	reg := obs.NewRegistry()
+	p := NewPool([]string{bad.URL}, PoolConfig{Metrics: NewMetrics(reg)})
+	rt := NewRouter(p, RouterConfig{Metrics: NewMetrics(reg)})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, got := postJSON(t, front.URL+"/predict", pairBody(0))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(got, "wrong attribute count") {
+		t.Fatalf("relayed 400 = %d (%s)", resp.StatusCode, got)
+	}
+	if p.Replica(bad.URL).Breaker().State() != Closed {
+		t.Fatal("a relayed 4xx tripped the breaker")
+	}
+}

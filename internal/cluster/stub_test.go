@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stubReplica is a protocol-faithful fake wym-server for router tests:
+// it answers /readyz, /predict, /explain, /predict/batch, /schema, and
+// the model-scoped forms, with switches for shedding, failing, and
+// stalling so tests steer fleet behavior without real models.
+type stubReplica struct {
+	srv *httptest.Server
+
+	ready      atomic.Bool
+	fail       atomic.Bool  // 500 every predict
+	shed       atomic.Bool  // 429 + Retry-After every predict
+	retryAfter atomic.Int64 // seconds advertised on shed
+	stall      atomic.Int64 // nanoseconds to sleep before answering
+	panics     atomic.Bool  // panic inside the handler (recovered by middleware)
+
+	mu       sync.Mutex
+	predicts int
+	batches  []int    // batch sizes seen
+	paths    []string // request paths seen
+	models   []ModelInfo
+}
+
+func newStubReplica() *stubReplica {
+	s := &stubReplica{}
+	s.ready.Store(true)
+	s.retryAfter.Store(1)
+	s.models = []ModelInfo{{Name: "default", Format: "gob", Fingerprint: "fnv64:stub"}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"draining"}`)
+			return
+		}
+		s.mu.Lock()
+		models := s.models
+		s.mu.Unlock()
+		json.NewEncoder(w).Encode(struct {
+			Status string      `json:"status"`
+			Models []ModelInfo `json:"models"`
+		}{"ready", models})
+	})
+	mux.HandleFunc("GET /schema", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode([]string{"name", "brand"})
+	})
+	single := func(w http.ResponseWriter, r *http.Request) {
+		s.note(r.URL.Path)
+		if !s.gate(w, r) {
+			return
+		}
+		s.mu.Lock()
+		s.predicts++
+		s.mu.Unlock()
+		fmt.Fprintln(w, `{"match":true,"probability":0.9}`)
+	}
+	batch := func(w http.ResponseWriter, r *http.Request) {
+		s.note(r.URL.Path)
+		if !s.gate(w, r) {
+			return
+		}
+		var req struct {
+			Pairs []json.RawMessage `json:"pairs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.batches = append(s.batches, len(req.Pairs))
+		s.mu.Unlock()
+		results := make([]json.RawMessage, len(req.Pairs))
+		for i := range results {
+			results[i] = json.RawMessage(`{"match":true,"probability":0.9}`)
+		}
+		json.NewEncoder(w).Encode(struct {
+			Results []json.RawMessage `json:"results"`
+			Errors  int               `json:"errors"`
+		}{results, 0})
+	}
+	mux.HandleFunc("POST /predict", single)
+	mux.HandleFunc("POST /explain", single)
+	mux.HandleFunc("POST /predict/batch", batch)
+	mux.HandleFunc("POST /models/{name}/predict", single)
+	mux.HandleFunc("POST /models/{name}/explain", single)
+	mux.HandleFunc("POST /models/{name}/predict/batch", batch)
+	// Recover injected panics like the real server's middleware would,
+	// turning them into 500s instead of killing the test process.
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if recover() != nil {
+				w.WriteHeader(http.StatusInternalServerError)
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	}))
+	return s
+}
+
+// gate applies the configured fault behavior; reports whether the
+// request should proceed to a normal answer.
+func (s *stubReplica) gate(w http.ResponseWriter, r *http.Request) bool {
+	if d := s.stall.Load(); d > 0 {
+		select {
+		case <-time.After(time.Duration(d)):
+		case <-r.Context().Done():
+			return false
+		}
+	}
+	if s.panics.Load() {
+		panic("stub: injected panic")
+	}
+	if s.shed.Load() {
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfter.Load()))
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error":"server at capacity, retry later"}`)
+		return false
+	}
+	if s.fail.Load() {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"boom"}`)
+		return false
+	}
+	return true
+}
+
+func (s *stubReplica) note(path string) {
+	s.mu.Lock()
+	s.paths = append(s.paths, path)
+	s.mu.Unlock()
+}
+
+func (s *stubReplica) URL() string { return s.srv.URL }
+
+func (s *stubReplica) Predicts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.predicts
+}
+
+func (s *stubReplica) Batches() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.batches...)
+}
+
+func (s *stubReplica) Paths() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.paths...)
+}
+
+func (s *stubReplica) Close() { s.srv.Close() }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"wym/internal/arena"
 	"wym/internal/classify"
 	"wym/internal/data"
 	"wym/internal/embed"
@@ -181,8 +182,22 @@ func (s *System) SaveFile(path string) error {
 // failures — a truncated or corrupt stream, an empty file, a gob
 // holding some other type — are wrapped with the file path so
 // operators can tell *which* artifact is bad when a reload fails.
+// Obviously truncated files (zero bytes, or an arena magic with less
+// than a full header behind it) are rejected up front with an explicit
+// "truncated" error instead of whatever EOF the decoder would report.
 func LoadFile(path string) (*System, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil, fmt.Errorf("core: artifact %s is truncated: file is empty", path)
+	}
 	if sniffArena(path) {
+		if st.Size() < arena.HeaderSize {
+			return nil, fmt.Errorf("core: artifact %s is truncated: %d bytes, arena header needs %d",
+				path, st.Size(), arena.HeaderSize)
+		}
 		return loadArenaFile(path)
 	}
 	f, err := os.Open(path)

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wym/internal/arena"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -107,23 +109,42 @@ func TestLoadFileCorruptInputs(t *testing.T) {
 
 	cases := []struct {
 		name  string
+		want  string // required error substring beyond the path ("" = any)
 		setup func(t *testing.T) string
 	}{
-		{"garbage bytes", func(t *testing.T) string {
+		{"garbage bytes", "", func(t *testing.T) string {
 			p := filepath.Join(dir, "garbage.gob")
 			if err := os.WriteFile(p, []byte("\x00\xff definitely not a gob"), 0o644); err != nil {
 				t.Fatal(err)
 			}
 			return p
 		}},
-		{"zero-byte file", func(t *testing.T) string {
+		// The truncation preflight must call an empty artifact what it
+		// is, not relay the decoder's bare EOF.
+		{"zero-byte file", "truncated", func(t *testing.T) string {
 			p := filepath.Join(dir, "empty.gob")
 			if err := os.WriteFile(p, nil, 0o644); err != nil {
 				t.Fatal(err)
 			}
 			return p
 		}},
-		{"wrong-type gob", func(t *testing.T) string { return wrongType }},
+		{"arena magic only", "truncated", func(t *testing.T) string {
+			p := filepath.Join(dir, "magic-only.wyma")
+			if err := os.WriteFile(p, []byte(arena.Magic), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"partial arena header", "truncated", func(t *testing.T) string {
+			p := filepath.Join(dir, "half-header.wyma")
+			buf := make([]byte, arena.HeaderSize/2)
+			copy(buf, arena.Magic)
+			if err := os.WriteFile(p, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"wrong-type gob", "", func(t *testing.T) string { return wrongType }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -134,6 +155,9 @@ func TestLoadFileCorruptInputs(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), path) {
 				t.Fatalf("error %q does not name the offending file %q", err, path)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
 			}
 		})
 	}

@@ -59,6 +59,32 @@ func (in *Injector) Reset() {
 	in.n = 0
 }
 
+// SetFaults swaps the fault plan mid-test without rewiring the stack;
+// the request counter keeps running so numbering stays continuous. A
+// zero ErrorStatus defaults to 500 as in NewInjector.
+func (in *Injector) SetFaults(cfg Faults) {
+	if in == nil {
+		return
+	}
+	if cfg.ErrorStatus == 0 {
+		cfg.ErrorStatus = http.StatusInternalServerError
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cfg = cfg
+}
+
+// Count reports how many requests have passed through the injector
+// since construction or the last Reset. Safe on a nil Injector.
+func (in *Injector) Count() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.n
+}
+
 // tick advances the counter and snapshots the plan.
 func (in *Injector) tick() (n uint64, cfg Faults, on bool) {
 	in.mu.Lock()

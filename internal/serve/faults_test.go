@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// okHandler is the innermost handler the injector wraps in these tests.
+var okHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, "ok")
+})
+
+func hit(t *testing.T, h http.Handler) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	return rec
+}
+
+func TestInjectorDeterministicSequencing(t *testing.T) {
+	// Errors on every 3rd request: the schedule must be exact, not
+	// probabilistic — that is the injector's whole contract.
+	in := NewInjector(Faults{ErrorEvery: 3, ErrorStatus: http.StatusBadGateway})
+	h := in.Middleware(okHandler)
+	for i := 1; i <= 9; i++ {
+		rec := hit(t, h)
+		want := http.StatusOK
+		if i%3 == 0 {
+			want = http.StatusBadGateway
+		}
+		if rec.Code != want {
+			t.Fatalf("request %d status = %d, want %d", i, rec.Code, want)
+		}
+	}
+	if got := in.Count(); got != 9 {
+		t.Fatalf("Count() = %d, want 9", got)
+	}
+}
+
+func TestInjectorResetRestartsNumbering(t *testing.T) {
+	in := NewInjector(Faults{ErrorEvery: 2})
+	h := in.Middleware(okHandler)
+	if rec := hit(t, h); rec.Code != http.StatusOK {
+		t.Fatalf("request 1 status = %d", rec.Code)
+	}
+	in.Reset()
+	if got := in.Count(); got != 0 {
+		t.Fatalf("Count() after Reset = %d, want 0", got)
+	}
+	// Post-reset request 1 is odd again, so it passes; request 2 errors.
+	if rec := hit(t, h); rec.Code != http.StatusOK {
+		t.Fatalf("post-reset request 1 status = %d", rec.Code)
+	}
+	if rec := hit(t, h); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("post-reset request 2 status = %d, want the default 500", rec.Code)
+	}
+}
+
+func TestInjectorSetEnabledSuspendsFaultsButCounts(t *testing.T) {
+	in := NewInjector(Faults{ErrorEvery: 1})
+	h := in.Middleware(okHandler)
+	in.SetEnabled(false)
+	for i := 0; i < 3; i++ {
+		if rec := hit(t, h); rec.Code != http.StatusOK {
+			t.Fatalf("disabled injector fired (status %d)", rec.Code)
+		}
+	}
+	if got := in.Count(); got != 3 {
+		t.Fatalf("disabled injector stopped counting: %d", got)
+	}
+	in.SetEnabled(true)
+	if rec := hit(t, h); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("re-enabled injector did not fire (status %d)", rec.Code)
+	}
+}
+
+func TestInjectorSetFaultsSwapsPlanMidstream(t *testing.T) {
+	in := NewInjector(Faults{ErrorEvery: 2, ErrorStatus: http.StatusBadGateway})
+	h := in.Middleware(okHandler)
+	if rec := hit(t, h); rec.Code != http.StatusOK {
+		t.Fatalf("request 1 status = %d", rec.Code)
+	}
+	if rec := hit(t, h); rec.Code != http.StatusBadGateway {
+		t.Fatalf("request 2 status = %d, want 502", rec.Code)
+	}
+	// Swap to every-3rd with the default status; the counter keeps
+	// running, so requests 3 and 6 trigger under the new plan.
+	in.SetFaults(Faults{ErrorEvery: 3})
+	for i := 3; i <= 6; i++ {
+		rec := hit(t, h)
+		want := http.StatusOK
+		if i%3 == 0 {
+			want = http.StatusInternalServerError // the swapped plan's default status
+		}
+		if rec.Code != want {
+			t.Fatalf("request %d status = %d after plan swap, want %d", i, rec.Code, want)
+		}
+	}
+}
+
+func TestInjectorLatencyRespectsCancel(t *testing.T) {
+	in := NewInjector(Faults{LatencyEvery: 1, Latency: time.Hour})
+	h := in.Middleware(okHandler)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel() // already canceled: the stall must not block at all
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req.WithContext(ctx))
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected latency ignored the canceled request context")
+	}
+}
+
+// TestInjectorConcurrentUse hammers one injector from many goroutines:
+// the counter must stay exact (race detector covers the memory model,
+// the total covers lost updates).
+func TestInjectorConcurrentUse(t *testing.T) {
+	in := NewInjector(Faults{ErrorEvery: 4})
+	h := in.Middleware(okHandler)
+	const (
+		workers = 8
+		each    = 50
+	)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errors int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+				if rec.Code == http.StatusInternalServerError {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(workers * each)
+	if got := in.Count(); got != total {
+		t.Fatalf("Count() = %d, want %d", got, total)
+	}
+	// Exactly every 4th of the interleaved sequence errored.
+	if want := int(total / 4); errors != want {
+		t.Fatalf("injected errors = %d, want %d", errors, want)
+	}
+}
+
+func TestNilInjectorIsANoOp(t *testing.T) {
+	var in *Injector
+	in.SetEnabled(true)
+	in.SetFaults(Faults{ErrorEvery: 1})
+	in.Reset()
+	if got := in.Count(); got != 0 {
+		t.Fatalf("nil Count() = %d", got)
+	}
+	if rec := hit(t, in.Middleware(okHandler)); rec.Code != http.StatusOK {
+		t.Fatalf("nil injector altered the response: %d", rec.Code)
+	}
+}
+
+func TestLimiterRetryAfterConfigurable(t *testing.T) {
+	l := NewLimiter(1, 2*time.Second)
+	if got := l.RetryAfter(); got != 2*time.Second {
+		t.Fatalf("RetryAfter() = %v, want 2s", got)
+	}
+	// Sub-second hints round up to the 1s floor.
+	l.SetRetryAfter(10 * time.Millisecond)
+	if got := l.RetryAfter(); got != time.Second {
+		t.Fatalf("RetryAfter() after sub-second set = %v, want the 1s floor", got)
+	}
+	l.SetRetryAfter(7 * time.Second)
+
+	// Occupy the only slot, then shed a request and read the header.
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/", nil))
+	}()
+	<-entered
+	rec := hit(t, h)
+	close(release)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated limiter status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After header = %q, want the runtime-set 7", got)
+	}
+	if !strings.Contains(rec.Body.String(), "capacity") {
+		t.Fatalf("shed body %q", rec.Body.String())
+	}
+
+	var nilL *Limiter
+	nilL.SetRetryAfter(time.Minute)
+	if got := nilL.RetryAfter(); got != 0 {
+		t.Fatalf("nil limiter RetryAfter() = %v, want 0", got)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"wym/internal/obs"
@@ -19,7 +20,7 @@ import (
 // must never shed, like health probes).
 type Limiter struct {
 	sem        chan struct{}
-	retryAfter string
+	retryAfter atomic.Int64 // whole seconds advertised on shed responses
 	sheds      *obs.Counter // optional; counts 429 responses
 }
 
@@ -30,14 +31,33 @@ func NewLimiter(max int, retryAfter time.Duration) *Limiter {
 	if max <= 0 {
 		return nil
 	}
-	secs := int(retryAfter.Round(time.Second) / time.Second)
+	l := &Limiter{sem: make(chan struct{}, max)}
+	l.SetRetryAfter(retryAfter)
+	return l
+}
+
+// SetRetryAfter changes the advertised backoff hint at runtime (rounded
+// to whole seconds, minimum 1) — operators tune it while shedding to
+// push clients and routers further away without a restart. Safe on a
+// nil Limiter and safe concurrently with serving.
+func (l *Limiter) SetRetryAfter(d time.Duration) {
+	if l == nil {
+		return
+	}
+	secs := int64(d.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	return &Limiter{
-		sem:        make(chan struct{}, max),
-		retryAfter: strconv.Itoa(secs),
+	l.retryAfter.Store(secs)
+}
+
+// RetryAfter reports the currently advertised backoff hint. A nil
+// Limiter never sheds, so it reports 0.
+func (l *Limiter) RetryAfter() time.Duration {
+	if l == nil {
+		return 0
 	}
+	return time.Duration(l.retryAfter.Load()) * time.Second
 }
 
 // CountSheds attaches a counter incremented on every shed (429)
@@ -72,7 +92,7 @@ func (l *Limiter) Middleware(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			l.sheds.Inc() // nil-safe when no counter is attached
-			w.Header().Set("Retry-After", l.retryAfter)
+			w.Header().Set("Retry-After", strconv.FormatInt(l.retryAfter.Load(), 10))
 			WriteError(w, http.StatusTooManyRequests, "server at capacity, retry later")
 		}
 	})
