@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race serve-race train-race model-race router-race fuzz-smoke bench bench-json bench-guard cover
+.PHONY: check build vet fmt-check test race serve-race train-race model-race router-race match-race fuzz-smoke bench bench-json bench-guard cover
 
 ## check: the pre-merge gate — formatting, vet (must be clean for every
 ## package, internal/serve included), build, the serving-layer race gate,
 ## the fault-tolerant-training race gate, the model-format race gate, the
-## fleet-routing chaos gate, a fuzz smoke pass over CSV ingest and arena
-## parsing, full race-enabled tests, short benchmarks, and the coverage
-## ratchet.
-check: fmt-check vet build serve-race train-race model-race router-race fuzz-smoke race bench cover
+## fleet-routing chaos gate, the crash-safe-matching race gate, a fuzz
+## smoke pass over CSV ingest, arena parsing, and blocking, full
+## race-enabled tests, short benchmarks, and the coverage ratchet.
+check: fmt-check vet build serve-race train-race model-race router-race match-race fuzz-smoke race bench cover
 
 build:
 	$(GO) build ./...
@@ -62,13 +62,23 @@ router-race:
 		./internal/cluster/... ./cmd/wym-router/...
 	$(GO) test -race -timeout 10m -run 'TestFleet' ./cmd/wym-server
 
+## match-race: the crash-safe table-matching suite under the race
+## detector — mid-job SIGKILL with byte-identical resume, SIGTERM
+## draining the in-flight chunk, corrupt-segment recomputation, and
+## manifest fingerprint rejection.
+match-race:
+	$(GO) test -race -timeout 20m \
+		-run 'TestMatchKillResume|TestMatchSigtermDrains|TestInterruptAndResume|TestResumeRecomputes|TestResumeRejects|TestRetryOnceOnQuarantine' \
+		./cmd/wym ./internal/matchjob
+
 ## fuzz-smoke: a short native-fuzz pass over the untrusted-input
-## surfaces — both CSV ingest readers and the arena (.wyma) parser must
-## never panic on arbitrary bytes.
+## surfaces — both CSV ingest readers, the arena (.wyma) parser, and the
+## blocking candidate generator must never panic on arbitrary bytes.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=5s ./internal/data
 	$(GO) test -fuzz='^FuzzReadCSVLenient$$' -fuzztime=5s ./internal/data
 	$(GO) test -fuzz='^FuzzLoadArena$$' -fuzztime=5s ./internal/arena
+	$(GO) test -fuzz='^FuzzBlockingCandidates$$' -fuzztime=5s ./internal/blocking
 
 ## bench: short benchmark pass over the hot-path packages (sanity, not a
 ## baseline — use bench-json for comparable numbers).

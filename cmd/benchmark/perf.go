@@ -11,6 +11,7 @@ package main
 // the same machine as the baseline when comparing.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,7 +20,10 @@ import (
 	"testing"
 
 	"wym"
+	"wym/internal/blocking"
+	"wym/internal/datagen"
 	"wym/internal/embed"
+	"wym/internal/matchjob"
 	"wym/internal/obs"
 	"wym/internal/pipeline"
 	"wym/internal/tokenize"
@@ -215,6 +219,67 @@ func collectSnapshot(dataset string, scale float64, seed int64) (perfSnapshot, *
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			arenaEng.Predict(test.Pairs[i%test.Size()])
+		}
+	})
+
+	// Table-scale matching paths: the streaming blocking index (shard
+	// build + probe over a full table pair) and a complete chunked match
+	// job — blocking, batch prediction, segment writes, and the manifest
+	// discipline — on tables generated from the same profile the system
+	// was trained on.
+	profile, ok := datagen.ProfileByKey(dataset)
+	if !ok {
+		return snap, reg, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	tables := datagen.GenerateTables(profile, 300, 0.2)
+	scfg := blocking.DefaultStreamConfig()
+	scfg.MaxDF = 0.05
+	scfg.MemoryBudget = 1 << 20
+	scfg.TopK = 20
+	record("BlockingIndex", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := blocking.NewStreamer(tables.Left, tables.Right, scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for start := 0; start < len(tables.Left); start += 100 {
+				end := start + 100
+				if end > len(tables.Left) {
+					end = len(tables.Left)
+				}
+				cs, err := s.Chunk(start, end)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, ok := cs.Next(); !ok {
+						break
+					}
+				}
+			}
+		}
+	})
+	jobTables := datagen.GenerateTables(profile, 150, 0.2)
+	record("MatchJob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			jdir, err := os.MkdirTemp(dir, "job")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := matchjob.New(eng, jobTables.Left, jobTables.Right, matchjob.Config{
+				ChunkSize: 50,
+				Blocking:  scfg,
+				Dir:       jdir,
+				Out:       filepath.Join(jdir, "out.csv"),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

@@ -1,10 +1,16 @@
 // Command datagen emits the synthetic benchmark as Magellan-layout CSV
-// files, one per dataset.
+// files, one per dataset, or — with -tables — a pair of unlabeled entity
+// tables plus ground truth for full-table matching jobs.
 //
 // Usage:
 //
 //	datagen -out ./datasets -scale 0.05
 //	datagen -out ./datasets -datasets S-AG,T-AB -scale 1.0
+//	datagen -out ./tables -tables -datasets S-FZ -rows 1000000 -match-rate 0.2
+//
+// Table mode writes <key>_left.csv, <key>_right.csv (header = attribute
+// names) and <key>_truth.csv ("left,right" 0-based match indices).
+// Generation is a single linear pass, so million-row tables are cheap.
 package main
 
 import (
@@ -15,32 +21,49 @@ import (
 	"strings"
 
 	"wym"
+	"wym/internal/data"
+	"wym/internal/datagen"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "datasets", "output directory")
-		scale    = flag.Float64("scale", 0.05, "dataset scale (1.0 = Table-2 sizes)")
-		datasets = flag.String("datasets", "", "comma-separated keys (default: all 12)")
+		out       = flag.String("out", "datasets", "output directory")
+		scale     = flag.Float64("scale", 0.05, "dataset scale (1.0 = Table-2 sizes)")
+		datasets  = flag.String("datasets", "", "comma-separated keys (default: all 12)")
+		tables    = flag.Bool("tables", false, "emit unlabeled entity-table pairs with ground truth instead of labeled pair datasets")
+		rows      = flag.Int("rows", 10000, "rows per table in -tables mode")
+		matchRate = flag.Float64("match-rate", 0.2, "fraction of left rows with a true match in -tables mode")
 	)
 	flag.Parse()
 
-	if err := run(*out, *scale, *datasets); err != nil {
+	var err error
+	if *tables {
+		err = runTables(*out, *rows, *matchRate, *datasets)
+	} else {
+		err = run(*out, *scale, *datasets)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale float64, datasets string) error {
-	if err := os.MkdirAll(out, 0o755); err != nil {
-		return err
-	}
+// keyFilter parses the -datasets flag into a set (empty = all).
+func keyFilter(datasets string) map[string]bool {
 	keys := map[string]bool{}
 	if datasets != "" {
 		for _, k := range strings.Split(datasets, ",") {
 			keys[strings.TrimSpace(k)] = true
 		}
 	}
+	return keys
+}
+
+func run(out string, scale float64, datasets string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	keys := keyFilter(datasets)
 	for _, p := range wym.BenchmarkProfiles() {
 		if len(keys) > 0 && !keys[p.Key] {
 			continue
@@ -52,6 +75,34 @@ func run(out string, scale float64, datasets string) error {
 		}
 		fmt.Printf("%-6s %6d pairs  %5.2f%% match  -> %s\n",
 			p.Key, d.Size(), 100*d.MatchRate(), path)
+	}
+	return nil
+}
+
+func runTables(out string, rows int, matchRate float64, datasets string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	keys := keyFilter(datasets)
+	for _, p := range datagen.Benchmark() {
+		if len(keys) > 0 && !keys[p.Key] {
+			continue
+		}
+		tp := datagen.GenerateTables(p, rows, matchRate)
+		leftPath := filepath.Join(out, p.Key+"_left.csv")
+		rightPath := filepath.Join(out, p.Key+"_right.csv")
+		truthPath := filepath.Join(out, p.Key+"_truth.csv")
+		if err := data.SaveTableFile(leftPath, &data.Table{Schema: tp.Schema, Rows: tp.Left}); err != nil {
+			return err
+		}
+		if err := data.SaveTableFile(rightPath, &data.Table{Schema: tp.Schema, Rows: tp.Right}); err != nil {
+			return err
+		}
+		if err := data.SaveTruthFile(truthPath, tp.Truth); err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %d x %d rows  %d true matches  -> %s, %s, %s\n",
+			p.Key, len(tp.Left), len(tp.Right), len(tp.Truth), leftPath, rightPath, truthPath)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wym"
+	"wym/internal/data"
 )
 
 func TestRunWritesCSVs(t *testing.T) {
@@ -31,5 +32,35 @@ func TestRunUnknownFilterWritesNothing(t *testing.T) {
 	matches, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
 	if len(matches) != 0 {
 		t.Fatalf("unexpected files: %v", matches)
+	}
+}
+
+func TestRunTablesWritesTablePair(t *testing.T) {
+	dir := t.TempDir()
+	if err := runTables(dir, 120, 0.25, "S-FZ"); err != nil {
+		t.Fatal(err)
+	}
+	left, err := data.LoadTableFile(filepath.Join(dir, "S-FZ_left.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := data.LoadTableFile(filepath.Join(dir, "S-FZ_right.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := data.LoadTruthFile(filepath.Join(dir, "S-FZ_truth.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left.Rows) != 120 || len(right.Rows) != 120 {
+		t.Fatalf("tables %dx%d, want 120x120", len(left.Rows), len(right.Rows))
+	}
+	if len(truth) != 30 {
+		t.Fatalf("truth has %d pairs, want 30", len(truth))
+	}
+	for _, p := range truth {
+		if p[0] >= len(left.Rows) || p[1] >= len(right.Rows) {
+			t.Fatalf("truth pair out of range: %v", p)
+		}
 	}
 }

@@ -64,6 +64,17 @@ func main() {
 		}
 		return
 	}
+	if len(args) > 0 && (args[0] == "match" || args[0] == "dedup") {
+		// SIGINT/SIGTERM drain the in-flight chunk and stop at the next
+		// boundary; the job stays resumable, so a clean interrupt exits 0.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runMatchCmd(ctx, args[0], args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "wym:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	// Accept an optional leading "train" subcommand: `wym train -resume d`
 	// reads naturally in scripts and docs, and the flag package would stop
 	// parsing at the bare word otherwise.

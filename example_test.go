@@ -49,7 +49,10 @@ func ExampleBlockCandidates() {
 
 	cfg := wym.DefaultBlockingConfig()
 	cfg.MaxDF = 1.0 // tiny tables: keep every token
-	cands := wym.BlockCandidates(left, right, cfg)
+	cands, err := wym.BlockCandidates(left, right, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, c := range cands {
 		fmt.Printf("%d-%d shares %d tokens\n", c.Left, c.Right, c.Shared)
 	}

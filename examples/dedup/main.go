@@ -38,7 +38,10 @@ func main() {
 	// Step 1: blocking cuts the cross product down to candidates.
 	bcfg := wym.DefaultBlockingConfig()
 	bcfg.MinShared = 2
-	cands := wym.BlockCandidates(left, right, bcfg)
+	cands, err := wym.BlockCandidates(left, right, bcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	stats := wym.BlockingSummary(left, right, cands)
 	fmt.Printf("blocking: %d candidates (%.1f%% of comparisons saved)\n\n",
 		stats.Candidates, 100*stats.Reduction)

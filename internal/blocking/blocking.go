@@ -8,6 +8,8 @@
 package blocking
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"wym/internal/data"
@@ -35,6 +37,52 @@ type Config struct {
 // DefaultConfig returns practical defaults.
 func DefaultConfig() Config { return Config{MaxDF: 0.1, MinShared: 1} }
 
+// ErrInvalidConfig is the sentinel every configuration rejection wraps:
+// errors.Is(err, ErrInvalidConfig) catches them all. A bad blocker
+// configuration used to degrade into a silently empty candidate set (an
+// out-of-range attribute index simply indexes nothing); validation turns
+// that class of operator error into a named failure instead.
+var ErrInvalidConfig = errors.New("blocking: invalid config")
+
+// Validate checks the configuration against the table schema. numAttrs is
+// the attribute count of the tables to be blocked (0 skips the Attrs
+// range check, for callers that validate before loading data). Every
+// rejection wraps ErrInvalidConfig.
+func (cfg Config) Validate(numAttrs int) error {
+	if cfg.MaxDF <= 0 || cfg.MaxDF > 1 {
+		return fmt.Errorf("%w: MaxDF %v outside (0,1]", ErrInvalidConfig, cfg.MaxDF)
+	}
+	if cfg.MinShared < 0 {
+		return fmt.Errorf("%w: negative MinShared %d", ErrInvalidConfig, cfg.MinShared)
+	}
+	if cfg.JaccardFloor < 0 || cfg.JaccardFloor > 1 {
+		return fmt.Errorf("%w: JaccardFloor %v outside [0,1]", ErrInvalidConfig, cfg.JaccardFloor)
+	}
+	for _, a := range cfg.Attrs {
+		if a < 0 {
+			return fmt.Errorf("%w: negative attribute index %d", ErrInvalidConfig, a)
+		}
+		if numAttrs > 0 && a >= numAttrs {
+			return fmt.Errorf("%w: attribute index %d out of range (table has %d attributes)",
+				ErrInvalidConfig, a, numAttrs)
+		}
+	}
+	return nil
+}
+
+// numAttrsOf infers the attribute count from the first non-empty row of
+// the given tables (0 when both are empty).
+func numAttrsOf(tables ...[]data.Entity) int {
+	for _, t := range tables {
+		for _, e := range t {
+			if len(e) > 0 {
+				return len(e)
+			}
+		}
+	}
+	return 0
+}
+
 // Candidate is one generated pair: indices into the left and right tables
 // with the number of shared index tokens.
 type Candidate struct {
@@ -44,11 +92,13 @@ type Candidate struct {
 
 // Candidates blocks two entity tables and returns candidate pairs sorted
 // by (Left, Right). Both tables must share the schema's attribute order.
-func Candidates(left, right []data.Entity, cfg Config) []Candidate {
-	if cfg.MaxDF <= 0 {
-		cfg.MaxDF = 0.1
+// An invalid configuration returns an error wrapping ErrInvalidConfig
+// instead of silently producing an empty candidate set.
+func Candidates(left, right []data.Entity, cfg Config) ([]Candidate, error) {
+	if err := cfg.Validate(numAttrsOf(left, right)); err != nil {
+		return nil, err
 	}
-	if cfg.MinShared <= 0 {
+	if cfg.MinShared == 0 {
 		cfg.MinShared = 1
 	}
 	leftTokens := tokenized(left, cfg.Attrs)
@@ -104,7 +154,7 @@ func Candidates(left, right []data.Entity, cfg Config) []Candidate {
 		}
 		return out[i].Right < out[j].Right
 	})
-	return out
+	return out, nil
 }
 
 // Pairs materializes candidates as unlabeled record pairs ready for a
@@ -209,13 +259,16 @@ func docFreq(tokens [][]string) map[string]int {
 // SelfCandidates blocks one entity table against itself for deduplication,
 // returning each unordered candidate pair once (Left < Right) and never
 // pairing a record with itself.
-func SelfCandidates(table []data.Entity, cfg Config) []Candidate {
-	raw := Candidates(table, table, cfg)
+func SelfCandidates(table []data.Entity, cfg Config) ([]Candidate, error) {
+	raw, err := Candidates(table, table, cfg)
+	if err != nil {
+		return nil, err
+	}
 	out := raw[:0]
 	for _, c := range raw {
 		if c.Left < c.Right {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -9,6 +9,17 @@ import (
 	"wym/internal/datagen"
 )
 
+// mustCandidates runs the batch blocker, failing the test on a
+// configuration rejection.
+func mustCandidates(t *testing.T, left, right []data.Entity, cfg Config) []Candidate {
+	t.Helper()
+	cands, err := Candidates(left, right, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cands
+}
+
 // tables builds two entity tables with known ground truth: left[i] matches
 // right[i] for i < nMatch (the rest are unrelated products).
 func tables(nMatch, nNoise int) (left, right []data.Entity, truth map[int][]int) {
@@ -33,7 +44,7 @@ func tables(nMatch, nNoise int) (left, right []data.Entity, truth map[int][]int)
 
 func TestCandidatesCoverTruth(t *testing.T) {
 	left, right, truth := tables(50, 200)
-	cands := Candidates(left, right, DefaultConfig())
+	cands := mustCandidates(t, left, right, DefaultConfig())
 	if r := Recall(cands, truth); r < 0.99 {
 		t.Fatalf("blocking recall = %v, want ~1", r)
 	}
@@ -46,7 +57,7 @@ func TestCandidatesCoverTruth(t *testing.T) {
 
 func TestCandidatesSorted(t *testing.T) {
 	left, right, _ := tables(20, 50)
-	cands := Candidates(left, right, DefaultConfig())
+	cands := mustCandidates(t, left, right, DefaultConfig())
 	for i := 1; i < len(cands); i++ {
 		a, b := cands[i-1], cands[i]
 		if a.Left > b.Left || (a.Left == b.Left && a.Right >= b.Right) {
@@ -61,7 +72,7 @@ func TestMinShared(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxDF = 1.0
 	cfg.MinShared = 2
-	cands := Candidates(left, right, cfg)
+	cands := mustCandidates(t, left, right, cfg)
 	if len(cands) != 1 || cands[0].Right != 1 {
 		t.Fatalf("MinShared filter wrong: %+v", cands)
 	}
@@ -75,7 +86,7 @@ func TestMaxDFDropsFrequentTokens(t *testing.T) {
 		left = append(left, data.Entity{fmt.Sprintf("common l%04d", i)})
 		right = append(right, data.Entity{fmt.Sprintf("common r%04d", i)})
 	}
-	cands := Candidates(left, right, DefaultConfig())
+	cands := mustCandidates(t, left, right, DefaultConfig())
 	if len(cands) != 0 {
 		t.Fatalf("frequent token produced %d candidates", len(cands))
 	}
@@ -86,12 +97,12 @@ func TestJaccardFloor(t *testing.T) {
 	right := []data.Entity{{"alpha zzz yyy xxx www vvv"}}
 	cfg := DefaultConfig()
 	cfg.MaxDF = 1.0
-	cands := Candidates(left, right, cfg)
+	cands := mustCandidates(t, left, right, cfg)
 	if len(cands) != 1 {
 		t.Fatalf("expected 1 raw candidate, got %d", len(cands))
 	}
 	cfg.JaccardFloor = 0.3
-	cands = Candidates(left, right, cfg)
+	cands = mustCandidates(t, left, right, cfg)
 	if len(cands) != 0 {
 		t.Fatalf("Jaccard floor did not filter: %+v", cands)
 	}
@@ -104,11 +115,11 @@ func TestAttrsRestriction(t *testing.T) {
 	cfg.MaxDF = 1.0
 	// Indexing only attribute 0: no shared tokens, no candidates.
 	cfg.Attrs = []int{0}
-	if cands := Candidates(left, right, cfg); len(cands) != 0 {
+	if cands := mustCandidates(t, left, right, cfg); len(cands) != 0 {
 		t.Fatalf("attr restriction ignored: %+v", cands)
 	}
 	cfg.Attrs = []int{1}
-	if cands := Candidates(left, right, cfg); len(cands) != 1 {
+	if cands := mustCandidates(t, left, right, cfg); len(cands) != 1 {
 		t.Fatalf("attr 1 should block the pair: %+v", cands)
 	}
 }
@@ -155,7 +166,7 @@ func TestBlockingOnSyntheticBenchmark(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.MaxDF = 0.3 // small tables: allow more frequent tokens
-	cands := Candidates(left, right, cfg)
+	cands := mustCandidates(t, left, right, cfg)
 	if r := Recall(cands, truth); r < 0.9 {
 		t.Fatalf("benchmark blocking recall = %v", r)
 	}
@@ -166,7 +177,9 @@ func BenchmarkCandidates(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Candidates(left, right, cfg)
+		if _, err := Candidates(left, right, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -178,7 +191,10 @@ func TestSelfCandidates(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.MaxDF = 1.0
-	cands := SelfCandidates(table, cfg)
+	cands, err := SelfCandidates(table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range cands {
 		if c.Left >= c.Right {
 			t.Fatalf("self-pair or duplicate orientation: %+v", c)

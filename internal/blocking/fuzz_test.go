@@ -1,0 +1,104 @@
+package blocking
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wym/internal/data"
+)
+
+// FuzzBlockingCandidates throws arbitrary table contents and configuration
+// knobs at the blocker. Invariants: never panic; an invalid configuration
+// is reported via ErrInvalidConfig; on success every candidate is in-range,
+// deduplicated, and sorted; and the streaming path agrees with the batch
+// path when no TopK cap is set.
+func FuzzBlockingCandidates(f *testing.F) {
+	f.Add("camera x100 fuji\ncamera x-100 fuji", "espresso maker\ncamera x100", 0.5, 1, 0.0, int64(128))
+	f.Add("a b c", "", 1.0, 0, 0.2, int64(0))
+	f.Add("", "x", -0.3, -1, 1.5, int64(-5))
+	f.Add("one\ntwo\nthree", "one two\nthree four", 0.9, 2, 0.1, int64(1))
+	f.Fuzz(func(t *testing.T, leftRaw, rightRaw string, maxDF float64, minShared int, jaccard float64, budget int64) {
+		left := fuzzTable(leftRaw)
+		right := fuzzTable(rightRaw)
+		cfg := Config{MaxDF: maxDF, MinShared: minShared, JaccardFloor: jaccard}
+
+		cands, err := Candidates(left, right, cfg)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			return
+		}
+		seen := map[[2]int]bool{}
+		for i, c := range cands {
+			if c.Left < 0 || c.Left >= len(left) || c.Right < 0 || c.Right >= len(right) {
+				t.Fatalf("candidate %d out of range: %+v (tables %dx%d)", i, c, len(left), len(right))
+			}
+			key := [2]int{c.Left, c.Right}
+			if seen[key] {
+				t.Fatalf("duplicate candidate %v", key)
+			}
+			seen[key] = true
+			if i > 0 {
+				p := cands[i-1]
+				if p.Left > c.Left || (p.Left == c.Left && p.Right >= c.Right) {
+					t.Fatalf("candidates unsorted at %d: %+v then %+v", i, p, c)
+				}
+			}
+		}
+
+		if budget < 0 {
+			// Stream-only knobs have their own validation; a negative
+			// budget must be rejected, then fuzz the positive mirror.
+			if _, err := NewStreamer(left, right, StreamConfig{Config: cfg, MemoryBudget: budget}); !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("negative budget accepted: %v", err)
+			}
+			budget = -budget
+		}
+		s, err := NewStreamer(left, right, StreamConfig{Config: cfg, MemoryBudget: budget})
+		if err != nil {
+			t.Fatalf("batch accepted config but streamer rejected it: %v", err)
+		}
+		var streamed []Candidate
+		for start := 0; start < len(left); start += 2 {
+			end := start + 2
+			if end > len(left) {
+				end = len(left)
+			}
+			cs, err := s.Chunk(start, end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				c, ok := cs.Next()
+				if !ok {
+					break
+				}
+				streamed = append(streamed, c)
+			}
+		}
+		if len(streamed) != len(cands) {
+			t.Fatalf("stream emitted %d candidates, batch %d", len(streamed), len(cands))
+		}
+		for i := range streamed {
+			if streamed[i] != cands[i] {
+				t.Fatalf("stream candidate %d = %+v, batch %+v", i, streamed[i], cands[i])
+			}
+		}
+	})
+}
+
+// fuzzTable parses newline-separated rows of space-separated attribute
+// values into a single-attribute entity table.
+func fuzzTable(raw string) []data.Entity {
+	if raw == "" {
+		return nil
+	}
+	lines := strings.Split(raw, "\n")
+	out := make([]data.Entity, 0, len(lines))
+	for _, l := range lines {
+		out = append(out, data.Entity{l})
+	}
+	return out
+}

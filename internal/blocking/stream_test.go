@@ -1,0 +1,348 @@
+package blocking
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/datagen"
+)
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"MaxDF zero", func(c *Config) { c.MaxDF = 0 }},
+		{"MaxDF negative", func(c *Config) { c.MaxDF = -0.5 }},
+		{"MaxDF above one", func(c *Config) { c.MaxDF = 1.5 }},
+		{"negative MinShared", func(c *Config) { c.MinShared = -1 }},
+		{"negative JaccardFloor", func(c *Config) { c.JaccardFloor = -0.1 }},
+		{"JaccardFloor above one", func(c *Config) { c.JaccardFloor = 1.1 }},
+		{"negative attr", func(c *Config) { c.Attrs = []int{-1} }},
+		{"attr out of range", func(c *Config) { c.Attrs = []int{2} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate(2)
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Validate = %v, want ErrInvalidConfig", err)
+			}
+			// The batch entry point must surface the same rejection
+			// instead of silently producing an empty candidate set.
+			left := []data.Entity{{"a", "b"}}
+			if _, err := Candidates(left, left, cfg); !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Candidates = %v, want ErrInvalidConfig", err)
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(2); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	// With an unknown attribute count the Attrs range check is skipped
+	// but negative indices are still rejected.
+	cfg := DefaultConfig()
+	cfg.Attrs = []int{7}
+	if err := cfg.Validate(0); err != nil {
+		t.Fatalf("attrs with unknown arity rejected: %v", err)
+	}
+}
+
+// drain pulls every candidate out of a stream.
+func drain(t *testing.T, cs *CandidateStream) []Candidate {
+	t.Helper()
+	var out []Candidate
+	for {
+		c, ok := cs.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, c)
+	}
+}
+
+// streamAll runs the streamer over the whole left table in chunks of the
+// given size and concatenates the candidates.
+func streamAll(t *testing.T, s *Streamer, leftRows, chunk int) []Candidate {
+	t.Helper()
+	var out []Candidate
+	for start := 0; start < leftRows; start += chunk {
+		end := start + chunk
+		if end > leftRows {
+			end = leftRows
+		}
+		cs, err := s.Chunk(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, drain(t, cs)...)
+	}
+	return out
+}
+
+// TestStreamMatchesBatch pins the central invariant: with no TopK cap,
+// the streaming path emits exactly the batch candidate set, regardless of
+// the memory budget (shard count) and chunk size.
+func TestStreamMatchesBatch(t *testing.T) {
+	left, right, _ := tables(40, 160)
+	cfg := DefaultConfig()
+	cfg.MaxDF = 0.2
+	want := mustCandidates(t, left, right, cfg)
+	if len(want) == 0 {
+		t.Fatal("batch produced no candidates; test tables broken")
+	}
+	for _, budget := range []int64{0, 1 << 12, 1 << 16} {
+		for _, chunk := range []int{7, 50, len(left)} {
+			s, err := NewStreamer(left, right, StreamConfig{Config: cfg, MemoryBudget: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := streamAll(t, s, len(left), chunk)
+			if len(got) != len(want) {
+				t.Fatalf("budget %d chunk %d: %d candidates, want %d", budget, chunk, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("budget %d chunk %d: candidate %d = %+v, want %+v",
+						budget, chunk, i, got[i], want[i])
+				}
+			}
+			if budget > 0 && s.Stats().PeakIndexBytes > budget {
+				t.Fatalf("peak index %d exceeds budget %d", s.Stats().PeakIndexBytes, budget)
+			}
+		}
+	}
+}
+
+// TestStreamHonorsMemoryBudget asserts the resident index estimate stays
+// under a tight budget that forces many shards.
+func TestStreamHonorsMemoryBudget(t *testing.T) {
+	left, right, truth := tables(60, 300)
+	const budget = 8 << 10
+	s, err := NewStreamer(left, right, StreamConfig{
+		Config: Config{MaxDF: 0.2, MinShared: 1}, MemoryBudget: budget, TopK: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamAll(t, s, len(left), 25)
+	st := s.Stats()
+	if st.Shards < 2 {
+		t.Fatalf("budget %d built only %d shard(s); too loose to test", budget, st.Shards)
+	}
+	if st.PeakIndexBytes > budget {
+		t.Fatalf("peak index %d bytes exceeds budget %d", st.PeakIndexBytes, budget)
+	}
+	if r := Recall(got, truth); r < 0.95 {
+		t.Fatalf("sharded streaming recall = %v, want >= 0.95", r)
+	}
+}
+
+func TestStreamTopKCapsAndPrunes(t *testing.T) {
+	// One left record sharing tokens with many right records: TopK must
+	// keep the strongest (most shared tokens, ties to lowest index).
+	left := []data.Entity{{"alpha beta gamma delta"}}
+	var right []data.Entity
+	right = append(right, data.Entity{"alpha beta gamma"}) // 3 shared
+	right = append(right, data.Entity{"alpha beta"})       // 2 shared
+	for i := 0; i < 6; i++ {
+		right = append(right, data.Entity{fmt.Sprintf("alpha filler%d", i)}) // 1 shared
+	}
+	s, err := NewStreamer(left, right, StreamConfig{
+		Config: Config{MaxDF: 1.0}, TopK: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := s.Chunk(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, cs)
+	if len(got) != 3 {
+		t.Fatalf("TopK=3 emitted %d candidates: %+v", len(got), got)
+	}
+	// Survivors: rights 0 (3 shared), 1 (2 shared), 2 (first 1-shared).
+	want := []Candidate{{0, 0, 3}, {0, 1, 2}, {0, 2, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if s.Stats().Pruned != 5 {
+		t.Fatalf("pruned = %d, want 5", s.Stats().Pruned)
+	}
+	if s.Stats().Emitted != 3 {
+		t.Fatalf("emitted = %d, want 3", s.Stats().Emitted)
+	}
+}
+
+func TestStreamSelfMode(t *testing.T) {
+	table := []data.Entity{
+		{"digital camera x100", "fuji"},
+		{"digital camera x-100", "fuji"},
+		{"espresso maker", "delonghi"},
+		{"digital camera x100 pro", "fuji"},
+	}
+	s, err := NewStreamer(table, table, StreamConfig{
+		Config: Config{MaxDF: 1.0}, Self: true, MemoryBudget: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamAll(t, s, len(table), 2)
+	if len(got) == 0 {
+		t.Fatal("self mode produced no candidates")
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range got {
+		if c.Left >= c.Right {
+			t.Fatalf("self-pair or duplicate orientation: %+v", c)
+		}
+		key := [2]int{c.Left, c.Right}
+		if seen[key] {
+			t.Fatalf("pair %v emitted twice", key)
+		}
+		seen[key] = true
+	}
+	if !seen[[2]int{0, 1}] {
+		t.Fatalf("duplicate cameras not candidates: %+v", got)
+	}
+}
+
+func TestStreamChunkRange(t *testing.T) {
+	left := []data.Entity{{"a"}}
+	s, err := NewStreamer(left, left, StreamConfig{Config: Config{MaxDF: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{-1, 0}, {0, 2}, {1, 0}} {
+		if _, err := s.Chunk(r[0], r[1]); err == nil {
+			t.Fatalf("chunk %v accepted", r)
+		}
+	}
+}
+
+func TestStreamerRejectsBadConfig(t *testing.T) {
+	left := []data.Entity{{"a"}}
+	bad := []StreamConfig{
+		{Config: Config{MaxDF: -1}},
+		{Config: Config{MaxDF: 0.5}, MemoryBudget: -1},
+		{Config: Config{MaxDF: 0.5}, TopK: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStreamer(left, left, cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("case %d: err = %v, want ErrInvalidConfig", i, err)
+		}
+	}
+}
+
+// TestStreamRecallOnDatagenTables is the blocking-quality gate on the
+// synthetic e2e tables: recall of blocking >= 0.95 under a budget that
+// forces sharding.
+func TestStreamRecallOnDatagenTables(t *testing.T) {
+	p, _ := datagen.ProfileByKey("S-FZ")
+	tp := datagen.GenerateTables(p, 800, 0.3)
+	truth := map[int][]int{}
+	for _, pr := range tp.Truth {
+		truth[pr[0]] = append(truth[pr[0]], pr[1])
+	}
+	cfg := DefaultStreamConfig()
+	cfg.MaxDF = 0.05
+	cfg.MemoryBudget = 32 << 10
+	s, err := NewStreamer(tp.Left, tp.Right, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamAll(t, s, len(tp.Left), 100)
+	if r := Recall(got, truth); r < 0.95 {
+		t.Fatalf("recall of blocking on datagen tables = %v, want >= 0.95", r)
+	}
+	if st := s.Stats(); st.PeakIndexBytes > cfg.MemoryBudget {
+		t.Fatalf("peak index %d exceeds budget %d", st.PeakIndexBytes, cfg.MemoryBudget)
+	}
+}
+
+// TestStreamAttrsSubset restricts blocking to one attribute and checks
+// both paths (batch and stream) agree under the restriction — tokens in
+// the excluded attribute must not create candidates.
+func TestStreamAttrsSubset(t *testing.T) {
+	left := []data.Entity{{"shared alpha", "only-left-one"}, {"unique beta", "shared-tail"}}
+	right := []data.Entity{{"shared alpha", "different"}, {"gamma delta", "shared-tail"}}
+	cfg := DefaultConfig()
+	cfg.MaxDF = 1.0
+	cfg.Attrs = []int{0}
+	want := mustCandidates(t, left, right, cfg)
+	if len(want) != 1 || want[0].Left != 0 || want[0].Right != 0 {
+		t.Fatalf("attr-0 batch candidates = %+v", want)
+	}
+	s, err := NewStreamer(left, right, StreamConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamAll(t, s, len(left), 1)
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("attr-0 stream candidates = %+v, want %+v", got, want)
+	}
+}
+
+// TestStreamRemaining pins the Remaining countdown on a pull stream.
+func TestStreamRemaining(t *testing.T) {
+	left, right, _ := tables(5, 0)
+	cfg := DefaultConfig()
+	cfg.MaxDF = 1.0
+	s, err := NewStreamer(left, right, StreamConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := s.Chunk(0, len(left))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cs.Remaining()
+	if total == 0 {
+		t.Fatal("no candidates to count")
+	}
+	for i := 0; ; i++ {
+		if got := cs.Remaining(); got != total-i {
+			t.Fatalf("after %d pulls Remaining = %d, want %d", i, got, total-i)
+		}
+		if _, ok := cs.Next(); !ok {
+			break
+		}
+	}
+	if cs.Remaining() != 0 {
+		t.Fatalf("drained stream Remaining = %d", cs.Remaining())
+	}
+}
+
+// TestCandHeapOrdering drives the top-k heap through the container/heap
+// contract directly: pops come out worst-first — fewest shared tokens,
+// ties broken toward the higher right index.
+func TestCandHeapOrdering(t *testing.T) {
+	h := &candHeap{}
+	heap.Init(h)
+	for _, c := range []Candidate{
+		{Left: 0, Right: 3, Shared: 5},
+		{Left: 0, Right: 1, Shared: 2},
+		{Left: 0, Right: 2, Shared: 2},
+		{Left: 0, Right: 0, Shared: 9},
+	} {
+		heap.Push(h, c)
+	}
+	want := []Candidate{
+		{Left: 0, Right: 2, Shared: 2},
+		{Left: 0, Right: 1, Shared: 2},
+		{Left: 0, Right: 3, Shared: 5},
+		{Left: 0, Right: 0, Shared: 9},
+	}
+	for i, w := range want {
+		if got := heap.Pop(h).(Candidate); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package data
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Table is a plain entity table: the input side of full-table matching.
+// Unlike Dataset (labeled record pairs in the Magellan layout), a table is
+// just rows over a schema — what a deployment actually has before any
+// pairing happens.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Entity
+}
+
+// WriteTable encodes the table as CSV with the schema as header row.
+func WriteTable(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema); err != nil {
+		return fmt.Errorf("data: writing table header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("data: writing table row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTable decodes a plain entity table: the header row names the
+// attributes, every following row is one entity. The header's column count
+// is enforced on every row; the first malformed row aborts the load with
+// its line number.
+func ReadTable(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 0
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading table header: %w", err)
+	}
+	if len(header) > 0 {
+		header[0] = strings.TrimPrefix(header[0], "\ufeff")
+	}
+	for i, h := range header {
+		if strings.TrimSpace(h) == "" {
+			return nil, fmt.Errorf("data: table header column %d is blank", i+1)
+		}
+	}
+	t := &Table{Name: name, Schema: append(Schema{}, header...)}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line := rowLine(cr, err)
+		if err != nil {
+			if errors.Is(err, csv.ErrFieldCount) {
+				if isBlankRow(rec) {
+					return nil, fmt.Errorf("data: line %d is blank", line)
+				}
+				return nil, fmt.Errorf("data: line %d has %d fields, want %d", line, len(rec), len(header))
+			}
+			return nil, fmt.Errorf("data: line %d: %w", line, err)
+		}
+		t.Rows = append(t.Rows, append(Entity{}, rec...))
+	}
+	return t, nil
+}
+
+// SaveTableFile writes the table to path as CSV.
+func SaveTableFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	if err := WriteTable(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTableFile reads an entity table from a CSV file; the table name is
+// the path's base name without extension.
+func LoadTableFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	return ReadTable(f, baseName(path))
+}
+
+// WriteTruth encodes ground-truth match pairs as a two-column CSV
+// ("left,right" header, 0-based row indices) — the format the e2e harness
+// and eval use to score a matching run.
+func WriteTruth(w io.Writer, pairs [][2]int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"left", "right"}); err != nil {
+		return fmt.Errorf("data: writing truth header: %w", err)
+	}
+	for i, p := range pairs {
+		if err := cw.Write([]string{strconv.Itoa(p[0]), strconv.Itoa(p[1])}); err != nil {
+			return fmt.Errorf("data: writing truth pair %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTruth decodes the pair list written by WriteTruth.
+func ReadTruth(r io.Reader) ([][2]int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading truth header: %w", err)
+	}
+	if len(header) > 0 {
+		header[0] = strings.TrimPrefix(header[0], "\ufeff")
+	}
+	if len(header) != 2 || header[0] != "left" || header[1] != "right" {
+		return nil, fmt.Errorf("data: truth header must be left,right, got %v", header)
+	}
+	var out [][2]int
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line := rowLine(cr, err)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %w", line, err)
+		}
+		li, err1 := strconv.Atoi(strings.TrimSpace(rec[0]))
+		ri, err2 := strconv.Atoi(strings.TrimSpace(rec[1]))
+		if err1 != nil || err2 != nil || li < 0 || ri < 0 {
+			return nil, fmt.Errorf("data: line %d has invalid pair %v", line, rec)
+		}
+		out = append(out, [2]int{li, ri})
+	}
+	return out, nil
+}
+
+// SaveTruthFile writes ground-truth pairs to path.
+func SaveTruthFile(path string, pairs [][2]int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	if err := WriteTruth(f, pairs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTruthFile reads ground-truth pairs from path.
+func LoadTruthFile(path string) ([][2]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	return ReadTruth(f)
+}

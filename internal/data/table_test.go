@@ -1,0 +1,144 @@
+package data
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRoundTrip(t *testing.T) {
+	want := &Table{
+		Name:   "catalog",
+		Schema: Schema{"name", "brand", "price"},
+		Rows: []Entity{
+			{"camera x100", "fuji", "499.00"},
+			{"espresso, deluxe", "delonghi", ""},
+			{"quoted \"pro\" model", "acme", "12.50"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf, "catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Schema) != len(want.Schema) || len(got.Rows) != len(want.Rows) {
+		t.Fatalf("round trip shape: %+v", got)
+	}
+	for i := range want.Schema {
+		if got.Schema[i] != want.Schema[i] {
+			t.Fatalf("schema[%d] = %q, want %q", i, got.Schema[i], want.Schema[i])
+		}
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("row %d col %d = %q, want %q", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestTableFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "left.csv")
+	want := &Table{Schema: Schema{"a", "b"}, Rows: []Entity{{"1", "2"}}}
+	if err := SaveTableFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "left" {
+		t.Fatalf("name = %q, want left", got.Name)
+	}
+	if len(got.Rows) != 1 || got.Rows[0][1] != "2" {
+		t.Fatalf("rows = %+v", got.Rows)
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty input", ""},
+		{"blank header column", "name,,price\na,b,c\n"},
+		{"short row", "name,brand\nonly-one\n"},
+		{"long row", "name,brand\na,b,c\n"},
+		{"trailing blank line", "name,brand\na,b\n \n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadTable(strings.NewReader(tc.in), "t"); err == nil {
+				t.Fatal("accepted malformed table")
+			}
+		})
+	}
+}
+
+func TestReadTableBOM(t *testing.T) {
+	got, err := ReadTable(strings.NewReader("\ufeffname,brand\na,b\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema[0] != "name" {
+		t.Fatalf("BOM not stripped: %q", got.Schema[0])
+	}
+}
+
+func TestTruthRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "truth.csv")
+	want := [][2]int{{0, 3}, {1, 0}, {5, 5}}
+	if err := SaveTruthFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTruthFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTruthErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"wrong header", "l,r\n0,1\n"},
+		{"non-integer", "left,right\nzero,1\n"},
+		{"negative index", "left,right\n-1,2\n"},
+		{"wrong arity", "left,right\n1,2,3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadTruth(strings.NewReader(tc.in)); err == nil {
+				t.Fatal("accepted malformed truth file")
+			}
+		})
+	}
+}
+
+// TestTableFileErrorPaths covers the save/load failure branches: an
+// unwritable destination and a missing source must both surface errors.
+func TestTableFileErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "not-a-dir", "deep", "t.csv")
+	tab := &Table{Schema: Schema{"name"}, Rows: []Entity{{"a"}}}
+	if err := SaveTableFile(bad, tab); err == nil {
+		t.Fatal("SaveTableFile into a missing directory succeeded")
+	}
+	if err := SaveTruthFile(bad, [][2]int{{0, 0}}); err == nil {
+		t.Fatal("SaveTruthFile into a missing directory succeeded")
+	}
+	if _, err := LoadTableFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("LoadTableFile on a missing file succeeded")
+	}
+	if _, err := LoadTruthFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("LoadTruthFile on a missing file succeeded")
+	}
+}

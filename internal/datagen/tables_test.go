@@ -1,0 +1,85 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateTablesShape(t *testing.T) {
+	p, ok := ProfileByKey("S-FZ")
+	if !ok {
+		t.Fatal("profile S-FZ missing")
+	}
+	tp := GenerateTables(p, 500, 0.25)
+	if len(tp.Left) != 500 || len(tp.Right) != 500 {
+		t.Fatalf("tables %dx%d, want 500x500", len(tp.Left), len(tp.Right))
+	}
+	if len(tp.Truth) != 125 {
+		t.Fatalf("truth has %d pairs, want 125", len(tp.Truth))
+	}
+	for i, pr := range tp.Truth {
+		if pr[0] != i {
+			t.Fatalf("truth not sorted by left index at %d: %v", i, pr)
+		}
+		if pr[1] < 0 || pr[1] >= 500 {
+			t.Fatalf("truth right index out of range: %v", pr)
+		}
+	}
+	// Matches must not be index-aligned (the permutation must do work).
+	aligned := 0
+	for _, pr := range tp.Truth {
+		if pr[0] == pr[1] {
+			aligned++
+		}
+	}
+	if aligned == len(tp.Truth) {
+		t.Fatal("right table not permuted")
+	}
+	for _, row := range tp.Left {
+		if len(row) != len(tp.Schema) {
+			t.Fatalf("row arity %d, schema arity %d", len(row), len(tp.Schema))
+		}
+	}
+	// A true match pair should share tokens; spot-check the first.
+	pr := tp.Truth[0]
+	if tp.Left[pr[0]][0] == "" || tp.Right[pr[1]][0] == "" {
+		t.Fatalf("empty head attribute in match pair %v", pr)
+	}
+}
+
+func TestGenerateTablesDeterministic(t *testing.T) {
+	p, _ := ProfileByKey("S-AG")
+	a := GenerateTables(p, 200, 0.3)
+	b := GenerateTables(p, 200, 0.3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenerateTables not deterministic")
+	}
+	c := GenerateTables(p, 201, 0.3)
+	if reflect.DeepEqual(a.Left, c.Left) {
+		t.Fatal("row count not mixed into the seed")
+	}
+}
+
+func TestGenerateTablesEdgeRates(t *testing.T) {
+	p, _ := ProfileByKey("S-FZ")
+	if tp := GenerateTables(p, 50, 0); len(tp.Truth) != 0 {
+		t.Fatalf("match rate 0 produced %d truth pairs", len(tp.Truth))
+	}
+	if tp := GenerateTables(p, 50, 1); len(tp.Truth) != 50 {
+		t.Fatalf("match rate 1 produced %d truth pairs", len(tp.Truth))
+	}
+	if tp := GenerateTables(p, 0, 0.5); len(tp.Left) != 1 {
+		t.Fatalf("zero rows not clamped: %d", len(tp.Left))
+	}
+	if tp := GenerateTables(p, 10, 7); len(tp.Truth) != 10 {
+		t.Fatalf("match rate clamp failed: %d", len(tp.Truth))
+	}
+}
+
+func BenchmarkGenerateTables(b *testing.B) {
+	p, _ := ProfileByKey("S-FZ")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateTables(p, 10000, 0.2)
+	}
+}

@@ -1,0 +1,88 @@
+package eval
+
+// Full-table matching quality: metrics over PAIR SETS rather than aligned
+// prediction/label slices. A matching job emits (left, right) index pairs;
+// datagen ground truth is another pair list. These helpers score the two
+// stages of the job separately — did blocking keep the true pairs
+// (recall-of-blocking), and did the matcher pick the right candidates
+// (pair precision/recall/F1)?
+
+// PairQuality compares a predicted pair set against ground truth.
+type PairQuality struct {
+	Predicted int // pairs the job emitted as matches
+	Truth     int // true pairs in the answer key
+	Hit       int // true pairs the job found
+}
+
+// NewPairQuality scores predicted (left, right) pairs against truth pairs.
+// Duplicates on either side are counted once.
+func NewPairQuality(predicted, truth [][2]int) PairQuality {
+	truthSet := make(map[[2]int]bool, len(truth))
+	for _, p := range truth {
+		truthSet[p] = true
+	}
+	predSet := make(map[[2]int]bool, len(predicted))
+	var hit int
+	for _, p := range predicted {
+		if predSet[p] {
+			continue
+		}
+		predSet[p] = true
+		if truthSet[p] {
+			hit++
+		}
+	}
+	return PairQuality{Predicted: len(predSet), Truth: len(truthSet), Hit: hit}
+}
+
+// Precision returns Hit / Predicted, 0 when nothing was predicted.
+func (q PairQuality) Precision() float64 {
+	if q.Predicted == 0 {
+		return 0
+	}
+	return float64(q.Hit) / float64(q.Predicted)
+}
+
+// Recall returns Hit / Truth, 1 when the answer key is empty (nothing to
+// find means nothing was missed).
+func (q PairQuality) Recall() float64 {
+	if q.Truth == 0 {
+		return 1
+	}
+	return float64(q.Hit) / float64(q.Truth)
+}
+
+// F1 returns the harmonic mean of pair precision and recall.
+func (q PairQuality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// BlockingRecall is the fraction of true pairs that survived blocking:
+// the ceiling on any downstream matcher's recall. candidates and truth are
+// (left, right) index pair lists; an empty truth scores 1.
+func BlockingRecall(candidates, truth [][2]int) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	candSet := make(map[[2]int]bool, len(candidates))
+	for _, c := range candidates {
+		candSet[c] = true
+	}
+	seen := make(map[[2]int]bool, len(truth))
+	var total, found int
+	for _, t := range truth {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		total++
+		if candSet[t] {
+			found++
+		}
+	}
+	return float64(found) / float64(total)
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairQuality(t *testing.T) {
+	truth := [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	predicted := [][2]int{{0, 1}, {2, 3}, {9, 9}, {2, 3}} // one dup, one false positive
+	q := NewPairQuality(predicted, truth)
+	if q.Predicted != 3 || q.Truth != 4 || q.Hit != 2 {
+		t.Fatalf("quality = %+v", q)
+	}
+	if p := q.Precision(); math.Abs(p-2.0/3.0) > 1e-9 {
+		t.Fatalf("precision = %v", p)
+	}
+	if r := q.Recall(); r != 0.5 {
+		t.Fatalf("recall = %v", r)
+	}
+	wantF1 := 2 * (2.0 / 3.0) * 0.5 / (2.0/3.0 + 0.5)
+	if f := q.F1(); math.Abs(f-wantF1) > 1e-9 {
+		t.Fatalf("f1 = %v, want %v", f, wantF1)
+	}
+}
+
+func TestPairQualityEdges(t *testing.T) {
+	empty := NewPairQuality(nil, nil)
+	if empty.Precision() != 0 || empty.Recall() != 1 || empty.F1() != 0 {
+		t.Fatalf("empty quality: %+v p=%v r=%v", empty, empty.Precision(), empty.Recall())
+	}
+	perfect := NewPairQuality([][2]int{{1, 2}}, [][2]int{{1, 2}})
+	if perfect.F1() != 1 {
+		t.Fatalf("perfect F1 = %v", perfect.F1())
+	}
+}
+
+func TestBlockingRecall(t *testing.T) {
+	truth := [][2]int{{0, 0}, {1, 1}, {2, 2}, {2, 2}} // dup counted once
+	cands := [][2]int{{0, 0}, {1, 1}, {5, 5}}
+	if r := BlockingRecall(cands, truth); math.Abs(r-2.0/3.0) > 1e-9 {
+		t.Fatalf("blocking recall = %v", r)
+	}
+	if r := BlockingRecall(nil, nil); r != 1 {
+		t.Fatalf("empty truth recall = %v", r)
+	}
+	if r := BlockingRecall(nil, truth); r != 0 {
+		t.Fatalf("no candidates recall = %v", r)
+	}
+}
+
+// TestPairQualityDegenerateF1 pins F1 = 0 when precision and recall are
+// both zero (no division-by-zero blowup).
+func TestPairQualityDegenerateF1(t *testing.T) {
+	q := NewPairQuality([][2]int{{0, 0}}, [][2]int{{1, 1}})
+	if q.Precision() != 0 || q.Recall() != 0 || q.F1() != 0 {
+		t.Fatalf("disjoint sets: P=%v R=%v F1=%v", q.Precision(), q.Recall(), q.F1())
+	}
+}

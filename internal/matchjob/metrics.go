@@ -1,0 +1,56 @@
+package matchjob
+
+import "wym/internal/obs"
+
+// Metrics is the job runner's observability bundle. Every field is
+// optional (obs metrics are nil-safe); NewMetrics registers the full
+// standard set.
+type Metrics struct {
+	// ChunksDone counts chunks processed to completion in this process.
+	ChunksDone *obs.Counter
+	// ChunksResumed counts chunks skipped because a valid manifest entry
+	// already covered them.
+	ChunksResumed *obs.Counter
+	// ChunksRetried counts chunks re-run once after quarantined panics.
+	ChunksRetried *obs.Counter
+	// CandidatesEmitted / CandidatesPruned mirror the blocking stream's
+	// totals: pairs handed to the matcher vs. pairs dropped by the
+	// top-k-per-record cap.
+	CandidatesEmitted *obs.Counter
+	CandidatesPruned  *obs.Counter
+	// Matches counts emitted match decisions.
+	Matches *obs.Counter
+	// RowErrors counts candidate pairs that stayed quarantined after the
+	// chunk retry.
+	RowErrors *obs.Counter
+	// IndexBytes gauges the blocking index's peak resident size.
+	IndexBytes *obs.Gauge
+	// ChunkSeconds is the per-chunk wall-time histogram (blocking +
+	// prediction + segment write).
+	ChunkSeconds *obs.Histogram
+}
+
+// NewMetrics registers the runner's standard metric set on the registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		ChunksDone: reg.Counter("wym_matchjob_chunks_done_total",
+			"Chunks processed to completion."),
+		ChunksResumed: reg.Counter("wym_matchjob_chunks_resumed_total",
+			"Chunks skipped on resume because their segment verified."),
+		ChunksRetried: reg.Counter("wym_matchjob_chunks_retried_total",
+			"Chunks re-run once after quarantined panics."),
+		CandidatesEmitted: reg.Counter("wym_matchjob_candidates_emitted_total",
+			"Candidate pairs produced by blocking and handed to the matcher."),
+		CandidatesPruned: reg.Counter("wym_matchjob_candidates_pruned_total",
+			"Candidate pairs dropped by the top-k-per-record cap."),
+		Matches: reg.Counter("wym_matchjob_matches_total",
+			"Match decisions emitted to the output."),
+		RowErrors: reg.Counter("wym_matchjob_row_errors_total",
+			"Candidate pairs still quarantined after the chunk retry."),
+		IndexBytes: reg.Gauge("wym_matchjob_blocking_index_bytes",
+			"Peak resident bytes of the blocking inverted index."),
+		ChunkSeconds: reg.Histogram("wym_matchjob_chunk_seconds",
+			"Per-chunk wall time (blocking + prediction + segment write).",
+			obs.DefaultLatencyBuckets),
+	}
+}

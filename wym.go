@@ -311,8 +311,9 @@ type (
 func DefaultBlockingConfig() BlockingConfig { return blocking.DefaultConfig() }
 
 // BlockCandidates blocks two entity tables (each a slice of entities over
-// the same schema) and returns candidate pairs.
-func BlockCandidates(left, right []Entity, cfg BlockingConfig) []BlockingCandidate {
+// the same schema) and returns candidate pairs. An invalid configuration
+// returns an error wrapping blocking.ErrInvalidConfig.
+func BlockCandidates(left, right []Entity, cfg BlockingConfig) ([]BlockingCandidate, error) {
 	return blocking.Candidates(left, right, cfg)
 }
 
@@ -326,6 +327,24 @@ func BlockPairs(left, right []Entity, cands []BlockingCandidate) []Pair {
 func BlockingSummary(left, right []Entity, cands []BlockingCandidate) BlockingStats {
 	return blocking.Summarize(left, right, cands)
 }
+
+// Table is a plain entity table (rows over a schema) — the input side of
+// full-table matching, as opposed to the pre-paired Dataset.
+type Table = data.Table
+
+// LoadTable reads an entity table from a CSV file whose header names the
+// attributes.
+func LoadTable(path string) (*Table, error) { return data.LoadTableFile(path) }
+
+// SaveTable writes an entity table to path as CSV.
+func SaveTable(path string, t *Table) error { return data.SaveTableFile(path, t) }
+
+// LoadTruth reads a ground-truth match-pair list ("left,right" header,
+// 0-based row indices) for scoring a matching run.
+func LoadTruth(path string) ([][2]int, error) { return data.LoadTruthFile(path) }
+
+// SaveTruth writes a ground-truth match-pair list to path.
+func SaveTruth(path string, pairs [][2]int) error { return data.SaveTruthFile(path, pairs) }
 
 // LoadSystem restores a fitted system saved with System.SaveFile. Train
 // once, serve from many processes:

@@ -88,7 +88,10 @@ func TestPublicBlockingAPI(t *testing.T) {
 	right := []Entity{{"camera pro md0001", "sony"}, {"printer md0009", "hp"}}
 	cfg := DefaultBlockingConfig()
 	cfg.MaxDF = 1.0
-	cands := BlockCandidates(left, right, cfg)
+	cands, err := BlockCandidates(left, right, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
