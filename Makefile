@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race serve-race train-race model-race router-race match-race fuzz-smoke bench bench-json bench-guard cover
+.PHONY: check build vet fmt-check test race serve-race train-race model-race router-race match-race label-race fuzz-smoke bench bench-json bench-guard cover
 
 ## check: the pre-merge gate — formatting, vet (must be clean for every
 ## package, internal/serve included), build, the serving-layer race gate,
 ## the fault-tolerant-training race gate, the model-format race gate, the
-## fleet-routing chaos gate, the crash-safe-matching race gate, a fuzz
-## smoke pass over CSV ingest, arena parsing, and blocking, full
-## race-enabled tests, short benchmarks, and the coverage ratchet.
-check: fmt-check vet build serve-race train-race model-race router-race match-race fuzz-smoke race bench cover
+## fleet-routing chaos gate, the crash-safe-matching race gate, the
+## online-learning crash gate, a fuzz smoke pass over CSV ingest, arena
+## parsing, blocking, and the feedback journal, full race-enabled tests,
+## short benchmarks, and the coverage ratchet.
+check: fmt-check vet build serve-race train-race model-race router-race match-race label-race fuzz-smoke race bench cover
 
 build:
 	$(GO) build ./...
@@ -71,14 +72,26 @@ match-race:
 		-run 'TestMatchKillResume|TestMatchSigtermDrains|TestInterruptAndResume|TestResumeRecomputes|TestResumeRejects|TestRetryOnceOnQuarantine' \
 		./cmd/wym ./internal/matchjob
 
+## label-race: the online-learning suite under the race detector — the
+## ApplyFeedback order-invariance goldens, the active-labeling quality
+## gate, the serving feedback endpoints (apply + journal + atomic swap
+## vs concurrent predict load), startup journal replay, and the SIGKILL
+## crash e2e (fingerprint-identical replay after an unclean death).
+label-race:
+	$(GO) test -race -timeout 30m \
+		-run 'TestApplyFeedback|TestSelector|TestFeedback|TestJournal|TestLabel|TestGoldenLabelAuto' \
+		./internal/feedback ./internal/core ./cmd/wym-server ./cmd/wym
+
 ## fuzz-smoke: a short native-fuzz pass over the untrusted-input
-## surfaces — both CSV ingest readers, the arena (.wyma) parser, and the
-## blocking candidate generator must never panic on arbitrary bytes.
+## surfaces — both CSV ingest readers, the arena (.wyma) parser, the
+## blocking candidate generator, and the feedback journal reader must
+## never panic on arbitrary bytes.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=5s ./internal/data
 	$(GO) test -fuzz='^FuzzReadCSVLenient$$' -fuzztime=5s ./internal/data
 	$(GO) test -fuzz='^FuzzLoadArena$$' -fuzztime=5s ./internal/arena
 	$(GO) test -fuzz='^FuzzBlockingCandidates$$' -fuzztime=5s ./internal/blocking
+	$(GO) test -fuzz='^FuzzFeedbackJournal$$' -fuzztime=5s ./internal/feedback
 
 ## bench: short benchmark pass over the hot-path packages (sanity, not a
 ## baseline — use bench-json for comparable numbers).

@@ -7,6 +7,12 @@
 //	datagen -out ./datasets -scale 0.05
 //	datagen -out ./datasets -datasets S-AG,T-AB -scale 1.0
 //	datagen -out ./tables -tables -datasets S-FZ -rows 1000000 -match-rate 0.2
+//	datagen -out ./drifted -datasets S-BR -drift 0.6        # post-train drift scenario
+//
+// -drift perturbs the right-side vocabulary after generation (the same
+// deterministic token edits `wym label -drift` demos): labeled pair
+// files keep their truth labels, so the output is a ready-made feedback
+// pool for `wym label -candidates`.
 //
 // Table mode writes <key>_left.csv, <key>_right.csv (header = attribute
 // names) and <key>_truth.csv ("left,right" 0-based match indices).
@@ -33,14 +39,16 @@ func main() {
 		tables    = flag.Bool("tables", false, "emit unlabeled entity-table pairs with ground truth instead of labeled pair datasets")
 		rows      = flag.Int("rows", 10000, "rows per table in -tables mode")
 		matchRate = flag.Float64("match-rate", 0.2, "fraction of left rows with a true match in -tables mode")
+		drift     = flag.Float64("drift", 0, "drift this fraction of the right-side vocabulary (post-train shift scenario for the feedback loop)")
+		driftSeed = flag.Int64("drift-seed", 23, "drift selection seed")
 	)
 	flag.Parse()
 
 	var err error
 	if *tables {
-		err = runTables(*out, *rows, *matchRate, *datasets)
+		err = runTables(*out, *rows, *matchRate, *datasets, *drift, *driftSeed)
 	} else {
-		err = run(*out, *scale, *datasets)
+		err = run(*out, *scale, *datasets, *drift, *driftSeed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
@@ -59,7 +67,7 @@ func keyFilter(datasets string) map[string]bool {
 	return keys
 }
 
-func run(out string, scale float64, datasets string) error {
+func run(out string, scale float64, datasets string, drift float64, driftSeed int64) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -69,6 +77,11 @@ func run(out string, scale float64, datasets string) error {
 			continue
 		}
 		d := wym.GenerateDataset(p, scale)
+		if drift > 0 {
+			for i := range d.Pairs {
+				d.Pairs[i].Right = datagen.DriftEntity(d.Pairs[i].Right, drift, driftSeed)
+			}
+		}
 		path := filepath.Join(out, p.Key+".csv")
 		if err := wym.SaveDataset(path, d); err != nil {
 			return err
@@ -79,7 +92,7 @@ func run(out string, scale float64, datasets string) error {
 	return nil
 }
 
-func runTables(out string, rows int, matchRate float64, datasets string) error {
+func runTables(out string, rows int, matchRate float64, datasets string, drift float64, driftSeed int64) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -89,6 +102,9 @@ func runTables(out string, rows int, matchRate float64, datasets string) error {
 			continue
 		}
 		tp := datagen.GenerateTables(p, rows, matchRate)
+		if drift > 0 {
+			tp.Right = datagen.DriftTable(tp.Right, drift, driftSeed)
+		}
 		leftPath := filepath.Join(out, p.Key+"_left.csv")
 		rightPath := filepath.Join(out, p.Key+"_right.csv")
 		truthPath := filepath.Join(out, p.Key+"_truth.csv")

@@ -10,7 +10,7 @@ import (
 
 func TestRunWritesCSVs(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 0.01, "S-BR,S-IA"); err != nil {
+	if err := run(dir, 0.01, "S-BR,S-IA", 0, 23); err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"S-BR", "S-IA"} {
@@ -26,7 +26,7 @@ func TestRunWritesCSVs(t *testing.T) {
 
 func TestRunUnknownFilterWritesNothing(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 0.01, "NOPE"); err != nil {
+	if err := run(dir, 0.01, "NOPE", 0, 23); err != nil {
 		t.Fatal(err)
 	}
 	matches, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
@@ -35,9 +35,54 @@ func TestRunUnknownFilterWritesNothing(t *testing.T) {
 	}
 }
 
+// TestRunDriftPerturbsRightSide: with -drift, the right side of the
+// labeled pairs is perturbed while the left side and the labels are
+// untouched — the output is a valid feedback pool.
+func TestRunDriftPerturbsRightSide(t *testing.T) {
+	clean, drifted := t.TempDir(), t.TempDir()
+	if err := run(clean, 0.02, "S-BR", 0, 23); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(drifted, 0.02, "S-BR", 0.9, 23); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := wym.LoadDataset(filepath.Join(clean, "S-BR.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := wym.LoadDataset(filepath.Join(drifted, "S-BR.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Size() != dd.Size() {
+		t.Fatalf("sizes diverged: %d vs %d", dc.Size(), dd.Size())
+	}
+	changed := 0
+	for i := range dc.Pairs {
+		c, d := dc.Pairs[i], dd.Pairs[i]
+		if c.Label != d.Label {
+			t.Fatalf("pair %d label changed", i)
+		}
+		for a := range c.Left {
+			if c.Left[a] != d.Left[a] {
+				t.Fatalf("pair %d left side drifted", i)
+			}
+		}
+		for a := range c.Right {
+			if c.Right[a] != d.Right[a] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("drift 0.9 changed no right-side entity")
+	}
+}
+
 func TestRunTablesWritesTablePair(t *testing.T) {
 	dir := t.TempDir()
-	if err := runTables(dir, 120, 0.25, "S-FZ"); err != nil {
+	if err := runTables(dir, 120, 0.25, "S-FZ", 0, 23); err != nil {
 		t.Fatal(err)
 	}
 	left, err := data.LoadTableFile(filepath.Join(dir, "S-FZ_left.csv"))

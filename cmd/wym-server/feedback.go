@@ -1,0 +1,278 @@
+package main
+
+// Online-learning surface: POST feedback labels into the serving model.
+//
+// Durability order (the crash-safety contract the label-race e2e pins):
+// validate -> ApplyFeedback on the current snapshot -> journal
+// Append+fsync -> ModelRef.Set -> ack. A batch is acknowledged only
+// after it is durable AND visible; a crash between Append and Set is
+// repaired at the next startup, because every model (re)load re-folds
+// its journal before publishing (registry onLoad). The served state is
+// therefore always artifact ⊕ journal, and replaying the journal after
+// a SIGKILL reproduces the pre-crash feedback fingerprint exactly.
+//
+// Feedback is enabled by -feedback-dir; each model journals into the
+// subdirectory named after it (names are path-segment-safe by
+// validModelName). Without the flag the endpoints report 503: accepting
+// a label that would not survive a restart would silently violate the
+// contract above.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wym"
+	"wym/internal/obs"
+)
+
+// feedbackStore owns the per-model label journals. Journals open lazily
+// (first replay or first POST) and stay open for the process lifetime.
+type feedbackStore struct {
+	dir string // root directory; "" = feedback disabled
+
+	mu       sync.Mutex
+	journals map[string]*wym.FeedbackJournal
+}
+
+func newFeedbackStore(dir string) *feedbackStore {
+	return &feedbackStore{dir: dir, journals: make(map[string]*wym.FeedbackJournal)}
+}
+
+func (f *feedbackStore) enabled() bool { return f.dir != "" }
+
+// journal returns (opening if needed) the journal for a model name.
+func (f *feedbackStore) journal(name string) (*wym.FeedbackJournal, error) {
+	if !f.enabled() {
+		return nil, fmt.Errorf("feedback is disabled (start with -feedback-dir)")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if j, ok := f.journals[name]; ok {
+		return j, nil
+	}
+	j, _, err := wym.OpenFeedbackJournal(filepath.Join(f.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	f.journals[name] = j
+	return j, nil
+}
+
+// Close releases every open journal (shutdown tidiness; appended
+// batches are already durable).
+func (f *feedbackStore) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, j := range f.journals {
+		j.Close()
+	}
+}
+
+// replayFeedback re-folds a model's journal into a freshly loaded
+// system. With no journal (or an empty one) the system passes through
+// unchanged; with labels, the returned system carries them all, so its
+// feedback fingerprint matches whatever a previous process generation
+// acked.
+func (a *app) replayFeedback(name string, sys *wym.System) (*wym.System, error) {
+	if !a.feedback.enabled() {
+		return sys, nil
+	}
+	j, err := a.feedback.journal(name)
+	if err != nil {
+		return nil, err
+	}
+	labels := j.All()
+	if len(labels) == 0 {
+		return sys, nil
+	}
+	upd, err := sys.ApplyFeedback(context.Background(), labels)
+	if err != nil {
+		return nil, fmt.Errorf("replaying %d journaled feedback labels: %w", len(labels), err)
+	}
+	a.logger.Printf("model %s: replayed %d feedback labels (fingerprint %s, threshold %.4f)",
+		name, len(labels), upd.FeedbackFingerprint(), upd.DecisionThreshold())
+	return upd, nil
+}
+
+// feedbackLabel is one adjudicated pair in the request body.
+type feedbackLabel struct {
+	Left  []string `json:"left"`
+	Right []string `json:"right"`
+	Match bool     `json:"match"`
+}
+
+// feedbackRequest is the POST /admin/feedback body.
+type feedbackRequest struct {
+	Labels []feedbackLabel `json:"labels"`
+}
+
+// feedbackResponse acknowledges a durably applied batch.
+type feedbackResponse struct {
+	Status      string  `json:"status"`
+	Applied     int     `json:"applied"`
+	LabelsTotal int     `json:"labels_total"`
+	Fingerprint string  `json:"fingerprint"`
+	Threshold   float64 `json:"threshold"`
+}
+
+// feedbackStatus is the GET /admin/feedback reply.
+type feedbackStatus struct {
+	Enabled          bool    `json:"enabled"`
+	SupportsFeedback bool    `json:"supports_feedback"`
+	LabelsTotal      int     `json:"labels_total"`
+	Fingerprint      string  `json:"fingerprint,omitempty"`
+	Threshold        float64 `json:"threshold"`
+	JournalDir       string  `json:"journal_dir,omitempty"`
+	JournalRecords   int     `json:"journal_records,omitempty"`
+}
+
+func (a *app) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	a.feedbackWith(defaultModelName, w, r)
+}
+
+func (a *app) handleModelFeedback(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if a.models.Get(name) == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	a.feedbackWith(name, w, r)
+}
+
+// feedbackWith runs the full durability sequence for one batch. It
+// serializes against model reloads (reloadMu): a reload re-folds the
+// journal, so whichever order the two land in, the published model
+// carries every acked label.
+func (a *app) feedbackWith(name string, w http.ResponseWriter, r *http.Request) {
+	if !a.feedback.enabled() {
+		writeError(w, http.StatusServiceUnavailable, "feedback is disabled (start with -feedback-dir)")
+		return
+	}
+	var req feedbackRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Labels) == 0 {
+		writeError(w, http.StatusBadRequest, "no labels in batch")
+		return
+	}
+
+	a.reloadMu.Lock()
+	defer a.reloadMu.Unlock()
+	entry := a.models.Get(name)
+	if entry == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	sys := entry.System()
+	labels := make([]wym.FeedbackLabel, len(req.Labels))
+	for i, lb := range req.Labels {
+		if bad := checkArity(sys, pairRequest{Left: lb.Left, Right: lb.Right}); len(bad) > 0 {
+			a.fbRejected.Inc()
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error:    fmt.Sprintf("label %d: wrong attribute count (schema %v)", i, sys.Schema()),
+				BadSides: bad,
+			})
+			return
+		}
+		labels[i] = wym.FeedbackLabel{Left: lb.Left, Right: lb.Right, Match: lb.Match}
+	}
+	if !sys.SupportsFeedback() {
+		a.fbRejected.Inc()
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("model %q (%s) cannot accept feedback", name, sys.Format()))
+		return
+	}
+	j, err := a.feedback.journal(name)
+	if err != nil {
+		a.fbRejected.Inc()
+		writeError(w, http.StatusInternalServerError, "feedback journal: "+err.Error())
+		return
+	}
+
+	start := time.Now()
+	upd, err := sys.ApplyFeedback(r.Context(), labels)
+	if err != nil {
+		a.fbRejected.Inc()
+		writeError(w, http.StatusUnprocessableEntity, "apply failed: "+err.Error())
+		return
+	}
+	// Durable before visible: a batch the journal did not accept must
+	// not serve, or a restart would silently lose it.
+	if err := j.Append(labels); err != nil {
+		a.fbRejected.Inc()
+		a.logger.Printf("feedback journal append failed for model %s: %v", name, err)
+		writeError(w, http.StatusInternalServerError, "journal append failed: "+err.Error())
+		return
+	}
+	entry.ref.Set(upd)
+	took := time.Since(start)
+
+	a.fbLabels.Add(uint64(len(labels)))
+	a.fbApplies.Inc()
+	a.fbApplySeconds.Observe(took.Seconds())
+	a.logger.Printf("model %s: applied %d feedback labels in %v (total %d, fingerprint %s, threshold %.4f)",
+		name, len(labels), took.Round(time.Millisecond), upd.FeedbackCount(),
+		upd.FeedbackFingerprint(), upd.DecisionThreshold())
+	writeJSON(w, http.StatusOK, feedbackResponse{
+		Status:      "ok",
+		Applied:     len(labels),
+		LabelsTotal: upd.FeedbackCount(),
+		Fingerprint: upd.FeedbackFingerprint(),
+		Threshold:   upd.DecisionThreshold(),
+	})
+}
+
+func (a *app) handleFeedbackStatus(w http.ResponseWriter, r *http.Request) {
+	a.feedbackStatusWith(defaultModelName, w, r)
+}
+
+func (a *app) handleModelFeedbackStatus(w http.ResponseWriter, r *http.Request) {
+	a.feedbackStatusWith(r.PathValue("name"), w, r)
+}
+
+func (a *app) feedbackStatusWith(name string, w http.ResponseWriter, _ *http.Request) {
+	entry := a.models.Get(name)
+	if entry == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	sys := entry.System()
+	st := feedbackStatus{
+		Enabled:          a.feedback.enabled(),
+		SupportsFeedback: a.feedback.enabled() && sys.SupportsFeedback(),
+		LabelsTotal:      sys.FeedbackCount(),
+		Fingerprint:      sys.FeedbackFingerprint(),
+		Threshold:        sys.DecisionThreshold(),
+	}
+	if a.feedback.enabled() {
+		// Report the journal only if already open; opening here would
+		// create directories on a read-only status probe.
+		a.feedback.mu.Lock()
+		if j, ok := a.feedback.journals[name]; ok {
+			st.JournalDir, st.JournalRecords = j.Dir(), j.Records()
+		}
+		a.feedback.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// registerFeedbackMetrics creates the wym_feedback_* series on the
+// process registry (all zero until the first batch, so dashboards see
+// the series immediately).
+func (a *app) registerFeedbackMetrics() {
+	a.fbLabels = a.reg.Counter("wym_feedback_labels_total",
+		"Feedback labels durably journaled and folded into a serving model.")
+	a.fbApplies = a.reg.Counter("wym_feedback_applies_total",
+		"Successful feedback batches (apply + journal + swap).")
+	a.fbRejected = a.reg.Counter("wym_feedback_rejected_total",
+		"Feedback batches rejected by validation, apply, or journal errors.")
+	a.fbApplySeconds = a.reg.Histogram("wym_feedback_apply_seconds",
+		"Latency of ApplyFeedback + journal fsync + swap per accepted batch.",
+		obs.DefaultLatencyBuckets)
+}

@@ -25,6 +25,11 @@
 //	POST /admin/reload   {"path": "..."}? -> atomically swap the default model
 //	POST   /admin/models/{name}/load {"path": "..."} -> load/replace a named model
 //	DELETE /admin/models/{name}                      -> unload a named model
+//	POST /admin/feedback {"labels": [{"left": [...], "right": [...], "match": bool}, ...]}
+//	    -> fold adjudicated labels into the default model (journal + atomic swap)
+//	GET  /admin/feedback -> feedback provenance (label count, fingerprint, threshold)
+//	POST /admin/models/{name}/feedback, GET /admin/models/{name}/feedback
+//	    -> the same against a named model
 //
 // The left/right arrays hold one string per schema attribute, in the
 // order the model was trained with (reported by GET /schema).
@@ -83,6 +88,7 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 256, "maximum pairs per /predict/batch request")
 
 		preload       = flag.String("models", "", "extra named models to preload, as name=path[,name=path...]")
+		feedbackDir   = flag.String("feedback-dir", "", "root directory for per-model feedback label journals; empty disables the feedback endpoints")
 		maxModelBytes = flag.Int64("max-model-bytes", 0, "registry bytes budget; LRU-evicts non-default models past it (0 = unlimited)")
 
 		adminAddr = flag.String("admin-addr", "", "admin listen address for GET /metrics (and pprof); empty disables")
@@ -102,7 +108,7 @@ func main() {
 	loadTook := time.Since(loadStart)
 
 	logger := log.New(os.Stderr, "wym-server: ", log.LstdFlags)
-	a := newApp(sys, *modelPath, options{
+	a, err := newApp(sys, *modelPath, options{
 		logger:        logger,
 		maxInFlight:   *maxInFlight,
 		retryAfter:    *retryAfter,
@@ -110,9 +116,18 @@ func main() {
 		maxBody:       *maxBody,
 		maxBatch:      *maxBatch,
 		maxModelBytes: *maxModelBytes,
+		feedbackDir:   *feedbackDir,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wym-server:", err)
+		os.Exit(1)
+	}
+	defer a.feedback.Close()
 	a.observeModelLoad(sys.Format(), loadTook)
 	logger.Printf("loaded %s (%s) in %v", *modelPath, sys.Format(), loadTook.Round(time.Millisecond))
+	if a.feedback.enabled() {
+		logger.Printf("feedback enabled, journaling under %s", *feedbackDir)
+	}
 	if *preload != "" {
 		for _, spec := range strings.Split(*preload, ",") {
 			name, path, ok := strings.Cut(strings.TrimSpace(spec), "=")
@@ -177,6 +192,7 @@ type options struct {
 	maxBody       int64
 	maxBatch      int
 	maxModelBytes int64           // model-registry bytes budget (0 = unlimited)
+	feedbackDir   string          // feedback journal root ("" disables feedback)
 	registry      *obs.Registry   // metrics registry; newApp creates one when nil
 	faults        *serve.Injector // test-only fault injection, nil in production
 }
@@ -198,6 +214,14 @@ type app struct {
 	residentFormat string      // guarded by reloadMu
 	reloads        atomic.Int64
 
+	// Online learning: per-model label journals plus the feedback
+	// counters; see feedback.go.
+	feedback       *feedbackStore
+	fbLabels       *obs.Counter
+	fbApplies      *obs.Counter
+	fbRejected     *obs.Counter
+	fbApplySeconds *obs.Histogram
+
 	// Observability: one registry for the process; the engine bundle is
 	// re-attached to every reloaded model so counters survive swaps.
 	reg           *obs.Registry
@@ -206,7 +230,7 @@ type app struct {
 	reloadsTotal  *obs.Counter
 }
 
-func newApp(sys *wym.System, modelPath string, opts options) *app {
+func newApp(sys *wym.System, modelPath string, opts options) (*app, error) {
 	if opts.logger == nil {
 		opts.logger = log.Default()
 	}
@@ -234,22 +258,35 @@ func newApp(sys *wym.System, modelPath string, opts options) *app {
 	a.engineMetrics = pipeline.NewMetrics(a.reg)
 	a.limiter.CountSheds(a.reg.Counter("wym_server_shed_total",
 		"Requests shed with 429 by the in-flight limiter."))
-	// The registry validates and instruments every model before
-	// publishing it: handlers must never observe an uninstrumented
-	// engine, and a broken artifact must never displace a serving one.
-	a.models = newModelRegistry(opts.maxModelBytes, a.reg, func(sys *wym.System) error {
+	a.feedback = newFeedbackStore(opts.feedbackDir)
+	a.registerFeedbackMetrics()
+	// The registry validates, instruments, and journal-replays every
+	// model before publishing it: handlers must never observe an
+	// uninstrumented engine, a broken artifact must never displace a
+	// serving one, and a (re)loaded model must carry every acked
+	// feedback label.
+	a.models = newModelRegistry(opts.maxModelBytes, a.reg, func(name string, sys *wym.System) (*wym.System, error) {
 		if err := validateSystem(sys); err != nil {
-			return err
+			return nil, err
 		}
-		sys.Engine().SetMetrics(a.engineMetrics)
-		return nil
+		upd, err := a.replayFeedback(name, sys)
+		if err != nil {
+			return nil, err
+		}
+		upd.Engine().SetMetrics(a.engineMetrics)
+		return upd, nil
 	})
-	// Instrument before publishing, as above (the startup artifact was
-	// already validated by loading successfully in main).
+	// The startup artifact was already validated by loading successfully
+	// in main; replay its journal and instrument before publishing, as
+	// above.
+	sys, err := a.replayFeedback(defaultModelName, sys)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: %w", modelPath, err)
+	}
 	sys.Engine().SetMetrics(a.engineMetrics)
 	a.ref = a.models.Install(defaultModelName, modelPath, sys).ref
 	a.setResidentFormat(sys.Format())
-	return a
+	return a, nil
 }
 
 // setResidentFormat flips the wym_server_model_format gauge family: the
@@ -324,6 +361,12 @@ func (a *app) handler() http.Handler {
 			writeJSON(w, http.StatusOK, a.models.List())
 		})))
 	mux.Handle("POST /admin/reload", admin("/admin/reload", a.handleReload))
+	mux.Handle("POST /admin/feedback", admin("/admin/feedback", a.handleFeedback))
+	mux.Handle("GET /admin/feedback", admin("/admin/feedback", a.handleFeedbackStatus))
+	mux.Handle("POST /admin/models/{name}/feedback",
+		admin("/admin/models/{name}/feedback", a.handleModelFeedback))
+	mux.Handle("GET /admin/models/{name}/feedback",
+		admin("/admin/models/{name}/feedback", a.handleModelFeedbackStatus))
 	mux.Handle("POST /admin/models/{name}/load",
 		admin("/admin/models/{name}/load", a.handleModelLoad))
 	mux.Handle("DELETE /admin/models/{name}",

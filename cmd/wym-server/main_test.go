@@ -60,7 +60,11 @@ func testApp(t *testing.T, opts options) *app {
 	if opts.logger == nil {
 		opts.logger = log.New(io.Discard, "", 0)
 	}
-	return newApp(sys, "", opts)
+	a, err := newApp(sys, "", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
 }
 
 func server(t *testing.T) (*httptest.Server, *wym.System) {

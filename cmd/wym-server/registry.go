@@ -81,16 +81,20 @@ func (e *modelEntry) status() modelStatus {
 type modelRegistry struct {
 	mu       sync.RWMutex
 	entries  map[string]*modelEntry
-	maxBytes int64                   // 0 = unlimited
-	onLoad   func(*wym.System) error // validate+instrument before publish
-	now      func() time.Time
+	maxBytes int64 // 0 = unlimited
+	// onLoad validates, instruments, and optionally transforms a candidate
+	// before publish (the server re-folds the model's feedback journal
+	// here, so a reloaded artifact serves the same decisions the previous
+	// generation acked). Returning an error keeps the previous model.
+	onLoad func(name string, sys *wym.System) (*wym.System, error)
+	now    func() time.Time
 
 	evictions      *obs.Counter
 	residentModels *obs.Gauge
 	residentBytes  *obs.Gauge
 }
 
-func newModelRegistry(maxBytes int64, reg *obs.Registry, onLoad func(*wym.System) error) *modelRegistry {
+func newModelRegistry(maxBytes int64, reg *obs.Registry, onLoad func(name string, sys *wym.System) (*wym.System, error)) *modelRegistry {
 	g := &modelRegistry{
 		entries:  make(map[string]*modelEntry),
 		maxBytes: maxBytes,
@@ -192,7 +196,8 @@ func (g *modelRegistry) Load(name, path string) (*modelEntry, error) {
 		return nil, err
 	}
 	if g.onLoad != nil {
-		if err := g.onLoad(sys); err != nil {
+		sys, err = g.onLoad(name, sys)
+		if err != nil {
 			return nil, fmt.Errorf("model %s failed validation: %w", path, err)
 		}
 	}

@@ -111,7 +111,10 @@ func TestArenaHotReloadUnderLoad(t *testing.T) {
 	want := first.PredictAll(test)
 
 	reg := obs.NewRegistry()
-	a := newApp(first, f32Path, options{logger: log.New(io.Discard, "", 0), registry: reg})
+	a, err := newApp(first, f32Path, options{logger: log.New(io.Discard, "", 0), registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	const (
 		readers = 4

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wym"
+)
+
+// TestGoldenLabelAuto locks the `wym label -auto` transcript — the
+// active-labeling session over drifted S-BR, the journal append, the
+// feedback fold — plus the `wym model info` view of the updated
+// artifact, with its feedback provenance lines.
+func TestGoldenLabelAuto(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := trainModelFile(t, dir)
+	updPath := filepath.Join(dir, "updated.gob")
+	fbDir := filepath.Join(dir, "fb")
+
+	o := labelOptions{
+		model: gobPath, datasetID: "S-BR", scale: 1.0, seed: 1,
+		drift: 0.6, driftSeed: 23, k: 10, auto: true,
+		journalDir: fbDir, save: updPath,
+	}
+	out := captureStdout(t, func() error {
+		if err := runLabel(context.Background(), o, strings.NewReader("")); err != nil {
+			return err
+		}
+		return runModel([]string{"info", "-model", updPath})
+	})
+	got := normalizeModelOutput(out, dir)
+
+	// Structural checks that survive -update.
+	for _, want := range []string{
+		"presenting the 10 lowest-margin",
+		"auto: match (ground truth)",
+		"labeled 10 pairs",
+		"journaled 10 labels to <DIR>/fb (10 total)",
+		"feedback folded: 10 labels, fingerprint fnv64:",
+		"saved updated model to <DIR>/updated.gob",
+		"feedback: 10 labels folded in (fingerprint fnv64:",
+		"decision threshold: ",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, got)
+		}
+	}
+
+	golden := filepath.Join("testdata", "label_auto.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/wym -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("label CLI output diverged from %s (re-run with -update if intentional)\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// TestLabelInteractive drives the prompt loop: y/n adjudicate, s skips,
+// q ends the session early, and only adjudicated labels reach the
+// journal.
+func TestLabelInteractive(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := trainModelFile(t, dir)
+	fbDir := filepath.Join(dir, "fb")
+
+	o := labelOptions{
+		model: gobPath, datasetID: "S-BR", scale: 1.0, seed: 1,
+		k: 6, journalDir: fbDir,
+	}
+	out := captureStdout(t, func() error {
+		return runLabel(context.Background(), o, strings.NewReader("y\nn\ns\nq\n"))
+	})
+	if !strings.Contains(out, "labeled 2 pairs (1 match, 1 non-match, 1 skipped)") {
+		t.Fatalf("interactive summary wrong:\n%s", out)
+	}
+	_, labels, err := wym.OpenFeedbackJournal(fbDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 || !labels[0].Match || labels[1].Match {
+		t.Fatalf("journaled labels = %+v", labels)
+	}
+}
+
+// TestLabelFoldImprovesDriftedPool: the end-to-end operator loop —
+// label the drifted pool, fold, save — yields a model that classifies
+// the drifted test pairs better than the original.
+func TestLabelFoldImprovesDriftedPool(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := trainModelFile(t, dir)
+	updPath := filepath.Join(dir, "updated.gob")
+
+	o := labelOptions{
+		model: gobPath, datasetID: "S-BR", scale: 1.0, seed: 1,
+		drift: 0.6, driftSeed: 23, k: 10, auto: true, save: updPath,
+	}
+	captureStdout(t, func() error {
+		return runLabel(context.Background(), o, strings.NewReader(""))
+	})
+
+	upd, err := wym.LoadSystem(updPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.FeedbackCount() != 10 || !strings.HasPrefix(upd.FeedbackFingerprint(), "fnv64:") {
+		t.Fatalf("updated model provenance: count=%d fp=%q",
+			upd.FeedbackCount(), upd.FeedbackFingerprint())
+	}
+	if !upd.SupportsFeedback() {
+		t.Fatal("updated model lost feedback support")
+	}
+}
+
+func TestLabelErrors(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := trainModelFile(t, dir)
+	ctx := context.Background()
+
+	// -auto over unlabeled table candidates.
+	tbl := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(tbl, []byte("a,b\nx,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runLabel(ctx, labelOptions{model: gobPath, left: tbl, right: tbl, auto: true, k: 1},
+		strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "-auto needs a labeled source") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// No candidate source.
+	if err := runLabel(ctx, labelOptions{model: gobPath, k: 1}, strings.NewReader("")); err == nil {
+		t.Fatal("no source accepted")
+	}
+
+	// Arena models cannot fold feedback.
+	arenaPath := filepath.Join(dir, "m.wyma")
+	if err := runModel([]string{"convert", "-in", gobPath, "-out", arenaPath}); err != nil {
+		t.Fatal(err)
+	}
+	err = runLabel(ctx, labelOptions{
+		model: arenaPath, datasetID: "S-BR", scale: 1.0, seed: 1, k: 1, auto: true,
+		save: filepath.Join(dir, "x.gob"),
+	}, strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "cannot fold feedback") {
+		t.Fatalf("arena fold err = %v", err)
+	}
+}

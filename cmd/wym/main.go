@@ -9,6 +9,7 @@
 //	wym train -data pairs.csv -resume run1/       # resume an interrupted run
 //	wym model convert -in m.gob -out m.wyma [-int8]  # compile the serving arena
 //	wym model info -model m.wyma                     # inspect a model file
+//	wym label -model m.gob -dataset S-BR -auto -save m2.gob  # active labeling + feedback fold
 //
 // The CSV layout is label, left_<attr>..., right_<attr>... (the Magellan
 // benchmark layout). With -dataset, a synthetic benchmark dataset is
@@ -59,6 +60,15 @@ func main() {
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "model" {
 		if err := runModel(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "wym:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "label" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runLabelCmd(ctx, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "wym:", err)
 			os.Exit(1)
 		}

@@ -99,6 +99,10 @@ func runModelInfo(args []string) error {
 	fmt.Printf("classifier: %s\n", sys.ModelName())
 	fmt.Printf("scorer: %s\n", scorerName(sys))
 	fmt.Printf("schema: %v\n", sys.Schema())
+	if n := sys.FeedbackCount(); n > 0 {
+		fmt.Printf("feedback: %d labels folded in (fingerprint %s)\n", n, sys.FeedbackFingerprint())
+		fmt.Printf("decision threshold: %.4f\n", sys.DecisionThreshold())
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 
 	"wym"
@@ -27,13 +28,31 @@ func normalizeModelOutput(s, dir string) string {
 	return s
 }
 
-// trainModelFile trains once on S-BR and saves the gob artifact.
+// trainModelFile materializes the shared S-BR gob artifact into dir.
+// Training runs once per test binary (it dominates wall-clock under
+// -race); later calls just copy the cached bytes.
+var (
+	trainGobOnce  sync.Once
+	trainGobBytes []byte
+	trainGobErr   error
+)
+
 func trainModelFile(t *testing.T, dir string) string {
 	t.Helper()
+	trainGobOnce.Do(func() {
+		path := filepath.Join(t.TempDir(), "matcher.gob")
+		if trainGobErr = run(context.Background(), options{
+			datasetID: "S-BR", scale: 1.0, seed: 1, savePath: path,
+		}); trainGobErr != nil {
+			return
+		}
+		trainGobBytes, trainGobErr = os.ReadFile(path)
+	})
+	if trainGobErr != nil {
+		t.Fatal(trainGobErr)
+	}
 	gobPath := filepath.Join(dir, "matcher.gob")
-	if err := run(context.Background(), options{
-		datasetID: "S-BR", scale: 1.0, seed: 1, savePath: gobPath,
-	}); err != nil {
+	if err := os.WriteFile(gobPath, trainGobBytes, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	return gobPath

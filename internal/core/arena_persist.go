@@ -53,6 +53,15 @@ type arenaMeta struct {
 	Timing     Timing
 	Spans      []obs.Span
 	ScorerKind string
+	// FeedbackN/FeedbackFP/FeedbackThreshold carry the online-learning
+	// provenance of the source model into the read-only arena (gob
+	// tolerates their absence in pre-feedback artifacts). Arena systems
+	// cannot accept further feedback; the count and fingerprint exist so
+	// `wym model info` stays truthful, and the recalibrated threshold so
+	// the arena serves the same decisions as its gob source.
+	FeedbackN         int
+	FeedbackFP        string
+	FeedbackThreshold float64
 }
 
 // ArenaOptions configures SaveArenaFile.
@@ -88,13 +97,16 @@ func (s *System) SaveArenaFile(path string, opts ArenaOptions) error {
 		return fmt.Errorf("core: %w", err)
 	}
 	meta := arenaMeta{
-		Cfg:    shadowOf(s.cfg),
-		Schema: s.schema,
-		Space:  s.space,
-		Model:  s.model,
-		Report: s.report,
-		Timing: s.timing,
-		Spans:  s.spans,
+		Cfg:               shadowOf(s.cfg),
+		Schema:            s.schema,
+		Space:             s.space,
+		Model:             s.model,
+		Report:            s.report,
+		Timing:            s.timing,
+		Spans:             s.spans,
+		FeedbackN:         s.feedbackN,
+		FeedbackFP:        s.FeedbackFingerprint(),
+		FeedbackThreshold: s.fbThreshold,
 	}
 	switch sc := s.scorer.(type) {
 	case *relevance.NN:
@@ -175,17 +187,20 @@ func systemFromArena(f *arena.File) (*System, error) {
 		format = FormatArenaInt8
 	}
 	s := &System{
-		cfg:    meta.Cfg.config(),
-		schema: meta.Schema,
-		source: src,
-		scorer: scorer,
-		space:  meta.Space,
-		model:  meta.Model,
-		report: meta.Report,
-		timing: meta.Timing,
-		spans:  meta.Spans,
-		format: format,
-		arena:  f,
+		cfg:         meta.Cfg.config(),
+		schema:      meta.Schema,
+		source:      src,
+		scorer:      scorer,
+		space:       meta.Space,
+		model:       meta.Model,
+		report:      meta.Report,
+		timing:      meta.Timing,
+		spans:       meta.Spans,
+		format:      format,
+		arena:       f,
+		feedbackN:   meta.FeedbackN,
+		feedbackFP:  meta.FeedbackFP,
+		fbThreshold: meta.FeedbackThreshold,
 	}
 	s.rebuildEngine()
 	return s, nil

@@ -19,6 +19,7 @@ import (
 	"wym/internal/data"
 	"wym/internal/embed"
 	"wym/internal/features"
+	"wym/internal/feedback"
 	"wym/internal/obs"
 	"wym/internal/pipeline"
 	"wym/internal/relevance"
@@ -126,6 +127,17 @@ type System struct {
 	// systems. See arena_persist.go.
 	format string
 	arena  *arena.File
+
+	// fbLabels is the accumulated feedback label multiset in canonical
+	// order; fbThreshold the decision threshold recalibrated over it
+	// (0 = default 0.5). feedbackN counts the labels folded in by
+	// ApplyFeedback; feedbackFP carries the feedback fingerprint for
+	// arena-backed systems, whose read-only metadata cannot recompute
+	// it. See feedback.go.
+	fbLabels    []feedback.Label
+	fbThreshold float64
+	feedbackN   int
+	feedbackFP  string
 }
 
 // rebuildEngine assembles the pipeline instantiation from the fitted
@@ -140,7 +152,7 @@ func (s *System) rebuildEngine() {
 	}
 	var matcher pipeline.Matcher
 	if s.space != nil && s.model != nil {
-		matcher = wymMatcher{space: s.space, model: s.model}
+		matcher = wymMatcher{space: s.space, model: s.model, threshold: s.DecisionThreshold()}
 	}
 	s.engine = pipeline.New(gen, scorer, matcher)
 }
@@ -665,13 +677,17 @@ func (s *System) ProcessAllContext(ctx context.Context, d *data.Dataset) ([]*pip
 type wymMatcher struct {
 	space *features.Space
 	model classify.Classifier
+	// threshold is the match-decision cutoff on the classifier proba:
+	// 0.5 for freshly trained systems, possibly recalibrated by
+	// ApplyFeedback over human-adjudicated labels (see feedback.go).
+	threshold float64
 }
 
 // MatchRecord implements pipeline.Matcher.
 func (m wymMatcher) MatchRecord(rec *pipeline.Record, scores []float64) (int, float64) {
 	x := m.space.Vector(rec.Units, scores)
 	proba := m.model.PredictProba(x)
-	if proba >= 0.5 {
+	if proba >= m.threshold {
 		return data.Match, proba
 	}
 	return data.NonMatch, proba
@@ -684,7 +700,7 @@ func (m wymMatcher) ExplainRecord(rec *pipeline.Record, scores []float64) Explan
 	impacts := m.space.Impacts(rec.Units, scores, m.model.Coefficients())
 
 	ex := Explanation{Proba: proba, Prediction: data.NonMatch}
-	if proba >= 0.5 {
+	if proba >= m.threshold {
 		ex.Prediction = data.Match
 	}
 	for i, u := range rec.Units {

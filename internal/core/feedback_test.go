@@ -1,0 +1,304 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wym/internal/data"
+	"wym/internal/datagen"
+	"wym/internal/embed"
+	"wym/internal/eval"
+	"wym/internal/feedback"
+)
+
+// driftRight returns pairs with the right-hand entity's vocabulary
+// drifted — the post-train shift scenario the feedback loop repairs.
+func driftRight(pairs []data.Pair, rate float64, seed int64) []data.Pair {
+	out := make([]data.Pair, len(pairs))
+	for i, p := range pairs {
+		out[i] = p
+		out[i].Right = datagen.DriftEntity(p.Right, rate, seed)
+	}
+	return out
+}
+
+// labelsOf converts dataset pairs into feedback labels carrying the
+// ground truth.
+func labelsOf(pairs []data.Pair) []feedback.Label {
+	out := make([]feedback.Label, len(pairs))
+	for i, p := range pairs {
+		out[i] = feedback.Label{Left: p.Left, Right: p.Right, Match: p.Label == data.Match}
+	}
+	return out
+}
+
+// probasG17 formats every test-pair probability with %.17g — the
+// byte-identical comparison the acceptance criteria pin.
+func probasG17(sys *System, test *data.Dataset) []string {
+	out := make([]string, test.Size())
+	for i, p := range test.Pairs {
+		_, proba := sys.Predict(p)
+		out[i] = fmt.Sprintf("%.17g", proba)
+	}
+	return out
+}
+
+// TestApplyFeedbackOrderInvariant pins the tentpole's incremental
+// equivalence on both golden profiles: folding the same labels in any
+// order and batching yields a model whose predictions are byte-identical
+// (%.17g) to folding them in a single batch (which, by the embed-level
+// equivalence tests, is itself a single FineTune over the union).
+func TestApplyFeedbackOrderInvariant(t *testing.T) {
+	for _, key := range []string{"S-FZ", "S-BR"} {
+		t.Run(key, func(t *testing.T) {
+			sys, test := trainOn(t, key, 1.0, fastConfig())
+			// Drift the right side of the labeled pairs: the drifted-vs-clean
+			// token alignments are what derives contrastive samples (identical
+			// aligned tokens carry no fine-tuning signal and are skipped).
+			labels := labelsOf(driftRight(test.Pairs[:12], 0.8, 11))
+			ctx := context.Background()
+
+			baseline := probasG17(sys, test)
+
+			oneShot, err := sys.ApplyFeedback(ctx, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sequential small batches, forward order.
+			fwd := sys
+			for i := 0; i < len(labels); i += 4 {
+				if fwd, err = fwd.ApplyFeedback(ctx, labels[i:i+4]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Reverse batch order.
+			rev := sys
+			for i := len(labels); i > 0; i -= 4 {
+				if rev, err = rev.ApplyFeedback(ctx, labels[i-4:i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			want := probasG17(oneShot, test)
+			for name, got := range map[string][]string{
+				"forward": probasG17(fwd, test), "reverse": probasG17(rev, test),
+			} {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s order: pair %d proba %s != one-shot %s", name, i, got[i], want[i])
+					}
+				}
+			}
+			if fwd.FeedbackFingerprint() != oneShot.FeedbackFingerprint() ||
+				rev.FeedbackFingerprint() != oneShot.FeedbackFingerprint() {
+				t.Fatal("feedback fingerprints diverged across orders")
+			}
+			if oneShot.FeedbackFingerprint() == "" || !strings.HasPrefix(oneShot.FeedbackFingerprint(), "fnv64:") {
+				t.Fatalf("fingerprint = %q", oneShot.FeedbackFingerprint())
+			}
+			if oneShot.FeedbackCount() != 12 || fwd.FeedbackCount() != 12 {
+				t.Fatalf("FeedbackCount = %d / %d, want 12", oneShot.FeedbackCount(), fwd.FeedbackCount())
+			}
+
+			// Copy-on-write: the receiver must be untouched.
+			if got := probasG17(sys, test); !equalStrings(got, baseline) {
+				t.Fatal("ApplyFeedback mutated the receiver's predictions")
+			}
+			if sys.FeedbackCount() != 0 || sys.FeedbackFingerprint() != "" {
+				t.Fatal("ApplyFeedback mutated the receiver's feedback state")
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestApplyFeedbackPersistRoundTrip: a feedback-updated model survives
+// gob Save/Load with byte-identical predictions, fingerprint, and count —
+// and the loaded model accepts further feedback equivalently to the
+// in-memory one.
+func TestApplyFeedbackPersistRoundTrip(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	ctx := context.Background()
+	labels := labelsOf(driftRight(test.Pairs[:8], 0.8, 11))
+	upd, err := sys.ApplyFeedback(ctx, labels[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "fb.wym")
+	if err := upd.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.FeedbackCount() != 5 {
+		t.Fatalf("loaded FeedbackCount = %d, want 5", loaded.FeedbackCount())
+	}
+	if loaded.FeedbackFingerprint() != upd.FeedbackFingerprint() {
+		t.Fatalf("fingerprint changed across save/load: %q vs %q",
+			loaded.FeedbackFingerprint(), upd.FeedbackFingerprint())
+	}
+	if !equalStrings(probasG17(loaded, test), probasG17(upd, test)) {
+		t.Fatal("loaded predictions differ from in-memory")
+	}
+	if !loaded.SupportsFeedback() {
+		t.Fatal("loaded model lost feedback support")
+	}
+
+	more, err := loaded.ApplyFeedback(ctx, labels[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	memMore, err := upd.ApplyFeedback(ctx, labels[5:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more.FeedbackFingerprint() != memMore.FeedbackFingerprint() {
+		t.Fatal("post-load feedback diverged from in-memory feedback")
+	}
+	if !equalStrings(probasG17(more, test), probasG17(memMore, test)) {
+		t.Fatal("post-load predictions diverged from in-memory")
+	}
+}
+
+// TestApplyFeedbackArenaReadOnly: arena conversions carry the feedback
+// provenance but refuse further updates.
+func TestApplyFeedbackArenaReadOnly(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	ctx := context.Background()
+	upd, err := sys.ApplyFeedback(ctx, labelsOf(driftRight(test.Pairs[:6], 0.8, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fb.wyma")
+	if err := upd.SaveArenaFile(path, ArenaOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.ArenaFile().Close()
+	if ar.FeedbackCount() != 6 || ar.FeedbackFingerprint() != upd.FeedbackFingerprint() {
+		t.Fatalf("arena lost feedback provenance: count=%d fp=%q",
+			ar.FeedbackCount(), ar.FeedbackFingerprint())
+	}
+	if ar.SupportsFeedback() {
+		t.Fatal("arena-backed system claims feedback support")
+	}
+	if _, err := ar.ApplyFeedback(ctx, labelsOf(test.Pairs[:1])); err == nil {
+		t.Fatal("ApplyFeedback on arena-backed system should fail")
+	}
+}
+
+func TestApplyFeedbackErrors(t *testing.T) {
+	sys, test := trainOn(t, "S-FZ", 1.0, fastConfig())
+	ctx := context.Background()
+	if _, err := sys.ApplyFeedback(ctx, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	// An embedding stack without a fine-tuned layer cannot fold feedback.
+	plain := &System{
+		cfg:    sys.cfg,
+		schema: sys.schema,
+		source: embed.NewCache(embed.NewHash()),
+		scorer: sys.scorer,
+		space:  sys.space,
+		model:  sys.model,
+	}
+	plain.rebuildEngine()
+	if plain.SupportsFeedback() {
+		t.Fatal("hash-only system claims feedback support")
+	}
+	if _, err := plain.ApplyFeedback(ctx, labelsOf(test.Pairs[:1])); err == nil {
+		t.Fatal("ApplyFeedback without a Hebbian layer should fail")
+	}
+}
+
+// TestSelectorQualityGate is the acceptance criterion for the active
+// learner: on S-BR with 20% of the training truth held out as the
+// labeling pool (vocabulary drifted post-train, the scenario the loop
+// exists for), spending k labels on the lowest-margin pairs must raise
+// test F1 at least as much as spending k labels at random.
+func TestSelectorQualityGate(t *testing.T) {
+	d := datagen.Generate(mustProfile(t, "S-BR"), 1.0)
+	train, valid, test := d.MustSplit(0.6, 0.2, 1)
+	// Hold out 20% of the training truth as the labeling pool; drift the
+	// pool and the test set the same way, simulating a source whose
+	// vocabulary shifted after the model was trained.
+	const driftRate, driftSeed = 0.6, 23
+	cut := train.Size() * 8 / 10
+	small := &data.Dataset{Name: train.Name, Schema: train.Schema, Pairs: train.Pairs[:cut]}
+	pool := driftRight(train.Pairs[cut:], driftRate, driftSeed)
+	test = &data.Dataset{Name: test.Name, Schema: test.Schema,
+		Pairs: driftRight(test.Pairs, driftRate, driftSeed)}
+
+	sys, err := Train(small, valid, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	truth := test.Labels()
+	// A small labeling budget: the regime where choosing *which* pairs
+	// to label matters (with a large budget random coverage catches up).
+	k := len(pool) / 5
+	if k < 5 {
+		t.Fatalf("pool too small: %d", len(pool))
+	}
+
+	scores := make([]float64, len(pool))
+	for i, p := range pool {
+		_, scores[i] = sys.Predict(p)
+	}
+	var sel feedback.Selector
+	topIdx := make([]int, 0, k)
+	for _, r := range sel.TopK(scores, k) {
+		topIdx = append(topIdx, r.Index)
+	}
+	applyIdx := func(idx []int) float64 {
+		picked := make([]data.Pair, len(idx))
+		for i, j := range idx {
+			picked[i] = pool[j]
+		}
+		upd, err := sys.ApplyFeedback(ctx, labelsOf(picked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eval.F1Score(upd.PredictAll(test), truth)
+	}
+
+	f1Top := applyIdx(topIdx)
+	var f1RandSum float64
+	const seeds = 5
+	for s := int64(1); s <= seeds; s++ {
+		rng := rand.New(rand.NewSource(s))
+		f1RandSum += applyIdx(rng.Perm(len(pool))[:k])
+	}
+	f1Rand := f1RandSum / seeds
+	f1Base := eval.F1Score(sys.PredictAll(test), truth)
+	t.Logf("selector gate: f1(top-%d margin)=%.4f f1(random mean of %d)=%.4f baseline=%.4f",
+		k, f1Top, seeds, f1Rand, f1Base)
+	if f1Top < f1Rand {
+		t.Fatalf("margin selection (%.4f) underperformed random labeling (%.4f)", f1Top, f1Rand)
+	}
+	if f1Top <= f1Base {
+		t.Fatalf("feedback on margin-selected labels (%.4f) did not improve the drifted baseline (%.4f)", f1Top, f1Base)
+	}
+}

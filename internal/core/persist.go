@@ -11,6 +11,7 @@ import (
 	"wym/internal/data"
 	"wym/internal/embed"
 	"wym/internal/features"
+	"wym/internal/feedback"
 	"wym/internal/nn"
 	"wym/internal/obs"
 	"wym/internal/relevance"
@@ -97,19 +98,27 @@ func (s configShadow) config() Config {
 	}
 }
 
-// systemSnapshot is the on-disk form of a fitted System. Spans was added
-// after the first release; gob tolerates its absence, so older artifacts
-// load with no stage-timing record rather than failing.
+// systemSnapshot is the on-disk form of a fitted System. Spans and the
+// feedback fields were added after the first release; gob tolerates
+// their absence, so older artifacts load with no stage-timing record
+// and no feedback state rather than failing.
 type systemSnapshot struct {
-	Cfg    configShadow
-	Schema data.Schema
-	Source embed.Source
-	Scorer relevance.Scorer
-	Space  *features.Space
-	Model  classify.Classifier
-	Report []classify.Score
-	Timing Timing
-	Spans  []obs.Span
+	Cfg       configShadow
+	Schema    data.Schema
+	Source    embed.Source
+	Scorer    relevance.Scorer
+	Space     *features.Space
+	Model     classify.Classifier
+	Report    []classify.Score
+	Timing    Timing
+	Spans     []obs.Span
+	FeedbackN int
+	// FbLabels is the accumulated label multiset in canonical order;
+	// FbThreshold the decision cutoff recalibrated over it. Both ride
+	// along so a loaded model keeps accepting feedback equivalently to
+	// the in-memory one.
+	FbLabels    []feedback.Label
+	FbThreshold float64
 }
 
 // Save serializes the fitted system. It fails on an untrained system
@@ -123,15 +132,18 @@ func (s *System) Save(w io.Writer) error {
 		return fmt.Errorf("core: cannot gob-encode an arena-backed system (format %s); convert from the gob artifact", s.Format())
 	}
 	snap := systemSnapshot{
-		Cfg:    shadowOf(s.cfg),
-		Schema: s.schema,
-		Source: s.source,
-		Scorer: s.scorer,
-		Space:  s.space,
-		Model:  s.model,
-		Report: s.report,
-		Timing: s.timing,
-		Spans:  s.spans,
+		Cfg:         shadowOf(s.cfg),
+		Schema:      s.schema,
+		Source:      s.source,
+		Scorer:      s.scorer,
+		Space:       s.space,
+		Model:       s.model,
+		Report:      s.report,
+		Timing:      s.timing,
+		Spans:       s.spans,
+		FeedbackN:   s.feedbackN,
+		FbLabels:    s.fbLabels,
+		FbThreshold: s.fbThreshold,
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("core: encoding system: %w", err)
@@ -149,15 +161,18 @@ func Load(r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("core: snapshot is missing fitted components")
 	}
 	s := &System{
-		cfg:    snap.Cfg.config(),
-		schema: snap.Schema,
-		source: snap.Source,
-		scorer: snap.Scorer,
-		space:  snap.Space,
-		model:  snap.Model,
-		report: snap.Report,
-		timing: snap.Timing,
-		spans:  snap.Spans,
+		cfg:         snap.Cfg.config(),
+		schema:      snap.Schema,
+		source:      snap.Source,
+		scorer:      snap.Scorer,
+		space:       snap.Space,
+		model:       snap.Model,
+		report:      snap.Report,
+		timing:      snap.Timing,
+		spans:       snap.Spans,
+		feedbackN:   snap.FeedbackN,
+		fbLabels:    snap.FbLabels,
+		fbThreshold: snap.FbThreshold,
 	}
 	s.rebuildEngine()
 	return s, nil

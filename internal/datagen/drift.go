@@ -1,0 +1,75 @@
+package datagen
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"strings"
+	"unicode"
+
+	"wym/internal/data"
+)
+
+// Vocabulary drift (ROADMAP item 4's temporal-drift scenario, seeded
+// here for the online-learning loop): a fraction of the vocabulary
+// changes surface form after training — a supplier renames fields, a
+// feed starts abbreviating differently — and a model trained on the old
+// forms starts missing matches. Drift selects tokens deterministically
+// by hash (the same token always drifts the same way for a given seed)
+// and perturbs them with a single character edit, so a drifted token
+// stays recognizably similar (high n-gram overlap) but no longer
+// identical — exactly the gap the feedback loop's contrastive updates
+// can close, and a reproducible demo for `wym label`.
+
+// DriftToken returns the drifted form of token, or token unchanged when
+// it is not selected. Selection and the applied edit depend only on
+// (token, rate, seed): deterministic, stateless, side-effect free.
+// Tokens shorter than 3 runes and tokens containing non-letters
+// (product codes, numbers) never drift.
+func DriftToken(token string, rate float64, seed int64) string {
+	if rate <= 0 || len(token) < 3 {
+		return token
+	}
+	for _, r := range token {
+		if !unicode.IsLetter(r) {
+			return token
+		}
+	}
+	h := fnv.New64a()
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], uint64(seed))
+	h.Write(sb[:])
+	h.Write([]byte(token))
+	sum := h.Sum64()
+	if float64(sum%10000)/10000 >= rate {
+		return token
+	}
+	// Single deterministic edit: double the letter at a hash-chosen
+	// position ("lager" -> "lagger"). Keeps the trigram profile close.
+	p := int((sum / 10000) % uint64(len(token)))
+	return token[:p+1] + token[p:p+1] + token[p+1:]
+}
+
+// DriftEntity drifts every whitespace-separated token of every
+// attribute value.
+func DriftEntity(e data.Entity, rate float64, seed int64) data.Entity {
+	out := make(data.Entity, len(e))
+	for i, attr := range e {
+		fields := strings.Fields(attr)
+		for j, f := range fields {
+			fields[j] = DriftToken(f, rate, seed)
+		}
+		out[i] = strings.Join(fields, " ")
+	}
+	return out
+}
+
+// DriftTable drifts every entity of a table in place-order, returning a
+// new slice. cmd/datagen applies it to the right-hand table so the
+// drifted pair simulates one source changing under a trained model.
+func DriftTable(rows []data.Entity, rate float64, seed int64) []data.Entity {
+	out := make([]data.Entity, len(rows))
+	for i, e := range rows {
+		out[i] = DriftEntity(e, rate, seed)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"wym/internal/data"
+)
+
+func TestDriftTokenDeterministic(t *testing.T) {
+	a := DriftToken("porter", 1.0, 7)
+	b := DriftToken("porter", 1.0, 7)
+	if a != b {
+		t.Fatalf("non-deterministic: %q vs %q", a, b)
+	}
+	if a == "porter" {
+		t.Fatal("rate 1.0 should drift every eligible token")
+	}
+	if len(a) != len("porter")+1 {
+		t.Fatalf("drift %q should be a single doubled letter", a)
+	}
+	if DriftToken("porter", 1.0, 8) == a && DriftToken("stout", 1.0, 7) == DriftToken("stout", 1.0, 8) {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestDriftTokenSkipsIneligible(t *testing.T) {
+	for _, tok := range []string{"ab", "x", "a1b2", "12345", "xps-13", ""} {
+		if got := DriftToken(tok, 1.0, 1); got != tok {
+			t.Fatalf("ineligible token %q drifted to %q", tok, got)
+		}
+	}
+	if got := DriftToken("porter", 0, 1); got != "porter" {
+		t.Fatalf("rate 0 drifted: %q", got)
+	}
+}
+
+func TestDriftTokenRateIsApproximate(t *testing.T) {
+	words := []string{"amber", "stout", "porter", "lager", "pilsner", "wheat",
+		"saison", "tripel", "dunkel", "helles", "barrel", "hoppy", "citrus",
+		"roasted", "malty", "crisp", "golden", "copper", "barley", "yeast"}
+	var drifted int
+	for _, w := range words {
+		if DriftToken(w, 0.5, 3) != w {
+			drifted++
+		}
+	}
+	if drifted == 0 || drifted == len(words) {
+		t.Fatalf("rate 0.5 drifted %d/%d tokens", drifted, len(words))
+	}
+}
+
+func TestDriftEntityAndTable(t *testing.T) {
+	e := data.Entity{"oatmeal stout dark", "129"}
+	d := DriftEntity(e, 1.0, 5)
+	if len(d) != len(e) {
+		t.Fatal("attribute count changed")
+	}
+	if d[1] != "129" {
+		t.Fatalf("numeric attribute drifted: %q", d[1])
+	}
+	if fields := strings.Fields(d[0]); len(fields) != 3 {
+		t.Fatalf("token count changed: %q", d[0])
+	}
+	if d[0] == e[0] {
+		t.Fatal("rate 1.0 left the text attribute unchanged")
+	}
+
+	rows := []data.Entity{e, {"pale ale", "7"}}
+	dr := DriftTable(rows, 1.0, 5)
+	if len(dr) != 2 || dr[0][0] != d[0] {
+		t.Fatal("DriftTable disagrees with DriftEntity")
+	}
+	if rows[0][0] != e[0] {
+		t.Fatal("DriftTable mutated its input")
+	}
+}

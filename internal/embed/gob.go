@@ -96,14 +96,27 @@ func (c *Cache) GobDecode(data []byte) error {
 	return nil
 }
 
+// hebbianSnapshot carries the fine-tune pairs alongside the compiled map
+// so decoded models stay incrementally updatable (Apply). Gob tolerates
+// absent fields, so artifacts written before pair retention decode with
+// HasPairs=false — they serve normally but Apply refuses them.
 type hebbianSnapshot struct {
-	Base Source
-	M    *vec.Matrix
+	Base         Source
+	M            *vec.Matrix
+	Cfg          FineTuneConfig
+	Pos, Neg     []PairSample
+	FbPos, FbNeg []PairSample
+	HasPairs     bool
 }
 
 // GobEncode implements gob.GobEncoder.
 func (h *Hebbian) GobEncode() ([]byte, error) {
-	return encodeSnap(hebbianSnapshot{Base: h.Base, M: h.m})
+	return encodeSnap(hebbianSnapshot{
+		Base: h.Base, M: h.m, Cfg: h.cfg,
+		Pos: h.pos, Neg: h.neg,
+		FbPos: h.fbPos, FbNeg: h.fbNeg,
+		HasPairs: h.hasPairs,
+	})
 }
 
 // GobDecode implements gob.GobDecoder.
@@ -112,6 +125,9 @@ func (h *Hebbian) GobDecode(data []byte) error {
 	if err := decodeSnap(data, &s); err != nil {
 		return err
 	}
-	h.Base, h.m = s.Base, s.M
+	h.Base, h.m, h.cfg = s.Base, s.M, s.Cfg
+	h.pos, h.neg = s.Pos, s.Neg
+	h.fbPos, h.fbNeg = s.FbPos, s.FbNeg
+	h.hasPairs = s.HasPairs
 	return nil
 }

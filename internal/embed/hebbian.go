@@ -2,6 +2,11 @@ package embed
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
 
 	"wym/internal/vec"
 )
@@ -18,9 +23,25 @@ import (
 // pairs push apart. The symmetric construction keeps the map well behaved
 // and the whole fine-tune deterministic and cheap — the properties the
 // ablation (Table 4, BERT-ft / SBERT columns) actually exercises.
+//
+// Because the update is closed-form over a pair multiset, it is also
+// incrementally updatable: the Hebbian retains the pairs it was built
+// from, and Apply folds new feedback pairs into the same sums and
+// recompiles the map — see Apply for the exact equivalence contract.
 type Hebbian struct {
 	Base Source
 	m    *vec.Matrix
+	cfg  FineTuneConfig
+
+	// pos and neg are the contrastive pairs of the original fine-tune, in
+	// collection order; fbPos and fbNeg are the pairs folded in by Apply,
+	// kept canonically sorted so the compiled map is independent of the
+	// order feedback arrived in. hasPairs distinguishes a pair-retaining
+	// model from one decoded out of a pre-retention artifact, which can
+	// serve but not accept incremental updates.
+	pos, neg     []PairSample
+	fbPos, fbNeg []PairSample
+	hasPairs     bool
 }
 
 // PairSample is one contrastive training pair of token strings.
@@ -39,9 +60,37 @@ type FineTuneConfig struct {
 // DefaultFineTuneConfig returns the repo defaults.
 func DefaultFineTuneConfig() FineTuneConfig { return FineTuneConfig{Alpha: 0.5, Beta: 0.25} }
 
+// ErrInvalidConfig is the sentinel every fine-tune configuration
+// rejection wraps: errors.Is(err, ErrInvalidConfig) catches them all
+// (mirroring blocking.Config.Validate). A NaN or negative strength used
+// to propagate silently into the contrastive map and poison every
+// mapped vector; validation turns that operator error into a named
+// failure at the boundary instead.
+var ErrInvalidConfig = errors.New("embed: invalid fine-tune config")
+
+// Validate checks the contrastive strengths: both must be finite and
+// non-negative (zero disables the corresponding term). Every rejection
+// wraps ErrInvalidConfig.
+func (cfg FineTuneConfig) Validate() error {
+	if math.IsNaN(cfg.Alpha) || math.IsInf(cfg.Alpha, 0) {
+		return fmt.Errorf("%w: Alpha %v is not finite", ErrInvalidConfig, cfg.Alpha)
+	}
+	if math.IsNaN(cfg.Beta) || math.IsInf(cfg.Beta, 0) {
+		return fmt.Errorf("%w: Beta %v is not finite", ErrInvalidConfig, cfg.Beta)
+	}
+	if cfg.Alpha < 0 {
+		return fmt.Errorf("%w: negative Alpha %v", ErrInvalidConfig, cfg.Alpha)
+	}
+	if cfg.Beta < 0 {
+		return fmt.Errorf("%w: negative Beta %v", ErrInvalidConfig, cfg.Beta)
+	}
+	return nil
+}
+
 // FineTune builds the Hebbian map from positive and negative token pairs.
 // Either list may be empty; with both empty the result is the identity map
-// over the base source.
+// over the base source. An invalid config yields a nil Hebbian (use
+// FineTuneCtx to see the error).
 func FineTune(base Source, pos, neg []PairSample, cfg FineTuneConfig) *Hebbian {
 	h, _ := FineTuneCtx(context.Background(), base, pos, neg, cfg)
 	return h
@@ -49,8 +98,33 @@ func FineTune(base Source, pos, neg []PairSample, cfg FineTuneConfig) *Hebbian {
 
 // FineTuneCtx is FineTune honoring a context: the contrastive accumulation
 // polls for cancellation every few dozen pairs and returns ctx.Err() with
-// a nil source when interrupted.
+// a nil source when interrupted. The configuration is validated up front;
+// rejections wrap ErrInvalidConfig.
 func FineTuneCtx(ctx context.Context, base Source, pos, neg []PairSample, cfg FineTuneConfig) (*Hebbian, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := compileMap(ctx, base, pos, neg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Hebbian{
+		Base:     base,
+		m:        m,
+		cfg:      cfg,
+		pos:      clonePairs(pos),
+		neg:      clonePairs(neg),
+		hasPairs: true,
+	}, nil
+}
+
+// compileMap accumulates the contrastive map over the given pair lists in
+// order: identity, then the positive pairs scaled by alpha/|pos|, then the
+// negative pairs scaled by -beta/|neg|. Every compilation path — initial
+// fine-tune and incremental Apply alike — runs through this one function,
+// which is what makes the incremental path bit-exactly equivalent to a
+// single fine-tune over the concatenated pair lists.
+func compileMap(ctx context.Context, base Source, pos, neg []PairSample, cfg FineTuneConfig) (*vec.Matrix, error) {
 	d := base.Dim()
 	m := vec.NewMatrix(d, d)
 	for i := 0; i < d; i++ {
@@ -86,7 +160,134 @@ func FineTuneCtx(ctx context.Context, base Source, pos, neg []PairSample, cfg Fi
 	if err := accumulate(neg, -cfg.Beta); err != nil {
 		return nil, err
 	}
-	return &Hebbian{Base: base, m: m}, nil
+	return m, nil
+}
+
+// Apply folds new contrastive pairs into the fine-tune incrementally: the
+// feedback pairs join the retained pair multiset and the map is recompiled
+// with the same closed form over the enlarged sets (the per-pair weight
+// alpha/|pos| re-balances automatically because the denominator grows).
+//
+// Equivalence contract: after any sequence of Apply calls, the compiled
+// map is byte-identical to a single FineTune over the original pairs
+// followed by the union of all applied pairs — independent of how the
+// feedback was batched or ordered. Apply keeps the feedback pairs in a
+// canonical sort order and recompiles through the same accumulation code
+// path as FineTune, so the float operation sequence is literally the same.
+//
+// Apply fails on a Hebbian decoded from an artifact that predates pair
+// retention (it cannot reconstruct the sums) and on an invalid config.
+func (h *Hebbian) Apply(pos, neg []PairSample) error {
+	return h.ApplyCtx(context.Background(), pos, neg)
+}
+
+// ApplyCtx is Apply honoring a context during the map recompilation. On
+// error (including cancellation) the Hebbian is unchanged.
+func (h *Hebbian) ApplyCtx(ctx context.Context, pos, neg []PairSample) error {
+	if !h.hasPairs {
+		return fmt.Errorf("embed: model predates incremental fine-tune (no retained pairs); retrain to enable feedback")
+	}
+	if err := h.cfg.Validate(); err != nil {
+		return err
+	}
+	if len(pos) == 0 && len(neg) == 0 {
+		return nil
+	}
+	fbPos := mergeSorted(h.fbPos, pos)
+	fbNeg := mergeSorted(h.fbNeg, neg)
+	m, err := compileMap(ctx, h.Base,
+		concatPairs(h.pos, fbPos), concatPairs(h.neg, fbNeg), h.cfg)
+	if err != nil {
+		return err
+	}
+	h.fbPos, h.fbNeg, h.m = fbPos, fbNeg, m
+	return nil
+}
+
+// WithApplied returns a new Hebbian equal to h with the given pairs
+// applied, leaving h untouched — the copy-on-write form serving paths use
+// so in-flight readers of the old model never observe a partial update.
+func (h *Hebbian) WithApplied(ctx context.Context, pos, neg []PairSample) (*Hebbian, error) {
+	nh := &Hebbian{
+		Base:     h.Base,
+		m:        h.m,
+		cfg:      h.cfg,
+		pos:      h.pos,
+		neg:      h.neg,
+		fbPos:    h.fbPos,
+		fbNeg:    h.fbNeg,
+		hasPairs: h.hasPairs,
+	}
+	if err := nh.ApplyCtx(ctx, pos, neg); err != nil {
+		return nil, err
+	}
+	return nh, nil
+}
+
+// SupportsApply reports whether this Hebbian retains its training pairs
+// and can therefore accept incremental updates.
+func (h *Hebbian) SupportsApply() bool { return h.hasPairs }
+
+// Config returns the contrastive strengths the map was compiled with.
+func (h *Hebbian) Config() FineTuneConfig { return h.cfg }
+
+// FeedbackPairs returns the number of positive and negative pairs folded
+// in by Apply since the original fine-tune.
+func (h *Hebbian) FeedbackPairs() (pos, neg int) { return len(h.fbPos), len(h.fbNeg) }
+
+// Fingerprint hashes the applied feedback pairs (FNV-64a over the
+// canonically sorted multiset). Two models built from the same base
+// fine-tune converge to the same fingerprint whenever the same feedback
+// set was folded in, in any order or batching — the property the
+// crash-replay e2e asserts. A Hebbian with no feedback reports 0.
+func (h *Hebbian) Fingerprint() uint64 {
+	if len(h.fbPos) == 0 && len(h.fbNeg) == 0 {
+		return 0
+	}
+	f := fnv.New64a()
+	hashPairs := func(tag byte, pairs []PairSample) {
+		for _, p := range pairs {
+			f.Write([]byte{tag})
+			f.Write([]byte(p.A))
+			f.Write([]byte{0})
+			f.Write([]byte(p.B))
+			f.Write([]byte{1})
+		}
+	}
+	hashPairs('P', h.fbPos)
+	hashPairs('N', h.fbNeg)
+	return f.Sum64()
+}
+
+// clonePairs copies a pair list (defensive: callers may reuse theirs).
+func clonePairs(pairs []PairSample) []PairSample {
+	if len(pairs) == 0 {
+		return nil
+	}
+	return append([]PairSample(nil), pairs...)
+}
+
+// concatPairs returns a ++ b in a fresh slice.
+func concatPairs(a, b []PairSample) []PairSample {
+	out := make([]PairSample, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
+// mergeSorted merges new pairs into an already-sorted multiset, keeping
+// the canonical (A, B) order; duplicates are retained — the closed form
+// weighs a pair seen twice twice.
+func mergeSorted(sorted, add []PairSample) []PairSample {
+	if len(add) == 0 {
+		return sorted
+	}
+	out := concatPairs(sorted, add)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
 }
 
 // Dim implements Source.

@@ -1,0 +1,215 @@
+package embed
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fbPosPairs / fbNegPairs are a feedback workload over real-ish product
+// vocab; the hash source gives every token a non-zero vector.
+var fbPosPairs = []PairSample{
+	{"laptop", "notebook"}, {"cellphone", "smartphone"},
+	{"tv", "television"}, {"photo", "picture"},
+}
+
+var fbNegPairs = []PairSample{
+	{"laptop", "printer"}, {"sony", "warranty"}, {"tv", "fridge"},
+}
+
+func matricesEqual(a, b *Hebbian) bool {
+	return a.m.Rows == b.m.Rows && a.m.Cols == b.m.Cols &&
+		reflect.DeepEqual(a.m.Data, b.m.Data)
+}
+
+// TestApplyEquivalentToFineTuneOverUnion pins the tentpole contract:
+// incremental Apply, in any batching and any order, compiles the exact
+// same matrix as one FineTune over original ++ sorted(feedback).
+func TestApplyEquivalentToFineTuneOverUnion(t *testing.T) {
+	base := NewHash()
+	origPos := []PairSample{{"camera", "cam"}, {"lens", "optics"}}
+	origNeg := []PairSample{{"camera", "tripod"}}
+
+	// Reference: one-shot fine-tune over the union, feedback canonically
+	// sorted after the original pairs (the documented equivalence target).
+	refPos := concatPairs(origPos, mergeSorted(nil, fbPosPairs))
+	refNeg := concatPairs(origNeg, mergeSorted(nil, fbNegPairs))
+	ref := FineTune(base, refPos, refNeg, DefaultFineTuneConfig())
+
+	// Incremental, three different batchings/orders.
+	batchings := [][][2][]PairSample{
+		{{fbPosPairs, fbNegPairs}}, // one batch
+		{{fbPosPairs[:2], fbNegPairs[:1]}, {fbPosPairs[2:], fbNegPairs[1:]}}, // two batches
+		{{fbPosPairs[2:], fbNegPairs[1:]}, {fbPosPairs[:2], fbNegPairs[:1]}}, // reversed order
+	}
+	for bi, batches := range batchings {
+		h := FineTune(base, origPos, origNeg, DefaultFineTuneConfig())
+		for _, b := range batches {
+			if err := h.Apply(b[0], b[1]); err != nil {
+				t.Fatalf("batching %d: Apply: %v", bi, err)
+			}
+		}
+		if !matricesEqual(h, ref) {
+			t.Fatalf("batching %d: incremental matrix differs from one-shot union", bi)
+		}
+		if v := h.Vector("laptop"); !reflect.DeepEqual(v, ref.Vector("laptop")) {
+			t.Fatalf("batching %d: vectors differ", bi)
+		}
+	}
+}
+
+func TestApplyFingerprintOrderInvariant(t *testing.T) {
+	base := NewHash()
+	a := FineTune(base, nil, nil, DefaultFineTuneConfig())
+	b := FineTune(base, nil, nil, DefaultFineTuneConfig())
+	if a.Fingerprint() != 0 {
+		t.Fatal("fresh model should have zero feedback fingerprint")
+	}
+	if err := a.Apply(fbPosPairs, fbNegPairs); err != nil {
+		t.Fatal(err)
+	}
+	// Same pairs, reversed batching order.
+	if err := b.Apply(fbPosPairs[2:], fbNegPairs[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(fbPosPairs[:2], fbNegPairs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint order-dependent: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() == 0 {
+		t.Fatal("fingerprint should be non-zero after feedback")
+	}
+	p, n := a.FeedbackPairs()
+	if p != len(fbPosPairs) || n != len(fbNegPairs) {
+		t.Fatalf("FeedbackPairs = %d, %d", p, n)
+	}
+}
+
+func TestWithAppliedCopyOnWrite(t *testing.T) {
+	base := NewHash()
+	h := FineTune(base, []PairSample{{"a", "b"}}, nil, DefaultFineTuneConfig())
+	before := h.m.Clone()
+	nh, err := h.WithApplied(context.Background(), fbPosPairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.m.Data, before.Data) {
+		t.Fatal("WithApplied mutated the receiver")
+	}
+	if p, _ := h.FeedbackPairs(); p != 0 {
+		t.Fatal("receiver gained feedback pairs")
+	}
+	if p, _ := nh.FeedbackPairs(); p != len(fbPosPairs) {
+		t.Fatal("clone missing feedback pairs")
+	}
+	if reflect.DeepEqual(nh.m.Data, before.Data) {
+		t.Fatal("clone map unchanged by feedback")
+	}
+}
+
+func TestApplyEmptyIsNoop(t *testing.T) {
+	h := FineTune(NewHash(), fbPosPairs, nil, DefaultFineTuneConfig())
+	before := h.m.Clone()
+	if err := h.Apply(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h.m.Data, before.Data) {
+		t.Fatal("empty Apply changed the map")
+	}
+}
+
+func TestApplyRejectsLegacyModel(t *testing.T) {
+	// Simulate a model decoded from a pre-retention artifact.
+	h := FineTune(NewHash(), fbPosPairs, nil, DefaultFineTuneConfig())
+	h.hasPairs = false
+	h.pos, h.neg = nil, nil
+	if h.SupportsApply() {
+		t.Fatal("legacy model claims SupportsApply")
+	}
+	if err := h.Apply(fbPosPairs, nil); err == nil {
+		t.Fatal("Apply on legacy model should fail")
+	}
+}
+
+func TestApplyCancellationLeavesModelUnchanged(t *testing.T) {
+	h := FineTune(NewHash(), fbPosPairs, fbNegPairs, DefaultFineTuneConfig())
+	before := h.m.Clone()
+	fp := h.Fingerprint()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := h.ApplyCtx(ctx, []PairSample{{"x", "y"}}, nil); err == nil {
+		t.Fatal("canceled ApplyCtx should fail")
+	}
+	if !reflect.DeepEqual(h.m.Data, before.Data) || h.Fingerprint() != fp {
+		t.Fatal("failed Apply left partial state behind")
+	}
+}
+
+func TestFineTuneConfigValidate(t *testing.T) {
+	bad := []FineTuneConfig{
+		{Alpha: math.NaN(), Beta: 0.25},
+		{Alpha: 0.5, Beta: math.NaN()},
+		{Alpha: math.Inf(1), Beta: 0.25},
+		{Alpha: 0.5, Beta: math.Inf(-1)},
+		{Alpha: -0.1, Beta: 0.25},
+		{Alpha: 0.5, Beta: -1},
+	}
+	for _, cfg := range bad {
+		err := cfg.Validate()
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("Validate(%+v) = %v, want ErrInvalidConfig", cfg, err)
+		}
+		if _, ferr := FineTuneCtx(context.Background(), NewHash(), nil, nil, cfg); !errors.Is(ferr, ErrInvalidConfig) {
+			t.Fatalf("FineTuneCtx(%+v) = %v, want ErrInvalidConfig", cfg, ferr)
+		}
+		if FineTune(NewHash(), nil, nil, cfg) != nil {
+			t.Fatalf("FineTune(%+v) should return nil", cfg)
+		}
+	}
+	good := []FineTuneConfig{DefaultFineTuneConfig(), {Alpha: 0, Beta: 0}}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+}
+
+func TestHebbianGobRoundTripKeepsApply(t *testing.T) {
+	base := NewHash()
+	h := FineTune(base, []PairSample{{"a", "b"}}, []PairSample{{"c", "d"}},
+		DefaultFineTuneConfig())
+	if err := h.Apply(fbPosPairs[:1], nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := h.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hebbian
+	if err := back.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if !back.SupportsApply() {
+		t.Fatal("round-trip lost pair retention")
+	}
+	if back.Fingerprint() != h.Fingerprint() {
+		t.Fatal("round-trip changed fingerprint")
+	}
+	if !matricesEqual(&back, h) {
+		t.Fatal("round-trip changed the compiled map")
+	}
+	// And the decoded model must accept further feedback equivalently.
+	if err := back.Apply(fbPosPairs[1:], fbNegPairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Apply(fbPosPairs[1:], fbNegPairs); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != h.Fingerprint() || !matricesEqual(&back, h) {
+		t.Fatal("post-round-trip Apply diverged from in-memory Apply")
+	}
+}

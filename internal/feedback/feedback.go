@@ -1,0 +1,23 @@
+// Package feedback is the online-learning substrate: a crash-safe label
+// journal (WYMFBK segments) that persists confirmed/corrected pair
+// verdicts as they arrive, and a margin-based active-learning selector
+// that decides which candidate pairs are worth a human label.
+//
+// The journal is the source of truth for everything learned after
+// training. A serving process folds each acknowledged label batch into
+// the model's contrastive map (core.System.ApplyFeedback) only after the
+// batch is fsync'd here, so a crash loses at most the unacknowledged
+// tail and a restart replays the journal to a fingerprint-identical
+// model — the same durability contract internal/matchjob gives match
+// output.
+package feedback
+
+import "wym/internal/data"
+
+// Label is one human verdict on an entity pair. The full entity values
+// ride along (not IDs) so replay needs nothing but the journal and the
+// base model.
+type Label struct {
+	Left, Right data.Entity
+	Match       bool
+}

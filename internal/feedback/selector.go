@@ -1,0 +1,67 @@
+package feedback
+
+import (
+	"math"
+	"sort"
+)
+
+// Selector implements margin-based active learning: among candidate
+// pairs, the ones whose match score sits closest to the decision
+// threshold θ are the ones the current model is least sure about, and a
+// label there moves the decision boundary most. Rank orders candidates
+// by |score − θ| ascending — the front of the list is what a labeling
+// session should show first.
+type Selector struct {
+	// Theta is the decision threshold scores are measured against.
+	// Zero means the matcher default of 0.5.
+	Theta float64
+}
+
+// Ranked is one candidate's position in the labeling queue.
+type Ranked struct {
+	Index  int     // position in the caller's candidate list
+	Score  float64 // the matcher's match probability
+	Margin float64 // |Score − θ|; smaller = more informative
+}
+
+func (s Selector) theta() float64 {
+	if s.Theta == 0 {
+		return 0.5
+	}
+	return s.Theta
+}
+
+// Rank orders all candidates by margin ascending, ties broken by index
+// so the ranking is deterministic. A NaN score (matcher failure) sorts
+// last with an infinite margin.
+func (s Selector) Rank(scores []float64) []Ranked {
+	theta := s.theta()
+	out := make([]Ranked, len(scores))
+	for i, sc := range scores {
+		m := math.Abs(sc - theta)
+		if math.IsNaN(sc) {
+			m = math.Inf(1)
+		}
+		out[i] = Ranked{Index: i, Score: sc, Margin: m}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Margin != out[b].Margin {
+			return out[a].Margin < out[b].Margin
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// TopK returns the k lowest-margin candidates (all of them if k exceeds
+// the candidate count; none if k <= 0).
+func (s Selector) TopK(scores []float64, k int) []Ranked {
+	if k <= 0 {
+		return nil
+	}
+	ranked := s.Rank(scores)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}

@@ -1,0 +1,55 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelectorRankByMargin(t *testing.T) {
+	s := Selector{}
+	scores := []float64{0.9, 0.51, 0.1, 0.49, 0.5}
+	ranked := s.Rank(scores)
+	wantOrder := []int{4, 1, 3, 0, 2} // margins 0, .01, .01(tie→index), .4, .4(tie→index)
+	// 0.51 and 0.49 both have margin 0.01; index 1 < 3. 0.9 and 0.1 both 0.4; 0 < 2.
+	for i, w := range wantOrder {
+		if ranked[i].Index != w {
+			t.Fatalf("rank[%d].Index = %d, want %d (full: %+v)", i, ranked[i].Index, w, ranked)
+		}
+	}
+	if ranked[0].Margin != 0 || ranked[0].Score != 0.5 {
+		t.Fatalf("front of queue = %+v, want the exactly-ambiguous pair", ranked[0])
+	}
+}
+
+func TestSelectorNaNRanksLast(t *testing.T) {
+	s := Selector{}
+	ranked := s.Rank([]float64{math.NaN(), 0.7})
+	if ranked[0].Index != 1 || ranked[1].Index != 0 {
+		t.Fatalf("NaN should rank last: %+v", ranked)
+	}
+	if !math.IsInf(ranked[1].Margin, 1) {
+		t.Fatalf("NaN margin = %v, want +Inf", ranked[1].Margin)
+	}
+}
+
+func TestSelectorCustomTheta(t *testing.T) {
+	s := Selector{Theta: 0.8}
+	ranked := s.Rank([]float64{0.5, 0.79})
+	if ranked[0].Index != 1 {
+		t.Fatalf("theta=0.8: %+v", ranked)
+	}
+}
+
+func TestSelectorTopK(t *testing.T) {
+	s := Selector{}
+	scores := []float64{0.9, 0.5, 0.1}
+	if got := s.TopK(scores, 1); len(got) != 1 || got[0].Index != 1 {
+		t.Fatalf("TopK(1) = %+v", got)
+	}
+	if got := s.TopK(scores, 10); len(got) != 3 {
+		t.Fatalf("TopK(10) len = %d", len(got))
+	}
+	if got := s.TopK(scores, 0); got != nil {
+		t.Fatalf("TopK(0) = %+v, want nil", got)
+	}
+}

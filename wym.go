@@ -40,6 +40,7 @@ import (
 	"wym/internal/data"
 	"wym/internal/datagen"
 	"wym/internal/explain"
+	"wym/internal/feedback"
 	"wym/internal/obs"
 	"wym/internal/pipeline"
 	"wym/internal/rules"
@@ -385,6 +386,36 @@ func (r *ModelRef) Get() *System { return r.p.Load() }
 // Set atomically publishes sys as the current model and returns the
 // one it replaced.
 func (r *ModelRef) Set(sys *System) (old *System) { return r.p.Swap(sys) }
+
+// Online learning (DESIGN §13): a fitted system folds human-adjudicated
+// pair labels in after training — System.ApplyFeedback derives
+// contrastive token pairs, recompiles the fine-tuned embedding map, and
+// recalibrates the decision threshold, returning a new System (the
+// receiver keeps serving; swap via ModelRef.Set). The update is a pure
+// function of the accumulated label multiset, so replaying a journal
+// reproduces a served model fingerprint-for-fingerprint after a crash.
+type (
+	// FeedbackLabel is one adjudicated record pair: the two entity
+	// descriptions and whether they match.
+	FeedbackLabel = feedback.Label
+	// FeedbackJournal is the append-only fsync'd label log
+	// (directory of CRC-checked segments) behind `wym label` and the
+	// server's feedback endpoints.
+	FeedbackJournal = feedback.Journal
+	// FeedbackSelector ranks candidate pairs for active labeling by
+	// margin (closeness of the match probability to the decision
+	// threshold).
+	FeedbackSelector = feedback.Selector
+	// FeedbackRanked is one ranked candidate from FeedbackSelector.
+	FeedbackRanked = feedback.Ranked
+)
+
+// OpenFeedbackJournal opens (creating if needed) the label journal in
+// dir, repairing a torn tail, and returns it with every durable label
+// in append order.
+func OpenFeedbackJournal(dir string) (*FeedbackJournal, []FeedbackLabel, error) {
+	return feedback.Open(dir)
+}
 
 // TuneResult is one grid point of a threshold sweep; see TuneThresholds.
 type TuneResult = core.TuneResult
