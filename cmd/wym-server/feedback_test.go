@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -11,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -360,4 +363,180 @@ func TestFeedbackKillReplay(t *testing.T) {
 
 	proc2.Process.Signal(syscall.SIGTERM)
 	proc2.Wait()
+}
+
+// TestModelLoadRacesFeedback hammers a named model with concurrent
+// admin loads and feedback batches. Both paths touch the model's
+// journal (load replays it via registry onLoad, feedback appends to
+// it) and both publish via ref.Set, so they must serialize on
+// reloadMu — the race detector catches any regression, and the final
+// reload must surface every acknowledged label.
+func TestModelLoadRacesFeedback(t *testing.T) {
+	opts := quietOptions()
+	opts.feedbackDir = t.TempDir()
+	a := testApp(t, opts)
+	srv := httptest.NewServer(a.handler())
+	defer srv.Close()
+
+	path := savedModel(t)
+	loadModel(t, srv, "alt", path)
+
+	labels := driftedLabels(t, 4)
+	const rounds = 6
+	var (
+		wg      sync.WaitGroup
+		acked   int64
+		loadErr error
+		fbErr   error
+	)
+	postJSON := func(url string, body any) (*http.Response, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		return http.Post(url, "application/json", bytes.NewReader(buf))
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			lb := labels[i%len(labels)]
+			resp, err := postJSON(srv.URL+"/admin/models/alt/feedback",
+				feedbackRequest{Labels: []feedbackLabel{lb}})
+			if err != nil {
+				fbErr = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				atomic.AddInt64(&acked, 1)
+			} else if resp.StatusCode != http.StatusNotFound {
+				// 404 can happen if a concurrent unload-style eviction
+				// raced us out; anything else is a real failure.
+				fbErr = fmt.Errorf("feedback status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			resp, err := postJSON(srv.URL+"/admin/models/alt/load", reloadRequest{Path: path})
+			if err != nil {
+				loadErr = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				loadErr = fmt.Errorf("load status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if fbErr != nil {
+		t.Fatalf("feedback goroutine: %v", fbErr)
+	}
+	if loadErr != nil {
+		t.Fatalf("load goroutine: %v", loadErr)
+	}
+	if acked == 0 {
+		t.Fatal("no feedback batch was acknowledged")
+	}
+
+	// A fresh load replays the journal: every acked label must be there.
+	loadModel(t, srv, "alt", path)
+	resp, err := http.Get(srv.URL + "/admin/models/alt/feedback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[feedbackStatus](t, resp)
+	if int64(st.LabelsTotal) != acked {
+		t.Fatalf("replayed labels = %d, acked = %d", st.LabelsTotal, acked)
+	}
+}
+
+// TestAdminModelOpsSerializeOnReloadMu pins the serialization contract
+// deterministically: while reloadMu is held (as feedbackWith holds it
+// for its apply-journal-swap sequence), named-model load and unload
+// must block rather than proceed — a load that slips through would
+// replay the journal concurrently with an in-flight Append and could
+// publish a model missing an acked batch.
+func TestAdminModelOpsSerializeOnReloadMu(t *testing.T) {
+	a := testApp(t, quietOptions())
+	srv := httptest.NewServer(a.handler())
+	defer srv.Close()
+
+	path := savedModel(t)
+	loadModel(t, srv, "alt", path)
+
+	// Measure an uncontended hot reload to scale the blocking window.
+	t0 := time.Now()
+	loadModel(t, srv, "alt", path)
+	uncontended := time.Since(t0)
+
+	postJSON := func(url string, body any) (int, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	a.reloadMu.Lock()
+	type result struct {
+		op   string
+		code int
+		err  error
+	}
+	done := make(chan result, 2)
+	go func() {
+		code, err := postJSON(srv.URL+"/admin/models/alt/load", reloadRequest{Path: path})
+		done <- result{"load", code, err}
+	}()
+	go func() {
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+"/admin/models/alt", nil)
+		if err != nil {
+			done <- result{"unload", 0, err}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- result{"unload", 0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- result{"unload", resp.StatusCode, nil}
+	}()
+
+	// Neither op may finish while the mutex is held. The window is 4x an
+	// uncontended load (plus a second of slack), so a handler that skips
+	// the mutex finishes well inside it.
+	select {
+	case r := <-done:
+		a.reloadMu.Unlock()
+		t.Fatalf("%s completed (code %d, err %v) while reloadMu was held", r.op, r.code, r.err)
+	case <-time.After(4*uncontended + time.Second):
+	}
+	a.reloadMu.Unlock()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-done:
+			if r.err != nil || r.code != http.StatusOK {
+				t.Fatalf("%s after release: code %d, err %v", r.op, r.code, r.err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("admin op never completed after reloadMu release")
+		}
+	}
 }

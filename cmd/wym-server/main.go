@@ -209,7 +209,7 @@ type app struct {
 	limiter        *serve.Limiter
 	opts           options
 	drainFn        func() bool // wired to serve.Server.Draining
-	reloadMu       sync.Mutex  // serializes reloads; never held on the predict path
+	reloadMu       sync.Mutex  // serializes reloads, named-model load/unload, and feedback; never held on the predict path
 	modelPath      string      // guarded by reloadMu
 	residentFormat string      // guarded by reloadMu
 	reloads        atomic.Int64
@@ -728,7 +728,13 @@ func (a *app) handleModelLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	// reloadMu serializes this load against feedback ingestion: the
+	// registry's onLoad replays the model's journal (Journal.All) and
+	// publishes via ref.Set, both of which feedbackWith assumes cannot
+	// interleave with its own Append+Set sequence.
+	a.reloadMu.Lock()
 	entry, err := a.models.Load(name, req.Path)
+	a.reloadMu.Unlock()
 	if err != nil {
 		a.logger.Printf("load of model %s from %s failed: %v", name, req.Path, err)
 		writeError(w, http.StatusInternalServerError, "load failed: "+err.Error())
@@ -747,7 +753,12 @@ func (a *app) handleModelLoad(w http.ResponseWriter, r *http.Request) {
 // handleModelUnload evicts a named model; the default is pinned.
 func (a *app) handleModelUnload(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if err := a.models.Remove(name); err != nil {
+	// Same serialization as handleModelLoad: an eviction must not land
+	// in the middle of feedbackWith's apply-journal-swap sequence.
+	a.reloadMu.Lock()
+	err := a.models.Remove(name)
+	a.reloadMu.Unlock()
+	if err != nil {
 		status := http.StatusNotFound
 		if name == defaultModelName {
 			status = http.StatusBadRequest

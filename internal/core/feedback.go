@@ -92,7 +92,8 @@ func (s *System) ApplyFeedback(ctx context.Context, labels []feedback.Label) (*S
 }
 
 // DecisionThreshold returns the match cutoff on the classifier proba:
-// 0.5 until feedback recalibrates it.
+// 0.5 until feedback recalibrates it. calibrateThreshold only ever
+// returns positive cutoffs, so 0 is a reliable "unset" sentinel here.
 func (s *System) DecisionThreshold() float64 {
 	if s.fbThreshold > 0 {
 		return s.fbThreshold
@@ -140,12 +141,22 @@ func labelKey(lb feedback.Label) string {
 // the observed probas plus the 0.5 default; ties prefer the candidate
 // closest to (then, exactly) 0.5, so feedback that carries no signal —
 // or no positive labels at all — leaves the default cutoff in place.
+// Non-positive probas are excluded as candidates, so the returned
+// threshold is always > 0 — fbThreshold == 0 therefore unambiguously
+// means "never calibrated" (DecisionThreshold and the persisted
+// FbThreshold/FeedbackThreshold fields rely on that invariant).
 func calibrateThreshold(s *System, labels []feedback.Label) float64 {
 	probas := make([]float64, len(labels))
 	for i, lb := range labels {
 		_, probas[i] = s.Predict(data.Pair{Left: lb.Left, Right: lb.Right})
 	}
-	cands := append(append([]float64(nil), probas...), 0.5)
+	cands := make([]float64, 0, len(probas)+1)
+	for _, p := range probas {
+		if p > 0 {
+			cands = append(cands, p)
+		}
+	}
+	cands = append(cands, 0.5)
 	sort.Float64s(cands)
 	f1At := func(t float64) float64 {
 		var tp, fp, fn int

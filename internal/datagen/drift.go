@@ -26,10 +26,14 @@ import (
 // Tokens shorter than 3 runes and tokens containing non-letters
 // (product codes, numbers) never drift.
 func DriftToken(token string, rate float64, seed int64) string {
-	if rate <= 0 || len(token) < 3 {
+	if rate <= 0 {
 		return token
 	}
-	for _, r := range token {
+	runes := []rune(token)
+	if len(runes) < 3 {
+		return token
+	}
+	for _, r := range runes {
 		if !unicode.IsLetter(r) {
 			return token
 		}
@@ -45,8 +49,10 @@ func DriftToken(token string, rate float64, seed int64) string {
 	}
 	// Single deterministic edit: double the letter at a hash-chosen
 	// position ("lager" -> "lagger"). Keeps the trigram profile close.
-	p := int((sum / 10000) % uint64(len(token)))
-	return token[:p+1] + token[p:p+1] + token[p+1:]
+	// Positions are rune offsets so multi-byte letters ("café",
+	// "münchen") are duplicated whole, never split mid-encoding.
+	p := int((sum / 10000) % uint64(len(runes)))
+	return string(runes[:p+1]) + string(runes[p]) + string(runes[p+1:])
 }
 
 // DriftEntity drifts every whitespace-separated token of every

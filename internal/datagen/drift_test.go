@@ -3,6 +3,7 @@ package datagen
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"wym/internal/data"
 )
@@ -32,6 +33,36 @@ func TestDriftTokenSkipsIneligible(t *testing.T) {
 	}
 	if got := DriftToken("porter", 0, 1); got != "porter" {
 		t.Fatalf("rate 0 drifted: %q", got)
+	}
+}
+
+func TestDriftTokenMultiByteStaysValidUTF8(t *testing.T) {
+	for _, tok := range []string{"café", "münchen", "señor", "crème", "größe", "日本語词"} {
+		runes := utf8.RuneCountInString(tok)
+		var drifted bool
+		// Sweep seeds so every edit position gets exercised regardless of
+		// where the hash lands.
+		for seed := int64(0); seed < 64; seed++ {
+			got := DriftToken(tok, 1.0, seed)
+			if !utf8.ValidString(got) {
+				t.Fatalf("DriftToken(%q, seed %d) = %q: invalid UTF-8", tok, seed, got)
+			}
+			if got == tok {
+				t.Fatalf("rate 1.0 left eligible token %q unchanged (seed %d)", tok, seed)
+			}
+			if utf8.RuneCountInString(got) != runes+1 {
+				t.Fatalf("DriftToken(%q, seed %d) = %q: want exactly one duplicated rune", tok, seed, got)
+			}
+			drifted = true
+		}
+		if !drifted {
+			t.Fatalf("no seed drifted %q", tok)
+		}
+	}
+	// The 3-rune floor counts runes, not bytes: a 2-rune multi-byte token
+	// is ineligible even though it is ≥ 3 bytes long.
+	if got := DriftToken("éà", 1.0, 1); got != "éà" {
+		t.Fatalf("2-rune token drifted to %q", got)
 	}
 }
 

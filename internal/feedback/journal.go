@@ -92,10 +92,23 @@ func OpenLimit(dir string, segmentLimit int64) (*Journal, []Label, error) {
 		}
 		if last {
 			// Repair a torn tail by truncating to the last whole record.
-			if err := os.Truncate(segmentPath(dir, seg), validLen); err != nil {
+			// The truncation is fsync'd through the same handle that
+			// subsequent Appends use: if it were left buffered, a second
+			// crash could resurrect the torn bytes under records appended
+			// at the repaired length.
+			f, err := os.OpenFile(segmentPath(dir, seg), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
 				return nil, nil, err
 			}
-			j.seg, j.segBytes = seg, validLen
+			if err := f.Truncate(validLen); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			j.f, j.seg, j.segBytes = f, seg, validLen
 		}
 		for _, batch := range labels {
 			j.all = append(j.all, batch...)
@@ -106,12 +119,6 @@ func OpenLimit(dir string, segmentLimit int64) (*Journal, []Label, error) {
 		if err := j.startSegment(0); err != nil {
 			return nil, nil, err
 		}
-	} else {
-		f, err := os.OpenFile(segmentPath(dir, j.seg), os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, nil, err
-		}
-		j.f = f
 	}
 	return j, j.All(), nil
 }
@@ -293,9 +300,19 @@ func replaySegment(path string, repairTail bool) (batches [][]Label, validLen in
 }
 
 // repairEmptyMagic rewrites a segment whose magic itself was torn by a
-// crash during creation: the file becomes a valid empty segment.
+// crash during creation: the file becomes a valid empty segment. The
+// rewrite is fsync'd so a crash right after repair cannot leave the
+// partial magic on disk again.
 func repairEmptyMagic(path string) (int64, error) {
-	if err := os.WriteFile(path, []byte(segmentMagic), 0o644); err != nil {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte(segmentMagic)); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
 		return 0, err
 	}
 	return int64(len(segmentMagic)), nil
