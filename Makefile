@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet fmt-check test race serve-race train-race model-race router-race match-race label-race fuzz-smoke bench bench-json bench-guard cover
+.PHONY: check build vet fmt-check test race serve-race train-race model-race router-race match-race label-race audit-race fuzz-smoke bench bench-json bench-guard cover
 
 ## check: the pre-merge gate — formatting, vet (must be clean for every
 ## package, internal/serve included), build, the serving-layer race gate,
 ## the fault-tolerant-training race gate, the model-format race gate, the
 ## fleet-routing chaos gate, the crash-safe-matching race gate, the
-## online-learning crash gate, a fuzz smoke pass over CSV ingest, arena
-## parsing, blocking, and the feedback journal, full race-enabled tests,
-## short benchmarks, and the coverage ratchet.
-check: fmt-check vet build serve-race train-race model-race router-race match-race label-race fuzz-smoke race bench cover
+## online-learning crash gate, the audit-trail crash gate, a fuzz smoke
+## pass over CSV ingest, arena parsing, blocking, the feedback journal,
+## and the audit log, full race-enabled tests, short benchmarks, and the
+## coverage ratchet.
+check: fmt-check vet build serve-race train-race model-race router-race match-race label-race audit-race fuzz-smoke race bench cover
 
 build:
 	$(GO) build ./...
@@ -82,16 +83,27 @@ label-race:
 		-run 'TestApplyFeedback|TestSelector|TestFeedback|TestJournal|TestLabel|TestGoldenLabelAuto' \
 		./internal/feedback ./internal/core ./cmd/wym-server ./cmd/wym
 
+## audit-race: the prediction-audit-trail suite under the race detector —
+## the append/rotate/retention property tests, the deterministic-sampler
+## properties, exact counter/record accounting through a live audited
+## server, the mid-load SIGKILL recovery e2e, the audit CLI goldens, and
+## the audit-show/live-explain parity gate.
+audit-race:
+	$(GO) test -race -timeout 15m \
+		-run 'TestAudit|TestGoldenAudit' \
+		./internal/audit ./cmd/wym-server ./cmd/wym
+
 ## fuzz-smoke: a short native-fuzz pass over the untrusted-input
 ## surfaces — both CSV ingest readers, the arena (.wyma) parser, the
-## blocking candidate generator, and the feedback journal reader must
-## never panic on arbitrary bytes.
+## blocking candidate generator, the feedback journal reader, and the
+## audit log reader must never panic on arbitrary bytes.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=5s ./internal/data
 	$(GO) test -fuzz='^FuzzReadCSVLenient$$' -fuzztime=5s ./internal/data
 	$(GO) test -fuzz='^FuzzLoadArena$$' -fuzztime=5s ./internal/arena
 	$(GO) test -fuzz='^FuzzBlockingCandidates$$' -fuzztime=5s ./internal/blocking
 	$(GO) test -fuzz='^FuzzFeedbackJournal$$' -fuzztime=5s ./internal/feedback
+	$(GO) test -fuzz='^FuzzAuditLog$$' -fuzztime=5s ./internal/audit
 
 ## bench: short benchmark pass over the hot-path packages (sanity, not a
 ## baseline — use bench-json for comparable numbers).

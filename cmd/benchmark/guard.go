@@ -91,10 +91,15 @@ type crossGate struct {
 // crossGates encodes the arena format's performance contract (DESIGN
 // §10): serving predicts through the zero-copy arena at least 2x faster
 // than through the gob-decoded stack, and cold-starts at least 10x
-// faster than a gob decode.
+// faster than a gob decode. The audit gate (DESIGN §14) bounds the full
+// audited serve path — process, predict, explain, compact, append — to
+// 1.25x the bare predict (speedup 0.8 means the "fast" series may be up
+// to 1/0.8 of the slow one), so decision logging can stay on in
+// production without renegotiating the latency budget.
 var crossGates = []crossGate{
 	{fast: "ArenaPredict", slow: "Predict", speedup: 2},
 	{fast: "ModelLoadArena", slow: "ModelLoadGob", speedup: 10},
+	{fast: "PredictAudited", slow: "Predict", speedup: 0.8},
 }
 
 // checkCrossGates verifies every cross-series gate against one

@@ -136,3 +136,24 @@ func TestCheckCrossGates(t *testing.T) {
 		t.Fatalf("missing series flagged: %v", v)
 	}
 }
+
+// TestCheckCrossGatesFractionalSpeedup: a sub-1 speedup bounds an
+// overhead series — the audit gate allows PredictAudited up to 1.25x
+// the bare Predict and fires beyond that.
+func TestCheckCrossGatesFractionalSpeedup(t *testing.T) {
+	gates := []crossGate{{fast: "PredictAudited", slow: "Predict", speedup: 0.8}}
+	within := map[string]benchResult{
+		"Predict":        bench(1_000_000, 100),
+		"PredictAudited": bench(1_200_000, 120),
+	}
+	if v := checkCrossGates(within, gates); len(v) != 0 {
+		t.Fatalf("1.2x overhead flagged under a 1.25x budget: %v", v)
+	}
+	over := map[string]benchResult{
+		"Predict":        bench(1_000_000, 100),
+		"PredictAudited": bench(1_300_000, 120),
+	}
+	if v := checkCrossGates(over, gates); len(v) != 1 || !strings.Contains(v[0], "PredictAudited") {
+		t.Fatalf("violations = %v, want one PredictAudited entry", v)
+	}
+}

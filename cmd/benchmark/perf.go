@@ -17,9 +17,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"testing"
+	"time"
 
 	"wym"
+	"wym/internal/audit"
 	"wym/internal/blocking"
 	"wym/internal/datagen"
 	"wym/internal/embed"
@@ -171,6 +174,42 @@ func collectSnapshot(dataset string, scale float64, seed int64) (perfSnapshot, *
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng.Explain(test.Pairs[i%test.Size()])
+		}
+	})
+
+	// Audited predict: the serve-side audit path — process once, predict
+	// and explain from the same record, compact the decision units and
+	// append to a batched-fsync audit log. The cross-series gate in
+	// guard.go holds the audit overhead inside the serving budget
+	// (PredictAudited within 1.25x of the bare Predict).
+	adir, err := os.MkdirTemp("", "wym-bench-audit")
+	if err != nil {
+		return snap, reg, err
+	}
+	defer os.RemoveAll(adir)
+	alog, err := audit.Open(adir, audit.Options{FlushEvery: 200 * time.Millisecond})
+	if err != nil {
+		return snap, reg, err
+	}
+	defer alog.Close()
+	record("PredictAudited", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := test.Pairs[i%test.Size()]
+			start := time.Now()
+			// One scoring pass: the explanation carries the prediction, so
+			// the audited server answers from ExplainRecord directly.
+			ex := eng.ExplainRecord(eng.Process(p))
+			if err := alog.Append(audit.Record{
+				RequestID: "bench-" + strconv.Itoa(i), TimeNanos: start.UnixNano(),
+				Route: "/predict", Model: "bench",
+				Left: p.Left, Right: p.Right,
+				Prediction: ex.Prediction, Proba: ex.Proba, Threshold: sys.DecisionThreshold(),
+				Units:        audit.CompactUnits(ex),
+				LatencyNanos: int64(time.Since(start)),
+			}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

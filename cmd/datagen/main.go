@@ -8,11 +8,21 @@
 //	datagen -out ./datasets -datasets S-AG,T-AB -scale 1.0
 //	datagen -out ./tables -tables -datasets S-FZ -rows 1000000 -match-rate 0.2
 //	datagen -out ./drifted -datasets S-BR -drift 0.6        # post-train drift scenario
+//	datagen -out ./packs -scenario all -scenario-rows 2000  # stress-scenario packs
+//	datagen -out ./packs -scenario unicode,customer360 -seed 7
 //
 // -drift perturbs the right-side vocabulary after generation (the same
 // deterministic token edits `wym label -drift` demos): labeled pair
 // files keep their truth labels, so the output is a ready-made feedback
 // pool for `wym label -candidates`.
+//
+// -scenario emits the stress packs instead of the Magellan reproduction:
+// unicode (multilingual text), hetero-schema (free-text feed vs columnar
+// source), drift-temporal (vocabulary shift in arrival order — do not
+// shuffle before splitting), customer360 (multi-source identity
+// resolution). Output is deterministic in (-scenario, -scenario-rows,
+// -seed); each pack has a committed quality floor enforced by the root
+// scenario regression test.
 //
 // Table mode writes <key>_left.csv, <key>_right.csv (header = attribute
 // names) and <key>_truth.csv ("left,right" 0-based match indices).
@@ -41,13 +51,19 @@ func main() {
 		matchRate = flag.Float64("match-rate", 0.2, "fraction of left rows with a true match in -tables mode")
 		drift     = flag.Float64("drift", 0, "drift this fraction of the right-side vocabulary (post-train shift scenario for the feedback loop)")
 		driftSeed = flag.Int64("drift-seed", 23, "drift selection seed")
+		scenario  = flag.String("scenario", "", "emit stress-scenario packs instead: comma-separated keys or 'all' (unicode, hetero-schema, drift-temporal, customer360)")
+		scRows    = flag.Int("scenario-rows", 2000, "labeled pairs per scenario pack")
+		seed      = flag.Int64("seed", 1, "scenario pack generation seed")
 	)
 	flag.Parse()
 
 	var err error
-	if *tables {
+	switch {
+	case *scenario != "":
+		err = runScenarios(*out, *scenario, *scRows, *seed)
+	case *tables:
 		err = runTables(*out, *rows, *matchRate, *datasets, *drift, *driftSeed)
-	} else {
+	default:
 		err = run(*out, *scale, *datasets, *drift, *driftSeed)
 	}
 	if err != nil {
@@ -88,6 +104,30 @@ func run(out string, scale float64, datasets string, drift float64, driftSeed in
 		}
 		fmt.Printf("%-6s %6d pairs  %5.2f%% match  -> %s\n",
 			p.Key, d.Size(), 100*d.MatchRate(), path)
+	}
+	return nil
+}
+
+func runScenarios(out, scenario string, rows int, seed int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	keys := wym.ScenarioKeys()
+	if scenario != "all" {
+		keys = strings.Split(scenario, ",")
+	}
+	for _, key := range keys {
+		key = strings.TrimSpace(key)
+		d, err := wym.GenerateScenario(key, rows, seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, key+".csv")
+		if err := wym.SaveDataset(path, d); err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %6d pairs  %5.2f%% match  seed %d  -> %s\n",
+			key, d.Size(), 100*d.MatchRate(), seed, path)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -77,6 +78,43 @@ func TestRunDriftPerturbsRightSide(t *testing.T) {
 	}
 	if changed == 0 {
 		t.Fatal("drift 0.9 changed no right-side entity")
+	}
+}
+
+// TestRunScenariosWritesPacks: -scenario all writes one loadable CSV
+// per pack, and the same seed reproduces it byte-for-byte.
+func TestRunScenariosWritesPacks(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	if err := runScenarios(a, "all", 150, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenarios(b, "unicode,customer360", 150, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range wym.ScenarioKeys() {
+		d, err := wym.LoadDataset(filepath.Join(a, key+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if d.Size() != 150 {
+			t.Fatalf("%s: %d pairs, want 150", key, d.Size())
+		}
+	}
+	for _, key := range []string{"unicode", "customer360"} {
+		ra, err := os.ReadFile(filepath.Join(a, key+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := os.ReadFile(filepath.Join(b, key+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ra) != string(rb) {
+			t.Fatalf("%s: same seed produced different CSV bytes", key)
+		}
+	}
+	if err := runScenarios(t.TempDir(), "nope", 100, 1); err == nil {
+		t.Fatal("unknown scenario key succeeded")
 	}
 }
 

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"wym"
+	"wym/internal/audit"
+	"wym/internal/obs"
+	"wym/internal/pipeline"
+)
+
+// auditedRoutes is the fixed set of routes the auditor records —
+// counter series are pre-registered against it so /metrics cardinality
+// never depends on traffic.
+var auditedRoutes = []string{
+	"/predict", "/predict/batch", "/explain",
+	"/models/{name}/predict", "/models/{name}/predict/batch", "/models/{name}/explain",
+}
+
+// auditor records sampled prediction decisions into the append-only
+// audit log. Sampling is a pure function of the request ID
+// (audit.Sampled), so every replica in a fleet makes the same verdict
+// for the same request; the record is appended after the response is
+// written, and an append failure drops the record (counted), never the
+// request. A zero-value auditor (no -audit-dir) is fully disabled.
+type auditor struct {
+	log     *audit.Log
+	defRate float64
+	rates   map[string]float64 // per-route overrides
+	logger  *log.Logger
+
+	records    map[string]*obs.Counter // wym_audit_records_total{route}
+	sampledOut map[string]*obs.Counter // wym_audit_sampled_out_total{route}
+	dropped    *obs.Counter            // wym_audit_dropped_total
+}
+
+func newAuditor(opts options, reg *obs.Registry, logger *log.Logger) (*auditor, error) {
+	if opts.auditDir == "" {
+		return &auditor{}, nil
+	}
+	def, rates, err := parseSampleSpec(opts.auditSample)
+	if err != nil {
+		return nil, fmt.Errorf("-audit-sample: %w", err)
+	}
+	l, err := audit.Open(opts.auditDir, audit.Options{
+		SegmentBytes: opts.auditSegmentBytes,
+		RetainBytes:  opts.auditRetainBytes,
+		FlushEvery:   opts.auditFlush,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("opening audit log: %w", err)
+	}
+	au := &auditor{
+		log: l, defRate: def, rates: rates, logger: logger,
+		records:    make(map[string]*obs.Counter, len(auditedRoutes)),
+		sampledOut: make(map[string]*obs.Counter, len(auditedRoutes)),
+		dropped: reg.Counter("wym_audit_dropped_total",
+			"Sampled decisions whose audit append failed and were dropped."),
+	}
+	for _, route := range auditedRoutes {
+		au.records[route] = reg.Counter("wym_audit_records_total",
+			"Decisions recorded into the audit log.", obs.L("route", route))
+		au.sampledOut[route] = reg.Counter("wym_audit_sampled_out_total",
+			"Decisions skipped by the audit sampler.", obs.L("route", route))
+	}
+	return au, nil
+}
+
+func (au *auditor) enabled() bool { return au != nil && au.log != nil }
+
+func (au *auditor) Close() error {
+	if !au.enabled() {
+		return nil
+	}
+	return au.log.Close()
+}
+
+// requestID resolves this request's audit identity — the client's
+// X-Request-ID when present, a fresh random ID otherwise — and echoes
+// it on the response so callers can correlate `wym audit show` with
+// their own logs. Returns "" when auditing is disabled.
+func (au *auditor) requestID(w http.ResponseWriter, r *http.Request) string {
+	if !au.enabled() {
+		return ""
+	}
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		var b [8]byte
+		rand.Read(b[:])
+		id = hex.EncodeToString(b[:])
+	}
+	w.Header().Set("X-Request-ID", id)
+	return id
+}
+
+// sample is the deterministic per-route sampling verdict for one
+// request ID, counting skips.
+func (au *auditor) sample(route, id string) bool {
+	if !au.enabled() {
+		return false
+	}
+	rate := au.defRate
+	if r, ok := au.rates[route]; ok {
+		rate = r
+	}
+	if !audit.Sampled(id, rate) {
+		au.sampledOut[route].Inc()
+		return false
+	}
+	return true
+}
+
+// record appends one audited decision. Called after the response is
+// written: auditing adds explain+append latency to the connection tail,
+// never to the served result, and an append failure only bumps the
+// dropped counter.
+func (au *auditor) record(route, id, model string, e *modelEntry, sys *wym.System,
+	p wym.Pair, ex pipeline.Explanation, latency time.Duration) {
+	rec := audit.Record{
+		RequestID:    id,
+		TimeNanos:    time.Now().UnixNano(),
+		Route:        route,
+		Model:        model,
+		ArtifactFP:   e.status().Fingerprint,
+		FeedbackFP:   sys.FeedbackFingerprint(),
+		Left:         p.Left,
+		Right:        p.Right,
+		Prediction:   ex.Prediction,
+		Proba:        ex.Proba,
+		Threshold:    sys.DecisionThreshold(),
+		Units:        audit.CompactUnits(ex),
+		LatencyNanos: int64(latency),
+	}
+	if err := au.log.Append(rec); err != nil {
+		au.dropped.Inc()
+		au.logger.Printf("audit: dropping record %s: %v", id, err)
+		return
+	}
+	au.records[route].Inc()
+}
+
+// parseSampleSpec parses the -audit-sample flag: either a bare rate in
+// [0,1] applied to every route, or a comma list of default=R and
+// /route=R overrides ("default=0.1,/predict=1").
+func parseSampleSpec(spec string) (def float64, rates map[string]float64, err error) {
+	def, rates = 1, map[string]float64{}
+	parse := func(s string) (float64, error) {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f < 0 || f > 1 {
+			return 0, fmt.Errorf("rate %q is not in [0,1]", s)
+		}
+		return f, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			if def, err = parse(part); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		f, err := parse(val)
+		if err != nil {
+			return 0, nil, err
+		}
+		if key == "default" {
+			def = f
+		} else {
+			rates[key] = f
+		}
+	}
+	return def, rates, nil
+}

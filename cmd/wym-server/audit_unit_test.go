@@ -1,0 +1,106 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wym/internal/obs"
+)
+
+func TestParseSampleSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		def     float64
+		rates   map[string]float64
+		wantErr bool
+	}{
+		{spec: "", def: 1, rates: map[string]float64{}},
+		{spec: "0.25", def: 0.25, rates: map[string]float64{}},
+		{spec: "default=0.1,/predict=1", def: 0.1,
+			rates: map[string]float64{"/predict": 1}},
+		{spec: " default=0.5 , /explain=0 ,", def: 0.5,
+			rates: map[string]float64{"/explain": 0}},
+		{spec: "2", wantErr: true},
+		{spec: "-0.1", wantErr: true},
+		{spec: "abc", wantErr: true},
+		{spec: "default=nope", wantErr: true},
+		{spec: "/predict=1.5", wantErr: true},
+	}
+	for _, c := range cases {
+		def, rates, err := parseSampleSpec(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("spec %q: accepted, want error", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("spec %q: %v", c.spec, err)
+			continue
+		}
+		if def != c.def {
+			t.Errorf("spec %q: default = %v, want %v", c.spec, def, c.def)
+		}
+		if len(rates) != len(c.rates) {
+			t.Errorf("spec %q: rates = %v, want %v", c.spec, rates, c.rates)
+			continue
+		}
+		for route, want := range c.rates {
+			if rates[route] != want {
+				t.Errorf("spec %q: rates[%q] = %v, want %v",
+					c.spec, route, rates[route], want)
+			}
+		}
+	}
+}
+
+func TestNewAuditorErrors(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	reg := obs.NewRegistry()
+
+	opts := options{auditDir: t.TempDir(), auditSample: "bogus"}
+	if _, err := newAuditor(opts, reg, logger); err == nil {
+		t.Fatal("bad -audit-sample accepted")
+	}
+
+	// A plain file where the audit dir should go makes Open fail.
+	blocked := filepath.Join(t.TempDir(), "audit")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts = options{auditDir: blocked, auditSample: "1"}
+	if _, err := newAuditor(opts, reg, logger); err == nil {
+		t.Fatal("blocked audit dir accepted")
+	}
+}
+
+// A zero-value auditor (no -audit-dir) must be inert: no IDs issued, no
+// sampling, Close a no-op.
+func TestAuditorDisabled(t *testing.T) {
+	au, err := newAuditor(options{}, obs.NewRegistry(), log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if au.enabled() {
+		t.Fatal("auditor with no dir reports enabled")
+	}
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/predict", nil)
+	r.Header.Set("X-Request-ID", "should-be-ignored")
+	if id := au.requestID(w, r); id != "" {
+		t.Fatalf("disabled auditor issued request ID %q", id)
+	}
+	if w.Header().Get("X-Request-ID") != "" {
+		t.Fatal("disabled auditor echoed a request ID header")
+	}
+	if au.sample("/predict", "any") {
+		t.Fatal("disabled auditor sampled a request in")
+	}
+	if err := au.Close(); err != nil {
+		t.Fatalf("disabled Close: %v", err)
+	}
+}

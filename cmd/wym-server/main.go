@@ -59,6 +59,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,7 @@ import (
 	"time"
 
 	"wym"
+	"wym/internal/audit"
 	"wym/internal/obs"
 	"wym/internal/pipeline"
 	"wym/internal/serve"
@@ -93,6 +95,12 @@ func main() {
 
 		adminAddr = flag.String("admin-addr", "", "admin listen address for GET /metrics (and pprof); empty disables")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof on the admin address")
+
+		auditDir      = flag.String("audit-dir", "", "prediction audit log directory; empty disables auditing")
+		auditSample   = flag.String("audit-sample", "1", "audit sampling: a rate in [0,1], or default=R,/route=R,... per-route overrides")
+		auditFlush    = flag.Duration("audit-flush", 200*time.Millisecond, "audit fsync batching interval (0 = fsync every record)")
+		auditSegBytes = flag.Int64("audit-segment-bytes", audit.DefaultSegmentBytes, "audit segment rotation size in bytes")
+		auditRetain   = flag.Int64("audit-retain-bytes", 0, "audit retention cap across segments (0 = unbounded; otherwise >= 2x segment size)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -117,16 +125,26 @@ func main() {
 		maxBatch:      *maxBatch,
 		maxModelBytes: *maxModelBytes,
 		feedbackDir:   *feedbackDir,
+
+		auditDir:          *auditDir,
+		auditSample:       *auditSample,
+		auditFlush:        *auditFlush,
+		auditSegmentBytes: *auditSegBytes,
+		auditRetainBytes:  *auditRetain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wym-server:", err)
 		os.Exit(1)
 	}
 	defer a.feedback.Close()
+	defer a.audit.Close()
 	a.observeModelLoad(sys.Format(), loadTook)
 	logger.Printf("loaded %s (%s) in %v", *modelPath, sys.Format(), loadTook.Round(time.Millisecond))
 	if a.feedback.enabled() {
 		logger.Printf("feedback enabled, journaling under %s", *feedbackDir)
+	}
+	if a.audit.enabled() {
+		logger.Printf("audit enabled, recording under %s (sample %s)", *auditDir, *auditSample)
 	}
 	if *preload != "" {
 		for _, spec := range strings.Split(*preload, ",") {
@@ -195,6 +213,13 @@ type options struct {
 	feedbackDir   string          // feedback journal root ("" disables feedback)
 	registry      *obs.Registry   // metrics registry; newApp creates one when nil
 	faults        *serve.Injector // test-only fault injection, nil in production
+
+	// Prediction auditing; see audit.go. auditDir == "" disables it.
+	auditDir          string
+	auditSample       string // sampling spec for parseSampleSpec
+	auditFlush        time.Duration
+	auditSegmentBytes int64
+	auditRetainBytes  int64
 }
 
 // app is the serving state: the model registry (with the pinned
@@ -204,7 +229,9 @@ type options struct {
 // models.
 type app struct {
 	ref            *wym.ModelRef // the default registry entry's ref
+	defaultEntry   *modelEntry   // the pinned default entry (stable across reloads)
 	models         *modelRegistry
+	audit          *auditor
 	logger         *log.Logger
 	limiter        *serve.Limiter
 	opts           options
@@ -260,6 +287,11 @@ func newApp(sys *wym.System, modelPath string, opts options) (*app, error) {
 		"Requests shed with 429 by the in-flight limiter."))
 	a.feedback = newFeedbackStore(opts.feedbackDir)
 	a.registerFeedbackMetrics()
+	au, err := newAuditor(opts, a.reg, opts.logger)
+	if err != nil {
+		return nil, err
+	}
+	a.audit = au
 	// The registry validates, instruments, and journal-replays every
 	// model before publishing it: handlers must never observe an
 	// uninstrumented engine, a broken artifact must never displace a
@@ -279,12 +311,13 @@ func newApp(sys *wym.System, modelPath string, opts options) (*app, error) {
 	// The startup artifact was already validated by loading successfully
 	// in main; replay its journal and instrument before publishing, as
 	// above.
-	sys, err := a.replayFeedback(defaultModelName, sys)
+	sys, err = a.replayFeedback(defaultModelName, sys)
 	if err != nil {
 		return nil, fmt.Errorf("model %s: %w", modelPath, err)
 	}
 	sys.Engine().SetMetrics(a.engineMetrics)
-	a.ref = a.models.Install(defaultModelName, modelPath, sys).ref
+	a.defaultEntry = a.models.Install(defaultModelName, modelPath, sys)
+	a.ref = a.defaultEntry.ref
 	a.setResidentFormat(sys.Format())
 	return a, nil
 }
@@ -344,18 +377,22 @@ func (a *app) handler() http.Handler {
 		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, a.ref.Get().Schema())
 		})))
-	mux.Handle("POST /predict", hot("/predict", a.handlePredict))
-	mux.Handle("POST /predict/batch", hot("/predict/batch", a.handlePredictBatch))
-	mux.Handle("POST /explain", hot("/explain", a.handleExplain))
+	// Handlers receive their registered route pattern explicitly (for
+	// the audit trail and per-route sampling) alongside the resolved
+	// registry entry, so one request never re-resolves its model.
+	mux.Handle("POST /predict", hot("/predict", a.defaultScoped("/predict", a.predictWith)))
+	mux.Handle("POST /predict/batch",
+		hot("/predict/batch", a.defaultScoped("/predict/batch", a.predictBatchWith)))
+	mux.Handle("POST /explain", hot("/explain", a.defaultScoped("/explain", a.explainWith)))
 	// Model-scoped routes: the metric label is the route pattern, not
 	// the expanded name, so series cardinality stays fixed however many
 	// models churn through the registry.
 	mux.Handle("POST /models/{name}/predict",
-		hot("/models/{name}/predict", a.modelScoped(a.predictWith)))
+		hot("/models/{name}/predict", a.modelScoped("/models/{name}/predict", a.predictWith)))
 	mux.Handle("POST /models/{name}/predict/batch",
-		hot("/models/{name}/predict/batch", a.modelScoped(a.predictBatchWith)))
+		hot("/models/{name}/predict/batch", a.modelScoped("/models/{name}/predict/batch", a.predictBatchWith)))
 	mux.Handle("POST /models/{name}/explain",
-		hot("/models/{name}/explain", a.modelScoped(a.explainWith)))
+		hot("/models/{name}/explain", a.modelScoped("/models/{name}/explain", a.explainWith)))
 	mux.Handle("GET /models", a.httpMetrics.Route("/models",
 		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, a.models.List())
@@ -562,10 +599,22 @@ func (a *app) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// scopedHandler is a request handler bound to a resolved model: the
+// registered route pattern (audit/metrics label), the registry name,
+// and the entry to serve from.
+type scopedHandler func(route, name string, e *modelEntry, w http.ResponseWriter, r *http.Request)
+
+// defaultScoped binds a handler to the pinned default model.
+func (a *app) defaultScoped(route string, h scopedHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(route, defaultModelName, a.defaultEntry, w, r)
+	}
+}
+
 // modelScoped resolves the {name} route segment against the registry
 // and hands the request to the shared handler body; unknown names are
 // a 404, never a panic.
-func (a *app) modelScoped(h func(sys *wym.System, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+func (a *app) modelScoped(route string, h scopedHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		entry := a.models.Get(name)
@@ -574,24 +623,39 @@ func (a *app) modelScoped(h func(sys *wym.System, w http.ResponseWriter, r *http
 			return
 		}
 		entry.touch(time.Now())
-		h(entry.System(), w, r)
+		h(route, name, entry, w, r)
 	}
 }
 
-func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
-	a.predictWith(a.ref.Get(), w, r)
-}
-
-func (a *app) predictWith(sys *wym.System, w http.ResponseWriter, r *http.Request) {
+func (a *app) predictWith(route, name string, e *modelEntry, w http.ResponseWriter, r *http.Request) {
+	sys := e.System()
+	start := time.Now()
 	p, ok := decodePair(w, r, sys)
 	if !ok {
 		return
 	}
-	label, proba := sys.Engine().Predict(p)
+	eng := sys.Engine()
+	id := a.audit.requestID(w, r)
+	if !a.audit.sample(route, id) {
+		label, proba := eng.Predict(p)
+		writeJSON(w, http.StatusOK, predictResponse{
+			Match:       label == wym.Match,
+			Probability: proba,
+		})
+		return
+	}
+	// Audited path: process and explain once, and answer from the
+	// explanation itself — it carries the same prediction and probability
+	// the matcher would return, at the cost of one scoring pass instead
+	// of the two a separate PredictRecord + ExplainRecord would spend
+	// (the scorer dominates both; see the PredictAudited bench gate).
+	ex := eng.ExplainRecord(eng.Process(p))
+	latency := time.Since(start)
 	writeJSON(w, http.StatusOK, predictResponse{
-		Match:       label == wym.Match,
-		Probability: proba,
+		Match:       ex.Prediction == wym.Match,
+		Probability: ex.Proba,
 	})
+	a.audit.record(route, id, name, e, sys, p, ex, latency)
 }
 
 // handlePredictBatch serves a batch with per-item error semantics: items
@@ -600,11 +664,9 @@ func (a *app) predictWith(sys *wym.System, w http.ResponseWriter, r *http.Reques
 // whose processing panics (that item fails alone, never the batch or the
 // process). The batch runs under the request context, so a client
 // disconnect or timeout stops the remaining items.
-func (a *app) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	a.predictBatchWith(a.ref.Get(), w, r)
-}
-
-func (a *app) predictBatchWith(sys *wym.System, w http.ResponseWriter, r *http.Request) {
+func (a *app) predictBatchWith(route, name string, e *modelEntry, w http.ResponseWriter, r *http.Request) {
+	sys := e.System()
+	start := time.Now()
 	var req batchRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		writeDecodeError(w, err)
@@ -633,6 +695,8 @@ func (a *app) predictBatchWith(sys *wym.System, w http.ResponseWriter, r *http.R
 		pairs = append(pairs, wym.Pair{Left: pr.Left, Right: pr.Right})
 		indices = append(indices, i)
 	}
+	id := a.audit.requestID(w, r)
+	okItems := make([]bool, len(pairs)) // batch positions that produced a prediction
 	for k, pred := range sys.Engine().PredictBatch(r.Context(), pairs) {
 		i := indices[k]
 		if pred.Err != "" {
@@ -644,20 +708,40 @@ func (a *app) predictBatchWith(sys *wym.System, w http.ResponseWriter, r *http.R
 		match := pred.Label == wym.Match
 		proba := pred.Proba
 		resp.Results[i] = batchItem{Match: &match, Probability: &proba}
+		okItems[k] = true
 	}
+	latency := time.Since(start)
 	writeJSON(w, http.StatusOK, resp)
+	if id == "" {
+		return
+	}
+	// Each batch item samples under its own derived ID (base#index), so
+	// a sampled batch doesn't flood the log with every item. Sampled
+	// items are re-explained after the response is written; the stored
+	// latency is the whole batch's, which is what the client observed.
+	eng := sys.Engine()
+	for k, served := range okItems {
+		if !served {
+			continue
+		}
+		itemID := id + "#" + strconv.Itoa(indices[k])
+		if !a.audit.sample(route, itemID) {
+			continue
+		}
+		a.audit.record(route, itemID, name, e, sys, pairs[k], eng.Explain(pairs[k]), latency)
+	}
 }
 
-func (a *app) handleExplain(w http.ResponseWriter, r *http.Request) {
-	a.explainWith(a.ref.Get(), w, r)
-}
-
-func (a *app) explainWith(sys *wym.System, w http.ResponseWriter, r *http.Request) {
+func (a *app) explainWith(route, name string, e *modelEntry, w http.ResponseWriter, r *http.Request) {
+	sys := e.System()
+	start := time.Now()
 	p, ok := decodePair(w, r, sys)
 	if !ok {
 		return
 	}
+	id := a.audit.requestID(w, r)
 	ex := sys.Engine().Explain(p)
+	latency := time.Since(start)
 	resp := explainResponse{
 		Match:       ex.Prediction == wym.Match,
 		Probability: ex.Proba,
@@ -677,6 +761,9 @@ func (a *app) explainWith(sys *wym.System, w http.ResponseWriter, r *http.Reques
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+	if a.audit.sample(route, id) {
+		a.audit.record(route, id, name, e, sys, p, ex, latency)
+	}
 }
 
 func (a *app) handleReload(w http.ResponseWriter, r *http.Request) {

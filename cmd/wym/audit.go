@@ -1,0 +1,251 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wym"
+	"wym/internal/audit"
+)
+
+// auditFilter narrows an audit query; zero fields pass everything.
+type auditFilter struct {
+	model    string // exact registry-name/artifact match
+	decision int    // wym.Match, wym.NonMatch, or -1 for both
+	since    int64  // unix nanos, inclusive; 0 = open
+	until    int64  // unix nanos, exclusive; 0 = open
+}
+
+func (f auditFilter) keep(r audit.Record) bool {
+	if f.model != "" && r.Model != f.model {
+		return false
+	}
+	if f.decision >= 0 && r.Prediction != f.decision {
+		return false
+	}
+	if f.since != 0 && r.TimeNanos < f.since {
+		return false
+	}
+	if f.until != 0 && r.TimeNanos >= f.until {
+		return false
+	}
+	return true
+}
+
+// runAuditCmd implements `wym audit <list|show|stats>`: querying the
+// append-only decision log written by wym-server -audit-dir and
+// wym match/dedup -audit. The reader is the tolerant one — a log with a
+// torn tail still lists its valid prefix.
+func runAuditCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: wym audit <list|show|stats> -dir <audit-dir> [filters]")
+	}
+	sub := args[0]
+	args = args[1:]
+	// `wym audit show <id> -dir d` and `wym audit show -dir d <id>` both
+	// read naturally; lift a leading positional before flag parsing.
+	var showID string
+	if sub == "show" && len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		showID, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("wym audit "+sub, flag.ExitOnError)
+	var (
+		dir      = fs.String("dir", "", "audit log directory")
+		model    = fs.String("model", "", "only records from this model name/path")
+		decision = fs.String("decision", "", "only this decision: match or nomatch")
+		since    = fs.String("since", "", "only records at or after this RFC3339 time")
+		until    = fs.String("until", "", "only records before this RFC3339 time")
+		limit    = fs.Int("limit", 0, "stop after this many records (0 = all)")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("pass -dir <audit-dir>")
+	}
+	filter := auditFilter{model: *model, decision: -1}
+	switch *decision {
+	case "":
+	case "match":
+		filter.decision = wym.Match
+	case "nomatch":
+		filter.decision = wym.NonMatch
+	default:
+		return fmt.Errorf("-decision must be match or nomatch, not %q", *decision)
+	}
+	var err error
+	if filter.since, err = parseAuditTime(*since); err != nil {
+		return fmt.Errorf("-since: %w", err)
+	}
+	if filter.until, err = parseAuditTime(*until); err != nil {
+		return fmt.Errorf("-until: %w", err)
+	}
+
+	switch sub {
+	case "list":
+		return auditList(*dir, filter, *limit)
+	case "show":
+		if showID == "" {
+			showID = fs.Arg(0)
+		}
+		if showID == "" {
+			return fmt.Errorf("usage: wym audit show <request-id> -dir <audit-dir>")
+		}
+		return auditShow(*dir, showID)
+	case "stats":
+		return auditStats(*dir, filter)
+	default:
+		return fmt.Errorf("unknown audit subcommand %q (want list, show, or stats)", sub)
+	}
+}
+
+func parseAuditTime(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return 0, err
+	}
+	return t.UnixNano(), nil
+}
+
+func auditTime(nanos int64) string {
+	return time.Unix(0, nanos).UTC().Format(time.RFC3339)
+}
+
+func auditDecision(pred int) string {
+	if pred == wym.Match {
+		return "match"
+	}
+	return "nomatch"
+}
+
+// auditList prints one line per matching record, in append order.
+func auditList(dir string, filter auditFilter, limit int) error {
+	fmt.Printf("%-24s  %-20s  %-12s  %-8s  %6s  %s\n",
+		"REQUEST", "TIME", "ROUTE", "DECISION", "PROBA", "LATENCY")
+	shown, total := 0, 0
+	stats, err := audit.Scan(dir, func(r audit.Record) error {
+		if !filter.keep(r) {
+			return nil
+		}
+		total++
+		if limit > 0 && shown >= limit {
+			return nil
+		}
+		shown++
+		fmt.Printf("%-24s  %-20s  %-12s  %-8s  %.4f  %v\n",
+			r.RequestID, auditTime(r.TimeNanos), r.Route,
+			auditDecision(r.Prediction), r.Proba,
+			time.Duration(r.LatencyNanos).Round(time.Microsecond))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d of %d matching records shown (%d segments", shown, total, stats.Segments)
+	if stats.Truncated > 0 {
+		fmt.Printf(", %d with a truncated tail", stats.Truncated)
+	}
+	fmt.Printf(")\n")
+	return nil
+}
+
+// auditShow re-renders one stored decision, explanation included, in
+// the same format a live `wym explain` prints.
+func auditShow(dir, id string) error {
+	var rec audit.Record
+	found := false
+	_, err := audit.Scan(dir, func(r audit.Record) error {
+		if r.RequestID == id {
+			rec, found = r, true // last write wins, like the log itself
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("no audit record with request ID %q under %s", id, dir)
+	}
+	fmt.Printf("request  : %s\n", rec.RequestID)
+	fmt.Printf("time     : %s\n", auditTime(rec.TimeNanos))
+	fmt.Printf("route    : %s\n", rec.Route)
+	fmt.Printf("model    : %s\n", rec.Model)
+	fmt.Printf("artifact : %s\n", rec.ArtifactFP)
+	if rec.FeedbackFP != "" {
+		fmt.Printf("feedback : %s\n", rec.FeedbackFP)
+	}
+	fmt.Printf("threshold: %.2f\n", rec.Threshold)
+	fmt.Printf("latency  : %v\n", time.Duration(rec.LatencyNanos).Round(time.Microsecond))
+	renderDecision(rec.Explanation(), rec.Left, rec.Right, "")
+	return nil
+}
+
+// auditStats aggregates the matching records: decisions, time range,
+// latency percentiles, and per-model/per-route counts.
+func auditStats(dir string, filter auditFilter) error {
+	var (
+		latencies []int64
+		matches   int
+		first     int64
+		last      int64
+		models    = map[string]int{}
+		routes    = map[string]int{}
+	)
+	stats, err := audit.Scan(dir, func(r audit.Record) error {
+		if !filter.keep(r) {
+			return nil
+		}
+		latencies = append(latencies, r.LatencyNanos)
+		if r.Prediction == wym.Match {
+			matches++
+		}
+		if first == 0 || r.TimeNanos < first {
+			first = r.TimeNanos
+		}
+		if r.TimeNanos > last {
+			last = r.TimeNanos
+		}
+		models[r.Model]++
+		routes[r.Route]++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	n := len(latencies)
+	fmt.Printf("records  : %d (%d segments", n, stats.Segments)
+	if stats.Truncated > 0 {
+		fmt.Printf(", %d with a truncated tail", stats.Truncated)
+	}
+	fmt.Printf(")\n")
+	if n == 0 {
+		return nil
+	}
+	fmt.Printf("time     : %s .. %s\n", auditTime(first), auditTime(last))
+	fmt.Printf("decisions: %d match, %d nomatch\n", matches, n-matches)
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(n-1))
+		return time.Duration(latencies[i]).Round(time.Microsecond)
+	}
+	fmt.Printf("latency  : p50=%v p95=%v p99=%v\n", pct(0.50), pct(0.95), pct(0.99))
+	for _, group := range []struct {
+		header string
+		counts map[string]int
+	}{{"models", models}, {"routes", routes}} {
+		keys := make([]string, 0, len(group.counts))
+		for k := range group.counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("%s:\n", group.header)
+		for _, k := range keys {
+			fmt.Printf("  %-24s %d\n", k, group.counts[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wym/internal/audit"
+)
+
+// fixedAuditLog writes a deterministic audit log: pinned timestamps,
+// latencies, and explanations, spanning two models, both decision
+// labels, and a batch-job route.
+func fixedAuditLog(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := audit.Open(dir, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC).UnixNano()
+	recs := []audit.Record{
+		{
+			RequestID: "req-0001", TimeNanos: base, Route: "/predict",
+			Model: "default", ArtifactFP: "fnv64:00000000deadbeef", FeedbackFP: "fnv64:0000000000000001",
+			Left: []string{"sony", "tv", "499"}, Right: []string{"sony", "tv", "489"},
+			Prediction: 1, Proba: 0.91, Threshold: 0.5,
+			Units: []audit.Unit{
+				{Left: "sony", Right: "sony", Kind: 0, Attr: 0, Relevance: 0.9, Impact: 0.81},
+				{Left: "499", Right: "", Kind: 1, Attr: 2, Relevance: 0.4, Impact: -0.12},
+			},
+			LatencyNanos: int64(1500 * time.Microsecond),
+		},
+		{
+			RequestID: "req-0002", TimeNanos: base + int64(90*time.Second), Route: "/predict",
+			Model: "default", ArtifactFP: "fnv64:00000000deadbeef", FeedbackFP: "fnv64:0000000000000001",
+			Left: []string{"café", "crème", "12"}, Right: []string{"teapot", "steel", "80"},
+			Prediction: 0, Proba: 0.08, Threshold: 0.5,
+			Units: []audit.Unit{
+				{Left: "café", Right: "", Kind: 1, Attr: 0, Relevance: 0.7, Impact: -0.55},
+			},
+			LatencyNanos: int64(900 * time.Microsecond),
+		},
+		{
+			RequestID: "req-0003", TimeNanos: base + int64(5*time.Minute), Route: "/models/{name}/explain",
+			Model: "alt", ArtifactFP: "fnv64:00000000cafef00d", FeedbackFP: "",
+			Left: []string{"acme", "kit", "5"}, Right: []string{"acme", "kit", "5"},
+			Prediction: 1, Proba: 0.99, Threshold: 0.5,
+			LatencyNanos: int64(2 * time.Millisecond),
+		},
+		{
+			RequestID: "c000000:p0-7", TimeNanos: base + int64(10*time.Minute), Route: "dedup",
+			Model: "m.gob", ArtifactFP: "fnv64:0000000012345678", FeedbackFP: "",
+			Left: []string{"zeta", "box", "1"}, Right: []string{"zeta", "box", "2"},
+			Prediction: 1, Proba: 0.77, Threshold: 0.5,
+			LatencyNanos: int64(4200 * time.Microsecond),
+		},
+	}
+	for _, rec := range recs {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestGoldenAuditCLI locks the complete `wym audit` query transcript —
+// list (plain, filtered, limited), show with its re-rendered
+// explanation, and stats — against a checked-in golden file.
+func TestGoldenAuditCLI(t *testing.T) {
+	dir := fixedAuditLog(t)
+	cmds := [][]string{
+		{"list", "-dir", dir},
+		{"list", "-dir", dir, "-decision", "match", "-limit", "2"},
+		{"list", "-dir", dir, "-model", "default", "-since", "2026-03-01T12:01:00Z"},
+		{"show", "req-0001", "-dir", dir},
+		{"show", "-dir", dir, "c000000:p0-7"},
+		{"stats", "-dir", dir},
+		{"stats", "-dir", dir, "-until", "2026-03-01T12:04:00Z"},
+	}
+	var got string
+	for _, cmd := range cmds {
+		got += "$ wym audit"
+		for _, a := range cmd {
+			arg := a
+			if a == dir {
+				arg = "<DIR>"
+			}
+			got += " " + arg
+		}
+		got += "\n"
+		got += captureStdout(t, func() error { return runAuditCmd(cmd) })
+		got += "\n"
+	}
+
+	golden := filepath.Join("testdata", "audit_cli.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/wym -run GoldenAudit -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("audit CLI output diverged from %s (re-run with -update if intentional)\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// TestAuditShowMissing: a request ID absent from the log is a clean
+// error naming the ID, not an empty render.
+func TestAuditShowMissing(t *testing.T) {
+	dir := fixedAuditLog(t)
+	if err := runAuditCmd([]string{"show", "nope", "-dir", dir}); err == nil {
+		t.Fatal("show of a missing request ID succeeded")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wym"
+	"wym/internal/audit"
+)
+
+// TestAuditExplainParity is the tentpole acceptance property: for the
+// same pair and model, the decision block `wym audit show` re-renders
+// from a stored record is byte-identical to what a live `wym explain`
+// prints — the explanation survives compaction, the journal, and
+// recovery without drifting from the engine's own rendering.
+func TestAuditExplainParity(t *testing.T) {
+	dir := t.TempDir()
+	model := trainModelFile(t, dir)
+	sys, err := wym.LoadSystem(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := wym.DatasetByKey("S-BR", 1.0)
+	_, _, test := d.MustSplit(0.6, 0.2, 1)
+
+	for i, p := range test.Pairs[:5] {
+		p := p
+		live := captureStdout(t, func() error {
+			return runExplainCmd([]string{
+				"-model", model,
+				"-left", strings.Join(p.Left, "|"),
+				"-right", strings.Join(p.Right, "|"),
+			})
+		})
+
+		ex := sys.Engine().Explain(wym.Pair{Left: p.Left, Right: p.Right})
+		alog, err := audit.Open(dir+"/audit", audit.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := "parity-" + itoa(i)
+		if err := alog.Append(audit.Record{
+			RequestID: id, Route: "/predict", Model: model,
+			Left: p.Left, Right: p.Right,
+			Prediction: ex.Prediction, Proba: ex.Proba, Threshold: sys.DecisionThreshold(),
+			Units: audit.CompactUnits(ex),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := alog.Close(); err != nil {
+			t.Fatal(err)
+		}
+		stored := captureStdout(t, func() error {
+			return runAuditCmd([]string{"show", id, "-dir", dir + "/audit"})
+		})
+
+		// The decision block starts at the first blank line; everything
+		// before it is command-specific header (model banner vs record
+		// provenance).
+		liveBlock := live[strings.Index(live, "\n\n"):]
+		storedBlock := stored[strings.Index(stored, "\n\n"):]
+		if liveBlock != storedBlock {
+			t.Fatalf("pair %d: stored rendering diverged from live explain\n%s",
+				i, diffLines(liveBlock, storedBlock))
+		}
+	}
+}

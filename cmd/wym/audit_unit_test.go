@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wym"
+	"wym/internal/audit"
+)
+
+func TestParseAuditTime(t *testing.T) {
+	if n, err := parseAuditTime(""); err != nil || n != 0 {
+		t.Fatalf("empty time: %d, %v", n, err)
+	}
+	want := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	n, err := parseAuditTime("2026-08-01T12:00:00Z")
+	if err != nil || n != want.UnixNano() {
+		t.Fatalf("RFC3339 parse: %d, %v", n, err)
+	}
+	if _, err := parseAuditTime("yesterday"); err == nil {
+		t.Fatal("non-RFC3339 time accepted")
+	}
+}
+
+func TestAuditFilterKeep(t *testing.T) {
+	rec := audit.Record{Model: "m1", Prediction: wym.Match, TimeNanos: 100}
+	cases := []struct {
+		f    auditFilter
+		keep bool
+	}{
+		{auditFilter{decision: -1}, true},
+		{auditFilter{decision: wym.Match}, true},
+		{auditFilter{decision: wym.NonMatch}, false},
+		{auditFilter{model: "m1", decision: -1}, true},
+		{auditFilter{model: "other", decision: -1}, false},
+		{auditFilter{decision: -1, since: 100}, true},
+		{auditFilter{decision: -1, since: 101}, false},
+		{auditFilter{decision: -1, until: 100}, false},
+		{auditFilter{decision: -1, until: 101}, true},
+	}
+	for i, c := range cases {
+		if got := c.f.keep(rec); got != c.keep {
+			t.Errorf("case %d: keep = %v, want %v", i, got, c.keep)
+		}
+	}
+}
+
+func TestRunAuditCmdUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		args []string
+		want string // substring of the error
+	}{
+		{nil, "usage"},
+		{[]string{"list"}, "-dir"},
+		{[]string{"frobnicate", "-dir", dir}, "unknown audit subcommand"},
+		{[]string{"show", "-dir", dir}, "usage: wym audit show"},
+		{[]string{"list", "-dir", dir, "-decision", "maybe"}, "-decision"},
+		{[]string{"list", "-dir", dir, "-since", "noon"}, "-since"},
+		{[]string{"list", "-dir", dir, "-until", "midnight"}, "-until"},
+	}
+	for _, c := range cases {
+		err := runAuditCmd(c.args)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("args %v: err = %v, want substring %q", c.args, err, c.want)
+		}
+	}
+}

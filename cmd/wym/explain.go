@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"wym"
+)
+
+// runExplainCmd implements `wym explain`: predict and explain one
+// ad-hoc pair against a trained model, rendering the same decision
+// block `wym train -explain` and `wym audit show` print.
+func runExplainCmd(args []string) error {
+	fs := flag.NewFlagSet("wym explain", flag.ExitOnError)
+	var (
+		model = fs.String("model", "", "trained model file (wym train -save)")
+		left  = fs.String("left", "", "left entity: attribute values joined by -sep, in schema order")
+		right = fs.String("right", "", "right entity: attribute values joined by -sep, in schema order")
+		sep   = fs.String("sep", "|", "attribute separator for -left and -right")
+	)
+	fs.Parse(args)
+	if *model == "" || *left == "" || *right == "" {
+		return fmt.Errorf("usage: wym explain -model <file> -left \"a|b|c\" -right \"a|b|c\" [-sep \"|\"]")
+	}
+	sys, err := wym.LoadSystem(*model)
+	if err != nil {
+		return err
+	}
+	schema := sys.Schema()
+	l := strings.Split(*left, *sep)
+	r := strings.Split(*right, *sep)
+	for _, side := range []struct {
+		flag string
+		vals []string
+	}{{"-left", l}, {"-right", r}} {
+		if len(side.vals) != len(schema) {
+			return fmt.Errorf("%s has %d attributes, model schema %v wants %d",
+				side.flag, len(side.vals), schema, len(schema))
+		}
+	}
+	ex := sys.Engine().Explain(wym.Pair{Left: l, Right: r})
+	fmt.Printf("model %s (classifier %s, threshold %.2f)\n", *model, sys.ModelName(), sys.DecisionThreshold())
+	renderDecision(ex, l, r, "")
+	return nil
+}

@@ -10,6 +10,8 @@
 //	wym model convert -in m.gob -out m.wyma [-int8]  # compile the serving arena
 //	wym model info -model m.wyma                     # inspect a model file
 //	wym label -model m.gob -dataset S-BR -auto -save m2.gob  # active labeling + feedback fold
+//	wym explain -model m.gob -left "a|b|c" -right "a|b|d"    # explain one pair
+//	wym audit list -dir audit/                               # query the prediction audit trail
 //
 // The CSV layout is label, left_<attr>..., right_<attr>... (the Magellan
 // benchmark layout). With -dataset, a synthetic benchmark dataset is
@@ -60,6 +62,20 @@ func main() {
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "model" {
 		if err := runModel(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "wym:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "audit" {
+		if err := runAuditCmd(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "wym:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "explain" {
+		if err := runExplainCmd(args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "wym:", err)
 			os.Exit(1)
 		}
@@ -237,16 +253,29 @@ func run(ctx context.Context, o options) error {
 func printExplanation(eng *wym.Engine, p wym.Pair) {
 	rec := eng.Process(p)
 	ex := eng.ExplainRecord(rec)
-	verdict := "NO MATCH"
-	if ex.Prediction == wym.Match {
-		verdict = "MATCH"
-	}
 	truth := "no match"
 	if p.Label == wym.Match {
 		truth = "match"
 	}
-	fmt.Printf("\n%s (p=%.2f, truth: %s)\n", verdict, ex.Proba, truth)
-	fmt.Printf("  left : %v\n  right: %v\n", p.Left, p.Right)
+	renderDecision(ex, p.Left, p.Right, truth)
+}
+
+// renderDecision is the one rendering path for a decision-unit
+// explanation: live explains (wym train, wym explain) and stored audit
+// records (wym audit show) all print through it, so an audited decision
+// re-renders exactly as it would have live. truth == "" omits the truth
+// clause (serving-time decisions have no label).
+func renderDecision(ex wym.Explanation, left, right wym.Entity, truth string) {
+	verdict := "NO MATCH"
+	if ex.Prediction == wym.Match {
+		verdict = "MATCH"
+	}
+	if truth == "" {
+		fmt.Printf("\n%s (p=%.2f)\n", verdict, ex.Proba)
+	} else {
+		fmt.Printf("\n%s (p=%.2f, truth: %s)\n", verdict, ex.Proba, truth)
+	}
+	fmt.Printf("  left : %v\n  right: %v\n", left, right)
 
 	// Highest |impact| first: the order a user reads the explanation.
 	unitsCopy := append([]wym.UnitExplanation{}, ex.Units...)
@@ -254,14 +283,14 @@ func printExplanation(eng *wym.Engine, p wym.Pair) {
 		return abs(unitsCopy[a].Impact) > abs(unitsCopy[b].Impact)
 	})
 	for _, u := range unitsCopy {
-		left, right := u.Left, u.Right
-		if left == "" {
-			left = "—"
+		l, r := u.Left, u.Right
+		if l == "" {
+			l = "—"
 		}
-		if right == "" {
-			right = "—"
+		if r == "" {
+			r = "—"
 		}
-		fmt.Printf("  %+7.3f  (%s, %s)  rel=%+.2f\n", u.Impact, left, right, u.Relevance)
+		fmt.Printf("  %+7.3f  (%s, %s)  rel=%+.2f\n", u.Impact, l, r, u.Relevance)
 	}
 }
 

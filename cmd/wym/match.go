@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wym"
+	"wym/internal/audit"
 	"wym/internal/blocking"
 	"wym/internal/data"
 	"wym/internal/eval"
@@ -36,6 +37,7 @@ type matchOptions struct {
 	throttle    time.Duration
 	truth       string
 	verbose     bool
+	auditDir    string
 }
 
 // runMatchCmd implements both table-matching subcommands. name is "match"
@@ -63,6 +65,7 @@ func runMatchCmd(ctx context.Context, name string, args []string) error {
 	fs.BoolVar(&o.all, "all", false, "emit every scored candidate, not only match decisions")
 	fs.DurationVar(&o.throttle, "throttle", 0, "pause after each chunk (pacing; never invalidates a resume)")
 	fs.StringVar(&o.truth, "truth", "", "ground-truth pair CSV (left,right) to score the run against")
+	fs.StringVar(&o.auditDir, "audit", "", "record every emitted decision (with its explanation) into this audit log directory; query with wym audit")
 	fs.BoolVar(&o.verbose, "v", false, "report each chunk as it completes")
 	fs.Parse(args)
 
@@ -124,6 +127,22 @@ func runMatchCmd(ctx context.Context, name string, args []string) error {
 		ModelSum:  modelSum,
 		Throttle:  o.throttle,
 	}
+	if o.auditDir != "" {
+		alog, err := audit.Open(o.auditDir, audit.Options{})
+		if err != nil {
+			return err
+		}
+		defer alog.Close()
+		cfg.Audit = alog
+		cfg.AuditMeta = matchjob.AuditMeta{
+			Model:      o.model,
+			ArtifactFP: fmt.Sprintf("fnv64:%016x", modelSum),
+			FeedbackFP: sys.FeedbackFingerprint(),
+			Threshold:  sys.DecisionThreshold(),
+			Route:      name,
+		}
+		fmt.Printf("audit: recording decisions under %s\n", o.auditDir)
+	}
 	runner, err := matchjob.New(sys.Engine(), left.Rows, right.Rows, cfg)
 	if err != nil {
 		return err
@@ -154,6 +173,9 @@ func runMatchCmd(ctx context.Context, name string, args []string) error {
 	}
 	fmt.Printf("blocking: peak index %d bytes, %d candidates pruned by top-k\n",
 		sum.PeakIndexBytes, sum.Pruned)
+	if o.auditDir != "" {
+		fmt.Printf("audit: %d decisions recorded under %s\n", sum.AuditRecords, o.auditDir)
+	}
 
 	if o.truth != "" {
 		if err := reportQuality(o, bcfg, left.Rows, right.Rows); err != nil {

@@ -1,0 +1,37 @@
+package audit
+
+import "hash/fnv"
+
+// Sampled reports whether the request with this ID is audited at the
+// given sampling rate. The verdict is a pure function of (requestID,
+// rate): FNV-64a of the ID mapped to [0,1) and compared against the
+// rate. Properties the serving layer relies on:
+//
+//   - Deterministic across replicas: every server that sees the same
+//     request ID makes the same sampling decision, so a fleet's audit
+//     logs agree on which requests exist.
+//   - Monotone in rate: a request sampled at rate r is sampled at every
+//     r' >= r, so raising the rate only adds records.
+//   - Uniform: over many distinct IDs the observed rate converges to
+//     the configured rate.
+func Sampled(requestID string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(requestID))
+	// FNV alone is visibly biased on short sequential IDs; run the sum
+	// through a 64-bit mix finalizer so the top bits are uniform.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	// Upper 53 bits -> an exact float64 in [0,1).
+	u := float64(x>>11) / (1 << 53)
+	return u < rate
+}

@@ -1,0 +1,401 @@
+package datagen
+
+// Scenario packs: four deterministic stress datasets beyond the Magellan
+// reproduction, each targeting a failure mode the benchmark's clean
+// ASCII pairs cannot exercise — multilingual text, schema heterogeneity,
+// post-deployment vocabulary drift, and multi-source identity
+// resolution. Each pack ships with a committed expected-quality floor
+// (testdata/scenario_floors.json at the repo root) so a regression in
+// tokenization, unit discovery, or feature engineering that only shows
+// up under one of these distributions fails a test instead of a user.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wym/internal/data"
+)
+
+// ScenarioKeys lists the available scenario packs in stable order.
+func ScenarioKeys() []string {
+	return []string{"unicode", "hetero-schema", "drift-temporal", "customer360"}
+}
+
+// scenarioMatchRate is shared by all packs: high enough that small
+// quality-gate datasets still carry a usable positive class.
+const scenarioMatchRate = 0.30
+
+// GenerateScenario materializes one scenario pack with n labeled pairs.
+// The result is deterministic in (key, n, seed): the same call always
+// produces byte-identical CSV output. n is floored at 60 so tiny
+// requests stay splittable.
+func GenerateScenario(key string, n int, seed int64) (*data.Dataset, error) {
+	if n < 60 {
+		n = 60
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch key {
+	case "unicode":
+		return genUnicode(rng, n), nil
+	case "hetero-schema":
+		return genHeteroSchema(rng, n), nil
+	case "drift-temporal":
+		return genDriftTemporal(rng, n, seed), nil
+	case "customer360":
+		return genCustomer360(rng, n), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown scenario %q (want one of %s)",
+			key, strings.Join(ScenarioKeys(), ", "))
+	}
+}
+
+// shuffleLabeled fills d with nMatch matches then non-matches from the
+// two generators and shuffles, mirroring Generate's construction.
+func shuffleLabeled(rng *rand.Rand, d *data.Dataset, n int,
+	genMatch, genNonMatch func() data.Pair) {
+	nMatch := int(float64(n)*scenarioMatchRate + 0.5)
+	for i := 0; i < n; i++ {
+		var p data.Pair
+		if i < nMatch {
+			p = genMatch()
+			p.Label = data.Match
+		} else {
+			p = genNonMatch()
+			p.Label = data.NonMatch
+		}
+		d.Pairs = append(d.Pairs, p)
+	}
+	rng.Shuffle(len(d.Pairs), func(i, j int) { d.Pairs[i], d.Pairs[j] = d.Pairs[j], d.Pairs[i] })
+	for i := range d.Pairs {
+		d.Pairs[i].ID = i
+	}
+}
+
+// ---------------------------------------------------------------------
+// unicode: multilingual specialty-food catalog. Tokens are accented
+// Latin, Cyrillic, and CJK; matching copies go through rune-safe edits
+// and — half the time — an ASCII-only feed that folds diacritics
+// ("crème brûlée" -> "creme brulee"). Byte-oriented perturbation would
+// corrupt these tokens mid-encoding; the pack exists to keep every
+// stage of the pipeline UTF-8 clean.
+
+var uniAdjectives = []string{
+	"süß", "épicé", "świeży", "натуральный", "特選", "crémeux", "würzig",
+	"geröstet", "ahumado", "røkt", "kräftig", "doux",
+}
+
+var uniFoods = []string{
+	"café", "crème", "smörgås", "pierogi", "молоко", "抹茶", "açaí",
+	"crêpe", "jalapeño", "pâté", "köttbullar", "пирожки", "餃子", "bánh",
+	"brûlée", "żurek", "halloumi", "gnocchi",
+}
+
+var uniOrigins = []string{
+	"münchen", "kraków", "москва", "東京", "são paulo", "reykjavík",
+	"istanbul", "zürich", "montréal", "kyōto", "göteborg", "córdoba",
+}
+
+// diacriticFold maps accented Latin runes to their ASCII folding; runes
+// outside the map (ASCII, Cyrillic, CJK) pass through unchanged.
+var diacriticFold = map[rune]string{
+	'é': "e", 'è': "e", 'ê': "e", 'ë': "e", 'ę': "e",
+	'á': "a", 'à': "a", 'â': "a", 'ä': "a", 'å': "a", 'ã': "a", 'ā': "a", 'ą': "a",
+	'í': "i", 'î': "i", 'ï': "i", 'ı': "i",
+	'ó': "o", 'ô': "o", 'ö': "o", 'õ': "o", 'ø': "o", 'ō': "o",
+	'ú': "u", 'û': "u", 'ü': "u", 'ū': "u",
+	'ç': "c", 'č': "c", 'ñ': "n", 'ß': "ss",
+	'ż': "z", 'ź': "z", 'ž': "z", 'ś': "s", 'š': "s", 'ł': "l", 'ř': "r",
+	'ý': "y",
+}
+
+// foldDiacritics applies diacriticFold per rune.
+func foldDiacritics(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if f, ok := diacriticFold[r]; ok {
+			b.WriteString(f)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// runeTypo applies one rune-safe edit: deletion, transposition, or
+// duplication. Unlike typo it never substitutes raw bytes, so
+// multi-byte runes are moved or doubled whole, never split.
+func runeTypo(rng *rand.Rand, tok string) string {
+	runes := []rune(tok)
+	if len(runes) < 3 {
+		return tok
+	}
+	i := rng.Intn(len(runes))
+	switch rng.Intn(3) {
+	case 0: // deletion
+		runes = append(runes[:i], runes[i+1:]...)
+	case 1: // transposition
+		if i+1 < len(runes) {
+			runes[i], runes[i+1] = runes[i+1], runes[i]
+		}
+	default: // duplication
+		runes = append(runes[:i+1], append([]rune{runes[i]}, runes[i+1:]...)...)
+	}
+	return string(runes)
+}
+
+func genUnicode(rng *rand.Rand, n int) *data.Dataset {
+	d := &data.Dataset{Name: "unicode", Schema: data.Schema{"name", "origin", "price"}}
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+	proto := func() data.Entity {
+		name := pick(uniAdjectives) + " " + pick(uniFoods)
+		if rng.Float64() < 0.4 {
+			name += " " + pick(uniFoods)
+		}
+		price := fmt.Sprintf("%d.%02d", 2+rng.Intn(40), rng.Intn(100))
+		return data.Entity{name, pick(uniOrigins), price}
+	}
+	perturb := func(e data.Entity) data.Entity {
+		out := make(data.Entity, len(e))
+		copy(out, e)
+		toks := strings.Fields(out[0])
+		var kept []string
+		for _, tok := range toks {
+			switch {
+			case rng.Float64() < 0.10 && len(toks) > 1:
+				continue
+			case rng.Float64() < 0.15:
+				tok = runeTypo(rng, tok)
+			}
+			kept = append(kept, tok)
+		}
+		if len(kept) == 0 {
+			kept = toks[:1]
+		}
+		out[0] = strings.Join(kept, " ")
+		// Half the matching copies come from an ASCII-only feed.
+		if rng.Float64() < 0.5 {
+			out[0] = foldDiacritics(out[0])
+			out[1] = foldDiacritics(out[1])
+		}
+		return out
+	}
+	genMatch := func() data.Pair {
+		left := proto()
+		return data.Pair{Left: left, Right: perturb(left)}
+	}
+	genNonMatch := func() data.Pair {
+		a, b := proto(), proto()
+		if rng.Float64() < 0.5 { // hard negative: same origin, shared token
+			b[1] = a[1]
+			at := strings.Fields(a[0])
+			bt := strings.Fields(b[0])
+			bt[0] = at[0]
+			b[0] = strings.Join(bt, " ")
+		}
+		return data.Pair{Left: a, Right: perturb(b)}
+	}
+	shuffleLabeled(rng, d, n, genMatch, genNonMatch)
+	return d
+}
+
+// ---------------------------------------------------------------------
+// hetero-schema: the left source keeps a clean four-column product
+// schema; the right source is a single free-text title feed that folds
+// brand and category into the name and blanks the columns. Matching
+// must survive values migrating across attributes — a harder form of
+// the Magellan "dirty" construction, applied to every right-hand row so
+// the flattening itself carries no label signal.
+
+func genHeteroSchema(rng *rand.Rand, n int) *data.Dataset {
+	d := &data.Dataset{Name: "hetero-schema", Schema: data.Schema{"name", "brand", "category", "price"}}
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+	proto := func() data.Entity {
+		name := pick(adjectives) + " " + pick(materials) + " " + randomCode(rng)
+		price := fmt.Sprintf("%d.%02d", 10+rng.Intn(490), rng.Intn(100))
+		return data.Entity{name, pick(brands), pick(categories), price}
+	}
+	// flatten renders the right-source view: brand and (usually) category
+	// move into the title, their columns go blank.
+	flatten := func(e data.Entity) data.Entity {
+		out := make(data.Entity, len(e))
+		copy(out, e)
+		out[0] = out[1] + " " + out[0]
+		out[1] = ""
+		if rng.Float64() < 0.7 {
+			out[0] = out[0] + " " + out[2]
+			out[2] = ""
+		}
+		return out
+	}
+	perturb := func(e data.Entity) data.Entity {
+		out := make(data.Entity, len(e))
+		copy(out, e)
+		toks := strings.Fields(out[0])
+		for i, tok := range toks {
+			if rng.Float64() < 0.12 && len(tok) > 2 {
+				toks[i] = typo(rng, tok)
+			} else if rng.Float64() < 0.15 {
+				toks[i] = substituteSynonym(rng, tok)
+			}
+		}
+		out[0] = strings.Join(toks, " ")
+		out[3] = jitterNumber(rng, out[3], 0.03)
+		return out
+	}
+	genMatch := func() data.Pair {
+		left := proto()
+		return data.Pair{Left: left, Right: flatten(perturb(left))}
+	}
+	genNonMatch := func() data.Pair {
+		a, b := proto(), proto()
+		if rng.Float64() < 0.55 { // hard negative: same brand and category
+			b[1], b[2] = a[1], a[2]
+		}
+		return data.Pair{Left: a, Right: flatten(perturb(b))}
+	}
+	shuffleLabeled(rng, d, n, genMatch, genNonMatch)
+	return d
+}
+
+// ---------------------------------------------------------------------
+// drift-temporal: a product stream in arrival order — no final shuffle.
+// From the 60% mark on, the right-hand source drifts its vocabulary
+// (the same deterministic DriftEntity edits `wym label -drift` demos),
+// so a model trained on the early prefix faces shifted surface forms in
+// the late suffix. Labels interleave by Bresenham error accumulation,
+// keeping every prefix near the global match rate so temporal splits
+// stay class-balanced without shuffling.
+
+// driftTemporalRate is the vocabulary drift applied to the late suffix.
+const driftTemporalRate = 0.35
+
+func genDriftTemporal(rng *rand.Rand, n int, seed int64) *data.Dataset {
+	p := Profile{
+		Key: "drift-temporal", Domain: Products,
+		Typo: 0.05, Drop: 0.08, Synonym: 0.12, Abbrev: 0.05,
+		HardNeg: 0.5, NumberJitter: 0.02,
+	}
+	d := &data.Dataset{Name: "drift-temporal", Schema: p.Domain.Schema()}
+	driftFrom := n * 6 / 10
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		var pair data.Pair
+		acc += scenarioMatchRate
+		if acc >= 1 {
+			acc--
+			pair = p.genMatch(rng)
+			pair.Label = data.Match
+		} else {
+			pair = p.genNonMatch(rng)
+			pair.Label = data.NonMatch
+		}
+		if i >= driftFrom {
+			pair.Right = DriftEntity(pair.Right, driftTemporalRate, seed)
+		}
+		pair.ID = i
+		d.Pairs = append(d.Pairs, pair)
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------
+// customer360: one person observed by three feeds with different
+// formatting conventions — a CRM ("Last, First", parenthesized phone),
+// a web signup (lowercase, dashed phone, sometimes a nickname mailbox),
+// and a store loyalty list (initialed first name, bare digits, often no
+// email). Matching copies are the same person seen by two different
+// feeds; hard negatives share a surname and city, or a mailbox domain.
+
+var custFirst = []string{
+	"maria", "james", "wei", "fatima", "lucas", "aiko", "nina", "omar",
+	"petra", "diego", "hanna", "ravi", "claire", "tomas", "ingrid", "samuel",
+}
+
+var custLast = []string{
+	"almeida", "kowalski", "tanaka", "haddad", "johansson", "rossi",
+	"novak", "okafor", "dubois", "keller", "ivanova", "murphy",
+}
+
+var custDomains = []string{
+	"example.com", "mailbox.org", "fastpost.net", "homenet.io",
+}
+
+// custPerson is the ground-truth identity behind the feed views.
+type custPerson struct {
+	first, last, domain, city string
+	phone                     [10]byte
+}
+
+func genCustPerson(rng *rand.Rand) custPerson {
+	p := custPerson{
+		first:  custFirst[rng.Intn(len(custFirst))],
+		last:   custLast[rng.Intn(len(custLast))],
+		domain: custDomains[rng.Intn(len(custDomains))],
+		city:   cities[rng.Intn(len(cities))],
+	}
+	p.phone[0] = byte('2' + rng.Intn(7))
+	for i := 1; i < 10; i++ {
+		p.phone[i] = byte('0' + rng.Intn(10))
+	}
+	return p
+}
+
+// renderCust is one feed's view of a person.
+func renderCust(rng *rand.Rand, p custPerson, source string) data.Entity {
+	ph := string(p.phone[:])
+	name := p.first + " " + p.last
+	email := p.first + "." + p.last + "@" + p.domain
+	phone := ph[:3] + " " + ph[3:6] + " " + ph[6:]
+	switch source {
+	case "crm":
+		name = p.last + ", " + p.first
+		phone = "(" + ph[:3] + ") " + ph[3:6] + "-" + ph[6:]
+	case "web":
+		phone = ph[:3] + "-" + ph[3:6] + "-" + ph[6:]
+		if rng.Float64() < 0.4 { // nickname mailbox, same domain
+			email = p.first[:1] + p.last + "@" + p.domain
+		}
+	case "store":
+		name = p.first[:1] + ". " + p.last
+		phone = ph
+		if rng.Float64() < 0.5 {
+			email = ""
+		}
+	}
+	if rng.Float64() < 0.1 && len(name) > 2 {
+		name = typo(rng, name)
+	}
+	return data.Entity{name, email, phone, p.city, source}
+}
+
+func genCustomer360(rng *rand.Rand, n int) *data.Dataset {
+	d := &data.Dataset{Name: "customer360", Schema: data.Schema{"full_name", "email", "phone", "city", "source"}}
+	sources := []string{"crm", "web", "store"}
+	twoSources := func() (string, string) {
+		i := rng.Intn(len(sources))
+		j := rng.Intn(len(sources) - 1)
+		if j >= i {
+			j++
+		}
+		return sources[i], sources[j]
+	}
+	genMatch := func() data.Pair {
+		p := genCustPerson(rng)
+		a, b := twoSources()
+		return data.Pair{Left: renderCust(rng, p, a), Right: renderCust(rng, p, b)}
+	}
+	genNonMatch := func() data.Pair {
+		p, q := genCustPerson(rng), genCustPerson(rng)
+		if rng.Float64() < 0.5 { // hard negative: family member or namesake
+			q.last, q.city = p.last, p.city
+			if rng.Float64() < 0.5 {
+				q.domain = p.domain
+			}
+		}
+		a, b := twoSources()
+		return data.Pair{Left: renderCust(rng, p, a), Right: renderCust(rng, q, b)}
+	}
+	shuffleLabeled(rng, d, n, genMatch, genNonMatch)
+	return d
+}

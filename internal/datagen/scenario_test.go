@@ -1,0 +1,249 @@
+package datagen
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"wym/internal/data"
+)
+
+func TestScenarioUnknownKey(t *testing.T) {
+	if _, err := GenerateScenario("nope", 100, 1); err == nil {
+		t.Fatal("unknown scenario key succeeded")
+	}
+}
+
+// TestScenarioDeterministic: the same (key, n, seed) always produces a
+// byte-identical CSV file; a different seed produces a different one.
+func TestScenarioDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	for _, key := range ScenarioKeys() {
+		var bytes [][]byte
+		for run, seed := range []int64{7, 7, 8} {
+			d, err := GenerateScenario(key, 120, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, key+"-"+string(rune('a'+run))+".csv")
+			if err := data.SaveFile(path, d); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bytes = append(bytes, raw)
+		}
+		if !reflect.DeepEqual(bytes[0], bytes[1]) {
+			t.Fatalf("%s: same seed produced different CSV bytes", key)
+		}
+		if reflect.DeepEqual(bytes[0], bytes[2]) {
+			t.Fatalf("%s: different seeds produced identical CSV bytes", key)
+		}
+	}
+}
+
+// TestScenarioShape: every pack delivers the requested size, the shared
+// match rate, non-empty entities over its schema, and valid UTF-8.
+func TestScenarioShape(t *testing.T) {
+	for _, key := range ScenarioKeys() {
+		d, err := GenerateScenario(key, 400, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != key || len(d.Pairs) != 400 {
+			t.Fatalf("%s: name=%q size=%d", key, d.Name, len(d.Pairs))
+		}
+		if r := d.MatchRate(); math.Abs(r-scenarioMatchRate) > 0.02 {
+			t.Fatalf("%s: match rate %v, want ~%v", key, r, scenarioMatchRate)
+		}
+		for i, p := range d.Pairs {
+			for _, e := range []data.Entity{p.Left, p.Right} {
+				if len(e) != len(d.Schema) {
+					t.Fatalf("%s pair %d: %d attrs over schema %v", key, i, len(e), d.Schema)
+				}
+				nonEmpty := false
+				for _, v := range e {
+					if !utf8.ValidString(v) {
+						t.Fatalf("%s pair %d: invalid UTF-8 %q", key, i, v)
+					}
+					if v != "" {
+						nonEmpty = true
+					}
+				}
+				if !nonEmpty {
+					t.Fatalf("%s pair %d: fully empty entity", key, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioUnicodePreservesEncoding: the pack that exists to stress
+// multi-byte text must never emit a token with a broken encoding, and
+// must actually exercise non-ASCII on both sides.
+func TestScenarioUnicodePreservesEncoding(t *testing.T) {
+	d, err := GenerateScenario("unicode", 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multibyte := 0
+	for _, p := range d.Pairs {
+		for _, e := range []data.Entity{p.Left, p.Right} {
+			for _, v := range e {
+				if len(v) != utf8.RuneCountInString(v) {
+					multibyte++
+				}
+			}
+		}
+	}
+	if multibyte < len(d.Pairs) {
+		t.Fatalf("only %d multi-byte values across %d pairs", multibyte, len(d.Pairs))
+	}
+}
+
+func TestRuneTypoKeepsValidUTF8(t *testing.T) {
+	rng := newTestRng()
+	for _, tok := range []string{"crème", "молоко", "抹茶そば", "jalapeño", "smörgås"} {
+		for i := 0; i < 200; i++ {
+			got := runeTypo(rng, tok)
+			if !utf8.ValidString(got) {
+				t.Fatalf("runeTypo(%q) = %q: invalid UTF-8", tok, got)
+			}
+		}
+	}
+}
+
+func TestFoldDiacritics(t *testing.T) {
+	for in, want := range map[string]string{
+		"crème brûlée": "creme brulee",
+		"jalapeño":     "jalapeno",
+		"süß":          "suss",
+		"молоко":       "молоко", // non-Latin passes through
+		"plain":        "plain",
+	} {
+		if got := foldDiacritics(in); got != want {
+			t.Fatalf("foldDiacritics(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestScenarioHeteroSchemaFlattens: every right-hand row is the
+// flattened single-title view — brand column blank, brand token folded
+// into the name — regardless of label, so flattening can't leak it.
+func TestScenarioHeteroSchemaFlattens(t *testing.T) {
+	d, err := GenerateScenario("hetero-schema", 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range d.Pairs {
+		if p.Right[1] != "" {
+			t.Fatalf("pair %d: right brand column %q not blanked", i, p.Right[1])
+		}
+		if p.Left[1] == "" || p.Left[2] == "" {
+			t.Fatalf("pair %d: left source lost a column: %v", i, p.Left)
+		}
+		if !strings.Contains(p.Right[0], " ") {
+			t.Fatalf("pair %d: right title %q did not absorb the brand", i, p.Right[0])
+		}
+	}
+}
+
+// TestScenarioDriftTemporalOrder: no shuffle — IDs are arrival order —
+// every prefix window stays near the global match rate, and the late
+// suffix visibly carries the drift (DriftToken doubles a letter, so
+// drifted entities show adjacent repeated runes far more often than the
+// raw early regime).
+func TestScenarioDriftTemporalOrder(t *testing.T) {
+	const n = 500
+	d, err := GenerateScenario("drift-temporal", n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range d.Pairs {
+		if p.ID != i {
+			t.Fatalf("pair %d has ID %d: stream was shuffled", i, p.ID)
+		}
+	}
+	for _, cut := range []int{n * 3 / 10, n * 6 / 10, n} {
+		matches := 0
+		for _, p := range d.Pairs[:cut] {
+			if p.Label == data.Match {
+				matches++
+			}
+		}
+		if r := float64(matches) / float64(cut); math.Abs(r-scenarioMatchRate) > 0.03 {
+			t.Fatalf("prefix [0,%d): match rate %v, want ~%v", cut, r, scenarioMatchRate)
+		}
+	}
+	driftFrom := n * 6 / 10
+	hasDouble := func(e data.Entity) bool {
+		for _, attr := range e {
+			for _, tok := range strings.Fields(attr) {
+				runes := []rune(tok)
+				for i := 1; i < len(runes); i++ {
+					if runes[i] == runes[i-1] {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	frac := func(pairs []data.Pair) float64 {
+		c := 0
+		for _, p := range pairs {
+			if hasDouble(p.Right) {
+				c++
+			}
+		}
+		return float64(c) / float64(len(pairs))
+	}
+	early, late := frac(d.Pairs[:driftFrom]), frac(d.Pairs[driftFrom:])
+	if late < early+0.1 {
+		t.Fatalf("late suffix shows no drift: doubled-rune fraction early=%.3f late=%.3f", early, late)
+	}
+}
+
+// TestScenarioCustomer360Sources: the source column always disagrees
+// inside a pair (a profile never needs matching against its own feed)
+// and each feed's formatting convention shows up.
+func TestScenarioCustomer360Sources(t *testing.T) {
+	d, err := GenerateScenario("customer360", 400, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conventions := map[string]int{}
+	for i, p := range d.Pairs {
+		ls, rs := p.Left[4], p.Right[4]
+		if ls == rs {
+			t.Fatalf("pair %d: both sides from source %q", i, ls)
+		}
+		for _, e := range []data.Entity{p.Left, p.Right} {
+			switch e[4] {
+			case "crm":
+				if strings.Contains(e[0], ", ") && strings.HasPrefix(e[2], "(") {
+					conventions["crm"]++
+				}
+			case "web":
+				if strings.Count(e[2], "-") == 2 {
+					conventions["web"]++
+				}
+			case "store":
+				if !strings.Contains(e[2], " ") && !strings.Contains(e[2], "-") {
+					conventions["store"]++
+				}
+			}
+		}
+	}
+	for _, src := range []string{"crm", "web", "store"} {
+		if conventions[src] < 50 {
+			t.Fatalf("source %s convention seen only %d times", src, conventions[src])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package matchjob
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"wym/internal/audit"
+	"wym/internal/data"
+	"wym/internal/pipeline"
+)
+
+// explainFakeEngine adds the Explainer capability to fakeEngine so the
+// in-process audit path can run without a trained model.
+type explainFakeEngine struct{ fakeEngine }
+
+func (e *explainFakeEngine) Explain(p data.Pair) pipeline.Explanation {
+	pred := scorePair(p)
+	return pipeline.Explanation{
+		Prediction: pred.Label,
+		Proba:      pred.Proba,
+		Units: []pipeline.UnitExplanation{{
+			Left: p.Left[0], Right: p.Right[0],
+			Attr: 0, Relevance: 1, Impact: pred.Proba - 0.5,
+		}},
+	}
+}
+
+func auditedConfig(t *testing.T, cfg Config) (Config, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "audit")
+	alog, err := audit.Open(dir, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { alog.Close() })
+	cfg.Audit = alog
+	cfg.AuditMeta = AuditMeta{
+		Model: "fake.gob", ArtifactFP: "fnv64:cafe",
+		Threshold: 0.5, Route: "match",
+	}
+	return cfg, dir
+}
+
+func TestAuditJobRecordsEmittedDecisions(t *testing.T) {
+	tp := jobTables(t, 120)
+	cfg, adir := auditedConfig(t, jobConfig(t))
+	sum := runJob(t, &explainFakeEngine{}, tp.Left, tp.Right, cfg)
+
+	if sum.Matches == 0 {
+		t.Fatalf("no matches emitted: %+v", sum)
+	}
+	if sum.AuditRecords != sum.Matches {
+		t.Fatalf("AuditRecords = %d, want one per emitted match (%d)",
+			sum.AuditRecords, sum.Matches)
+	}
+	if cfg.Audit.Dir() != adir {
+		t.Fatalf("Dir() = %q, want %q", cfg.Audit.Dir(), adir)
+	}
+	if err := cfg.Audit.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats, err := audit.ReadAll(adir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated != 0 {
+		t.Fatal("clean log read back as truncated")
+	}
+	if int64(len(recs)) != sum.AuditRecords {
+		t.Fatalf("read %d records, job reported %d", len(recs), sum.AuditRecords)
+	}
+	seen := map[string]bool{}
+	for _, rec := range recs {
+		if seen[rec.RequestID] {
+			t.Fatalf("duplicate request ID %q", rec.RequestID)
+		}
+		seen[rec.RequestID] = true
+		if rec.Route != "match" || rec.Model != "fake.gob" || rec.ArtifactFP != "fnv64:cafe" {
+			t.Fatalf("provenance not stamped: %+v", rec)
+		}
+		if rec.Prediction != data.Match {
+			t.Fatalf("non-match audited in a match-only job: %+v", rec)
+		}
+		ex := rec.Explanation()
+		if ex.Proba != rec.Proba || len(ex.Units) != 1 {
+			t.Fatalf("stored explanation does not round-trip: %+v", ex)
+		}
+	}
+}
+
+// A completed job resumed over the same manifest must not re-audit:
+// recording is at-most-once per committed chunk.
+func TestAuditResumeDoesNotReRecord(t *testing.T) {
+	tp := jobTables(t, 120)
+	cfg, adir := auditedConfig(t, jobConfig(t))
+	first := runJob(t, &explainFakeEngine{}, tp.Left, tp.Right, cfg)
+	if err := cfg.Audit.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	alog, err := audit.Open(adir, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alog.Close()
+	cfg.Audit = alog
+	cfg.Resume = true
+	r, err := New(&explainFakeEngine{}, tp.Left, tp.Right, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ChunksResumed != first.TotalChunks {
+		t.Fatalf("resume did not skip completed chunks: %+v", second)
+	}
+	if second.AuditRecords != 0 {
+		t.Fatalf("resumed job re-audited %d records", second.AuditRecords)
+	}
+	alog.Close()
+	recs, _, err := audit.ReadAll(adir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(recs)) != first.AuditRecords {
+		t.Fatalf("log grew across a no-op resume: %d -> %d",
+			first.AuditRecords, len(recs))
+	}
+}
+
+func TestNewRejectsAuditWithoutExplainer(t *testing.T) {
+	table := []data.Entity{{"a"}}
+	cfg, _ := auditedConfig(t, jobConfig(t))
+	if _, err := New(&fakeEngine{}, table, table, cfg); err == nil {
+		t.Fatal("Audit accepted an engine that cannot Explain")
+	}
+}

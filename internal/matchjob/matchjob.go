@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"time"
 
+	"wym/internal/audit"
 	"wym/internal/blocking"
 	"wym/internal/data"
 	"wym/internal/pipeline"
@@ -29,6 +30,22 @@ import (
 // satisfies it, and tests substitute fakes.
 type Predictor interface {
 	PredictBatch(ctx context.Context, pairs []data.Pair) []pipeline.Prediction
+}
+
+// Explainer is the additional engine capability audit recording needs;
+// pipeline.Engine satisfies it.
+type Explainer interface {
+	Explain(p data.Pair) pipeline.Explanation
+}
+
+// AuditMeta is the model provenance stamped on every audit record a job
+// writes.
+type AuditMeta struct {
+	Model      string  // model artifact path or registry name
+	ArtifactFP string  // artifact fingerprint ("fnv64:...")
+	FeedbackFP string  // folded-feedback fingerprint ("" when none)
+	Threshold  float64 // decision threshold in force
+	Route      string  // "match" or "dedup"
 }
 
 // Config tunes one matching job.
@@ -61,6 +78,15 @@ type Config struct {
 	// Metrics, when non-nil, receives the runner's counters, the index
 	// gauge, and the per-chunk latency histogram.
 	Metrics *Metrics
+	// Audit, when non-nil, records every emitted decision with its
+	// decision-unit explanation. Records for a chunk are appended only
+	// after that chunk's manifest entry commits, so a resumed job never
+	// double-records a replayed chunk (at-most-once: a crash between the
+	// manifest write and the audit flush loses that chunk's records).
+	// Requires the engine to implement Explainer.
+	Audit *audit.Log
+	// AuditMeta describes the model behind the audit records.
+	AuditMeta AuditMeta
 }
 
 // RowError is one candidate pair that stayed quarantined after the chunk
@@ -86,6 +112,10 @@ type Summary struct {
 	RowErrorSamples []RowError
 	// PeakIndexBytes is the blocking index's peak resident size.
 	PeakIndexBytes int64
+	// AuditRecords counts decisions recorded into the audit log in this
+	// run (resumed chunks contribute nothing: they were recorded when
+	// they first committed).
+	AuditRecords int64
 	// Interrupted is true when the job stopped at a chunk boundary after
 	// context cancellation; the manifest makes the run resumable.
 	Interrupted bool
@@ -95,10 +125,11 @@ const maxRowErrorSamples = 10
 
 // Runner executes one full-table matching job.
 type Runner struct {
-	eng   Predictor
-	left  []data.Entity
-	right []data.Entity
-	cfg   Config
+	eng     Predictor
+	explain Explainer // non-nil iff cfg.Audit is
+	left    []data.Entity
+	right   []data.Entity
+	cfg     Config
 }
 
 // New prepares a job over two tables (or one, with cfg.Dedup). The tables
@@ -126,11 +157,18 @@ func New(eng Predictor, left, right []data.Entity, cfg Config) (*Runner, error) 
 		// sites need no guards.
 		cfg.Metrics = &Metrics{}
 	}
+	var explain Explainer
+	if cfg.Audit != nil {
+		var ok bool
+		if explain, ok = eng.(Explainer); !ok {
+			return nil, fmt.Errorf("matchjob: Audit requires an engine that can Explain")
+		}
+	}
 	// Surface blocking config errors before any job state is created.
 	if _, err := blocking.NewStreamer(left, right, cfg.Blocking); err != nil {
 		return nil, err
 	}
-	return &Runner{eng: eng, left: left, right: right, cfg: cfg}, nil
+	return &Runner{eng: eng, explain: explain, left: left, right: right, cfg: cfg}, nil
 }
 
 // Run executes the job: resume validation, the chunk loop, and the final
@@ -185,13 +223,22 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 			end = len(r.left)
 		}
 		chunkStart := time.Now()
-		rec, err := r.runChunk(ctx, stream, id, start, end, sum)
+		rec, emitted, err := r.runChunk(ctx, stream, id, start, end, sum)
 		if err != nil {
 			return nil, err
 		}
 		man.Chunks = append(man.Chunks, rec)
 		if err := writeManifest(cfg.Dir, man); err != nil {
 			return nil, err
+		}
+		// Audit after the manifest commit: a chunk the manifest owns is
+		// never re-run, so its decisions are recorded at most once.
+		if cfg.Audit != nil {
+			n, err := r.auditChunk(id, emitted)
+			sum.AuditRecords += n
+			if err != nil {
+				return nil, err
+			}
 		}
 		m.ChunksDone.Inc()
 		m.ChunkSeconds.Observe(time.Since(chunkStart).Seconds())
@@ -219,14 +266,23 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	return sum, nil
 }
 
+// emittedRow is one decision a chunk wrote to its segment, kept for
+// audit recording after the chunk commits.
+type emittedRow struct {
+	Left, Right int
+	Label       int
+	Proba       float64
+}
+
 // runChunk blocks one left range, predicts the candidates, and writes the
 // chunk's result segment atomically. Quarantined predictions trigger one
-// whole-chunk retry; pairs still failing are skipped and reported.
-func (r *Runner) runChunk(ctx context.Context, stream *blocking.Streamer, id, start, end int, sum *Summary) (chunkRecord, error) {
+// whole-chunk retry; pairs still failing are skipped and reported. When
+// auditing, the emitted rows are returned for post-commit recording.
+func (r *Runner) runChunk(ctx context.Context, stream *blocking.Streamer, id, start, end int, sum *Summary) (chunkRecord, []emittedRow, error) {
 	cfg := r.cfg
 	cs, err := stream.Chunk(start, end)
 	if err != nil {
-		return chunkRecord{}, err
+		return chunkRecord{}, nil, err
 	}
 	var cands []blocking.Candidate
 	for {
@@ -255,6 +311,7 @@ func (r *Runner) runChunk(ctx context.Context, stream *blocking.Streamer, id, st
 
 	rec := chunkRecord{ID: id, Start: start, End: end, Candidates: len(cands)}
 	var buf bytes.Buffer
+	var emitted []emittedRow
 	for i, p := range preds {
 		if p.Err != "" {
 			rec.RowErrors++
@@ -279,13 +336,57 @@ func (r *Runner) runChunk(ctx context.Context, stream *blocking.Streamer, id, st
 		buf.WriteByte(',')
 		buf.WriteString(strconv.FormatFloat(p.Proba, 'f', 6, 64))
 		buf.WriteByte('\n')
+		if cfg.Audit != nil {
+			emitted = append(emitted, emittedRow{
+				Left: cands[i].Left, Right: cands[i].Right,
+				Label: p.Label, Proba: p.Proba,
+			})
+		}
 	}
 	sha, err := writeSegment(cfg.Dir, id, buf.Bytes())
 	if err != nil {
-		return chunkRecord{}, err
+		return chunkRecord{}, nil, err
 	}
 	rec.SHA256 = sha
-	return rec, nil
+	return rec, emitted, nil
+}
+
+// auditChunk records one committed chunk's emitted decisions, each with
+// a freshly computed decision-unit explanation (prediction is
+// deterministic in the model, so the explanation matches the emitted
+// proba), and flushes the log at the chunk boundary. An audit failure
+// fails the run; the job itself stays resumable from its manifest.
+func (r *Runner) auditChunk(id int, emitted []emittedRow) (int64, error) {
+	meta := r.cfg.AuditMeta
+	var n int64
+	for _, row := range emitted {
+		p := data.Pair{Left: r.left[row.Left], Right: r.right[row.Right]}
+		start := time.Now()
+		ex := r.explain.Explain(p)
+		rec := audit.Record{
+			RequestID:    fmt.Sprintf("c%06d:p%d-%d", id, row.Left, row.Right),
+			TimeNanos:    time.Now().UnixNano(),
+			Route:        meta.Route,
+			Model:        meta.Model,
+			ArtifactFP:   meta.ArtifactFP,
+			FeedbackFP:   meta.FeedbackFP,
+			Left:         p.Left,
+			Right:        p.Right,
+			Prediction:   row.Label,
+			Proba:        row.Proba,
+			Threshold:    meta.Threshold,
+			Units:        audit.CompactUnits(ex),
+			LatencyNanos: int64(time.Since(start)),
+		}
+		if err := r.cfg.Audit.Append(rec); err != nil {
+			return n, fmt.Errorf("matchjob: auditing chunk %d: %w", id, err)
+		}
+		n++
+	}
+	if err := r.cfg.Audit.Sync(); err != nil {
+		return n, fmt.Errorf("matchjob: flushing audit log after chunk %d: %w", id, err)
+	}
+	return n, nil
 }
 
 // quarantined reports whether any prediction in the batch failed.

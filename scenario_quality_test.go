@@ -1,0 +1,88 @@
+package wym
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"wym/internal/eval"
+	"wym/internal/nn"
+	"wym/internal/relevance"
+)
+
+// scenarioFloors mirrors testdata/scenario_floors.json: the pinned
+// generation parameters and the per-scenario expected-quality floors
+// (see the _doc field there for the tolerance rationale).
+type scenarioFloors struct {
+	Pairs     int   `json:"pairs"`
+	Seed      int64 `json:"seed"`
+	Scenarios map[string]struct {
+		FloorF1    float64 `json:"floor_f1"`
+		MeasuredF1 float64 `json:"measured_f1"`
+	} `json:"scenarios"`
+}
+
+// TestScenarioQualityGates is the scenario-pack regression gate: each
+// pack is generated with the committed (pairs, seed), trained with the
+// reduced deterministic config, and its test F1 must not fall below the
+// committed floor. The run is fully deterministic, so a failure means a
+// code change shifted matching quality under that distribution — not
+// noise.
+func TestScenarioQualityGates(t *testing.T) {
+	raw, err := os.ReadFile("testdata/scenario_floors.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var floors scenarioFloors
+	if err := json.Unmarshal(raw, &floors); err != nil {
+		t.Fatal(err)
+	}
+	keys := ScenarioKeys()
+	if len(floors.Scenarios) != len(keys) {
+		t.Fatalf("floors file covers %d scenarios, packs define %d", len(floors.Scenarios), len(keys))
+	}
+	for _, key := range keys {
+		key := key
+		gate, ok := floors.Scenarios[key]
+		if !ok {
+			t.Fatalf("no committed floor for scenario %q", key)
+		}
+		t.Run(key, func(t *testing.T) {
+			d, err := GenerateScenario(key, floors.Pairs, floors.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var train, valid, test *Dataset
+			if key == "drift-temporal" {
+				// Temporal split: train on the pre-drift prefix, test on
+				// the drifted tail. Shuffling here would hide the shift
+				// the pack exists to measure.
+				n := len(d.Pairs)
+				slice := func(lo, hi int) *Dataset {
+					return &Dataset{Name: d.Name, Schema: d.Schema, Pairs: d.Pairs[lo:hi]}
+				}
+				train, valid, test = slice(0, n*6/10), slice(n*6/10, n*8/10), slice(n*8/10, n)
+			} else {
+				train, valid, test = d.MustSplit(0.6, 0.2, 1)
+			}
+			cfg := DefaultConfig()
+			cfg.ScorerNN = relevance.NNConfig{
+				Hidden: []int{16},
+				Train:  nn.Config{Epochs: 8, BatchSize: 32, LR: 1e-3, Seed: 1},
+				Seed:   1,
+			}
+			sys, err := Train(train, valid, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := eval.NewConfusion(sys.PredictAll(test), test.Labels())
+			t.Logf("%s: F1=%.4f (floor %.2f, last measured %.4f, classifier %s)",
+				key, c.F1(), gate.FloorF1, gate.MeasuredF1, sys.ModelName())
+			if c.F1() < gate.FloorF1 {
+				t.Errorf("%s: test F1 %.4f fell below the committed floor %.2f (last measured %.4f) — "+
+					"see testdata/scenario_floors.json before adjusting",
+					key, c.F1(), gate.FloorF1, gate.MeasuredF1)
+			}
+		})
+	}
+}

@@ -246,6 +246,18 @@ func DatasetByKey(key string, scale float64) (*Dataset, bool) {
 	return datagen.Generate(p, scale), true
 }
 
+// ScenarioKeys lists the stress-scenario packs beyond the Magellan
+// reproduction: "unicode", "hetero-schema", "drift-temporal",
+// "customer360". Each ships with a committed quality floor
+// (testdata/scenario_floors.json) enforced by a regression test.
+func ScenarioKeys() []string { return datagen.ScenarioKeys() }
+
+// GenerateScenario materializes one scenario pack with n labeled pairs,
+// deterministic in (key, n, seed). It errors on an unknown key.
+func GenerateScenario(key string, n int, seed int64) (*Dataset, error) {
+	return datagen.GenerateScenario(key, n, seed)
+}
+
 // Attribution is one token's weight in a post-hoc explanation (positive
 // pushes toward match). See ExplainLIME.
 type Attribution = explain.Attribution
